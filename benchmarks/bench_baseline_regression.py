@@ -1,0 +1,69 @@
+"""XTRA-C -- baseline: alternate-test regression vs the NDF band.
+
+The paper cites alternate test ([10], [11]) and regression on Lissajous
+signatures ([14]).  This benchmark trains the dwell-time regression on
+a deviation sweep and compares the two decision procedures on held-out
+units: the NDF band needs no training beyond one golden signature; the
+regression additionally *estimates* the deviation (diagnosis).
+"""
+
+import numpy as np
+
+from repro.analysis import Comparison, banner, comparison_table, format_table
+from repro.baselines import RegressionTester
+
+
+def test_regression_baseline(benchmark, bench_setup, report_writer):
+    tester = bench_setup.tester
+
+    train_devs = np.linspace(-0.15, 0.15, 13)
+    train_sigs = [tester.signature_of(bench_setup.deviated_filter(d))
+                  for d in train_devs]
+    regression = RegressionTester()
+    benchmark(regression.fit, train_devs, train_sigs)
+
+    holdout = [-0.12, -0.07, -0.03, -0.008, 0.008, 0.03, 0.07, 0.12]
+    tolerance = 0.05
+    band = bench_setup.fig8_sweep(
+        np.linspace(-0.15, 0.15, 7)).band_for_tolerance(tolerance)
+
+    rows = []
+    agree = 0
+    max_err = 0.0
+    for dev in holdout:
+        sig = tester.signature_of(bench_setup.deviated_filter(dev))
+        predicted = regression.predict(sig)
+        max_err = max(max_err, abs(predicted - dev))
+        reg_pass = abs(predicted) <= tolerance
+        ndf_pass = band.decide(
+            tester.ndf_of(bench_setup.deviated_filter(dev))).passed
+        truth = abs(dev) <= tolerance
+        agree += int(reg_pass == ndf_pass == truth)
+        rows.append([f"{dev:+.1%}", f"{predicted:+.3%}",
+                     "PASS" if reg_pass else "FAIL",
+                     "PASS" if ndf_pass else "FAIL",
+                     "PASS" if truth else "FAIL"])
+
+    table = format_table(
+        ["true dev", "regression estimate", "regression verdict",
+         "NDF-band verdict", "ground truth"], rows)
+    comparisons = [
+        Comparison("regression estimate error", "small (alternate test)",
+                   f"max {max_err:.3%}", match=max_err < 0.02),
+        Comparison("verdict agreement", f"{len(holdout)}/{len(holdout)}",
+                   f"{agree}/{len(holdout)}",
+                   match=agree == len(holdout)),
+        Comparison("training cost", "NDF: 1 golden unit",
+                   f"regression: {len(train_devs)}-point sweep",
+                   match=True, note="the NDF's practical advantage"),
+    ]
+    report = "\n".join([
+        banner("BASELINE: signature regression (alternate test) vs NDF"),
+        table,
+        "",
+        comparison_table(comparisons),
+    ])
+    report_writer("baseline_regression", report)
+
+    assert max_err < 0.02
+    assert agree == len(holdout)

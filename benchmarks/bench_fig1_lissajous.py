@@ -1,0 +1,50 @@
+"""FIG1 -- Lissajous composition: golden vs +10 % f0 shift.
+
+Paper Fig. 1: "Lissajous composition of a multitone input signal and
+the low pass output of a Biquad filter.  Nominal shape (left) and 10 %
+shift in the natural frequency of the filter (right)."
+
+Regenerates both curves, checks they stay in the 0-1 V window and
+differ visibly, and renders ASCII versions of the two panels.
+"""
+
+import numpy as np
+
+from repro.analysis import Comparison, banner, comparison_table
+
+
+def test_fig1_lissajous(benchmark, bench_setup, report_writer):
+    golden_cut = bench_setup.golden_filter()
+    shifted_cut = bench_setup.deviated_filter(0.10)
+
+    golden = benchmark(bench_setup.tester.trace_of, golden_cut)
+    shifted = bench_setup.tester.trace_of(shifted_cut)
+
+    gap = float(np.max(np.abs(golden.y.values - shifted.y.values)))
+    comparisons = [
+        Comparison("x window (V)", "0..1", f"{golden.bounding_box()[0]:.2f}"
+                   f"..{golden.bounding_box()[1]:.2f}",
+                   match=golden.stays_within(0.0, 1.0)),
+        Comparison("y window (V)", "0..1", f"{golden.bounding_box()[2]:.2f}"
+                   f"..{golden.bounding_box()[3]:.2f}",
+                   match=golden.stays_within(0.0, 1.0)),
+        Comparison("period (us)", 200.0, golden.period * 1e6,
+                   match=abs(golden.period - 200e-6) < 1e-9),
+        Comparison("visible shape change", "yes (Fig. 1 right)",
+                   f"max |dy| = {gap:.3f} V", match=gap > 0.02),
+    ]
+    lines = [
+        banner("FIG1: golden vs +10 % f0 Lissajous"),
+        comparison_table(comparisons),
+        "",
+        "Golden Lissajous (x = Vin, y = Vout):",
+        golden.ascii_plot(width=61, height=21),
+        "",
+        "+10 % f0 Lissajous:",
+        shifted.ascii_plot(width=61, height=21),
+    ]
+    report_writer("fig1_lissajous", "\n".join(lines))
+
+    assert golden.stays_within(0.0, 1.0)
+    assert shifted.stays_within(0.0, 1.0)
+    assert gap > 0.02

@@ -1,0 +1,62 @@
+"""FIG4 -- experimental control curves + Monte Carlo range.
+
+Paper Fig. 4 shows the six measured control curves; the paper validates
+silicon against the foundry Monte Carlo envelope ("results lie in the
+predicted range for Monte Carlo simulations").  The reproduction
+regenerates the loci, the +-3 sigma process+mismatch envelope for a
+representative curve, and asserts the containment the paper reports.
+"""
+
+import numpy as np
+
+from repro.analysis import Comparison, ascii_xy_plot, banner, comparison_table
+from repro.devices.process import MonteCarloSampler
+from repro.monitor import boundary_spread, extract_locus, table1_monitor
+
+
+def test_fig4_control_curves(benchmark, report_writer):
+    loci = {row: extract_locus(table1_monitor(row), points=101)
+            for row in range(1, 7)}
+
+    sampler = MonteCarloSampler(rng=0)
+    spread = benchmark(boundary_spread, table1_monitor(3), sampler, 40,
+                       (0.0, 1.0), 41)
+
+    # Overlay all six curves in one ASCII panel.
+    all_x = np.concatenate([xs[~np.isnan(ys)]
+                            for xs, ys in loci.values()])
+    all_y = np.concatenate([ys[~np.isnan(ys)]
+                            for xs, ys in loci.values()])
+    overlay = ascii_xy_plot(all_x, all_y, width=61, height=21,
+                            x_label="X (V)", y_label="Y (V)")
+
+    fresh_die = MonteCarloSampler(rng=77).sample_die()
+    fresh = table1_monitor(3).with_die(fresh_die)
+    fresh_locus = fresh.locus_points(spread.xs)
+
+    comparisons = [
+        Comparison("curves extracted", 6,
+                   sum(1 for xs, ys in loci.values()
+                       if np.any(~np.isnan(ys))), match=True),
+        Comparison("nominal inside MC envelope", "yes",
+                   "yes" if spread.contains(spread.nominal) else "no",
+                   match=spread.contains(spread.nominal)),
+        Comparison("fresh die inside MC envelope",
+                   "yes (paper: silicon in range)",
+                   "yes" if spread.contains(fresh_locus, 0.9) else "no",
+                   match=spread.contains(fresh_locus, 0.9)),
+        Comparison("3-sigma spread (mV)", "tens of mV",
+                   f"{spread.max_spread() * 1e3:.1f}",
+                   match=5.0 < spread.max_spread() * 1e3 < 300.0),
+    ]
+    report = "\n".join([
+        banner("FIG4: control curves and Monte Carlo envelope"),
+        "All six control curves (X-Y window 0-1 V):",
+        overlay,
+        "",
+        comparison_table(comparisons),
+    ])
+    report_writer("fig4_control_curves", report)
+
+    assert spread.contains(spread.nominal)
+    assert spread.contains(fresh_locus, 0.9)

@@ -1,0 +1,63 @@
+"""FIG6 -- zone codification and Lissajous traversal.
+
+Paper Fig. 6 prints sixteen zone codes over the control-curve map and
+overlays the golden and +10 % Lissajous curves.  The benchmark
+regenerates the zone census (which must be *exactly* those sixteen
+codes), verifies the one-bit-adjacency criterion the Hamming metric
+relies on, and lists the traversal sequence of both curves.
+"""
+
+import numpy as np
+
+from repro.analysis import Comparison, banner, comparison_table
+from repro.paper import FIG6_ZONE_CODES
+
+
+def test_fig6_zone_map(benchmark, bench_setup, golden_signature,
+                       report_writer):
+    encoder = bench_setup.encoder
+    census = benchmark(encoder.zone_census, (0.0, 1.0), 256)
+    adjacency = encoder.adjacency_report(grid=256)
+    defective = bench_setup.tester.signature_of(
+        bench_setup.deviated_filter(0.10))
+
+    golden_seq = " ".join(str(c) for c in golden_signature.codes())
+    defect_seq = " ".join(str(c) for c in defective.codes())
+
+    comparisons = [
+        Comparison("realized zone codes", sorted(FIG6_ZONE_CODES),
+                   sorted(census),
+                   match=set(census) == set(FIG6_ZONE_CODES)),
+        Comparison("origin zone", "000000 (0)",
+                   encoder.code_string(encoder.origin_zone()),
+                   match=encoder.origin_zone() == 0),
+        Comparison("adjacent zones differ in 1 bit", "yes",
+                   "yes" if adjacency.is_gray else
+                   f"no: {adjacency.violations}",
+                   match=adjacency.is_gray),
+        Comparison("golden visits", "16 distinct zones",
+                   len(golden_signature.distinct_codes()),
+                   match=golden_signature.distinct_codes()
+                   == set(FIG6_ZONE_CODES)),
+        Comparison("+10 % visits code 62", "yes (skipped sequence)",
+                   "yes" if 62 in defective.distinct_codes() else "no",
+                   match=62 in defective.distinct_codes()),
+    ]
+    report = "\n".join([
+        banner("FIG6: zone codification and traversal"),
+        "Zone map (code mod 64 rendered as base-64 glyphs):",
+        encoder.ascii_zone_map(width=64, height=24),
+        "",
+        f"Golden traversal ({len(golden_signature)} entries):",
+        golden_seq,
+        "",
+        f"+10 % traversal ({len(defective)} entries):",
+        defect_seq,
+        "",
+        comparison_table(comparisons),
+    ])
+    report_writer("fig6_zonemap", report)
+
+    assert set(census) == set(FIG6_ZONE_CODES)
+    assert adjacency.is_gray
+    assert golden_signature.distinct_codes() == set(FIG6_ZONE_CODES)

@@ -1,0 +1,63 @@
+"""FIG7 -- signature chronograms and the Hamming distance track.
+
+Paper Fig. 7: the decimal-coded zone staircases of the golden and
+defective (+10 % f0) signatures over the 200 us period, the Hamming
+chronogram below, the headline NDF = 0.1021, and a distance-2 event
+where the defective trace skips a zone sequence.
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    Comparison,
+    ascii_chronogram,
+    banner,
+    build_chronogram,
+    comparison_table,
+    skipped_zone_events,
+)
+from repro.analysis.reporting import close
+from repro.paper import FIG7_NDF_10PCT
+
+
+def test_fig7_chronogram(benchmark, bench_setup, golden_signature,
+                         report_writer):
+    defective_cut = bench_setup.deviated_filter(0.10)
+    defective = benchmark(bench_setup.tester.signature_of, defective_cut)
+
+    data = build_chronogram(defective, golden_signature)
+    events = skipped_zone_events(defective, golden_signature)
+
+    event_lines = [
+        f"  [{e['start'] * 1e6:6.1f}, {e['end'] * 1e6:6.1f}] us: "
+        f"observed {e['observed']} vs golden {e['golden']} "
+        f"(dH = {e['hamming']})"
+        for e in events
+    ]
+    comparisons = [
+        Comparison("period (us)", 200.0, data.period * 1e6,
+                   match=abs(data.period - 200e-6) < 1e-9),
+        Comparison("NDF (+10 % f0)", FIG7_NDF_10PCT, round(data.ndf, 4),
+                   match=close(data.ndf, FIG7_NDF_10PCT, rel_tol=0.1),
+                   note="paper Fig. 7"),
+        Comparison("max Hamming distance", 2, data.max_hamming(),
+                   match=data.max_hamming() == 2,
+                   note="skipped-zone event"),
+        Comparison("distance-2 events", ">= 1", len(events),
+                   match=len(events) >= 1),
+    ]
+    report = "\n".join([
+        banner("FIG7: chronogram of digital signatures"),
+        "Staircases (golden '.', observed 'o', overlap '#'):",
+        ascii_chronogram(data, width=100, height=16),
+        "",
+        "Skipped-zone (Hamming >= 2) events:",
+        *event_lines,
+        "",
+        comparison_table(comparisons),
+    ])
+    report_writer("fig7_chronogram", report)
+
+    assert close(data.ndf, FIG7_NDF_10PCT, rel_tol=0.1)
+    assert data.max_hamming() == 2
+    assert events

@@ -1,0 +1,122 @@
+"""FIG8 -- NDF vs f0 deviation, PASS/FAIL bands and the noise study.
+
+Paper Fig. 8: "The discrepancy factor increases almost linearly with
+the amount of deviation and quite symmetrically with positive and
+negative f0 parameter deviations"; the acceptance band on the NDF
+implements the test decision; and with white noise of 3-sigma 0.015 V,
+"deviations as low as 1 % in the natural frequency of the filter are
+detected".
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    Comparison,
+    ascii_xy_plot,
+    banner,
+    comparison_table,
+    format_table,
+    noise_detection_study,
+)
+from repro.analysis.reporting import close
+from repro.paper import noisy_paper_setup
+from repro.signals.noise import NoiseModel
+
+
+def test_fig8_ndf_sweep(benchmark, bench_setup, report_writer):
+    deviations = np.linspace(-0.20, 0.20, 21)
+    calibration = benchmark(bench_setup.fig8_sweep, deviations)
+
+    r2_neg, r2_pos = calibration.linearity_r2()
+    sym = calibration.symmetry_error()
+    band = calibration.band_for_tolerance(0.05)
+
+    sweep_rows = [[f"{d:+.0%}", round(v, 4)]
+                  for d, v in zip(calibration.deviations,
+                                  calibration.ndfs)]
+    comparisons = [
+        Comparison("NDF(+10 %)", "~0.10 (Fig. 8)",
+                   round(calibration.ndf_at(0.10), 4),
+                   match=close(calibration.ndf_at(0.10), 0.10, 0.15)),
+        Comparison("NDF(+20 %)", "~0.19 (Fig. 8 right edge)",
+                   round(calibration.ndf_at(0.20), 4),
+                   match=close(calibration.ndf_at(0.20), 0.19, 0.2)),
+        Comparison("NDF(-20 %)", "~0.19 (Fig. 8 left edge)",
+                   round(calibration.ndf_at(-0.20), 4),
+                   match=close(calibration.ndf_at(-0.20), 0.19, 0.35)),
+        Comparison("almost linear", "yes",
+                   f"R^2 = {r2_neg:.3f} / {r2_pos:.3f}",
+                   match=min(r2_neg, r2_pos) > 0.97),
+        Comparison("quite symmetric", "yes",
+                   f"mean |NDF(+d) - NDF(-d)| = {sym:.4f}",
+                   match=sym < 0.03),
+        Comparison("PASS/FAIL band (5 % tol)", "threshold on NDF",
+                   f"NDF <= {band.threshold:.4f}", match=True),
+    ]
+    report_lines = [
+        banner("FIG8: normalized discrepancy factor vs f0 deviation"),
+        ascii_xy_plot(calibration.deviations, calibration.ndfs,
+                      width=72, height=20, x_label="f0 deviation",
+                      y_label="NDF"),
+        "",
+        format_table(["deviation", "NDF"], sweep_rows),
+        "",
+        comparison_table(comparisons),
+    ]
+    report_writer("fig8_ndf_sweep", "\n".join(report_lines))
+
+    assert close(calibration.ndf_at(0.10), 0.10, 0.15)
+    assert min(r2_neg, r2_pos) > 0.97
+    assert sym < 0.03
+
+
+def test_fig8_noise_study(benchmark, report_writer):
+    """Section IV-C: 1 % deviations detectable under the quoted noise."""
+    bench = noisy_paper_setup(samples_per_period=4096)
+    noise = NoiseModel(0.015, rng=5)
+
+    study = benchmark(
+        noise_detection_study, bench.tester, bench.golden_spec, noise,
+        (-0.02, -0.01, 0.01, 0.02), 10)
+
+    rates = study.detection_rates()
+    rows = [["golden", f"{np.mean(study.golden_population):.4f}",
+             f"{np.max(study.golden_population):.4f}",
+             f"{study.false_alarm_rate():.0%}"]]
+    for dev in sorted(study.deviation_populations):
+        pop = study.deviation_populations[dev]
+        rows.append([f"{dev:+.0%}", f"{np.mean(pop):.4f}",
+                     f"{np.min(pop):.4f}", f"{rates[dev]:.0%}"])
+    comparisons = [
+        Comparison("noise model", "white, 3-sigma = 0.015 V",
+                   "same + 200 kHz front-end pole", match=True,
+                   note="see DESIGN.md"),
+        Comparison("1 % deviation detected", "yes (paper)",
+                   f"+1 %: {rates[0.01]:.0%}, -1 %: {rates[-0.01]:.0%}",
+                   match=rates[0.01] >= 0.9 and rates[-0.01] >= 0.9,
+                   note="single-shot rate vs a 3-sigma guard band"),
+        Comparison("2 % deviation detected", "yes",
+                   f"+2 %: {rates[0.02]:.0%}, -2 %: {rates[-0.02]:.0%}",
+                   match=rates[0.02] == 1.0 and rates[-0.02] == 1.0),
+        Comparison("false alarms", "low",
+                   f"{study.false_alarm_rate():.0%}",
+                   match=study.false_alarm_rate() <= 0.1),
+    ]
+    report = "\n".join([
+        banner("FIG8 (noise study): detection under 3-sigma = 0.015 V"),
+        format_table(["unit", "mean NDF", "min/max NDF", "FAIL rate"],
+                     rows),
+        f"decision threshold: NDF > {study.threshold:.4f}",
+        "",
+        comparison_table(comparisons),
+    ])
+    report_writer("fig8_noise_study", report)
+
+    # The 3-sigma guard band over a 10-sample golden population leaves
+    # a small tail at exactly +-1 %; >= 90 % single-shot detection (and
+    # 100 % at +-2 %) reproduces the paper's "as low as 1 % detected".
+    assert rates[0.01] >= 0.9
+    assert rates[-0.01] >= 0.9
+    assert rates[0.02] == 1.0
+    assert rates[-0.02] == 1.0
+    assert study.false_alarm_rate() <= 0.1

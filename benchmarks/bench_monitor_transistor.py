@@ -1,0 +1,64 @@
+"""XTRA-D -- transistor-level Fig. 2 stage vs the analytic balance.
+
+The signature flow uses the analytic current-balance monitor; the paper
+fabricated the Fig. 2 circuit.  This benchmark DC-sweeps the simulated
+transistor stage over a coarse grid and reports how far its trip locus
+sits from the analytic boundary -- the modelling error of using the
+balance equation in place of the full stage (channel-length modulation
+and load asymmetry).
+"""
+
+import numpy as np
+
+from repro.analysis import Comparison, banner, comparison_table, format_table
+from repro.monitor import (
+    TransistorMonitor,
+    locus_rms_difference,
+    table1_config,
+    table1_monitor,
+)
+
+
+def test_transistor_vs_analytic(benchmark, report_writer):
+    rows = []
+    worst = 0.0
+    for row in (3, 6):  # one arc, one diagonal
+        analytic = table1_monitor(row)
+        xtor = TransistorMonitor(table1_config(row))
+        rms = benchmark.pedantic(
+            locus_rms_difference, args=(analytic, xtor),
+            kwargs={"points": 9}, rounds=1, iterations=1) \
+            if row == 3 else locus_rms_difference(analytic, xtor, points=9)
+        rows.append([f"curve {row}", f"{rms * 1e3:.1f} mV"])
+        worst = max(worst, rms)
+
+    # Bit agreement on a coarse grid away from the boundary.
+    analytic = table1_monitor(3)
+    xtor = TransistorMonitor(table1_config(3))
+    scale = abs(analytic.decision(1.0, 1.0))
+    agree = 0
+    total = 0
+    for x in np.linspace(0.1, 0.9, 5):
+        for y in np.linspace(0.1, 0.9, 5):
+            if abs(analytic.decision(x, y)) < 0.05 * scale:
+                continue
+            total += 1
+            agree += int(analytic.bit(x, y) == xtor.bit(x, y))
+
+    table = format_table(["monitor", "locus RMS gap"], rows)
+    comparisons = [
+        Comparison("trip-locus RMS gap", "small (balance ~ stage)",
+                   f"{worst * 1e3:.1f} mV", match=worst < 0.03),
+        Comparison("bit agreement off-boundary", f"{total}/{total}",
+                   f"{agree}/{total}", match=agree == total),
+    ]
+    report = "\n".join([
+        banner("TRANSISTOR-LEVEL: Fig. 2 stage vs analytic balance"),
+        table,
+        "",
+        comparison_table(comparisons),
+    ])
+    report_writer("monitor_transistor", report)
+
+    assert worst < 0.03
+    assert agree == total

@@ -1,0 +1,101 @@
+"""XTRA (extension) -- multi-parameter verification and diagnosis.
+
+The paper verifies f0 through one observable output.  Two extension
+questions the evaluation invites:
+
+* what does the same instrument say about *Q* deviations?  (the NDF
+  surface over the (f0, Q) plane, including the ambiguity of a scalar
+  metric);
+* does observing the Tow-Thomas band-pass tap as a second channel add
+  diagnostic power?  (the channel-NDF ratio separating f0 faults from
+  Q faults).
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    Comparison,
+    banner,
+    comparison_table,
+    format_table,
+    ndf_surface,
+)
+from repro.core import BiquadTwoTapCut, ChannelSpec, MultiChannelTester
+from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+
+
+def test_multiparameter_surface(benchmark, bench_setup, report_writer):
+    surface = benchmark(
+        ndf_surface, bench_setup.tester, PAPER_BIQUAD,
+        np.linspace(-0.10, 0.10, 5), np.linspace(-0.20, 0.20, 5))
+
+    header = ["q dev \\ f0 dev"] + [f"{d:+.0%}"
+                                    for d in surface.f0_deviations]
+    rows = []
+    for i, q_dev in enumerate(surface.q_deviations):
+        rows.append([f"{q_dev:+.0%}"]
+                    + [round(v, 3) for v in surface.ndf[i]])
+
+    f_slope = float(np.max(surface.f0_only_profile())) / 0.10
+    q_slope = float(np.max(surface.q_only_profile())) / 0.20
+    level = surface.at(0.05, 0.0)
+    ambiguity = surface.ambiguity_index(level, tolerance=0.3)
+
+    comparisons = [
+        Comparison("f0 sensitivity (NDF per unit dev)", "~1.0 (Fig. 8 "
+                   "slope)", round(f_slope, 2),
+                   match=0.7 < f_slope < 1.3),
+        Comparison("Q sensitivity", "weaker than f0",
+                   round(q_slope, 2), match=q_slope < 0.55 * f_slope),
+        Comparison("scalar-NDF ambiguity", "> 0 (level sets are "
+                   "contours)", round(ambiguity, 2),
+                   match=ambiguity > 0.0),
+    ]
+    report = "\n".join([
+        banner("EXTENSION: NDF surface over (f0, Q) deviations"),
+        format_table(header, rows),
+        "",
+        comparison_table(comparisons),
+    ])
+    report_writer("multiparam_surface", report)
+
+    assert 0.7 < f_slope < 1.3
+    assert q_slope < 0.55 * f_slope
+
+
+def test_two_channel_diagnosis(benchmark, bench_setup, report_writer):
+    channels = [ChannelSpec("lp", bench_setup.encoder),
+                ChannelSpec("bp", bench_setup.encoder)]
+    tester = MultiChannelTester(channels, PAPER_STIMULUS,
+                                BiquadTwoTapCut(PAPER_BIQUAD),
+                                samples_per_period=2048)
+
+    def measure(cut):
+        return tester.channel_ndfs(cut)
+
+    f0_fault = benchmark(measure, BiquadTwoTapCut(
+        PAPER_BIQUAD.with_f0_deviation(0.10)))
+    q_fault = measure(BiquadTwoTapCut(PAPER_BIQUAD.with_q_deviation(0.20)))
+
+    r_f0 = f0_fault["lp"] / f0_fault["bp"]
+    r_q = q_fault["lp"] / q_fault["bp"]
+    rows = [["f0 +10 %", round(f0_fault["lp"], 4),
+             round(f0_fault["bp"], 4), round(r_f0, 2)],
+            ["Q +20 %", round(q_fault["lp"], 4),
+             round(q_fault["bp"], 4), round(r_q, 2)]]
+    comparisons = [
+        Comparison("channel ratio separates fault classes",
+                   "r(Q) >> r(f0)", f"{r_q:.2f} vs {r_f0:.2f}",
+                   match=r_q > 1.4 * r_f0,
+                   note="scalar NDF cannot do this"),
+    ]
+    report = "\n".join([
+        banner("EXTENSION: two-channel (LP + BP) fault diagnosis"),
+        format_table(["fault", "NDF(lp)", "NDF(bp)", "lp/bp ratio"],
+                     rows),
+        "",
+        comparison_table(comparisons),
+    ])
+    report_writer("multichannel_diagnosis", report)
+
+    assert r_q > 1.4 * r_f0

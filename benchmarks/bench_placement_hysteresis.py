@@ -1,0 +1,118 @@
+"""XTRA (extensions) -- bias placement optimization and hysteresis.
+
+Two design-space studies the paper's conclusions invite:
+
+* "Zone boundaries can be adjusted by changing the biasing voltages" --
+  the placement benchmark tunes the three arc biases (Table I rows 3-5)
+  to maximize NDF response at the +-5 % tolerance edge;
+* the fabricated comparator's cross-coupled pair adds hysteresis -- the
+  hysteresis benchmark quantifies chatter suppression under the paper's
+  noise and the (second-order) sensitivity cost.
+"""
+
+import numpy as np
+
+from repro.analysis import Comparison, banner, comparison_table, format_table
+from repro.core import HystereticEncoder, capture_signature, ndf
+from repro.core.testflow import SignatureTester
+from repro.filters.biquad import BiquadFilter
+from repro.monitor import BiasPlacementOptimizer, distinct_bias_values, table1_config
+from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+from repro.signals import NoiseModel
+from repro.signals.lissajous import LissajousTrace
+
+
+def _tester_factory(encoder):
+    return SignatureTester(encoder, PAPER_STIMULUS,
+                           BiquadFilter(PAPER_BIQUAD),
+                           samples_per_period=1024)
+
+
+def _cut_factory(dev):
+    return BiquadFilter(PAPER_BIQUAD.with_f0_deviation(dev))
+
+
+def test_bias_placement_optimization(benchmark, report_writer):
+    configs = [table1_config(r) for r in (3, 4, 5)]
+    optimizer = BiasPlacementOptimizer(configs, _tester_factory,
+                                       _cut_factory,
+                                       target_deviation=0.05)
+    result = benchmark.pedantic(optimizer.optimize, kwargs={
+        "max_iterations": 20}, rounds=1, iterations=1)
+
+    rows = [[c.name,
+             "/".join(f"{v:.2f}" for v in distinct_bias_values(o)),
+             "/".join(f"{v:.2f}" for v in distinct_bias_values(c))]
+            for o, c in zip(configs, result.configs)]
+    comparisons = [
+        Comparison("objective (mean NDF at +-5 %)",
+                   f"start {result.initial_objective:.4f}",
+                   f"optimized {result.optimized_objective:.4f}",
+                   match=result.optimized_objective
+                   >= result.initial_objective),
+        Comparison("improvement", ">= 0 (never regress)",
+                   f"{result.improvement:+.1%}",
+                   match=result.improvement >= 0.0),
+    ]
+    report = "\n".join([
+        banner("EXTENSION: bias placement optimization (arcs 3-5)"),
+        format_table(["monitor", "Table I biases (V)",
+                      "optimized biases (V)"], rows),
+        "",
+        comparison_table(comparisons),
+    ])
+    report_writer("placement_optimization", report)
+
+    assert result.optimized_objective >= result.initial_objective
+
+
+def test_hysteresis_chatter_study(benchmark, bench_setup, report_writer):
+    tester = bench_setup.tester
+    golden_trace = tester.trace_of(bench_setup.golden_filter())
+    noise = NoiseModel(0.015, rng=9)
+    x, y = noise.corrupt_pair(golden_trace.x, golden_trace.y)
+    noisy = LissajousTrace(x, y, golden_trace.period)
+
+    clean_len = len(capture_signature(bench_setup.encoder, golden_trace,
+                                      refine=False))
+    memoryless_len = len(capture_signature(bench_setup.encoder, noisy,
+                                           refine=False))
+
+    rows = []
+    for margin in (0.002, 0.005, 0.01, 0.02):
+        hyst = HystereticEncoder(bench_setup.encoder, margin)
+        noisy_len = len(benchmark.pedantic(
+            hyst.capture, args=(noisy,), rounds=1, iterations=1)) \
+            if margin == 0.005 else len(hyst.capture(noisy))
+        sig_g = hyst.capture(golden_trace)
+        sig_d = hyst.capture(
+            tester.trace_of(bench_setup.deviated_filter(0.10)))
+        rows.append([f"{margin * 1e3:.0f} mV", noisy_len,
+                     round(ndf(sig_d, sig_g), 4)])
+
+    table = format_table(
+        ["hysteresis", "noisy transitions/period",
+         "clean NDF(+10 %)"], rows)
+    comparisons = [
+        Comparison("noise-free transitions", clean_len, clean_len,
+                   match=True),
+        Comparison("memoryless noisy transitions",
+                   "hundreds (chatter)", memoryless_len,
+                   match=memoryless_len > 5 * clean_len),
+        Comparison("hysteresis collapses chatter",
+                   f"towards {clean_len}", rows[-1][1],
+                   match=int(rows[-1][1]) < 3 * clean_len),
+        Comparison("sensitivity preserved", "NDF(+10 %) ~ 0.10",
+                   rows[1][2], match=abs(float(rows[1][2]) - 0.10)
+                   < 0.02),
+    ]
+    report = "\n".join([
+        banner("EXTENSION: comparator hysteresis vs noise chatter"),
+        table,
+        "",
+        comparison_table(comparisons),
+    ])
+    report_writer("hysteresis_noise", report)
+
+    assert memoryless_len > 5 * clean_len
+    assert int(rows[-1][1]) < 3 * clean_len

@@ -1,0 +1,74 @@
+"""TAB1 -- Table I: the six monitor input configurations.
+
+Regenerates each configured monitor's control curve and verifies the
+qualitative behaviour the paper attributes to each row:
+
+* rows 1-2 (asymmetric widths, one signal per branch): positive-slope
+  segments;
+* rows 3-5 (equal widths, both signals on the left): negative-slope
+  arcs ordered by their DC bias (0.3 < 0.55 < 0.75);
+* row 6 (zero biases): the 45-degree line.
+"""
+
+import numpy as np
+
+from repro.analysis import Comparison, banner, comparison_table, format_table
+from repro.monitor import characterize, diagonal_deviation, table1_monitor
+from repro.monitor.configurations import TABLE1_ROWS
+
+
+def test_table1_configurations(benchmark, report_writer):
+    characterizations = benchmark(
+        lambda: {row: characterize(table1_monitor(row))
+                 for row in range(1, 7)})
+
+    slope_words = {1: "positive", -1: "negative", 0: "mixed"}
+    rows = []
+    for row in range(1, 7):
+        widths, hookups = TABLE1_ROWS[row]
+        ch = characterizations[row]
+        rows.append([
+            f"curve {row}",
+            "/".join(f"{int(w)}" for w in widths),
+            ",".join(str(h) for h in hookups),
+            slope_words[ch.slope_sign],
+            f"{ch.coverage:.0%}",
+            f"{ch.mean_slope:+.2f}",
+        ])
+    table = format_table(
+        ["row", "widths (nm)", "V1..V4", "slope", "in-window", "dy/dx"],
+        rows)
+
+    arc_heights = {row: characterizations[row].crossing_at(0.25)
+                   for row in (3, 4, 5)}
+    diag_dev = diagonal_deviation(table1_monitor(6))
+    comparisons = [
+        Comparison("curves 1-2 slope", "positive",
+                   slope_words[characterizations[1].slope_sign] + "/"
+                   + slope_words[characterizations[2].slope_sign],
+                   match=(characterizations[1].slope_sign == 1
+                          and characterizations[2].slope_sign == 1)),
+        Comparison("curves 3-5 slope", "negative",
+                   "/".join(slope_words[characterizations[r].slope_sign]
+                            for r in (3, 4, 5)),
+                   match=all(characterizations[r].slope_sign == -1
+                             for r in (3, 4, 5))),
+        Comparison("arc order by bias", "curve4 < curve3 < curve5",
+                   " < ".join(f"{arc_heights[r]:.2f}" for r in (4, 3, 5)),
+                   match=arc_heights[4] < arc_heights[3] < arc_heights[5]),
+        Comparison("curve 6", "45-degree line",
+                   f"max |y-x| = {diag_dev:.3f} V", match=diag_dev < 0.02),
+    ]
+    report = "\n".join([
+        banner("TABLE I: monitor configurations and control curves"),
+        table,
+        "",
+        comparison_table(comparisons),
+    ])
+    report_writer("table1_configs", report)
+
+    assert characterizations[1].slope_sign == 1
+    assert characterizations[2].slope_sign == 1
+    assert all(characterizations[r].slope_sign == -1 for r in (3, 4, 5))
+    assert arc_heights[4] < arc_heights[3] < arc_heights[5]
+    assert diag_dev < 0.02

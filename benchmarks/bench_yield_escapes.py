@@ -1,0 +1,68 @@
+"""XTRA (extension) -- production economics: yield loss vs test escapes.
+
+The paper builds the decision band from the Fig. 8 sweep; production
+adds a process-spread CUT population.  This benchmark measures a
+population of Biquads (sigma(f0) = 3 %), sweeps the NDF threshold and
+reports the yield-loss/escape trade-off, including the cost-optimal
+threshold under asymmetric economics (an escape costs 10x an overkill).
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    Comparison,
+    CutPopulation,
+    banner,
+    comparison_table,
+    format_table,
+    optimal_threshold,
+    roc_curve,
+    yield_escape_analysis,
+)
+
+
+def test_yield_and_escapes(benchmark, bench_setup, report_writer):
+    tolerance = 0.05
+    population = CutPopulation(bench_setup.golden_spec, sigma_f0=0.03,
+                               rng=7)
+    units = benchmark(population.measure, bench_setup.tester, 60)
+
+    sweep_band = bench_setup.fig8_sweep(
+        np.linspace(-0.10, 0.10, 9)).band_for_tolerance(tolerance)
+    paper_style = yield_escape_analysis(units, sweep_band.threshold,
+                                        tolerance)
+    best = optimal_threshold(units, tolerance, escape_cost=10.0)
+
+    rows = []
+    for report in roc_curve(units, tolerance,
+                            thresholds=np.linspace(0.01, 0.09, 9)):
+        rows.append([f"{report.threshold:.3f}", report.true_pass,
+                     report.true_fail, report.yield_loss,
+                     report.escapes])
+    table = format_table(
+        ["threshold", "true pass", "true fail", "yield loss", "escapes"],
+        rows)
+    comparisons = [
+        Comparison("sweep-derived threshold", "from Fig. 8 band",
+                   f"{sweep_band.threshold:.4f} -> "
+                   f"{paper_style.yield_loss} overkill, "
+                   f"{paper_style.escapes} escapes", match=True),
+        Comparison("cost-optimal threshold", "near the sweep threshold "
+                   "(the NDF orders units well)",
+                   f"{best.threshold:.4f}",
+                   match=abs(best.threshold - sweep_band.threshold)
+                   < 0.03),
+        Comparison("escape rate at optimum", "low",
+                   f"{best.escape_rate:.0%}",
+                   match=best.escape_rate <= 0.25),
+    ]
+    report = "\n".join([
+        banner("EXTENSION: yield loss vs test escapes (60-unit MC)"),
+        table,
+        "",
+        comparison_table(comparisons),
+    ])
+    report_writer("yield_escapes", report)
+
+    assert paper_style.total == 60
+    assert abs(best.threshold - sweep_band.threshold) < 0.03

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper,
+prints a paper-vs-measured comparison block, persists it under
+``benchmarks/reports/`` and asserts the shape-level anchors.  The
+``benchmark`` fixture times the central computation of each artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.paper import paper_setup
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def bench_setup():
+    """One calibrated paper bench shared by all benchmarks."""
+    return paper_setup()
+
+
+@pytest.fixture(scope="session")
+def golden_signature(bench_setup):
+    return bench_setup.tester.golden_signature()
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Callable persisting a report block and echoing it to stdout."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = REPORT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report saved to {path}]")
+
+    return write

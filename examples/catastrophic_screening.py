@@ -1,0 +1,64 @@
+"""Screening catastrophic defects (opens/shorts) with one signature.
+
+The paper motivates X-Y zoning with the observation that "a large set
+of parametric and catastrophic defects can be detected just by checking
+whether the Lissajous curve remains in the specified zones".  This
+script injects every single open and short into the structural
+Tow-Thomas realization of the Biquad and runs the stock signature test:
+
+* most defects distort the response so violently that the NDF
+  saturates far above any parametric deviation;
+* the report flags any escapes, with the faulted transfer function's
+  key numbers for diagnosis.
+
+Run with:  python examples/catastrophic_screening.py
+"""
+
+import numpy as np
+
+from repro import paper_setup
+from repro.analysis import format_table
+from repro.filters import (
+    TowThomasValues,
+    catastrophic_fault_universe,
+)
+
+
+def main() -> None:
+    setup = paper_setup(samples_per_period=2048)
+    values = TowThomasValues.from_spec(setup.golden_spec)
+
+    sweep = setup.fig8_sweep(np.linspace(-0.10, 0.10, 9))
+    band = sweep.band_for_tolerance(0.05)
+    print(f"decision band (5 % f0 tolerance): NDF <= "
+          f"{band.threshold:.4f}\n")
+
+    rows = []
+    escapes = []
+    for fault in catastrophic_fault_universe():
+        cut = fault.apply_to_biquad(values)
+        ndf_value = setup.tester.ndf_of(cut)
+        verdict = band.decide(ndf_value)
+        gain_5k = abs(cut.transfer(5e3))
+        rows.append([fault.label, f"{ndf_value:.4f}",
+                     f"{gain_5k:.3f}",
+                     "DETECTED" if not verdict.passed else "ESCAPE"])
+        if verdict.passed:
+            escapes.append(fault.label)
+
+    print(format_table(
+        ["fault", "NDF", "|H(5 kHz)| (golden: "
+         f"{abs(setup.golden_filter().transfer(5e3)):.3f})", "verdict"],
+        rows))
+    detected = len(rows) - len(escapes)
+    print(f"\ncoverage: {detected}/{len(rows)} "
+          f"({detected / len(rows):.0%})")
+    if escapes:
+        print("escapes:", ", ".join(escapes))
+        print("(escapes happen when a defect barely moves the response "
+              "inside the observed band -- candidates for a second "
+              "signature with different boundaries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Noise robustness: detecting 1 % f0 deviations under measurement noise.
+
+Reproduces the paper's Section IV-C claim: "Simulations conducted with
+high frequency white noise on the signals with null mean and a 3 sigma
+spread of 0.015 V show that deviations as low as 1 % in the natural
+frequency of the filter are detected."
+
+The script shows the two ingredients:
+
+* without band limiting, boundary-crossing jitter from the raw noise
+  floors the NDF and masks small deviations;
+* with the monitor's front-end pole (200 kHz here), the high-frequency
+  noise averages out and +-1 % deviations separate cleanly from the
+  golden population.
+
+Run with:  python examples/noise_robustness.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.paper import noisy_paper_setup, paper_setup
+from repro.signals import BandLimiter, NoiseModel
+
+
+def population_table(bench, noise, deviations, repeats=10):
+    rows = []
+    golden_pop = bench.tester.noisy_ndf_population(
+        bench.golden_filter(), noise, repeats)
+    rows.append(["golden", f"{golden_pop.mean():.4f}",
+                 f"{golden_pop.max():.4f}", "-"])
+    for dev in deviations:
+        pop = bench.tester.noisy_ndf_population(
+            bench.deviated_filter(dev), noise, repeats)
+        separated = "yes" if pop.min() > golden_pop.max() else "NO"
+        rows.append([f"{dev:+.0%}", f"{pop.mean():.4f}",
+                     f"{pop.min():.4f}", separated])
+    return rows
+
+
+def main() -> None:
+    noise = NoiseModel(0.015, rng=21)  # the paper's 3 sigma = 0.015 V
+    deviations = (-0.02, -0.01, 0.01, 0.02)
+
+    print("=== raw capture (no band limiting) ===")
+    raw = paper_setup(samples_per_period=4096)
+    rows = population_table(raw, noise, deviations)
+    print(format_table(["unit", "mean NDF", "min/max NDF",
+                        "separated from golden"], rows))
+    print("crossing jitter floors the NDF: small shifts are masked\n")
+
+    print("=== with 200 kHz monitor front-end pole ===")
+    filtered = noisy_paper_setup(samples_per_period=4096)
+    rows = population_table(filtered, noise, deviations)
+    print(format_table(["unit", "mean NDF", "min/max NDF",
+                        "separated from golden"], rows))
+    print("high-frequency noise averages out: +-1 % f0 is detectable,")
+    print("reproducing the paper's Section IV-C conclusion.")
+
+
+if __name__ == "__main__":
+    main()

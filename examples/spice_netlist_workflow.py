@@ -1,0 +1,93 @@
+"""Bring-your-own-circuit: signature-test a CUT defined as a netlist.
+
+A downstream user rarely has their filter as library objects -- they
+have a SPICE deck.  This script shows the full path:
+
+1. parse a Tow-Thomas Biquad from SPICE-style text;
+2. verify the realized transfer function against the design targets
+   with the built-in AC analysis;
+3. wrap the parsed circuit as a CUT and run the stock signature test
+   against the library's golden Biquad, including a drifted copy of
+   the same netlist.
+
+Run with:  python examples/spice_netlist_workflow.py
+"""
+
+import numpy as np
+
+from repro import paper_setup
+from repro.circuits import ac_analysis, parse_netlist
+from repro.signals.lissajous import LissajousTrace
+from repro.signals.waveform import Waveform
+
+# The paper's CUT as a plain netlist (ideal op-amps via E elements with
+# high gain).  Component values realize f0 = 11 kHz, Q = 1, G = 1 with
+# C = 10 nF (R = 1 / (w0 C) = 1447 ohm).
+TOW_THOMAS_DECK = """
+* Tow-Thomas biquad, f0 = 11 kHz, Q = 1, unity gain
+Vin vin 0 0 AC 1
+R1 vin n1 {r1}
+R2 n1 bp {r2}
+C1 n1 bp 10n
+E1 bp 0 0 n1 1e6        ; A1: high-gain inverting stage
+R3 bp n2 {r3}
+C2 n2 lp 10n
+E2 lp 0 0 n2 1e6        ; A2
+R4a lp n3 10k
+R4b n3 fb 10k
+E3 fb 0 0 n3 1e6        ; A3 inverter
+R5 fb n1 {r5}
+.end
+"""
+
+
+def build_deck(f0_scale: float = 1.0) -> str:
+    r = 1.0 / (2 * np.pi * 11e3 * 10e-9)
+    return TOW_THOMAS_DECK.format(
+        r1=f"{r / f0_scale:.6g}", r2=f"{r / f0_scale:.6g}",
+        r3=f"{r / f0_scale:.6g}", r5=f"{r / f0_scale:.6g}")
+
+
+class NetlistCut:
+    """Adapter: a parsed linear netlist as a signature-flow CUT."""
+
+    def __init__(self, deck: str) -> None:
+        self.circuit = parse_netlist(deck, title="user CUT")
+        self.system = self.circuit.assemble()
+
+    def transfer(self, freq_hz: float) -> complex:
+        freq = max(freq_hz, 1e-2)
+        result = ac_analysis(self.system, [freq])
+        return complex(result.transfer("lp", "vin")[0])
+
+    def lissajous(self, stimulus, samples_per_period=4096):
+        response = stimulus.through(self.transfer)
+        period = stimulus.period()
+        x = Waveform.from_function(stimulus, period, samples_per_period)
+        y = Waveform.from_function(response, period, samples_per_period)
+        return LissajousTrace(x, y, period)
+
+
+def main() -> None:
+    print("parsing the Tow-Thomas deck...")
+    nominal = NetlistCut(build_deck())
+    print(f"|H(11 kHz)| = {abs(nominal.transfer(11e3)):.3f} "
+          f"(design: Q = 1.0)")
+    print(f"|H(DC)|    = {abs(nominal.transfer(0.0)):.3f} "
+          f"(design: 1.0)\n")
+
+    setup = paper_setup(samples_per_period=2048)
+    golden_sig = setup.tester.golden_signature()
+
+    for scale, label in ((1.0, "nominal netlist"),
+                         (1.10, "+10 % f0 drifted netlist"),
+                         (0.95, "-5 % f0 drifted netlist")):
+        cut = NetlistCut(build_deck(scale))
+        value = setup.tester.ndf_of(cut)
+        print(f"{label:28s}: NDF = {value:.4f}")
+    print("\n(the +10 % netlist lands on the paper's 0.1021 anchor; the "
+          "nominal one reads ~0 against the library golden)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+Package metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path (`pip install -e .`) on toolchains whose
+setuptools cannot build PEP 660 editable wheels offline.
+"""
+
+from setuptools import setup
+
+setup()

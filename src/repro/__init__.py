@@ -1,0 +1,44 @@
+"""repro: reproduction of "Analog Circuit Test Based on a Digital Signature".
+
+DATE 2010, A. Gómez, R. Sanahuja, L. Balado, J. Figueras (UPC).
+
+The library implements the paper's full stack:
+
+* ``repro.circuits`` -- an MNA circuit simulator (DC / transient / AC)
+* ``repro.devices``  -- smooth MOS models + 65 nm-class process statistics
+* ``repro.signals``  -- multitone stimuli, waveforms, noise, Lissajous
+* ``repro.filters``  -- the Biquad CUT (behavioural + Tow-Thomas netlist)
+  and fault injection
+* ``repro.monitor``  -- the current-comparator zone monitor (Table I /
+  Fig. 4), analytic and transistor-level, with Monte Carlo spread
+* ``repro.core``     -- X-Y zoning, digital signatures, asynchronous
+  capture, the NDF metric and the PASS/FAIL decision flow
+* ``repro.baselines`` -- straight-line zoning and regression-based
+  alternate test for comparison
+* ``repro.analysis`` -- chronograms, sweeps and report formatting
+"""
+
+__version__ = "1.0.0"
+
+from repro._api import (
+    FIG6_ZONE_CODES,
+    FIG7_NDF_10PCT,
+    PAPER_BIQUAD,
+    PAPER_INPUT_POLE_HZ,
+    PAPER_STIMULUS,
+    PaperSetup,
+    noisy_paper_setup,
+    paper_setup,
+)
+
+__all__ = [
+    "__version__",
+    "FIG6_ZONE_CODES",
+    "FIG7_NDF_10PCT",
+    "PAPER_BIQUAD",
+    "PAPER_INPUT_POLE_HZ",
+    "PAPER_STIMULUS",
+    "PaperSetup",
+    "noisy_paper_setup",
+    "paper_setup",
+]

@@ -1,0 +1,30 @@
+"""Top-level convenience re-exports (the 30-second API).
+
+>>> from repro import paper_setup
+>>> setup = paper_setup()
+>>> result = setup.test_deviation(0.10)
+>>> 0.08 < result.ndf < 0.12
+True
+"""
+
+from repro.paper import (
+    FIG6_ZONE_CODES,
+    FIG7_NDF_10PCT,
+    PAPER_BIQUAD,
+    PAPER_INPUT_POLE_HZ,
+    PAPER_STIMULUS,
+    PaperSetup,
+    noisy_paper_setup,
+    paper_setup,
+)
+
+__all__ = [
+    "FIG6_ZONE_CODES",
+    "FIG7_NDF_10PCT",
+    "PAPER_BIQUAD",
+    "PAPER_INPUT_POLE_HZ",
+    "PAPER_STIMULUS",
+    "PaperSetup",
+    "noisy_paper_setup",
+    "paper_setup",
+]

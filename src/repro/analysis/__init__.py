@@ -1,0 +1,65 @@
+"""Analysis utilities: chronograms, sweep drivers, report formatting.
+
+* :mod:`repro.analysis.chronogram` -- Fig. 7 artifacts
+* :mod:`repro.analysis.sweeps` -- Fig. 8 and extension campaigns
+* :mod:`repro.analysis.reporting` -- paper-vs-measured report blocks
+"""
+
+from repro.analysis.chronogram import (
+    ChronogramData,
+    ascii_chronogram,
+    build_chronogram,
+    skipped_zone_events,
+)
+from repro.analysis.sweeps import (
+    FaultCoverageRow,
+    NoiseStudyResult,
+    catastrophic_coverage,
+    deviation_sweep,
+    noise_detection_study,
+    process_variation_study,
+)
+from repro.analysis.reporting import (
+    Comparison,
+    ascii_xy_plot,
+    banner,
+    close,
+    comparison_table,
+    format_table,
+)
+from repro.analysis.yield_model import (
+    CutPopulation,
+    CutUnit,
+    YieldReport,
+    optimal_threshold,
+    roc_curve,
+    yield_escape_analysis,
+)
+from repro.analysis.multiparam import NdfSurface, ndf_surface
+
+__all__ = [
+    "ChronogramData",
+    "ascii_chronogram",
+    "build_chronogram",
+    "skipped_zone_events",
+    "FaultCoverageRow",
+    "NoiseStudyResult",
+    "catastrophic_coverage",
+    "deviation_sweep",
+    "noise_detection_study",
+    "process_variation_study",
+    "Comparison",
+    "ascii_xy_plot",
+    "banner",
+    "close",
+    "comparison_table",
+    "format_table",
+    "CutPopulation",
+    "CutUnit",
+    "YieldReport",
+    "optimal_threshold",
+    "roc_curve",
+    "yield_escape_analysis",
+    "NdfSurface",
+    "ndf_surface",
+]

@@ -1,0 +1,109 @@
+"""Plain-text reporting helpers shared by the benchmarks.
+
+Every benchmark prints a "paper vs measured" block so deviations from
+the published artifacts are visible in CI logs, never silent.  These
+helpers keep the formatting consistent: fixed-width tables, an ASCII
+x-y plot for sweep curves, and the comparison row type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+Value = Union[str, float, int, None]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[Value]]) -> str:
+    """Fixed-width table with a header rule."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(value: Value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class Comparison:
+    """One paper-vs-measured line of an experiment report."""
+
+    quantity: str
+    paper: Value
+    measured: Value
+    match: Optional[bool] = None
+    note: str = ""
+
+    def row(self) -> List[Value]:
+        """Row for :func:`format_table`."""
+        verdict = "-" if self.match is None else ("ok" if self.match
+                                                  else "DIFFERS")
+        return [self.quantity, self.paper, self.measured, verdict,
+                self.note]
+
+
+def comparison_table(comparisons: Sequence[Comparison]) -> str:
+    """The standard paper-vs-measured block."""
+    return format_table(["quantity", "paper", "measured", "match", "note"],
+                        [c.row() for c in comparisons])
+
+
+def ascii_xy_plot(x: np.ndarray, y: np.ndarray, width: int = 72,
+                  height: int = 20, marker: str = "*",
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Minimal scatter/curve plot for sweep benches (Fig. 8 style)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    finite = np.isfinite(x) & np.isfinite(y)
+    x, y = x[finite], y[finite]
+    if x.size == 0:
+        return "(no finite data)"
+    x_lo, x_hi = float(x.min()), float(x.max())
+    y_lo, y_hi = float(y.min()), float(y.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        col = int((xi - x_lo) / x_span * (width - 1))
+        row = int((1.0 - (yi - y_lo) / y_span) * (height - 1))
+        grid[row][col] = marker
+    lines = ["".join(r) for r in grid]
+    lines.append(f"x: {x_label} in [{x_lo:.4g}, {x_hi:.4g}]   "
+                 f"y: {y_label} in [{y_lo:.4g}, {y_hi:.4g}]")
+    return "\n".join(lines)
+
+
+def banner(title: str, char: str = "=") -> str:
+    """Section banner used at the top of each benchmark report."""
+    bar = char * max(len(title), 8)
+    return f"{bar}\n{title}\n{bar}"
+
+
+def close(measured: float, paper: float, rel_tol: float = 0.25,
+          abs_tol: float = 0.0) -> bool:
+    """Shape-level agreement test used in the comparison blocks.
+
+    The reproduction runs on a surrogate substrate, so agreement means
+    "same magnitude/shape", not bit-exactness; the default tolerance is
+    25 % relative.
+    """
+    return abs(measured - paper) <= max(rel_tol * abs(paper), abs_tol)

@@ -1,0 +1,146 @@
+"""Sweep and population studies over the signature test bench.
+
+Drivers for the evaluation campaigns behind Fig. 8 and the extension
+experiments:
+
+* :func:`deviation_sweep` -- the Fig. 8 NDF-vs-deviation curve for any
+  parameter (f0, Q, gain);
+* :func:`noise_detection_study` -- Section IV-C: noisy NDF populations
+  of the golden unit and small deviations, yielding the minimum
+  detectable deviation;
+* :func:`process_variation_study` -- NDF of fault-free dies whose
+  *monitors* vary (test-escape/yield-loss perspective; an extension the
+  paper's Monte Carlo discussion motivates);
+* :func:`catastrophic_coverage` -- NDF and verdict for every open/short
+  in the Tow-Thomas fault universe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.decision import DecisionBand, ThresholdCalibration
+from repro.core.ndf import ndf
+from repro.core.capture import capture_signature
+from repro.core.testflow import SignatureTester
+from repro.core.zones import ZoneEncoder
+from repro.filters.biquad import BiquadFilter, BiquadSpec
+from repro.filters.faults import Fault, FaultKind, catastrophic_fault_universe
+from repro.filters.towthomas import TowThomasValues
+from repro.monitor.comparator import MonitorBoundary
+from repro.monitor.montecarlo import encoder_samples
+from repro.devices.process import MonteCarloSampler
+from repro.signals.noise import NoiseModel
+
+
+def deviation_sweep(tester: SignatureTester, golden_spec: BiquadSpec,
+                    deviations: Sequence[float],
+                    parameter: str = "f0") -> ThresholdCalibration:
+    """NDF sweep of one Biquad parameter around the golden spec."""
+    def make(dev: float) -> BiquadFilter:
+        if parameter == "f0":
+            return BiquadFilter(golden_spec.with_f0_deviation(dev))
+        if parameter == "q":
+            return BiquadFilter(golden_spec.with_q_deviation(dev))
+        if parameter == "gain":
+            return BiquadFilter(golden_spec.with_gain_deviation(dev))
+        raise ValueError(f"unknown parameter {parameter!r}")
+
+    return tester.sweep_with(list(deviations), make)
+
+
+@dataclass
+class NoiseStudyResult:
+    """Outcome of the Section IV-C noise experiment."""
+
+    golden_population: np.ndarray
+    deviation_populations: Dict[float, np.ndarray]
+    threshold: float
+
+    def detection_rates(self) -> Dict[float, float]:
+        """Fraction of noisy runs flagged FAIL per deviation."""
+        return {dev: float(np.mean(pop > self.threshold))
+                for dev, pop in self.deviation_populations.items()}
+
+    def false_alarm_rate(self) -> float:
+        """Fraction of golden runs wrongly flagged FAIL."""
+        return float(np.mean(self.golden_population > self.threshold))
+
+    def min_fully_detected(self) -> float:
+        """Smallest |deviation| with a 100 % detection rate."""
+        rates = self.detection_rates()
+        detected = [abs(d) for d, r in rates.items() if r >= 1.0]
+        return min(detected) if detected else float("nan")
+
+
+def noise_detection_study(tester: SignatureTester, golden_spec: BiquadSpec,
+                          noise: NoiseModel,
+                          deviations: Sequence[float] = (-0.02, -0.01,
+                                                         0.01, 0.02),
+                          repeats: int = 20,
+                          guard_sigma: float = 3.0) -> NoiseStudyResult:
+    """Noisy NDF populations and the resulting detection rates.
+
+    The decision threshold is set from the golden noisy population
+    (mean + ``guard_sigma`` standard deviations) -- the production
+    calibration a test engineer would run.
+    """
+    golden_pop = tester.noisy_ndf_population(
+        BiquadFilter(golden_spec), noise, repeats)
+    threshold = float(np.mean(golden_pop)
+                      + guard_sigma * np.std(golden_pop))
+    populations = {}
+    for dev in deviations:
+        cut = BiquadFilter(golden_spec.with_f0_deviation(dev))
+        populations[dev] = tester.noisy_ndf_population(cut, noise, repeats)
+    return NoiseStudyResult(golden_pop, populations, threshold)
+
+
+def process_variation_study(bank: Sequence[MonitorBoundary],
+                            tester_factory: Callable[[ZoneEncoder],
+                                                     SignatureTester],
+                            golden_cut,
+                            sampler: MonteCarloSampler,
+                            num_dies: int = 20) -> np.ndarray:
+    """NDF of a *fault-free* CUT measured by process-varied monitors.
+
+    Each die's monitor bank differs from the golden (typical) bank, so
+    the same perfect CUT shows a non-zero NDF: the monitor's own
+    variability consumes test margin.  Returns the NDF per die;
+    comparing against the Fig. 8 sweep converts it into an equivalent
+    f0 guard band.
+    """
+    values = []
+    for encoder in encoder_samples(bank, sampler, num_dies):
+        tester = tester_factory(encoder)
+        values.append(tester.ndf_of(golden_cut))
+    return np.asarray(values)
+
+
+@dataclass
+class FaultCoverageRow:
+    """One catastrophic fault's outcome."""
+
+    fault: Fault
+    ndf: float
+    detected: bool
+
+
+def catastrophic_coverage(tester: SignatureTester,
+                          values: TowThomasValues,
+                          band: DecisionBand,
+                          faults: Optional[Sequence[Fault]] = None
+                          ) -> List[FaultCoverageRow]:
+    """NDF and verdict for each open/short of the Tow-Thomas CUT."""
+    faults = list(faults) if faults is not None \
+        else catastrophic_fault_universe()
+    rows = []
+    for fault in faults:
+        cut = fault.apply_to_biquad(values)
+        value = tester.ndf_of(cut)
+        rows.append(FaultCoverageRow(fault, value,
+                                     value > band.threshold))
+    return rows

@@ -1,0 +1,159 @@
+"""Yield, test escapes and threshold economics.
+
+The paper sets the decision threshold from a tolerance band on a single
+deviation sweep.  In production, the CUT population itself is spread by
+process variation, so a threshold trades **yield loss** (good units
+failed) against **test escapes** (bad units passed).  This module runs
+that analysis on top of the signature flow:
+
+* a :class:`CutPopulation` draws Biquad units with normally distributed
+  parameter deviations;
+* :func:`yield_escape_analysis` classifies every unit by ground truth
+  (inside/outside the spec tolerance) and by the NDF verdict, for one
+  or many thresholds;
+* :func:`roc_curve` sweeps the threshold to expose the full
+  detection/false-alarm trade-off, and
+  :func:`optimal_threshold` picks the cost-minimizing point.
+
+This is an extension experiment (the paper's Fig. 8 discussion
+motivates it but stops at the band construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.testflow import SignatureTester
+from repro.filters.biquad import BiquadFilter, BiquadSpec
+
+
+@dataclass
+class CutUnit:
+    """One manufactured unit: its true deviation and measured NDF."""
+
+    f0_deviation: float
+    ndf: float
+
+    def is_good(self, tolerance: float) -> bool:
+        """Ground truth: inside the spec tolerance."""
+        return abs(self.f0_deviation) <= tolerance
+
+
+class CutPopulation:
+    """Monte Carlo population of Biquad units under process spread.
+
+    Parameters
+    ----------
+    golden_spec:
+        Nominal design.
+    sigma_f0:
+        One-sigma relative spread of the natural frequency (dominated
+        by RC-product variation; a few percent is typical for
+        integrated active-RC filters).
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(self, golden_spec: BiquadSpec, sigma_f0: float = 0.03,
+                 rng=0) -> None:
+        self.golden_spec = golden_spec
+        self.sigma_f0 = float(sigma_f0)
+        self.rng = (rng if isinstance(rng, np.random.Generator)
+                    else np.random.default_rng(rng))
+
+    def draw_deviations(self, count: int) -> np.ndarray:
+        """Relative f0 deviations of ``count`` units."""
+        return self.rng.normal(0.0, self.sigma_f0, size=count)
+
+    def measure(self, tester: SignatureTester,
+                count: int = 100) -> List[CutUnit]:
+        """Draw and measure a population through the signature flow."""
+        units = []
+        for deviation in self.draw_deviations(count):
+            cut = BiquadFilter(
+                self.golden_spec.with_f0_deviation(float(deviation)))
+            units.append(CutUnit(float(deviation), tester.ndf_of(cut)))
+        return units
+
+
+@dataclass
+class YieldReport:
+    """Confusion matrix of one threshold over a measured population."""
+
+    threshold: float
+    tolerance: float
+    true_pass: int
+    true_fail: int
+    yield_loss: int   # good units failed (overkill)
+    escapes: int      # bad units passed
+
+    @property
+    def total(self) -> int:
+        """Population size."""
+        return (self.true_pass + self.true_fail + self.yield_loss
+                + self.escapes)
+
+    @property
+    def yield_loss_rate(self) -> float:
+        """Fraction of *good* units wrongly failed."""
+        good = self.true_pass + self.yield_loss
+        return self.yield_loss / good if good else 0.0
+
+    @property
+    def escape_rate(self) -> float:
+        """Fraction of *bad* units wrongly passed."""
+        bad = self.true_fail + self.escapes
+        return self.escapes / bad if bad else 0.0
+
+
+def yield_escape_analysis(units: Sequence[CutUnit], threshold: float,
+                          tolerance: float) -> YieldReport:
+    """Classify a measured population against one NDF threshold."""
+    report = YieldReport(threshold, tolerance, 0, 0, 0, 0)
+    for unit in units:
+        passed = unit.ndf <= threshold
+        good = unit.is_good(tolerance)
+        if good and passed:
+            report.true_pass += 1
+        elif good and not passed:
+            report.yield_loss += 1
+        elif not good and not passed:
+            report.true_fail += 1
+        else:
+            report.escapes += 1
+    return report
+
+
+def roc_curve(units: Sequence[CutUnit], tolerance: float,
+              thresholds: Optional[Sequence[float]] = None
+              ) -> List[YieldReport]:
+    """Yield reports across a threshold sweep (the test's ROC)."""
+    if thresholds is None:
+        ndfs = sorted({u.ndf for u in units})
+        thresholds = np.unique(np.concatenate(
+            [[0.0], np.asarray(ndfs), [max(ndfs) * 1.01 + 1e-9]]))
+    return [yield_escape_analysis(units, float(t), tolerance)
+            for t in thresholds]
+
+
+def optimal_threshold(units: Sequence[CutUnit], tolerance: float,
+                      escape_cost: float = 10.0,
+                      overkill_cost: float = 1.0) -> YieldReport:
+    """Threshold minimizing total cost over the measured population.
+
+    ``escape_cost`` expresses how much worse shipping a bad unit is
+    than scrapping a good one (field returns vs yield loss) -- the
+    classic asymmetric test economics.
+    """
+    best: Optional[YieldReport] = None
+    best_cost = float("inf")
+    for report in roc_curve(units, tolerance):
+        cost = (escape_cost * report.escapes
+                + overkill_cost * report.yield_loss)
+        if cost < best_cost:
+            best, best_cost = report, cost
+    assert best is not None
+    return best

@@ -1,0 +1,31 @@
+"""Baselines the paper positions itself against.
+
+* :mod:`repro.baselines.straight_zoning` -- straight-line X-Y zoning
+  (prior work [12], [13]) for the boundary-shape ablation
+* :mod:`repro.baselines.regression_test` -- alternate-test style
+  regression from signatures to parameter deviations ([10], [11], [14])
+"""
+
+from repro.baselines.straight_zoning import (
+    fit_line_to_boundary,
+    fitted_line_bank,
+    fitted_line_encoder,
+    grid_line_bank,
+    grid_line_encoder,
+)
+from repro.baselines.regression_test import (
+    RegressionModel,
+    RegressionTester,
+    dwell_vector,
+)
+
+__all__ = [
+    "fit_line_to_boundary",
+    "fitted_line_bank",
+    "fitted_line_encoder",
+    "grid_line_bank",
+    "grid_line_encoder",
+    "RegressionModel",
+    "RegressionTester",
+    "dwell_vector",
+]

@@ -1,0 +1,149 @@
+"""Straight-line X-Y zoning: the prior-work baseline ([12], [13]).
+
+Before the nonlinear monitor, X-Y zoning divided the plane with
+straight lines implemented by "weighted adders and comparators".  This
+module provides two line banks for the boundary-shape ablation:
+
+* :func:`fitted_line_bank` -- each Table I curve replaced by its
+  least-squares straight-line fit, i.e. the best linear monitor a
+  designer could substitute for the nonlinear one.  This isolates the
+  effect of boundary *shape* with placement held fair.
+* :func:`grid_line_bank` -- axis-parallel partitions, the simplest
+  classic zoning.
+
+Both return :class:`repro.core.boundaries.LinearBoundary` lists usable
+as drop-in zone encoders; the ablation benchmark compares NDF sweeps
+and small-deviation sensitivity against the nonlinear bank.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.boundaries import Boundary, LinearBoundary
+from repro.core.zones import ZoneEncoder
+from repro.monitor.boundary_extract import extract_locus
+
+
+def fit_line_to_boundary(boundary: Boundary,
+                         window: Tuple[float, float] = (0.0, 1.0),
+                         points: int = 201) -> Optional[LinearBoundary]:
+    """Least-squares line through a boundary's extracted locus.
+
+    Returns None when the locus does not cross the window.  The line
+    keeps the original boundary's origin-side orientation so the bit
+    convention is preserved.
+    """
+    xs, ys = extract_locus(boundary, window, points)
+    valid = ~np.isnan(ys)
+    if np.count_nonzero(valid) < 2:
+        return None
+    xv, yv = xs[valid], ys[valid]
+    # Fit y = m x + b; for near-vertical loci fit x = m' y + b' instead.
+    spread_x = float(np.ptp(xv))
+    spread_y = float(np.ptp(yv))
+    name = boundary.name + "-line"
+    if spread_x >= 0.25 * spread_y:
+        m, b = np.polyfit(xv, yv, 1)
+        # Line: y - m x - b = 0 -> a=-m, b=1, c=-b.
+        line = LinearBoundary(name, -m, 1.0, -b)
+    else:
+        m, b = np.polyfit(yv, xv, 1)
+        line = LinearBoundary(name, 1.0, -m, -b)
+    return _orient_like(line, boundary, window)
+
+
+def _orient_like(line: LinearBoundary, original: Boundary,
+                 window: Tuple[float, float]) -> LinearBoundary:
+    """Give ``line`` the same bit orientation as ``original``.
+
+    Probes window points off the line and checks whether the two
+    boundaries agree on the majority side assignment; if they disagree,
+    the line's coefficients are negated (which flips its decision sign)
+    and a matching reference point is attached when needed.
+    """
+    lo, hi = window
+    probes = [(x, y) for x in np.linspace(lo + 0.05, hi - 0.05, 5)
+              for y in np.linspace(lo + 0.05, hi - 0.05, 5)]
+    agree = 0
+    total = 0
+    for x, y in probes:
+        try:
+            b_orig = original.bit(x, y)
+        except ValueError:
+            continue
+        g = line.decision(x, y)
+        if abs(g) < 1e-6:
+            continue
+        total += 1
+        # Tentatively orient with the origin convention of the line as
+        # built; count agreement of raw decision signs with original bit.
+        agree += int((g > 0) == bool(b_orig))
+    if total == 0:
+        return line
+    positive_means_one = agree >= total / 2
+    # LinearBoundary.bit returns 1 where sign differs from the origin
+    # side; pick a reference point on the "0" side to pin orientation.
+    ref = _point_with_sign(line, window,
+                           negative=positive_means_one)
+    return LinearBoundary(line.name, line.a, line.b, line.c,
+                          reference_point=ref)
+
+
+def _point_with_sign(line: LinearBoundary, window: Tuple[float, float],
+                     negative: bool) -> Tuple[float, float]:
+    """A window point where the line's decision has the requested sign."""
+    lo, hi = window
+    for x in np.linspace(lo, hi, 13):
+        for y in np.linspace(lo, hi, 13):
+            g = line.decision(x, y)
+            if negative and g < -1e-9:
+                return (x, y)
+            if not negative and g > 1e-9:
+                return (x, y)
+    raise ValueError("line does not split the window")
+
+
+def fitted_line_bank(bank: Sequence[Boundary],
+                     window: Tuple[float, float] = (0.0, 1.0)
+                     ) -> List[LinearBoundary]:
+    """Straight-line fits of a nonlinear bank, same order/orientation."""
+    lines = []
+    for boundary in bank:
+        line = fit_line_to_boundary(boundary, window)
+        if line is None:
+            raise ValueError(
+                f"boundary {boundary.name!r} has no locus in the window")
+        lines.append(line)
+    return lines
+
+
+def fitted_line_encoder(bank: Sequence[Boundary],
+                        window: Tuple[float, float] = (0.0, 1.0)
+                        ) -> ZoneEncoder:
+    """Zone encoder over the straight-line fits."""
+    return ZoneEncoder(fitted_line_bank(bank, window))
+
+
+def grid_line_bank(num_vertical: int = 3, num_horizontal: int = 3,
+                   window: Tuple[float, float] = (0.0, 1.0)
+                   ) -> List[LinearBoundary]:
+    """Axis-parallel partition lines (the simplest classic zoning)."""
+    lo, hi = window
+    lines: List[LinearBoundary] = []
+    xs = np.linspace(lo, hi, num_vertical + 2)[1:-1]
+    ys = np.linspace(lo, hi, num_horizontal + 2)[1:-1]
+    for i, x0 in enumerate(xs):
+        lines.append(LinearBoundary.vertical(f"v{i + 1}", float(x0)))
+    for i, y0 in enumerate(ys):
+        lines.append(LinearBoundary.horizontal(f"h{i + 1}", float(y0)))
+    return lines
+
+
+def grid_line_encoder(num_vertical: int = 3, num_horizontal: int = 3,
+                      window: Tuple[float, float] = (0.0, 1.0)
+                      ) -> ZoneEncoder:
+    """Zone encoder over an axis-parallel grid partition."""
+    return ZoneEncoder(grid_line_bank(num_vertical, num_horizontal, window))

@@ -1,0 +1,109 @@
+"""Self-contained MNA circuit simulator (the reproduction's "SPICE").
+
+The paper's evaluation is driven by circuit simulation of a Biquad
+filter and a transistor-level monitor; no external simulator is
+available offline, so this package implements the required subset of a
+SPICE-class engine from scratch:
+
+* :mod:`repro.circuits.netlist` -- circuit container and unknown numbering
+* :mod:`repro.circuits.components` -- R, C, L, independent and controlled
+  sources, diode, ideal op-amp, source waveform helpers
+* :mod:`repro.circuits.mosfet` -- MOSFET element over :mod:`repro.devices`
+* :mod:`repro.circuits.mna` -- matrix assembly and linear solves
+* :mod:`repro.circuits.dc` -- damped Newton with gmin/source stepping
+* :mod:`repro.circuits.transient` -- trapezoidal / backward-Euler integration
+* :mod:`repro.circuits.ac` -- small-signal frequency sweeps
+* :mod:`repro.circuits.opamp` -- op-amp macro-models
+"""
+
+from repro.circuits.netlist import Circuit, CircuitError
+from repro.circuits.components import (
+    Capacitor,
+    Cccs,
+    Ccvs,
+    CurrentSource,
+    Diode,
+    Element,
+    IdealOpAmp,
+    Inductor,
+    Resistor,
+    StampContext,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+    piecewise_linear,
+    pulse,
+    sine,
+)
+from repro.circuits.mosfet import Mosfet
+from repro.circuits.mna import MnaSystem, SingularCircuitError
+from repro.circuits.dc import (
+    ConvergenceError,
+    DcSolution,
+    NewtonOptions,
+    dc_operating_point,
+)
+from repro.circuits.transient import TransientResult, transient
+from repro.circuits.ac import AcResult, ac_analysis, logspace_frequencies
+from repro.circuits.opamp import OpAmpSpec, add_single_pole_opamp
+from repro.circuits.parser import NetlistError, parse_netlist, parse_value
+from repro.circuits.sweep import DcSweepResult, dc_sweep, output_characteristic
+from repro.circuits.sensitivity import (
+    SensitivityRow,
+    ndf_component_sensitivities,
+    relative_sensitivities,
+    towthomas_f0_sensitivities,
+)
+from repro.circuits.noise_analysis import (
+    NoiseContribution,
+    NoiseResult,
+    noise_analysis,
+)
+
+__all__ = [
+    "Circuit",
+    "CircuitError",
+    "Element",
+    "StampContext",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "Vcvs",
+    "Vccs",
+    "Cccs",
+    "Ccvs",
+    "Diode",
+    "IdealOpAmp",
+    "Mosfet",
+    "sine",
+    "pulse",
+    "piecewise_linear",
+    "MnaSystem",
+    "SingularCircuitError",
+    "ConvergenceError",
+    "DcSolution",
+    "NewtonOptions",
+    "dc_operating_point",
+    "TransientResult",
+    "transient",
+    "AcResult",
+    "ac_analysis",
+    "logspace_frequencies",
+    "OpAmpSpec",
+    "add_single_pole_opamp",
+    "NetlistError",
+    "parse_netlist",
+    "parse_value",
+    "DcSweepResult",
+    "dc_sweep",
+    "output_characteristic",
+    "SensitivityRow",
+    "relative_sensitivities",
+    "towthomas_f0_sensitivities",
+    "ndf_component_sensitivities",
+    "NoiseContribution",
+    "NoiseResult",
+    "noise_analysis",
+]

@@ -1,0 +1,103 @@
+"""Small-signal AC analysis.
+
+Nonlinear elements are linearized at the DC operating point (computed on
+demand), then the complex MNA system is solved at each requested
+frequency.  Independent sources contribute their ``ac`` magnitude/phase;
+their DC/transient value is irrelevant here.
+
+The :class:`AcResult` exposes complex node phasors and convenience
+magnitude/phase accessors, plus a :meth:`AcResult.transfer` helper that
+is used throughout the tests to compare the structural Biquad netlist
+against its analytic transfer function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.components import StampContext
+from repro.circuits.dc import dc_operating_point
+from repro.circuits.mna import MnaSystem
+
+
+@dataclass
+class AcResult:
+    """Result of an AC sweep."""
+
+    freqs: np.ndarray
+    phasors: np.ndarray  # shape (num_freqs, system size), complex
+    system: MnaSystem
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Complex phasor of a node across the sweep."""
+        idx = self.system.circuit.node_index(node)
+        if idx < 0:
+            return np.zeros(len(self.freqs), dtype=complex)
+        return self.phasors[:, idx].copy()
+
+    def magnitude(self, node: str) -> np.ndarray:
+        """|V(node)| across the sweep."""
+        return np.abs(self.voltage(node))
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        """20 log10 |V(node)|."""
+        return 20.0 * np.log10(np.maximum(self.magnitude(node), 1e-300))
+
+    def phase_deg(self, node: str) -> np.ndarray:
+        """Phase of V(node) in degrees."""
+        return np.degrees(np.angle(self.voltage(node)))
+
+    def transfer(self, out_node: str, in_node: str) -> np.ndarray:
+        """Complex transfer function V(out)/V(in) across the sweep."""
+        vin = self.voltage(in_node)
+        if np.any(np.abs(vin) == 0.0):
+            raise ZeroDivisionError(
+                f"input node {in_node!r} has zero AC drive")
+        return self.voltage(out_node) / vin
+
+
+def ac_analysis(system: MnaSystem, freqs: Sequence[float],
+                x_op: Optional[np.ndarray] = None) -> AcResult:
+    """Run an AC sweep over ``freqs`` (hertz).
+
+    Parameters
+    ----------
+    system:
+        Assembled circuit; at least one source should declare an ``ac``
+        magnitude.
+    freqs:
+        Iterable of analysis frequencies in hertz (must be positive).
+    x_op:
+        Optional precomputed operating point; computed via
+        :func:`dc_operating_point` when omitted and the circuit has
+        nonlinear elements.
+    """
+    freqs = np.asarray(list(freqs), dtype=float)
+    if freqs.size == 0:
+        raise ValueError("empty frequency list")
+    if np.any(freqs <= 0):
+        raise ValueError("AC frequencies must be positive")
+
+    if x_op is None and system.has_nonlinear:
+        x_op = dc_operating_point(system).x
+
+    phasors = np.empty((freqs.size, system.size), dtype=complex)
+    for k, f in enumerate(freqs):
+        omega = 2.0 * np.pi * float(f)
+        ctx = StampContext("ac", None, None, x=x_op, omega=omega)
+        A, z = system.build(ctx)
+        phasors[k] = system.solve_linear(A, z)
+    return AcResult(freqs, phasors, system)
+
+
+def logspace_frequencies(f_start: float, f_stop: float,
+                         points_per_decade: int = 20) -> np.ndarray:
+    """Logarithmically spaced frequency grid, SPICE ``DEC`` style."""
+    if f_start <= 0 or f_stop <= f_start:
+        raise ValueError("need 0 < f_start < f_stop")
+    decades = np.log10(f_stop / f_start)
+    count = max(2, int(np.ceil(decades * points_per_decade)) + 1)
+    return np.logspace(np.log10(f_start), np.log10(f_stop), count)

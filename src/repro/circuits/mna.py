@@ -1,0 +1,109 @@
+"""MNA system assembly and linear-algebra helpers.
+
+:class:`MnaSystem` is the bridge between a frozen :class:`Circuit` and
+the analyses (:mod:`repro.circuits.dc`, :mod:`repro.circuits.transient`,
+:mod:`repro.circuits.ac`).  It owns no mutable solver state -- it just
+knows how to build stamped matrices for a given :class:`StampContext`
+and how to solve them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.components import StampContext
+from repro.circuits.netlist import Circuit
+
+
+class SingularCircuitError(Exception):
+    """Raised when the MNA matrix is singular (floating node, V-loop...)."""
+
+
+class MnaSystem:
+    """Assembled view of a circuit, produced by :meth:`Circuit.assemble`."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.size = circuit.size
+        self.num_nodes = circuit.num_nodes
+        self.has_nonlinear = any(e.nonlinear for e in circuit.elements)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def build(self, ctx: StampContext) -> Tuple[np.ndarray, np.ndarray]:
+        """Stamp every element into fresh A, z for the given context."""
+        dtype = complex if ctx.mode == "ac" else float
+        A = np.zeros((self.size, self.size), dtype=dtype)
+        z = np.zeros(self.size, dtype=dtype)
+        ctx.A = A
+        ctx.z = z
+        for element in self.circuit.elements:
+            element.stamp(ctx)
+        return A, z
+
+    def make_context(self, mode: str, **kwargs) -> StampContext:
+        """Context factory (matrices attached later by :meth:`build`)."""
+        return StampContext(mode, None, None, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Linear solve
+    # ------------------------------------------------------------------
+    @staticmethod
+    def solve_linear(A: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Dense solve with a clear error on singular systems."""
+        try:
+            x = np.linalg.solve(A, z)
+        except np.linalg.LinAlgError as exc:
+            raise SingularCircuitError(str(exc)) from exc
+        if not np.all(np.isfinite(x)):
+            raise SingularCircuitError("non-finite solution (singular matrix?)")
+        return x
+
+    # ------------------------------------------------------------------
+    # Residual (for verification and tests)
+    # ------------------------------------------------------------------
+    def residual(self, x: np.ndarray, t: float = 0.0,
+                 x_prev: Optional[np.ndarray] = None, h: float = 0.0,
+                 method: str = "trap", state: Optional[dict] = None,
+                 mode: str = "dc") -> np.ndarray:
+        """Exact KCL/branch residual ``A(x) x - z(x)`` at a solution.
+
+        Because nonlinear elements stamp companion models linearized at
+        ``x`` itself, ``A(x) x - z(x)`` evaluates the *true* nonlinear
+        equations at ``x``: the linear and history terms cancel exactly.
+        A converged solution must have a residual close to zero -- this
+        is the KCL invariant checked by the property tests.
+        """
+        ctx = StampContext(mode, None, None, x=x, x_prev=x_prev, t=t, h=h,
+                           method=method, state=dict(state or {}))
+        A, z = self.build(ctx)
+        return A @ x - z
+
+    # ------------------------------------------------------------------
+    # Convenience analysis entry points
+    # ------------------------------------------------------------------
+    def dc(self, **kwargs):
+        """Shorthand for :func:`repro.circuits.dc.dc_operating_point`."""
+        from repro.circuits.dc import dc_operating_point
+        return dc_operating_point(self, **kwargs)
+
+    def transient(self, tstop: float, dt: float, **kwargs):
+        """Shorthand for :func:`repro.circuits.transient.transient`."""
+        from repro.circuits.transient import transient
+        return transient(self, tstop, dt, **kwargs)
+
+    def ac(self, freqs, **kwargs):
+        """Shorthand for :func:`repro.circuits.ac.ac_analysis`."""
+        from repro.circuits.ac import ac_analysis
+        return ac_analysis(self, freqs, **kwargs)
+
+    # ------------------------------------------------------------------
+    def node_voltage(self, x: np.ndarray, node: str):
+        """Extract a node voltage from a solution vector."""
+        idx = self.circuit.node_index(node)
+        if idx < 0:
+            return x.dtype.type(0.0) if hasattr(x, "dtype") else 0.0
+        return x[idx]

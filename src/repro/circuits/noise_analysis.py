@@ -1,0 +1,152 @@
+"""Small-signal noise analysis (SPICE ``.noise``).
+
+Computes the output-referred noise spectral density of a linear(ized)
+circuit by superposing the contributions of every physical noise
+source:
+
+* resistors: thermal noise, ``S_i = 4 k T / R`` (current source in
+  parallel);
+* MOSFETs: channel thermal noise, ``S_i = 4 k T gamma gm`` with
+  ``gamma = 2/3`` (long-channel), a parallel drain-source current
+  source evaluated at the DC operating point.
+
+For each analysis frequency and each source, the transfer impedance
+from the source's injection nodes to the output node is obtained by
+solving the AC system with a unit current stamp -- the direct method
+(one dense solve per source per frequency; fine at this circuit size).
+
+Consumers: the monitor front-end noise floor (how much of the paper's
+0.015 V measurement noise budget the monitor itself eats) and general
+design work on the Biquad.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.components import Resistor, StampContext
+from repro.circuits.mna import MnaSystem
+from repro.circuits.mosfet import Mosfet
+
+#: Boltzmann constant, J/K.
+BOLTZMANN = 1.380649e-23
+
+#: Long-channel thermal-noise factor for MOSFET channel noise.
+MOS_GAMMA = 2.0 / 3.0
+
+
+@dataclass
+class NoiseContribution:
+    """One source's share of the output noise at one frequency."""
+
+    element: str
+    density_v2_hz: float  # V^2/Hz at the output
+
+    @property
+    def rms_per_rt_hz(self) -> float:
+        """V/sqrt(Hz) at the output."""
+        return math.sqrt(self.density_v2_hz)
+
+
+@dataclass
+class NoiseResult:
+    """Output noise across the analysis frequencies."""
+
+    freqs: np.ndarray
+    total_v2_hz: np.ndarray
+    contributions: List[Dict[str, float]]  # per frequency {name: V^2/Hz}
+
+    def total_rms_per_rt_hz(self) -> np.ndarray:
+        """Output noise density in V/sqrt(Hz)."""
+        return np.sqrt(self.total_v2_hz)
+
+    def integrated_rms(self) -> float:
+        """RMS noise integrated over the analysis band (trapezoidal)."""
+        return float(np.sqrt(np.trapezoid(self.total_v2_hz, self.freqs)))
+
+    def dominant_sources(self, index: int = 0,
+                         count: int = 3) -> List[Tuple[str, float]]:
+        """Largest contributors at frequency ``freqs[index]``."""
+        items = sorted(self.contributions[index].items(),
+                       key=lambda kv: kv[1], reverse=True)
+        return items[:count]
+
+
+def _unit_current_response(system: MnaSystem, omega: float,
+                           x_op: Optional[np.ndarray],
+                           a: int, b: int, out_idx: int) -> complex:
+    """V(out) for a 1 A AC current injected from node a into node b."""
+    ctx = StampContext("ac", None, None, x=x_op, omega=omega)
+    A, z = system.build(ctx)
+    # Silence every independent source (in AC mode only sources write
+    # the RHS), then drive with the unit noise current (a -> b through
+    # the source).
+    z[:] = 0.0
+    if a >= 0:
+        z[a] -= 1.0
+    if b >= 0:
+        z[b] += 1.0
+    x = system.solve_linear(A, z)
+    if out_idx < 0:
+        return 0.0 + 0.0j
+    return complex(x[out_idx])
+
+
+def noise_analysis(system: MnaSystem, output_node: str,
+                   freqs: Sequence[float],
+                   x_op: Optional[np.ndarray] = None,
+                   temperature_k: float = 300.0) -> NoiseResult:
+    """Output noise density at ``output_node`` across ``freqs``.
+
+    Independent sources are silenced (zeroed RHS): only the unit
+    noise-current stamps drive the solves, so netlists with AC signal
+    drives can be analysed as-is.
+    """
+    freqs = np.asarray(list(freqs), dtype=float)
+    if np.any(freqs <= 0):
+        raise ValueError("noise frequencies must be positive")
+    if x_op is None and system.has_nonlinear:
+        from repro.circuits.dc import dc_operating_point
+        x_op = dc_operating_point(system).x
+
+    out_idx = system.circuit.node_index(output_node)
+    four_kt = 4.0 * BOLTZMANN * temperature_k
+
+    # Collect (element name, node pair, current PSD) noise sources.
+    sources: List[Tuple[str, int, int, float]] = []
+    for element in system.circuit.elements:
+        if isinstance(element, Resistor):
+            a, b = element._idx
+            sources.append((element.name, a, b,
+                            four_kt / element.resistance))
+        elif isinstance(element, Mosfet):
+            d, g, s = element._idx
+            if x_op is None:
+                raise ValueError("MOSFET noise needs an operating point")
+            vg = 0.0 if g < 0 else float(x_op[g])
+            vs = 0.0 if s < 0 else float(x_op[s])
+            vd = 0.0 if d < 0 else float(x_op[d])
+            e = 1e-6
+            gm = (element.model.drain_current(vg - vs + e, vd - vs)
+                  - element.model.drain_current(vg - vs - e, vd - vs)) \
+                / (2.0 * e)
+            sources.append((element.name, d, s,
+                            four_kt * MOS_GAMMA * abs(gm)))
+
+    totals = np.zeros(freqs.size)
+    per_freq: List[Dict[str, float]] = []
+    for k, f in enumerate(freqs):
+        omega = 2.0 * math.pi * float(f)
+        contribs: Dict[str, float] = {}
+        for name, a, b, psd in sources:
+            h = _unit_current_response(system, omega, x_op, a, b,
+                                       out_idx)
+            value = psd * abs(h) ** 2
+            contribs[name] = contribs.get(name, 0.0) + value
+        per_freq.append(contribs)
+        totals[k] = sum(contribs.values())
+    return NoiseResult(freqs, totals, per_freq)

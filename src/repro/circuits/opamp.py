@@ -1,0 +1,70 @@
+"""Op-amp macro-models built from primitive elements.
+
+Two flavours are provided:
+
+* :class:`repro.circuits.components.IdealOpAmp` -- the nullor stamp,
+  exact virtual short, used by the ideal Tow-Thomas prototype.
+* :func:`add_single_pole_opamp` -- a finite-gain single-pole macro
+  (gm stage into an RC pole, buffered by a VCVS with output resistance),
+  used to study how finite gain-bandwidth perturbs the Biquad and hence
+  the signature (an extension experiment; the paper assumes ideal
+  behaviour).
+
+The macro builder composes primitives on internal nodes, so the MNA
+core needs no dedicated op-amp element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.components import Capacitor, Resistor, Vccs, Vcvs
+from repro.circuits.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class OpAmpSpec:
+    """Macro-model parameters for a voltage-feedback op-amp.
+
+    Attributes
+    ----------
+    dc_gain:
+        Open-loop DC gain (V/V).
+    gbw_hz:
+        Gain-bandwidth product in hertz; sets the dominant pole at
+        ``gbw_hz / dc_gain``.
+    rout:
+        Closed output resistance of the buffered output, in ohms.
+    """
+
+    dc_gain: float = 1e5
+    gbw_hz: float = 10e6
+    rout: float = 1.0
+
+    @property
+    def pole_hz(self) -> float:
+        """Dominant-pole frequency in hertz."""
+        return self.gbw_hz / self.dc_gain
+
+
+def add_single_pole_opamp(circuit: Circuit, name: str, in_pos: str,
+                          in_neg: str, out: str,
+                          spec: OpAmpSpec = OpAmpSpec()) -> None:
+    """Add a finite-gain single-pole op-amp macro to ``circuit``.
+
+    Topology: a VCCS (gm = 1 S) drives an internal node loaded by
+    ``R = dc_gain`` ohms and ``C = 1 / (2 pi pole_hz R)`` farads, giving
+    the open-loop response ``A(s) = dc_gain / (1 + s/omega_p)``; a unity
+    VCVS buffers the internal node through ``rout`` to the output.
+    """
+    import math
+
+    mid = circuit.fresh_node(f"{name}_p")
+    buf = circuit.fresh_node(f"{name}_b")
+    r_pole = spec.dc_gain  # with gm = 1 S, DC gain = gm * R
+    c_pole = 1.0 / (2.0 * math.pi * spec.pole_hz * r_pole)
+    circuit.add(Vccs(f"{name}_gm", "0", mid, in_pos, in_neg, 1.0))
+    circuit.add(Resistor(f"{name}_rp", mid, "0", r_pole))
+    circuit.add(Capacitor(f"{name}_cp", mid, "0", c_pole))
+    circuit.add(Vcvs(f"{name}_buf", buf, "0", mid, "0", 1.0))
+    circuit.add(Resistor(f"{name}_ro", buf, out, spec.rout))

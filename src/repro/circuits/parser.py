@@ -1,0 +1,287 @@
+"""SPICE-style netlist parser.
+
+Lets users bring existing decks to the simulator (and keeps the
+reproduction's circuits reviewable as plain text).  The supported
+subset covers everything the library's circuits need:
+
+* elements: ``R``, ``C``, ``L``, ``V``, ``I``, ``E`` (VCVS), ``G``
+  (VCCS), ``F`` (CCCS), ``H`` (CCVS), ``D`` (diode), ``M`` (MOSFET,
+  3-terminal: drain gate source + model name);
+* sources: DC values, ``SIN(offset ampl freq [phase_deg])``,
+  ``PULSE(v1 v2 delay rise fall width period)``,
+  ``PWL(t1 v1 t2 v2 ...)``, and an ``AC mag [phase]`` suffix;
+* ``.model NAME NMOS|PMOS (vto=... kp=... n=... lambda=... w=... l=...)``
+  cards supplying MOSFET parameters (w/l defaults overridable per
+  instance with ``w=`` / ``l=`` on the M line);
+* engineering suffixes (``k``, ``meg``, ``m``, ``u``, ``n``, ``p``,
+  ``f``, ``g``, ``t``), ``*``/``;`` comments, ``+`` continuations;
+* ``.end`` terminates parsing; other dot-cards raise (explicitly
+  unsupported rather than silently ignored).
+
+Example
+-------
+>>> from repro.circuits.parser import parse_netlist
+>>> ckt = parse_netlist('''
+... * divider
+... V1 in 0 1.0
+... R1 in out 1k
+... R2 out 0 1k
+... .end
+... ''')
+>>> system = ckt.assemble()
+>>> system.dc().voltage(system, "out")
+0.5
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.components import (
+    Capacitor,
+    Cccs,
+    Ccvs,
+    CurrentSource,
+    Diode,
+    Inductor,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+    piecewise_linear,
+    pulse,
+    sine,
+)
+from repro.circuits.mosfet import Mosfet
+from repro.circuits.netlist import Circuit
+from repro.devices.mos_model import MosModel, MosParams
+
+
+class NetlistError(Exception):
+    """Raised on malformed netlist text (with a line number)."""
+
+
+_SUFFIXES = {
+    "t": 1e12, "g": 1e9, "meg": 1e6, "k": 1e3, "m": 1e-3,
+    "u": 1e-6, "n": 1e-9, "p": 1e-12, "f": 1e-15,
+}
+
+_NUMBER_RE = re.compile(
+    r"^([+-]?\d*\.?\d+(?:[eE][+-]?\d+)?)(meg|[tgkmunpf])?[a-z]*$",
+    re.IGNORECASE)
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number with engineering suffix (``2.2k``, ``10u``)."""
+    match = _NUMBER_RE.match(token.strip())
+    if not match:
+        raise ValueError(f"cannot parse value {token!r}")
+    base = float(match.group(1))
+    suffix = (match.group(2) or "").lower()
+    return base * _SUFFIXES.get(suffix, 1.0)
+
+
+def _strip_comment(line: str) -> str:
+    for mark in (";", "$"):
+        pos = line.find(mark)
+        if pos >= 0:
+            line = line[:pos]
+    return line.rstrip()
+
+
+def _logical_lines(text: str) -> List[Tuple[int, str]]:
+    """Join ``+`` continuations; returns (line number, content) pairs."""
+    out: List[Tuple[int, str]] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        stripped = line.strip()
+        if not stripped or stripped.startswith("*"):
+            continue
+        if stripped.startswith("+"):
+            if not out:
+                raise NetlistError(
+                    f"line {number}: continuation with nothing to continue")
+            prev_no, prev = out[-1]
+            out[-1] = (prev_no, prev + " " + stripped[1:].strip())
+        else:
+            out.append((number, stripped))
+    return out
+
+
+_FUNC_RE = re.compile(r"^(sin|pulse|pwl)\s*\((.*)\)$", re.IGNORECASE)
+
+
+def _parse_source_tail(tokens: List[str], line_no: int):
+    """Parse a V/I source tail: DC value and/or function, plus AC spec.
+
+    Returns (dc_spec, ac_mag, ac_phase).
+    """
+    text = " ".join(tokens)
+    ac_mag, ac_phase = 0.0, 0.0
+    # Extract a trailing "AC mag [phase]" clause.
+    ac_match = re.search(r"\bac\s+(\S+)(?:\s+(\S+))?\s*$", text,
+                         re.IGNORECASE)
+    if ac_match:
+        ac_mag = parse_value(ac_match.group(1))
+        if ac_match.group(2):
+            ac_phase = parse_value(ac_match.group(2))
+        text = text[:ac_match.start()].strip()
+    if not text:
+        return 0.0, ac_mag, ac_phase
+    text_clean = re.sub(r"^dc\s+", "", text, flags=re.IGNORECASE).strip()
+    func = _FUNC_RE.match(text_clean)
+    if func is None:
+        try:
+            return parse_value(text_clean), ac_mag, ac_phase
+        except ValueError:
+            raise NetlistError(
+                f"line {line_no}: cannot parse source value {text!r}")
+    kind = func.group(1).lower()
+    args = [parse_value(a) for a in func.group(2).replace(",", " ").split()]
+    if kind == "sin":
+        if len(args) < 3:
+            raise NetlistError(
+                f"line {line_no}: SIN needs offset, amplitude, freq")
+        phase = args[3] if len(args) > 3 else 0.0
+        return sine(args[0], args[1], args[2], phase), ac_mag, ac_phase
+    if kind == "pulse":
+        if len(args) != 7:
+            raise NetlistError(f"line {line_no}: PULSE needs 7 arguments")
+        return pulse(*args), ac_mag, ac_phase
+    # PWL
+    if len(args) < 2 or len(args) % 2:
+        raise NetlistError(f"line {line_no}: PWL needs time/value pairs")
+    points = list(zip(args[0::2], args[1::2]))
+    return piecewise_linear(points), ac_mag, ac_phase
+
+
+def _parse_model_card(tokens: List[str], line_no: int) -> Tuple[str, dict]:
+    """Parse ``.model name nmos|pmos (k=v ...)`` into (name, params)."""
+    if len(tokens) < 3:
+        raise NetlistError(f"line {line_no}: .model needs name and type")
+    name = tokens[1].lower()
+    kind = tokens[2].lower()
+    if kind not in ("nmos", "pmos"):
+        raise NetlistError(
+            f"line {line_no}: unsupported model type {kind!r}")
+    blob = " ".join(tokens[3:]).strip("() ")
+    params: Dict[str, float] = {}
+    for pair in re.findall(r"(\w+)\s*=\s*([^\s()]+)", blob):
+        params[pair[0].lower()] = parse_value(pair[1])
+    card = {
+        "polarity": 1 if kind == "nmos" else -1,
+        "vt0": params.get("vto", params.get("vt0", 0.42)),
+        "kp": params.get("kp", 400e-6),
+        "n": params.get("n", 1.3),
+        "lambda_": params.get("lambda", 0.15),
+        "w": params.get("w", 1e-6),
+        "l": params.get("l", 180e-9),
+    }
+    return name, card
+
+
+def parse_netlist(text: str, title: str = "") -> Circuit:
+    """Parse SPICE-like netlist text into a :class:`Circuit`."""
+    lines = _logical_lines(text)
+    # First pass: collect .model cards (they may follow their users).
+    models: Dict[str, dict] = {}
+    for line_no, line in lines:
+        tokens = line.split()
+        if tokens[0].lower() == ".model":
+            name, card = _parse_model_card(tokens, line_no)
+            models[name] = card
+
+    circuit = Circuit(title or "netlist")
+    pending_f_h: List[Tuple[int, List[str]]] = []
+
+    for line_no, line in lines:
+        tokens = line.split()
+        head = tokens[0]
+        kind = head[0].upper()
+        lower = head.lower()
+        if lower == ".end":
+            break
+        if lower == ".model":
+            continue
+        if lower.startswith("."):
+            raise NetlistError(
+                f"line {line_no}: unsupported card {head!r}")
+        if kind in "RCL":
+            if len(tokens) < 4:
+                raise NetlistError(f"line {line_no}: {head} needs 2 nodes "
+                                   "and a value")
+            a, b = tokens[1], tokens[2]
+            value = parse_value(tokens[3])
+            cls = {"R": Resistor, "C": Capacitor, "L": Inductor}[kind]
+            circuit.add(cls(head, a, b, value))
+        elif kind in "VI":
+            if len(tokens) < 3:
+                raise NetlistError(f"line {line_no}: {head} needs 2 nodes")
+            dc, ac_mag, ac_phase = _parse_source_tail(tokens[3:], line_no)
+            cls = VoltageSource if kind == "V" else CurrentSource
+            circuit.add(cls(head, tokens[1], tokens[2], dc=dc, ac=ac_mag,
+                            ac_phase_deg=ac_phase))
+        elif kind == "E":
+            if len(tokens) != 6:
+                raise NetlistError(f"line {line_no}: E needs 4 nodes + gain")
+            circuit.add(Vcvs(head, tokens[1], tokens[2], tokens[3],
+                             tokens[4], parse_value(tokens[5])))
+        elif kind == "G":
+            if len(tokens) != 6:
+                raise NetlistError(f"line {line_no}: G needs 4 nodes + gm")
+            circuit.add(Vccs(head, tokens[1], tokens[2], tokens[3],
+                             tokens[4], parse_value(tokens[5])))
+        elif kind in "FH":
+            # Controlling source may be declared later: defer.
+            if len(tokens) != 5:
+                raise NetlistError(
+                    f"line {line_no}: {kind} needs 2 nodes, a controlling "
+                    "V-source name and a gain")
+            pending_f_h.append((line_no, tokens))
+        elif kind == "D":
+            if len(tokens) < 3:
+                raise NetlistError(f"line {line_no}: D needs 2 nodes")
+            i_s = parse_value(tokens[3]) if len(tokens) > 3 else 1e-14
+            circuit.add(Diode(head, tokens[1], tokens[2], i_s=i_s))
+        elif kind == "M":
+            if len(tokens) < 5:
+                raise NetlistError(
+                    f"line {line_no}: M needs drain gate source model")
+            model_name = tokens[4].lower()
+            if model_name not in models:
+                raise NetlistError(
+                    f"line {line_no}: unknown model {tokens[4]!r}")
+            card = dict(models[model_name])
+            for pair in tokens[5:]:
+                key, _, value = pair.partition("=")
+                if key.lower() in ("w", "l") and value:
+                    card[key.lower()] = parse_value(value)
+            params = MosParams(polarity=card["polarity"], vt0=card["vt0"],
+                               kp=card["kp"], n=card["n"],
+                               lambda_=card["lambda_"])
+            model = MosModel(params, card["w"], card["l"])
+            circuit.add(Mosfet(head, tokens[1], tokens[2], tokens[3],
+                               model))
+        else:
+            raise NetlistError(
+                f"line {line_no}: unsupported element {head!r}")
+
+    for line_no, tokens in pending_f_h:
+        head = tokens[0]
+        kind = head[0].upper()
+        ctrl_name = tokens[3]
+        if ctrl_name not in circuit:
+            raise NetlistError(
+                f"line {line_no}: controlling source {ctrl_name!r} "
+                "not found")
+        ctrl = circuit.element(ctrl_name)
+        gain = parse_value(tokens[4])
+        if kind == "F":
+            circuit.add(Cccs(head, tokens[1], tokens[2], ctrl, gain))
+        else:
+            circuit.add(Ccvs(head, tokens[1], tokens[2], ctrl, gain))
+
+    if not circuit.elements:
+        raise NetlistError("netlist contains no elements")
+    return circuit

@@ -1,0 +1,116 @@
+"""DC sweep analysis (SPICE ``.dc``).
+
+Steps one independent source over a value grid, re-solving the
+operating point at each step with the previous solution as the Newton
+seed (continuation).  Used for device I-V characterization, transfer
+curves of the monitor stage, and the examples' design plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.dc import ConvergenceError, NewtonOptions, dc_operating_point
+from repro.circuits.mna import MnaSystem
+
+
+@dataclass
+class DcSweepResult:
+    """Operating points along a swept source value."""
+
+    values: np.ndarray
+    states: np.ndarray  # shape (num_points, system size)
+    system: MnaSystem
+    failed: List[int]
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Node voltage along the sweep (NaN where the solve failed)."""
+        idx = self.system.circuit.node_index(node)
+        out = np.full(len(self.values), np.nan)
+        ok = np.ones(len(self.values), dtype=bool)
+        ok[self.failed] = False
+        if idx < 0:
+            out[ok] = 0.0
+        else:
+            out[ok] = self.states[ok, idx]
+        return out
+
+    def branch_current(self, element) -> np.ndarray:
+        """An element's branch current along the sweep."""
+        if element.branch_index < 0:
+            raise ValueError(f"{element.name} has no branch current")
+        out = np.full(len(self.values), np.nan)
+        ok = np.ones(len(self.values), dtype=bool)
+        ok[self.failed] = False
+        out[ok] = self.states[ok, element.branch_index]
+        return out
+
+
+def dc_sweep(system: MnaSystem, source, values: Sequence[float],
+             options: Optional[NewtonOptions] = None) -> DcSweepResult:
+    """Sweep an independent source's DC value over ``values``.
+
+    Parameters
+    ----------
+    system:
+        Assembled circuit containing ``source``.
+    source:
+        A :class:`VoltageSource` or :class:`CurrentSource` instance from
+        the circuit; its ``dc`` attribute is stepped (and restored).
+    values:
+        The value grid (any order; continuation follows the given
+        order).
+
+    Notes
+    -----
+    Points that fail to converge are recorded in ``failed`` and read
+    back as NaN; the sweep continues from the last good solution.
+    """
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise ValueError("empty sweep grid")
+    saved = source.dc
+    states = np.zeros((values.size, system.size))
+    failed: List[int] = []
+    seed = None
+    try:
+        for i, value in enumerate(values):
+            source.dc = float(value)
+            try:
+                solution = dc_operating_point(system, x0=seed,
+                                              options=options)
+            except ConvergenceError:
+                failed.append(i)
+                continue
+            states[i] = solution.x
+            seed = solution.x
+    finally:
+        source.dc = saved
+    return DcSweepResult(values, states, system, failed)
+
+
+def output_characteristic(system: MnaSystem, gate_source, drain_source,
+                          vgs_values: Sequence[float],
+                          vds_values: Sequence[float],
+                          current_of) -> np.ndarray:
+    """Family of I-V curves: I(vds) for each vgs (device plots).
+
+    ``current_of`` maps a solved state vector to the reported current;
+    returns an array of shape (len(vgs_values), len(vds_values)).
+    """
+    curves = np.full((len(vgs_values), len(vds_values)), np.nan)
+    saved_g = gate_source.dc
+    try:
+        for i, vgs in enumerate(vgs_values):
+            gate_source.dc = float(vgs)
+            sweep = dc_sweep(system, drain_source, vds_values)
+            ok = np.ones(len(vds_values), dtype=bool)
+            ok[sweep.failed] = False
+            for j in np.flatnonzero(ok):
+                curves[i, j] = current_of(sweep.states[j])
+    finally:
+        gate_source.dc = saved_g
+    return curves

@@ -1,0 +1,135 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+::
+
+    python -m repro info                    # bench summary
+    python -m repro zonemap                 # Fig. 6 ASCII zone map
+    python -m repro chronogram [--dev 0.1]  # Fig. 7 chronogram + NDF
+    python -m repro sweep [--points 21]     # Fig. 8 NDF sweep
+    python -m repro test --dev 0.08 [--tolerance 0.05]
+                                            # one PASS/FAIL measurement
+
+Every command runs on the calibrated bench of :mod:`repro.paper`; the
+CLI is intentionally thin -- anything deeper should use the library
+API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Analog Circuit Test Based on a "
+                    "Digital Signature' (DATE 2010)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="bench configuration summary")
+
+    sub.add_parser("zonemap", help="Fig. 6 zone map (ASCII)")
+
+    chrono = sub.add_parser("chronogram",
+                            help="Fig. 7 chronogram and NDF")
+    chrono.add_argument("--dev", type=float, default=0.10,
+                        help="relative f0 deviation (default 0.10)")
+
+    sweep = sub.add_parser("sweep", help="Fig. 8 NDF-vs-deviation sweep")
+    sweep.add_argument("--points", type=int, default=21,
+                       help="sweep points between -20%% and +20%%")
+
+    test = sub.add_parser("test", help="PASS/FAIL one deviated unit")
+    test.add_argument("--dev", type=float, required=True,
+                      help="relative f0 deviation of the unit")
+    test.add_argument("--tolerance", type=float, default=0.05,
+                      help="accepted |f0| tolerance (default 0.05)")
+    return parser
+
+
+def _cmd_info(setup) -> int:
+    from repro.paper import FIG6_ZONE_CODES, FIG7_NDF_10PCT
+
+    stim = setup.stimulus
+    print("bench: 'Analog Circuit Test Based on a Digital Signature'")
+    print(f"  stimulus: {stim!r}")
+    print(f"  period:   {stim.period() * 1e6:.0f} us")
+    print(f"  golden:   f0 = {setup.golden_spec.f0_hz / 1e3:.1f} kHz, "
+          f"Q = {setup.golden_spec.q}, G = {setup.golden_spec.gain}")
+    print(f"  monitors: {setup.encoder.num_bits} (Table I curves, "
+          f"MSB = curve 1)")
+    print(f"  Fig. 6 zone codes: {sorted(FIG6_ZONE_CODES)}")
+    print(f"  paper NDF(+10 %): {FIG7_NDF_10PCT}")
+    return 0
+
+
+def _cmd_zonemap(setup) -> int:
+    print(setup.encoder.ascii_zone_map(width=64, height=24))
+    census = setup.encoder.zone_census(grid=128)
+    print("\nrealized zones:", " ".join(str(c) for c in sorted(census)))
+    return 0
+
+
+def _cmd_chronogram(setup, deviation: float) -> int:
+    from repro.analysis import ascii_chronogram, build_chronogram
+
+    golden = setup.tester.golden_signature()
+    observed = setup.tester.signature_of(setup.deviated_filter(deviation))
+    data = build_chronogram(observed, golden)
+    print(ascii_chronogram(data, width=100, height=14))
+    print(f"\nNDF({deviation:+.0%} f0) = {data.ndf:.4f}"
+          + ("   (paper: 0.1021)" if abs(deviation - 0.10) < 1e-9
+             else ""))
+    return 0
+
+
+def _cmd_sweep(setup, points: int) -> int:
+    from repro.analysis import ascii_xy_plot
+
+    calibration = setup.fig8_sweep(np.linspace(-0.20, 0.20, points))
+    print(ascii_xy_plot(calibration.deviations, calibration.ndfs,
+                        width=72, height=18, x_label="f0 deviation",
+                        y_label="NDF"))
+    r2 = calibration.linearity_r2()
+    print(f"linearity R^2: {r2[0]:.3f} / {r2[1]:.3f}; "
+          f"symmetry error {calibration.symmetry_error():.4f}")
+    return 0
+
+
+def _cmd_test(setup, deviation: float, tolerance: float) -> int:
+    band = setup.fig8_sweep(
+        np.linspace(-2 * tolerance, 2 * tolerance, 9)
+    ).band_for_tolerance(tolerance)
+    result = setup.test_deviation(deviation, band)
+    print(f"unit f0 {deviation:+.1%} vs tolerance +-{tolerance:.0%}: "
+          f"{result.verdict}")
+    return 0 if result.verdict.passed == (abs(deviation) <= tolerance) \
+        else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    from repro.paper import paper_setup
+    setup = paper_setup(samples_per_period=2048)
+
+    if args.command == "info":
+        return _cmd_info(setup)
+    if args.command == "zonemap":
+        return _cmd_zonemap(setup)
+    if args.command == "chronogram":
+        return _cmd_chronogram(setup, args.dev)
+    if args.command == "sweep":
+        return _cmd_sweep(setup, args.points)
+    if args.command == "test":
+        return _cmd_test(setup, args.dev, args.tolerance)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The paper's core method: zoning, signatures, NDF, decision, flow.
+
+* :mod:`repro.core.boundaries` -- plane-splitting decision functions
+* :mod:`repro.core.zones` -- n-bit zone encoding and Gray adjacency
+* :mod:`repro.core.signature` -- (zone, dwell) signatures (Eq. 1)
+* :mod:`repro.core.capture` -- ideal + asynchronous (Fig. 5) capture
+* :mod:`repro.core.ndf` -- the normalized discrepancy factor (Eq. 2)
+* :mod:`repro.core.decision` -- acceptance bands and calibration
+* :mod:`repro.core.testflow` -- end-to-end signature test bench
+"""
+
+from repro.core.boundaries import Boundary, CallableBoundary, LinearBoundary
+from repro.core.zones import ZoneEncoder, hamming_distance
+from repro.core.signature import Signature, SignatureEntry
+from repro.core.capture import AsyncCapture, CaptureConfig, capture_signature
+from repro.core.ndf import (
+    hamming_chronogram,
+    max_hamming_excursion,
+    ndf,
+    ndf_sampled,
+)
+from repro.core.decision import (
+    DecisionBand,
+    TestVerdict,
+    ThresholdCalibration,
+)
+from repro.core.testflow import MeasurementResult, SignatureTester
+from repro.core.hysteresis import HystereticEncoder
+from repro.core.multichannel import (
+    BiquadTwoTapCut,
+    ChannelSpec,
+    MultiChannelTester,
+    MultiSignature,
+)
+
+__all__ = [
+    "Boundary",
+    "CallableBoundary",
+    "LinearBoundary",
+    "ZoneEncoder",
+    "hamming_distance",
+    "Signature",
+    "SignatureEntry",
+    "AsyncCapture",
+    "CaptureConfig",
+    "capture_signature",
+    "ndf",
+    "ndf_sampled",
+    "hamming_chronogram",
+    "max_hamming_excursion",
+    "DecisionBand",
+    "TestVerdict",
+    "ThresholdCalibration",
+    "MeasurementResult",
+    "SignatureTester",
+    "HystereticEncoder",
+    "BiquadTwoTapCut",
+    "ChannelSpec",
+    "MultiChannelTester",
+    "MultiSignature",
+]

@@ -1,0 +1,185 @@
+"""Zone boundaries in the X-Y plane.
+
+A boundary is any curve that splits the plane in two; the paper encodes
+each side with one bit: "every monitor delivers a digital '0' for the
+region containing the origin, and a digital '1' otherwise".
+
+The abstraction is a signed, continuous *decision function* g(x, y)
+whose zero level-set is the boundary.  The bit for a point is 1 when
+the sign of g there differs from the sign of g at the origin.  When the
+origin lies exactly on the curve (the paper's 45-degree line through
+(0,0)), a reference point just off the curve defines the "origin side"
+-- matching Fig. 6 where the all-zeros zone is the region below the
+diagonal.
+
+Concrete families:
+
+* :class:`LinearBoundary` -- straight lines, the prior-work partitions
+  ([12], [13]) used by the baseline;
+* :class:`CallableBoundary` -- wraps any g(x, y);
+* :class:`repro.monitor.comparator.MonitorBoundary` -- the paper's
+  current-comparator curves (nonlinear), living in the monitor package.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Boundary(abc.ABC):
+    """Signed-decision-function view of a plane-splitting curve."""
+
+    def __init__(self, name: str,
+                 origin: Tuple[float, float] = (0.0, 0.0),
+                 reference_point: Optional[Tuple[float, float]] = None) -> None:
+        self.name = name
+        self.origin = origin
+        self._reference_point = reference_point
+        self._origin_sign: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def decision(self, x, y):
+        """Signed decision value(s); zero on the boundary.
+
+        Must accept scalars or broadcastable numpy arrays and be
+        continuous across the plane.
+        """
+
+    # ------------------------------------------------------------------
+    @property
+    def origin_sign(self) -> float:
+        """Sign of the decision function on the origin side (+1/-1)."""
+        if self._origin_sign is None:
+            g0 = float(self.decision(*self.origin))
+            scale = self._decision_scale()
+            if abs(g0) <= 1e-9 * scale:
+                if self._reference_point is None:
+                    raise ValueError(
+                        f"boundary {self.name!r} passes through the origin; "
+                        f"provide reference_point to define the zero side")
+                g0 = float(self.decision(*self._reference_point))
+                if g0 == 0.0:
+                    raise ValueError(
+                        f"boundary {self.name!r}: reference point lies on "
+                        f"the boundary")
+            self._origin_sign = math.copysign(1.0, g0)
+        return self._origin_sign
+
+    def _decision_scale(self) -> float:
+        """Typical |g| magnitude, for the on-boundary tolerance test."""
+        probes = [(0.0, 1.0), (1.0, 0.0), (1.0, 1.0), (0.5, 0.5)]
+        vals = [abs(float(self.decision(px, py))) for px, py in probes]
+        return max(max(vals), 1e-30)
+
+    # ------------------------------------------------------------------
+    def bit(self, x, y):
+        """0 on the origin side, 1 on the other side.
+
+        Points exactly on the curve (g = 0) belong to the origin side;
+        the measure-zero tie matches a real comparator's arbitrary but
+        consistent resolution.
+        """
+        g = np.asarray(self.decision(x, y))
+        bits = (g * self.origin_sign < 0).astype(np.uint8)
+        if bits.ndim == 0:
+            return int(bits)
+        return bits
+
+    # ------------------------------------------------------------------
+    def locus_points(self, axis_values: np.ndarray, sweep: str = "x",
+                     window: Tuple[float, float] = (0.0, 1.0),
+                     tol: float = 1e-9) -> np.ndarray:
+        """Numerically trace the zero level-set inside a square window.
+
+        For each value on ``axis_values`` along the sweep axis, bisect
+        the decision function along the other axis; NaN where the curve
+        does not cross the window.  Used to reproduce Fig. 4.
+        """
+        lo, hi = window
+        out = np.full(len(axis_values), np.nan)
+        for i, v in enumerate(axis_values):
+            if sweep == "x":
+                f = lambda w: float(self.decision(v, w))
+            else:
+                f = lambda w: float(self.decision(w, v))
+            f_lo, f_hi = f(lo), f(hi)
+            if f_lo == 0.0:
+                out[i] = lo
+                continue
+            if f_hi == 0.0:
+                out[i] = hi
+                continue
+            if f_lo * f_hi > 0:
+                continue
+            a, b = lo, hi
+            fa = f_lo
+            while b - a > tol:
+                mid = 0.5 * (a + b)
+                fm = f(mid)
+                if fm == 0.0:
+                    a = b = mid
+                    break
+                if fa * fm < 0:
+                    b = mid
+                else:
+                    a, fa = mid, fm
+            out[i] = 0.5 * (a + b)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class LinearBoundary(Boundary):
+    """Straight line ``a x + b y + c = 0`` (the prior-work partitions)."""
+
+    def __init__(self, name: str, a: float, b: float, c: float,
+                 reference_point: Optional[Tuple[float, float]] = None) -> None:
+        if a == 0.0 and b == 0.0:
+            raise ValueError("degenerate line: a and b both zero")
+        super().__init__(name, reference_point=reference_point)
+        self.a = float(a)
+        self.b = float(b)
+        self.c = float(c)
+
+    def decision(self, x, y):
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        out = self.a * x + self.b * y + self.c
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    @classmethod
+    def vertical(cls, name: str, x0: float) -> "LinearBoundary":
+        """The line x = x0."""
+        return cls(name, 1.0, 0.0, -x0)
+
+    @classmethod
+    def horizontal(cls, name: str, y0: float) -> "LinearBoundary":
+        """The line y = y0."""
+        return cls(name, 0.0, 1.0, -y0)
+
+    @classmethod
+    def diagonal(cls, name: str,
+                 reference_point: Tuple[float, float] = (0.5, 0.0)
+                 ) -> "LinearBoundary":
+        """The 45-degree line y = x; origin side defaults to below."""
+        return cls(name, -1.0, 1.0, 0.0, reference_point=reference_point)
+
+
+class CallableBoundary(Boundary):
+    """Boundary defined by an arbitrary decision callable."""
+
+    def __init__(self, name: str, func: Callable,
+                 reference_point: Optional[Tuple[float, float]] = None) -> None:
+        super().__init__(name, reference_point=reference_point)
+        self._func = func
+
+    def decision(self, x, y):
+        return self._func(x, y)

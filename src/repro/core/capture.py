@@ -1,0 +1,198 @@
+"""Signature capture: ideal (software) and asynchronous (Fig. 5 hardware).
+
+Two capture models produce :class:`repro.core.signature.Signature`
+objects from a Lissajous trace:
+
+* :func:`capture_signature` -- the *ideal* capture used to define
+  golden signatures: dense sampling of the zone code along the curve,
+  optionally refined by adaptive bisection so zone-crossing instants
+  are exact to a configurable tolerance rather than quantized to the
+  sampling grid.
+* :class:`AsyncCapture` -- a behavioural model of the paper's capture
+  circuit (Fig. 5): monitors drive a transition detector; an m-bit
+  counter running on the master clock measures the dwell time between
+  transitions; codes are latched asynchronously.  This model quantizes
+  dwell times to clock ticks, merges transitions shorter than one tick,
+  and can saturate the counter -- the effects studied in the capture
+  ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.signature import Signature
+from repro.core.zones import ZoneEncoder
+from repro.signals.lissajous import LissajousTrace
+
+
+def _refine_transitions(code_of_time: Callable[[float], int],
+                        t0: float, t1: float, c0: int, c1: int,
+                        tol: float) -> List[Tuple[float, int]]:
+    """Locate code changes inside (t0, t1] by recursive bisection.
+
+    Handles multiple boundary crossings inside the bracket by
+    subdividing until each sub-bracket is shorter than ``tol``; the
+    returned list contains (transition time, new code) pairs in order.
+    """
+    if c0 == c1:
+        return []
+    if t1 - t0 <= tol:
+        return [(t1, c1)]
+    tm = 0.5 * (t0 + t1)
+    cm = code_of_time(tm)
+    return (_refine_transitions(code_of_time, t0, tm, c0, cm, tol)
+            + _refine_transitions(code_of_time, tm, t1, cm, c1, tol))
+
+
+def capture_signature(encoder: ZoneEncoder, trace: LissajousTrace,
+                      refine: bool = True,
+                      tol_fraction: float = 1e-7) -> Signature:
+    """Ideal signature of a Lissajous trace.
+
+    Parameters
+    ----------
+    encoder:
+        The zone encoder (bank of monitors).
+    trace:
+        One period of the composed signals.
+    refine:
+        When True, zone-crossing times are bisected on the interpolated
+        trace down to ``tol_fraction * period``, decoupling signature
+        accuracy from the sampling grid.  Disable for noisy traces,
+        where sub-sample interpolation has no physical meaning.
+    """
+    xs, ys = trace.points()
+    times = trace.times - trace.times[0]
+    codes = encoder.code(xs, ys)
+    period = trace.period
+
+    if not refine:
+        return Signature.from_samples(times, codes, period)
+
+    def code_of_time(t: float) -> int:
+        x, y = trace.point_at(trace.times[0] + t)
+        return int(encoder.code(x, y))
+
+    transitions: List[Tuple[float, int]] = []
+    tol = tol_fraction * period
+    for i in range(len(times) - 1):
+        if codes[i + 1] != codes[i]:
+            transitions.extend(
+                _refine_transitions(code_of_time, float(times[i]),
+                                    float(times[i + 1]), int(codes[i]),
+                                    int(codes[i + 1]), tol))
+    # Wrap interval: between the last sample and t = period the code
+    # returns to codes[0] (periodicity); refine that edge too.
+    if codes[-1] != codes[0]:
+        transitions.extend(
+            _refine_transitions(
+                code_of_time, float(times[-1]), period,
+                int(codes[-1]), int(codes[0]), tol))
+    # Clamp any transition refined exactly onto the period boundary.
+    transitions = [(t, c) for t, c in transitions if t < period]
+    if not transitions:
+        return Signature.from_pairs([(int(codes[0]), period)], period)
+    return Signature.from_transitions(int(codes[0]), transitions, period)
+
+
+@dataclass(frozen=True)
+class CaptureConfig:
+    """Hardware parameters of the Fig. 5 asynchronous capture circuit.
+
+    Attributes
+    ----------
+    clock_hz:
+        Master clock frequency feeding the m-bit counter.
+    counter_bits:
+        Width m of the interval counter; dwell counts saturate at
+        ``2^m - 1`` ticks (the paper leaves overflow behaviour open; a
+        saturating time register is the conservative choice and is the
+        default here -- `wrap=True` models a free-running counter
+        instead).
+    wrap:
+        When True the counter wraps modulo 2^m instead of saturating.
+    """
+
+    clock_hz: float = 10e6
+    counter_bits: int = 16
+    wrap: bool = False
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError("clock must be positive")
+        if self.counter_bits < 1:
+            raise ValueError("counter needs at least one bit")
+
+    @property
+    def tick(self) -> float:
+        """Counter resolution in seconds."""
+        return 1.0 / self.clock_hz
+
+    @property
+    def max_count(self) -> int:
+        """Largest representable dwell count."""
+        return (1 << self.counter_bits) - 1
+
+
+class AsyncCapture:
+    """Behavioural model of the asynchronous signature capture circuit.
+
+    The continuous (ideal) signature is first computed, then distorted
+    exactly as the hardware would:
+
+    1. transition instants are observed on the next master-clock edge;
+    2. transitions landing on the same edge collapse (the transition
+       detector emits a single capture: short glitch zones vanish);
+    3. dwell counts longer than the counter range saturate (or wrap).
+
+    The result is again a :class:`Signature` whose durations are whole
+    clock ticks, so it can be fed to the same NDF metric -- this is the
+    quantization ablation of the benchmarks.
+    """
+
+    def __init__(self, encoder: ZoneEncoder,
+                 config: CaptureConfig = CaptureConfig()) -> None:
+        self.encoder = encoder
+        self.config = config
+
+    def capture(self, trace: LissajousTrace,
+                refine: bool = True) -> Signature:
+        """Capture a quantized signature from one Lissajous period."""
+        ideal = capture_signature(self.encoder, trace, refine=refine)
+        return self.quantize(ideal)
+
+    def quantize(self, ideal: Signature) -> Signature:
+        """Apply clock/counter quantization to an ideal signature."""
+        cfg = self.config
+        period_ticks = int(round(ideal.period / cfg.tick))
+        if period_ticks < 1:
+            raise ValueError("period shorter than one clock tick")
+        # Transition times -> next clock edge (ceil).
+        edges = [0]
+        codes = [ideal.entries[0].code]
+        for t, code in zip(ideal.breakpoints(),
+                           [e.code for e in ideal.entries[1:]]):
+            tick = int(np.ceil(t / cfg.tick - 1e-12))
+            tick = min(tick, period_ticks)  # clamp into the period
+            if tick <= edges[-1]:
+                # Collapsed with the previous capture: the detector sees
+                # only the final code of the burst.
+                codes[-1] = code
+                continue
+            if tick >= period_ticks:
+                break
+            edges.append(tick)
+            codes.append(code)
+        durations_ticks = np.diff(edges + [period_ticks])
+        if not cfg.wrap:
+            durations_ticks = np.minimum(durations_ticks, cfg.max_count)
+        else:
+            durations_ticks = np.mod(durations_ticks - 1, 1 << cfg.counter_bits) + 1
+        pairs = [(c, int(d) * cfg.tick)
+                 for c, d in zip(codes, durations_ticks) if d > 0]
+        total = sum(d for _, d in pairs)
+        return Signature.from_pairs(pairs, total)

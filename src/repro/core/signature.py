@@ -1,0 +1,215 @@
+"""The digital signature: a sequence of (zone code, dwell time) pairs.
+
+Paper Eq. (1)::
+
+    SIGNATURE = {(Z1, D1), (Z2, D2), ..., (Zk, Dk)}
+
+where the Lissajous curve crosses zones Z1..Zk over one period and Di
+is the time spent in zone Zi.  A :class:`Signature` stores exactly
+that, normalized to start at t = 0, and offers the piecewise-constant
+code function S(t) needed by the NDF integral of Eq. (2).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SignatureEntry:
+    """One (zone code, dwell time) pair."""
+
+    code: int
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("dwell times must be positive")
+        if self.code < 0:
+            raise ValueError("zone codes are non-negative integers")
+
+
+class Signature:
+    """An ordered run of zone codes over one period.
+
+    Consecutive entries always carry *different* codes (equal
+    neighbours are merged at construction); the first and last entries
+    may share a code -- the paper's signature starts at t = 0 regardless
+    of where a zone began.
+    """
+
+    def __init__(self, entries: Sequence[SignatureEntry],
+                 period: float = None) -> None:
+        if not entries:
+            raise ValueError("a signature needs at least one entry")
+        merged: List[SignatureEntry] = []
+        for entry in entries:
+            if merged and merged[-1].code == entry.code:
+                merged[-1] = SignatureEntry(
+                    entry.code, merged[-1].duration + entry.duration)
+            else:
+                merged.append(SignatureEntry(entry.code, entry.duration))
+        self.entries: Tuple[SignatureEntry, ...] = tuple(merged)
+        total = sum(e.duration for e in self.entries)
+        self.period = float(period) if period is not None else total
+        if not np.isclose(total, self.period, rtol=1e-6, atol=1e-12):
+            raise ValueError(
+                f"entry durations sum to {total}, not the period "
+                f"{self.period}")
+        starts = np.concatenate(
+            [[0.0], np.cumsum([e.duration for e in self.entries])])
+        self._starts = starts  # length k+1; last value == period
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, float]],
+                   period: float = None) -> "Signature":
+        """Build from (code, duration) tuples."""
+        return cls([SignatureEntry(int(c), float(d)) for c, d in pairs],
+                   period)
+
+    @classmethod
+    def from_samples(cls, times: np.ndarray, codes: np.ndarray,
+                     period: float) -> "Signature":
+        """Run-length encode uniformly/non-uniformly sampled codes.
+
+        ``times[i]`` is the start of the interval carrying ``codes[i]``;
+        the final interval extends to ``period``.
+        """
+        times = np.asarray(times, dtype=float)
+        codes = np.asarray(codes)
+        if times.ndim != 1 or times.shape != codes.shape:
+            raise ValueError("times and codes must be 1-D and aligned")
+        if times[0] != 0.0:
+            raise ValueError("sampled signature must start at t = 0")
+        if times[-1] >= period:
+            raise ValueError("sample times must stay below the period")
+        bounds = np.concatenate([times, [period]])
+        durations = np.diff(bounds)
+        entries = [SignatureEntry(int(c), float(d))
+                   for c, d in zip(codes, durations) if d > 0]
+        return cls(entries, period)
+
+    @classmethod
+    def from_transitions(cls, initial_code: int,
+                         transitions: Sequence[Tuple[float, int]],
+                         period: float) -> "Signature":
+        """Build from the code at t=0 plus (time, new code) transitions."""
+        entries: List[SignatureEntry] = []
+        prev_t, prev_c = 0.0, int(initial_code)
+        for t, c in transitions:
+            if t <= prev_t or t >= period:
+                raise ValueError("transition times must be increasing "
+                                 "inside (0, period)")
+            entries.append(SignatureEntry(prev_c, t - prev_t))
+            prev_t, prev_c = float(t), int(c)
+        entries.append(SignatureEntry(prev_c, period - prev_t))
+        return cls(entries, period)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Signature):
+            return NotImplemented
+        return (np.isclose(self.period, other.period)
+                and len(self) == len(other)
+                and all(a.code == b.code
+                        and np.isclose(a.duration, b.duration)
+                        for a, b in zip(self.entries, other.entries)))
+
+    def __hash__(self):
+        return hash((len(self.entries),
+                     tuple(e.code for e in self.entries)))
+
+    def codes(self) -> List[int]:
+        """Zone codes in traversal order."""
+        return [e.code for e in self.entries]
+
+    def durations(self) -> np.ndarray:
+        """Dwell times in traversal order."""
+        return np.asarray([e.duration for e in self.entries])
+
+    def distinct_codes(self) -> set:
+        """Set of zones visited over the period."""
+        return {e.code for e in self.entries}
+
+    def start_times(self) -> np.ndarray:
+        """Start time of each entry (first is 0)."""
+        return self._starts[:-1].copy()
+
+    def breakpoints(self) -> np.ndarray:
+        """All zone-change instants inside (0, period)."""
+        return self._starts[1:-1].copy()
+
+    # ------------------------------------------------------------------
+    # The piecewise-constant code function S(t)
+    # ------------------------------------------------------------------
+    def code_at(self, t) -> np.ndarray:
+        """Zone code at time(s) t (wrapped into [0, period))."""
+        t_arr = np.atleast_1d(np.asarray(t, dtype=float)) % self.period
+        idx = np.searchsorted(self._starts, t_arr, side="right") - 1
+        idx = np.clip(idx, 0, len(self.entries) - 1)
+        codes = np.asarray([self.entries[i].code for i in idx])
+        if np.ndim(t) == 0:
+            return int(codes[0])
+        return codes
+
+    def chronogram(self, num_points: int = 2000) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, codes) staircase over one period, for Fig. 7 plots."""
+        times = self.period * np.arange(num_points) / num_points
+        return times, self.code_at(times)
+
+    # ------------------------------------------------------------------
+    def rotated(self, dt: float) -> "Signature":
+        """Signature of the same curve observed with a start-time shift.
+
+        Used by property tests: the NDF of a signature against itself
+        rotated by 0 must be 0, and NDF is invariant when *both*
+        signatures are rotated together.
+        """
+        dt = float(dt) % self.period
+        if dt == 0.0:
+            return Signature(self.entries, self.period)
+        starts = np.concatenate([[0.0], self.breakpoints()])
+        codes = np.asarray(self.codes())
+        shifted = (starts - dt) % self.period
+        # Guard the float-modulo corner: a tiny negative numerator can
+        # round the result up to exactly `period`, which must wrap to 0.
+        shifted[shifted >= self.period] = 0.0
+        order = np.argsort(shifted, kind="stable")
+        new_times = shifted[order]
+        new_codes = codes[order]
+        if new_times[0] > 0.0:
+            # Insert the code active at the new t=0.
+            new_times = np.concatenate([[0.0], new_times])
+            new_codes = np.concatenate([[self.code_at(dt)], new_codes])
+        # Collapse duplicate instants (the later code wins the instant).
+        keep_t: List[float] = []
+        keep_c: List[int] = []
+        for t, c in zip(new_times, new_codes):
+            if keep_t and t == keep_t[-1]:
+                keep_c[-1] = int(c)
+            else:
+                keep_t.append(float(t))
+                keep_c.append(int(c))
+        return Signature.from_samples(np.asarray(keep_t),
+                                      np.asarray(keep_c), self.period)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = ", ".join(f"({e.code}, {e.duration:.3g})"
+                         for e in self.entries[:4])
+        more = "..." if len(self.entries) > 4 else ""
+        return f"<Signature T={self.period:.3g}s [{head}{more}]>"

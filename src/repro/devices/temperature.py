@@ -1,0 +1,87 @@
+"""Temperature behaviour of the device models.
+
+The monitor lives on-chip, so its zone boundaries drift with die
+temperature.  The classic first-order dependencies are applied to the
+model card:
+
+* threshold voltage: ``VT(T) = VT(T0) + tc_vt * (T - T0)`` with
+  ``tc_vt`` around -1 mV/K for bulk CMOS;
+* mobility (through KP): ``KP(T) = KP(T0) * (T / T0)^(-1.5)``;
+* thermal voltage: kT/q, already carried by
+  :attr:`repro.devices.mos_model.MosParams.temperature_k` (it sets the
+  subthreshold slope and the EKV transition width).
+
+The temperature study (tests + report) measures how far the Table I
+boundaries move over the industrial range and what NDF a fault-free
+CUT reads when the monitor is at a different temperature than at
+golden-calibration time -- the thermal analogue of the process guard
+band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.devices.mos_model import MosParams
+
+#: Reference temperature of the nominal model cards, in kelvin.
+T_NOMINAL = 300.0
+
+#: Threshold temperature coefficient, V/K (negative: VT drops when hot).
+TC_VT = -1.0e-3
+
+#: Mobility exponent in KP(T) = KP(T0) (T/T0)^MOBILITY_EXPONENT.
+MOBILITY_EXPONENT = -1.5
+
+
+def at_temperature(params: MosParams, temperature_k: float,
+                   tc_vt: float = TC_VT,
+                   mobility_exponent: float = MOBILITY_EXPONENT
+                   ) -> MosParams:
+    """Model card re-evaluated at a junction temperature.
+
+    Parameters
+    ----------
+    params:
+        Nominal card (assumed characterized at ``T_NOMINAL``).
+    temperature_k:
+        Target junction temperature in kelvin.
+    tc_vt, mobility_exponent:
+        First-order coefficients; defaults are textbook bulk-CMOS
+        values.
+    """
+    if temperature_k <= 0:
+        raise ValueError("temperature must be positive kelvin")
+    dt = temperature_k - T_NOMINAL
+    return replace(
+        params,
+        vt0=params.vt0 + tc_vt * dt,
+        kp=params.kp * (temperature_k / T_NOMINAL) ** mobility_exponent,
+        temperature_k=temperature_k)
+
+
+def industrial_range(points: int = 5) -> np.ndarray:
+    """The -40..+125 C industrial range, in kelvin."""
+    return np.linspace(233.15, 398.15, points)
+
+
+def boundary_temperature_drift(monitor_factory, temperatures_k: Sequence[float],
+                               probe_x: float = 0.25) -> np.ndarray:
+    """Boundary height at ``probe_x`` across temperatures.
+
+    ``monitor_factory(params)`` builds the monitor from a model card;
+    returns the boundary's y-crossing at the probe for each
+    temperature (NaN where the boundary leaves the window).
+    """
+    from repro.devices.mos_model import NMOS_65NM
+
+    heights = []
+    for t in temperatures_k:
+        params = at_temperature(NMOS_65NM, float(t))
+        monitor = monitor_factory(params)
+        ys = monitor.locus_points(np.asarray([probe_x]))
+        heights.append(float(ys[0]))
+    return np.asarray(heights)

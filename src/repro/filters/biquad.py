@@ -1,0 +1,167 @@
+"""Biquad filter specification and analytic transfer functions.
+
+The paper's case study is a low-pass Biquad whose *natural frequency*
+``f0`` is the parameter under verification.  The second-order transfer
+functions are the textbook forms::
+
+    LP:  H(s) = G w0^2            / (s^2 + (w0/Q) s + w0^2)
+    BP:  H(s) = G (w0/Q) s        / (s^2 + (w0/Q) s + w0^2)
+    HP:  H(s) = G s^2             / (s^2 + (w0/Q) s + w0^2)
+
+The behavioural model evaluates these exactly; the structural
+Tow-Thomas netlist (:mod:`repro.filters.towthomas`) realizes the same
+LP/BP responses with ideal op-amps and is cross-checked against this
+module in the integration tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.signals.lissajous import LissajousTrace
+from repro.signals.multitone import Multitone
+
+
+class BiquadKind(enum.Enum):
+    """Which second-order response the output tap realizes."""
+
+    LOWPASS = "lowpass"
+    BANDPASS = "bandpass"
+    HIGHPASS = "highpass"
+
+
+@dataclass(frozen=True)
+class BiquadSpec:
+    """Design parameters of a Biquad section.
+
+    Attributes
+    ----------
+    f0_hz:
+        Natural frequency in hertz -- the parameter the paper verifies.
+    q:
+        Quality factor.
+    gain:
+        In-band gain G (DC gain for the low-pass tap).
+    kind:
+        Which response the observable output realizes.
+    """
+
+    f0_hz: float = 13e3
+    q: float = 1.5
+    gain: float = 1.0
+    kind: BiquadKind = BiquadKind.LOWPASS
+
+    def __post_init__(self) -> None:
+        if self.f0_hz <= 0:
+            raise ValueError("f0 must be positive")
+        if self.q <= 0:
+            raise ValueError("Q must be positive")
+
+    @property
+    def omega0(self) -> float:
+        """Natural frequency in rad/s."""
+        return 2.0 * math.pi * self.f0_hz
+
+    def with_f0_deviation(self, fraction: float) -> "BiquadSpec":
+        """Spec with ``f0`` shifted by a relative fraction (+0.10 = +10 %).
+
+        This is the paper's fault model for Figs. 1, 6, 7 and 8.
+        """
+        if fraction <= -1.0:
+            raise ValueError("deviation must keep f0 positive")
+        return replace(self, f0_hz=self.f0_hz * (1.0 + fraction))
+
+    def with_q_deviation(self, fraction: float) -> "BiquadSpec":
+        """Spec with Q shifted by a relative fraction."""
+        if fraction <= -1.0:
+            raise ValueError("deviation must keep Q positive")
+        return replace(self, q=self.q * (1.0 + fraction))
+
+    def with_gain_deviation(self, fraction: float) -> "BiquadSpec":
+        """Spec with gain shifted by a relative fraction."""
+        return replace(self, gain=self.gain * (1.0 + fraction))
+
+
+class BiquadFilter:
+    """Behavioural (exact) Biquad model.
+
+    The filter is linear, so its steady-state response to a multitone is
+    computed tone-by-tone from ``H(j w)`` with no numerical integration
+    -- see :meth:`repro.signals.multitone.Multitone.through`.
+    """
+
+    def __init__(self, spec: BiquadSpec) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # Frequency domain
+    # ------------------------------------------------------------------
+    def transfer_s(self, s: complex) -> complex:
+        """H(s) at a complex frequency."""
+        w0 = self.spec.omega0
+        den = s * s + (w0 / self.spec.q) * s + w0 * w0
+        if self.spec.kind is BiquadKind.LOWPASS:
+            num = self.spec.gain * w0 * w0
+        elif self.spec.kind is BiquadKind.BANDPASS:
+            num = self.spec.gain * (w0 / self.spec.q) * s
+        else:
+            num = self.spec.gain * s * s
+        return num / den
+
+    def transfer(self, freq_hz: float) -> complex:
+        """H(j 2 pi f); accepts f = 0 (DC)."""
+        return self.transfer_s(1j * 2.0 * math.pi * freq_hz)
+
+    def magnitude(self, freq_hz) -> Union[float, np.ndarray]:
+        """|H| at frequency/frequencies in hertz."""
+        freq_arr = np.asarray(freq_hz, dtype=float)
+        s = 1j * 2.0 * math.pi * freq_arr
+        vals = np.abs(np.vectorize(self.transfer_s)(s))
+        if freq_arr.ndim == 0:
+            return float(vals)
+        return vals
+
+    # ------------------------------------------------------------------
+    # Time domain (exact steady state)
+    # ------------------------------------------------------------------
+    def response(self, stimulus: Multitone) -> Multitone:
+        """Exact steady-state output for a multitone stimulus."""
+        return stimulus.through(self.transfer)
+
+    def lissajous(self, stimulus: Multitone,
+                  samples_per_period: int = 4096) -> LissajousTrace:
+        """Compose stimulus (X) against filter output (Y), one period.
+
+        This is the paper's Fig. 1: "Lissajous composition of a
+        multitone input signal and the low pass output of a Biquad
+        filter."
+        """
+        return LissajousTrace.from_multitones(stimulus,
+                                              self.response(stimulus),
+                                              samples_per_period)
+
+    # ------------------------------------------------------------------
+    # Characteristics
+    # ------------------------------------------------------------------
+    def pole_pair(self) -> complex:
+        """Upper-half-plane pole of the section."""
+        w0 = self.spec.omega0
+        q = self.spec.q
+        re = -w0 / (2.0 * q)
+        im_sq = w0 * w0 - re * re
+        return complex(re, math.sqrt(im_sq)) if im_sq > 0 else complex(
+            re + math.sqrt(-im_sq), 0.0)
+
+    def settling_time(self, tolerance: float = 1e-3) -> float:
+        """Time for transients to decay to ``tolerance`` of initial size.
+
+        Used by the structural simulation path to decide how many
+        periods to discard before capturing the steady-state signature.
+        """
+        re = abs(self.pole_pair().real)
+        return math.log(1.0 / tolerance) / re

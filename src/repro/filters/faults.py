@@ -1,0 +1,147 @@
+"""Fault models for the Biquad CUT.
+
+Two families, mirroring the paper's discussion in Sections I-II:
+
+* **Parametric deviations** -- the paper's headline experiment shifts
+  the natural frequency ``f0`` by a percentage ("different degrees of
+  deviation in the natural frequency of the filter"); Q and gain
+  deviations are included for the extension studies.
+* **Catastrophic structural faults** -- shorts and opens of individual
+  components, the classic defect universe of structural analog test
+  ("typically shorts and opens").  These act on the Tow-Thomas netlist:
+  an *open* multiplies a resistance by 1e6 (or divides a capacitance by
+  1e6), a *short* replaces the component with a 1-ohm equivalent (or a
+  huge capacitance), keeping the circuit solvable while representing
+  the defect limit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Union
+
+from repro.filters.biquad import BiquadSpec
+from repro.filters.towthomas import TowThomasBiquad, TowThomasValues
+from repro.signals.multitone import Multitone
+
+#: Resistance multiplier representing an open defect.
+OPEN_FACTOR = 1e6
+#: Resistance value (ohms) representing a short defect.
+SHORT_RESISTANCE = 1.0
+
+
+class FaultKind(enum.Enum):
+    """Fault taxonomy."""
+
+    PARAMETRIC = "parametric"
+    OPEN = "open"
+    SHORT = "short"
+
+
+_PARAMETRIC_TARGETS = ("f0", "q", "gain")
+_COMPONENT_TARGETS = ("r1", "r2", "r3", "r4", "r5", "c1", "c2")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single injectable fault.
+
+    Attributes
+    ----------
+    kind:
+        Parametric deviation, open, or short.
+    target:
+        ``"f0"``/``"q"``/``"gain"`` for parametric faults, a component
+        name (``"r1"``...``"c2"``) for catastrophic ones.
+    deviation:
+        Relative deviation for parametric faults (+0.10 = +10 %);
+        ignored for opens/shorts.
+    """
+
+    kind: FaultKind
+    target: str
+    deviation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind is FaultKind.PARAMETRIC:
+            if self.target not in _PARAMETRIC_TARGETS:
+                raise ValueError(
+                    f"parametric fault target must be one of "
+                    f"{_PARAMETRIC_TARGETS}, got {self.target!r}")
+        else:
+            if self.target not in _COMPONENT_TARGETS:
+                raise ValueError(
+                    f"catastrophic fault target must be one of "
+                    f"{_COMPONENT_TARGETS}, got {self.target!r}")
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier used in reports."""
+        if self.kind is FaultKind.PARAMETRIC:
+            return f"{self.target}{self.deviation:+.1%}"
+        return f"{self.target}-{self.kind.value}"
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply_to_spec(self, spec: BiquadSpec) -> BiquadSpec:
+        """Deviated behavioural spec (parametric faults only)."""
+        if self.kind is not FaultKind.PARAMETRIC:
+            raise ValueError(
+                f"{self.label}: catastrophic faults need the netlist path")
+        if self.target == "f0":
+            return spec.with_f0_deviation(self.deviation)
+        if self.target == "q":
+            return spec.with_q_deviation(self.deviation)
+        return spec.with_gain_deviation(self.deviation)
+
+    def apply_to_values(self, values: TowThomasValues) -> TowThomasValues:
+        """Faulted component set for the structural netlist."""
+        if self.kind is FaultKind.PARAMETRIC:
+            # Map the parameter shift onto components exactly:
+            #   w0^2 = 1/(R3 R5 C1 C2); Q = R2 C1 w0; G = R5/R1.
+            d = 1.0 + self.deviation
+            if self.target == "f0":
+                # Scale R3 and R5 together by 1/d^... w0 ~ 1/sqrt(R3 R5):
+                # scaling both by 1/d^2 would change Q; scale R3,R5 by
+                # 1/d and R2 by 1/d keeps Q and G untouched.
+                return values.scaled(r3=1.0 / d, r5=1.0 / d, r2=1.0 / d,
+                                     r1=1.0 / d)
+            if self.target == "q":
+                return values.scaled(r2=d)
+            return values.scaled(r1=1.0 / d)
+        if self.target.startswith("r"):
+            if self.kind is FaultKind.OPEN:
+                return values.scaled(**{self.target: OPEN_FACTOR})
+            return values.replaced(**{self.target: SHORT_RESISTANCE})
+        # Capacitors: open = lose capacitance; short = huge capacitance.
+        if self.kind is FaultKind.OPEN:
+            return values.scaled(**{self.target: 1.0 / OPEN_FACTOR})
+        return values.scaled(**{self.target: OPEN_FACTOR})
+
+    def apply_to_biquad(self, values: TowThomasValues,
+                        stimulus: Optional[Multitone] = None) -> TowThomasBiquad:
+        """Build a faulted structural Biquad."""
+        return TowThomasBiquad(self.apply_to_values(values), stimulus)
+
+
+def f0_deviation(fraction: float) -> Fault:
+    """The paper's fault: relative shift of the natural frequency."""
+    return Fault(FaultKind.PARAMETRIC, "f0", fraction)
+
+
+def catastrophic_fault_universe() -> List[Fault]:
+    """All single opens and shorts of the Tow-Thomas components."""
+    faults = []
+    for component in _COMPONENT_TARGETS:
+        faults.append(Fault(FaultKind.OPEN, component))
+        faults.append(Fault(FaultKind.SHORT, component))
+    return faults
+
+
+def parametric_sweep(targets: Iterable[str],
+                     deviations: Iterable[float]) -> List[Fault]:
+    """Cartesian product of parametric faults for sweep experiments."""
+    return [Fault(FaultKind.PARAMETRIC, target, dev)
+            for target in targets for dev in deviations]

@@ -1,0 +1,204 @@
+"""KHN state-variable realization of the Biquad CUT.
+
+A second, independent structural realization of the same second-order
+transfer functions (the Tow-Thomas loop being the first).  Two reasons
+to have it:
+
+* **cross-validation** -- both netlists must agree with the behavioural
+  model and with each other; a bug in the MNA engine or the op-amp
+  stamp would break one realization before the other;
+* **multi-output testing** -- the KHN topology exposes the high-pass,
+  band-pass and low-pass taps at once, which feeds the multi-channel
+  signature extension with a physically simultaneous three-tap CUT.
+
+Topology (three op-amps, summing stage + two integrators)::
+
+    hp = (1 + R6/R5)/(1 + R3/R4) * vin - (R6/R5) lp
+         + ((1 + R6/R5) * R3/(R3 + R4)) bp        (classic KHN algebra)
+    bp = -1/(s R1 C1) hp
+    lp = -1/(s R2 C2) bp
+
+With equal integrators ``R1 C1 = R2 C2 = 1/w0`` and ``R5 = R6`` the
+standard design gives ``Q = (1 + R6/R5) / (1 + R3/R4) ...``; rather
+than carry the textbook algebra in code, the implementation uses the
+equal-component normal form below and *verifies* the realized spec via
+AC analysis in the tests (f0 from the BP peak, Q from its bandwidth).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits import (
+    Circuit,
+    Capacitor,
+    IdealOpAmp,
+    Resistor,
+    VoltageSource,
+    ac_analysis,
+)
+from repro.filters.biquad import BiquadKind, BiquadSpec
+from repro.signals.lissajous import LissajousTrace
+from repro.signals.multitone import Multitone
+from repro.signals.waveform import Waveform
+
+
+@dataclass(frozen=True)
+class KhnValues:
+    """Component values of the KHN loop (ohms and farads).
+
+    ``r_int``/``c_int`` set the two (equal) integrators:
+    ``w0 = 1 / (r_int c_int)``.  ``r_q`` against ``r_qg`` sets the
+    damping fed from the band-pass tap; ``r_in``, ``r_f1``, ``r_f2``
+    form the summing stage (equal for unity gain).
+    """
+
+    r_int: float
+    c_int: float
+    r_in: float = 10e3
+    r_f1: float = 10e3
+    r_f2: float = 10e3
+    r_q: float = 10e3
+    r_qg: float = 10e3
+
+    @classmethod
+    def from_spec(cls, spec: BiquadSpec, c: float = 10e-9) -> "KhnValues":
+        """Equal-component synthesis for a given f0 and Q.
+
+        For this exact topology (equal summing resistors, damping fed
+        to the summer's non-inverting input through the R_q/R_qg
+        divider with attenuation ``alpha = R_qg / (R_q + R_qg)``) the
+        loop algebra gives::
+
+            H_lp(s) = -G w0^2 / (s^2 + 3 alpha w0 s + w0^2)
+
+        so ``Q = 1 / (3 alpha)``; the synthesis inverts that.  The
+        realized spec is re-measured from the netlist's AC response in
+        the tests (BP peak and -3 dB bandwidth).
+        """
+        if spec.q <= 1.0 / 3.0:
+            raise ValueError(
+                "equal-component KHN needs Q > 1/3 (alpha < 1)")
+        w0 = spec.omega0
+        r_int = 1.0 / (w0 * c)
+        alpha = 1.0 / (3.0 * spec.q)
+        r_qg = 10e3
+        r_q = r_qg * (1.0 - alpha) / alpha
+        return cls(r_int=r_int, c_int=c, r_q=r_q, r_qg=r_qg)
+
+
+class KhnBiquad:
+    """Structural KHN filter with hp/bp/lp taps on the MNA engine.
+
+    Node names: ``vin``, ``hp``, ``bp``, ``lp``.
+    """
+
+    IN_NODE = "vin"
+
+    def __init__(self, values: KhnValues,
+                 stimulus: Optional[Multitone] = None) -> None:
+        self.values = values
+        self.stimulus = stimulus
+        self.circuit = self._build(stimulus)
+        self.system = self.circuit.assemble()
+
+    def _build(self, stimulus: Optional[Multitone]) -> Circuit:
+        v = self.values
+        ckt = Circuit("khn biquad")
+        drive = stimulus if stimulus is not None else 0.0
+        ckt.add(VoltageSource("Vin", "vin", "0", dc=drive, ac=1.0))
+        # Damping attenuator from the band-pass tap into the summer's
+        # non-inverting input.
+        ckt.add(Resistor("Rq", "bp", "qn", v.r_q))
+        ckt.add(Resistor("Rqg", "qn", "0", v.r_qg))
+        # Summing stage A1: hp = -(Rf1/Rin) vin - (Rf1/Rf2) lp + ...
+        ckt.add(Resistor("Rin", "vin", "sn", v.r_in))
+        ckt.add(Resistor("Rf2", "lp", "sn", v.r_f2))
+        ckt.add(Resistor("Rf1", "sn", "hp", v.r_f1))
+        ckt.add(IdealOpAmp("A1", "qn", "sn", "hp"))
+        # Integrator A2: bp = -hp / (s R C).
+        ckt.add(Resistor("R1", "hp", "i1", v.r_int))
+        ckt.add(Capacitor("C1", "i1", "bp", v.c_int))
+        ckt.add(IdealOpAmp("A2", "0", "i1", "bp"))
+        # Integrator A3: lp = -bp / (s R C).
+        ckt.add(Resistor("R2", "bp", "i2", v.r_int))
+        ckt.add(Capacitor("C2", "i2", "lp", v.c_int))
+        ckt.add(IdealOpAmp("A3", "0", "i2", "lp"))
+        return ckt
+
+    # ------------------------------------------------------------------
+    def transfer_at(self, freqs, node: str = "lp") -> np.ndarray:
+        """Complex H(f) = V(node)/V(vin) via AC analysis."""
+        result = ac_analysis(self.system, freqs)
+        return result.transfer(node, self.IN_NODE)
+
+    def transfer(self, freq_hz: float, node: str = "lp") -> complex:
+        """Single-frequency transfer; f = 0 via a real DC solve."""
+        if freq_hz <= 0.0:
+            from repro.circuits.dc import dc_operating_point
+
+            source = self.circuit.element("Vin")
+            saved = source.dc
+            source.dc = 1.0
+            try:
+                solution = dc_operating_point(self.system)
+                return complex(solution.voltage(self.system, node))
+            finally:
+                source.dc = saved
+        return complex(self.transfer_at([float(freq_hz)], node)[0])
+
+    def measured_spec(self) -> BiquadSpec:
+        """(f0, Q) measured from the band-pass response.
+
+        f0 is the BP magnitude peak; Q = f0 / (f_hi - f_lo) at the
+        -3 dB points of the BP response.
+        """
+        # Coarse-to-fine peak search; the fine window spans a full
+        # decade around the peak so low-Q (wide) resonances keep their
+        # -3 dB points inside the grid.
+        freqs = np.linspace(1e3, 60e3, 400)
+        mag = np.abs(self.transfer_at(freqs, "bp"))
+        f_peak = float(freqs[int(np.argmax(mag))])
+        fine = np.geomspace(f_peak / 4.0, f_peak * 4.0, 800)
+        mag = np.abs(self.transfer_at(fine, "bp"))
+        i_peak = int(np.argmax(mag))
+        f0 = float(fine[i_peak])
+        peak = float(mag[i_peak])
+        half = peak / math.sqrt(2.0)
+        lo_side = fine[:i_peak][mag[:i_peak] <= half]
+        hi_side = fine[i_peak:][mag[i_peak:] <= half]
+        if lo_side.size and hi_side.size:
+            bandwidth = float(hi_side[0] - lo_side[-1])
+            q = f0 / bandwidth
+        else:
+            q = float("nan")
+        gain = abs(self.transfer(100.0, "lp"))
+        return BiquadSpec(f0, q, gain, BiquadKind.LOWPASS)
+
+    # ------------------------------------------------------------------
+    def lissajous_of(self, channel: str, stimulus: Multitone,
+                     samples_per_period: int) -> LissajousTrace:
+        """Multi-channel CUT protocol: one tap's composition.
+
+        The hp/bp taps swing around 0 V; they are rebiased to the
+        0.5 V window centre as the physical instrument would.
+        """
+        if channel not in ("lp", "bp", "hp"):
+            raise ValueError(f"unknown channel {channel!r}")
+        response = stimulus.through(
+            lambda f: self.transfer(f, channel))
+        if channel in ("bp", "hp"):
+            response = response.with_offset(0.5)
+        period = stimulus.period()
+        x = Waveform.from_function(stimulus, period, samples_per_period)
+        y = Waveform.from_function(response, period, samples_per_period)
+        return LissajousTrace(x, y, period)
+
+    def lissajous(self, stimulus: Multitone,
+                  samples_per_period: int = 4096) -> LissajousTrace:
+        """Single-channel CUT protocol (the low-pass tap)."""
+        return self.lissajous_of("lp", stimulus, samples_per_period)

@@ -1,0 +1,228 @@
+"""Tow-Thomas active-RC realization of the Biquad CUT.
+
+The paper tests "a Biquad filter circuit" at transistor/board level; the
+classic Tow-Thomas two-integrator loop is the standard realization of
+the low-pass + band-pass pair and is the structural model used here.
+
+Topology (three ideal op-amps)::
+
+    vin --R1--+---------+                +---------+
+              |  A1     |--- bp ---R3---|  A2      |--- lp
+              +--[C1 || R2]--+          +--[C2]----+
+              ^ feedback R5 from fb (= -lp via A3 inverter)
+
+Design equations (derived in the module tests)::
+
+    H_lp(s) = (R2/R1) / (s^2 R2 R3 C1 C2 + s R3 C2 + R2/R5)
+            = (R5/R1) w0^2 / (s^2 + (w0/Q) s + w0^2)
+
+    w0 = 1/sqrt(R3 R5 C1 C2),   Q = R2 C1 w0,   DC gain = R5/R1
+
+With ``C1 = C2 = C`` and ``R3 = R5 = R = 1/(w0 C)``: ``R2 = Q R`` and
+``R1 = R / G``.
+
+The netlist runs on :mod:`repro.circuits`; faults are injected by
+rebuilding with modified component values
+(:mod:`repro.filters.faults`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.circuits import (
+    Circuit,
+    IdealOpAmp,
+    Capacitor,
+    Resistor,
+    VoltageSource,
+    ac_analysis,
+    transient,
+)
+from repro.filters.biquad import BiquadFilter, BiquadKind, BiquadSpec
+from repro.signals.multitone import Multitone, Tone
+from repro.signals.lissajous import LissajousTrace
+from repro.signals.waveform import Waveform
+
+
+@dataclass(frozen=True)
+class TowThomasValues:
+    """Component values of the two-integrator loop (ohms and farads)."""
+
+    r1: float
+    r2: float
+    r3: float
+    r4: float  # both inverter resistors (matched)
+    r5: float
+    c1: float
+    c2: float
+
+    @classmethod
+    def from_spec(cls, spec: BiquadSpec, c: float = 10e-9) -> "TowThomasValues":
+        """Synthesize equal-C values realizing ``spec`` (low-pass tap)."""
+        w0 = spec.omega0
+        r = 1.0 / (w0 * c)
+        return cls(r1=r / spec.gain, r2=spec.q * r, r3=r, r4=10e3, r5=r,
+                   c1=c, c2=c)
+
+    def realized_spec(self, kind: BiquadKind = BiquadKind.LOWPASS) -> BiquadSpec:
+        """Recover (f0, Q, G) from component values (exact inversion)."""
+        w0 = 1.0 / math.sqrt(self.r3 * self.r5 * self.c1 * self.c2)
+        q = self.r2 * self.c1 * w0
+        gain = self.r5 / self.r1
+        return BiquadSpec(w0 / (2.0 * math.pi), q, gain, kind)
+
+    def scaled(self, **factors: float) -> "TowThomasValues":
+        """Copy with named components multiplied by factors.
+
+        ``values.scaled(r3=1.1, c1=0.9)`` models parametric component
+        drift for the fault-injection experiments.
+        """
+        updates = {}
+        for name, factor in factors.items():
+            if not hasattr(self, name):
+                raise ValueError(f"unknown component {name!r}")
+            updates[name] = getattr(self, name) * factor
+        return replace(self, **updates)
+
+    def replaced(self, **values: float) -> "TowThomasValues":
+        """Copy with named components replaced by absolute values."""
+        for name in values:
+            if not hasattr(self, name):
+                raise ValueError(f"unknown component {name!r}")
+        return replace(self, **values)
+
+
+class TowThomasBiquad:
+    """Structural Biquad: a netlist on the repro MNA engine.
+
+    Parameters
+    ----------
+    values:
+        Component values (build from a spec with
+        :meth:`TowThomasValues.from_spec`).
+    stimulus:
+        Optional multitone input; when provided the voltage source
+        follows it in transient analysis.
+
+    Node names: ``vin`` (input), ``bp`` (band-pass tap), ``lp``
+    (low-pass tap, the paper's observable output), ``fb`` (inverted
+    low-pass).
+    """
+
+    #: Output node of the low-pass tap observed by the monitor.
+    LP_NODE = "lp"
+    BP_NODE = "bp"
+    IN_NODE = "vin"
+
+    def __init__(self, values: TowThomasValues,
+                 stimulus: Optional[Multitone] = None) -> None:
+        self.values = values
+        self.stimulus = stimulus
+        self.circuit = self._build(stimulus)
+        self.system = self.circuit.assemble()
+
+    def _build(self, stimulus: Optional[Multitone]) -> Circuit:
+        v = self.values
+        ckt = Circuit("tow-thomas biquad")
+        drive = stimulus if stimulus is not None else 0.0
+        ckt.add(VoltageSource("Vin", "vin", "0", dc=drive, ac=1.0))
+        # A1: lossy integrator (bp = band-pass tap).
+        ckt.add(Resistor("R1", "vin", "n1", v.r1))
+        ckt.add(Resistor("R2", "n1", "bp", v.r2))
+        ckt.add(Capacitor("C1", "n1", "bp", v.c1))
+        ckt.add(IdealOpAmp("A1", "0", "n1", "bp"))
+        # A2: integrator (lp = low-pass tap).
+        ckt.add(Resistor("R3", "bp", "n2", v.r3))
+        ckt.add(Capacitor("C2", "n2", "lp", v.c2))
+        ckt.add(IdealOpAmp("A2", "0", "n2", "lp"))
+        # A3: unity inverter closing the loop.
+        ckt.add(Resistor("R4a", "lp", "n3", v.r4))
+        ckt.add(Resistor("R4b", "n3", "fb", v.r4))
+        ckt.add(IdealOpAmp("A3", "0", "n3", "fb"))
+        # Loop feedback into the A1 summing node.
+        ckt.add(Resistor("R5", "fb", "n1", v.r5))
+        return ckt
+
+    # ------------------------------------------------------------------
+    # Frequency domain
+    # ------------------------------------------------------------------
+    def transfer_at(self, freqs, node: str = LP_NODE) -> np.ndarray:
+        """Complex H(f) = V(node)/V(vin) from AC analysis."""
+        result = ac_analysis(self.system, freqs)
+        return result.transfer(node, self.IN_NODE)
+
+    def transfer(self, freq_hz: float, node: str = LP_NODE) -> complex:
+        """Single-frequency H; f = 0 uses a true (real) DC solve."""
+        if freq_hz <= 0.0:
+            return complex(self.dc_gain(node))
+        return complex(self.transfer_at([float(freq_hz)], node)[0])
+
+    def dc_gain(self, node: str = LP_NODE) -> float:
+        """DC gain V(node)/V(vin) from a real operating-point solve.
+
+        Capacitors open at DC, so this stays well-defined (and real)
+        even for catastrophically faulted component sets where the
+        near-DC AC response has a slow pole.
+        """
+        from repro.circuits.dc import dc_operating_point
+
+        source = self.circuit.element("Vin")
+        saved = source.dc
+        source.dc = 1.0
+        try:
+            solution = dc_operating_point(self.system)
+            return solution.voltage(self.system, node)
+        finally:
+            source.dc = saved
+
+    def response(self, stimulus: Multitone, node: str = LP_NODE) -> Multitone:
+        """Exact steady state through the *netlist* transfer function.
+
+        This is how catastrophically faulted circuits (still linear) are
+        pushed through the signature flow without transient simulation.
+        """
+        return stimulus.through(lambda f: self.transfer(f, node))
+
+    def lissajous(self, stimulus: Multitone,
+                  samples_per_period: int = 4096,
+                  node: str = LP_NODE) -> LissajousTrace:
+        """One steady-state Lissajous period via the netlist response.
+
+        The (stimulus, samples_per_period) signature matches the CUT
+        protocol expected by :class:`repro.core.testflow.SignatureTester`.
+        """
+        return LissajousTrace.from_multitones(
+            stimulus, self.response(stimulus, node), samples_per_period)
+
+    # ------------------------------------------------------------------
+    # Time domain
+    # ------------------------------------------------------------------
+    def simulate_steady_period(self, samples_per_period: int = 2048,
+                               settle_periods: Optional[int] = None,
+                               node: str = LP_NODE) -> LissajousTrace:
+        """Transient-simulate to steady state and return one period.
+
+        Slower than :meth:`response` but exercises the full integrator
+        path; the integration tests verify both agree.
+        """
+        if self.stimulus is None:
+            raise ValueError("construct with a stimulus for transient runs")
+        period = self.stimulus.period()
+        if settle_periods is None:
+            spec = self.values.realized_spec()
+            settle = BiquadFilter(spec).settling_time(1e-4)
+            settle_periods = max(1, int(math.ceil(settle / period)))
+        dt = period / samples_per_period
+        t_stop = (settle_periods + 1) * period
+        result = transient(self.system, t_stop, dt)
+        t_start = settle_periods * period
+        n0 = int(round(t_start / dt))
+        times = result.time[n0:n0 + samples_per_period]
+        x = np.asarray(self.stimulus(times), dtype=float)
+        y = result.voltage(node)[n0:n0 + samples_per_period]
+        return LissajousTrace(Waveform(times, x), Waveform(times, y), period)

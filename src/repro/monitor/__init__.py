@@ -1,0 +1,66 @@
+"""The paper's X-Y zoning monitor (Figs. 2-4, Table I).
+
+* :mod:`repro.monitor.comparator` -- analytic current-balance boundary
+* :mod:`repro.monitor.configurations` -- Table I rows and the Fig. 4 bank
+* :mod:`repro.monitor.transistor_level` -- Fig. 2 netlist on the MNA engine
+* :mod:`repro.monitor.boundary_extract` -- locus extraction (Fig. 4)
+* :mod:`repro.monitor.montecarlo` -- process/mismatch envelopes
+"""
+
+from repro.monitor.comparator import (
+    Hookup,
+    MonitorBoundary,
+    MonitorConfig,
+)
+from repro.monitor.configurations import (
+    TABLE1_ROWS,
+    table1_bank,
+    table1_config,
+    table1_encoder,
+    table1_monitor,
+)
+from repro.monitor.transistor_level import TransistorMonitor
+from repro.monitor.boundary_extract import (
+    BoundaryCharacterization,
+    characterize,
+    diagonal_deviation,
+    extract_locus,
+    locus_rms_difference,
+)
+from repro.monitor.montecarlo import (
+    BoundarySpread,
+    bank_samples,
+    boundary_spread,
+    encoder_samples,
+)
+from repro.monitor.placement import (
+    BiasPlacementOptimizer,
+    PlacementResult,
+    apply_biases,
+    distinct_bias_values,
+)
+
+__all__ = [
+    "Hookup",
+    "MonitorBoundary",
+    "MonitorConfig",
+    "TABLE1_ROWS",
+    "table1_bank",
+    "table1_config",
+    "table1_encoder",
+    "table1_monitor",
+    "TransistorMonitor",
+    "BoundaryCharacterization",
+    "characterize",
+    "diagonal_deviation",
+    "extract_locus",
+    "locus_rms_difference",
+    "BoundarySpread",
+    "bank_samples",
+    "boundary_spread",
+    "encoder_samples",
+    "BiasPlacementOptimizer",
+    "PlacementResult",
+    "apply_biases",
+    "distinct_bias_values",
+]

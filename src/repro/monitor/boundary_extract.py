@@ -1,0 +1,125 @@
+"""Boundary locus extraction and characterization (paper Fig. 4).
+
+The paper reports the six control curves measured on silicon; here the
+equivalent artifact is the numerically extracted zero locus of each
+monitor's decision function on the 0-1 V window, plus scalar shape
+descriptors (slope sign, axis crossings, curvature) used by the Table I
+and Fig. 4 benchmarks to assert the qualitative claims:
+
+* curves 1 and 2: "segments of positive slope";
+* curves 3-5: "segments of negative slope" ordered by DC bias;
+* curve 6: "a straight line cutting the plane at 45 degrees" with
+  subthreshold distortion at small inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.boundaries import Boundary
+
+
+@dataclass
+class BoundaryCharacterization:
+    """Scalar descriptors of one extracted boundary locus.
+
+    Attributes
+    ----------
+    xs, ys:
+        The extracted locus (y as a function of the swept x where the
+        curve crosses the window; NaN elsewhere).
+    coverage:
+        Fraction of the sweep where the boundary lies inside the window.
+    mean_slope:
+        Mean dy/dx along the locus.
+    slope_sign:
+        +1 / -1 when the slope keeps one sign over the locus, 0 mixed.
+    curvature_rms:
+        RMS of the second difference -- 0 for straight lines.
+    """
+
+    xs: np.ndarray
+    ys: np.ndarray
+    coverage: float
+    mean_slope: float
+    slope_sign: int
+    curvature_rms: float
+
+    def crossing_at(self, x: float) -> float:
+        """Interpolated boundary height at a given x."""
+        valid = ~np.isnan(self.ys)
+        if not np.any(valid):
+            return float("nan")
+        return float(np.interp(x, self.xs[valid], self.ys[valid],
+                               left=np.nan, right=np.nan))
+
+
+def extract_locus(boundary: Boundary,
+                  window: Tuple[float, float] = (0.0, 1.0),
+                  points: int = 201) -> Tuple[np.ndarray, np.ndarray]:
+    """Trace y(x) of the zero locus across the window by bisection."""
+    lo, hi = window
+    xs = np.linspace(lo, hi, points)
+    ys = boundary.locus_points(xs, sweep="x", window=window)
+    return xs, ys
+
+
+def characterize(boundary: Boundary,
+                 window: Tuple[float, float] = (0.0, 1.0),
+                 points: int = 201) -> BoundaryCharacterization:
+    """Extract the locus and compute its shape descriptors."""
+    xs, ys = extract_locus(boundary, window, points)
+    valid = ~np.isnan(ys)
+    coverage = float(np.mean(valid))
+    if np.count_nonzero(valid) < 3:
+        return BoundaryCharacterization(xs, ys, coverage, float("nan"),
+                                        0, float("nan"))
+    xv = xs[valid]
+    yv = ys[valid]
+    slopes = np.diff(yv) / np.diff(xv)
+    mean_slope = float(np.mean(slopes))
+    # Ignore near-zero slopes when judging the sign (flat tails of the
+    # subthreshold-limited arcs).
+    significant = slopes[np.abs(slopes) > 1e-3]
+    if significant.size and np.all(significant > 0):
+        slope_sign = 1
+    elif significant.size and np.all(significant < 0):
+        slope_sign = -1
+    else:
+        slope_sign = 0
+    dx = float(np.mean(np.diff(xv)))
+    curvature = np.diff(yv, 2) / (dx * dx)
+    curvature_rms = float(np.sqrt(np.mean(curvature ** 2)))
+    return BoundaryCharacterization(xs, ys, coverage, mean_slope,
+                                    slope_sign, curvature_rms)
+
+
+def diagonal_deviation(boundary: Boundary,
+                       window: Tuple[float, float] = (0.0, 1.0),
+                       points: int = 201) -> float:
+    """Max |y - x| along the locus (curve 6 should be small above VT)."""
+    xs, ys = extract_locus(boundary, window, points)
+    valid = ~np.isnan(ys)
+    if not np.any(valid):
+        return float("nan")
+    return float(np.nanmax(np.abs(ys[valid] - xs[valid])))
+
+
+def locus_rms_difference(a: Boundary, b: Boundary,
+                         window: Tuple[float, float] = (0.0, 1.0),
+                         points: int = 101) -> float:
+    """RMS vertical gap between two boundaries' loci (where both exist).
+
+    Used by the transistor-level agreement benchmark: the analytic
+    current-balance locus vs. the simulated Fig. 2 stage.
+    """
+    xs = np.linspace(window[0], window[1], points)
+    ya = a.locus_points(xs, sweep="x", window=window)
+    yb = b.locus_points(xs, sweep="x", window=window)
+    both = ~np.isnan(ya) & ~np.isnan(yb)
+    if not np.any(both):
+        return float("nan")
+    return float(np.sqrt(np.mean((ya[both] - yb[both]) ** 2)))

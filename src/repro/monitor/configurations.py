@@ -1,0 +1,73 @@
+"""Table I of the paper: the six monitor configurations of Fig. 4.
+
+::
+
+    Transistor widths (nm, L = 180 nm)     Applied input voltages (V)
+        M1     M2     M3     M4            V1      V2      V3      V4
+    1   3000   600    600    3000          Y axis  0.2     X axis  0.6
+    2   3000   600    600    3000          0.6     Y axis  0.2     X axis
+    3   1800   1800   1800   1800          Y axis  X axis  0.55    0.55
+    4   1800   1800   1800   1800          Y axis  X axis  0.3     0.3
+    5   1800   1800   1800   1800          Y axis  X axis  0.75    0.75
+    6   1800   1800   1800   1800          Y axis  0       X axis  0
+
+Curves 1-2 are positive-slope segments (one signal on each side of the
+differential pair), curves 3-5 negative-slope arcs ordered by their DC
+bias, and curve 6 the 45-degree line with subthreshold distortion near
+the origin.  The bank in this order (curve 1 = MSB) generates the
+six-bit zone codes of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.zones import ZoneEncoder
+from repro.devices.mos_model import MosParams, NMOS_65NM
+from repro.monitor.comparator import Hookup, MonitorBoundary, MonitorConfig
+
+#: Table I rows: (widths of M1..M4 in nm, hookups of V1..V4).
+TABLE1_ROWS: Dict[int, Tuple[Tuple[float, float, float, float],
+                             Tuple[Hookup, Hookup, Hookup, Hookup]]] = {
+    1: ((3000.0, 600.0, 600.0, 3000.0), ("y", 0.2, "x", 0.6)),
+    2: ((3000.0, 600.0, 600.0, 3000.0), (0.6, "y", 0.2, "x")),
+    3: ((1800.0, 1800.0, 1800.0, 1800.0), ("y", "x", 0.55, 0.55)),
+    4: ((1800.0, 1800.0, 1800.0, 1800.0), ("y", "x", 0.3, 0.3)),
+    5: ((1800.0, 1800.0, 1800.0, 1800.0), ("y", "x", 0.75, 0.75)),
+    6: ((1800.0, 1800.0, 1800.0, 1800.0), ("y", 0.0, "x", 0.0)),
+}
+
+#: Reference points fixing the "origin side" for boundaries through the
+#: origin.  Only curve 6 (y = x) needs one: the all-zeros zone of
+#: Fig. 6 lies *below* the diagonal.
+_REFERENCE_POINTS: Dict[int, Tuple[float, float]] = {
+    6: (0.5, 0.0),
+}
+
+
+def table1_config(row: int) -> MonitorConfig:
+    """The :class:`MonitorConfig` for a Table I row (1-6)."""
+    if row not in TABLE1_ROWS:
+        raise ValueError(f"Table I has rows 1..6, got {row}")
+    widths, hookups = TABLE1_ROWS[row]
+    return MonitorConfig(widths, hookups, length_nm=180.0,
+                         name=f"curve{row}",
+                         reference_point=_REFERENCE_POINTS.get(row))
+
+
+def table1_monitor(row: int,
+                   params: MosParams = NMOS_65NM) -> MonitorBoundary:
+    """One sized, wired monitor for a Table I row."""
+    return MonitorBoundary(table1_config(row), params)
+
+
+def table1_bank(params: MosParams = NMOS_65NM,
+                rows: Optional[List[int]] = None) -> List[MonitorBoundary]:
+    """The full Fig. 4 bank, MSB-first (curve 1 ... curve 6)."""
+    rows = rows if rows is not None else [1, 2, 3, 4, 5, 6]
+    return [table1_monitor(row, params) for row in rows]
+
+
+def table1_encoder(params: MosParams = NMOS_65NM) -> ZoneEncoder:
+    """Zone encoder generating the paper's six-bit codes (Fig. 6)."""
+    return ZoneEncoder(table1_bank(params))

@@ -1,0 +1,108 @@
+"""Monte Carlo spread of monitor boundaries (paper Fig. 4 validation).
+
+"Experimental measurements of the monitor zone boundaries were
+performed, yielding results in the range of the predicted Monte Carlo
+simulations values (process and mismatch) for STMicroelectronics 65 nm
+technology variability."
+
+Without silicon, the reproduction inverts the roles: the Monte Carlo
+envelope *is* the artifact.  :func:`boundary_spread` samples dies from
+:class:`repro.devices.process.MonteCarloSampler`, re-extracts each
+monitor's locus, and reports mean and +-3 sigma envelopes;
+:func:`bank_samples` produces whole varied monitor banks for
+signature-level variability studies (how much NDF a fault-free but
+process-shifted die exhibits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.zones import ZoneEncoder
+from repro.devices.process import MonteCarloSampler
+from repro.monitor.comparator import MonitorBoundary
+
+
+@dataclass
+class BoundarySpread:
+    """Envelope statistics of one monitor's locus under variation.
+
+    All arrays are aligned with ``xs``; entries are NaN where fewer
+    than half the sampled dies produce a locus inside the window.
+    """
+
+    xs: np.ndarray
+    nominal: np.ndarray
+    mean: np.ndarray
+    sigma: np.ndarray
+    lo3: np.ndarray
+    hi3: np.ndarray
+    num_dies: int
+
+    def max_spread(self) -> float:
+        """Largest +-3 sigma band width along the locus (volts)."""
+        width = self.hi3 - self.lo3
+        if np.all(np.isnan(width)):
+            return float("nan")
+        return float(np.nanmax(width))
+
+    def contains(self, ys: np.ndarray, fraction: float = 0.95) -> bool:
+        """True if a measured locus lies inside the envelope.
+
+        This is the paper's silicon-vs-Monte-Carlo acceptance check,
+        applied in the tests to nominal loci and to freshly sampled
+        dies.
+        """
+        valid = (~np.isnan(ys)) & (~np.isnan(self.lo3)) & (~np.isnan(self.hi3))
+        if not np.any(valid):
+            return False
+        inside = ((ys[valid] >= self.lo3[valid] - 1e-12)
+                  & (ys[valid] <= self.hi3[valid] + 1e-12))
+        return bool(np.mean(inside) >= fraction)
+
+
+def boundary_spread(monitor: MonitorBoundary,
+                    sampler: MonteCarloSampler,
+                    num_dies: int = 50,
+                    window: Tuple[float, float] = (0.0, 1.0),
+                    points: int = 81) -> BoundarySpread:
+    """Sample dies and build the +-3 sigma locus envelope of a monitor."""
+    xs = np.linspace(window[0], window[1], points)
+    nominal = monitor.locus_points(xs, sweep="x", window=window)
+    samples = np.full((num_dies, points), np.nan)
+    for i, die in enumerate(sampler.dies(num_dies)):
+        varied = monitor.with_die(die)
+        samples[i] = varied.locus_points(xs, sweep="x", window=window)
+    counts = np.sum(~np.isnan(samples), axis=0)
+    enough = counts >= max(2, num_dies // 2)
+    mean = np.full(points, np.nan)
+    sigma = np.full(points, np.nan)
+    mean[enough] = np.nanmean(samples[:, enough], axis=0)
+    sigma[enough] = np.nanstd(samples[:, enough], axis=0)
+    lo3 = mean - 3.0 * sigma
+    hi3 = mean + 3.0 * sigma
+    return BoundarySpread(xs, nominal, mean, sigma, lo3, hi3, num_dies)
+
+
+def bank_samples(bank: Sequence[MonitorBoundary],
+                 sampler: MonteCarloSampler,
+                 num_dies: int) -> List[List[MonitorBoundary]]:
+    """Varied copies of a whole monitor bank, one list per die.
+
+    All monitors of one die share the same global process shift (they
+    sit on the same chip) but draw independent mismatch.
+    """
+    varied_banks = []
+    for die in sampler.dies(num_dies):
+        varied_banks.append([m.with_die(die) for m in bank])
+    return varied_banks
+
+
+def encoder_samples(bank: Sequence[MonitorBoundary],
+                    sampler: MonteCarloSampler,
+                    num_dies: int) -> List[ZoneEncoder]:
+    """Zone encoders built from Monte Carlo samples of the bank."""
+    return [ZoneEncoder(b) for b in bank_samples(bank, sampler, num_dies)]

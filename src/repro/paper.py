@@ -1,0 +1,143 @@
+"""The calibrated experimental setup of the paper, frozen as constants.
+
+The paper reports its Biquad/stimulus setup only through its artifacts:
+a 200 us signature period (Fig. 7), signals inside the 0-1 V window
+(Figs. 1, 4, 6), a 16-zone traversal of the six-bit code map (Fig. 6),
+NDF = 0.1021 for a +10 % shift of the natural frequency (Fig. 7), and a
+near-linear, near-symmetric NDF-vs-deviation sweep reaching about 0.19
+at +-20 % (Fig. 8).  The exact component values and tone set are not
+published.
+
+This module pins the reproduction's calibrated equivalents (see
+DESIGN.md section 2 for the substitution rationale and EXPERIMENTS.md
+for measured-vs-paper numbers):
+
+* stimulus: two tones, 5 kHz (0.26 V) and 15 kHz (0.19 V, +105 deg),
+  0.5 V offset -> common period exactly 200 us;
+* golden Biquad: low-pass, f0 = 11 kHz, Q = 1.0, unity gain;
+* monitors: the six Table I configurations (curve 1 = MSB);
+* noise study: 3-sigma = 0.015 V white noise with a 200 kHz monitor
+  front-end pole.
+
+With these values the golden Lissajous traverses exactly the sixteen
+zone codes printed in Fig. 6, NDF(+10 %) = 0.102, the +10 % chronogram
+contains the paper's Hamming-distance-2 excursion, and +-1 % deviations
+stay detectable under the quoted noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.capture import AsyncCapture, CaptureConfig
+from repro.core.decision import DecisionBand, ThresholdCalibration
+from repro.core.testflow import MeasurementResult, SignatureTester
+from repro.core.zones import ZoneEncoder
+from repro.filters.biquad import BiquadFilter, BiquadSpec
+from repro.monitor.configurations import table1_encoder
+from repro.signals.filtering import BandLimiter
+from repro.signals.multitone import Multitone, Tone
+from repro.signals.noise import NoiseModel, PAPER_NOISE_3SIGMA
+
+#: Calibrated two-tone stimulus: fundamental 5 kHz -> period 200 us.
+PAPER_STIMULUS = Multitone(
+    [Tone(5e3, 0.26, 0.0), Tone(15e3, 0.19, 105.0)], offset=0.5)
+
+#: Calibrated golden Biquad (low-pass tap observed).
+PAPER_BIQUAD = BiquadSpec(f0_hz=11e3, q=1.0, gain=1.0)
+
+#: Monitor front-end pole used in the noise study.
+PAPER_INPUT_POLE_HZ = 200e3
+
+#: The sixteen zone codes printed in the paper's Fig. 6.
+FIG6_ZONE_CODES = frozenset(
+    {0, 1, 4, 5, 12, 13, 20, 28, 30, 37, 45, 47, 60, 61, 62, 63})
+
+#: The NDF the paper reports for a +10 % f0 shift (Fig. 7).
+FIG7_NDF_10PCT = 0.1021
+
+#: Default trace sampling density (samples per 200 us period).
+PAPER_SAMPLES_PER_PERIOD = 4096
+
+
+@dataclass
+class PaperSetup:
+    """One fully wired instance of the paper's test bench.
+
+    Create via :func:`paper_setup`; fields can be swapped for ablations
+    (different encoder, capture hardware, noise...).
+    """
+
+    encoder: ZoneEncoder
+    stimulus: Multitone
+    golden_spec: BiquadSpec
+    tester: SignatureTester
+
+    # ------------------------------------------------------------------
+    # CUT factories
+    # ------------------------------------------------------------------
+    def golden_filter(self) -> BiquadFilter:
+        """The defect-free behavioural CUT."""
+        return BiquadFilter(self.golden_spec)
+
+    def deviated_filter(self, f0_fraction: float) -> BiquadFilter:
+        """CUT with a relative natural-frequency deviation."""
+        return BiquadFilter(self.golden_spec.with_f0_deviation(f0_fraction))
+
+    # ------------------------------------------------------------------
+    # Headline measurements
+    # ------------------------------------------------------------------
+    def test_deviation(self, f0_fraction: float,
+                       band: Optional[DecisionBand] = None
+                       ) -> MeasurementResult:
+        """Measure one deviated CUT against the golden signature."""
+        return self.tester.measure(self.deviated_filter(f0_fraction), band)
+
+    def fig8_sweep(self, deviations: Optional[Sequence[float]] = None
+                   ) -> ThresholdCalibration:
+        """The Fig. 8 NDF-vs-deviation sweep."""
+        if deviations is None:
+            deviations = np.linspace(-0.20, 0.20, 21)
+        return self.tester.sweep_with(list(deviations), self.deviated_filter)
+
+    def noise_model(self, rng=0) -> NoiseModel:
+        """The paper's 3-sigma = 0.015 V white noise."""
+        return NoiseModel(PAPER_NOISE_3SIGMA, rng=rng)
+
+
+def paper_setup(samples_per_period: int = PAPER_SAMPLES_PER_PERIOD,
+                refine: bool = True,
+                capture: Optional[AsyncCapture] = None,
+                noise: Optional[NoiseModel] = None,
+                prefilter: Optional[BandLimiter] = None) -> PaperSetup:
+    """Build the calibrated paper bench.
+
+    Parameters mirror :class:`repro.core.testflow.SignatureTester`; the
+    defaults give the ideal-capture configuration used for Figs. 6-8.
+    """
+    encoder = table1_encoder()
+    tester = SignatureTester(encoder, PAPER_STIMULUS,
+                             BiquadFilter(PAPER_BIQUAD),
+                             samples_per_period=samples_per_period,
+                             refine=refine, capture=capture, noise=noise,
+                             prefilter=prefilter)
+    return PaperSetup(encoder, PAPER_STIMULUS, PAPER_BIQUAD, tester)
+
+
+def noisy_paper_setup(rng=0,
+                      three_sigma: float = PAPER_NOISE_3SIGMA,
+                      pole_hz: float = PAPER_INPUT_POLE_HZ,
+                      samples_per_period: int = PAPER_SAMPLES_PER_PERIOD
+                      ) -> PaperSetup:
+    """Paper bench with the Section IV-C noise configuration.
+
+    The golden signature is captured noise-free but through the same
+    front-end pole, exactly as a calibration measurement would be.
+    """
+    setup = paper_setup(samples_per_period=samples_per_period,
+                        prefilter=BandLimiter(pole_hz))
+    setup.tester.noise = None  # golden stays clean
+    return setup

@@ -1,0 +1,65 @@
+"""Measurement-noise injection.
+
+The paper's robustness study superimposes "high frequency white noise on
+the signals with null mean and a 3 sigma spread of 0.015 V" and shows
+that 1 % deviations of the Biquad's natural frequency remain detectable.
+This module reproduces that noise model: independent zero-mean Gaussian
+samples added to each waveform sample, parameterized by the 3-sigma
+spread exactly as the paper quotes it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.signals.waveform import Waveform
+
+#: The paper's quoted noise level: 3 sigma = 0.015 V.
+PAPER_NOISE_3SIGMA = 0.015
+
+
+class NoiseModel:
+    """Additive white Gaussian measurement noise.
+
+    Parameters
+    ----------
+    three_sigma:
+        The 3-sigma spread in volts (the paper quotes 0.015 V); the
+        per-sample standard deviation is ``three_sigma / 3``.
+    rng:
+        A :class:`numpy.random.Generator` or an integer seed.
+    """
+
+    def __init__(self, three_sigma: float = PAPER_NOISE_3SIGMA,
+                 rng: Union[int, np.random.Generator] = 0) -> None:
+        if three_sigma < 0:
+            raise ValueError("noise spread must be non-negative")
+        self.three_sigma = float(three_sigma)
+        self.rng = (rng if isinstance(rng, np.random.Generator)
+                    else np.random.default_rng(rng))
+
+    @property
+    def sigma(self) -> float:
+        """Per-sample standard deviation in volts."""
+        return self.three_sigma / 3.0
+
+    def samples(self, count: int) -> np.ndarray:
+        """Draw ``count`` independent noise samples."""
+        if self.three_sigma == 0.0:
+            return np.zeros(count)
+        return self.rng.normal(0.0, self.sigma, size=count)
+
+    def corrupt(self, waveform: Waveform) -> Waveform:
+        """Return a noisy copy of a waveform."""
+        return Waveform(waveform.times,
+                        waveform.values + self.samples(len(waveform)))
+
+    def corrupt_pair(self, x: Waveform, y: Waveform) -> tuple:
+        """Corrupt the two composed signals with independent noise.
+
+        The monitor sees both x(t) and y(t) through analog pads, so each
+        channel gets its own noise realization.
+        """
+        return self.corrupt(x), self.corrupt(y)

@@ -1,0 +1,130 @@
+"""Sweep drivers and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Comparison,
+    ascii_xy_plot,
+    banner,
+    catastrophic_coverage,
+    close,
+    comparison_table,
+    deviation_sweep,
+    format_table,
+    noise_detection_study,
+    process_variation_study,
+)
+from repro.core.decision import DecisionBand
+from repro.core.testflow import SignatureTester
+from repro.filters import BiquadFilter, TowThomasValues
+from repro.devices.process import MonteCarloSampler
+from repro.signals.noise import NoiseModel
+from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+
+
+# ----------------------------------------------------------------------
+# Sweeps
+# ----------------------------------------------------------------------
+
+def test_deviation_sweep_f0(setup):
+    cal = deviation_sweep(setup.tester, setup.golden_spec,
+                          [-0.1, -0.05, 0.0, 0.05, 0.1])
+    assert cal.ndf_at(0.0) == pytest.approx(0.0, abs=1e-9)
+    assert cal.ndf_at(0.1) > cal.ndf_at(0.05) > 0
+
+
+def test_deviation_sweep_other_parameters(setup):
+    cal_q = deviation_sweep(setup.tester, setup.golden_spec,
+                            [-0.2, 0.0, 0.2], parameter="q")
+    cal_g = deviation_sweep(setup.tester, setup.golden_spec,
+                            [-0.2, 0.0, 0.2], parameter="gain")
+    assert cal_q.ndf_at(0.2) > 0
+    assert cal_g.ndf_at(0.2) > 0
+    with pytest.raises(ValueError):
+        deviation_sweep(setup.tester, setup.golden_spec, [0.0],
+                        parameter="nope")
+
+
+def test_noise_detection_study_rates():
+    from repro.paper import noisy_paper_setup
+    bench = noisy_paper_setup(samples_per_period=2048)
+    study = noise_detection_study(
+        bench.tester, bench.golden_spec, NoiseModel(0.015, rng=0),
+        deviations=(-0.05, 0.05), repeats=6)
+    rates = study.detection_rates()
+    assert rates[0.05] == 1.0
+    assert rates[-0.05] == 1.0
+    assert study.false_alarm_rate() <= 0.2
+    assert study.min_fully_detected() == pytest.approx(0.05)
+
+
+def test_process_variation_study(bank, golden_filter):
+    sampler = MonteCarloSampler(rng=0)
+
+    def factory(encoder):
+        return SignatureTester(encoder, PAPER_STIMULUS,
+                               BiquadFilter(PAPER_BIQUAD),
+                               samples_per_period=1024)
+
+    values = process_variation_study(bank, factory, golden_filter,
+                                     sampler, num_dies=4)
+    assert values.shape == (4,)
+    assert np.all(values >= 0)
+    assert np.all(values < 0.1)  # monitor variation costs < 10 % NDF
+
+
+def test_catastrophic_coverage(setup):
+    values = TowThomasValues.from_spec(setup.golden_spec)
+    band = DecisionBand(0.05)
+    rows = catastrophic_coverage(setup.tester, values, band)
+    assert len(rows) == 14
+    detected = sum(r.detected for r in rows)
+    assert detected >= 12  # opens/shorts are gross: nearly all caught
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+
+def test_format_table_alignment():
+    table = format_table(["a", "bb"], [[1, 2.5], ["xx", None]])
+    lines = table.split("\n")
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert "-" in lines[1]
+
+
+def test_comparison_rows():
+    comp = Comparison("NDF(+10%)", 0.1021, 0.0999, match=True)
+    table = comparison_table([comp])
+    assert "NDF(+10%)" in table
+    assert "ok" in table
+    bad = Comparison("zones", 16, 12, match=False)
+    assert "DIFFERS" in comparison_table([bad])
+
+
+def test_ascii_xy_plot():
+    x = np.linspace(0, 1, 50)
+    art = ascii_xy_plot(x, x ** 2, width=40, height=10)
+    lines = art.split("\n")
+    assert len(lines) == 11
+    assert "*" in art
+    assert "x:" in lines[-1]
+
+
+def test_ascii_xy_plot_empty():
+    assert "no finite data" in ascii_xy_plot(np.array([np.nan]),
+                                             np.array([np.nan]))
+
+
+def test_banner():
+    art = banner("Fig. 8")
+    assert art.count("\n") == 2
+    assert "Fig. 8" in art
+
+
+def test_close_tolerance():
+    assert close(0.0999, 0.1021)
+    assert not close(0.2, 0.1021)
+    assert close(0.001, 0.0, abs_tol=0.01)

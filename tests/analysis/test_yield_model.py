@@ -1,0 +1,99 @@
+"""Yield / escape analysis over a process-spread CUT population."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CutPopulation,
+    CutUnit,
+    YieldReport,
+    optimal_threshold,
+    roc_curve,
+    yield_escape_analysis,
+)
+
+
+def synthetic_units():
+    """Hand-built population: NDF = |deviation| exactly."""
+    deviations = [-0.08, -0.06, -0.04, -0.02, 0.0, 0.02, 0.04, 0.06,
+                  0.08]
+    return [CutUnit(d, abs(d)) for d in deviations]
+
+
+def test_cut_unit_ground_truth():
+    unit = CutUnit(0.04, 0.04)
+    assert unit.is_good(0.05)
+    assert not unit.is_good(0.03)
+
+
+def test_confusion_matrix_counts():
+    units = synthetic_units()
+    report = yield_escape_analysis(units, threshold=0.05,
+                                   tolerance=0.05)
+    # Good units (|d| <= 0.05): -0.04 .. 0.04 -> five of them; all pass
+    # the 0.05 threshold.  Bad units (|d| = 0.06, 0.08) all fail.
+    assert report.true_pass == 5
+    assert report.true_fail == 4
+    assert report.yield_loss == 0
+    assert report.escapes == 0
+    assert report.total == len(units)
+
+
+def test_mismatched_threshold_produces_overkill_and_escapes():
+    units = synthetic_units()
+    tight = yield_escape_analysis(units, threshold=0.03, tolerance=0.05)
+    assert tight.yield_loss == 2  # the |d| = 0.04 good units fail
+    assert tight.escapes == 0
+    loose = yield_escape_analysis(units, threshold=0.07, tolerance=0.05)
+    assert loose.escapes == 2  # the |d| = 0.06 bad units pass
+    assert loose.yield_loss == 0
+    assert tight.yield_loss_rate > 0
+    assert loose.escape_rate > 0
+
+
+def test_roc_is_monotone():
+    units = synthetic_units()
+    reports = roc_curve(units, tolerance=0.05)
+    escapes = [r.escapes for r in reports]
+    losses = [r.yield_loss for r in reports]
+    # Raising the threshold can only add escapes and remove overkill.
+    assert all(a <= b for a, b in zip(escapes, escapes[1:]))
+    assert all(a >= b for a, b in zip(losses, losses[1:]))
+
+
+def test_optimal_threshold_balances_costs():
+    units = synthetic_units()
+    exact = optimal_threshold(units, tolerance=0.05, escape_cost=10.0)
+    # With NDF == |d| a perfect threshold exists: no errors at all.
+    assert exact.escapes == 0
+    assert exact.yield_loss == 0
+
+
+def test_optimal_threshold_prefers_overkill_when_escapes_cost_more():
+    # Distorted population where NDF ordering is imperfect.
+    units = [CutUnit(0.0, 0.00), CutUnit(0.02, 0.02),
+             CutUnit(0.06, 0.04),   # bad unit with low NDF
+             CutUnit(0.04, 0.05),   # good unit with high NDF
+             CutUnit(0.08, 0.09)]
+    cheap_escapes = optimal_threshold(units, 0.05, escape_cost=0.5)
+    dear_escapes = optimal_threshold(units, 0.05, escape_cost=100.0)
+    assert dear_escapes.escapes <= cheap_escapes.escapes
+    assert dear_escapes.threshold <= cheap_escapes.threshold
+
+
+def test_population_statistics():
+    from repro.paper import PAPER_BIQUAD
+    population = CutPopulation(PAPER_BIQUAD, sigma_f0=0.03, rng=0)
+    deviations = population.draw_deviations(4000)
+    assert np.mean(deviations) == pytest.approx(0.0, abs=3e-3)
+    assert np.std(deviations) == pytest.approx(0.03, rel=0.1)
+
+
+def test_population_measurement(setup):
+    population = CutPopulation(setup.golden_spec, sigma_f0=0.03, rng=1)
+    units = population.measure(setup.tester, count=6)
+    assert len(units) == 6
+    for unit in units:
+        # NDF tracks |deviation| along the Fig. 8 line (~1.0 slope).
+        assert unit.ndf == pytest.approx(abs(unit.f0_deviation),
+                                         abs=0.02)

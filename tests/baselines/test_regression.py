@@ -1,0 +1,80 @@
+"""Regression (alternate test) baseline on signature dwell features."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RegressionTester, dwell_vector
+from repro.core.signature import Signature
+
+
+def test_dwell_vector_basics():
+    sig = Signature.from_pairs([(1, 0.25), (2, 0.5), (1, 0.25)])
+    vec = dwell_vector(sig, [1, 2])
+    np.testing.assert_allclose(vec, [0.5, 0.5, 0.0])
+    assert vec.sum() == pytest.approx(1.0)
+
+
+def test_dwell_vector_overflow_slot():
+    sig = Signature.from_pairs([(1, 0.4), (9, 0.6)])
+    vec = dwell_vector(sig, [1, 2])
+    np.testing.assert_allclose(vec, [0.4, 0.0, 0.6])
+
+
+@pytest.fixture(scope="module")
+def training_data(setup):
+    deviations = np.linspace(-0.15, 0.15, 13)
+    signatures = [setup.tester.signature_of(setup.deviated_filter(d))
+                  for d in deviations]
+    return deviations, signatures
+
+
+def test_fit_and_in_sample_accuracy(training_data):
+    deviations, signatures = training_data
+    tester = RegressionTester()
+    model = tester.fit(deviations, signatures)
+    assert model.training_residual_rms < 0.01  # within 1 % deviation
+
+
+def test_out_of_sample_prediction(setup, training_data):
+    deviations, signatures = training_data
+    tester = RegressionTester()
+    tester.fit(deviations, signatures)
+    for dev in (-0.12, -0.04, 0.06, 0.13):
+        sig = setup.tester.signature_of(setup.deviated_filter(dev))
+        predicted = tester.predict(sig)
+        assert predicted == pytest.approx(dev, abs=0.03)
+
+
+def test_decision(setup, training_data):
+    deviations, signatures = training_data
+    tester = RegressionTester()
+    tester.fit(deviations, signatures)
+    good = setup.tester.signature_of(setup.deviated_filter(0.01))
+    bad = setup.tester.signature_of(setup.deviated_filter(0.14))
+    assert tester.decide(good, tolerance=0.05)
+    assert not tester.decide(bad, tolerance=0.05)
+
+
+def test_prediction_errors_vector(training_data):
+    deviations, signatures = training_data
+    tester = RegressionTester()
+    tester.fit(deviations, signatures)
+    errors = tester.prediction_errors(deviations, signatures)
+    assert errors.shape == deviations.shape
+    assert np.sqrt(np.mean(errors ** 2)) < 0.01
+
+
+def test_unfitted_raises():
+    tester = RegressionTester()
+    sig = Signature.from_pairs([(1, 1.0)])
+    with pytest.raises(RuntimeError):
+        tester.predict(sig)
+
+
+def test_fit_validation():
+    tester = RegressionTester()
+    sig = Signature.from_pairs([(1, 1.0)])
+    with pytest.raises(ValueError):
+        tester.fit([0.1], [sig])
+    with pytest.raises(ValueError):
+        tester.fit([0.1, 0.2], [sig])

@@ -1,0 +1,143 @@
+"""DC analysis: linear exactness, Newton on nonlinear circuits, fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    CurrentSource,
+    Diode,
+    Resistor,
+    SingularCircuitError,
+    VoltageSource,
+    dc_operating_point,
+)
+from repro.circuits.dc import ConvergenceError, NewtonOptions
+
+
+def divider(r1=1e3, r2=1e3, v=1.0):
+    ckt = Circuit("divider")
+    ckt.add(VoltageSource("V1", "in", "0", dc=v))
+    ckt.add(Resistor("R1", "in", "out", r1))
+    ckt.add(Resistor("R2", "out", "0", r2))
+    return ckt.assemble()
+
+
+def test_divider_exact():
+    system = divider()
+    sol = dc_operating_point(system)
+    assert sol.voltage(system, "out") == pytest.approx(0.5, abs=1e-12)
+    assert sol.voltage(system, "in") == pytest.approx(1.0, abs=1e-12)
+
+
+def test_divider_asymmetric():
+    system = divider(r1=3e3, r2=1e3, v=2.0)
+    sol = dc_operating_point(system)
+    assert sol.voltage(system, "out") == pytest.approx(0.5)
+
+
+def test_source_branch_current():
+    ckt = Circuit()
+    v1 = ckt.add(VoltageSource("V1", "a", "0", dc=1.0))
+    ckt.add(Resistor("R1", "a", "0", 100.0))
+    system = ckt.assemble()
+    sol = dc_operating_point(system)
+    # Branch current flows + -> - through the source: the source pushes
+    # 10 mA into the resistor, so its internal current is -10 mA.
+    assert v1.current(sol.x) == pytest.approx(-0.01)
+
+
+def test_resistor_ladder_superposition():
+    """Two sources: solution must equal the sum of single-source runs."""
+    def build(v1, v2):
+        ckt = Circuit()
+        ckt.add(VoltageSource("V1", "a", "0", dc=v1))
+        ckt.add(VoltageSource("V2", "c", "0", dc=v2))
+        ckt.add(Resistor("R1", "a", "b", 1e3))
+        ckt.add(Resistor("R2", "b", "c", 2e3))
+        ckt.add(Resistor("R3", "b", "0", 3e3))
+        system = ckt.assemble()
+        return dc_operating_point(system).voltage(system, "b")
+
+    vb_both = build(1.0, 2.0)
+    vb_1 = build(1.0, 0.0)
+    vb_2 = build(0.0, 2.0)
+    assert vb_both == pytest.approx(vb_1 + vb_2, rel=1e-12)
+
+
+def test_current_source_direction():
+    """CurrentSource pushes current npos -> nneg through itself."""
+    ckt = Circuit()
+    ckt.add(CurrentSource("I1", "0", "a", dc=1e-3))  # injects into a
+    ckt.add(Resistor("R1", "a", "0", 1e3))
+    system = ckt.assemble()
+    sol = dc_operating_point(system)
+    assert sol.voltage(system, "a") == pytest.approx(1.0)
+
+
+def test_diode_forward_drop():
+    ckt = Circuit()
+    ckt.add(VoltageSource("V1", "in", "0", dc=5.0))
+    ckt.add(Resistor("R1", "in", "d", 1e3))
+    d = ckt.add(Diode("D1", "d", "0"))
+    system = ckt.assemble()
+    sol = dc_operating_point(system)
+    vd = sol.voltage(system, "d")
+    assert 0.5 < vd < 0.8  # silicon-ish drop
+    # Current through R equals diode current.
+    i_r = (5.0 - vd) / 1e3
+    i_d, _ = d._iv(vd)
+    assert i_r == pytest.approx(i_d, rel=1e-6)
+
+
+def test_diode_reverse_blocks():
+    ckt = Circuit()
+    ckt.add(VoltageSource("V1", "in", "0", dc=-5.0))
+    ckt.add(Resistor("R1", "in", "d", 1e3))
+    ckt.add(Diode("D1", "d", "0"))
+    system = ckt.assemble()
+    sol = dc_operating_point(system)
+    # All the voltage drops across the diode (almost no current).
+    assert sol.voltage(system, "d") == pytest.approx(-5.0, abs=1e-3)
+
+
+def test_kcl_residual_at_solution():
+    ckt = Circuit()
+    ckt.add(VoltageSource("V1", "in", "0", dc=3.0))
+    ckt.add(Resistor("R1", "in", "d", 2e3))
+    ckt.add(Diode("D1", "d", "0"))
+    system = ckt.assemble()
+    sol = dc_operating_point(system)
+    residual = system.residual(sol.x)
+    assert np.max(np.abs(residual)) < 1e-8
+
+
+def test_floating_node_is_singular():
+    ckt = Circuit()
+    ckt.add(VoltageSource("V1", "a", "0", dc=1.0))
+    ckt.add(Resistor("R1", "b", "c", 1e3))  # floating island
+    system = ckt.assemble()
+    with pytest.raises((SingularCircuitError, ConvergenceError)):
+        dc_operating_point(system)
+
+
+def test_time_varying_source_evaluated_at_t():
+    ckt = Circuit()
+    ckt.add(VoltageSource("V1", "a", "0", dc=lambda t: 2.0 * t))
+    ckt.add(Resistor("R1", "a", "0", 1.0))
+    system = ckt.assemble()
+    assert dc_operating_point(system, t=3.0).voltage(system, "a") \
+        == pytest.approx(6.0)
+
+
+def test_newton_options_respected():
+    options = NewtonOptions(max_iterations=1)
+    ckt = Circuit()
+    ckt.add(VoltageSource("V1", "in", "0", dc=5.0))
+    ckt.add(Resistor("R1", "in", "d", 1e3))
+    ckt.add(Diode("D1", "d", "0"))
+    system = ckt.assemble()
+    # One iteration cannot converge the diode, but the homotopy ladder
+    # also gets only one iteration per rung, so the solve must fail.
+    with pytest.raises(ConvergenceError):
+        dc_operating_point(system, options=options)

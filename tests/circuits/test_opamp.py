@@ -1,0 +1,105 @@
+"""Op-amp macro models: ideal nullor and single-pole finite-gain."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    IdealOpAmp,
+    OpAmpSpec,
+    Resistor,
+    VoltageSource,
+    ac_analysis,
+    add_single_pole_opamp,
+    dc_operating_point,
+)
+
+
+def test_ideal_inverting_amplifier():
+    ckt = Circuit()
+    ckt.add(VoltageSource("V1", "in", "0", dc=0.1))
+    ckt.add(Resistor("R1", "in", "x", 1e3))
+    ckt.add(Resistor("R2", "x", "out", 2e3))
+    ckt.add(IdealOpAmp("U1", "0", "x", "out"))
+    system = ckt.assemble()
+    sol = dc_operating_point(system)
+    assert sol.voltage(system, "out") == pytest.approx(-0.2)
+    assert sol.voltage(system, "x") == pytest.approx(0.0, abs=1e-12)
+
+
+def test_single_pole_dc_gain():
+    spec = OpAmpSpec(dc_gain=1e5, gbw_hz=1e6)
+    ckt = Circuit()
+    ckt.add(VoltageSource("V1", "in", "0", dc=1e-4, ac=1.0))
+    add_single_pole_opamp(ckt, "U1", "in", "0", "out", spec)
+    ckt.add(Resistor("RL", "out", "0", 1e6))
+    system = ckt.assemble()
+    sol = dc_operating_point(system)
+    assert sol.voltage(system, "out") == pytest.approx(1e-4 * 1e5, rel=1e-3)
+
+
+def test_single_pole_unity_gain_frequency():
+    spec = OpAmpSpec(dc_gain=1e5, gbw_hz=1e6)
+    ckt = Circuit()
+    ckt.add(VoltageSource("V1", "in", "0", dc=0.0, ac=1.0))
+    add_single_pole_opamp(ckt, "U1", "in", "0", "out", spec)
+    ckt.add(Resistor("RL", "out", "0", 1e6))
+    system = ckt.assemble()
+    res = ac_analysis(system, [spec.gbw_hz])
+    # |A(j GBW)| ~ 1 for a single-pole response.
+    assert res.magnitude("out")[0] == pytest.approx(1.0, rel=0.01)
+
+
+def test_single_pole_closed_loop_follower():
+    """Unity feedback: closed-loop gain ~ 1 with tiny error ~ 1/A0."""
+    spec = OpAmpSpec(dc_gain=1e5, gbw_hz=10e6)
+    ckt = Circuit()
+    ckt.add(VoltageSource("V1", "in", "0", dc=0.5))
+    add_single_pole_opamp(ckt, "U1", "in", "out", "out", spec)
+    ckt.add(Resistor("RL", "out", "0", 1e5))
+    system = ckt.assemble()
+    sol = dc_operating_point(system)
+    assert sol.voltage(system, "out") == pytest.approx(0.5, rel=1e-4)
+
+
+def test_pole_frequency_property():
+    spec = OpAmpSpec(dc_gain=2e4, gbw_hz=4e6)
+    assert spec.pole_hz == pytest.approx(200.0)
+
+
+def test_finite_gain_biquad_shifts_f0_slightly():
+    """Extension experiment: a slow op-amp perturbs the realized Biquad.
+
+    The ideal Tow-Thomas realizes f0 exactly; replacing the ideal
+    op-amps with 1 MHz-GBW macros must shift the resonance by a small
+    but visible amount (and in the downward direction, the classic
+    integrator-excess-phase effect).
+    """
+    from repro.filters import BiquadSpec, TowThomasValues
+    from repro.circuits import Capacitor
+
+    spec = BiquadSpec(11e3, 1.0, 1.0)
+    v = TowThomasValues.from_spec(spec)
+    slow = OpAmpSpec(dc_gain=1e4, gbw_hz=1e6)
+
+    ckt = Circuit("tt-finite")
+    ckt.add(VoltageSource("Vin", "vin", "0", dc=0.0, ac=1.0))
+    ckt.add(Resistor("R1", "vin", "n1", v.r1))
+    ckt.add(Resistor("R2", "n1", "bp", v.r2))
+    ckt.add(Capacitor("C1", "n1", "bp", v.c1))
+    add_single_pole_opamp(ckt, "A1", "0", "n1", "bp", slow)
+    ckt.add(Resistor("R3", "bp", "n2", v.r3))
+    ckt.add(Capacitor("C2", "n2", "lp", v.c2))
+    add_single_pole_opamp(ckt, "A2", "0", "n2", "lp", slow)
+    ckt.add(Resistor("R4a", "lp", "n3", v.r4))
+    ckt.add(Resistor("R4b", "n3", "fb", v.r4))
+    add_single_pole_opamp(ckt, "A3", "0", "n3", "fb", slow)
+    ckt.add(Resistor("R5", "fb", "n1", v.r5))
+    system = ckt.assemble()
+
+    freqs = np.linspace(8e3, 14e3, 121)
+    res = ac_analysis(system, freqs)
+    mag = np.abs(res.transfer("bp", "vin"))  # band-pass peaks at f0
+    f_peak = freqs[int(np.argmax(mag))]
+    assert f_peak != pytest.approx(11e3, abs=50.0)  # visibly shifted
+    assert 9.5e3 < f_peak < 11.2e3  # ... but in the expected direction

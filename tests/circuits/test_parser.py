@@ -1,0 +1,203 @@
+"""SPICE-style netlist parser."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    NetlistError,
+    ac_analysis,
+    dc_operating_point,
+    parse_netlist,
+    parse_value,
+    transient,
+)
+
+
+# ----------------------------------------------------------------------
+# Value parsing
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("token,expected", [
+    ("1", 1.0), ("2.2k", 2200.0), ("10u", 1e-5), ("3meg", 3e6),
+    ("100n", 1e-7), ("4.7p", 4.7e-12), ("1.5e-3", 1.5e-3),
+    ("-2m", -2e-3), ("1g", 1e9), ("2.5f", 2.5e-15), ("10K", 1e4),
+    ("1kohm", 1e3),  # trailing unit letters ignored, SPICE style
+])
+def test_parse_value(token, expected):
+    assert parse_value(token) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("token", ["", "abc", "1..2", "--3"])
+def test_parse_value_rejects(token):
+    with pytest.raises(ValueError):
+        parse_value(token)
+
+
+# ----------------------------------------------------------------------
+# Element parsing
+# ----------------------------------------------------------------------
+
+def test_divider():
+    ckt = parse_netlist("""
+    * comment line
+    V1 in 0 1.0
+    R1 in out 1k   ; inline comment
+    R2 out 0 1k
+    .end
+    """)
+    system = ckt.assemble()
+    assert dc_operating_point(system).voltage(system, "out") \
+        == pytest.approx(0.5)
+
+
+def test_continuation_lines():
+    ckt = parse_netlist("""
+    V1 in 0
+    + 2.0
+    R1 in 0 1k
+    """)
+    system = ckt.assemble()
+    assert dc_operating_point(system).voltage(system, "in") \
+        == pytest.approx(2.0)
+
+
+def test_sin_source_and_transient():
+    ckt = parse_netlist("""
+    V1 in 0 SIN(0 1 1k)
+    R1 in out 1k
+    C1 out 0 100n
+    """)
+    system = ckt.assemble()
+    result = transient(system, 2e-3, 1e-6)
+    assert np.max(result.voltage("out")) > 0.5
+
+
+def test_pulse_and_pwl_sources():
+    ckt = parse_netlist("""
+    V1 a 0 PULSE(0 1 1u 1n 1n 5u 10u)
+    V2 b 0 PWL(0 0 1m 1)
+    R1 a 0 1k
+    R2 b 0 1k
+    """)
+    v1 = ckt.element("V1")
+    v2 = ckt.element("V2")
+    assert v1.value_at(3e-6) == pytest.approx(1.0)
+    assert v2.value_at(0.5e-3) == pytest.approx(0.5)
+
+
+def test_ac_spec():
+    ckt = parse_netlist("""
+    V1 in 0 0 AC 1
+    R1 in out 1k
+    C1 out 0 1u
+    """)
+    system = ckt.assemble()
+    f3 = 1.0 / (2 * np.pi * 1e-3)
+    res = ac_analysis(system, [f3])
+    assert res.magnitude("out")[0] == pytest.approx(1 / np.sqrt(2),
+                                                    rel=1e-6)
+
+
+def test_controlled_sources_including_forward_reference():
+    ckt = parse_netlist("""
+    F1 0 out Vs 2.0
+    V1 in 0 1.0
+    R1 in a 1k
+    Vs a 0 0
+    RL out 0 1k
+    G1 0 g2 in 0 1m
+    Rg g2 0 1k
+    E1 e 0 in 0 3.0
+    Re e 0 1k
+    H1 h 0 Vs 1k
+    Rh h 0 1k
+    """)
+    system = ckt.assemble()
+    sol = dc_operating_point(system)
+    assert sol.voltage(system, "out") == pytest.approx(2.0)
+    assert sol.voltage(system, "g2") == pytest.approx(1.0)
+    assert sol.voltage(system, "e") == pytest.approx(3.0)
+    assert sol.voltage(system, "h") == pytest.approx(1.0)
+
+
+def test_diode_line():
+    ckt = parse_netlist("""
+    V1 in 0 5
+    R1 in d 1k
+    D1 d 0
+    """)
+    system = ckt.assemble()
+    vd = dc_operating_point(system).voltage(system, "d")
+    assert 0.5 < vd < 0.8
+
+
+def test_mosfet_with_model_card():
+    ckt = parse_netlist("""
+    .model nch NMOS (vto=0.42 kp=400u n=1.3 lambda=0.15 w=1.8u l=180n)
+    VDD vdd 0 1.2
+    VG g 0 0.6
+    RL vdd d 10k
+    M1 d g 0 nch
+    """)
+    system = ckt.assemble()
+    vd = dc_operating_point(system).voltage(system, "d")
+    assert 0.3 < vd < 0.7
+
+
+def test_mosfet_instance_size_override():
+    ckt = parse_netlist("""
+    .model nch NMOS (vto=0.42 kp=400u w=1u l=180n)
+    VDD d 0 1.2
+    VG g 0 0.8
+    M1 d g 0 nch w=3u
+    """)
+    m = ckt.element("M1")
+    assert m.model.w == pytest.approx(3e-6)
+
+
+def test_model_card_may_follow_instance():
+    ckt = parse_netlist("""
+    VDD d 0 1.2
+    VG g 0 0.8
+    M1 d g 0 nch
+    .model nch NMOS (vto=0.4)
+    """)
+    assert ckt.element("M1").model.params.vt0 == pytest.approx(0.4)
+
+
+def test_end_card_stops_parsing():
+    ckt = parse_netlist("""
+    R1 a 0 1k
+    .end
+    R2 b 0 1k
+    """)
+    assert "R2" not in ckt
+
+
+# ----------------------------------------------------------------------
+# Error reporting
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("netlist,fragment", [
+    ("R1 a 0", "needs 2 nodes"),
+    ("X1 a b c", "unsupported element"),
+    (".tran 1u 1m\nR1 a 0 1k", "unsupported card"),
+    ("M1 d g 0 missing\nV1 d 0 1", "unknown model"),
+    ("F1 0 out Vnone 2.0\nR1 out 0 1k", "not found"),
+    ("+ 1k", "continuation"),
+    ("", "no elements"),
+    ("V1 a 0 SIN(1)", "SIN needs"),
+    ("V1 a 0 PULSE(1 2 3)", "PULSE needs"),
+    ("V1 a 0 PWL(1)", "PWL needs"),
+])
+def test_errors(netlist, fragment):
+    with pytest.raises(NetlistError, match=fragment):
+        parse_netlist(netlist)
+
+
+def test_error_reports_line_number():
+    with pytest.raises(NetlistError, match="line 3"):
+        parse_netlist("""V1 a 0 1
+R1 a 0 1k
+X9 bad element here
+""")

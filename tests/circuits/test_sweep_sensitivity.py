@@ -1,0 +1,141 @@
+"""DC sweep analysis and component sensitivities."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+    dc_sweep,
+    ndf_component_sensitivities,
+    output_characteristic,
+    relative_sensitivities,
+    towthomas_f0_sensitivities,
+)
+from repro.devices import NMOS_65NM
+from repro.devices.mos_model import MosModel
+from repro.filters import BiquadSpec, TowThomasValues
+
+
+# ----------------------------------------------------------------------
+# DC sweep
+# ----------------------------------------------------------------------
+
+def test_linear_sweep_is_proportional():
+    ckt = Circuit()
+    src = ckt.add(VoltageSource("V1", "in", "0", dc=0.0))
+    ckt.add(Resistor("R1", "in", "out", 1e3))
+    ckt.add(Resistor("R2", "out", "0", 1e3))
+    system = ckt.assemble()
+    sweep = dc_sweep(system, src, np.linspace(0, 2, 11))
+    np.testing.assert_allclose(sweep.voltage("out"),
+                               0.5 * sweep.values, atol=1e-12)
+    assert not sweep.failed
+    # Source value restored afterwards.
+    assert src.dc == 0.0
+
+
+def test_sweep_branch_current():
+    ckt = Circuit()
+    src = ckt.add(VoltageSource("V1", "in", "0", dc=0.0))
+    ckt.add(Resistor("R1", "in", "0", 1e3))
+    system = ckt.assemble()
+    sweep = dc_sweep(system, src, [1.0, 2.0])
+    np.testing.assert_allclose(sweep.branch_current(src),
+                               [-1e-3, -2e-3])
+
+
+def test_sweep_empty_grid_rejected():
+    ckt = Circuit()
+    src = ckt.add(VoltageSource("V1", "in", "0", dc=0.0))
+    ckt.add(Resistor("R1", "in", "0", 1e3))
+    with pytest.raises(ValueError):
+        dc_sweep(ckt.assemble(), src, [])
+
+
+def test_mosfet_transfer_curve():
+    """VGS sweep of a resistor-loaded stage: drain falls monotonically."""
+    model = MosModel(NMOS_65NM, 1.8e-6, 180e-9)
+    ckt = Circuit()
+    ckt.add(VoltageSource("VDD", "vdd", "0", dc=1.2))
+    vg = ckt.add(VoltageSource("VG", "g", "0", dc=0.0))
+    ckt.add(Resistor("RL", "vdd", "d", 10e3))
+    ckt.add(Mosfet("M1", "d", "g", "0", model))
+    system = ckt.assemble()
+    sweep = dc_sweep(system, vg, np.linspace(0.0, 1.0, 21))
+    vd = sweep.voltage("d")
+    assert vd[0] == pytest.approx(1.2, abs=1e-3)   # off
+    assert vd[-1] < 0.3                            # hard on
+    assert np.all(np.diff(vd) < 1e-9)              # monotone fall
+
+
+def test_output_characteristic_family():
+    """Id(VDS) family: saturation currents ordered by VGS."""
+    model = MosModel(NMOS_65NM, 1.8e-6, 180e-9)
+    ckt = Circuit()
+    vd = ckt.add(VoltageSource("VD", "d", "0", dc=0.0))
+    vg = ckt.add(VoltageSource("VG", "g", "0", dc=0.0))
+    ckt.add(Mosfet("M1", "d", "g", "0", model))
+    system = ckt.assemble()
+
+    def drain_current(state):
+        return -vd.current(state)  # source supplies the drain current
+
+    curves = output_characteristic(system, vg, vd,
+                                   vgs_values=[0.6, 0.8, 1.0],
+                                   vds_values=np.linspace(0.05, 1.2, 12),
+                                   current_of=drain_current)
+    assert curves.shape == (3, 12)
+    # Higher VGS -> more current everywhere.
+    assert np.all(curves[1] > curves[0])
+    assert np.all(curves[2] > curves[1])
+    # Currents match the device model at the final point.
+    expected = model.drain_current(1.0, 1.2)
+    assert curves[2, -1] == pytest.approx(expected, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Sensitivities
+# ----------------------------------------------------------------------
+
+def test_generic_sensitivity_driver():
+    state = {"a": 2.0, "b": 3.0}
+
+    def evaluate():
+        return state["a"] ** 2 * state["b"]
+
+    rows = relative_sensitivities(
+        evaluate,
+        {"a": lambda v: state.__setitem__("a", v),
+         "b": lambda v: state.__setitem__("b", v)},
+        dict(state))
+    by_name = {r.component: r for r in rows}
+    # S_a = 2, S_b = 1 for Q = a^2 b.
+    assert by_name["a"].normalized == pytest.approx(2.0, rel=1e-4)
+    assert by_name["b"].normalized == pytest.approx(1.0, rel=1e-4)
+    # State restored.
+    assert state == {"a": 2.0, "b": 3.0}
+
+
+def test_towthomas_f0_sensitivities_match_theory():
+    """w0 = 1/sqrt(R3 R5 C1 C2): S = -1/2 for each, 0 for the rest."""
+    values = TowThomasValues.from_spec(BiquadSpec(11e3, 1.0, 1.0))
+    rows = {r.component: r.normalized
+            for r in towthomas_f0_sensitivities(values)}
+    for name in ("r3", "r5", "c1", "c2"):
+        assert rows[name] == pytest.approx(-0.5, abs=1e-3), name
+    for name in ("r1", "r2", "r4"):
+        assert rows[name] == pytest.approx(0.0, abs=1e-6), name
+
+
+def test_ndf_sensitivities_identify_observable_components(setup):
+    values = TowThomasValues.from_spec(setup.golden_spec)
+    rows = {r.component: r.normalized
+            for r in ndf_component_sensitivities(setup.tester, values)}
+    # The f0-setting components dominate the NDF response...
+    for name in ("r3", "r5", "c1", "c2"):
+        assert rows[name] > 0.1, name
+    # ... while the matched inverter resistor is invisible.
+    assert rows["r4"] == pytest.approx(0.0, abs=1e-3)

@@ -1,0 +1,65 @@
+"""Shared fixtures: the calibrated paper bench, cached per session.
+
+Signature capture over the six-monitor encoder is the expensive step;
+most tests only need read access to the same golden artifacts, so they
+are computed once per session here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.capture import capture_signature
+from repro.core.testflow import SignatureTester
+from repro.filters.biquad import BiquadFilter
+from repro.monitor.configurations import table1_bank, table1_encoder
+from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS, paper_setup
+
+
+@pytest.fixture(scope="session")
+def encoder():
+    """The six-monitor Table I zone encoder."""
+    return table1_encoder()
+
+
+@pytest.fixture(scope="session")
+def bank():
+    """The Table I monitor bank (list of six boundaries)."""
+    return table1_bank()
+
+
+@pytest.fixture(scope="session")
+def stimulus():
+    """The calibrated two-tone stimulus (period 200 us)."""
+    return PAPER_STIMULUS
+
+
+@pytest.fixture(scope="session")
+def golden_spec():
+    """The calibrated golden Biquad spec."""
+    return PAPER_BIQUAD
+
+
+@pytest.fixture(scope="session")
+def golden_filter(golden_spec):
+    """Behavioural golden CUT."""
+    return BiquadFilter(golden_spec)
+
+
+@pytest.fixture(scope="session")
+def setup():
+    """A fully wired paper bench (ideal capture)."""
+    return paper_setup()
+
+
+@pytest.fixture(scope="session")
+def golden_signature(setup):
+    """The golden signature, captured once."""
+    return setup.tester.golden_signature()
+
+
+@pytest.fixture(scope="session")
+def defective_signature(setup):
+    """Signature of the +10 % f0 CUT (the Fig. 6/7 defective unit)."""
+    return setup.tester.signature_of(setup.deviated_filter(0.10))

@@ -1,0 +1,88 @@
+"""Boundary abstraction: bits, origin sides, locus extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.boundaries import (
+    Boundary,
+    CallableBoundary,
+    LinearBoundary,
+)
+
+
+def test_linear_boundary_bits():
+    line = LinearBoundary.vertical("v", 0.5)
+    assert line.bit(0.2, 0.9) == 0  # origin side
+    assert line.bit(0.8, 0.1) == 1
+    # Exactly on the line: belongs to the origin side.
+    assert line.bit(0.5, 0.3) == 0
+
+
+def test_horizontal_line():
+    line = LinearBoundary.horizontal("h", 0.25)
+    assert line.bit(0.9, 0.1) == 0
+    assert line.bit(0.9, 0.9) == 1
+
+
+def test_degenerate_line_rejected():
+    with pytest.raises(ValueError):
+        LinearBoundary("bad", 0.0, 0.0, 1.0)
+
+
+def test_line_through_origin_needs_reference():
+    line = LinearBoundary("diag", -1.0, 1.0, 0.0)  # y = x, no reference
+    with pytest.raises(ValueError, match="reference"):
+        line.bit(0.3, 0.7)
+
+
+def test_diagonal_with_reference():
+    diag = LinearBoundary.diagonal("d")
+    assert diag.bit(0.7, 0.3) == 0  # below: origin side by convention
+    assert diag.bit(0.3, 0.7) == 1
+
+
+def test_reference_point_on_boundary_rejected():
+    line = LinearBoundary("diag", -1.0, 1.0, 0.0,
+                          reference_point=(0.4, 0.4))
+    with pytest.raises(ValueError, match="reference point lies"):
+        line.bit(0.3, 0.7)
+
+
+def test_bit_vectorization():
+    line = LinearBoundary.vertical("v", 0.5)
+    xs = np.array([0.1, 0.9, 0.4])
+    ys = np.zeros(3)
+    np.testing.assert_array_equal(line.bit(xs, ys), [0, 1, 0])
+
+
+def test_callable_boundary_circle():
+    circle = CallableBoundary(
+        "circle", lambda x, y: (np.asarray(x) - 0.5) ** 2
+        + (np.asarray(y) - 0.5) ** 2 - 0.04)
+    assert circle.bit(0.5, 0.5) == 1  # inside, origin outside
+    assert circle.bit(0.0, 0.0) == 0
+
+
+def test_locus_points_of_line():
+    line = LinearBoundary("l", -0.5, 1.0, -0.2)  # y = 0.5 x + 0.2
+    xs = np.linspace(0.0, 1.0, 11)
+    ys = line.locus_points(xs)
+    np.testing.assert_allclose(ys, 0.5 * xs + 0.2, atol=1e-7)
+
+
+def test_locus_points_outside_window_nan():
+    line = LinearBoundary.horizontal("h", 2.0)  # above the window
+    ys = line.locus_points(np.linspace(0, 1, 5))
+    assert np.all(np.isnan(ys))
+
+
+def test_locus_sweep_y():
+    line = LinearBoundary.vertical("v", 0.3)
+    xs = line.locus_points(np.linspace(0, 1, 5), sweep="y")
+    np.testing.assert_allclose(xs, 0.3, atol=1e-7)
+
+
+def test_origin_sign_cached():
+    line = LinearBoundary.vertical("v", 0.5)
+    assert line.origin_sign == line.origin_sign  # stable and cached
+    assert line.origin_sign in (-1.0, 1.0)

@@ -1,0 +1,153 @@
+"""Capture models: bisection refinement and the Fig. 5 hardware model."""
+
+import numpy as np
+import pytest
+
+from repro.core.boundaries import LinearBoundary
+from repro.core.capture import (
+    AsyncCapture,
+    CaptureConfig,
+    capture_signature,
+)
+from repro.core.signature import Signature
+from repro.core.zones import ZoneEncoder
+from repro.signals.lissajous import LissajousTrace
+from repro.signals.waveform import Waveform
+
+
+@pytest.fixture
+def circle_trace():
+    """Circle traced over 1 ms, centred at (0.5, 0.5).
+
+    The 45-degree starting phase keeps the first sample off both
+    quadrant boundaries, so every crossing lies strictly inside the
+    period: x = 0.5 at t = 1/8 and 5/8 ms, y = 0.5 at 3/8 and 7/8 ms.
+    """
+    t = np.arange(512) * (1e-3 / 512)
+    phase = 2 * np.pi * 1e3 * t + np.pi / 4
+    x = 0.5 + 0.4 * np.cos(phase)
+    y = 0.5 + 0.4 * np.sin(phase)
+    return LissajousTrace(Waveform(t, x), Waveform(t, y), 1e-3)
+
+
+@pytest.fixture
+def quad_encoder():
+    """Vertical + horizontal midlines: four quadrant zones."""
+    return ZoneEncoder([LinearBoundary.vertical("v", 0.5),
+                        LinearBoundary.horizontal("h", 0.5)])
+
+
+def test_circle_visits_four_quadrants(quad_encoder, circle_trace):
+    sig = capture_signature(quad_encoder, circle_trace, refine=False)
+    assert sig.distinct_codes() == {0b00, 0b01, 0b10, 0b11}
+    assert sig.period == pytest.approx(1e-3)
+
+
+EXPECTED_CROSSINGS = np.array([0.125e-3, 0.375e-3, 0.625e-3, 0.875e-3])
+
+
+def test_refined_crossings_are_exact(quad_encoder, circle_trace):
+    """Refined transition instants land on the exact crossing angles,
+    far beyond the 512-sample grid resolution."""
+    sig = capture_signature(quad_encoder, circle_trace, refine=True)
+    got = sig.breakpoints()
+    assert len(got) == 4
+    np.testing.assert_allclose(got, EXPECTED_CROSSINGS, atol=2e-8)
+
+
+def test_refinement_beats_sampling_quantization(quad_encoder,
+                                                circle_trace):
+    coarse = capture_signature(quad_encoder, circle_trace, refine=False)
+    fine = capture_signature(quad_encoder, circle_trace, refine=True)
+    dt = 1e-3 / 512
+    err_coarse = np.max(np.abs(coarse.breakpoints() - EXPECTED_CROSSINGS))
+    err_fine = np.max(np.abs(fine.breakpoints() - EXPECTED_CROSSINGS))
+    assert err_fine < err_coarse / 100
+    assert err_coarse <= dt * (1 + 1e-9)  # bounded by the grid
+
+
+def test_constant_code_trace(quad_encoder):
+    t = np.arange(64) * (1e-3 / 64)
+    trace = LissajousTrace(Waveform(t, np.full(64, 0.2)),
+                           Waveform(t, np.full(64, 0.2)), 1e-3)
+    sig = capture_signature(quad_encoder, trace)
+    assert len(sig) == 1
+    assert sig.entries[0].code == 0
+
+
+# ----------------------------------------------------------------------
+# Asynchronous capture (Fig. 5)
+# ----------------------------------------------------------------------
+
+def test_capture_config_validation():
+    with pytest.raises(ValueError):
+        CaptureConfig(clock_hz=0.0)
+    with pytest.raises(ValueError):
+        CaptureConfig(counter_bits=0)
+    cfg = CaptureConfig(clock_hz=10e6, counter_bits=8)
+    assert cfg.tick == pytest.approx(1e-7)
+    assert cfg.max_count == 255
+
+
+def test_quantize_rounds_to_clock_edges(quad_encoder):
+    ideal = Signature.from_pairs(
+        [(0, 0.24e-3), (1, 0.26e-3), (3, 0.25e-3), (2, 0.25e-3)])
+    cap = AsyncCapture(quad_encoder, CaptureConfig(clock_hz=1e5))  # 10 us
+    quantized = cap.quantize(ideal)
+    ticks = quantized.durations() / 1e-5
+    np.testing.assert_allclose(ticks, np.round(ticks), atol=1e-9)
+    assert quantized.period == pytest.approx(1e-3)
+    assert quantized.codes() == ideal.codes()
+
+
+def test_quantize_collapses_glitches(quad_encoder):
+    """Zones living entirely between two clock edges vanish.
+
+    The glitch spans 0.41-0.411 ms; both of its transitions round up to
+    the same 100 us edge (tick 5), so the synchronized capture only
+    sees the final code of the burst.
+    """
+    ideal = Signature.from_pairs(
+        [(0, 0.41e-3), (1, 1e-6), (3, 0.59e-3 - 1e-6)])
+    cap = AsyncCapture(quad_encoder, CaptureConfig(clock_hz=1e4))  # 100 us
+    quantized = cap.quantize(ideal)
+    assert 1 not in quantized.distinct_codes()
+    assert quantized.codes() == [0, 3]
+
+
+def test_quantize_keeps_glitch_spanning_an_edge(quad_encoder):
+    """A short zone that straddles a clock edge is captured (one tick)."""
+    ideal = Signature.from_pairs(
+        [(0, 0.4e-3 - 0.5e-6), (1, 1e-6), (3, 0.6e-3 - 0.5e-6)])
+    cap = AsyncCapture(quad_encoder, CaptureConfig(clock_hz=1e4))
+    quantized = cap.quantize(ideal)
+    assert quantized.codes() == [0, 1, 3]
+    assert quantized.entries[1].duration == pytest.approx(1e-4)
+
+
+def test_counter_saturation(quad_encoder):
+    """Dwells longer than 2^m - 1 ticks saturate the time register."""
+    ideal = Signature.from_pairs([(0, 0.9e-3), (1, 0.1e-3)])
+    cfg = CaptureConfig(clock_hz=1e6, counter_bits=8)  # max 255 us
+    quantized = AsyncCapture(quad_encoder, cfg).quantize(ideal)
+    assert quantized.entries[0].duration == pytest.approx(255e-6)
+    # Saturation shrinks the reported period: the signature keeps its
+    # own (shorter) total; the paper leaves overflow handling open.
+    assert quantized.period < ideal.period
+
+
+def test_counter_wrap_mode(quad_encoder):
+    ideal = Signature.from_pairs([(0, 0.3e-3), (1, 0.7e-3)])
+    cfg = CaptureConfig(clock_hz=1e6, counter_bits=8, wrap=True)
+    quantized = AsyncCapture(quad_encoder, cfg).quantize(ideal)
+    # 700 ticks wraps modulo 256 -> 188 ticks.
+    assert quantized.entries[1].duration == pytest.approx(188e-6)
+
+
+def test_fine_clock_approaches_ideal(quad_encoder, circle_trace):
+    ideal = capture_signature(quad_encoder, circle_trace, refine=True)
+    cap = AsyncCapture(quad_encoder, CaptureConfig(clock_hz=100e6))
+    quantized = cap.capture(circle_trace)
+    assert quantized.codes() == ideal.codes()
+    np.testing.assert_allclose(quantized.breakpoints(),
+                               ideal.breakpoints(), atol=2e-8)

@@ -1,0 +1,101 @@
+"""Decision bands, threshold calibration and sweep diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.decision import (
+    DecisionBand,
+    TestVerdict,
+    ThresholdCalibration,
+)
+
+
+@pytest.fixture
+def linear_calibration():
+    """A symmetric, perfectly linear sweep: NDF = |deviation|."""
+    devs = np.linspace(-0.2, 0.2, 21)
+    return ThresholdCalibration(devs, np.abs(devs))
+
+
+def test_verdict():
+    v = TestVerdict(ndf=0.05, threshold=0.1)
+    assert v.passed
+    assert v.margin == pytest.approx(0.05)
+    assert "PASS" in str(v)
+    f = TestVerdict(ndf=0.2, threshold=0.1)
+    assert not f.passed
+    assert "FAIL" in str(f)
+
+
+def test_band_decide():
+    band = DecisionBand(0.08)
+    assert band.decide(0.05).passed
+    assert not band.decide(0.09).passed
+    with pytest.raises(ValueError):
+        DecisionBand(-0.1)
+
+
+def test_calibration_validation():
+    with pytest.raises(ValueError):
+        ThresholdCalibration(np.array([0.0, 0.0]), np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        ThresholdCalibration(np.array([0.0, 1.0]), np.array([1.0]))
+
+
+def test_threshold_for_tolerance(linear_calibration):
+    assert linear_calibration.threshold_for_tolerance(0.05) \
+        == pytest.approx(0.05)
+    with pytest.raises(ValueError):
+        linear_calibration.threshold_for_tolerance(0.0)
+
+
+def test_threshold_uses_smaller_edge():
+    """Asymmetric sweeps must take the conservative (smaller) edge."""
+    devs = np.linspace(-0.2, 0.2, 21)
+    ndfs = np.where(devs < 0, 2.0 * np.abs(devs), np.abs(devs))
+    cal = ThresholdCalibration(devs, ndfs)
+    assert cal.threshold_for_tolerance(0.1) == pytest.approx(0.1)
+
+
+def test_band_for_tolerance_verdicts(linear_calibration):
+    band = linear_calibration.band_for_tolerance(0.05)
+    assert band.decide(linear_calibration.ndf_at(0.03)).passed
+    assert not band.decide(linear_calibration.ndf_at(0.08)).passed
+
+
+def test_detectable_deviation(linear_calibration):
+    neg, pos = linear_calibration.detectable_deviation(0.03)
+    assert pos == pytest.approx(0.03)
+    assert neg == pytest.approx(-0.03)
+
+
+def test_detectable_deviation_unreachable():
+    devs = np.linspace(-0.1, 0.1, 11)
+    cal = ThresholdCalibration(devs, np.zeros(11))
+    neg, pos = cal.detectable_deviation(0.5)
+    assert np.isnan(pos)
+
+
+def test_linearity_r2(linear_calibration):
+    r2_neg, r2_pos = linear_calibration.linearity_r2()
+    assert r2_neg == pytest.approx(1.0)
+    assert r2_pos == pytest.approx(1.0)
+
+
+def test_linearity_r2_detects_nonlinearity():
+    devs = np.linspace(-0.2, 0.2, 21)
+    cal = ThresholdCalibration(devs, devs ** 2)
+    __, r2_pos = cal.linearity_r2()
+    assert r2_pos < 0.99
+
+
+def test_symmetry_error(linear_calibration):
+    assert linear_calibration.symmetry_error() == pytest.approx(0.0)
+    devs = np.linspace(-0.2, 0.2, 21)
+    cal = ThresholdCalibration(devs, np.where(devs < 0, 2 * np.abs(devs),
+                                              np.abs(devs)))
+    assert cal.symmetry_error() > 0.05
+
+
+def test_ndf_at_interpolates(linear_calibration):
+    assert linear_calibration.ndf_at(0.055) == pytest.approx(0.055)

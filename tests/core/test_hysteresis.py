@@ -1,0 +1,106 @@
+"""Hysteretic capture: chatter suppression and systematic lag."""
+
+import numpy as np
+import pytest
+
+from repro.core import HystereticEncoder, capture_signature, ndf
+from repro.core.boundaries import LinearBoundary
+from repro.core.zones import ZoneEncoder
+from repro.signals import NoiseModel, Waveform
+from repro.signals.lissajous import LissajousTrace
+
+
+@pytest.fixture
+def quad_encoder():
+    return ZoneEncoder([LinearBoundary.vertical("v", 0.5),
+                        LinearBoundary.horizontal("h", 0.5)])
+
+
+@pytest.fixture
+def circle_trace():
+    # The extra 1 mrad keeps crossings strictly between samples, so the
+    # on-boundary tie-breaking of the two capture models never differs.
+    t = np.arange(2048) * (1e-3 / 2048)
+    phase = 2 * np.pi * 1e3 * t + np.pi / 4 + 1e-3
+    x = 0.5 + 0.4 * np.cos(phase)
+    y = 0.5 + 0.4 * np.sin(phase)
+    return LissajousTrace(Waveform(t, x), Waveform(t, y), 1e-3)
+
+
+def test_margin_validation(quad_encoder):
+    with pytest.raises(ValueError):
+        HystereticEncoder(quad_encoder, margin_volts=-0.01)
+
+
+def test_signed_distance_of_line(quad_encoder, circle_trace):
+    """For the vertical midline the signed distance is exactly x - 0.5."""
+    hyst = HystereticEncoder(quad_encoder, 0.0)
+    xs, ys = circle_trace.points()
+    d = hyst.signed_distances(quad_encoder.boundaries[0], xs, ys)
+    np.testing.assert_allclose(d, xs - 0.5, atol=1e-6)
+
+
+def test_zero_margin_matches_memoryless(quad_encoder, circle_trace):
+    hyst = HystereticEncoder(quad_encoder, 0.0)
+    sig_h = hyst.capture(circle_trace)
+    sig_m = capture_signature(quad_encoder, circle_trace, refine=False)
+    assert sig_h.codes() == sig_m.codes()
+    np.testing.assert_allclose(sig_h.durations(), sig_m.durations(),
+                               atol=1e-9)
+
+
+def test_hysteresis_delays_crossings(quad_encoder, circle_trace):
+    """With margin h, crossings report late by ~h / speed."""
+    hyst = HystereticEncoder(quad_encoder, 0.02)
+    sig = hyst.capture(circle_trace)
+    ideal = capture_signature(quad_encoder, circle_trace, refine=False)
+    # Same traversal, later breakpoints.
+    assert sig.codes() == ideal.codes()
+    delay = sig.breakpoints() - ideal.breakpoints()
+    # Trace speed on the circle: 2 pi R / T; expected lag = h / speed.
+    speed = 2 * np.pi * 0.4 / 1e-3
+    expected = 0.02 / speed
+    assert np.all(delay > 0)
+    np.testing.assert_allclose(delay, expected, rtol=0.2)
+
+
+def test_chatter_suppression_under_noise(quad_encoder, circle_trace):
+    noise = NoiseModel(0.015, rng=3)
+    x, y = noise.corrupt_pair(circle_trace.x, circle_trace.y)
+    noisy = LissajousTrace(x, y, circle_trace.period)
+
+    memoryless = capture_signature(quad_encoder, noisy, refine=False)
+    hyst = HystereticEncoder(quad_encoder, margin_volts=0.02)
+    clean = hyst.capture(noisy)
+
+    # The memoryless capture chatters (many extra transitions); the
+    # hysteretic one recovers nearly the noise-free four transitions.
+    assert len(memoryless) > 3 * len(clean)
+    assert len(clean) <= 8
+
+
+def test_golden_vs_golden_ndf_zero_with_hysteresis(setup):
+    """Both captures lag identically: NDF(golden, golden) stays 0."""
+    hyst = HystereticEncoder(setup.encoder, margin_volts=0.01)
+    trace = setup.tester.trace_of(setup.golden_filter())
+    a = hyst.capture(trace)
+    b = hyst.capture(trace)
+    assert ndf(a, b) == 0.0
+
+
+def test_hysteresis_preserves_deviation_sensitivity(setup):
+    """NDF(+10 %) through hysteretic capture stays near the ideal 0.10."""
+    hyst = HystereticEncoder(setup.encoder, margin_volts=0.005)
+    golden = hyst.capture(setup.tester.trace_of(setup.golden_filter()))
+    shifted = hyst.capture(
+        setup.tester.trace_of(setup.deviated_filter(0.10)))
+    assert ndf(shifted, golden) == pytest.approx(0.10, abs=0.015)
+
+
+def test_warmup_makes_capture_periodic(quad_encoder, circle_trace):
+    """The two-pass warm-up removes the initial-state artifact: the
+    first entry's code equals the memoryless steady-state code at t=0
+    only if the state agrees; more robustly, durations sum to T."""
+    hyst = HystereticEncoder(quad_encoder, margin_volts=0.05)
+    sig = hyst.capture(circle_trace)
+    assert sig.durations().sum() == pytest.approx(circle_trace.period)

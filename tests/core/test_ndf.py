@@ -1,0 +1,101 @@
+"""The NDF metric (Eq. 2): exactness, metric properties, chronograms."""
+
+import numpy as np
+import pytest
+
+from repro.core.ndf import (
+    hamming_chronogram,
+    max_hamming_excursion,
+    ndf,
+    ndf_sampled,
+)
+from repro.core.signature import Signature
+
+
+def sig(pairs, period=None):
+    return Signature.from_pairs(pairs, period)
+
+
+def test_identical_signatures_have_zero_ndf():
+    a = sig([(1, 0.3), (2, 0.7)])
+    assert ndf(a, a) == 0.0
+
+
+def test_known_hand_computed_value():
+    """One quarter of the period at Hamming distance 1 -> NDF = 0.25."""
+    golden = sig([(0b00, 0.5), (0b01, 0.5)])
+    observed = sig([(0b00, 0.25), (0b01, 0.75)])
+    assert ndf(observed, golden) == pytest.approx(0.25)
+
+
+def test_weighted_by_duration():
+    """NDF integrates dH * dt: a distance-2 sliver counts twice."""
+    golden = sig([(0b00, 1.0)])
+    observed = sig([(0b00, 0.9), (0b11, 0.1)])
+    assert ndf(observed, golden) == pytest.approx(0.2)
+
+
+def test_symmetry():
+    a = sig([(1, 0.3), (2, 0.4), (7, 0.3)])
+    b = sig([(1, 0.5), (3, 0.5)])
+    assert ndf(a, b) == pytest.approx(ndf(b, a))
+
+
+def test_period_mismatch_rejected():
+    a = sig([(1, 1.0)])
+    b = sig([(1, 2.0)])
+    with pytest.raises(ValueError, match="period"):
+        ndf(a, b)
+
+
+def test_bounded_by_code_width():
+    a = sig([(0b000000, 1.0)])
+    b = sig([(0b111111, 1.0)])
+    assert ndf(a, b) == pytest.approx(6.0)  # max possible for 6 bits
+
+
+def test_joint_rotation_invariance():
+    a = sig([(1, 0.2), (2, 0.5), (4, 0.3)])
+    b = sig([(1, 0.4), (6, 0.6)])
+    base = ndf(a, b)
+    for dt in (0.1, 0.25, 0.613):
+        assert ndf(a.rotated(dt), b.rotated(dt)) == pytest.approx(base,
+                                                                  abs=1e-12)
+
+
+def test_sampled_estimator_converges_to_exact():
+    a = sig([(1, 0.21), (3, 0.33), (2, 0.46)])
+    b = sig([(1, 0.37), (2, 0.63)])
+    exact = ndf(a, b)
+    estimate = ndf_sampled(a, b, num_samples=200000)
+    assert estimate == pytest.approx(exact, abs=5e-4)
+
+
+def test_triangle_inequality():
+    """dH is a metric, so NDF inherits the triangle inequality."""
+    a = sig([(0b001, 0.5), (0b011, 0.5)])
+    b = sig([(0b000, 0.3), (0b111, 0.7)])
+    c = sig([(0b101, 1.0)])
+    assert ndf(a, c) <= ndf(a, b) + ndf(b, c) + 1e-12
+
+
+def test_chronogram_levels():
+    golden = sig([(0b00, 0.5), (0b01, 0.5)])
+    observed = sig([(0b11, 0.5), (0b01, 0.5)])
+    times, dh = hamming_chronogram(observed, golden, num_points=100)
+    assert np.all(dh[:50] == 2)
+    assert np.all(dh[50:] == 0)
+
+
+def test_max_hamming_excursion():
+    golden = sig([(0b00, 0.5), (0b01, 0.5)])
+    observed = sig([(0b00, 0.4), (0b11, 0.6)])
+    t, d = max_hamming_excursion(observed, golden)
+    assert d == 2  # 0b11 vs 0b00 in [0.4, 0.5)
+    assert 0.4 <= t <= 0.5
+
+
+def test_ndf_of_paper_pair(setup, golden_signature, defective_signature):
+    """The +10 % measurement from the conftest bench: the Fig. 7 anchor."""
+    value = ndf(defective_signature, golden_signature)
+    assert value == pytest.approx(0.1021, abs=0.01)

@@ -1,0 +1,139 @@
+"""Signature data structure: construction, merging, the S(t) function."""
+
+import numpy as np
+import pytest
+
+from repro.core.signature import Signature, SignatureEntry
+
+
+def test_entry_validation():
+    with pytest.raises(ValueError):
+        SignatureEntry(1, 0.0)
+    with pytest.raises(ValueError):
+        SignatureEntry(1, -1.0)
+    with pytest.raises(ValueError):
+        SignatureEntry(-2, 1.0)
+
+
+def test_equal_neighbours_merge():
+    sig = Signature.from_pairs([(3, 1.0), (3, 2.0), (5, 1.0)])
+    assert len(sig) == 2
+    assert sig.entries[0] == SignatureEntry(3, 3.0)
+
+
+def test_first_last_may_share_code():
+    sig = Signature.from_pairs([(3, 1.0), (5, 2.0), (3, 1.0)])
+    assert len(sig) == 3
+    assert sig.codes() == [3, 5, 3]
+
+
+def test_period_consistency_checked():
+    with pytest.raises(ValueError, match="period"):
+        Signature.from_pairs([(1, 1.0)], period=2.0)
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        Signature([])
+
+
+def test_from_samples():
+    times = np.array([0.0, 0.25, 0.5, 0.75])
+    codes = np.array([1, 1, 2, 3])
+    sig = Signature.from_samples(times, codes, 1.0)
+    assert sig.codes() == [1, 2, 3]
+    np.testing.assert_allclose(sig.durations(), [0.5, 0.25, 0.25])
+
+
+def test_from_samples_validation():
+    with pytest.raises(ValueError, match="start at t = 0"):
+        Signature.from_samples([0.1, 0.5], [1, 2], 1.0)
+    with pytest.raises(ValueError, match="below the period"):
+        Signature.from_samples([0.0, 1.0], [1, 2], 1.0)
+
+
+def test_from_transitions():
+    sig = Signature.from_transitions(7, [(0.2, 3), (0.6, 7)], 1.0)
+    assert sig.codes() == [7, 3, 7]
+    np.testing.assert_allclose(sig.durations(), [0.2, 0.4, 0.4])
+
+
+def test_from_transitions_validation():
+    with pytest.raises(ValueError):
+        Signature.from_transitions(1, [(0.5, 2), (0.3, 3)], 1.0)
+    with pytest.raises(ValueError):
+        Signature.from_transitions(1, [(1.5, 2)], 1.0)
+
+
+def test_code_at_lookup():
+    sig = Signature.from_pairs([(1, 0.5), (2, 0.3), (4, 0.2)])
+    assert sig.code_at(0.0) == 1
+    assert sig.code_at(0.49) == 1
+    assert sig.code_at(0.5) == 2
+    assert sig.code_at(0.79) == 2
+    assert sig.code_at(0.9) == 4
+    # Wraps around the period.
+    assert sig.code_at(1.1) == 1
+
+
+def test_code_at_vectorized():
+    sig = Signature.from_pairs([(1, 0.5), (2, 0.5)])
+    out = sig.code_at(np.array([0.1, 0.6, 1.2]))
+    np.testing.assert_array_equal(out, [1, 2, 1])
+
+
+def test_durations_sum_to_period():
+    sig = Signature.from_pairs([(1, 0.2), (2, 0.3), (3, 0.5)])
+    assert sig.durations().sum() == pytest.approx(sig.period)
+
+
+def test_breakpoints_and_start_times():
+    sig = Signature.from_pairs([(1, 0.2), (2, 0.3), (3, 0.5)])
+    np.testing.assert_allclose(sig.breakpoints(), [0.2, 0.5])
+    np.testing.assert_allclose(sig.start_times(), [0.0, 0.2, 0.5])
+
+
+def test_distinct_codes():
+    sig = Signature.from_pairs([(1, 0.2), (2, 0.3), (1, 0.5)])
+    assert sig.distinct_codes() == {1, 2}
+
+
+def test_chronogram_staircase():
+    sig = Signature.from_pairs([(1, 0.5), (9, 0.5)])
+    times, codes = sig.chronogram(10)
+    assert codes[:5].tolist() == [1] * 5
+    assert codes[5:].tolist() == [9] * 5
+
+
+def test_equality():
+    a = Signature.from_pairs([(1, 0.5), (2, 0.5)])
+    b = Signature.from_pairs([(1, 0.5), (2, 0.5)])
+    c = Signature.from_pairs([(1, 0.4), (2, 0.6)])
+    assert a == b
+    assert a != c
+
+
+def test_rotation_preserves_content():
+    sig = Signature.from_pairs([(1, 0.2), (2, 0.3), (3, 0.5)])
+    rot = sig.rotated(0.25)
+    assert rot.period == pytest.approx(sig.period)
+    assert rot.durations().sum() == pytest.approx(sig.period)
+    # The code active at old t=0.25 is the new t=0 code.
+    assert rot.code_at(0.0) == sig.code_at(0.25)
+    # Dwell-time totals per code are invariant under rotation.
+    def totals(s):
+        out = {}
+        for e in s:
+            out[e.code] = out.get(e.code, 0.0) + e.duration
+        return out
+    t_orig = totals(sig)
+    t_rot = totals(rot)
+    assert set(t_orig) == set(t_rot)
+    for code in t_orig:
+        assert t_orig[code] == pytest.approx(t_rot[code])
+
+
+def test_rotation_by_zero_is_identity():
+    sig = Signature.from_pairs([(1, 0.2), (2, 0.8)])
+    assert sig.rotated(0.0) == sig
+    assert sig.rotated(sig.period) == sig

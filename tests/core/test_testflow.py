@@ -1,0 +1,105 @@
+"""End-to-end tester: caching, sweeps, noise populations, prefilter."""
+
+import numpy as np
+import pytest
+
+from repro.core.capture import AsyncCapture, CaptureConfig
+from repro.core.decision import DecisionBand
+from repro.core.testflow import SignatureTester
+from repro.filters.biquad import BiquadFilter
+from repro.signals.filtering import BandLimiter
+from repro.signals.noise import NoiseModel
+from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS, paper_setup
+
+
+def test_golden_signature_cached(setup):
+    a = setup.tester.golden_signature()
+    b = setup.tester.golden_signature()
+    assert a is b
+
+
+def test_golden_ndf_is_zero(setup, golden_filter):
+    assert setup.tester.ndf_of(golden_filter) == 0.0
+
+
+def test_measure_with_band(setup):
+    band = DecisionBand(0.05)
+    good = setup.tester.measure(setup.deviated_filter(0.01), band)
+    bad = setup.tester.measure(setup.deviated_filter(0.15), band)
+    assert good.verdict.passed
+    assert not bad.verdict.passed
+    assert good.ndf < bad.ndf
+
+
+def test_measure_without_band(setup):
+    result = setup.tester.measure(setup.deviated_filter(0.05))
+    assert result.verdict is None
+    assert result.ndf > 0
+
+
+def test_sweep_sorted_and_monotone_sides(setup):
+    cal = setup.tester.sweep_with([-0.1, 0.05, -0.05, 0.1],
+                                  setup.deviated_filter)
+    assert np.all(np.diff(cal.deviations) > 0)
+    assert cal.ndf_at(0.1) > cal.ndf_at(0.05)
+    assert cal.ndf_at(-0.1) > cal.ndf_at(-0.05)
+
+
+def test_noisy_population_statistics(setup):
+    noise = NoiseModel(0.015, rng=0)
+    pop = setup.tester.noisy_ndf_population(setup.golden_filter(), noise,
+                                            repeats=5)
+    assert pop.shape == (5,)
+    assert np.all(pop >= 0)
+    assert np.all(pop < 0.2)  # noise floor, not gross corruption
+
+
+def test_detection_rate(setup):
+    noise = NoiseModel(0.015, rng=1)
+    band = DecisionBand(0.05)
+    rate_big = setup.tester.detection_rate(setup.deviated_filter(0.20),
+                                           noise, band, repeats=4)
+    assert rate_big == 1.0
+    rate_good = setup.tester.detection_rate(setup.golden_filter(),
+                                            noise, band, repeats=4)
+    assert rate_good < 1.0
+
+
+def test_prefilter_keeps_golden_ndf_zero():
+    """The front-end pole delays both captures equally: NDF stays 0."""
+    bench = paper_setup(prefilter=BandLimiter(200e3),
+                        samples_per_period=2048)
+    assert bench.tester.ndf_of(bench.golden_filter()) == 0.0
+
+
+def test_prefilter_preserves_deviation_sensitivity():
+    plain = paper_setup(samples_per_period=2048)
+    filtered = paper_setup(prefilter=BandLimiter(200e3),
+                           samples_per_period=2048)
+    v_plain = plain.tester.ndf_of(plain.deviated_filter(0.10))
+    v_filt = filtered.tester.ndf_of(filtered.deviated_filter(0.10))
+    assert v_filt == pytest.approx(v_plain, rel=0.15)
+
+
+def test_async_capture_in_flow():
+    encoder_setup = paper_setup(
+        capture=None, samples_per_period=2048)
+    quantized_setup = paper_setup(samples_per_period=2048)
+    quantized_setup.tester.capture = AsyncCapture(
+        quantized_setup.encoder, CaptureConfig(clock_hz=10e6))
+    v_ideal = encoder_setup.tester.ndf_of(
+        encoder_setup.deviated_filter(0.10))
+    v_quant = quantized_setup.tester.ndf_of(
+        quantized_setup.deviated_filter(0.10))
+    # 10 MHz clock on a 200 us period: quantization error well under 1 %.
+    assert v_quant == pytest.approx(v_ideal, rel=0.02)
+
+
+def test_trace_of_applies_noise_and_filter():
+    noise = NoiseModel(0.015, rng=3)
+    bench = paper_setup(noise=noise, prefilter=BandLimiter(200e3),
+                        samples_per_period=2048)
+    trace = bench.tester.trace_of(bench.golden_filter())
+    clean = bench.golden_filter().lissajous(PAPER_STIMULUS, 2048)
+    # Noise made it through (filtered, so small but nonzero).
+    assert not np.allclose(trace.y.values, clean.y.values)

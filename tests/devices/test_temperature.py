@@ -1,0 +1,89 @@
+"""Temperature behaviour of devices and monitor boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    NMOS_65NM,
+    at_temperature,
+    boundary_temperature_drift,
+    industrial_range,
+)
+from repro.devices.mos_model import MosModel
+from repro.monitor import MonitorBoundary, table1_config
+
+
+def test_vt_drops_when_hot():
+    hot = at_temperature(NMOS_65NM, 398.15)
+    cold = at_temperature(NMOS_65NM, 233.15)
+    assert hot.vt0 < NMOS_65NM.vt0 < cold.vt0
+    # -1 mV/K over the 98.15 K from 300 K to 398.15 K.
+    assert NMOS_65NM.vt0 - hot.vt0 == pytest.approx(0.09815, abs=1e-6)
+
+
+def test_mobility_degrades_when_hot():
+    hot = at_temperature(NMOS_65NM, 398.15)
+    assert hot.kp < NMOS_65NM.kp
+    assert hot.kp / NMOS_65NM.kp == pytest.approx(
+        (398.15 / 300.0) ** -1.5, rel=1e-9)
+
+
+def test_thermal_voltage_tracks_temperature():
+    hot = at_temperature(NMOS_65NM, 400.0)
+    assert hot.thermal_voltage == pytest.approx(0.02585 * 400 / 300,
+                                                rel=1e-9)
+
+
+def test_nominal_temperature_is_identity():
+    same = at_temperature(NMOS_65NM, 300.0)
+    assert same.vt0 == NMOS_65NM.vt0
+    assert same.kp == NMOS_65NM.kp
+
+
+def test_invalid_temperature():
+    with pytest.raises(ValueError):
+        at_temperature(NMOS_65NM, -10.0)
+
+
+def test_subthreshold_slope_degrades_when_hot():
+    """Hotter junction -> larger nUT -> shallower subthreshold slope."""
+    cold_model = MosModel(at_temperature(NMOS_65NM, 250.0), 1.8e-6,
+                          180e-9)
+    hot_model = MosModel(at_temperature(NMOS_65NM, 400.0), 1.8e-6,
+                         180e-9)
+    # Decades per volt in deep subthreshold.
+    def slope(model):
+        i1 = model.saturation_current(0.10)
+        i2 = model.saturation_current(0.15)
+        return np.log10(i2 / i1) / 0.05
+    assert slope(hot_model) < slope(cold_model)
+
+
+def test_industrial_range():
+    grid = industrial_range(5)
+    assert grid[0] == pytest.approx(233.15)
+    assert grid[-1] == pytest.approx(398.15)
+
+
+def test_boundary_drift_is_monotone_and_bounded():
+    """The curve-3 arc moves with temperature; drift stays tens of mV."""
+    def factory(params):
+        return MonitorBoundary(table1_config(3), params)
+
+    temps = industrial_range(5)
+    heights = boundary_temperature_drift(factory, temps, probe_x=0.25)
+    assert not np.any(np.isnan(heights))
+    drift = heights - heights[len(heights) // 2]
+    assert np.max(np.abs(drift)) < 0.15  # bounded excursion
+    assert np.max(np.abs(drift)) > 0.002  # but clearly measurable
+
+
+def test_symmetric_monitors_self_compensate():
+    """Curve 6 (y = x with both DC inputs equal) is temperature-
+    invariant: both branches drift identically."""
+    def factory(params):
+        return MonitorBoundary(table1_config(6), params)
+
+    temps = industrial_range(3)
+    heights = boundary_temperature_drift(factory, temps, probe_x=0.5)
+    np.testing.assert_allclose(heights, 0.5, atol=1e-3)

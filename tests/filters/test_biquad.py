@@ -1,0 +1,105 @@
+"""Behavioural Biquad: transfer shapes, deviations, characteristics."""
+
+import numpy as np
+import pytest
+
+from repro.filters import BiquadFilter, BiquadKind, BiquadSpec
+from repro.signals import two_tone
+
+
+@pytest.fixture
+def spec():
+    return BiquadSpec(13e3, 1.5, 1.0)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        BiquadSpec(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        BiquadSpec(1e3, 0.0)
+
+
+def test_lowpass_dc_and_rolloff(spec):
+    bf = BiquadFilter(spec)
+    assert bf.transfer(0.0) == pytest.approx(1.0)
+    # Two octaves above f0: 40 dB/decade rolloff territory.
+    assert abs(bf.transfer(4 * spec.f0_hz)) < 0.08
+    # At f0 the LP magnitude equals Q (for G = 1).
+    assert abs(bf.transfer(spec.f0_hz)) == pytest.approx(spec.q, rel=1e-9)
+
+
+def test_bandpass_peak_at_f0(spec):
+    from dataclasses import replace
+    bp = BiquadFilter(replace(spec, kind=BiquadKind.BANDPASS))
+    assert abs(bp.transfer(spec.f0_hz)) == pytest.approx(spec.gain,
+                                                         rel=1e-9)
+    assert abs(bp.transfer(0.001)) < 1e-3
+    assert abs(bp.transfer(100 * spec.f0_hz)) < 0.05
+
+
+def test_highpass_asymptote(spec):
+    from dataclasses import replace
+    hp = BiquadFilter(replace(spec, kind=BiquadKind.HIGHPASS))
+    assert abs(hp.transfer(100 * spec.f0_hz)) == pytest.approx(1.0,
+                                                               rel=1e-3)
+    assert abs(hp.transfer(0.001)) < 1e-6
+
+
+def test_deviations(spec):
+    assert spec.with_f0_deviation(0.10).f0_hz == pytest.approx(14.3e3)
+    assert spec.with_f0_deviation(-0.10).f0_hz == pytest.approx(11.7e3)
+    assert spec.with_q_deviation(0.5).q == pytest.approx(2.25)
+    assert spec.with_gain_deviation(-0.5).gain == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        spec.with_f0_deviation(-1.0)
+    with pytest.raises(ValueError):
+        spec.with_q_deviation(-1.5)
+
+
+def test_deviation_leaves_original(spec):
+    spec.with_f0_deviation(0.10)
+    assert spec.f0_hz == 13e3
+
+
+def test_magnitude_vectorized(spec):
+    bf = BiquadFilter(spec)
+    freqs = np.array([1e3, 13e3, 40e3])
+    mags = bf.magnitude(freqs)
+    assert mags.shape == (3,)
+    assert mags[1] == pytest.approx(spec.q, rel=1e-9)
+    assert isinstance(bf.magnitude(1e3), float)
+
+
+def test_pole_pair(spec):
+    pole = BiquadFilter(spec).pole_pair()
+    w0 = spec.omega0
+    assert abs(pole) == pytest.approx(w0, rel=1e-9)
+    assert pole.real == pytest.approx(-w0 / (2 * spec.q), rel=1e-9)
+    assert pole.imag > 0
+
+
+def test_settling_time_scales_with_q():
+    fast = BiquadFilter(BiquadSpec(13e3, 0.6)).settling_time()
+    slow = BiquadFilter(BiquadSpec(13e3, 5.0)).settling_time()
+    assert slow > 5 * fast
+
+
+def test_response_is_exact_steady_state(spec):
+    bf = BiquadFilter(spec)
+    stim = two_tone(5e3, 15e3, 0.25, 0.2, offset=0.5, phase2_deg=90)
+    out = bf.response(stim)
+    # DC maps through H(0) = 1.
+    assert out.offset == pytest.approx(0.5)
+    # Each tone is scaled by |H|.
+    for tone_in, tone_out in zip(stim.tones, out.tones):
+        h = bf.transfer(tone_in.freq_hz)
+        assert tone_out.amplitude == pytest.approx(
+            tone_in.amplitude * abs(h), rel=1e-12)
+
+
+def test_lissajous_window(spec):
+    bf = BiquadFilter(spec)
+    stim = two_tone(5e3, 15e3, 0.2, 0.15, offset=0.5, phase2_deg=90)
+    trace = bf.lissajous(stim, 512)
+    assert trace.period == pytest.approx(200e-6)
+    assert len(trace) == 512

@@ -1,0 +1,122 @@
+"""Fault models: parametric mapping exactness, catastrophic universe."""
+
+import numpy as np
+import pytest
+
+from repro.filters import (
+    BiquadSpec,
+    Fault,
+    FaultKind,
+    TowThomasBiquad,
+    TowThomasValues,
+    catastrophic_fault_universe,
+    f0_deviation,
+    parametric_sweep,
+)
+
+
+@pytest.fixture
+def spec():
+    return BiquadSpec(11e3, 1.0, 1.0)
+
+
+@pytest.fixture
+def values(spec):
+    return TowThomasValues.from_spec(spec)
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError):
+        Fault(FaultKind.PARAMETRIC, "r1", 0.1)  # component for parametric
+    with pytest.raises(ValueError):
+        Fault(FaultKind.OPEN, "f0")  # parameter for catastrophic
+
+
+def test_labels():
+    assert f0_deviation(0.10).label == "f0+10.0%"
+    assert Fault(FaultKind.OPEN, "c1").label == "c1-open"
+    assert Fault(FaultKind.SHORT, "r2").label == "r2-short"
+
+
+def test_parametric_spec_application(spec):
+    fault = f0_deviation(0.10)
+    assert fault.apply_to_spec(spec).f0_hz == pytest.approx(12.1e3)
+    q_fault = Fault(FaultKind.PARAMETRIC, "q", -0.2)
+    assert q_fault.apply_to_spec(spec).q == pytest.approx(0.8)
+    g_fault = Fault(FaultKind.PARAMETRIC, "gain", 0.5)
+    assert g_fault.apply_to_spec(spec).gain == pytest.approx(1.5)
+
+
+def test_catastrophic_needs_netlist(spec):
+    with pytest.raises(ValueError, match="netlist"):
+        Fault(FaultKind.OPEN, "r1").apply_to_spec(spec)
+
+
+def test_parametric_f0_on_netlist_is_exact(spec, values):
+    """The component mapping must realize the f0 shift without touching
+    Q or gain -- the paper's single-parameter fault model."""
+    fault = f0_deviation(0.10)
+    realized = fault.apply_to_values(values).realized_spec()
+    assert realized.f0_hz == pytest.approx(spec.f0_hz * 1.1, rel=1e-9)
+    assert realized.q == pytest.approx(spec.q, rel=1e-9)
+    assert realized.gain == pytest.approx(spec.gain, rel=1e-9)
+
+
+def test_parametric_q_on_netlist(spec, values):
+    fault = Fault(FaultKind.PARAMETRIC, "q", 0.25)
+    realized = fault.apply_to_values(values).realized_spec()
+    assert realized.q == pytest.approx(spec.q * 1.25, rel=1e-9)
+    assert realized.f0_hz == pytest.approx(spec.f0_hz, rel=1e-9)
+
+
+def test_parametric_gain_on_netlist(spec, values):
+    fault = Fault(FaultKind.PARAMETRIC, "gain", -0.3)
+    realized = fault.apply_to_values(values).realized_spec()
+    assert realized.gain == pytest.approx(0.7, rel=1e-9)
+    assert realized.f0_hz == pytest.approx(spec.f0_hz, rel=1e-9)
+
+
+def test_open_resistor(values):
+    faulted = Fault(FaultKind.OPEN, "r3").apply_to_values(values)
+    assert faulted.r3 == pytest.approx(values.r3 * 1e6)
+
+
+def test_short_resistor(values):
+    faulted = Fault(FaultKind.SHORT, "r1").apply_to_values(values)
+    assert faulted.r1 == pytest.approx(1.0)
+
+
+def test_open_capacitor_loses_capacitance(values):
+    faulted = Fault(FaultKind.OPEN, "c2").apply_to_values(values)
+    assert faulted.c2 == pytest.approx(values.c2 / 1e6)
+
+
+def test_short_capacitor_gains_capacitance(values):
+    faulted = Fault(FaultKind.SHORT, "c1").apply_to_values(values)
+    assert faulted.c1 == pytest.approx(values.c1 * 1e6)
+
+
+def test_catastrophic_universe_complete():
+    universe = catastrophic_fault_universe()
+    assert len(universe) == 14  # 7 components x {open, short}
+    labels = {f.label for f in universe}
+    assert "r1-open" in labels and "c2-short" in labels
+
+
+def test_catastrophic_faults_change_transfer(values):
+    """Every open/short must visibly move the low-pass response."""
+    nominal = TowThomasBiquad(values)
+    h0 = nominal.transfer(5e3)
+    changed = 0
+    for fault in catastrophic_fault_universe():
+        faulted = fault.apply_to_biquad(values)
+        h = faulted.transfer(5e3)
+        if abs(h - h0) > 0.01 * abs(h0):
+            changed += 1
+    assert changed >= 12  # at least all but a couple move it at 5 kHz
+
+
+def test_parametric_sweep_factory():
+    faults = parametric_sweep(["f0", "q"], [-0.1, 0.1])
+    assert len(faults) == 4
+    assert all(f.kind is FaultKind.PARAMETRIC for f in faults)

@@ -1,0 +1,105 @@
+"""KHN state-variable Biquad: synthesis, cross-validation, channels."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelSpec, MultiChannelTester
+from repro.core.ndf import ndf
+from repro.core.testflow import SignatureTester
+from repro.filters import (
+    BiquadFilter,
+    BiquadKind,
+    BiquadSpec,
+    KhnBiquad,
+    KhnValues,
+    TowThomasBiquad,
+    TowThomasValues,
+)
+from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return BiquadSpec(11e3, 1.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def khn(spec):
+    return KhnBiquad(KhnValues.from_spec(spec))
+
+
+def test_synthesis_rejects_too_low_q():
+    with pytest.raises(ValueError, match="Q > 1/3"):
+        KhnValues.from_spec(BiquadSpec(11e3, 0.2, 1.0))
+
+
+def test_measured_spec_matches_target(spec, khn):
+    measured = khn.measured_spec()
+    assert measured.f0_hz == pytest.approx(spec.f0_hz, rel=0.01)
+    assert measured.q == pytest.approx(spec.q, rel=0.02)
+    assert measured.gain == pytest.approx(1.0, rel=1e-3)
+
+
+@pytest.mark.parametrize("q", [0.7, 1.5, 3.0])
+def test_q_synthesis_across_range(q):
+    khn = KhnBiquad(KhnValues.from_spec(BiquadSpec(11e3, q, 1.0)))
+    assert khn.measured_spec().q == pytest.approx(q, rel=0.03)
+
+
+def test_lp_magnitude_matches_behavioral(spec, khn):
+    bf = BiquadFilter(spec)
+    for f in (2e3, 5e3, 11e3, 15e3, 40e3):
+        assert abs(khn.transfer(f, "lp")) == pytest.approx(
+            abs(bf.transfer(f)), rel=1e-9)
+
+
+def test_bp_and_hp_taps(spec, khn):
+    from dataclasses import replace
+    bp = BiquadFilter(replace(spec, kind=BiquadKind.BANDPASS))
+    hp = BiquadFilter(replace(spec, kind=BiquadKind.HIGHPASS))
+    for f in (5e3, 11e3, 30e3):
+        assert abs(khn.transfer(f, "bp")) == pytest.approx(
+            abs(bp.transfer(f)), rel=1e-6)
+        assert abs(khn.transfer(f, "hp")) == pytest.approx(
+            abs(hp.transfer(f)), rel=1e-6)
+
+
+def test_dc_gain_is_inverting_unity(khn):
+    assert khn.transfer(0.0, "lp").real == pytest.approx(-1.0, rel=1e-6)
+
+
+def test_khn_agrees_with_towthomas(spec, khn):
+    """Two independent realizations of the same transfer function."""
+    tt = TowThomasBiquad(TowThomasValues.from_spec(spec))
+    freqs = [3e3, 11e3, 25e3]
+    h_khn = np.abs(khn.transfer_at(freqs, "lp"))
+    h_tt = np.abs(tt.transfer_at(freqs))
+    np.testing.assert_allclose(h_khn, h_tt, rtol=1e-9)
+
+
+def test_unknown_channel(khn):
+    with pytest.raises(ValueError, match="unknown channel"):
+        khn.lissajous_of("notch", PAPER_STIMULUS, 128)
+
+
+def test_khn_in_signature_flow(khn):
+    """The KHN LP tap carries the same zone *sequence* as the paper's
+    CUT; the inverted sign folds the trace, so only the traversal
+    structure is compared, not the NDF."""
+    from repro.monitor import table1_encoder
+
+    tester = SignatureTester(table1_encoder(), PAPER_STIMULUS, khn,
+                             samples_per_period=1024)
+    sig = tester.golden_signature()
+    assert sig.period == pytest.approx(200e-6)
+    assert len(sig) > 5
+
+
+def test_khn_three_channel_tester(khn, encoder):
+    channels = [ChannelSpec("lp", encoder), ChannelSpec("bp", encoder),
+                ChannelSpec("hp", encoder)]
+    tester = MultiChannelTester(channels, PAPER_STIMULUS, khn,
+                                samples_per_period=1024)
+    golden = tester.golden_signature()
+    assert set(golden.channels) == {"lp", "bp", "hp"}
+    assert tester.combined_ndf(khn) == 0.0

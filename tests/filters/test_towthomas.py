@@ -1,0 +1,106 @@
+"""Structural Tow-Thomas Biquad: synthesis, AC agreement, transient."""
+
+import numpy as np
+import pytest
+
+from repro.filters import (
+    BiquadFilter,
+    BiquadKind,
+    BiquadSpec,
+    TowThomasBiquad,
+    TowThomasValues,
+)
+from repro.signals import two_tone
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return BiquadSpec(11e3, 1.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def values(spec):
+    return TowThomasValues.from_spec(spec)
+
+
+@pytest.fixture(scope="module")
+def biquad(values):
+    return TowThomasBiquad(values)
+
+
+def test_synthesis_inverts_exactly(spec, values):
+    realized = values.realized_spec()
+    assert realized.f0_hz == pytest.approx(spec.f0_hz, rel=1e-9)
+    assert realized.q == pytest.approx(spec.q, rel=1e-9)
+    assert realized.gain == pytest.approx(spec.gain, rel=1e-9)
+
+
+def test_synthesis_with_gain_and_q():
+    spec = BiquadSpec(20e3, 3.0, 2.5)
+    realized = TowThomasValues.from_spec(spec, c=4.7e-9).realized_spec()
+    assert realized.f0_hz == pytest.approx(20e3, rel=1e-9)
+    assert realized.q == pytest.approx(3.0, rel=1e-9)
+    assert realized.gain == pytest.approx(2.5, rel=1e-9)
+
+
+def test_netlist_matches_analytic_lowpass(spec, biquad):
+    bf = BiquadFilter(spec)
+    freqs = [100.0, 5e3, 11e3, 15e3, 50e3]
+    h_net = biquad.transfer_at(freqs)
+    h_ana = np.array([bf.transfer(f) for f in freqs])
+    np.testing.assert_allclose(h_net, h_ana, rtol=1e-9)
+
+
+def test_bandpass_tap(spec, biquad):
+    """The bp node realizes the (inverted) band-pass response."""
+    from dataclasses import replace
+    bp_spec = replace(spec, kind=BiquadKind.BANDPASS)
+    bp = BiquadFilter(bp_spec)
+    freqs = [5e3, 11e3, 30e3]
+    h_net = biquad.transfer_at(freqs, node=TowThomasBiquad.BP_NODE)
+    h_ana = np.array([bp.transfer(f) for f in freqs])
+    np.testing.assert_allclose(np.abs(h_net), np.abs(h_ana), rtol=1e-6)
+
+
+def test_dc_transfer(spec, biquad):
+    assert biquad.transfer(0.0).real == pytest.approx(1.0, rel=1e-4)
+
+
+def test_response_through_netlist(spec, biquad):
+    stim = two_tone(5e3, 15e3, 0.26, 0.19, offset=0.5, phase2_deg=105)
+    out_net = biquad.response(stim)
+    out_ana = BiquadFilter(spec).response(stim)
+    t = np.linspace(0, stim.period(), 64, endpoint=False)
+    np.testing.assert_allclose(out_net(t), out_ana(t), atol=1e-4)
+
+
+def test_transient_agrees_with_behavioral(spec, values):
+    stim = two_tone(5e3, 15e3, 0.26, 0.19, offset=0.5, phase2_deg=105)
+    tt = TowThomasBiquad(values, stim)
+    trace_tr = tt.simulate_steady_period(samples_per_period=512)
+    trace_beh = BiquadFilter(spec).lissajous(stim, 512)
+    err = np.max(np.abs(trace_tr.y.values - trace_beh.y.values))
+    assert err < 1e-3
+
+
+def test_transient_requires_stimulus(biquad):
+    with pytest.raises(ValueError, match="stimulus"):
+        biquad.simulate_steady_period()
+
+
+def test_scaled_and_replaced(values):
+    v2 = values.scaled(r3=2.0)
+    assert v2.r3 == pytest.approx(2 * values.r3)
+    assert v2.r5 == values.r5
+    v3 = values.replaced(c1=1e-9)
+    assert v3.c1 == 1e-9
+    with pytest.raises(ValueError):
+        values.scaled(rx=2.0)
+    with pytest.raises(ValueError):
+        values.replaced(nope=1.0)
+
+
+def test_scaling_r3_r5_moves_f0(values):
+    base = values.realized_spec()
+    shifted = values.scaled(r3=1.0 / 1.21).realized_spec()
+    assert shifted.f0_hz == pytest.approx(base.f0_hz * 1.1, rel=1e-9)

@@ -1,0 +1,141 @@
+"""The reproduction's headline assertions against the paper's artifacts.
+
+Every numbered claim in the evaluation section is pinned here:
+
+* Fig. 1  -- golden vs +10 % Lissajous differ visibly, stay in 0-1 V;
+* Fig. 6  -- the golden trace traverses exactly the sixteen printed
+  zone codes; neighbouring zones differ in one bit;
+* Fig. 7  -- period 200 us; NDF(+10 %) ~ 0.1021; a Hamming-2 excursion
+  where the faulty trace skips a zone sequence through code 62;
+* Fig. 8  -- NDF grows near-linearly and near-symmetrically, reaching
+  ~0.19 at +-20 %; with 3-sigma = 0.015 V noise, +-1 % deviations of f0
+  remain detectable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_chronogram, skipped_zone_events
+from repro.core.ndf import ndf
+from repro.paper import (
+    FIG6_ZONE_CODES,
+    FIG7_NDF_10PCT,
+    noisy_paper_setup,
+    paper_setup,
+)
+
+
+# ----------------------------------------------------------------------
+# Fig. 1
+# ----------------------------------------------------------------------
+
+def test_fig1_traces_stay_in_window(setup):
+    golden = setup.tester.trace_of(setup.golden_filter())
+    shifted = setup.tester.trace_of(setup.deviated_filter(0.10))
+    assert golden.stays_within(0.0, 1.0)
+    assert shifted.stays_within(0.0, 1.0)
+
+
+def test_fig1_deviation_changes_the_curve(setup):
+    golden = setup.tester.trace_of(setup.golden_filter())
+    shifted = setup.tester.trace_of(setup.deviated_filter(0.10))
+    gap = np.max(np.abs(golden.y.values - shifted.y.values))
+    assert gap > 0.02  # visibly different, as in Fig. 1
+
+
+# ----------------------------------------------------------------------
+# Fig. 6
+# ----------------------------------------------------------------------
+
+def test_fig6_golden_zone_set(setup, golden_signature):
+    assert golden_signature.distinct_codes() == set(FIG6_ZONE_CODES)
+
+
+def test_fig6_defective_visits_code_62(setup, defective_signature):
+    assert 62 in defective_signature.distinct_codes()
+
+
+def test_fig6_gray_adjacency(encoder):
+    assert encoder.adjacency_report(grid=256).is_gray
+
+
+# ----------------------------------------------------------------------
+# Fig. 7
+# ----------------------------------------------------------------------
+
+def test_fig7_period_is_200us(golden_signature):
+    assert golden_signature.period == pytest.approx(200e-6)
+
+
+def test_fig7_ndf_anchor(golden_signature, defective_signature):
+    value = ndf(defective_signature, golden_signature)
+    assert value == pytest.approx(FIG7_NDF_10PCT, abs=0.01)
+
+
+def test_fig7_hamming2_excursion(golden_signature, defective_signature):
+    """The +10 % chronogram peaks at Hamming distance 2 -- the paper's
+    skipped-zone event (reproduced at this stimulus's own crossings)."""
+    data = build_chronogram(defective_signature, golden_signature)
+    assert data.max_hamming() == 2
+    events = skipped_zone_events(defective_signature, golden_signature)
+    assert len(events) >= 1
+
+
+# ----------------------------------------------------------------------
+# Fig. 8
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fig8(setup):
+    return setup.fig8_sweep(np.linspace(-0.20, 0.20, 11))
+
+
+def test_fig8_zero_at_origin(fig8):
+    assert fig8.ndf_at(0.0) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_fig8_magnitude_at_20pct(fig8):
+    assert 0.15 < fig8.ndf_at(0.20) < 0.25
+    assert 0.15 < fig8.ndf_at(-0.20) < 0.30
+
+
+def test_fig8_monotone_in_magnitude(fig8):
+    pos = fig8.ndfs[fig8.deviations >= 0]
+    neg = fig8.ndfs[fig8.deviations <= 0][::-1]
+    assert np.all(np.diff(pos) > 0)
+    assert np.all(np.diff(neg) > 0)
+
+
+def test_fig8_near_linear(fig8):
+    r2_neg, r2_pos = fig8.linearity_r2()
+    assert r2_pos > 0.99
+    assert r2_neg > 0.97
+
+
+def test_fig8_near_symmetric(fig8):
+    assert fig8.symmetry_error() < 0.03
+
+
+def test_fig8_tolerance_band_decides(setup, fig8):
+    band = fig8.band_for_tolerance(0.05)
+    good = setup.tester.measure(setup.deviated_filter(0.02), band)
+    bad = setup.tester.measure(setup.deviated_filter(0.12), band)
+    assert good.verdict.passed
+    assert not bad.verdict.passed
+
+
+# ----------------------------------------------------------------------
+# Noise study (Section IV-C)
+# ----------------------------------------------------------------------
+
+@pytest.mark.slow
+def test_one_percent_detectable_under_paper_noise():
+    bench = noisy_paper_setup(samples_per_period=4096)
+    noise = bench.noise_model(rng=11)
+    golden_pop = bench.tester.noisy_ndf_population(
+        bench.golden_filter(), noise, repeats=10)
+    for dev in (+0.01, -0.01):
+        pop = bench.tester.noisy_ndf_population(
+            bench.deviated_filter(dev), noise, repeats=10)
+        # Worst-case separation: every faulty run above every clean run.
+        assert pop.min() > golden_pop.max(), f"{dev:+.0%} not separated"

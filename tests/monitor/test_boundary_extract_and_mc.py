@@ -1,0 +1,123 @@
+"""Locus extraction descriptors (Fig. 4) and Monte Carlo envelopes."""
+
+import numpy as np
+import pytest
+
+from repro.devices.process import MonteCarloSampler
+from repro.monitor import (
+    boundary_spread,
+    bank_samples,
+    characterize,
+    diagonal_deviation,
+    extract_locus,
+    locus_rms_difference,
+    table1_bank,
+    table1_monitor,
+)
+
+
+def test_curves_1_2_positive_slope():
+    for row in (1, 2):
+        ch = characterize(table1_monitor(row))
+        assert ch.slope_sign == +1, f"curve {row} must rise"
+
+
+def test_curves_3_4_5_negative_slope():
+    for row in (3, 4, 5):
+        ch = characterize(table1_monitor(row))
+        assert ch.slope_sign == -1, f"curve {row} must fall"
+
+
+def test_curve6_is_45_degrees():
+    ch = characterize(table1_monitor(6))
+    assert ch.mean_slope == pytest.approx(1.0, abs=0.05)
+    assert diagonal_deviation(table1_monitor(6)) < 0.02
+
+
+def test_straight_line_has_no_curvature():
+    """Curve 6 is straight; arcs 3-5 carry visible curvature."""
+    straight = characterize(table1_monitor(6))
+    arc = characterize(table1_monitor(3))
+    assert arc.curvature_rms > 10 * max(straight.curvature_rms, 1e-9)
+
+
+def test_coverage_and_crossings():
+    ch = characterize(table1_monitor(3))
+    assert ch.coverage > 0.2
+    mid = ch.crossing_at(0.42)
+    assert 0.3 < mid < 0.8
+
+
+def test_extract_locus_matches_decision_zero():
+    monitor = table1_monitor(5)
+    xs, ys = extract_locus(monitor, points=41)
+    valid = ~np.isnan(ys)
+    g = monitor.decision(xs[valid], ys[valid])
+    scale = abs(monitor.decision(1.0, 1.0))
+    assert np.max(np.abs(g)) < 1e-6 * scale
+
+
+def test_locus_rms_difference_self_is_zero():
+    m = table1_monitor(3)
+    assert locus_rms_difference(m, m) == pytest.approx(0.0, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def spread():
+    sampler = MonteCarloSampler(rng=0)
+    return boundary_spread(table1_monitor(3), sampler, num_dies=30,
+                           points=41)
+
+
+def test_envelope_contains_nominal(spread):
+    assert spread.contains(spread.nominal)
+
+
+def test_envelope_width_is_reasonable(spread):
+    width = spread.max_spread()
+    assert 0.005 < width < 0.3  # tens of millivolts of 3-sigma spread
+
+
+def test_fresh_die_falls_inside_envelope(spread):
+    sampler = MonteCarloSampler(rng=999)
+    die = sampler.sample_die()
+    varied = table1_monitor(3).with_die(die)
+    ys = varied.locus_points(spread.xs)
+    assert spread.contains(ys, fraction=0.9)
+
+
+def test_spread_shrinks_with_device_area():
+    """Pelgrom: quadrupling W must roughly halve the mismatch spread."""
+    sampler_small = MonteCarloSampler(rng=1, include_process=False)
+    sampler_big = MonteCarloSampler(rng=1, include_process=False)
+    small = boundary_spread(table1_monitor(3), sampler_small,
+                            num_dies=40, points=21)
+    big_monitor = table1_monitor(3)
+    from repro.monitor import MonitorBoundary
+    big_config = table1_monitor(3).config
+    big = boundary_spread(
+        MonitorBoundary(
+            type(big_config)(tuple(w * 4 for w in big_config.widths_nm),
+                             big_config.hookups,
+                             length_nm=big_config.length_nm,
+                             name=big_config.name,
+                             reference_point=big_config.reference_point)),
+        sampler_big, num_dies=40, points=21)
+    s_small = np.nanmedian(small.sigma)
+    s_big = np.nanmedian(big.sigma)
+    assert s_big < 0.7 * s_small
+
+
+def test_bank_samples_share_process_shift():
+    sampler = MonteCarloSampler(rng=2, include_mismatch=False)
+    banks = bank_samples(table1_bank(), sampler, num_dies=2)
+    assert len(banks) == 2
+    # Within one die every (equal-nominal) device sees the same shift.
+    die0_vts = {dev.params.vt0 for m in banks[0] for dev in m.devices}
+    assert len(die0_vts) == 1
+    die1_vts = {dev.params.vt0 for m in banks[1] for dev in m.devices}
+    assert die0_vts != die1_vts

@@ -1,0 +1,77 @@
+"""Table I bank and the Fig. 6 zone map (the paper's key code census)."""
+
+import numpy as np
+import pytest
+
+from repro.core.zones import hamming_distance
+from repro.monitor import table1_bank, table1_config, table1_encoder
+from repro.paper import FIG6_ZONE_CODES
+
+
+def test_table1_rows_exist():
+    for row in range(1, 7):
+        config = table1_config(row)
+        assert config.name == f"curve{row}"
+        assert len(config.widths_nm) == 4
+    with pytest.raises(ValueError):
+        table1_config(0)
+    with pytest.raises(ValueError):
+        table1_config(7)
+
+
+def test_table1_widths_match_paper():
+    assert table1_config(1).widths_nm == (3000.0, 600.0, 600.0, 3000.0)
+    assert table1_config(3).widths_nm == (1800.0,) * 4
+
+
+def test_table1_hookups_match_paper():
+    assert table1_config(1).hookups == ("y", 0.2, "x", 0.6)
+    assert table1_config(2).hookups == (0.6, "y", 0.2, "x")
+    assert table1_config(6).hookups == ("y", 0.0, "x", 0.0)
+
+
+def test_bank_order_is_msb_first(encoder):
+    assert [b.name for b in encoder.boundaries] == [
+        f"curve{i}" for i in range(1, 7)]
+    assert encoder.num_bits == 6
+
+
+def test_origin_zone_is_all_zeros(encoder):
+    assert encoder.origin_zone() == 0
+
+
+def test_fig6_spot_codes(encoder):
+    """Points read off Fig. 6 must carry the printed codes."""
+    assert encoder.code_string(encoder.code(0.45, 0.25)) == "000100"
+    assert encoder.code_string(encoder.code(0.25, 0.45)) == "000101"
+    assert encoder.code_string(encoder.code(0.20, 0.30)) == "000001"
+    assert encoder.code_string(encoder.code(0.60, 0.30)) == "000100"
+    assert encoder.code(0.05, 0.02) == 0
+    assert encoder.code(0.98, 0.99) == 63
+
+
+def test_zone_census_is_exactly_fig6(encoder):
+    """The realized zones on the 0-1 V window are the paper's sixteen."""
+    census = encoder.zone_census(grid=256)
+    assert set(census) == set(FIG6_ZONE_CODES)
+
+
+def test_adjacent_zones_differ_in_one_bit(encoder):
+    report = encoder.adjacency_report(grid=256)
+    assert report.is_gray
+    # All one-bit pairs dominate; point contacts only at intersections.
+    one_bit = [p for p in report.pairs if hamming_distance(*p) == 1]
+    assert len(one_bit) >= 15
+
+
+def test_partial_bank(encoder):
+    bank = table1_bank(rows=[3, 6])
+    assert len(bank) == 2
+    assert bank[0].name == "curve3"
+
+
+def test_ascii_zone_map(encoder):
+    art = encoder.ascii_zone_map(width=32, height=16)
+    lines = art.split("\n")
+    assert len(lines) == 16
+    assert len(set("".join(lines))) > 4  # several distinct zones visible

@@ -1,0 +1,74 @@
+"""Bias placement optimization of the monitor bank."""
+
+import numpy as np
+import pytest
+
+from repro.core.testflow import SignatureTester
+from repro.filters.biquad import BiquadFilter
+from repro.monitor import (
+    BiasPlacementOptimizer,
+    apply_biases,
+    distinct_bias_values,
+    table1_config,
+)
+from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+
+
+def test_distinct_bias_values():
+    assert distinct_bias_values(table1_config(1)) == [0.2, 0.6]
+    assert distinct_bias_values(table1_config(3)) == [0.55]
+    assert distinct_bias_values(table1_config(6)) == [0.0]
+
+
+def test_apply_biases_preserves_sharing():
+    config = table1_config(3)  # V3 = V4 = 0.55
+    moved = apply_biases(config, [0.6])
+    assert moved.hookups == ("y", "x", 0.6, 0.6)
+    assert moved.widths_nm == config.widths_nm
+
+
+def test_apply_biases_validates_count():
+    with pytest.raises(ValueError):
+        apply_biases(table1_config(1), [0.5])  # needs two values
+
+
+def _tester_factory(encoder):
+    return SignatureTester(encoder, PAPER_STIMULUS,
+                           BiquadFilter(PAPER_BIQUAD),
+                           samples_per_period=1024)
+
+
+def _cut_factory(dev):
+    return BiquadFilter(PAPER_BIQUAD.with_f0_deviation(dev))
+
+
+@pytest.fixture(scope="module")
+def optimizer():
+    # Optimize only the three symmetric arcs: cheap and effective.
+    configs = [table1_config(r) for r in (3, 4, 5)]
+    return BiasPlacementOptimizer(configs, _tester_factory,
+                                  _cut_factory, target_deviation=0.05)
+
+
+def test_initial_vector_layout(optimizer):
+    np.testing.assert_allclose(optimizer.initial_vector(),
+                               [0.55, 0.3, 0.75])
+
+
+def test_objective_positive_at_start(optimizer):
+    assert optimizer.objective(optimizer.initial_vector()) > 0.0
+
+
+def test_objective_rejects_out_of_bounds(optimizer):
+    assert optimizer.objective(np.array([0.55, 0.3, 1.5])) == 0.0
+
+
+@pytest.mark.slow
+def test_optimization_does_not_regress(optimizer):
+    result = optimizer.optimize(max_iterations=15)
+    assert result.optimized_objective >= result.initial_objective
+    assert len(result.configs) == 3
+    # All biases still inside the window.
+    for config in result.configs:
+        for value in distinct_bias_values(config):
+            assert 0.1 <= value <= 0.9

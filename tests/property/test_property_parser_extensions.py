@@ -1,0 +1,133 @@
+"""Property-based tests: parser round-trip, spectrum, yield model."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis import roc_curve, yield_escape_analysis
+from repro.analysis.yield_model import CutUnit
+from repro.circuits import Circuit, Resistor, VoltageSource, parse_netlist
+from repro.circuits.dc import dc_operating_point
+from repro.signals import Tone, Multitone, harmonic_spectrum
+
+
+# ----------------------------------------------------------------------
+# Netlist parser round-trip against direct construction
+# ----------------------------------------------------------------------
+
+@st.composite
+def ladder_descriptions(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    series = [draw(st.floats(min_value=1.0, max_value=1e6))
+              for _ in range(n)]
+    shunt = [draw(st.floats(min_value=1.0, max_value=1e6))
+             for _ in range(n)]
+    v = draw(st.floats(min_value=-50.0, max_value=50.0))
+    return series, shunt, v
+
+
+@given(ladder_descriptions())
+@settings(max_examples=40, deadline=None)
+def test_parsed_ladder_matches_direct_construction(description):
+    series, shunt, v = description
+    # Build via API.
+    direct = Circuit()
+    direct.add(VoltageSource("V1", "n0", "0", dc=v))
+    text_lines = [f"V1 n0 0 {v!r}"]
+    prev = "n0"
+    for i, (rs, rp) in enumerate(zip(series, shunt)):
+        nxt = f"n{i + 1}"
+        direct.add(Resistor(f"Rs{i}", prev, nxt, rs))
+        direct.add(Resistor(f"Rp{i}", nxt, "0", rp))
+        text_lines.append(f"Rs{i} {prev} {nxt} {rs!r}")
+        text_lines.append(f"Rp{i} {nxt} 0 {rp!r}")
+        prev = nxt
+    parsed = parse_netlist("\n".join(text_lines))
+
+    sys_d = direct.assemble()
+    sys_p = parsed.assemble()
+    sol_d = dc_operating_point(sys_d)
+    sol_p = dc_operating_point(sys_p)
+    for node in direct.node_names():
+        assert sol_p.voltage(sys_p, node) == pytest.approx(
+            sol_d.voltage(sys_d, node), rel=1e-9, abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Spectrum: Parseval and reconstruction
+# ----------------------------------------------------------------------
+
+@st.composite
+def small_multitones(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    harmonics = draw(st.lists(st.integers(min_value=1, max_value=8),
+                              min_size=n, max_size=n, unique=True))
+    tones = [Tone(1e3 * h,
+                  draw(st.floats(min_value=0.01, max_value=1.0)),
+                  draw(st.floats(min_value=-180.0, max_value=180.0)))
+             for h in harmonics]
+    return Multitone(tones, draw(st.floats(min_value=-1.0, max_value=1.0)))
+
+
+@given(small_multitones())
+@settings(max_examples=40, deadline=None)
+def test_spectrum_recovers_tones_exactly(stim):
+    spec = harmonic_spectrum(stim.sample(samples_per_period=256))
+    assert spec.amplitude(0) == pytest.approx(stim.offset, abs=1e-9)
+    for tone in stim.tones:
+        # Harmonic index relative to the *multitone's* fundamental
+        # (a single 2 kHz tone has fundamental 2 kHz, index 1).
+        k = int(round(tone.freq_hz / spec.fundamental_hz))
+        assert spec.amplitude(k) == pytest.approx(abs(tone.amplitude),
+                                                  abs=1e-9)
+
+
+@given(small_multitones())
+@settings(max_examples=40, deadline=None)
+def test_parseval(stim):
+    w = stim.sample(samples_per_period=512)
+    spec = harmonic_spectrum(w)
+    power_time = float(np.mean(w.values ** 2))
+    power_freq = spec.amplitude(0) ** 2 + 0.5 * float(
+        np.sum(spec.amplitudes[1:] ** 2))
+    assert power_freq == pytest.approx(power_time, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Yield model invariants
+# ----------------------------------------------------------------------
+
+@st.composite
+def unit_populations(draw):
+    n = draw(st.integers(min_value=3, max_value=30))
+    units = [CutUnit(draw(st.floats(min_value=-0.2, max_value=0.2)),
+                     draw(st.floats(min_value=0.0, max_value=0.3)))
+             for _ in range(n)]
+    tolerance = draw(st.floats(min_value=0.01, max_value=0.15))
+    return units, tolerance
+
+
+@given(unit_populations(), st.floats(min_value=0.0, max_value=0.3))
+@settings(max_examples=60, deadline=None)
+def test_confusion_matrix_partitions_population(population, threshold):
+    units, tolerance = population
+    report = yield_escape_analysis(units, threshold, tolerance)
+    assert report.total == len(units)
+    assert min(report.true_pass, report.true_fail, report.yield_loss,
+               report.escapes) >= 0
+
+
+@given(unit_populations())
+@settings(max_examples=40, deadline=None)
+def test_roc_monotonicity(population):
+    units, tolerance = population
+    reports = roc_curve(units, tolerance)
+    escapes = [r.escapes for r in reports]
+    losses = [r.yield_loss for r in reports]
+    assert all(a <= b for a, b in zip(escapes, escapes[1:]))
+    assert all(a >= b for a, b in zip(losses, losses[1:]))
+    # Extreme: the loosest threshold passes everything -- every bad
+    # unit escapes and no good unit is scrapped.
+    assert reports[-1].escapes == sum(
+        1 for u in units if not u.is_good(tolerance))
+    assert reports[-1].yield_loss == 0

@@ -1,0 +1,116 @@
+"""Property-based tests for signatures and the NDF metric.
+
+The NDF inherits metric structure from the Hamming distance; these
+hypothesis tests pin the invariants the paper's method relies on:
+
+* signatures conserve the period under any construction/rotation;
+* NDF is a pseudometric: symmetric, zero on equal code functions,
+  triangle inequality, bounded by the code width;
+* NDF is invariant under joint rotation (the capture has no preferred
+  time origin as long as golden and observed share it).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ndf import ndf, ndf_sampled
+from repro.core.signature import Signature
+
+
+@st.composite
+def signatures(draw, period=1.0, max_entries=8, max_code=63):
+    """Random run-length signatures with exact total duration."""
+    n = draw(st.integers(min_value=1, max_value=max_entries))
+    # Random positive weights normalized to the period.
+    weights = [draw(st.floats(min_value=0.05, max_value=1.0))
+               for _ in range(n)]
+    total = sum(weights)
+    codes = [draw(st.integers(min_value=0, max_value=max_code))
+             for _ in range(n)]
+    pairs = [(c, w / total * period) for c, w in zip(codes, weights)]
+    return Signature.from_pairs(pairs, period)
+
+
+@given(signatures())
+@settings(max_examples=60, deadline=None)
+def test_durations_sum_to_period(sig):
+    assert sig.durations().sum() == pytest.approx(sig.period)
+    assert len(sig.breakpoints()) == len(sig) - 1
+
+
+@given(signatures())
+@settings(max_examples=60, deadline=None)
+def test_no_equal_neighbours_after_merge(sig):
+    codes = sig.codes()
+    assert all(a != b for a, b in zip(codes, codes[1:]))
+
+
+@given(signatures(), st.floats(min_value=0.0, max_value=2.0))
+@settings(max_examples=60, deadline=None)
+def test_rotation_conserves_dwell_totals(sig, dt):
+    rot = sig.rotated(dt)
+    assert rot.period == pytest.approx(sig.period)
+
+    def totals(s):
+        out = {}
+        for e in s:
+            out[e.code] = out.get(e.code, 0.0) + e.duration
+        return out
+
+    a, b = totals(sig), totals(rot)
+    assert set(a) == set(b)
+    for code in a:
+        assert a[code] == pytest.approx(b[code], abs=1e-9)
+
+
+@given(signatures())
+@settings(max_examples=40, deadline=None)
+def test_ndf_identity(sig):
+    assert ndf(sig, sig) == 0.0
+
+
+@given(signatures(), signatures())
+@settings(max_examples=40, deadline=None)
+def test_ndf_symmetry(a, b):
+    assert ndf(a, b) == pytest.approx(ndf(b, a), abs=1e-12)
+
+
+@given(signatures(), signatures())
+@settings(max_examples=40, deadline=None)
+def test_ndf_bounded_by_code_width(a, b):
+    assert 0.0 <= ndf(a, b) <= 6.0  # codes are at most 6 bits here
+
+
+@given(signatures(), signatures(), signatures())
+@settings(max_examples=30, deadline=None)
+def test_ndf_triangle_inequality(a, b, c):
+    assert ndf(a, c) <= ndf(a, b) + ndf(b, c) + 1e-9
+
+
+@given(signatures(), signatures(),
+       st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=30, deadline=None)
+def test_ndf_joint_rotation_invariance(a, b, dt):
+    assert ndf(a.rotated(dt), b.rotated(dt)) == pytest.approx(
+        ndf(a, b), abs=1e-9)
+
+
+@given(signatures(), signatures())
+@settings(max_examples=15, deadline=None)
+def test_sampled_estimator_tracks_exact(a, b):
+    exact = ndf(a, b)
+    estimate = ndf_sampled(a, b, num_samples=30000)
+    assert estimate == pytest.approx(exact, abs=2e-3)
+
+
+@given(signatures(max_code=7), st.integers(min_value=2, max_value=50))
+@settings(max_examples=40, deadline=None)
+def test_code_at_round_trip(sig, num):
+    """Reconstructing a signature from its own samples is lossless when
+    sampled at every breakpoint."""
+    times = np.sort(np.unique(np.concatenate(
+        [[0.0], sig.breakpoints()])))
+    codes = sig.code_at(times)
+    rebuilt = Signature.from_samples(times, codes, sig.period)
+    assert rebuilt == sig

@@ -1,0 +1,48 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "200 us" in out
+    assert "0.1021" in out
+
+
+def test_zonemap(capsys):
+    assert main(["zonemap"]) == 0
+    out = capsys.readouterr().out
+    assert "realized zones:" in out
+    assert " 63" in out
+
+
+def test_chronogram(capsys):
+    assert main(["chronogram", "--dev", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "NDF(+10% f0)" in out
+    assert "paper: 0.1021" in out
+
+
+def test_sweep(capsys):
+    assert main(["sweep", "--points", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "linearity R^2" in out
+
+
+def test_test_command_pass(capsys):
+    assert main(["test", "--dev", "0.02", "--tolerance", "0.05"]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_test_command_fail_unit(capsys):
+    # A bad unit correctly failing still exits 0 (expected outcome).
+    assert main(["test", "--dev", "0.15", "--tolerance", "0.05"]) == 0
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
