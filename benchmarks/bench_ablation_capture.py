@@ -7,7 +7,6 @@ relative to the ideal (continuous-time) capture -- the design guidance
 a monitor integrator needs when sizing the capture block.
 """
 
-import numpy as np
 
 from repro.analysis import Comparison, banner, comparison_table, format_table
 from repro.core.capture import AsyncCapture, CaptureConfig

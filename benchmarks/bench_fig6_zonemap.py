@@ -7,7 +7,6 @@ codes), verifies the one-bit-adjacency criterion the Hamming metric
 relies on, and lists the traversal sequence of both curves.
 """
 
-import numpy as np
 
 from repro.analysis import Comparison, banner, comparison_table
 from repro.paper import FIG6_ZONE_CODES

@@ -6,7 +6,6 @@ chronogram below, the headline NDF = 0.1021, and a distance-2 event
 where the defective trace skips a zone sequence.
 """
 
-import numpy as np
 
 from repro.analysis import (
     Comparison,

@@ -25,9 +25,12 @@ from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
 
 
 def test_multiparameter_surface(benchmark, bench_setup, report_writer):
+    # The whole 25-point grid runs as one batched campaign.
+    engine = bench_setup.campaign_engine()
     surface = benchmark(
-        ndf_surface, bench_setup.tester, PAPER_BIQUAD,
-        np.linspace(-0.10, 0.10, 5), np.linspace(-0.20, 0.20, 5))
+        ndf_surface, None, PAPER_BIQUAD,
+        np.linspace(-0.10, 0.10, 5), np.linspace(-0.20, 0.20, 5),
+        engine=engine)
 
     header = ["q dev \\ f0 dev"] + [f"{d:+.0%}"
                                     for d in surface.f0_deviations]

@@ -10,7 +10,6 @@ Two design-space studies the paper's conclusions invite:
   noise and the (second-order) sensitivity cost.
 """
 
-import numpy as np
 
 from repro.analysis import Comparison, banner, comparison_table, format_table
 from repro.core import HystereticEncoder, capture_signature, ndf

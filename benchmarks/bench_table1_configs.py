@@ -10,7 +10,6 @@ qualitative behaviour the paper attributes to each row:
 * row 6 (zero biases): the 45-degree line.
 """
 
-import numpy as np
 
 from repro.analysis import Comparison, banner, comparison_table, format_table
 from repro.monitor import characterize, diagonal_deviation, table1_monitor

@@ -2,9 +2,10 @@
 
 The paper builds the decision band from the Fig. 8 sweep; production
 adds a process-spread CUT population.  This benchmark measures a
-population of Biquads (sigma(f0) = 3 %), sweeps the NDF threshold and
-reports the yield-loss/escape trade-off, including the cost-optimal
-threshold under asymmetric economics (an escape costs 10x an overkill).
+population of Biquads (sigma(f0) = 3 %) through the batched campaign
+engine, sweeps the NDF threshold and reports the yield-loss/escape
+trade-off, including the cost-optimal threshold under asymmetric
+economics (an escape costs 10x an overkill).
 """
 
 import numpy as np
@@ -17,20 +18,24 @@ from repro.analysis import (
     format_table,
     optimal_threshold,
     roc_curve,
-    yield_escape_analysis,
 )
+from repro.campaign import GoldenCache
 
 
 def test_yield_and_escapes(benchmark, bench_setup, report_writer):
     tolerance = 0.05
+    engine = bench_setup.campaign_engine(tolerance=tolerance,
+                                         cache=GoldenCache())
     population = CutPopulation(bench_setup.golden_spec, sigma_f0=0.03,
                                rng=7)
-    units = benchmark(population.measure, bench_setup.tester, 60)
+    # Draw once (the benchmark fixture re-runs the measurement only).
+    dies = population.spec_population(60)
 
-    sweep_band = bench_setup.fig8_sweep(
-        np.linspace(-0.10, 0.10, 9)).band_for_tolerance(tolerance)
-    paper_style = yield_escape_analysis(units, sweep_band.threshold,
-                                        tolerance)
+    result = benchmark(engine.run, dies, "auto")
+    units = result.to_units()
+
+    sweep_band = engine.band(tolerance)
+    paper_style = result.yield_report(tolerance, sweep_band.threshold)
     best = optimal_threshold(units, tolerance, escape_cost=10.0)
 
     rows = []
@@ -57,7 +62,8 @@ def test_yield_and_escapes(benchmark, bench_setup, report_writer):
                    match=best.escape_rate <= 0.25),
     ]
     report = "\n".join([
-        banner("EXTENSION: yield loss vs test escapes (60-unit MC)"),
+        banner("EXTENSION: yield loss vs test escapes (60-unit MC "
+               "campaign)"),
         table,
         "",
         comparison_table(comparisons),

@@ -16,11 +16,10 @@ The script shows the two ingredients:
 Run with:  python examples/noise_robustness.py
 """
 
-import numpy as np
 
 from repro.analysis import format_table
 from repro.paper import noisy_paper_setup, paper_setup
-from repro.signals import BandLimiter, NoiseModel
+from repro.signals import NoiseModel
 
 
 def population_table(bench, noise, deviations, repeats=10):

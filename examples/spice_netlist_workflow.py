@@ -77,7 +77,6 @@ def main() -> None:
           f"(design: 1.0)\n")
 
     setup = paper_setup(samples_per_period=2048)
-    golden_sig = setup.tester.golden_signature()
 
     for scale, label in ((1.0, "nominal netlist"),
                          (1.10, "+10 % f0 drifted netlist"),

@@ -16,6 +16,8 @@ The library implements the paper's full stack:
 * ``repro.baselines`` -- straight-line zoning and regression-based
   alternate test for comparison
 * ``repro.analysis`` -- chronograms, sweeps and report formatting
+* ``repro.campaign`` -- batched fleet-scale test campaigns (cached
+  golden signatures, vectorized scoring, serial/process-pool executors)
 """
 
 __version__ = "1.0.0"
@@ -26,6 +28,8 @@ from repro._api import (
     PAPER_BIQUAD,
     PAPER_INPUT_POLE_HZ,
     PAPER_STIMULUS,
+    CampaignEngine,
+    CampaignResult,
     PaperSetup,
     noisy_paper_setup,
     paper_setup,
@@ -33,6 +37,8 @@ from repro._api import (
 
 __all__ = [
     "__version__",
+    "CampaignEngine",
+    "CampaignResult",
     "FIG6_ZONE_CODES",
     "FIG7_NDF_10PCT",
     "PAPER_BIQUAD",

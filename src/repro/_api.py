@@ -7,6 +7,7 @@
 True
 """
 
+from repro.campaign import CampaignEngine, CampaignResult
 from repro.paper import (
     FIG6_ZONE_CODES,
     FIG7_NDF_10PCT,
@@ -19,6 +20,8 @@ from repro.paper import (
 )
 
 __all__ = [
+    "CampaignEngine",
+    "CampaignResult",
     "FIG6_ZONE_CODES",
     "FIG7_NDF_10PCT",
     "PAPER_BIQUAD",

@@ -34,6 +34,7 @@ from repro.analysis.yield_model import (
     optimal_threshold,
     roc_curve,
     yield_escape_analysis,
+    yield_report_from_arrays,
 )
 from repro.analysis.multiparam import NdfSurface, ndf_surface
 
@@ -60,6 +61,7 @@ __all__ = [
     "optimal_threshold",
     "roc_curve",
     "yield_escape_analysis",
+    "yield_report_from_arrays",
     "NdfSurface",
     "ndf_surface",
 ]

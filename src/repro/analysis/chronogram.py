@@ -12,7 +12,7 @@ a Hamming-2 excursion near 48-50 us).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

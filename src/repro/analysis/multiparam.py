@@ -17,7 +17,7 @@ grid and quantifies two things:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -86,19 +86,37 @@ class NdfSurface:
         return float(spread)
 
 
-def ndf_surface(tester: SignatureTester, golden_spec: BiquadSpec,
+def ndf_surface(tester: Optional[SignatureTester], golden_spec: BiquadSpec,
                 f0_deviations: Sequence[float],
                 q_deviations: Sequence[float],
-                cut_factory: Optional[Callable] = None) -> NdfSurface:
+                cut_factory: Optional[Callable] = None,
+                engine=None) -> NdfSurface:
     """Sample the NDF over the (f0, Q) deviation grid.
 
     ``cut_factory(f0_dev, q_dev)`` may override how CUTs are built
     (e.g. to use the multi-channel CUT); the default deviates the
     behavioural Biquad.
+
+    When a :class:`repro.campaign.CampaignEngine` is passed as
+    ``engine`` (and no custom factory is in play), the whole grid runs
+    as one batched campaign instead of ``len(grid)`` per-die
+    measurements; ``tester`` may then be None.
     """
     f0_deviations = np.asarray(list(f0_deviations), dtype=float)
     q_deviations = np.asarray(list(q_deviations), dtype=float)
 
+    if engine is not None and cut_factory is None:
+        from repro.campaign.scenarios import parameter_grid
+
+        population = parameter_grid(golden_spec, f0_deviations,
+                                    q_deviations)
+        result = engine.run(population, band=None)
+        surface = result.ndfs.reshape(q_deviations.size,
+                                      f0_deviations.size)
+        return NdfSurface(f0_deviations, q_deviations, surface)
+
+    if tester is None:
+        raise ValueError("need a tester when not running via an engine")
     if cut_factory is None:
         def cut_factory(f0_dev: float, q_dev: float):
             return BiquadFilter(golden_spec.with_f0_deviation(f0_dev)

@@ -18,17 +18,16 @@ experiments:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.decision import DecisionBand, ThresholdCalibration
 from repro.core.ndf import ndf
-from repro.core.capture import capture_signature
 from repro.core.testflow import SignatureTester
 from repro.core.zones import ZoneEncoder
 from repro.filters.biquad import BiquadFilter, BiquadSpec
-from repro.filters.faults import Fault, FaultKind, catastrophic_fault_universe
+from repro.filters.faults import Fault, catastrophic_fault_universe
 from repro.filters.towthomas import TowThomasValues
 from repro.monitor.comparator import MonitorBoundary
 from repro.monitor.montecarlo import encoder_samples
@@ -112,11 +111,23 @@ def process_variation_study(bank: Sequence[MonitorBoundary],
     variability consumes test margin.  Returns the NDF per die;
     comparing against the Fig. 8 sweep converts it into an equivalent
     f0 guard band.
+
+    The reference signature is captured once through the *nominal*
+    bank, and every die's signature through its own varied bank.  (An
+    earlier revision re-derived the golden through each varied bank,
+    which compares a signature against itself and measures exactly
+    zero.)  Campaign-scale versions of this study should go through
+    :class:`repro.campaign.CampaignEngine` with an
+    :class:`repro.campaign.EncoderPopulation`, which shares the trace
+    across dies.
     """
+    nominal_tester = tester_factory(ZoneEncoder(list(bank)))
+    golden_signature = nominal_tester.signature_of(golden_cut)
     values = []
     for encoder in encoder_samples(bank, sampler, num_dies):
         tester = tester_factory(encoder)
-        values.append(tester.ndf_of(golden_cut))
+        values.append(ndf(tester.signature_of(golden_cut),
+                          golden_signature))
     return np.asarray(values)
 
 

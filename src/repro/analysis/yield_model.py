@@ -21,8 +21,8 @@ motivates it but stops at the band construction).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -70,13 +70,38 @@ class CutPopulation:
 
     def measure(self, tester: SignatureTester,
                 count: int = 100) -> List[CutUnit]:
-        """Draw and measure a population through the signature flow."""
+        """Draw and measure a population through the signature flow.
+
+        This is the per-die reference path; production-sized
+        populations should go through :meth:`campaign`, which batches
+        the same flow at fleet scale.
+        """
         units = []
         for deviation in self.draw_deviations(count):
             cut = BiquadFilter(
                 self.golden_spec.with_f0_deviation(float(deviation)))
             units.append(CutUnit(float(deviation), tester.ndf_of(cut)))
         return units
+
+    def spec_population(self, count: int = 100):
+        """Draw a campaign population (lazy import keeps layers apart)."""
+        from repro.campaign.scenarios import SpecPopulation
+
+        deviations = self.draw_deviations(count)
+        specs = [self.golden_spec.with_f0_deviation(float(d))
+                 for d in deviations]
+        labels = [f"unit{i:05d}" for i in range(count)]
+        return SpecPopulation(specs, deviations,
+                              np.zeros(count), labels)
+
+    def campaign(self, engine, count: int = 100, band="auto"):
+        """Measure the population batched -> ``CampaignResult``.
+
+        ``engine`` is a :class:`repro.campaign.CampaignEngine` whose
+        configuration carries the stimulus/encoder/golden; the verdict
+        band defaults to the engine's calibrated Fig. 8 band.
+        """
+        return engine.run(self.spec_population(count), band=band)
 
 
 @dataclass
@@ -109,22 +134,39 @@ class YieldReport:
         return self.escapes / bad if bad else 0.0
 
 
+def yield_report_from_arrays(f0_deviations: np.ndarray, ndfs: np.ndarray,
+                             threshold: float,
+                             tolerance: float) -> YieldReport:
+    """Vectorized confusion matrix over deviation/NDF arrays.
+
+    Shared by the list-based :func:`yield_escape_analysis` and by
+    :meth:`repro.campaign.result.CampaignResult.yield_report`.
+    """
+    deviations = np.asarray(f0_deviations, dtype=float)
+    ndfs = np.asarray(ndfs, dtype=float)
+    if deviations.shape != ndfs.shape:
+        raise ValueError("deviations and NDFs must align")
+    if np.any(np.isnan(deviations)):
+        raise ValueError(
+            "ground-truth deviations contain NaN (unknown truth); "
+            "yield economics need a population that knows its "
+            "deviations")
+    good = np.abs(deviations) <= tolerance
+    passed = ndfs <= threshold
+    return YieldReport(
+        threshold=float(threshold), tolerance=float(tolerance),
+        true_pass=int(np.count_nonzero(good & passed)),
+        true_fail=int(np.count_nonzero(~good & ~passed)),
+        yield_loss=int(np.count_nonzero(good & ~passed)),
+        escapes=int(np.count_nonzero(~good & passed)))
+
+
 def yield_escape_analysis(units: Sequence[CutUnit], threshold: float,
                           tolerance: float) -> YieldReport:
     """Classify a measured population against one NDF threshold."""
-    report = YieldReport(threshold, tolerance, 0, 0, 0, 0)
-    for unit in units:
-        passed = unit.ndf <= threshold
-        good = unit.is_good(tolerance)
-        if good and passed:
-            report.true_pass += 1
-        elif good and not passed:
-            report.yield_loss += 1
-        elif not good and not passed:
-            report.true_fail += 1
-        else:
-            report.escapes += 1
-    return report
+    return yield_report_from_arrays(
+        np.asarray([u.f0_deviation for u in units]),
+        np.asarray([u.ndf for u in units]), threshold, tolerance)
 
 
 def roc_curve(units: Sequence[CutUnit], tolerance: float,

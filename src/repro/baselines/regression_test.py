@@ -21,7 +21,7 @@ beyond one golden unit.  The benchmark quantifies both sides.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import linalg as _linalg

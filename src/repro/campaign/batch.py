@@ -1,0 +1,138 @@
+"""Vectorized kernels of the campaign engine.
+
+The per-die test flow (:class:`repro.core.testflow.SignatureTester`)
+evaluates one trace, one zone encoding and one capture at a time.  At
+fleet scale the same work is batched over stacked ``(N, samples)``
+arrays:
+
+* :func:`batch_multitone_eval` evaluates N same-frequency multitones on
+  a shared time grid in one broadcast pass;
+* :func:`batch_responses` propagates one stimulus through N linear CUTs
+  (exact steady state, tone by tone);
+* :func:`batch_codes` pushes the whole ``(N, samples)`` point stack
+  through the zone encoder at once;
+* :func:`batch_signatures` run-length extracts one signature per row,
+  sharing the NumPy kernel of
+  :func:`repro.core.signature.run_length_starts`;
+* :func:`batch_ndf` scores every signature against the golden.
+
+The floating-point expression order of the per-die path is replicated
+exactly (same offset-then-tone accumulation, same ``w*t + phase``
+association), so a batched campaign with ``refine`` disabled produces
+**bit-identical** codes -- and therefore identical signatures, NDFs and
+verdicts -- to a serial :class:`SignatureTester` with ``refine=False``.
+The campaign equivalence tests assert this.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.ndf import ndf
+from repro.core.signature import Signature
+from repro.core.zones import ZoneEncoder
+from repro.signals.multitone import Multitone
+
+
+def sample_times(period: float, samples_per_period: int) -> np.ndarray:
+    """The uniform capture grid ``[0, period)`` of the test flow.
+
+    Matches :meth:`repro.signals.waveform.Waveform.from_function` with
+    ``t_start=0`` bit for bit, so batched and per-die captures land on
+    the same instants.
+    """
+    if samples_per_period < 2:
+        raise ValueError("need at least 2 samples per period")
+    return period * np.arange(samples_per_period) / samples_per_period
+
+
+def batch_multitone_eval(signals: Sequence[Multitone],
+                         times: np.ndarray) -> np.ndarray:
+    """Evaluate N multitones sharing tone frequencies -> ``(N, T)``.
+
+    All signals must carry the same tone count and, tone for tone, the
+    same frequency (the campaign populations are LTI responses to one
+    stimulus, so this holds by construction).  The accumulation order
+    replicates :meth:`Multitone.__call__` exactly: start from the DC
+    offset, then add tones in sequence.
+    """
+    times = np.asarray(times, dtype=float)
+    if not signals:
+        return np.empty((0, times.size))
+    num_tones = len(signals[0].tones)
+    for signal in signals:
+        if len(signal.tones) != num_tones:
+            raise ValueError("signals must share the tone layout")
+    offsets = np.asarray([s.offset for s in signals])
+    total = np.repeat(offsets[:, None], times.size, axis=1)
+    for k in range(num_tones):
+        freqs = np.asarray([s.tones[k].freq_hz for s in signals])
+        if np.any(freqs != freqs[0]):
+            raise ValueError(
+                f"tone {k} frequencies differ across the population; "
+                "batched evaluation needs a common tone grid")
+        w_t = 2.0 * math.pi * freqs[0] * times
+        amps = np.asarray([s.tones[k].amplitude for s in signals])
+        phases = np.asarray([s.tones[k].phase_rad for s in signals])
+        total = total + amps[:, None] * np.sin(w_t[None, :]
+                                               + phases[:, None])
+    return total
+
+
+def batch_responses(cuts: Sequence, stimulus: Multitone) -> List[Multitone]:
+    """Exact steady-state output multitone of each linear CUT.
+
+    Every CUT must expose ``response(stimulus) -> Multitone`` (the
+    behavioural Biquad does); the per-CUT work is a handful of complex
+    transfer evaluations, so a Python loop here is cheap -- the heavy
+    sampling happens in :func:`batch_multitone_eval`.
+    """
+    return [cut.response(stimulus) for cut in cuts]
+
+
+def batch_codes(encoder: ZoneEncoder, x: np.ndarray,
+                y: np.ndarray) -> np.ndarray:
+    """Zone codes of a stacked point set; ``x`` broadcasts over rows."""
+    y = np.asarray(y, dtype=float)
+    x = np.broadcast_to(np.asarray(x, dtype=float), y.shape)
+    return np.asarray(encoder.code(x, y), dtype=np.int64)
+
+
+def batch_signatures(times: np.ndarray, codes: np.ndarray,
+                     period: float) -> List[Signature]:
+    """One run-length-extracted signature per row of ``codes``.
+
+    Row extraction shares :func:`Signature.from_samples`' NumPy
+    run-length kernel; the Python-level cost per die is proportional to
+    the number of zone *changes*, not samples.
+    """
+    codes = np.atleast_2d(np.asarray(codes))
+    return [Signature.from_samples(times, row, period) for row in codes]
+
+
+def batch_ndf(signatures: Sequence[Signature],
+              golden: Signature) -> np.ndarray:
+    """Exact NDF of every signature against the golden reference."""
+    return np.asarray([ndf(s, golden) for s in signatures], dtype=float)
+
+
+def trace_population_ndf(encoder: ZoneEncoder, times: np.ndarray,
+                         x: np.ndarray, y_stack: np.ndarray,
+                         period: float, golden: Signature,
+                         signatures_out: Optional[list] = None
+                         ) -> np.ndarray:
+    """Encode + extract + score a stacked trace population in one call.
+
+    ``y_stack`` is ``(N, T)``; ``x`` is shared across the population.
+    When ``signatures_out`` is given, the extracted signatures are
+    appended to it (diagnosis paths want them; the yield paths only
+    need the NDFs).
+    """
+    codes = batch_codes(encoder, x, y_stack)
+    signatures = batch_signatures(times, codes, period)
+    if signatures_out is not None:
+        signatures_out.extend(signatures)
+    return batch_ndf(signatures, golden)

@@ -1,0 +1,160 @@
+"""Content-keyed caching of golden signatures and calibrations.
+
+Every campaign that shares a configuration -- stimulus, zone encoder,
+golden CUT nominal and sampling density -- also shares its golden
+signature and its Fig. 8 calibration band.  The seed code re-derived
+both inside every workload loop; here they are computed once and keyed
+by *content*:
+
+* the stimulus key is the exact tone table (frequency, amplitude,
+  phase, offset);
+* the encoder key is :meth:`repro.core.zones.ZoneEncoder.fingerprint`,
+  a hash of the realized zone partition, so a rebuilt-but-identical
+  Table I bank hits while a Monte Carlo-varied bank misses;
+* the CUT nominal key is the golden Biquad spec (or an explicit
+  ``golden_key`` for non-spec CUTs).
+
+The cache is a small LRU; hit/miss counters are exposed for the
+campaign result's diagnostics and the cache behaviour tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, Tuple
+
+import numpy as np
+
+from repro.core.signature import Signature
+from repro.core.zones import ZoneEncoder
+from repro.filters.biquad import BiquadSpec
+from repro.signals.multitone import Multitone
+
+
+def stimulus_key(stimulus: Multitone) -> Tuple:
+    """Hashable content key of a multitone stimulus."""
+    return (float(stimulus.offset),
+            tuple((float(t.freq_hz), float(t.amplitude),
+                   float(t.phase_deg)) for t in stimulus.tones))
+
+
+def spec_key(spec: BiquadSpec) -> Tuple:
+    """Hashable content key of a Biquad nominal."""
+    return (float(spec.f0_hz), float(spec.q), float(spec.gain),
+            spec.kind.value)
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Snapshot of the cache counters."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def requests(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    def __str__(self) -> str:
+        return (f"{self.hits} hits / {self.misses} misses "
+                f"({self.size} cached)")
+
+
+@dataclass(frozen=True)
+class GoldenArtifacts:
+    """Everything derived once per campaign configuration.
+
+    Attributes
+    ----------
+    times:
+        The shared capture grid over one period.
+    x:
+        Stimulus samples on the grid (the Lissajous X signal).
+    y:
+        Golden CUT response samples on the grid (the Y signal) --
+        encoder-variation campaigns re-encode this same trace through
+        varied monitor banks.
+    codes:
+        Golden zone codes on the grid.
+    signature:
+        The golden signature (grid-quantized, matching the batched
+        capture of the observed dies).
+    period:
+        Signature period in seconds.
+    """
+
+    times: np.ndarray
+    x: np.ndarray
+    y: np.ndarray
+    codes: np.ndarray
+    signature: Signature
+    period: float
+
+
+class GoldenCache:
+    """LRU cache of golden artifacts and derived calibrations.
+
+    One process-wide :data:`DEFAULT_CACHE` instance backs the engine by
+    default, so worker processes of the pool executor amortize their
+    golden computation across chunks exactly like the serial path does
+    across dies.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ValueError("cache needs room for at least one entry")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    def get_or_compute(self, key: Hashable,
+                       compute: Callable[[], object]) -> object:
+        """Cached value for ``key``, computing (and storing) on miss."""
+        if key in self._entries:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self._misses += 1
+        value = compute()
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return value
+
+    def contains(self, key: Hashable) -> bool:
+        """True when ``key`` is cached (does not touch the counters)."""
+        return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def info(self) -> CacheInfo:
+        """Current hit/miss/size counters."""
+        return CacheInfo(self._hits, self._misses, len(self._entries))
+
+
+def encoder_key(encoder: ZoneEncoder) -> str:
+    """Content key of a zone encoder (cached on the instance).
+
+    The fingerprint probe is itself not free, so it is memoized per
+    encoder object; two distinct objects with the same boundaries still
+    collapse onto the same key value.
+    """
+    cached = getattr(encoder, "_campaign_fingerprint", None)
+    if cached is None:
+        cached = encoder.fingerprint()
+        encoder._campaign_fingerprint = cached
+    return cached
+
+
+#: Process-wide default cache (also used by pool workers).
+DEFAULT_CACHE = GoldenCache()

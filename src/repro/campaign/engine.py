@@ -1,0 +1,363 @@
+"""The batched test-campaign engine.
+
+One :class:`CampaignEngine` runs the paper's full signature flow --
+stimulus, Lissajous composition, zone encoding, signature capture, NDF,
+verdict -- over an entire *population* of CUTs in a single call,
+instead of once per die through
+:class:`repro.core.testflow.SignatureTester`:
+
+* golden signatures and calibrated decision bands are computed once per
+  configuration and content-cached (:mod:`repro.campaign.cache`);
+* the hot path is vectorized over stacked ``(N, samples)`` arrays
+  (:mod:`repro.campaign.batch`);
+* an executor layer chunks the population serially or over a process
+  pool (:mod:`repro.campaign.executors`) with deterministic per-die
+  seeding, so every executor yields bit-identical verdict vectors.
+
+Worked example (mirrors ``examples/campaign_fleet.py``)::
+
+    from repro.campaign import CampaignEngine, montecarlo_dies
+    from repro.monitor.configurations import table1_encoder
+    from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+
+    engine = CampaignEngine.from_parts(
+        table1_encoder(), PAPER_STIMULUS, PAPER_BIQUAD)
+    dies = montecarlo_dies(PAPER_BIQUAD, count=500, sigma_f0=0.03,
+                           seed=7)
+    result = engine.run(dies, band="auto")   # Fig. 8-calibrated band
+    print(result.summary())                  # verdicts, escapes, timing
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.campaign.batch import (
+    batch_codes,
+    batch_multitone_eval,
+    sample_times,
+    trace_population_ndf,
+)
+from repro.campaign.cache import (
+    DEFAULT_CACHE,
+    GoldenArtifacts,
+    GoldenCache,
+    encoder_key,
+    spec_key,
+    stimulus_key,
+)
+from repro.campaign.executors import SerialExecutor, chunked
+from repro.campaign.result import CampaignResult
+from repro.campaign.scenarios import (
+    CutListPopulation,
+    EncoderPopulation,
+    SpecPopulation,
+    deviation_sweep_population,
+)
+from repro.core.decision import DecisionBand, ThresholdCalibration
+from repro.core.ndf import ndf
+from repro.core.signature import Signature
+from repro.core.zones import ZoneEncoder
+from repro.filters.biquad import BiquadFilter, BiquadSpec
+from repro.signals.multitone import Multitone
+
+#: Default Fig. 8 calibration sweep for "auto" decision bands.
+DEFAULT_CALIBRATION_DEVIATIONS: Tuple[float, ...] = tuple(
+    np.linspace(-0.10, 0.10, 9))
+
+Population = Union[SpecPopulation, CutListPopulation, EncoderPopulation,
+                   Sequence[BiquadSpec]]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that identifies one test configuration.
+
+    Instances are picklable (they travel to pool workers) and define
+    the content key under which golden artifacts are cached.
+    """
+
+    encoder: ZoneEncoder
+    stimulus: Multitone
+    golden_spec: BiquadSpec
+    samples_per_period: int = 2048
+    tolerance: float = 0.05
+    calibration_deviations: Tuple[float, ...] = \
+        DEFAULT_CALIBRATION_DEVIATIONS
+    chunk_size: int = 256
+
+    def golden_key(self) -> Tuple:
+        """Content key of the golden artifacts for this configuration."""
+        return ("golden", stimulus_key(self.stimulus),
+                encoder_key(self.encoder), spec_key(self.golden_spec),
+                int(self.samples_per_period))
+
+
+# ----------------------------------------------------------------------
+# Chunk workers (module level: pool executors pickle them)
+# ----------------------------------------------------------------------
+def _compute_golden(config: CampaignConfig) -> GoldenArtifacts:
+    """Golden trace, codes and signature for one configuration."""
+    stimulus = config.stimulus
+    period = stimulus.period()
+    times = sample_times(period, config.samples_per_period)
+    x = np.asarray(stimulus(times), dtype=float)
+    response = BiquadFilter(config.golden_spec).response(stimulus)
+    y = batch_multitone_eval([response], times)[0]
+    codes = batch_codes(config.encoder, x, y[None, :])[0]
+    signature = Signature.from_samples(times, codes, period)
+    return GoldenArtifacts(times, x, y, codes, signature, period)
+
+
+def _golden_artifacts(config: CampaignConfig,
+                      cache: GoldenCache) -> GoldenArtifacts:
+    return cache.get_or_compute(config.golden_key(),
+                                lambda: _compute_golden(config))
+
+
+def _response_chunk_ndfs(config: CampaignConfig, cuts: Sequence,
+                         cache: GoldenCache
+                         ) -> Tuple[np.ndarray, Dict[str, float]]:
+    """NDFs of a chunk of linear CUTs (objects with ``response``)."""
+    timing: Dict[str, float] = {}
+    t0 = time.perf_counter()
+    golden = _golden_artifacts(config, cache)
+    t1 = time.perf_counter()
+    timing["golden"] = t1 - t0
+    responses = [cut.response(config.stimulus) for cut in cuts]
+    y = batch_multitone_eval(responses, golden.times)
+    t2 = time.perf_counter()
+    timing["traces"] = t2 - t1
+    values = trace_population_ndf(config.encoder, golden.times, golden.x,
+                                  y, golden.period, golden.signature)
+    timing["encode+score"] = time.perf_counter() - t2
+    return values, timing
+
+
+def _spec_chunk_worker(payload: Tuple[CampaignConfig, Tuple[BiquadSpec, ...]]
+                       ) -> Tuple[np.ndarray, Dict[str, float]]:
+    """Pool-side entry point; uses the worker process' default cache."""
+    config, specs = payload
+    cuts = [BiquadFilter(spec) for spec in specs]
+    return _response_chunk_ndfs(config, cuts, DEFAULT_CACHE)
+
+
+class CampaignEngine:
+    """Runs signature-test campaigns over CUT populations.
+
+    Parameters
+    ----------
+    config:
+        The test configuration (stimulus, encoder, golden nominal).
+    cache:
+        Golden/calibration cache; the process-wide default when omitted.
+    executor:
+        Chunk scheduler; :class:`SerialExecutor` when omitted.
+    """
+
+    def __init__(self, config: CampaignConfig,
+                 cache: Optional[GoldenCache] = None,
+                 executor=None) -> None:
+        self.config = config
+        self.cache = cache if cache is not None else DEFAULT_CACHE
+        self.executor = executor if executor is not None \
+            else SerialExecutor()
+
+    @classmethod
+    def from_parts(cls, encoder: ZoneEncoder, stimulus: Multitone,
+                   golden_spec: BiquadSpec,
+                   samples_per_period: int = 2048,
+                   tolerance: float = 0.05, **kwargs) -> "CampaignEngine":
+        """Engine from loose bench parts (the common construction)."""
+        config = CampaignConfig(encoder, stimulus, golden_spec,
+                                samples_per_period, tolerance)
+        return cls(config, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Cached golden artifacts / calibration
+    # ------------------------------------------------------------------
+    def golden(self) -> GoldenArtifacts:
+        """Golden trace + signature (content-cached)."""
+        return _golden_artifacts(self.config, self.cache)
+
+    def calibration(self,
+                    deviations: Optional[Sequence[float]] = None
+                    ) -> ThresholdCalibration:
+        """Fig. 8 sweep for this configuration (content-cached)."""
+        devs = tuple(float(d) for d in (
+            deviations if deviations is not None
+            else self.config.calibration_deviations))
+        key = ("calibration", self.config.golden_key(), devs)
+
+        def compute() -> ThresholdCalibration:
+            population = deviation_sweep_population(
+                self.config.golden_spec, devs)
+            values, __ = _response_chunk_ndfs(
+                self.config, population.cuts(), self.cache)
+            return ThresholdCalibration(np.asarray(devs), values)
+
+        return self.cache.get_or_compute(key, compute)
+
+    def band(self, tolerance: Optional[float] = None) -> DecisionBand:
+        """Decision band calibrated for a ground-truth tolerance."""
+        tol = float(tolerance) if tolerance is not None \
+            else self.config.tolerance
+        return self.calibration().band_for_tolerance(tol)
+
+    # ------------------------------------------------------------------
+    # Campaign entry point
+    # ------------------------------------------------------------------
+    def run(self, population: Population,
+            band: Union[None, str, float, DecisionBand] = "auto"
+            ) -> CampaignResult:
+        """Screen a whole population and collect fleet statistics.
+
+        ``band`` selects the verdict policy: ``"auto"`` calibrates the
+        Fig. 8 band for the configured tolerance, a float is a raw NDF
+        threshold, a :class:`DecisionBand` is used as-is and ``None``
+        skips verdicts (NDFs only).
+
+        The configured executor parallelizes *spec* populations (the
+        chunkable fast path); cut and encoder populations always run
+        in process, and the result's ``executor`` field reports what
+        actually ran.
+        """
+        start = time.perf_counter()
+        if not isinstance(population, (SpecPopulation, CutListPopulation,
+                                       EncoderPopulation)):
+            specs = list(population)
+            population = SpecPopulation(
+                specs, np.full(len(specs), np.nan),
+                np.full(len(specs), np.nan),
+                [f"die{i:05d}" for i in range(len(specs))])
+        threshold = self._resolve_threshold(band)
+        if isinstance(population, SpecPopulation):
+            values, timing, labels = self._run_specs(population)
+            f0_devs = population.f0_deviations
+            q_devs = population.q_deviations
+            executor_name = getattr(self.executor, "name", "custom")
+        elif isinstance(population, CutListPopulation):
+            values, timing, labels = self._run_cuts(population)
+            f0_devs = q_devs = None
+            # Cut/encoder populations run in process: their per-die
+            # work is one vector op, not worth shipping to a pool.
+            executor_name = "serial"
+        else:
+            values, timing, labels = self._run_encoders(population)
+            f0_devs = q_devs = None
+            executor_name = "serial"
+        verdicts = None if threshold is None else values <= threshold
+        timing["total"] = time.perf_counter() - start
+        return CampaignResult(
+            ndfs=values, threshold=threshold, verdicts=verdicts,
+            f0_deviations=f0_devs, q_deviations=q_devs, labels=labels,
+            tolerance=self.config.tolerance, timing=timing,
+            executor=executor_name, cache_info=self.cache.info)
+
+    # ------------------------------------------------------------------
+    # Population runners
+    # ------------------------------------------------------------------
+    def _resolve_threshold(self, band) -> Optional[float]:
+        if band is None:
+            return None
+        if isinstance(band, DecisionBand):
+            return band.threshold
+        if band == "auto":
+            return self.band().threshold
+        return float(band)
+
+    def _map_chunks(self, cuts: Sequence
+                    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        """Chunk linear CUTs over the executor and merge the results."""
+        chunk_size = self.config.chunk_size
+        workers = getattr(self.executor, "max_workers", None)
+        if workers and workers > 1:
+            # Give every pool worker something to do: shrink chunks so
+            # the population spreads across the pool.  Chunking never
+            # changes results (dies are pre-seeded), only scheduling.
+            per_worker = -(-len(cuts) // workers)  # ceil division
+            chunk_size = max(1, min(chunk_size, per_worker))
+        chunks = chunked(list(cuts), chunk_size)
+        if getattr(self.executor, "needs_picklable_work", False):
+            # Pool workers rebuild specs (always picklable) and use the
+            # per-process default cache.
+            payloads = [(self.config,
+                         tuple(cut.spec for cut in chunk))
+                        for chunk in chunks]
+            outputs = self.executor.map(_spec_chunk_worker, payloads)
+        else:
+            outputs = self.executor.map(
+                lambda chunk: _response_chunk_ndfs(self.config, chunk,
+                                                   self.cache), chunks)
+        timing: Dict[str, float] = {}
+        for __, section_times in outputs:
+            for key, value in section_times.items():
+                timing[key] = timing.get(key, 0.0) + value
+        values = (np.concatenate([v for v, __ in outputs])
+                  if outputs else np.empty(0))
+        return values, timing
+
+    def _run_specs(self, population: SpecPopulation
+                   ) -> Tuple[np.ndarray, Dict[str, float], List[str]]:
+        if len(population) == 0:
+            return np.empty(0), {"golden": 0.0}, []
+        values, timing = self._map_chunks(population.cuts())
+        return values, timing, list(population.labels)
+
+    def _run_cuts(self, population: CutListPopulation
+                  ) -> Tuple[np.ndarray, Dict[str, float], List[str]]:
+        """Generic CUTs: batched when they expose ``response``."""
+        if len(population) == 0:
+            return np.empty(0), {"golden": 0.0}, []
+        if all(hasattr(cut, "response") for cut in population.cuts):
+            values, timing = _response_chunk_ndfs(
+                self.config, population.cuts, self.cache)
+            return values, timing, list(population.labels)
+        # Fallback: per-CUT traces (e.g. transient-simulated CUTs),
+        # still scored against the shared cached golden.
+        timing: Dict[str, float] = {}
+        t0 = time.perf_counter()
+        golden = self.golden()
+        timing["golden"] = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        values = np.empty(len(population))
+        for i, cut in enumerate(population.cuts):
+            trace = cut.lissajous(self.config.stimulus,
+                                  self.config.samples_per_period)
+            xs, ys = trace.points()
+            codes = batch_codes(self.config.encoder, xs, ys[None, :])[0]
+            observed = Signature.from_samples(
+                trace.times - trace.times[0], codes, trace.period)
+            values[i] = ndf(observed, golden.signature)
+        timing["traces+score"] = time.perf_counter() - t1
+        return values, timing, list(population.labels)
+
+    def _run_encoders(self, population: EncoderPopulation
+                      ) -> Tuple[np.ndarray, Dict[str, float], List[str]]:
+        """One fault-free CUT seen through N varied monitor banks.
+
+        The golden signature stays the *nominal*-bank reference, so the
+        returned NDFs quantify the test margin the monitor's own
+        variability consumes (the seed's per-die loop re-derived the
+        golden through each varied bank and therefore measured exactly
+        zero).
+        """
+        if len(population) == 0:
+            return np.empty(0), {"golden": 0.0}, []
+        timing: Dict[str, float] = {}
+        t0 = time.perf_counter()
+        golden = self.golden()
+        t1 = time.perf_counter()
+        timing["golden"] = t1 - t0
+        values = np.empty(len(population))
+        for i, encoder in enumerate(population.encoders):
+            codes = batch_codes(encoder, golden.x, golden.y[None, :])[0]
+            observed = Signature.from_samples(golden.times, codes,
+                                              golden.period)
+            values[i] = ndf(observed, golden.signature)
+        timing["encode+score"] = time.perf_counter() - t1
+        return values, timing, list(population.labels)

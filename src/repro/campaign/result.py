@@ -1,0 +1,184 @@
+"""Structured outcome of one campaign run.
+
+A :class:`CampaignResult` carries the per-die NDFs and verdicts plus
+the fleet-level statistics every consumer of the engine needs: yield
+loss / test-escape counts against a ground-truth tolerance, pass rates,
+section timings and golden-cache counters.  The analysis modules
+(:mod:`repro.analysis.yield_model`, :mod:`repro.analysis.multiparam`)
+and the Monte Carlo benchmarks consume this object instead of
+re-deriving statistics from per-die loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.yield_model import (
+    CutUnit,
+    YieldReport,
+    yield_report_from_arrays,
+)
+from repro.campaign.cache import CacheInfo
+
+
+@dataclass
+class CampaignResult:
+    """Verdicts and statistics of one batched test campaign.
+
+    Attributes
+    ----------
+    ndfs:
+        Per-die NDF against the golden signature, in population order.
+    threshold:
+        NDF decision threshold used for the verdicts (None = no
+        decision requested; ``verdicts`` is then None too).
+    verdicts:
+        Boolean PASS (True) / FAIL (False) per die.
+    f0_deviations, q_deviations:
+        Ground-truth parameter deviations where the population knows
+        them (NaN otherwise, e.g. for catastrophic faults).
+    labels:
+        One identifier per die (die index, fault label, corner name).
+    tolerance:
+        Ground-truth spec tolerance used by the yield statistics.
+    timing:
+        Wall-clock seconds per engine section: always ``total``, plus
+        ``golden`` and then ``traces``/``encode+score`` (batched
+        paths) or ``traces+score`` (the per-CUT fallback).
+    executor:
+        Name of the executor that ran the campaign.
+    cache_info:
+        Golden-cache counters observed right after the run.
+    """
+
+    ndfs: np.ndarray
+    threshold: Optional[float] = None
+    verdicts: Optional[np.ndarray] = None
+    f0_deviations: Optional[np.ndarray] = None
+    q_deviations: Optional[np.ndarray] = None
+    labels: Optional[List[str]] = None
+    tolerance: Optional[float] = None
+    timing: Dict[str, float] = field(default_factory=dict)
+    executor: str = "serial"
+    cache_info: Optional[CacheInfo] = None
+
+    def __post_init__(self) -> None:
+        self.ndfs = np.asarray(self.ndfs, dtype=float)
+        if self.verdicts is not None:
+            self.verdicts = np.asarray(self.verdicts, dtype=bool)
+            if self.verdicts.shape != self.ndfs.shape:
+                raise ValueError("verdicts must align with ndfs")
+
+    # ------------------------------------------------------------------
+    # Basic statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_dies(self) -> int:
+        """Population size."""
+        return int(self.ndfs.size)
+
+    @property
+    def pass_count(self) -> int:
+        """Dies whose NDF lies inside the acceptance band."""
+        if self.verdicts is None:
+            raise ValueError("campaign ran without a decision band")
+        return int(np.count_nonzero(self.verdicts))
+
+    @property
+    def fail_count(self) -> int:
+        """Dies flagged FAIL."""
+        return self.num_dies - self.pass_count
+
+    @property
+    def pass_rate(self) -> float:
+        """PASS fraction (1.0 for an empty population)."""
+        if self.num_dies == 0:
+            return 1.0
+        return self.pass_count / self.num_dies
+
+    def ndf_percentile(self, q: float) -> float:
+        """Percentile of the NDF distribution (NaN when empty)."""
+        if self.num_dies == 0:
+            return float("nan")
+        return float(np.percentile(self.ndfs, q))
+
+    def dies_per_second(self) -> float:
+        """Throughput of the run (NaN without timing)."""
+        total = self.timing.get("total", 0.0)
+        if total <= 0.0:
+            return float("nan")
+        return self.num_dies / total
+
+    # ------------------------------------------------------------------
+    # Yield economics (needs ground-truth deviations)
+    # ------------------------------------------------------------------
+    def yield_report(self, tolerance: Optional[float] = None,
+                     threshold: Optional[float] = None) -> YieldReport:
+        """Confusion matrix of the campaign against the ground truth.
+
+        Vectorized equivalent of
+        :func:`repro.analysis.yield_model.yield_escape_analysis`.
+        """
+        tolerance = tolerance if tolerance is not None else self.tolerance
+        threshold = threshold if threshold is not None else self.threshold
+        if tolerance is None or threshold is None:
+            raise ValueError("need both a tolerance and a threshold")
+        if self.f0_deviations is None:
+            raise ValueError(
+                "population carries no ground-truth deviations")
+        return yield_report_from_arrays(self.f0_deviations, self.ndfs,
+                                        float(threshold),
+                                        float(tolerance))
+
+    def escape_rate(self, tolerance: Optional[float] = None,
+                    threshold: Optional[float] = None) -> float:
+        """Fraction of truly-bad dies that passed."""
+        return self.yield_report(tolerance, threshold).escape_rate
+
+    def yield_loss_rate(self, tolerance: Optional[float] = None,
+                        threshold: Optional[float] = None) -> float:
+        """Fraction of truly-good dies that failed."""
+        return self.yield_report(tolerance, threshold).yield_loss_rate
+
+    def to_units(self) -> List[CutUnit]:
+        """Per-die view for the legacy list-based yield tooling."""
+        if self.f0_deviations is None:
+            raise ValueError(
+                "population carries no ground-truth deviations")
+        return [CutUnit(float(d), float(v))
+                for d, v in zip(self.f0_deviations, self.ndfs)]
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable one-block summary (CLI / report output)."""
+        lines = [f"dies:        {self.num_dies}",
+                 f"executor:    {self.executor}"]
+        if self.num_dies:
+            lines += [
+                f"NDF mean:    {float(np.mean(self.ndfs)):.4f}",
+                f"NDF p95:     {self.ndf_percentile(95):.4f}",
+                f"NDF max:     {float(np.max(self.ndfs)):.4f}",
+            ]
+        if self.verdicts is not None:
+            lines.append(
+                f"verdicts:    {self.pass_count} PASS / "
+                f"{self.fail_count} FAIL "
+                f"(threshold {self.threshold:.4f})")
+        if (self.tolerance is not None and self.threshold is not None
+                and self.f0_deviations is not None and self.num_dies
+                and not np.any(np.isnan(self.f0_deviations))):
+            report = self.yield_report()
+            lines.append(
+                f"economics:   {report.yield_loss} overkill / "
+                f"{report.escapes} escapes "
+                f"(tolerance ±{self.tolerance:.0%})")
+        total = self.timing.get("total")
+        if total:
+            lines.append(f"throughput:  {self.dies_per_second():,.0f} "
+                         f"dies/s ({total * 1e3:.1f} ms total)")
+        if self.cache_info is not None:
+            lines.append(f"golden cache: {self.cache_info}")
+        return "\n".join(lines)

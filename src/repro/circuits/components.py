@@ -24,7 +24,7 @@ Conventions
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 

@@ -16,7 +16,7 @@ ready for analysis.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List
 
 GROUND_NAMES = ("0", "gnd", "GND", "vss!", "ground")
 

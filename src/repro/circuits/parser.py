@@ -36,7 +36,7 @@ Example
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.circuits.components import (
     Capacitor,

@@ -15,9 +15,8 @@ the original value afterwards.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List
 
-import numpy as np
 
 
 @dataclass

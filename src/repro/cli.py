@@ -8,6 +8,8 @@
     python -m repro sweep [--points 21]     # Fig. 8 NDF sweep
     python -m repro test --dev 0.08 [--tolerance 0.05]
                                             # one PASS/FAIL measurement
+    python -m repro campaign --dies 500 [--executor process] [--json]
+                                            # batched fleet screening
 
 Every command runs on the calibrated bench of :mod:`repro.paper`; the
 CLI is intentionally thin -- anything deeper should use the library
@@ -21,6 +23,13 @@ import sys
 from typing import List, Optional
 
 import numpy as np
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be non-negative")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -48,6 +57,33 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="relative f0 deviation of the unit")
     test.add_argument("--tolerance", type=float, default=0.05,
                       help="accepted |f0| tolerance (default 0.05)")
+
+    campaign = sub.add_parser(
+        "campaign", help="batched signature screening of a population")
+    campaign.add_argument(
+        "--scenario", default="mc",
+        choices=["mc", "sweep", "grid", "faults", "monitor-mc",
+                 "corners"],
+        help="population kind (default: Monte Carlo dies)")
+    campaign.add_argument("--dies", type=_non_negative_int, default=200,
+                          help="population size for mc/monitor-mc "
+                               "(default 200)")
+    campaign.add_argument("--sigma", type=float, default=0.03,
+                          help="1-sigma relative f0 spread (mc)")
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="deterministic per-die seed root")
+    campaign.add_argument("--tolerance", type=float, default=0.05,
+                          help="ground-truth |f0| tolerance")
+    campaign.add_argument("--samples", type=int, default=2048,
+                          help="trace samples per period")
+    campaign.add_argument("--executor", default="serial",
+                          choices=["serial", "process"],
+                          help="chunk scheduler")
+    campaign.add_argument("--workers", type=int, default=None,
+                          help="process-pool size (with "
+                               "--executor process)")
+    campaign.add_argument("--json", action="store_true",
+                          help="emit a machine-readable JSON summary")
     return parser
 
 
@@ -111,6 +147,85 @@ def _cmd_test(setup, deviation: float, tolerance: float) -> int:
         else 1
 
 
+def _campaign_population(setup, args):
+    """Build the population selected on the command line."""
+    from repro.campaign import (
+        deviation_sweep_population,
+        fault_dictionary,
+        montecarlo_dies,
+        montecarlo_monitor_banks,
+        parameter_grid,
+        temperature_corners,
+    )
+
+    if args.scenario == "mc":
+        return montecarlo_dies(setup.golden_spec, args.dies,
+                               sigma_f0=args.sigma, seed=args.seed)
+    if args.scenario == "sweep":
+        return deviation_sweep_population(
+            setup.golden_spec, np.linspace(-0.20, 0.20, 21))
+    if args.scenario == "grid":
+        axis = np.linspace(-0.15, 0.15, 7)
+        return parameter_grid(setup.golden_spec, axis, axis)
+    if args.scenario == "faults":
+        from repro.filters.towthomas import TowThomasValues
+
+        population, __ = fault_dictionary(
+            TowThomasValues.from_spec(setup.golden_spec))
+        return population
+    if args.scenario == "monitor-mc":
+        from repro.devices.process import MonteCarloSampler
+        from repro.monitor.configurations import table1_bank
+
+        return montecarlo_monitor_banks(
+            table1_bank(), args.dies,
+            sampler=MonteCarloSampler(rng=args.seed))
+    if args.scenario == "corners":
+        from repro.devices.temperature import industrial_range
+
+        return temperature_corners(industrial_range(5))
+    raise AssertionError("unreachable")
+
+
+def _cmd_campaign(setup, args) -> int:
+    from repro.campaign import ProcessPoolExecutor
+
+    executor = None
+    if args.executor == "process":
+        executor = ProcessPoolExecutor(max_workers=args.workers)
+    engine = setup.campaign_engine(samples_per_period=args.samples,
+                                   tolerance=args.tolerance,
+                                   executor=executor)
+    population = _campaign_population(setup, args)
+    try:
+        result = engine.run(population, band="auto")
+    finally:
+        if executor is not None:
+            executor.shutdown()
+    if args.json:
+        import json
+
+        payload = {
+            "scenario": args.scenario,
+            "dies": result.num_dies,
+            "threshold": result.threshold,
+            "pass": result.pass_count,
+            "fail": result.fail_count,
+            "ndf_mean": (float(np.mean(result.ndfs))
+                         if result.num_dies else None),
+            "ndf_p95": (result.ndf_percentile(95)
+                        if result.num_dies else None),
+            "timing": result.timing,
+            "executor": result.executor,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"campaign: {args.scenario} "
+              f"({result.num_dies} dies, band ±{args.tolerance:.0%})")
+        print(result.summary())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -128,6 +243,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(setup, args.points)
     if args.command == "test":
         return _cmd_test(setup, args.dev, args.tolerance)
+    if args.command == "campaign":
+        return _cmd_campaign(setup, args)
     raise AssertionError("unreachable")
 
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -53,20 +53,31 @@ class Boundary(abc.ABC):
     # ------------------------------------------------------------------
     @property
     def origin_sign(self) -> float:
-        """Sign of the decision function on the origin side (+1/-1)."""
+        """Sign of the decision function on the origin side (+1/-1).
+
+        When a ``reference_point`` is provided it *always* defines the
+        zero side: a comparator's digital polarity is fixed by design,
+        not by the sub-threshold residue at the origin.  (Previously the
+        reference was consulted only when the origin sat exactly on the
+        curve; a Monte Carlo-varied near-origin boundary then inherited
+        the arbitrary sign of a femtoampere imbalance, inverting its
+        bit for the whole period.)
+        """
         if self._origin_sign is None:
-            g0 = float(self.decision(*self.origin))
-            scale = self._decision_scale()
-            if abs(g0) <= 1e-9 * scale:
-                if self._reference_point is None:
-                    raise ValueError(
-                        f"boundary {self.name!r} passes through the origin; "
-                        f"provide reference_point to define the zero side")
+            if self._reference_point is not None:
                 g0 = float(self.decision(*self._reference_point))
                 if g0 == 0.0:
                     raise ValueError(
                         f"boundary {self.name!r}: reference point lies on "
                         f"the boundary")
+            else:
+                g0 = float(self.decision(*self.origin))
+                scale = self._decision_scale()
+                if abs(g0) <= 1e-9 * scale:
+                    raise ValueError(
+                        f"boundary {self.name!r} passes through the "
+                        f"origin; provide reference_point to define the "
+                        f"zero side")
             self._origin_sign = math.copysign(1.0, g0)
         return self._origin_sign
 

@@ -14,7 +14,7 @@ tolerance edge, and the acceptance band is [0, threshold].
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

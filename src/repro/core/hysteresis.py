@@ -19,7 +19,6 @@ gradient magnitude, giving a geometry-independent margin.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 

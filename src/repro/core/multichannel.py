@@ -19,7 +19,7 @@ the tests and the multi-parameter benchmark).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -138,7 +138,7 @@ class BiquadTwoTapCut:
     """
 
     def __init__(self, spec) -> None:
-        from repro.filters.biquad import BiquadFilter, BiquadKind, BiquadSpec
+        from repro.filters.biquad import BiquadFilter, BiquadKind
         from dataclasses import replace
 
         self.spec = spec

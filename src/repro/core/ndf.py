@@ -20,7 +20,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.core.signature import Signature
-from repro.core.zones import hamming_distance
+from repro.core.zones import hamming_distances
 
 
 def _check_periods(observed: Signature, golden: Signature,
@@ -44,18 +44,15 @@ def ndf(observed: Signature, golden: Signature) -> float:
     * invariant when both signatures are rotated by the same offset.
     """
     period = _check_periods(observed, golden)
-    # Merged breakpoint sweep.
+    # Merged breakpoint sweep, fully vectorized: on every interval of
+    # the merged partition both code functions are constant, so the
+    # Hamming distance at the midpoint weighs the whole interval.
     cuts = np.unique(np.concatenate(
         [[0.0], observed.breakpoints(), golden.breakpoints(), [period]]))
-    total = 0.0
-    for t0, t1 in zip(cuts[:-1], cuts[1:]):
-        if t1 <= t0:
-            continue
-        mid = 0.5 * (t0 + t1)
-        d = hamming_distance(int(observed.code_at(mid)),
-                             int(golden.code_at(mid)))
-        total += d * (t1 - t0)
-    return total / period
+    widths = np.diff(cuts)
+    mids = cuts[:-1] + 0.5 * widths
+    d = hamming_distances(observed.code_at(mids), golden.code_at(mids))
+    return float(np.sum(d * widths) / period)
 
 
 def ndf_sampled(observed: Signature, golden: Signature,
@@ -67,10 +64,7 @@ def ndf_sampled(observed: Signature, golden: Signature,
     """
     period = _check_periods(observed, golden)
     times = period * (np.arange(num_samples) + 0.5) / num_samples
-    co = observed.code_at(times)
-    cg = golden.code_at(times)
-    dh = np.asarray([hamming_distance(int(a), int(b))
-                     for a, b in zip(co, cg)], dtype=float)
+    dh = hamming_distances(observed.code_at(times), golden.code_at(times))
     return float(np.mean(dh))
 
 
@@ -79,10 +73,8 @@ def hamming_chronogram(observed: Signature, golden: Signature,
     """dH(SO(t), SG(t)) sampled over one period (the Fig. 7 lower plot)."""
     period = _check_periods(observed, golden)
     times = period * np.arange(num_points) / num_points
-    co = observed.code_at(times)
-    cg = golden.code_at(times)
-    dh = np.asarray([hamming_distance(int(a), int(b))
-                     for a, b in zip(co, cg)], dtype=float)
+    dh = hamming_distances(observed.code_at(times),
+                           golden.code_at(times)).astype(float)
     return times, dh
 
 
@@ -97,11 +89,9 @@ def max_hamming_excursion(observed: Signature,
     period = _check_periods(observed, golden)
     cuts = np.unique(np.concatenate(
         [[0.0], observed.breakpoints(), golden.breakpoints(), [period]]))
-    best_t, best_d = 0.0, 0
-    for t0, t1 in zip(cuts[:-1], cuts[1:]):
-        mid = 0.5 * (t0 + t1)
-        d = hamming_distance(int(observed.code_at(mid)),
-                             int(golden.code_at(mid)))
-        if d > best_d:
-            best_t, best_d = mid, d
-    return best_t, best_d
+    mids = 0.5 * (cuts[:-1] + cuts[1:])
+    d = hamming_distances(observed.code_at(mids), golden.code_at(mids))
+    best = int(np.argmax(d))
+    if d[best] == 0:
+        return 0.0, 0
+    return float(mids[best]), int(d[best])

@@ -12,11 +12,26 @@ code function S(t) needed by the NDF integral of Eq. (2).
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
+
+
+def run_length_starts(codes: np.ndarray) -> np.ndarray:
+    """Indices where a sampled code sequence starts a new run.
+
+    The first sample always opens a run; a run boundary sits wherever
+    the code differs from its predecessor.  This is the shared NumPy
+    run-length kernel used by :meth:`Signature.from_samples` and by the
+    batched campaign capture (:mod:`repro.campaign.batch`), replacing
+    the per-sample Python merge loop.
+    """
+    codes = np.asarray(codes)
+    if codes.ndim != 1 or codes.size == 0:
+        raise ValueError("need a non-empty 1-D code sequence")
+    return np.concatenate(
+        [[0], np.flatnonzero(codes[1:] != codes[:-1]) + 1])
 
 
 @dataclass(frozen=True)
@@ -63,6 +78,8 @@ class Signature:
         starts = np.concatenate(
             [[0.0], np.cumsum([e.duration for e in self.entries])])
         self._starts = starts  # length k+1; last value == period
+        self._codes = np.asarray([e.code for e in self.entries],
+                                 dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -90,10 +107,14 @@ class Signature:
             raise ValueError("sampled signature must start at t = 0")
         if times[-1] >= period:
             raise ValueError("sample times must stay below the period")
-        bounds = np.concatenate([times, [period]])
+        # Vectorized run-length encoding: only run heads become entries,
+        # so the Python-level work is O(zone changes), not O(samples).
+        starts = run_length_starts(codes)
+        bounds = np.concatenate([times[starts], [period]])
         durations = np.diff(bounds)
+        keep = durations > 0
         entries = [SignatureEntry(int(c), float(d))
-                   for c, d in zip(codes, durations) if d > 0]
+                   for c, d in zip(codes[starts][keep], durations[keep])]
         return cls(entries, period)
 
     @classmethod
@@ -162,7 +183,7 @@ class Signature:
         t_arr = np.atleast_1d(np.asarray(t, dtype=float)) % self.period
         idx = np.searchsorted(self._starts, t_arr, side="right") - 1
         idx = np.clip(idx, 0, len(self.entries) - 1)
-        codes = np.asarray([self.entries[i].code for i in idx])
+        codes = self._codes[idx]
         if np.ndim(t) == 0:
             return int(codes[0])
         return codes

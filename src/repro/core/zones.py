@@ -17,7 +17,7 @@ it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +27,13 @@ from repro.core.boundaries import Boundary
 def hamming_distance(a: int, b: int) -> int:
     """Bit-level Hamming distance between two zone codes."""
     return bin(int(a) ^ int(b)).count("1")
+
+
+def hamming_distances(a, b) -> np.ndarray:
+    """Elementwise Hamming distance between two zone-code arrays."""
+    xor = np.bitwise_xor(np.asarray(a, dtype=np.int64),
+                         np.asarray(b, dtype=np.int64))
+    return np.bitwise_count(xor).astype(np.int64)
 
 
 class ZoneEncoder:
@@ -90,6 +97,34 @@ class ZoneEncoder:
     def origin_zone(self) -> int:
         """Code of the zone containing the origin (must be 0)."""
         return int(self.code(*self.boundaries[0].origin))
+
+    def fingerprint(self, window: Tuple[float, float] = (0.0, 1.0),
+                    grid: int = 24) -> str:
+        """Content hash of the zone partition inside a window.
+
+        Two encoders that draw the same boundaries (to the resolution
+        of a ``grid`` x ``grid`` probe plus each boundary's decision
+        values) share a fingerprint even when they were built from
+        distinct objects.  The campaign golden-signature cache keys on
+        this, so re-instantiating the Table I bank does not defeat
+        caching, while a Monte Carlo-varied bank reliably misses.
+        """
+        import hashlib
+
+        lo, hi = window
+        axis = lo + (hi - lo) * (np.arange(grid) + 0.5) / grid
+        xx, yy = np.meshgrid(axis, axis)
+        hasher = hashlib.sha256()
+        hasher.update(np.int64(self.num_bits).tobytes())
+        hasher.update(np.ascontiguousarray(
+            self.code(xx, yy).astype(np.int64)).tobytes())
+        for boundary in self.boundaries:
+            vals = np.asarray(boundary.decision(xx, yy), dtype=float)
+            scale = float(np.max(np.abs(vals)))
+            if scale > 0:
+                vals = vals / scale
+            hasher.update(np.ascontiguousarray(np.round(vals, 9)).tobytes())
+        return hasher.hexdigest()
 
     # ------------------------------------------------------------------
     # Gray-adjacency verification

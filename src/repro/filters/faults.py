@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Optional
 
 from repro.filters.biquad import BiquadSpec
 from repro.filters.towthomas import TowThomasBiquad, TowThomasValues

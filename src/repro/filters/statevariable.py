@@ -28,7 +28,7 @@ AC analysis in the tests (f0 from the BP peak, Q from its bandwidth).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

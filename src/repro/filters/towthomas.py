@@ -29,8 +29,8 @@ rebuilding with modified component values
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Optional
 
 import numpy as np
 
@@ -44,7 +44,7 @@ from repro.circuits import (
     transient,
 )
 from repro.filters.biquad import BiquadFilter, BiquadKind, BiquadSpec
-from repro.signals.multitone import Multitone, Tone
+from repro.signals.multitone import Multitone
 from repro.signals.lissajous import LissajousTrace
 from repro.signals.waveform import Waveform
 

@@ -15,7 +15,7 @@ and Fig. 4 benchmarks to assert the qualitative claims:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -28,9 +28,9 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.circuits import Circuit, Mosfet, VoltageSource
-from repro.circuits.dc import ConvergenceError, dc_operating_point
+from repro.circuits.dc import dc_operating_point
 from repro.core.boundaries import Boundary
-from repro.devices.mos_model import MosModel, MosParams, NMOS_65NM, PMOS_65NM
+from repro.devices.mos_model import MosModel
 from repro.devices.process import TECH_65NM, TechnologyParams
 from repro.monitor.comparator import MonitorConfig, _resolve
 

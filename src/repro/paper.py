@@ -27,12 +27,12 @@ stay detectable under the quoted noise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.capture import AsyncCapture, CaptureConfig
+from repro.core.capture import AsyncCapture
 from repro.core.decision import DecisionBand, ThresholdCalibration
 from repro.core.testflow import MeasurementResult, SignatureTester
 from repro.core.zones import ZoneEncoder
@@ -106,6 +106,24 @@ class PaperSetup:
     def noise_model(self, rng=0) -> NoiseModel:
         """The paper's 3-sigma = 0.015 V white noise."""
         return NoiseModel(PAPER_NOISE_3SIGMA, rng=rng)
+
+    def campaign_engine(self, samples_per_period: Optional[int] = None,
+                        tolerance: float = 0.05, **kwargs):
+        """Batched campaign engine wired to this bench.
+
+        Fleet-scale screening entry point; see
+        :class:`repro.campaign.CampaignEngine`.  The sampling density
+        defaults to this bench's own tester, so engine NDFs stay
+        comparable with per-die measurements on the same setup.
+        """
+        from repro.campaign import CampaignEngine
+
+        if samples_per_period is None:
+            samples_per_period = self.tester.samples_per_period
+        return CampaignEngine.from_parts(
+            self.encoder, self.stimulus, self.golden_spec,
+            samples_per_period=samples_per_period, tolerance=tolerance,
+            **kwargs)
 
 
 def paper_setup(samples_per_period: int = PAPER_SAMPLES_PER_PERIOD,

@@ -97,7 +97,6 @@ class LissajousTrace:
         between the first sample and the wrap of the last sample --
         small for truly periodic signals, large if the period is wrong.
         """
-        dt = self.times[1] - self.times[0]
         # Predict the wrap point by linear extrapolation of the last edge.
         x_wrap = self.x.values[-1] + (self.x.values[-1] - self.x.values[-2])
         y_wrap = self.y.values[-1] + (self.y.values[-1] - self.y.values[-2])

@@ -10,7 +10,7 @@ spread exactly as the paper quotes it.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

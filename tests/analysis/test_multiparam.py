@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.analysis import NdfSurface, ndf_surface
-from repro.core.testflow import SignatureTester
+from repro.analysis import ndf_surface
 from repro.filters.biquad import BiquadFilter
-from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS, paper_setup
+from repro.paper import PAPER_BIQUAD, paper_setup
 
 
 @pytest.fixture(scope="module")

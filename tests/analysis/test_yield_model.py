@@ -6,7 +6,6 @@ import pytest
 from repro.analysis import (
     CutPopulation,
     CutUnit,
-    YieldReport,
     optimal_threshold,
     roc_curve,
     yield_escape_analysis,

@@ -11,7 +11,7 @@ from repro.baselines import (
     grid_line_encoder,
 )
 from repro.core.boundaries import LinearBoundary
-from repro.monitor import table1_bank, table1_monitor
+from repro.monitor import table1_monitor
 
 
 def test_fit_line_to_diagonal_curve():

@@ -1,0 +1,99 @@
+"""Golden-cache behaviour: content keys, hits/misses, eviction."""
+
+import pytest
+
+from repro.campaign import CampaignConfig, CampaignEngine, GoldenCache
+from repro.campaign.cache import encoder_key, spec_key, stimulus_key
+from repro.devices.process import MonteCarloSampler
+from repro.monitor.configurations import table1_bank, table1_encoder
+from repro.monitor.montecarlo import encoder_samples
+from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+
+pytestmark = pytest.mark.campaign
+
+
+def _config(encoder=None, samples=512, spec=PAPER_BIQUAD):
+    return CampaignConfig(encoder if encoder is not None
+                          else table1_encoder(), PAPER_STIMULUS, spec,
+                          samples_per_period=samples)
+
+
+def test_golden_miss_then_hit():
+    cache = GoldenCache()
+    engine = CampaignEngine(_config(), cache=cache)
+    engine.golden()
+    assert cache.info.misses == 1
+    assert cache.info.hits == 0
+    engine.golden()
+    assert cache.info.hits == 1
+    assert cache.info.misses == 1
+
+
+def test_rebuilt_identical_encoder_hits():
+    """Content keying: a fresh-but-equal Table I bank must hit."""
+    cache = GoldenCache()
+    CampaignEngine(_config(table1_encoder()), cache=cache).golden()
+    CampaignEngine(_config(table1_encoder()), cache=cache).golden()
+    assert cache.info.hits == 1
+    assert cache.info.misses == 1
+
+
+def test_varied_encoder_misses():
+    """A Monte Carlo-varied bank is different content: must miss."""
+    cache = GoldenCache()
+    CampaignEngine(_config(), cache=cache).golden()
+    varied = encoder_samples(table1_bank(),
+                             MonteCarloSampler(rng=0), 1)[0]
+    CampaignEngine(_config(varied), cache=cache).golden()
+    assert cache.info.misses == 2
+    assert cache.info.hits == 0
+
+
+def test_different_spec_and_sampling_miss():
+    cache = GoldenCache()
+    engine = CampaignEngine(_config(samples=512), cache=cache)
+    engine.golden()
+    CampaignEngine(_config(samples=1024), cache=cache).golden()
+    CampaignEngine(
+        _config(spec=PAPER_BIQUAD.with_f0_deviation(0.1)),
+        cache=cache).golden()
+    assert cache.info.misses == 3
+    assert cache.info.hits == 0
+
+
+def test_calibration_cached_per_deviation_set():
+    cache = GoldenCache()
+    engine = CampaignEngine(_config(), cache=cache)
+    cal_a = engine.calibration([-0.05, 0.0, 0.05])
+    cal_b = engine.calibration([-0.05, 0.0, 0.05])
+    assert cal_a is cal_b
+    cal_c = engine.calibration([-0.10, 0.0, 0.10])
+    assert cal_c is not cal_a
+
+
+def test_lru_eviction():
+    cache = GoldenCache(maxsize=2)
+    for samples in (256, 512, 1024):
+        CampaignEngine(_config(samples=samples), cache=cache).golden()
+    assert cache.info.size == 2
+    # Oldest (256) evicted: next lookup is a miss again.
+    CampaignEngine(_config(samples=256), cache=cache).golden()
+    assert cache.info.misses == 4
+
+
+def test_content_key_helpers_stable():
+    assert stimulus_key(PAPER_STIMULUS) == stimulus_key(PAPER_STIMULUS)
+    assert spec_key(PAPER_BIQUAD) == spec_key(PAPER_BIQUAD)
+    assert (spec_key(PAPER_BIQUAD)
+            != spec_key(PAPER_BIQUAD.with_f0_deviation(0.01)))
+    assert encoder_key(table1_encoder()) == encoder_key(table1_encoder())
+
+
+def test_cache_clear_resets_counters():
+    cache = GoldenCache()
+    engine = CampaignEngine(_config(), cache=cache)
+    engine.golden()
+    cache.clear()
+    info = cache.info
+    assert (info.hits, info.misses, info.size) == (0, 0, 0)
+    assert info.requests == 0

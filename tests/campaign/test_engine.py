@@ -1,0 +1,161 @@
+"""Campaign engine: equivalence with the per-die flow, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignEngine,
+    GoldenCache,
+    deviation_sweep_population,
+    fault_dictionary,
+    montecarlo_dies,
+    montecarlo_monitor_banks,
+    parameter_grid,
+    temperature_corners,
+)
+from repro.core.decision import DecisionBand
+from repro.core.testflow import SignatureTester
+from repro.devices.process import MonteCarloSampler
+from repro.filters.biquad import BiquadFilter
+from repro.filters.towthomas import TowThomasValues
+from repro.monitor.configurations import table1_bank, table1_encoder
+from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+
+pytestmark = pytest.mark.campaign
+
+SAMPLES = 1024
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return CampaignEngine.from_parts(table1_encoder(), PAPER_STIMULUS,
+                                     PAPER_BIQUAD,
+                                     samples_per_period=SAMPLES,
+                                     cache=GoldenCache())
+
+
+def test_bit_identical_with_per_die_flow(engine):
+    """Batched NDFs must equal the serial refine-off flow bit for bit."""
+    population = montecarlo_dies(PAPER_BIQUAD, 12, sigma_f0=0.04,
+                                 seed=5)
+    result = engine.run(population, band=None)
+    tester = SignatureTester(table1_encoder(), PAPER_STIMULUS,
+                             BiquadFilter(PAPER_BIQUAD),
+                             samples_per_period=SAMPLES, refine=False)
+    serial = np.asarray([tester.ndf_of(BiquadFilter(s))
+                         for s in population.specs])
+    assert np.array_equal(serial, result.ndfs)
+
+
+def test_close_to_refined_flow(engine):
+    """Grid quantization keeps NDFs within a small gap of refined."""
+    population = deviation_sweep_population(
+        PAPER_BIQUAD, [-0.10, -0.05, 0.05, 0.10])
+    result = engine.run(population, band=None)
+    tester = SignatureTester(table1_encoder(), PAPER_STIMULUS,
+                             BiquadFilter(PAPER_BIQUAD),
+                             samples_per_period=SAMPLES, refine=True)
+    refined = np.asarray(
+        [tester.ndf_of(BiquadFilter(s)) for s in population.specs])
+    assert np.max(np.abs(refined - result.ndfs)) < 0.01
+
+
+def test_empty_population(engine):
+    result = engine.run(montecarlo_dies(PAPER_BIQUAD, 0), band="auto")
+    assert result.num_dies == 0
+    assert result.ndfs.shape == (0,)
+    assert result.verdicts.shape == (0,)
+    assert result.pass_rate == 1.0
+    assert np.isnan(result.ndf_percentile(95))
+
+
+def test_single_die(engine):
+    result = engine.run(montecarlo_dies(PAPER_BIQUAD, 1, sigma_f0=0.0),
+                        band="auto")
+    assert result.num_dies == 1
+    # A zero-deviation die is the golden unit: NDF must be exactly 0.
+    assert result.ndfs[0] == 0.0
+    assert bool(result.verdicts[0])
+
+
+def test_band_modes(engine):
+    population = deviation_sweep_population(PAPER_BIQUAD, [0.0, 0.15])
+    no_band = engine.run(population, band=None)
+    assert no_band.verdicts is None
+    assert no_band.threshold is None
+    explicit = engine.run(population, band=DecisionBand(0.05))
+    assert explicit.threshold == 0.05
+    raw = engine.run(population, band=0.05)
+    assert np.array_equal(explicit.verdicts, raw.verdicts)
+    auto = engine.run(population, band="auto")
+    assert auto.verdicts[0] and not auto.verdicts[1]
+
+
+def test_raw_spec_list(engine):
+    specs = [PAPER_BIQUAD, PAPER_BIQUAD.with_f0_deviation(0.2)]
+    result = engine.run(specs, band="auto")
+    assert result.num_dies == 2
+    assert result.ndfs[0] == 0.0
+    assert not result.verdicts[1]
+
+
+def test_deterministic_seeding_is_chunk_invariant():
+    """Die i's parameters depend on (seed, i) only."""
+    small = montecarlo_dies(PAPER_BIQUAD, 5, sigma_f0=0.03, seed=9)
+    large = montecarlo_dies(PAPER_BIQUAD, 50, sigma_f0=0.03, seed=9)
+    assert np.array_equal(small.f0_deviations,
+                          large.f0_deviations[:5])
+    other_seed = montecarlo_dies(PAPER_BIQUAD, 5, sigma_f0=0.03,
+                                 seed=10)
+    assert not np.array_equal(small.f0_deviations,
+                              other_seed.f0_deviations)
+
+
+def test_monitor_variation_measures_nonzero_margin(engine):
+    """Varied banks vs the nominal golden: margin loss is visible."""
+    population = montecarlo_monitor_banks(
+        table1_bank(), 4, sampler=MonteCarloSampler(rng=0))
+    result = engine.run(population, band=None)
+    assert result.num_dies == 4
+    assert np.all(result.ndfs > 0)
+    assert np.all(result.ndfs < 0.15)
+
+
+def test_temperature_corner_labels(engine):
+    result = engine.run(temperature_corners([233.15, 398.15]),
+                        band=None)
+    assert result.labels == ["-40C", "+125C"]
+    assert np.all(result.ndfs >= 0)
+
+
+def test_fault_dictionary_matches_per_die_coverage(engine):
+    """The batched fault campaign reproduces catastrophic_coverage."""
+    from repro.analysis import catastrophic_coverage
+
+    values = TowThomasValues.from_spec(PAPER_BIQUAD)
+    band = DecisionBand(0.05)
+    population, faults = fault_dictionary(values)
+    result = engine.run(population, band=band)
+
+    tester = SignatureTester(table1_encoder(), PAPER_STIMULUS,
+                             BiquadFilter(PAPER_BIQUAD),
+                             samples_per_period=SAMPLES, refine=False)
+    rows = catastrophic_coverage(tester, values, band, faults)
+    per_die = np.asarray([r.ndf for r in rows])
+    assert np.array_equal(per_die, result.ndfs)
+    assert [not v for v in result.verdicts] == [r.detected for r in rows]
+
+
+def test_parameter_grid_row_major(engine):
+    population = parameter_grid(PAPER_BIQUAD, [-0.1, 0.1], [0.0])
+    assert len(population) == 2
+    assert np.array_equal(population.q_deviations, [0.0, 0.0])
+    result = engine.run(population, band=None)
+    assert np.all(result.ndfs > 0)
+
+
+def test_timing_sections_recorded(engine):
+    result = engine.run(montecarlo_dies(PAPER_BIQUAD, 3), band=None)
+    assert result.timing["total"] > 0
+    assert "golden" in result.timing
+    assert result.dies_per_second() > 0

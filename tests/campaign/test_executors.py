@@ -1,0 +1,75 @@
+"""Executor layer: chunking, serial/pool equivalence, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignEngine,
+    GoldenCache,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    chunked,
+    montecarlo_dies,
+)
+from repro.monitor.configurations import table1_encoder
+from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+
+pytestmark = pytest.mark.campaign
+
+
+def _config(chunk_size=16):
+    return CampaignConfig(table1_encoder(), PAPER_STIMULUS,
+                          PAPER_BIQUAD, samples_per_period=512,
+                          chunk_size=chunk_size)
+
+
+def test_chunked_preserves_order_and_content():
+    items = list(range(10))
+    chunks = chunked(items, 3)
+    assert [list(c) for c in chunks] == [[0, 1, 2], [3, 4, 5],
+                                         [6, 7, 8], [9]]
+    assert chunked([], 3) == []
+    with pytest.raises(ValueError):
+        chunked(items, 0)
+
+
+def test_serial_executor_maps_in_order():
+    outputs = SerialExecutor().map(lambda c: c * 2, [1, 2, 3])
+    assert outputs == [2, 4, 6]
+
+
+def test_chunk_size_does_not_change_results():
+    population = montecarlo_dies(PAPER_BIQUAD, 30, sigma_f0=0.03,
+                                 seed=2)
+    one = CampaignEngine(_config(chunk_size=30),
+                         cache=GoldenCache()).run(population, band=None)
+    many = CampaignEngine(_config(chunk_size=7),
+                          cache=GoldenCache()).run(population, band=None)
+    assert np.array_equal(one.ndfs, many.ndfs)
+
+
+def test_process_pool_bit_identical_to_serial():
+    """The acceptance criterion: same seeds -> identical verdicts."""
+    population = montecarlo_dies(PAPER_BIQUAD, 24, sigma_f0=0.03,
+                                 seed=13)
+    serial = CampaignEngine(_config(), cache=GoldenCache()).run(
+        population, band="auto")
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        pooled = CampaignEngine(_config(), cache=GoldenCache(),
+                                executor=pool).run(population,
+                                                   band="auto")
+    assert np.array_equal(serial.ndfs, pooled.ndfs)
+    assert np.array_equal(serial.verdicts, pooled.verdicts)
+    assert pooled.executor.startswith("process-pool")
+
+
+def test_process_pool_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        ProcessPoolExecutor(max_workers=0)
+
+
+def test_process_pool_shutdown_idempotent():
+    pool = ProcessPoolExecutor(max_workers=1)
+    pool.shutdown()
+    pool.shutdown()

@@ -1,6 +1,5 @@
 """Component-level behaviour: sources, controlled sources, validation."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import (

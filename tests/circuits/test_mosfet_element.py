@@ -53,7 +53,7 @@ def test_cutoff_device_pulls_no_current(nmos):
 def test_gate_draws_no_current(nmos):
     ckt = Circuit()
     ckt.add(VoltageSource("VDD", "vdd", "0", dc=1.2))
-    vg = ckt.add(VoltageSource("VG", "gg", "0", dc=0.8))
+    ckt.add(VoltageSource("VG", "gg", "0", dc=0.8))
     ckt.add(Resistor("RG", "gg", "g", 1e6))  # series gate resistor
     ckt.add(Resistor("RL", "vdd", "d", 10e3))
     ckt.add(Mosfet("M1", "d", "g", "0", MosModel(NMOS_65NM, 1.8e-6, 180e-9)))

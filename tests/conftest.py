@@ -7,11 +7,8 @@ are computed once per session here.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core.capture import capture_signature
-from repro.core.testflow import SignatureTester
 from repro.filters.biquad import BiquadFilter
 from repro.monitor.configurations import table1_bank, table1_encoder
 from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS, paper_setup

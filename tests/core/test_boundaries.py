@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.boundaries import (
-    Boundary,
-    CallableBoundary,
-    LinearBoundary,
-)
+from repro.core.boundaries import CallableBoundary, LinearBoundary
 
 
 def test_linear_boundary_bits():

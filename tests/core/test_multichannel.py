@@ -1,6 +1,5 @@
 """Multi-channel signatures (the multi-variable generalization)."""
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -47,7 +46,6 @@ def test_golden_signatures_per_channel(two_tap_tester):
 def test_lp_channel_matches_single_channel_flow(two_tap_tester, setup):
     """Channel 'lp' is exactly the paper's instrument."""
     golden_multi = two_tap_tester.golden_signature()["lp"]
-    bench = setup.tester
     # Resample the bench golden at the same rate for a fair comparison.
     from repro.core import SignatureTester, ndf
     from repro.filters.biquad import BiquadFilter

@@ -5,11 +5,9 @@ import pytest
 
 from repro.core.capture import AsyncCapture, CaptureConfig
 from repro.core.decision import DecisionBand
-from repro.core.testflow import SignatureTester
-from repro.filters.biquad import BiquadFilter
 from repro.signals.filtering import BandLimiter
 from repro.signals.noise import NoiseModel
-from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS, paper_setup
+from repro.paper import PAPER_STIMULUS, paper_setup
 
 
 def test_golden_signature_cached(setup):

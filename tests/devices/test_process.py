@@ -9,7 +9,6 @@ from repro.devices.process import (
     DeviceVariation,
     MonteCarloSampler,
     TECH_65NM,
-    TechnologyParams,
 )
 
 

@@ -1,6 +1,5 @@
 """Fault models: parametric mapping exactness, catastrophic universe."""
 
-import numpy as np
 import pytest
 
 from repro.filters import (

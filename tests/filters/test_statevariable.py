@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import ChannelSpec, MultiChannelTester
-from repro.core.ndf import ndf
 from repro.core.testflow import SignatureTester
 from repro.filters import (
     BiquadFilter,
@@ -15,7 +14,7 @@ from repro.filters import (
     TowThomasBiquad,
     TowThomasValues,
 )
-from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+from repro.paper import PAPER_STIMULUS
 
 
 @pytest.fixture(scope="module")

@@ -17,12 +17,7 @@ import pytest
 
 from repro.analysis import build_chronogram, skipped_zone_events
 from repro.core.ndf import ndf
-from repro.paper import (
-    FIG6_ZONE_CODES,
-    FIG7_NDF_10PCT,
-    noisy_paper_setup,
-    paper_setup,
-)
+from repro.paper import FIG6_ZONE_CODES, FIG7_NDF_10PCT, noisy_paper_setup
 
 
 # ----------------------------------------------------------------------

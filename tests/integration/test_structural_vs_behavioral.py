@@ -6,7 +6,6 @@ Tow-Thomas netlist, pushed through the same monitors and capture,
 must yield the same signatures and NDF values.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.ndf import ndf

@@ -96,7 +96,6 @@ def test_spread_shrinks_with_device_area():
     sampler_big = MonteCarloSampler(rng=1, include_process=False)
     small = boundary_spread(table1_monitor(3), sampler_small,
                             num_dies=40, points=21)
-    big_monitor = table1_monitor(3)
     from repro.monitor import MonitorBoundary
     big_config = table1_monitor(3).config
     big = boundary_spread(

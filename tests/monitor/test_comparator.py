@@ -5,12 +5,7 @@ import pytest
 
 from repro.devices import NMOS_65NM
 from repro.devices.process import DeviceVariation, MonteCarloSampler
-from repro.monitor import (
-    MonitorBoundary,
-    MonitorConfig,
-    table1_config,
-    table1_monitor,
-)
+from repro.monitor import MonitorConfig, table1_monitor
 
 
 def test_config_validation():

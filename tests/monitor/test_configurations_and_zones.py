@@ -1,10 +1,9 @@
 """Table I bank and the Fig. 6 zone map (the paper's key code census)."""
 
-import numpy as np
 import pytest
 
 from repro.core.zones import hamming_distance
-from repro.monitor import table1_bank, table1_config, table1_encoder
+from repro.monitor import table1_bank, table1_config
 from repro.paper import FIG6_ZONE_CODES
 
 

@@ -1,6 +1,5 @@
 """Transistor-level Fig. 2 monitor vs the analytic current balance."""
 
-import numpy as np
 import pytest
 
 from repro.monitor import (

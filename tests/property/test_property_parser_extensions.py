@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.analysis import roc_curve, yield_escape_analysis
 from repro.analysis.yield_model import CutUnit

@@ -1,16 +1,9 @@
 """Coherent harmonic analysis of periodic waveforms."""
 
-import numpy as np
 import pytest
 
 from repro.filters import BiquadFilter, BiquadSpec
-from repro.signals import (
-    Tone,
-    Waveform,
-    harmonic_spectrum,
-    tone_table,
-    two_tone,
-)
+from repro.signals import Waveform, harmonic_spectrum, tone_table, two_tone
 
 
 def sampled(multitone, n=1024, periods=1):

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import re
+
 import pytest
 
 from repro.cli import main
@@ -46,3 +48,42 @@ def test_test_command_fail_unit(capsys):
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_campaign_mc(capsys):
+    assert main(["campaign", "--dies", "8", "--seed", "1",
+                 "--samples", "512"]) == 0
+    out = capsys.readouterr().out
+    assert "campaign: mc (8 dies" in out
+    verdicts = re.search(r"(\d+) PASS / (\d+) FAIL", out)
+    assert verdicts is not None
+    # Mild 3% spread vs a 5% band: most of the 8 dies must pass.
+    assert int(verdicts.group(1)) >= 6
+    assert "golden cache" in out
+
+
+def test_campaign_json(capsys):
+    import json
+
+    assert main(["campaign", "--dies", "4", "--samples", "512",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["dies"] == 4
+    assert payload["pass"] + payload["fail"] == 4
+    assert payload["threshold"] > 0
+
+
+def test_campaign_corners(capsys):
+    assert main(["campaign", "--scenario", "corners",
+                 "--samples", "512"]) == 0
+    assert "5 dies" in capsys.readouterr().out
+
+
+def test_campaign_faults(capsys):
+    assert main(["campaign", "--scenario", "faults",
+                 "--samples", "512"]) == 0
+    out = capsys.readouterr().out
+    verdicts = re.search(r"(\d+) PASS / (\d+) FAIL", out)
+    assert verdicts is not None
+    # Opens/shorts are gross defects: most of the universe must fail.
+    assert int(verdicts.group(2)) > int(verdicts.group(1))
