@@ -1,6 +1,6 @@
 """Campaign engine at fleet scale: speedup, scaling, executor parity.
 
-Three proofs for the batched campaign engine:
+Proofs for the batched campaign engine:
 
 * **speedup** -- the campaign beats the seed's per-die
   :class:`~repro.core.testflow.SignatureTester` loop by >= 5x at
@@ -9,19 +9,32 @@ Three proofs for the batched campaign engine:
   campaign wall-clock (golden work is cached, the hot path is
   vectorized);
 * **executor parity** -- serial and process-pool executors return
-  bit-identical NDF and verdict vectors for the same seeded population.
+  bit-identical NDF and verdict vectors for the same seeded population;
+* **packed-pipeline speedup** -- the CSR signature extraction plus
+  fleet-NDF kernel beats the unpacked per-die reference
+  (``batch_signatures`` + ``batch_ndf``, the PR 1 back half) by >= 5x
+  at N = 2000, and the end-to-end campaign beats the reconstructed
+  PR 1 pipeline by >= 2x at N = 5000 -- with bit-identical NDFs;
+* **stage-timing regression guard** -- per-die stage timings
+  (trace/encode/signature/ndf) are compared against the committed
+  baseline ``benchmarks/baselines/campaign_stages.json`` with a
+  generous threshold, so only real regressions fail the job.
 
 Population sizes honour ``CAMPAIGN_BENCH_N`` (speedup study, default
-500) and ``CAMPAIGN_BENCH_SCALING`` (comma-separated N list, default
-``60,120,240,480``) so the CI smoke job can run a reduced fleet.
-Timings are persisted as JSON under ``benchmarks/reports/`` for the CI
-artifact upload.
+500), ``CAMPAIGN_BENCH_SCALING`` (comma-separated N list, default
+``60,120,240,480``), ``CAMPAIGN_BENCH_STAGE_N`` (packed-pipeline
+study, default 2000) and ``CAMPAIGN_BENCH_E2E_N`` (end-to-end study,
+default 5000) so the CI smoke job can run a reduced fleet; the
+regression threshold honours ``CAMPAIGN_STAGE_TOLERANCE`` (default
+5x).  Timings are persisted as JSON under ``benchmarks/reports/`` for
+the CI artifact upload.
 """
 
 import json
 import os
 import pathlib
 import time
+import tracemalloc
 
 import numpy as np
 
@@ -35,16 +48,27 @@ from repro.campaign import (
     CampaignEngine,
     GoldenCache,
     ProcessPoolExecutor,
+    batch_extract,
+    batch_multitone_eval,
+    batch_ndf,
+    batch_signatures,
     montecarlo_dies,
+    stream_montecarlo_dies,
 )
 from repro.core.testflow import SignatureTester
 from repro.filters.biquad import BiquadFilter
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+BASELINE_PATH = (pathlib.Path(__file__).parent / "baselines"
+                 / "campaign_stages.json")
 
 SPEEDUP_N = int(os.environ.get("CAMPAIGN_BENCH_N", "500"))
 SCALING_NS = [int(n) for n in os.environ.get(
     "CAMPAIGN_BENCH_SCALING", "60,120,240,480").split(",")]
+STAGE_N = int(os.environ.get("CAMPAIGN_BENCH_STAGE_N", "2000"))
+E2E_N = int(os.environ.get("CAMPAIGN_BENCH_E2E_N", "5000"))
+STAGE_TOLERANCE = float(os.environ.get("CAMPAIGN_STAGE_TOLERANCE",
+                                       "5.0"))
 
 
 def _write_json(name: str, payload: dict) -> None:
@@ -186,3 +210,263 @@ def test_executor_parity_bit_identical(bench_setup, report_writer):
 
     assert identical_ndfs
     assert identical_verdicts
+
+
+# ----------------------------------------------------------------------
+# Packed signature pipeline (PR 2)
+# ----------------------------------------------------------------------
+def _code_stack(bench_setup, n: int, seed: int):
+    """(engine, golden, code stack) of an n-die Monte Carlo fleet."""
+    from repro.campaign.batch import batch_codes
+
+    engine = bench_setup.campaign_engine(samples_per_period=2048,
+                                         cache=GoldenCache())
+    golden = engine.golden()
+    population = montecarlo_dies(bench_setup.golden_spec, n,
+                                 sigma_f0=0.03, seed=seed)
+    responses = [BiquadFilter(s).response(bench_setup.stimulus)
+                 for s in population.specs]
+    y = batch_multitone_eval(responses, golden.times)
+    codes = batch_codes(engine.config.encoder, golden.x, y)
+    return engine, golden, population, codes
+
+
+def test_signature_ndf_stage_speedup(bench_setup, report_writer):
+    """Packed extract + fleet NDF vs the PR 1 per-die back half."""
+    n = STAGE_N
+    engine, golden, __, codes = _code_stack(bench_setup, n, seed=19)
+
+    t0 = time.perf_counter()
+    batch = batch_extract(golden.times, codes, golden.period)
+    t_extract = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    packed_values = batch.ndf_to(golden.signature)
+    t_fleet_ndf = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    signatures = batch_signatures(golden.times, codes, golden.period)
+    t_signatures = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    reference = batch_ndf(signatures, golden.signature)
+    t_ndf_loop = time.perf_counter() - t0
+
+    packed = t_extract + t_fleet_ndf
+    unpacked = t_signatures + t_ndf_loop
+    speedup = unpacked / packed
+    identical = bool(np.array_equal(packed_values, reference))
+    required = 5.0 if n >= 1000 else 2.0
+
+    rows = [["dies", str(n)],
+            ["per-die Signature objects + ndf()",
+             f"{unpacked * 1e3:.1f} ms"],
+            ["packed extract + fleet NDF", f"{packed * 1e3:.1f} ms"],
+            ["speedup", f"{speedup:.1f}x"]]
+    comparisons = [
+        Comparison("signature+NDF stage speedup",
+                   f">= {required:.0f}x", f"{speedup:.1f}x",
+                   match=speedup >= required),
+        Comparison("NDF vectors", "bit-identical", str(identical),
+                   match=identical),
+    ]
+    report_writer("campaign_stage_speedup", "\n".join([
+        banner(f"CAMPAIGN: packed signature pipeline ({n} dies)"),
+        format_table(["quantity", "value"], rows),
+        "",
+        comparison_table(comparisons),
+    ]))
+    _write_json("campaign_stage_speedup", {
+        "dies": n,
+        "t_unpacked_signature_s": t_signatures,
+        "t_unpacked_ndf_s": t_ndf_loop,
+        "t_packed_extract_s": t_extract,
+        "t_packed_fleet_ndf_s": t_fleet_ndf,
+        "stage_speedup": speedup,
+        "bit_identical": identical,
+    })
+
+    assert identical
+    assert speedup >= required
+
+
+def test_e2e_campaign_speedup_vs_pr1_pipeline(bench_setup,
+                                              report_writer):
+    """End-to-end campaign vs the reconstructed PR 1 hot path.
+
+    The PR 1 pipeline is timed for real from its retained pieces:
+    broadcast zone encoding (``encoder.code`` on a broadcast X),
+    per-die ``Signature.from_samples`` extraction and the per-die
+    ``ndf()`` loop.  The packed engine must beat it >= 2x at N = 5000
+    with bit-identical NDFs.
+    """
+    n = E2E_N
+    engine = bench_setup.campaign_engine(samples_per_period=2048,
+                                         cache=GoldenCache())
+    golden = engine.golden()
+    population = montecarlo_dies(bench_setup.golden_spec, n,
+                                 sigma_f0=0.03, seed=29)
+
+    t0 = time.perf_counter()
+    result = engine.run(population, band=None)
+    t_campaign = time.perf_counter() - t0
+
+    # PR 1 reconstruction, chunked like the engine to keep the
+    # comparison fair (same cache behaviour, same working-set size).
+    chunk = engine.config.chunk_size
+    t0 = time.perf_counter()
+    pr1_values = []
+    for lo in range(0, n, chunk):
+        specs = population.specs[lo:lo + chunk]
+        responses = [BiquadFilter(s).response(bench_setup.stimulus)
+                     for s in specs]
+        y = batch_multitone_eval(responses, golden.times)
+        x = np.broadcast_to(golden.x, y.shape)
+        codes = np.asarray(engine.config.encoder.code(x, y),
+                           dtype=np.int64)
+        signatures = batch_signatures(golden.times, codes,
+                                      golden.period)
+        pr1_values.append(batch_ndf(signatures, golden.signature))
+    pr1_values = np.concatenate(pr1_values)
+    t_pr1 = time.perf_counter() - t0
+
+    speedup = t_pr1 / t_campaign
+    identical = bool(np.array_equal(pr1_values, result.ndfs))
+    required = 2.0 if n >= 2000 else 1.2
+
+    rows = [["dies", str(n)],
+            ["PR 1 pipeline", f"{t_pr1:.2f} s"],
+            ["packed campaign", f"{t_campaign:.2f} s"],
+            ["speedup", f"{speedup:.1f}x"]]
+    comparisons = [
+        Comparison("end-to-end speedup", f">= {required:.1f}x",
+                   f"{speedup:.1f}x", match=speedup >= required),
+        Comparison("NDF vectors", "bit-identical", str(identical),
+                   match=identical),
+    ]
+    report_writer("campaign_e2e_speedup", "\n".join([
+        banner(f"CAMPAIGN: end-to-end vs PR 1 pipeline ({n} dies)"),
+        format_table(["quantity", "value"], rows),
+        "",
+        comparison_table(comparisons),
+    ]))
+    _write_json("campaign_e2e_speedup", {
+        "dies": n, "t_pr1_pipeline_s": t_pr1,
+        "t_campaign_s": t_campaign, "e2e_speedup": speedup,
+        "bit_identical": identical,
+        "campaign_sections": result.timing,
+    })
+
+    assert identical
+    assert speedup >= required
+
+
+def test_stage_timings_vs_committed_baseline(bench_setup,
+                                             report_writer):
+    """Per-die stage timings must stay within the committed budget.
+
+    The baseline records seconds-per-die for every pipeline stage on
+    the reference machine; a stage slower than ``baseline *
+    CAMPAIGN_STAGE_TOLERANCE`` (default 5x -- generous enough for
+    shared-CI noise and slower runners, tight enough to catch a
+    de-vectorized stage) fails the job.
+    """
+    n = min(STAGE_N, 1000)
+    engine = bench_setup.campaign_engine(samples_per_period=2048,
+                                         cache=GoldenCache())
+    engine.golden()  # warm: the guard measures marginal per-die cost
+    population = montecarlo_dies(bench_setup.golden_spec, n,
+                                 sigma_f0=0.03, seed=31)
+    best: dict = {}
+    for __ in range(3):
+        result = engine.run(population, band=None)
+        for stage in ("traces", "encode", "signature", "ndf"):
+            value = result.timing[stage]
+            if stage not in best or value < best[stage]:
+                best[stage] = value
+    per_die = {stage: value / n for stage, value in best.items()}
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    budgets = baseline["per_die_s"]
+    rows = []
+    failures = []
+    for stage, measured in per_die.items():
+        budget = budgets[stage] * STAGE_TOLERANCE
+        rows.append([stage, f"{measured * 1e6:.2f} us",
+                     f"{budgets[stage] * 1e6:.2f} us",
+                     f"{budget * 1e6:.2f} us"])
+        if measured > budget:
+            failures.append(stage)
+    report_writer("campaign_stage_guard", "\n".join([
+        banner(f"CAMPAIGN: stage-timing regression guard ({n} dies, "
+               f"tolerance {STAGE_TOLERANCE:.0f}x)"),
+        format_table(["stage", "measured/die", "baseline/die",
+                      "budget/die"], rows),
+    ]))
+    _write_json("campaign_stages", {
+        "dies": n,
+        "per_die_s": per_die,
+        "baseline_per_die_s": budgets,
+        "tolerance": STAGE_TOLERANCE,
+        "regressed_stages": failures,
+    })
+
+    assert not failures, (
+        f"stages regressed beyond {STAGE_TOLERANCE:.0f}x the committed "
+        f"baseline: {failures}")
+
+
+def test_streamed_campaign_bounds_memory(bench_setup, report_writer):
+    """Streaming a fleet must not allocate the whole population.
+
+    Peak traced allocations of a streamed run (small chunks) must stay
+    well under the monolithic run's peak, and the verdicts must match
+    bit for bit.
+    """
+    n = max(512, min(STAGE_N, 2000))
+    chunk = 128
+    engine = bench_setup.campaign_engine(samples_per_period=2048,
+                                         cache=GoldenCache())
+    engine.golden()
+
+    tracemalloc.start()
+    monolithic = engine.run(
+        montecarlo_dies(bench_setup.golden_spec, n, sigma_f0=0.03,
+                        seed=37), band=None)
+    __, peak_monolithic = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    streamed = engine.run_stream(
+        stream_montecarlo_dies(bench_setup.golden_spec, n,
+                               chunk_size=chunk, sigma_f0=0.03,
+                               seed=37), band=None)
+    __, peak_streamed = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    identical = bool(np.array_equal(monolithic.ndfs, streamed.ndfs))
+    ratio = peak_streamed / peak_monolithic
+    rows = [["dies / chunk", f"{n} / {chunk}"],
+            ["monolithic peak", f"{peak_monolithic / 1e6:.1f} MB"],
+            ["streamed peak", f"{peak_streamed / 1e6:.1f} MB"],
+            ["peak ratio", f"{ratio:.2f}"]]
+    comparisons = [
+        Comparison("streamed/monolithic peak", "< 0.7",
+                   f"{ratio:.2f}", match=ratio < 0.7),
+        Comparison("NDF vectors", "bit-identical", str(identical),
+                   match=identical),
+    ]
+    report_writer("campaign_stream_memory", "\n".join([
+        banner(f"CAMPAIGN: streamed memory bound ({n} dies)"),
+        format_table(["quantity", "value"], rows),
+        "",
+        comparison_table(comparisons),
+    ]))
+    _write_json("campaign_stream_memory", {
+        "dies": n, "chunk": chunk,
+        "peak_monolithic_bytes": peak_monolithic,
+        "peak_streamed_bytes": peak_streamed,
+        "peak_ratio": ratio,
+        "bit_identical": identical,
+    })
+
+    assert identical
+    assert ratio < 0.7

@@ -22,6 +22,7 @@ Quick start::
 
 from repro.campaign.batch import (
     batch_codes,
+    batch_extract,
     batch_multitone_eval,
     batch_ndf,
     batch_responses,
@@ -43,23 +44,30 @@ from repro.campaign.engine import (
 from repro.campaign.executors import (
     ProcessPoolExecutor,
     SerialExecutor,
+    SharedArrayHandle,
+    SharedMemoryExecutor,
+    attach_shared_array,
     chunked,
 )
-from repro.campaign.result import CampaignResult
+from repro.campaign.result import CampaignResult, NoiseCampaignResult
 from repro.campaign.scenarios import (
     CutListPopulation,
     EncoderPopulation,
     SpecPopulation,
+    TracePopulation,
     deviation_sweep_population,
     fault_dictionary,
     montecarlo_dies,
     montecarlo_monitor_banks,
     parameter_grid,
+    stream_montecarlo_dies,
     temperature_corners,
+    trace_population,
 )
 
 __all__ = [
     "batch_codes",
+    "batch_extract",
     "batch_multitone_eval",
     "batch_ndf",
     "batch_responses",
@@ -75,15 +83,22 @@ __all__ = [
     "CampaignEngine",
     "ProcessPoolExecutor",
     "SerialExecutor",
+    "SharedArrayHandle",
+    "SharedMemoryExecutor",
+    "attach_shared_array",
     "chunked",
     "CampaignResult",
+    "NoiseCampaignResult",
     "CutListPopulation",
     "EncoderPopulation",
     "SpecPopulation",
+    "TracePopulation",
     "deviation_sweep_population",
     "fault_dictionary",
     "montecarlo_dies",
     "montecarlo_monitor_banks",
     "parameter_grid",
+    "stream_montecarlo_dies",
     "temperature_corners",
+    "trace_population",
 ]

@@ -3,25 +3,36 @@
 The per-die test flow (:class:`repro.core.testflow.SignatureTester`)
 evaluates one trace, one zone encoding and one capture at a time.  At
 fleet scale the same work is batched over stacked ``(N, samples)``
-arrays:
+arrays and a packed signature representation:
 
 * :func:`batch_multitone_eval` evaluates N same-frequency multitones on
   a shared time grid in one broadcast pass;
 * :func:`batch_responses` propagates one stimulus through N linear CUTs
   (exact steady state, tone by tone);
 * :func:`batch_codes` pushes the whole ``(N, samples)`` point stack
-  through the zone encoder at once;
-* :func:`batch_signatures` run-length extracts one signature per row,
-  sharing the NumPy kernel of
-  :func:`repro.core.signature.run_length_starts`;
-* :func:`batch_ndf` scores every signature against the golden.
+  through the zone encoder at once -- monitor banks take the
+  shared-branch fast path of
+  :func:`repro.monitor.bank_encode.monitor_bank_codes`, which computes
+  each model card's EKV term once per gate signal instead of once per
+  device;
+* :func:`batch_extract` run-length extracts the whole code stack into
+  one packed :class:`repro.core.signature_batch.SignatureBatch` (CSR
+  ``codes``/``durations``/``row_offsets``) in a single pass -- per-die
+  :class:`~repro.core.signature.Signature` objects exist only at the
+  diagnosis edges;
+* :meth:`SignatureBatch.ndf_to` scores every row against the golden in
+  one flat kernel (no per-die ``np.unique`` breakpoint merges);
+  :func:`batch_signatures`/:func:`batch_ndf` remain as the unpacked
+  per-die reference implementations that benchmarks and equivalence
+  tests compare against.
 
 The floating-point expression order of the per-die path is replicated
 exactly (same offset-then-tone accumulation, same ``w*t + phase``
-association), so a batched campaign with ``refine`` disabled produces
-**bit-identical** codes -- and therefore identical signatures, NDFs and
-verdicts -- to a serial :class:`SignatureTester` with ``refine=False``.
-The campaign equivalence tests assert this.
+association, same run-length subtractions and NDF interval sums), so a
+batched campaign with ``refine`` disabled produces **bit-identical**
+codes, signatures, NDFs and verdicts to a serial
+:class:`SignatureTester` with ``refine=False``.  The campaign
+equivalence tests assert this.
 """
 
 from __future__ import annotations
@@ -33,7 +44,9 @@ import numpy as np
 
 from repro.core.ndf import ndf
 from repro.core.signature import Signature
+from repro.core.signature_batch import SignatureBatch
 from repro.core.zones import ZoneEncoder
+from repro.monitor.bank_encode import monitor_bank_codes
 from repro.signals.multitone import Multitone
 
 
@@ -95,27 +108,48 @@ def batch_responses(cuts: Sequence, stimulus: Multitone) -> List[Multitone]:
 
 def batch_codes(encoder: ZoneEncoder, x: np.ndarray,
                 y: np.ndarray) -> np.ndarray:
-    """Zone codes of a stacked point set; ``x`` broadcasts over rows."""
+    """Zone codes of a stacked point set; ``x`` broadcasts over rows.
+
+    Monitor banks encode through the shared-branch fast path (one EKV
+    evaluation per model card per gate signal, with the shared ``x``
+    kept one-dimensional); any other boundary family falls back to the
+    generic per-boundary evaluation on a broadcast view.  Both produce
+    bit-identical codes to ``encoder.code`` point by point.
+    """
     y = np.asarray(y, dtype=float)
-    x = np.broadcast_to(np.asarray(x, dtype=float), y.shape)
+    x = np.asarray(x, dtype=float)
+    fast = monitor_bank_codes(encoder, x, y)
+    if fast is not None:
+        return np.asarray(fast, dtype=np.int64)
+    x = np.broadcast_to(x, y.shape)
     return np.asarray(encoder.code(x, y), dtype=np.int64)
+
+
+def batch_extract(times: np.ndarray, codes: np.ndarray,
+                  period: float) -> SignatureBatch:
+    """One-pass packed run-length extraction of a whole code stack."""
+    return SignatureBatch.from_code_stack(times, codes, period)
 
 
 def batch_signatures(times: np.ndarray, codes: np.ndarray,
                      period: float) -> List[Signature]:
-    """One run-length-extracted signature per row of ``codes``.
+    """Per-die :class:`Signature` objects for a code stack.
 
-    Row extraction shares :func:`Signature.from_samples`' NumPy
-    run-length kernel; the Python-level cost per die is proportional to
-    the number of zone *changes*, not samples.
+    Diagnosis-edge convenience: packs the stack once
+    (:func:`batch_extract`) and unpacks every row.  Hot paths should
+    stay on the :class:`SignatureBatch` instead.
     """
-    codes = np.atleast_2d(np.asarray(codes))
-    return [Signature.from_samples(times, row, period) for row in codes]
+    return batch_extract(times, codes, period).to_signatures()
 
 
 def batch_ndf(signatures: Sequence[Signature],
               golden: Signature) -> np.ndarray:
-    """Exact NDF of every signature against the golden reference."""
+    """Per-die reference NDF loop (exact, unpacked).
+
+    Kept as the equivalence baseline for
+    :meth:`SignatureBatch.ndf_to`; campaign hot paths use the packed
+    kernel.
+    """
     return np.asarray([ndf(s, golden) for s in signatures], dtype=float)
 
 
@@ -127,12 +161,12 @@ def trace_population_ndf(encoder: ZoneEncoder, times: np.ndarray,
     """Encode + extract + score a stacked trace population in one call.
 
     ``y_stack`` is ``(N, T)``; ``x`` is shared across the population.
-    When ``signatures_out`` is given, the extracted signatures are
-    appended to it (diagnosis paths want them; the yield paths only
-    need the NDFs).
+    The whole pipeline stays packed (codes -> CSR batch -> fleet NDF);
+    per-die signatures are only unpacked into ``signatures_out`` when a
+    diagnosis path asks for them.
     """
     codes = batch_codes(encoder, x, y_stack)
-    signatures = batch_signatures(times, codes, period)
+    batch = batch_extract(times, codes, period)
     if signatures_out is not None:
-        signatures_out.extend(signatures)
-    return batch_ndf(signatures, golden)
+        signatures_out.extend(batch.to_signatures())
+    return batch.ndf_to(golden)

@@ -8,11 +8,21 @@ instead of once per die through
 
 * golden signatures and calibrated decision bands are computed once per
   configuration and content-cached (:mod:`repro.campaign.cache`);
-* the hot path is vectorized over stacked ``(N, samples)`` arrays
-  (:mod:`repro.campaign.batch`);
-* an executor layer chunks the population serially or over a process
-  pool (:mod:`repro.campaign.executors`) with deterministic per-die
-  seeding, so every executor yields bit-identical verdict vectors.
+* the hot path is array-resident end to end: stacked ``(N, samples)``
+  traces and codes (:mod:`repro.campaign.batch`), one packed
+  :class:`~repro.core.signature_batch.SignatureBatch` per chunk, and
+  the flat fleet-NDF kernel -- per-die ``Signature`` objects exist only
+  at the diagnosis edges;
+* an executor layer chunks the population serially, over a process
+  pool, or over a shared-memory pool
+  (:mod:`repro.campaign.executors`) with deterministic per-die
+  seeding, so every executor yields bit-identical verdict vectors;
+* populations larger than memory stream through
+  :meth:`CampaignEngine.run_stream` (or simply by passing a generator
+  of chunks to :meth:`run`), keeping RSS bounded by the chunk size;
+* :meth:`CampaignEngine.run_noise` repeats every die's measurement
+  under fresh Section IV-C noise as one ``(N * repeats, samples)``
+  stack with per-die deterministic seeding.
 
 Worked example (mirrors ``examples/campaign_fleet.py``)::
 
@@ -31,6 +41,7 @@ Worked example (mirrors ``examples/campaign_fleet.py``)::
 from __future__ import annotations
 
 import time
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -38,9 +49,9 @@ import numpy as np
 
 from repro.campaign.batch import (
     batch_codes,
+    batch_extract,
     batch_multitone_eval,
     sample_times,
-    trace_population_ndf,
 )
 from repro.campaign.cache import (
     DEFAULT_CACHE,
@@ -51,26 +62,34 @@ from repro.campaign.cache import (
     stimulus_key,
 )
 from repro.campaign.executors import SerialExecutor, chunked
-from repro.campaign.result import CampaignResult
+from repro.campaign.result import CampaignResult, NoiseCampaignResult
 from repro.campaign.scenarios import (
     CutListPopulation,
     EncoderPopulation,
     SpecPopulation,
+    TracePopulation,
     deviation_sweep_population,
 )
 from repro.core.decision import DecisionBand, ThresholdCalibration
-from repro.core.ndf import ndf
 from repro.core.signature import Signature
 from repro.core.zones import ZoneEncoder
 from repro.filters.biquad import BiquadFilter, BiquadSpec
 from repro.signals.multitone import Multitone
+from repro.signals.noise import NoiseModel
 
 #: Default Fig. 8 calibration sweep for "auto" decision bands.
 DEFAULT_CALIBRATION_DEVIATIONS: Tuple[float, ...] = tuple(
     np.linspace(-0.10, 0.10, 9))
 
+#: Entropy-domain tag ("Nois") mixed into the noise campaign's seed
+#: root, so run_noise(seed=s) never draws from the same per-die
+#: streams as montecarlo_dies(seed=s) -- measurement noise must stay
+#: statistically independent of the process deviations it is measured
+#: against, even when both use the same user-facing seed.
+NOISE_SEED_DOMAIN = 0x4E6F6973
+
 Population = Union[SpecPopulation, CutListPopulation, EncoderPopulation,
-                   Sequence[BiquadSpec]]
+                   TracePopulation, Sequence[BiquadSpec]]
 
 
 @dataclass(frozen=True)
@@ -119,6 +138,22 @@ def _golden_artifacts(config: CampaignConfig,
                                 lambda: _compute_golden(config))
 
 
+def _score_code_stack(config: CampaignConfig, golden: GoldenArtifacts,
+                      x: np.ndarray, y: np.ndarray,
+                      timing: Dict[str, float]) -> np.ndarray:
+    """Encode -> pack -> fleet-NDF one trace stack, timing each stage."""
+    t0 = time.perf_counter()
+    codes = batch_codes(config.encoder, x, y)
+    t1 = time.perf_counter()
+    timing["encode"] = timing.get("encode", 0.0) + (t1 - t0)
+    batch = batch_extract(golden.times, codes, golden.period)
+    t2 = time.perf_counter()
+    timing["signature"] = timing.get("signature", 0.0) + (t2 - t1)
+    values = batch.ndf_to(golden.signature)
+    timing["ndf"] = timing.get("ndf", 0.0) + (time.perf_counter() - t2)
+    return values
+
+
 def _response_chunk_ndfs(config: CampaignConfig, cuts: Sequence,
                          cache: GoldenCache
                          ) -> Tuple[np.ndarray, Dict[str, float]]:
@@ -132,9 +167,7 @@ def _response_chunk_ndfs(config: CampaignConfig, cuts: Sequence,
     y = batch_multitone_eval(responses, golden.times)
     t2 = time.perf_counter()
     timing["traces"] = t2 - t1
-    values = trace_population_ndf(config.encoder, golden.times, golden.x,
-                                  y, golden.period, golden.signature)
-    timing["encode+score"] = time.perf_counter() - t2
+    values = _score_code_stack(config, golden, golden.x, y, timing)
     return values, timing
 
 
@@ -144,6 +177,90 @@ def _spec_chunk_worker(payload: Tuple[CampaignConfig, Tuple[BiquadSpec, ...]]
     config, specs = payload
     cuts = [BiquadFilter(spec) for spec in specs]
     return _response_chunk_ndfs(config, cuts, DEFAULT_CACHE)
+
+
+def _trace_rows_ndfs(config: CampaignConfig, y_rows: np.ndarray,
+                     cache: GoldenCache
+                     ) -> Tuple[np.ndarray, Dict[str, float]]:
+    """NDFs of a slice of measured traces on the shared grid."""
+    timing: Dict[str, float] = {}
+    t0 = time.perf_counter()
+    golden = _golden_artifacts(config, cache)
+    timing["golden"] = time.perf_counter() - t0
+    values = _score_code_stack(config, golden, golden.x, y_rows, timing)
+    return values, timing
+
+
+def _trace_chunk_worker(payload) -> Tuple[np.ndarray, Dict[str, float]]:
+    """Pool-side trace scoring: the chunk's rows travel pickled."""
+    config, y_rows = payload
+    return _trace_rows_ndfs(config, np.asarray(y_rows), DEFAULT_CACHE)
+
+
+def _trace_chunk_worker_shm(payload
+                            ) -> Tuple[np.ndarray, Dict[str, float]]:
+    """Pool-side trace scoring against a shared-memory stack.
+
+    The payload carries only ``(config, handle, start, stop)``: the
+    worker attaches a zero-copy view of the published ``(N, T)`` stack
+    and scores its row slice -- nothing bulky crosses the pickle
+    boundary in either direction except the per-row NDFs.
+    """
+    from repro.campaign.executors import attach_shared_array
+
+    config, handle, start, stop = payload
+    stack, close = attach_shared_array(handle)
+    try:
+        return _trace_rows_ndfs(config, stack[start:stop],
+                                DEFAULT_CACHE)
+    finally:
+        close()
+
+
+def _noise_chunk_ndfs(config: CampaignConfig,
+                      specs: Sequence[BiquadSpec], children,
+                      repeats: int, three_sigma: float,
+                      cache: GoldenCache
+                      ) -> Tuple[np.ndarray, Dict[str, float]]:
+    """Noisy-repeat NDFs of a chunk of dies: an ``(n * R, T)`` stack.
+
+    Die ``i`` draws all of its ``repeats`` noise realizations (X then Y
+    per repeat) from its own spawned seed child, so the matrix is a
+    pure function of ``(seed, die index)`` -- chunking and streaming
+    never reshuffle noise.
+    """
+    timing: Dict[str, float] = {}
+    t0 = time.perf_counter()
+    golden = _golden_artifacts(config, cache)
+    t1 = time.perf_counter()
+    timing["golden"] = t1 - t0
+    responses = [BiquadFilter(spec).response(config.stimulus)
+                 for spec in specs]
+    y = batch_multitone_eval(responses, golden.times)
+    t2 = time.perf_counter()
+    timing["traces"] = t2 - t1
+    n, t = y.shape
+    sigma = three_sigma / 3.0
+    x_stack = np.broadcast_to(golden.x, (n * repeats, t))
+    if sigma > 0.0:
+        noise = np.empty((n, repeats, 2, t))
+        for i, child in enumerate(children):
+            rng = np.random.default_rng(child)
+            noise[i] = rng.normal(0.0, sigma, size=(repeats, 2, t))
+        x_stack = x_stack + noise[:, :, 0, :].reshape(n * repeats, t)
+        y_stack = (np.repeat(y, repeats, axis=0)
+                   + noise[:, :, 1, :].reshape(n * repeats, t))
+    else:
+        y_stack = np.repeat(y, repeats, axis=0)
+    timing["noise"] = time.perf_counter() - t2
+    values = _score_code_stack(config, golden, x_stack, y_stack, timing)
+    return values.reshape(n, repeats), timing
+
+
+def _merge_timing(total: Dict[str, float],
+                  section: Dict[str, float]) -> None:
+    for key, value in section.items():
+        total[key] = total.get(key, 0.0) + value
 
 
 class CampaignEngine:
@@ -209,9 +326,9 @@ class CampaignEngine:
         return self.calibration().band_for_tolerance(tol)
 
     # ------------------------------------------------------------------
-    # Campaign entry point
+    # Campaign entry points
     # ------------------------------------------------------------------
-    def run(self, population: Population,
+    def run(self, population: Union[Population, Iterable],
             band: Union[None, str, float, DecisionBand] = "auto"
             ) -> CampaignResult:
         """Screen a whole population and collect fleet statistics.
@@ -222,23 +339,36 @@ class CampaignEngine:
         skips verdicts (NDFs only).
 
         The configured executor parallelizes *spec* populations (the
-        chunkable fast path); cut and encoder populations always run
-        in process, and the result's ``executor`` field reports what
-        actually ran.
+        chunkable fast path) and trace stacks; cut and encoder
+        populations always run in process, and the result's
+        ``executor`` field reports what actually ran.  Passing a
+        generator/iterator of population *chunks* delegates to
+        :meth:`run_stream` (bounded memory); an iterator of individual
+        specs is simply materialized and run in one shot.
         """
+        if isinstance(population, Iterator):
+            import itertools
+
+            try:
+                first = next(population)
+            except StopIteration:
+                return self.run_stream(iter(()), band)
+            rest = itertools.chain([first], population)
+            if isinstance(first, BiquadSpec):
+                population = list(rest)
+            else:
+                return self.run_stream(rest, band)
         start = time.perf_counter()
-        if not isinstance(population, (SpecPopulation, CutListPopulation,
-                                       EncoderPopulation)):
-            specs = list(population)
-            population = SpecPopulation(
-                specs, np.full(len(specs), np.nan),
-                np.full(len(specs), np.nan),
-                [f"die{i:05d}" for i in range(len(specs))])
+        population = self._as_population(population)
         threshold = self._resolve_threshold(band)
         if isinstance(population, SpecPopulation):
             values, timing, labels = self._run_specs(population)
             f0_devs = population.f0_deviations
             q_devs = population.q_deviations
+            executor_name = getattr(self.executor, "name", "custom")
+        elif isinstance(population, TracePopulation):
+            values, timing, labels = self._run_traces(population)
+            f0_devs = q_devs = None
             executor_name = getattr(self.executor, "name", "custom")
         elif isinstance(population, CutListPopulation):
             values, timing, labels = self._run_cuts(population)
@@ -258,9 +388,130 @@ class CampaignEngine:
             tolerance=self.config.tolerance, timing=timing,
             executor=executor_name, cache_info=self.cache.info)
 
+    def run_stream(self, chunks: Iterable,
+                   band: Union[None, str, float, DecisionBand] = "auto"
+                   ) -> CampaignResult:
+        """Screen a stream of population chunks at bounded memory.
+
+        ``chunks`` yields :class:`SpecPopulation` instances (or raw
+        spec sequences), e.g. from
+        :func:`repro.campaign.scenarios.stream_montecarlo_dies`.  Each
+        chunk runs through the configured executor and is released
+        before the next is drawn, so peak RSS scales with the chunk
+        size, not the fleet size; verdict vectors are bit-identical to
+        the monolithic run over the concatenated population.
+        """
+        start = time.perf_counter()
+        threshold = self._resolve_threshold(band)
+        timing: Dict[str, float] = {}
+        value_parts: List[np.ndarray] = []
+        f0_parts: List[np.ndarray] = []
+        q_parts: List[np.ndarray] = []
+        labels: List[str] = []
+        for chunk in chunks:
+            # Raw spec-sequence chunks get placeholder labels numbered
+            # from the global die index, not per chunk -- labels must
+            # stay unique across the whole stream.
+            chunk = self._as_population(chunk,
+                                        first_index=len(labels))
+            if not isinstance(chunk, SpecPopulation):
+                raise TypeError("streamed campaigns consume spec "
+                                "population chunks")
+            values, section, chunk_labels = self._run_specs(chunk)
+            value_parts.append(values)
+            f0_parts.append(chunk.f0_deviations)
+            q_parts.append(chunk.q_deviations)
+            labels.extend(chunk_labels)
+            _merge_timing(timing, section)
+        values = (np.concatenate(value_parts) if value_parts
+                  else np.empty(0))
+        f0_devs = (np.concatenate(f0_parts) if f0_parts
+                   else np.empty(0))
+        q_devs = np.concatenate(q_parts) if q_parts else np.empty(0)
+        verdicts = None if threshold is None else values <= threshold
+        timing["total"] = time.perf_counter() - start
+        name = getattr(self.executor, "name", "custom") + "+stream"
+        return CampaignResult(
+            ndfs=values, threshold=threshold, verdicts=verdicts,
+            f0_deviations=f0_devs, q_deviations=q_devs, labels=labels,
+            tolerance=self.config.tolerance, timing=timing,
+            executor=name, cache_info=self.cache.info)
+
+    def run_noise(self, population: Union[SpecPopulation,
+                                          Sequence[BiquadSpec]],
+                  repeats: int = 20,
+                  noise: Union[None, float, NoiseModel] = None,
+                  seed: int = 0,
+                  band: Union[None, str, float, DecisionBand] = "auto"
+                  ) -> NoiseCampaignResult:
+        """Batched Section IV-C noise campaign: N dies x R repeats.
+
+        Every die is signatured ``repeats`` times under fresh additive
+        measurement noise (``noise``: a :class:`NoiseModel`, a raw
+        3-sigma volt spread, or None for the paper's 0.015 V).  The
+        repeats run as one ``(n * repeats, samples)`` stack per chunk
+        through the same packed signature pipeline as the clean
+        campaign; the golden signature stays the noise-free reference.
+        Noise is seeded per die from
+        ``SeedSequence([seed, NOISE_SEED_DOMAIN])`` children -- a
+        pure function of ``(seed, die index)``, so results are
+        independent of chunking, and a distinct entropy domain from
+        the population builders, so noise never correlates with the
+        process deviations drawn from the same user seed.
+        """
+        if repeats < 1:
+            raise ValueError("need at least one noisy repeat")
+        if noise is None:
+            three_sigma = NoiseModel().three_sigma
+        elif isinstance(noise, NoiseModel):
+            three_sigma = noise.three_sigma
+        else:
+            three_sigma = float(noise)
+        start = time.perf_counter()
+        population = self._as_population(population)
+        if not isinstance(population, SpecPopulation):
+            raise TypeError("noise campaigns run over spec populations")
+        threshold = self._resolve_threshold(band)
+        children = np.random.SeedSequence(
+            [seed, NOISE_SEED_DOMAIN]).spawn(len(population))
+        die_chunk = max(1, self.config.chunk_size // repeats)
+        timing: Dict[str, float] = {}
+        parts: List[np.ndarray] = []
+        for lo in range(0, len(population), die_chunk):
+            hi = min(lo + die_chunk, len(population))
+            values, section = _noise_chunk_ndfs(
+                self.config, population.specs[lo:hi], children[lo:hi],
+                repeats, three_sigma, self.cache)
+            parts.append(values)
+            _merge_timing(timing, section)
+        matrix = (np.concatenate(parts, axis=0) if parts
+                  else np.empty((0, repeats)))
+        timing["total"] = time.perf_counter() - start
+        return NoiseCampaignResult(
+            ndf_matrix=matrix, threshold=threshold,
+            labels=list(population.labels),
+            tolerance=self.config.tolerance, timing=timing,
+            executor="serial")
+
     # ------------------------------------------------------------------
     # Population runners
     # ------------------------------------------------------------------
+    @staticmethod
+    def _as_population(population, first_index: int = 0):
+        """Wrap raw spec sequences; pass population objects through.
+
+        ``first_index`` numbers the placeholder labels globally when a
+        stream wraps one raw chunk after another.
+        """
+        if isinstance(population, (SpecPopulation, CutListPopulation,
+                                   EncoderPopulation, TracePopulation)):
+            return population
+        specs = list(population)
+        return SpecPopulation(
+            specs, np.full(len(specs), np.nan),
+            np.full(len(specs), np.nan),
+            [f"die{first_index + i:05d}" for i in range(len(specs))])
+
     def _resolve_threshold(self, band) -> Optional[float]:
         if band is None:
             return None
@@ -295,8 +546,7 @@ class CampaignEngine:
                                                    self.cache), chunks)
         timing: Dict[str, float] = {}
         for __, section_times in outputs:
-            for key, value in section_times.items():
-                timing[key] = timing.get(key, 0.0) + value
+            _merge_timing(timing, section_times)
         values = (np.concatenate([v for v, __ in outputs])
                   if outputs else np.empty(0))
         return values, timing
@@ -308,6 +558,50 @@ class CampaignEngine:
         values, timing = self._map_chunks(population.cuts())
         return values, timing, list(population.labels)
 
+    def _run_traces(self, population: TracePopulation
+                    ) -> Tuple[np.ndarray, Dict[str, float], List[str]]:
+        """Measured-trace stacks: encode/score only, shared-memory aware.
+
+        With a :class:`~repro.campaign.executors.SharedMemoryExecutor`
+        the ``(N, T)`` stack is published to shared memory once and
+        workers attach zero-copy row views; with a plain process pool
+        the chunk rows travel pickled; serially the views are used in
+        place.
+        """
+        n = len(population)
+        if n == 0:
+            return np.empty(0), {"golden": 0.0}, []
+        stack = population.y_stack
+        chunk_size = self.config.chunk_size
+        workers = getattr(self.executor, "max_workers", None)
+        if workers and workers > 1:
+            # Spread the rows across the whole pool (same scheduling
+            # shrink as _map_chunks; never changes results).
+            per_worker = -(-n // workers)
+            chunk_size = max(1, min(chunk_size, per_worker))
+        ranges = [(lo, min(lo + chunk_size, n))
+                  for lo in range(0, n, chunk_size)]
+        map_shared = getattr(self.executor, "map_shared", None)
+        if map_shared is not None:
+            outputs = map_shared(
+                _trace_chunk_worker_shm, stack,
+                lambda handle: [(self.config, handle, lo, hi)
+                                for lo, hi in ranges])
+        elif getattr(self.executor, "needs_picklable_work", False):
+            payloads = [(self.config, stack[lo:hi])
+                        for lo, hi in ranges]
+            outputs = self.executor.map(_trace_chunk_worker, payloads)
+        else:
+            outputs = self.executor.map(
+                lambda bounds: _trace_rows_ndfs(
+                    self.config, stack[bounds[0]:bounds[1]],
+                    self.cache), ranges)
+        timing: Dict[str, float] = {}
+        for __, section in outputs:
+            _merge_timing(timing, section)
+        values = np.concatenate([v for v, __ in outputs])
+        return values, timing, list(population.labels)
+
     def _run_cuts(self, population: CutListPopulation
                   ) -> Tuple[np.ndarray, Dict[str, float], List[str]]:
         """Generic CUTs: batched when they expose ``response``."""
@@ -317,23 +611,62 @@ class CampaignEngine:
             values, timing = _response_chunk_ndfs(
                 self.config, population.cuts, self.cache)
             return values, timing, list(population.labels)
-        # Fallback: per-CUT traces (e.g. transient-simulated CUTs),
-        # still scored against the shared cached golden.
+        # Fallback: per-CUT traces (e.g. transient-simulated CUTs) are
+        # stacked on their own shared grid, then the packed
+        # encode/score path runs once over the whole stack.  Each
+        # trace keeps its native time base (shifted to t = 0), exactly
+        # like the per-die flow.  Traces are generated one at a time
+        # and only the Y rows are retained (the stack the batch needs
+        # anyway), so memory stays O(stack), never O(N) full traces.
         timing: Dict[str, float] = {}
         t0 = time.perf_counter()
         golden = self.golden()
         timing["golden"] = time.perf_counter() - t0
         t1 = time.perf_counter()
+        first = population.cuts[0].lissajous(
+            self.config.stimulus, self.config.samples_per_period)
+        xs, first_y = first.points()
+        y_stack = np.empty((len(population), xs.size))
+        y_stack[0] = first_y
+        shared_grid = True
+        for i, cut in enumerate(population.cuts[1:], start=1):
+            trace = cut.lissajous(self.config.stimulus,
+                                  self.config.samples_per_period)
+            if not (trace.period == first.period
+                    and np.array_equal(trace.times, first.times)
+                    and np.array_equal(trace.points()[0], xs)):
+                shared_grid = False
+                break
+            y_stack[i] = trace.points()[1]
+        timing["traces"] = time.perf_counter() - t1
+        if shared_grid:
+            t2 = time.perf_counter()
+            codes = batch_codes(self.config.encoder, xs, y_stack)
+            t3 = time.perf_counter()
+            timing["encode"] = t3 - t2
+            batch = batch_extract(first.times - first.times[0], codes,
+                                  first.period)
+            t4 = time.perf_counter()
+            timing["signature"] = t4 - t3
+            values = batch.ndf_to(golden.signature)
+            timing["ndf"] = time.perf_counter() - t4
+            return values, timing, list(population.labels)
+        # Heterogeneous grids: score die by die, one trace resident at
+        # a time (rare -- mixed CUT families in one population).
+        from repro.core.ndf import ndf as _ndf
+        del y_stack
+        t2 = time.perf_counter()
         values = np.empty(len(population))
         for i, cut in enumerate(population.cuts):
             trace = cut.lissajous(self.config.stimulus,
                                   self.config.samples_per_period)
-            xs, ys = trace.points()
-            codes = batch_codes(self.config.encoder, xs, ys[None, :])[0]
+            txs, tys = trace.points()
+            codes = batch_codes(self.config.encoder, txs,
+                                tys[None, :])[0]
             observed = Signature.from_samples(
                 trace.times - trace.times[0], codes, trace.period)
-            values[i] = ndf(observed, golden.signature)
-        timing["traces+score"] = time.perf_counter() - t1
+            values[i] = _ndf(observed, golden.signature)
+        timing["encode+score"] = time.perf_counter() - t2
         return values, timing, list(population.labels)
 
     def _run_encoders(self, population: EncoderPopulation
@@ -344,7 +677,9 @@ class CampaignEngine:
         returned NDFs quantify the test margin the monitor's own
         variability consumes (the seed's per-die loop re-derived the
         golden through each varied bank and therefore measured exactly
-        zero).
+        zero).  Encoding still runs per bank (each bank draws its own
+        boundaries), but the signatures of all banks pack into one
+        batch and score through the fleet-NDF kernel.
         """
         if len(population) == 0:
             return np.empty(0), {"golden": 0.0}, []
@@ -353,11 +688,14 @@ class CampaignEngine:
         golden = self.golden()
         t1 = time.perf_counter()
         timing["golden"] = t1 - t0
-        values = np.empty(len(population))
-        for i, encoder in enumerate(population.encoders):
-            codes = batch_codes(encoder, golden.x, golden.y[None, :])[0]
-            observed = Signature.from_samples(golden.times, codes,
-                                              golden.period)
-            values[i] = ndf(observed, golden.signature)
-        timing["encode+score"] = time.perf_counter() - t1
+        code_stack = np.stack(
+            [batch_codes(encoder, golden.x, golden.y[None, :])[0]
+             for encoder in population.encoders])
+        t2 = time.perf_counter()
+        timing["encode"] = t2 - t1
+        batch = batch_extract(golden.times, code_stack, golden.period)
+        t3 = time.perf_counter()
+        timing["signature"] = t3 - t2
+        values = batch.ndf_to(golden.signature)
+        timing["ndf"] = time.perf_counter() - t3
         return values, timing, list(population.labels)

@@ -46,8 +46,11 @@ class CampaignResult:
         Ground-truth spec tolerance used by the yield statistics.
     timing:
         Wall-clock seconds per engine section: always ``total``, plus
-        ``golden`` and then ``traces``/``encode+score`` (batched
-        paths) or ``traces+score`` (the per-CUT fallback).
+        ``golden`` and the stage timings of the batched pipeline
+        (``traces``, ``encode``, ``signature``, ``ndf``).  Two paths
+        emit extra sections instead: the heterogeneous-grid CUT
+        fallback records ``encode+score`` and noise campaigns add a
+        ``noise`` stage.
     executor:
         Name of the executor that ran the campaign.
     cache_info:
@@ -181,4 +184,92 @@ class CampaignResult:
                          f"dies/s ({total * 1e3:.1f} ms total)")
         if self.cache_info is not None:
             lines.append(f"golden cache: {self.cache_info}")
+        return "\n".join(lines)
+
+
+@dataclass
+class NoiseCampaignResult:
+    """Outcome of a Section IV-C noise campaign: N dies x R repeats.
+
+    Each die is signatured ``repeats`` times under fresh measurement
+    noise (deterministically seeded per die); the matrix of NDFs
+    answers the paper's robustness question -- how often a die's noisy
+    measurement crosses the decision threshold.
+
+    Attributes
+    ----------
+    ndf_matrix:
+        ``(N, repeats)`` NDFs against the noise-free golden signature.
+    threshold:
+        Decision threshold used for detection statistics (None when the
+        campaign ran without a band).
+    labels:
+        One identifier per die.
+    tolerance:
+        Ground-truth tolerance the threshold was calibrated for.
+    timing:
+        Wall-clock seconds per engine section.
+    executor:
+        Name of the executor that ran the campaign.
+    """
+
+    ndf_matrix: np.ndarray
+    threshold: Optional[float] = None
+    labels: Optional[List[str]] = None
+    tolerance: Optional[float] = None
+    timing: Dict[str, float] = field(default_factory=dict)
+    executor: str = "serial"
+
+    def __post_init__(self) -> None:
+        self.ndf_matrix = np.atleast_2d(
+            np.asarray(self.ndf_matrix, dtype=float))
+
+    @property
+    def num_dies(self) -> int:
+        """Population size N."""
+        return int(self.ndf_matrix.shape[0])
+
+    @property
+    def repeats(self) -> int:
+        """Noisy measurements per die."""
+        return int(self.ndf_matrix.shape[1])
+
+    def detection_rates(self) -> np.ndarray:
+        """Per-die fraction of noisy measurements flagged FAIL.
+
+        Matches :meth:`repro.core.testflow.SignatureTester.
+        detection_rate`: a measurement detects when its NDF exceeds
+        the threshold.
+        """
+        if self.threshold is None:
+            raise ValueError("noise campaign ran without a decision "
+                             "band")
+        return np.mean(self.ndf_matrix > self.threshold, axis=1)
+
+    def mean_ndfs(self) -> np.ndarray:
+        """Per-die NDF mean over the noise repeats."""
+        return np.mean(self.ndf_matrix, axis=1)
+
+    def summary(self) -> str:
+        """Human-readable one-block summary (CLI / report output)."""
+        lines = [f"dies:        {self.num_dies} x {self.repeats} "
+                 f"noisy repeats",
+                 f"executor:    {self.executor}"]
+        if self.ndf_matrix.size:
+            lines.append(
+                f"NDF mean:    {float(np.mean(self.ndf_matrix)):.4f}")
+            lines.append(
+                f"NDF p95:     "
+                f"{float(np.percentile(self.ndf_matrix, 95)):.4f}")
+        if self.threshold is not None and self.ndf_matrix.size:
+            rates = self.detection_rates()
+            lines.append(
+                f"detection:   mean {float(np.mean(rates)):.1%} / "
+                f"max {float(np.max(rates)):.1%} "
+                f"(threshold {self.threshold:.4f})")
+        total = self.timing.get("total")
+        if total:
+            lines.append(f"throughput:  "
+                         f"{self.ndf_matrix.size / total:,.0f} "
+                         f"measurements/s ({total * 1e3:.1f} ms total)")
         return "\n".join(lines)

@@ -1,6 +1,6 @@
 """Population builders: what a campaign iterates over.
 
-A campaign screens one of three population kinds:
+A campaign screens one of four population kinds:
 
 * :class:`SpecPopulation` -- N Biquad design points (Monte Carlo dies,
   deviation sweeps, parameter grids, corner lists).  This is the
@@ -12,11 +12,19 @@ A campaign screens one of three population kinds:
 * :class:`EncoderPopulation` -- one fault-free CUT observed through N
   varied monitor banks (process Monte Carlo, temperature corners).  The
   trace is computed once and re-encoded per bank.
+* :class:`TracePopulation` -- N already-measured response traces on the
+  shared capture grid (instrument dumps, transient simulations).  Only
+  the encode/signature/NDF back half runs; with a
+  :class:`~repro.campaign.executors.SharedMemoryExecutor` the stack is
+  published once instead of pickled chunk by chunk.
 
 All Monte Carlo builders use :class:`numpy.random.SeedSequence` spawning
 for per-die seeding: die ``i`` of seed ``s`` draws the same parameters
 regardless of the population size or of how the executor chunks the
-work.
+work.  For fleets larger than memory, :func:`stream_montecarlo_dies`
+yields the same dies as :func:`montecarlo_dies` -- same seeds, same
+order -- in bounded-size :class:`SpecPopulation` chunks that a
+streaming campaign consumes one at a time.
 """
 
 from __future__ import annotations
@@ -80,6 +88,39 @@ class CutListPopulation:
 
 
 @dataclass
+class TracePopulation:
+    """N captured response traces ``(N, samples)`` on the shared grid.
+
+    ``y_stack`` rows are Y-channel samples on the campaign's capture
+    grid (the X channel is the shared stimulus).  This is the entry
+    point for screening *measured* waveforms: no CUT model is
+    evaluated, only the encode -> signature -> NDF back half runs.
+    """
+
+    y_stack: np.ndarray
+    labels: List[str]
+
+    def __post_init__(self) -> None:
+        self.y_stack = np.atleast_2d(np.asarray(self.y_stack,
+                                                dtype=float))
+        if len(self.labels) != self.y_stack.shape[0]:
+            raise ValueError("labels must align with the trace stack")
+
+    def __len__(self) -> int:
+        return self.y_stack.shape[0]
+
+
+def trace_population(y_stack: np.ndarray,
+                     labels: Optional[Sequence[str]] = None
+                     ) -> TracePopulation:
+    """Wrap a measured ``(N, samples)`` stack as a population."""
+    y_stack = np.atleast_2d(np.asarray(y_stack, dtype=float))
+    if labels is None:
+        labels = [f"trace{i:05d}" for i in range(y_stack.shape[0])]
+    return TracePopulation(y_stack, list(labels))
+
+
+@dataclass
 class EncoderPopulation:
     """N varied zone encoders observing one fault-free CUT."""
 
@@ -97,6 +138,23 @@ class EncoderPopulation:
 # ----------------------------------------------------------------------
 # Spec population builders
 # ----------------------------------------------------------------------
+def _die_population(golden_spec: BiquadSpec, children,
+                    sigma_f0: float, sigma_q: float,
+                    first_index: int) -> SpecPopulation:
+    """Dies drawn from spawned seed children, labelled globally."""
+    count = len(children)
+    f0_devs = np.empty(count)
+    q_devs = np.empty(count)
+    for i, child in enumerate(children):
+        rng = np.random.default_rng(child)
+        f0_devs[i] = rng.normal(0.0, sigma_f0) if sigma_f0 > 0 else 0.0
+        q_devs[i] = rng.normal(0.0, sigma_q) if sigma_q > 0 else 0.0
+    specs = [golden_spec.with_f0_deviation(float(f)).with_q_deviation(
+        float(q)) for f, q in zip(f0_devs, q_devs)]
+    labels = [f"die{first_index + i:05d}" for i in range(count)]
+    return SpecPopulation(specs, f0_devs, q_devs, labels)
+
+
 def montecarlo_dies(golden_spec: BiquadSpec, count: int,
                     sigma_f0: float = 0.03, sigma_q: float = 0.0,
                     seed: int = 0) -> SpecPopulation:
@@ -109,16 +167,35 @@ def montecarlo_dies(golden_spec: BiquadSpec, count: int,
     if count < 0:
         raise ValueError("count must be non-negative")
     children = np.random.SeedSequence(seed).spawn(count)
-    f0_devs = np.empty(count)
-    q_devs = np.empty(count)
-    for i, child in enumerate(children):
-        rng = np.random.default_rng(child)
-        f0_devs[i] = rng.normal(0.0, sigma_f0) if sigma_f0 > 0 else 0.0
-        q_devs[i] = rng.normal(0.0, sigma_q) if sigma_q > 0 else 0.0
-    specs = [golden_spec.with_f0_deviation(float(f)).with_q_deviation(
-        float(q)) for f, q in zip(f0_devs, q_devs)]
-    labels = [f"die{i:05d}" for i in range(count)]
-    return SpecPopulation(specs, f0_devs, q_devs, labels)
+    return _die_population(golden_spec, children, sigma_f0, sigma_q, 0)
+
+
+def stream_montecarlo_dies(golden_spec: BiquadSpec, count: int,
+                           chunk_size: int = 1024,
+                           sigma_f0: float = 0.03, sigma_q: float = 0.0,
+                           seed: int = 0):
+    """Generator form of :func:`montecarlo_dies` for bounded memory.
+
+    Yields :class:`SpecPopulation` chunks of at most ``chunk_size``
+    dies.  :class:`numpy.random.SeedSequence` numbers its spawned
+    children across successive ``spawn`` calls, so die ``i`` of the
+    stream draws from exactly the same child as die ``i`` of the
+    monolithic builder -- a streamed campaign's verdict vector is
+    bit-identical to the one-shot run, while only ``chunk_size``
+    specs ever exist at once.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if chunk_size < 1:
+        raise ValueError("chunk size must be >= 1")
+    sequence = np.random.SeedSequence(seed)
+    emitted = 0
+    while emitted < count:
+        take = min(chunk_size, count - emitted)
+        children = sequence.spawn(take)
+        yield _die_population(golden_spec, children, sigma_f0, sigma_q,
+                              emitted)
+        emitted += take
 
 
 def deviation_sweep_population(golden_spec: BiquadSpec,

@@ -8,8 +8,12 @@
     python -m repro sweep [--points 21]     # Fig. 8 NDF sweep
     python -m repro test --dev 0.08 [--tolerance 0.05]
                                             # one PASS/FAIL measurement
-    python -m repro campaign --dies 500 [--executor process] [--json]
+    python -m repro campaign --dies 500 [--executor pool] [--json]
                                             # batched fleet screening
+    python -m repro campaign --dies 100000 --stream
+                                            # bounded-memory streaming
+    python -m repro campaign --dies 200 --repeats 20
+                                            # Section IV-C noise repeats
 
 Every command runs on the calibrated bench of :mod:`repro.paper`; the
 CLI is intentionally thin -- anything deeper should use the library
@@ -29,6 +33,13 @@ def _non_negative_int(text: str) -> int:
     value = int(text)
     if value < 0:
         raise argparse.ArgumentTypeError("must be non-negative")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be positive")
     return value
 
 
@@ -77,11 +88,25 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--samples", type=int, default=2048,
                           help="trace samples per period")
     campaign.add_argument("--executor", default="serial",
-                          choices=["serial", "process"],
-                          help="chunk scheduler")
+                          choices=["serial", "pool", "shm", "process"],
+                          help="chunk scheduler: serial, process pool, "
+                               "or shared-memory pool ('process' is a "
+                               "legacy alias of 'pool')")
     campaign.add_argument("--workers", type=int, default=None,
-                          help="process-pool size (with "
-                               "--executor process)")
+                          help="pool size (with --executor pool/shm)")
+    campaign.add_argument("--stream", action="store_true",
+                          help="stream the population in bounded-"
+                               "memory chunks (mc scenario)")
+    campaign.add_argument("--chunk", type=_positive_int, default=1024,
+                          help="streamed chunk size (with --stream)")
+    campaign.add_argument("--repeats", type=_non_negative_int,
+                          default=0,
+                          help="noisy measurements per die (Section "
+                               "IV-C campaign; mc scenario)")
+    campaign.add_argument("--noise", type=float, default=None,
+                          help="3-sigma noise spread in volts (with "
+                               "--repeats; default: the paper's "
+                               "0.015 V)")
     campaign.add_argument("--json", action="store_true",
                           help="emit a machine-readable JSON summary")
     return parser
@@ -187,18 +212,56 @@ def _campaign_population(setup, args):
     raise AssertionError("unreachable")
 
 
-def _cmd_campaign(setup, args) -> int:
-    from repro.campaign import ProcessPoolExecutor
+def _campaign_executor(args):
+    """Executor selected on the command line (None = serial)."""
+    from repro.campaign import ProcessPoolExecutor, SharedMemoryExecutor
 
-    executor = None
-    if args.executor == "process":
-        executor = ProcessPoolExecutor(max_workers=args.workers)
+    if args.executor in ("pool", "process"):
+        return ProcessPoolExecutor(max_workers=args.workers)
+    if args.executor == "shm":
+        return SharedMemoryExecutor(max_workers=args.workers)
+    return None
+
+
+def _cmd_campaign(setup, args) -> int:
+    from repro.campaign import stream_montecarlo_dies
+
+    if (args.stream or args.repeats) and args.scenario != "mc":
+        print("--stream/--repeats require the mc scenario",
+              file=sys.stderr)
+        return 2
+    if args.stream and args.repeats:
+        print("--stream and --repeats are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.noise is not None and not args.repeats:
+        print("--noise only applies to a noise campaign; add "
+              "--repeats N", file=sys.stderr)
+        return 2
+    if args.repeats and args.executor != "serial":
+        print("noise campaigns run serially; drop --executor",
+              file=sys.stderr)
+        return 2
+    executor = _campaign_executor(args)
     engine = setup.campaign_engine(samples_per_period=args.samples,
                                    tolerance=args.tolerance,
                                    executor=executor)
-    population = _campaign_population(setup, args)
     try:
-        result = engine.run(population, band="auto")
+        if args.repeats:
+            population = _campaign_population(setup, args)
+            result = engine.run_noise(population,
+                                      repeats=args.repeats,
+                                      noise=args.noise,
+                                      seed=args.seed, band="auto")
+            return _report_noise_campaign(args, result)
+        if args.stream:
+            chunks = stream_montecarlo_dies(
+                setup.golden_spec, args.dies, chunk_size=args.chunk,
+                sigma_f0=args.sigma, seed=args.seed)
+            result = engine.run_stream(chunks, band="auto")
+        else:
+            population = _campaign_population(setup, args)
+            result = engine.run(population, band="auto")
     finally:
         if executor is not None:
             executor.shutdown()
@@ -222,6 +285,32 @@ def _cmd_campaign(setup, args) -> int:
     else:
         print(f"campaign: {args.scenario} "
               f"({result.num_dies} dies, band ±{args.tolerance:.0%})")
+        print(result.summary())
+    return 0
+
+
+def _report_noise_campaign(args, result) -> int:
+    """Print a noise-campaign result (JSON or human-readable)."""
+    if args.json:
+        import json
+
+        rates = result.detection_rates()
+        payload = {
+            "scenario": "mc+noise",
+            "dies": result.num_dies,
+            "repeats": result.repeats,
+            "threshold": result.threshold,
+            "detection_rate_mean": (float(np.mean(rates))
+                                    if result.num_dies else None),
+            "ndf_mean": (float(np.mean(result.ndf_matrix))
+                         if result.ndf_matrix.size else None),
+            "timing": result.timing,
+            "executor": result.executor,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"noise campaign: mc ({result.num_dies} dies x "
+              f"{result.repeats} repeats, band ±{args.tolerance:.0%})")
         print(result.summary())
     return 0
 

@@ -12,6 +12,7 @@
 from repro.core.boundaries import Boundary, CallableBoundary, LinearBoundary
 from repro.core.zones import ZoneEncoder, hamming_distance
 from repro.core.signature import Signature, SignatureEntry
+from repro.core.signature_batch import SignatureBatch, fleet_ndf
 from repro.core.capture import AsyncCapture, CaptureConfig, capture_signature
 from repro.core.ndf import (
     hamming_chronogram,
@@ -40,7 +41,9 @@ __all__ = [
     "ZoneEncoder",
     "hamming_distance",
     "Signature",
+    "SignatureBatch",
     "SignatureEntry",
+    "fleet_ndf",
     "AsyncCapture",
     "CaptureConfig",
     "capture_signature",

@@ -25,6 +25,7 @@ from typing import Callable, List, Tuple
 import numpy as np
 
 from repro.core.signature import Signature
+from repro.core.signature_batch import SignatureBatch
 from repro.core.zones import ZoneEncoder
 from repro.signals.lissajous import LissajousTrace
 
@@ -196,3 +197,92 @@ class AsyncCapture:
                  for c, d in zip(codes, durations_ticks) if d > 0]
         total = sum(d for _, d in pairs)
         return Signature.from_pairs(pairs, total)
+
+    def quantize_batch(self, batch: SignatureBatch) -> SignatureBatch:
+        """Clock/counter quantization of a whole packed batch at once.
+
+        Bit-identical vectorized equivalent of calling
+        :meth:`quantize` row by row (the equivalence tests assert
+        exact codes, durations and periods): transition instants round
+        up to the next master-clock edge, transitions collapsing onto
+        one edge keep only the burst's final code, dwell counts
+        saturate (or wrap) in the counter, each row's period becomes
+        its quantized tick total (summed in the scalar path's
+        sequential order), and adjacent runs left with equal codes by
+        the edge collapse are merged exactly as
+        ``Signature.from_pairs`` would merge them.  The whole pipeline
+        runs on the flat CSR arrays -- no per-die :class:`Signature`
+        objects.
+        """
+        cfg = self.config
+        n = len(batch)
+        if n == 0:
+            return batch
+        period_ticks = np.rint(batch.periods / cfg.tick).astype(np.int64)
+        if np.any(period_ticks < 1):
+            raise ValueError("period shorter than one clock tick")
+        counts = batch.runs_per_row
+        rowidx = np.repeat(np.arange(n), counts)
+        # Transition times -> next clock edge (ceil); the tick-0 head
+        # entry of each row falls out of the same expression.
+        ticks = np.ceil(batch.start_times() / cfg.tick
+                        - 1e-12).astype(np.int64)
+        # Drop transitions at or beyond the period's last edge (the
+        # scalar path's early break -- ticks are non-decreasing).
+        valid = np.flatnonzero(ticks < period_ticks[rowidx])
+        v_ticks = ticks[valid]
+        v_codes = batch.codes[valid]
+        v_rows = rowidx[valid]
+        # Transitions captured on one edge collapse: the detector sees
+        # only the final code of the burst, so keep each (row, tick)
+        # group's last entry.
+        keep = np.ones(valid.size, dtype=bool)
+        if valid.size > 1:
+            keep[:-1] = ((v_ticks[1:] != v_ticks[:-1])
+                         | (v_rows[1:] != v_rows[:-1]))
+        edges = v_ticks[keep]
+        codes = v_codes[keep]
+        rows = v_rows[keep]
+        kept_counts = np.bincount(rows, minlength=n)
+        offsets = np.concatenate([[0], np.cumsum(kept_counts)])
+        durations_ticks = np.empty(edges.size, dtype=np.int64)
+        if edges.size > 1:
+            durations_ticks[:-1] = edges[1:] - edges[:-1]
+        last = offsets[1:] - 1
+        durations_ticks[last] = period_ticks - edges[last]
+        if not cfg.wrap:
+            durations_ticks = np.minimum(durations_ticks, cfg.max_count)
+        else:
+            durations_ticks = np.mod(durations_ticks - 1,
+                                     1 << cfg.counter_bits) + 1
+        durations = durations_ticks * cfg.tick
+        # Per-row period: the scalar path sums the per-run second
+        # durations sequentially (Python sum over the pairs); a padded
+        # per-row cumsum replays exactly that left fold.
+        local = np.arange(edges.size) - offsets[rows]
+        padded = np.zeros((n, int(kept_counts.max())))
+        padded[rows, local] = durations
+        periods = np.cumsum(padded, axis=1)[np.arange(n),
+                                            kept_counts - 1]
+        # Counter saturation/wrap can leave adjacent runs carrying the
+        # same code; the scalar path's Signature construction merges
+        # them by sequentially accumulating their durations.  A padded
+        # per-group cumsum replays exactly that left fold (reduceat
+        # associates differently and drifts by an ulp).
+        heads = np.ones(edges.size, dtype=bool)
+        if edges.size > 1:
+            heads[1:] = (codes[1:] != codes[:-1]) | (rows[1:] != rows[:-1])
+        head_idx = np.flatnonzero(heads)
+        group_ids = np.cumsum(heads) - 1
+        group_counts = np.bincount(group_ids)
+        group_local = np.arange(edges.size) - head_idx[group_ids]
+        grouped = np.zeros((head_idx.size, int(group_counts.max())))
+        grouped[group_ids, group_local] = durations
+        merged_durations = np.cumsum(grouped, axis=1)[
+            np.arange(head_idx.size), group_counts - 1]
+        merged_codes = codes[head_idx]
+        merged_counts = np.bincount(rows[head_idx], minlength=n)
+        merged_offsets = np.concatenate([[0],
+                                         np.cumsum(merged_counts)])
+        return SignatureBatch(merged_codes, merged_durations,
+                              merged_offsets, periods)

@@ -75,11 +75,16 @@ class Signature:
             raise ValueError(
                 f"entry durations sum to {total}, not the period "
                 f"{self.period}")
-        starts = np.concatenate(
-            [[0.0], np.cumsum([e.duration for e in self.entries])])
+        # The introspection arrays are all precomputed once here;
+        # codes()/durations()/distinct_codes() and __hash__ serve from
+        # them instead of re-walking the entry dataclasses per call.
+        self._durations = np.asarray([e.duration for e in self.entries])
+        starts = np.concatenate([[0.0], np.cumsum(self._durations)])
         self._starts = starts  # length k+1; last value == period
         self._codes = np.asarray([e.code for e in self.entries],
                                  dtype=np.int64)
+        self._code_list: List[int] = self._codes.tolist()
+        self._hash = hash((len(self.entries), tuple(self._code_list)))
 
     # ------------------------------------------------------------------
     # Constructors
@@ -152,20 +157,19 @@ class Signature:
                         for a, b in zip(self.entries, other.entries)))
 
     def __hash__(self):
-        return hash((len(self.entries),
-                     tuple(e.code for e in self.entries)))
+        return self._hash
 
     def codes(self) -> List[int]:
         """Zone codes in traversal order."""
-        return [e.code for e in self.entries]
+        return list(self._code_list)
 
     def durations(self) -> np.ndarray:
         """Dwell times in traversal order."""
-        return np.asarray([e.duration for e in self.entries])
+        return self._durations.copy()
 
     def distinct_codes(self) -> set:
         """Set of zones visited over the period."""
-        return {e.code for e in self.entries}
+        return set(self._code_list)
 
     def start_times(self) -> np.ndarray:
         """Start time of each entry (first is 0)."""

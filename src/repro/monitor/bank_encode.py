@@ -1,0 +1,90 @@
+"""Shared-branch zone encoding for monitor banks.
+
+Encoding a ``(N, samples)`` trace stack through a
+:class:`~repro.core.zones.ZoneEncoder` made of
+:class:`~repro.monitor.comparator.MonitorBoundary` objects evaluates
+each boundary's branch-current balance independently -- yet every
+device of a Table I bank shares one MOS model card, so the expensive
+EKV term
+
+    B(v) = softplus((v - VT) / (2 n UT))^2
+
+is *the same function* for every device: per-device currents differ
+only by the ``unit_current`` prefactor.  :func:`monitor_bank_codes`
+exploits this by memoizing ``B`` per (model card, gate signal) within
+one call: for the paper bank the six y-hooked devices collapse onto a
+single ``(N, T)`` transcendental evaluation, the x-hooked ones onto a
+single ``(T,)`` one (the stimulus is shared across the population and
+is deliberately *not* broadcast), and DC-biased gates onto cached
+scalars.
+
+Bit-compatibility: the per-device current is still computed as
+``unit_current * B(gate)`` with the exact argument expression of
+:meth:`MosModel.saturation_current`, branch currents still combine as
+``(I1 + I2) - (I3 + I4)``, and the bit is still the sign test of
+:meth:`Boundary.bit` -- so the returned codes are bit-identical to
+``encoder.code(x, y)`` (asserted by the campaign equivalence tests).
+Monte Carlo-varied banks simply get less sharing: each shifted model
+card owns its own cache slot, never a wrong one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.zones import ZoneEncoder
+from repro.devices.mos_model import MosModel, softplus
+from repro.monitor.comparator import MonitorBoundary
+
+
+def _branch_table(cache: Dict[Tuple, Union[float, np.ndarray]],
+                  device: MosModel, gate, gate_key):
+    """Memoized EKV branch ``B(gate)`` for one device's model card."""
+    params = device.params
+    key = (params.polarity, params.vt0, params.n,
+           params.thermal_voltage, gate_key)
+    table = cache.get(key)
+    if table is None:
+        vgs_d = params.polarity * np.asarray(gate, dtype=float)
+        table = softplus((vgs_d - params.vt0)
+                         / (2.0 * params.n * params.thermal_voltage)) ** 2
+        cache[key] = table
+    return table
+
+
+def monitor_bank_codes(encoder: ZoneEncoder, x: np.ndarray,
+                       y: np.ndarray) -> Optional[np.ndarray]:
+    """Zone codes of a trace stack through a monitor-boundary bank.
+
+    ``x`` is the shared stimulus samples ``(T,)`` (broadcast over
+    rows), ``y`` the response stack ``(N, T)``.  Returns ``None`` when
+    the encoder contains non-monitor boundaries (callers fall back to
+    the generic per-boundary path).
+    """
+    if not all(isinstance(b, MonitorBoundary) for b in encoder.boundaries):
+        return None
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    cache: Dict[Tuple, Union[float, np.ndarray]] = {}
+    codes: Optional[np.ndarray] = None
+    for boundary in encoder.boundaries:
+        currents = []
+        for device, hookup in zip(boundary.devices,
+                                  boundary.config.hookups):
+            if hookup == "x":
+                gate, gate_key = x, "x"
+            elif hookup == "y":
+                gate, gate_key = y, "y"
+            else:
+                gate, gate_key = float(hookup), float(hookup)
+            branch = _branch_table(cache, device, gate, gate_key)
+            current = device.unit_current * branch
+            if np.ndim(current) == 0:
+                current = float(current)
+            currents.append(current)
+        balance = (currents[0] + currents[1]) - (currents[2] + currents[3])
+        bit = (balance * boundary.origin_sign < 0).astype(np.int64)
+        codes = bit if codes is None else (codes << 1) | bit
+    return codes

@@ -158,4 +158,190 @@ def test_timing_sections_recorded(engine):
     result = engine.run(montecarlo_dies(PAPER_BIQUAD, 3), band=None)
     assert result.timing["total"] > 0
     assert "golden" in result.timing
+    for stage in ("traces", "encode", "signature", "ndf"):
+        assert result.timing[stage] >= 0
     assert result.dies_per_second() > 0
+
+
+# ----------------------------------------------------------------------
+# Streaming
+# ----------------------------------------------------------------------
+def test_streamed_run_bit_identical_to_monolithic(engine):
+    from repro.campaign import stream_montecarlo_dies
+
+    monolithic = engine.run(
+        montecarlo_dies(PAPER_BIQUAD, 40, sigma_f0=0.03, seed=21),
+        band="auto")
+    streamed = engine.run_stream(
+        stream_montecarlo_dies(PAPER_BIQUAD, 40, chunk_size=7,
+                               sigma_f0=0.03, seed=21), band="auto")
+    assert np.array_equal(monolithic.ndfs, streamed.ndfs)
+    assert np.array_equal(monolithic.verdicts, streamed.verdicts)
+    assert monolithic.labels == streamed.labels
+    assert np.array_equal(monolithic.f0_deviations,
+                          streamed.f0_deviations)
+    assert streamed.executor.endswith("+stream")
+
+
+def test_run_accepts_iterator_of_raw_specs(engine):
+    """PR 1 behaviour preserved: a spec iterator is not a stream."""
+    specs = [PAPER_BIQUAD, PAPER_BIQUAD.with_f0_deviation(0.2)]
+    result = engine.run(iter(specs), band="auto")
+    assert result.num_dies == 2
+    assert not result.executor.endswith("+stream")
+    reference = engine.run(specs, band="auto")
+    assert np.array_equal(result.ndfs, reference.ndfs)
+    empty = engine.run(iter(()), band="auto")
+    assert empty.num_dies == 0
+
+
+def test_run_dispatches_generators_to_stream(engine):
+    from repro.campaign import stream_montecarlo_dies
+
+    result = engine.run(stream_montecarlo_dies(PAPER_BIQUAD, 9,
+                                               chunk_size=4, seed=2),
+                        band="auto")
+    assert result.num_dies == 9
+    assert result.executor.endswith("+stream")
+
+
+def test_stream_generator_matches_monolithic_dies():
+    from repro.campaign import stream_montecarlo_dies
+
+    whole = montecarlo_dies(PAPER_BIQUAD, 25, sigma_f0=0.04, seed=6)
+    chunks = list(stream_montecarlo_dies(PAPER_BIQUAD, 25,
+                                         chunk_size=10, sigma_f0=0.04,
+                                         seed=6))
+    assert [len(c) for c in chunks] == [10, 10, 5]
+    streamed_devs = np.concatenate([c.f0_deviations for c in chunks])
+    assert np.array_equal(whole.f0_deviations, streamed_devs)
+    streamed_labels = [label for c in chunks for label in c.labels]
+    assert whole.labels == streamed_labels
+
+
+def test_empty_stream(engine):
+    result = engine.run_stream(iter(()), band="auto")
+    assert result.num_dies == 0
+    assert result.verdicts.shape == (0,)
+
+
+def test_streamed_raw_spec_chunks_get_global_labels(engine):
+    chunks = iter([[PAPER_BIQUAD, PAPER_BIQUAD],
+                   [PAPER_BIQUAD.with_f0_deviation(0.2)]])
+    result = engine.run_stream(chunks, band=None)
+    assert result.labels == ["die00000", "die00001", "die00002"]
+
+
+# ----------------------------------------------------------------------
+# Trace populations (measured waveform stacks)
+# ----------------------------------------------------------------------
+def test_trace_population_matches_spec_population(engine):
+    from repro.campaign import trace_population
+    from repro.campaign.batch import batch_multitone_eval
+
+    population = montecarlo_dies(PAPER_BIQUAD, 10, sigma_f0=0.04,
+                                 seed=8)
+    via_specs = engine.run(population, band="auto")
+    golden = engine.golden()
+    responses = [BiquadFilter(s).response(PAPER_STIMULUS)
+                 for s in population.specs]
+    stack = batch_multitone_eval(responses, golden.times)
+    via_traces = engine.run(trace_population(stack), band="auto")
+    assert np.array_equal(via_specs.ndfs, via_traces.ndfs)
+    assert np.array_equal(via_specs.verdicts, via_traces.verdicts)
+
+
+# ----------------------------------------------------------------------
+# Noise campaigns (Section IV-C repeats)
+# ----------------------------------------------------------------------
+def test_noise_campaign_matches_per_die_reference(engine):
+    """The (N, R) stack equals a per-die loop with the same seeding."""
+    from repro.campaign.batch import (
+        batch_codes,
+        batch_extract,
+        batch_multitone_eval,
+    )
+
+    population = montecarlo_dies(PAPER_BIQUAD, 4, sigma_f0=0.04,
+                                 seed=3)
+    repeats, three_sigma, seed = 3, 0.015, 11
+    result = engine.run_noise(population, repeats=repeats,
+                              noise=three_sigma, seed=seed, band=None)
+    assert result.ndf_matrix.shape == (4, repeats)
+
+    from repro.campaign.engine import NOISE_SEED_DOMAIN
+
+    golden = engine.golden()
+    sigma = three_sigma / 3.0
+    children = np.random.SeedSequence(
+        [seed, NOISE_SEED_DOMAIN]).spawn(len(population))
+    for i, (spec, child) in enumerate(zip(population.specs, children)):
+        rng = np.random.default_rng(child)
+        noise = rng.normal(0.0, sigma,
+                           size=(repeats, 2, golden.times.size))
+        response = BiquadFilter(spec).response(PAPER_STIMULUS)
+        y = batch_multitone_eval([response], golden.times)[0]
+        for r in range(repeats):
+            codes = batch_codes(engine.config.encoder,
+                                golden.x + noise[r, 0],
+                                (y + noise[r, 1])[None, :])
+            batch = batch_extract(golden.times, codes, golden.period)
+            expected = batch.ndf_to(golden.signature)[0]
+            assert result.ndf_matrix[i, r] == expected
+
+
+def test_noise_campaign_chunk_invariant(engine):
+    """Die seeding must not depend on the engine's chunking."""
+    import dataclasses
+
+    from repro.campaign import CampaignEngine, GoldenCache
+
+    population = montecarlo_dies(PAPER_BIQUAD, 6, sigma_f0=0.03,
+                                 seed=4)
+    small_chunks = CampaignEngine(
+        dataclasses.replace(engine.config, chunk_size=4),
+        cache=GoldenCache())
+    one = engine.run_noise(population, repeats=4, seed=9, band=None)
+    other = small_chunks.run_noise(population, repeats=4, seed=9,
+                                   band=None)
+    assert np.array_equal(one.ndf_matrix, other.ndf_matrix)
+
+
+def test_noise_campaign_zero_noise_collapses_to_clean(engine):
+    population = montecarlo_dies(PAPER_BIQUAD, 5, sigma_f0=0.04,
+                                 seed=5)
+    clean = engine.run(population, band="auto")
+    noisy = engine.run_noise(population, repeats=2, noise=0.0,
+                             band="auto")
+    assert np.array_equal(noisy.ndf_matrix[:, 0], clean.ndfs)
+    assert np.array_equal(noisy.ndf_matrix[:, 1], clean.ndfs)
+    assert np.array_equal(noisy.detection_rates() == 0.0,
+                          clean.verdicts)
+
+
+def test_noise_is_decorrelated_from_die_parameters(engine):
+    """Same user seed for dies and noise must not correlate them.
+
+    Regression: noise children used to spawn from the bare
+    ``SeedSequence(seed)`` -- identical to ``montecarlo_dies`` -- so
+    die i's first noise sample was exactly its f0 deviation rescaled.
+    """
+    sigma_f0, three_sigma, seed = 0.03, 0.015, 5
+    population = montecarlo_dies(PAPER_BIQUAD, 30, sigma_f0=sigma_f0,
+                                 seed=seed)
+    from repro.campaign.engine import NOISE_SEED_DOMAIN
+
+    children = np.random.SeedSequence(
+        [seed, NOISE_SEED_DOMAIN]).spawn(len(population))
+    first_noise = np.asarray([
+        np.random.default_rng(child).normal(0.0, three_sigma / 3.0)
+        for child in children])
+    normalized_noise = first_noise / (three_sigma / 3.0)
+    normalized_devs = population.f0_deviations / sigma_f0
+    assert not np.any(np.isclose(normalized_noise, normalized_devs))
+
+
+def test_noise_campaign_validates_arguments(engine):
+    population = montecarlo_dies(PAPER_BIQUAD, 2)
+    with pytest.raises(ValueError):
+        engine.run_noise(population, repeats=0)

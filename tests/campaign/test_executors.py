@@ -9,8 +9,11 @@ from repro.campaign import (
     GoldenCache,
     ProcessPoolExecutor,
     SerialExecutor,
+    SharedMemoryExecutor,
     chunked,
     montecarlo_dies,
+    stream_montecarlo_dies,
+    trace_population,
 )
 from repro.monitor.configurations import table1_encoder
 from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
@@ -32,6 +35,18 @@ def test_chunked_preserves_order_and_content():
     assert chunked([], 3) == []
     with pytest.raises(ValueError):
         chunked(items, 0)
+
+
+def test_chunked_accepts_numpy_arrays():
+    """Arrays chunk into zero-copy row views, 1-D and 2-D alike."""
+    flat = np.arange(7)
+    chunks = chunked(flat, 3)
+    assert [c.tolist() for c in chunks] == [[0, 1, 2], [3, 4, 5], [6]]
+    assert all(c.base is flat for c in chunks)
+    stack = np.arange(12).reshape(4, 3)
+    rows = chunked(stack, 3)
+    assert [c.shape for c in rows] == [(3, 3), (1, 3)]
+    assert np.array_equal(np.vstack(rows), stack)
 
 
 def test_serial_executor_maps_in_order():
@@ -62,6 +77,78 @@ def test_process_pool_bit_identical_to_serial():
     assert np.array_equal(serial.ndfs, pooled.ndfs)
     assert np.array_equal(serial.verdicts, pooled.verdicts)
     assert pooled.executor.startswith("process-pool")
+
+
+def test_all_executors_bit_identical_including_streaming():
+    """Serial, pool and shared-memory runs -- streamed or not -- agree
+    bit for bit (the acceptance criterion)."""
+    population = montecarlo_dies(PAPER_BIQUAD, 20, sigma_f0=0.03,
+                                 seed=17)
+
+    def stream():
+        return stream_montecarlo_dies(PAPER_BIQUAD, 20, chunk_size=6,
+                                      sigma_f0=0.03, seed=17)
+
+    serial = CampaignEngine(_config(), cache=GoldenCache()).run(
+        population, band="auto")
+    results = [serial]
+    for executor_cls in (ProcessPoolExecutor, SharedMemoryExecutor):
+        with executor_cls(max_workers=2) as pool:
+            engine = CampaignEngine(_config(), cache=GoldenCache(),
+                                    executor=pool)
+            results.append(engine.run(population, band="auto"))
+            results.append(engine.run_stream(stream(), band="auto"))
+    results.append(CampaignEngine(_config(), cache=GoldenCache())
+                   .run_stream(stream(), band="auto"))
+    for other in results[1:]:
+        assert np.array_equal(serial.ndfs, other.ndfs)
+        assert np.array_equal(serial.verdicts, other.verdicts)
+
+
+def test_trace_stack_identical_across_transports():
+    """Pickled, shared-memory and in-process trace scoring agree."""
+    from repro.campaign.batch import batch_multitone_eval
+    from repro.filters.biquad import BiquadFilter
+
+    population = montecarlo_dies(PAPER_BIQUAD, 12, sigma_f0=0.04,
+                                 seed=23)
+    engine = CampaignEngine(_config(chunk_size=5), cache=GoldenCache())
+    golden = engine.golden()
+    responses = [BiquadFilter(s).response(PAPER_STIMULUS)
+                 for s in population.specs]
+    traces = trace_population(
+        batch_multitone_eval(responses, golden.times))
+
+    serial = engine.run(traces, band="auto")
+    assert serial.executor == "serial"
+    outcomes = [serial]
+    for executor_cls in (ProcessPoolExecutor, SharedMemoryExecutor):
+        with executor_cls(max_workers=2) as pool:
+            result = CampaignEngine(_config(chunk_size=5),
+                                    cache=GoldenCache(),
+                                    executor=pool).run(traces,
+                                                       band="auto")
+            outcomes.append(result)
+    assert outcomes[1].executor.startswith("process-pool")
+    assert outcomes[2].executor.startswith("shared-memory")
+    for other in outcomes[1:]:
+        assert np.array_equal(serial.ndfs, other.ndfs)
+        assert np.array_equal(serial.verdicts, other.verdicts)
+
+
+def test_shared_memory_publish_roundtrip():
+    executor = SharedMemoryExecutor(max_workers=1)
+    try:
+        stack = np.arange(12.0).reshape(3, 4)
+        handle, unlink = executor.publish(stack)
+        from repro.campaign import attach_shared_array
+
+        view, close = attach_shared_array(handle)
+        assert np.array_equal(view, stack)
+        close()
+        unlink()
+    finally:
+        executor.shutdown()
 
 
 def test_process_pool_rejects_bad_worker_count():

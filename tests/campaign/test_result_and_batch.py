@@ -73,6 +73,42 @@ def test_batch_codes_broadcasts_shared_x():
     assert np.array_equal(codes[0], encoder.code(x, y[0]))
 
 
+def test_shared_branch_codes_bit_identical_on_varied_bank():
+    """The memoized EKV fast path must not mix up varied model cards."""
+    from repro.devices.process import MonteCarloSampler
+    from repro.monitor.configurations import table1_bank
+    from repro.monitor.montecarlo import bank_samples
+    from repro.core.zones import ZoneEncoder
+
+    sampler = MonteCarloSampler(rng=5)
+    varied = bank_samples(table1_bank(), sampler, 2)
+    times = sample_times(PAPER_STIMULUS.period(), 128)
+    x = np.asarray(PAPER_STIMULUS(times))
+    y = batch_multitone_eval(
+        [BiquadFilter(PAPER_BIQUAD).response(PAPER_STIMULUS),
+         BiquadFilter(
+             PAPER_BIQUAD.with_f0_deviation(0.1)).response(
+                 PAPER_STIMULUS)], times)
+    for bank in varied:
+        encoder = ZoneEncoder(bank)
+        fast = batch_codes(encoder, x, y)
+        reference = encoder.code(np.broadcast_to(x, y.shape), y)
+        assert np.array_equal(fast, reference)
+
+
+def test_batch_codes_generic_fallback_for_linear_banks():
+    """Non-monitor boundaries take the generic broadcast path."""
+    from repro.baselines.straight_zoning import grid_line_encoder
+
+    encoder = grid_line_encoder(2, 2)
+    times = sample_times(PAPER_STIMULUS.period(), 64)
+    x = np.asarray(PAPER_STIMULUS(times))
+    y = batch_multitone_eval(
+        [BiquadFilter(PAPER_BIQUAD).response(PAPER_STIMULUS)], times)
+    codes = batch_codes(encoder, x, y)
+    assert np.array_equal(codes[0], encoder.code(x, y[0]))
+
+
 def test_batch_signatures_shares_from_samples_semantics():
     period = 1.0
     times = sample_times(period, 8)

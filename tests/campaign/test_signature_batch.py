@@ -1,0 +1,197 @@
+"""Packed SignatureBatch: extraction, fleet NDF, batched quantize."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    GoldenCache,
+    batch_codes,
+    batch_extract,
+    batch_multitone_eval,
+    batch_ndf,
+    batch_signatures,
+    montecarlo_dies,
+    sample_times,
+)
+from repro.core.capture import AsyncCapture, CaptureConfig
+from repro.core.ndf import ndf
+from repro.core.signature import Signature
+from repro.core.signature_batch import SignatureBatch, fleet_ndf
+from repro.filters.biquad import BiquadFilter
+from repro.monitor.configurations import table1_encoder
+from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+
+pytestmark = pytest.mark.campaign
+
+SAMPLES = 512
+
+
+@pytest.fixture(scope="module")
+def population_codes():
+    """(times, code stack, period, golden signature) of a small fleet."""
+    from repro.campaign import CampaignEngine
+
+    engine = CampaignEngine.from_parts(table1_encoder(), PAPER_STIMULUS,
+                                       PAPER_BIQUAD,
+                                       samples_per_period=SAMPLES,
+                                       cache=GoldenCache())
+    golden = engine.golden()
+    dies = montecarlo_dies(PAPER_BIQUAD, 24, sigma_f0=0.05, seed=17)
+    responses = [BiquadFilter(s).response(PAPER_STIMULUS)
+                 for s in dies.specs]
+    y = batch_multitone_eval(responses, golden.times)
+    codes = batch_codes(engine.config.encoder, golden.x, y)
+    return golden.times, codes, golden.period, golden.signature
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+def test_rows_bit_identical_to_from_samples(population_codes):
+    times, codes, period, __ = population_codes
+    batch = SignatureBatch.from_code_stack(times, codes, period)
+    assert len(batch) == codes.shape[0]
+    for i in range(len(batch)):
+        reference = Signature.from_samples(times, codes[i], period)
+        row = batch.row(i)
+        assert np.array_equal(row._codes, reference._codes)
+        assert np.array_equal(row.durations(), reference.durations())
+        assert np.array_equal(row._starts, reference._starts)
+
+
+def test_start_times_match_signature_starts(population_codes):
+    times, codes, period, __ = population_codes
+    batch = SignatureBatch.from_code_stack(times, codes, period)
+    starts = batch.start_times()
+    for i in range(len(batch)):
+        lo, hi = batch.row_offsets[i], batch.row_offsets[i + 1]
+        reference = Signature.from_samples(times, codes[i], period)
+        assert np.array_equal(starts[lo:hi], reference._starts[:-1])
+
+
+def test_constant_row_is_single_run():
+    times = sample_times(1.0, 16)
+    codes = np.vstack([np.full(16, 5), [0] * 8 + [1] * 8])
+    batch = SignatureBatch.from_code_stack(times, codes, 1.0)
+    assert np.array_equal(batch.runs_per_row, [1, 2])
+    assert batch.row(0).codes() == [5]
+    assert batch.row(0).durations()[0] == 1.0
+
+
+def test_from_code_stack_validates_times():
+    codes = np.zeros((2, 8), dtype=int)
+    good = sample_times(1.0, 8)
+    with pytest.raises(ValueError):
+        SignatureBatch.from_code_stack(good + 0.1, codes, 1.0)
+    with pytest.raises(ValueError):
+        SignatureBatch.from_code_stack(good, codes, 0.5)
+    with pytest.raises(ValueError):
+        SignatureBatch.from_code_stack(good[::-1], codes, 1.0)
+
+
+def test_from_signatures_roundtrip(population_codes):
+    times, codes, period, __ = population_codes
+    signatures = batch_signatures(times, codes, period)
+    packed = SignatureBatch.from_signatures(signatures)
+    assert len(packed) == len(signatures)
+    for original, row in zip(signatures, packed.to_signatures()):
+        assert np.array_equal(original._codes, row._codes)
+        assert np.array_equal(original.durations(), row.durations())
+    empty = SignatureBatch.from_signatures([])
+    assert len(empty) == 0
+
+
+def test_batch_extract_is_batch_signatures_source(population_codes):
+    times, codes, period, __ = population_codes
+    packed = batch_extract(times, codes, period)
+    unpacked = batch_signatures(times, codes, period)
+    assert [s.codes() for s in packed.to_signatures()] \
+        == [s.codes() for s in unpacked]
+
+
+# ----------------------------------------------------------------------
+# Fleet NDF
+# ----------------------------------------------------------------------
+def test_fleet_ndf_bit_identical_to_per_die(population_codes):
+    """The tentpole guarantee: no drift at all vs the scalar metric."""
+    times, codes, period, golden = population_codes
+    batch = SignatureBatch.from_code_stack(times, codes, period)
+    packed = batch.ndf_to(golden)
+    reference = batch_ndf(batch.to_signatures(), golden)
+    assert np.array_equal(packed, reference)
+    assert np.array_equal(fleet_ndf(batch, golden), packed)
+
+
+def test_fleet_ndf_zero_against_itself(population_codes):
+    times, codes, period, golden = population_codes
+    golden_stack = np.tile(golden.code_at(times), (3, 1))
+    batch = SignatureBatch.from_code_stack(times, golden_stack, period)
+    assert np.array_equal(batch.ndf_to(golden), np.zeros(3))
+
+
+def test_fleet_ndf_rejects_period_mismatch(population_codes):
+    times, codes, period, golden = population_codes
+    other = SignatureBatch.from_code_stack(
+        times / 2.0, codes, period / 2.0)
+    with pytest.raises(ValueError):
+        other.ndf_to(golden)
+
+
+def test_fleet_ndf_empty_batch(population_codes):
+    *_, golden = population_codes
+    assert SignatureBatch.from_signatures([]).ndf_to(golden).shape == (0,)
+
+
+def test_fleet_ndf_handles_hand_built_signatures():
+    golden = Signature.from_pairs([(0, 0.25), (1, 0.5), (3, 0.25)], 1.0)
+    rows = [
+        Signature.from_pairs([(0, 0.25), (1, 0.5), (3, 0.25)], 1.0),
+        Signature.from_pairs([(2, 0.6), (0, 0.4)], 1.0),
+        Signature.from_pairs([(7, 1.0)], 1.0),
+    ]
+    packed = SignatureBatch.from_signatures(rows)
+    expected = np.asarray([ndf(r, golden) for r in rows])
+    assert np.array_equal(packed.ndf_to(golden), expected)
+
+
+# ----------------------------------------------------------------------
+# Batched asynchronous capture
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("config", [
+    CaptureConfig(clock_hz=10e6, counter_bits=16),
+    CaptureConfig(clock_hz=2e6, counter_bits=6),      # saturating
+    CaptureConfig(clock_hz=2e6, counter_bits=6, wrap=True),
+])
+def test_quantize_batch_bit_identical_to_scalar(population_codes,
+                                                config):
+    times, codes, period, golden = population_codes
+    capture = AsyncCapture(table1_encoder(), config)
+    batch = SignatureBatch.from_code_stack(times, codes, period)
+    quantized = capture.quantize_batch(batch)
+    assert len(quantized) == len(batch)
+    scalars = [capture.quantize(batch.row(i))
+               for i in range(len(batch))]
+    for i, scalar in enumerate(scalars):
+        row = quantized.row(i)
+        assert row.codes() == scalar.codes()
+        assert np.array_equal(row.durations(), scalar.durations())
+        assert quantized.periods[i] == scalar.period
+    # The packed quantized batch must also score bit-identically to
+    # the scalar quantize -> ndf path.
+    reference = np.asarray([ndf(s, golden) for s in scalars])
+    assert np.array_equal(quantized.ndf_to(golden), reference)
+
+
+def test_quantize_batch_empty():
+    capture = AsyncCapture(table1_encoder())
+    empty = SignatureBatch.from_signatures([])
+    assert len(capture.quantize_batch(empty)) == 0
+
+
+def test_quantize_batch_rejects_subtick_period():
+    capture = AsyncCapture(table1_encoder(),
+                           CaptureConfig(clock_hz=1.0))
+    batch = SignatureBatch.from_signatures(
+        [Signature.from_pairs([(1, 0.25)], 0.25)])
+    with pytest.raises(ValueError):
+        capture.quantize_batch(batch)

@@ -87,3 +87,84 @@ def test_campaign_faults(capsys):
     assert verdicts is not None
     # Opens/shorts are gross defects: most of the universe must fail.
     assert int(verdicts.group(2)) > int(verdicts.group(1))
+
+
+def test_campaign_executor_pool(capsys):
+    assert main(["campaign", "--dies", "6", "--samples", "512",
+                 "--executor", "pool", "--workers", "2",
+                 "--json"]) == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["executor"].startswith("process-pool")
+    assert payload["pass"] + payload["fail"] == 6
+
+
+def test_campaign_executor_shm(capsys):
+    assert main(["campaign", "--dies", "6", "--samples", "512",
+                 "--executor", "shm", "--workers", "2", "--json"]) == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["executor"].startswith("shared-memory")
+
+
+def test_campaign_stream_matches_monolithic(capsys):
+    assert main(["campaign", "--dies", "20", "--samples", "512",
+                 "--seed", "3", "--json"]) == 0
+    import json
+
+    monolithic = json.loads(capsys.readouterr().out)
+    assert main(["campaign", "--dies", "20", "--samples", "512",
+                 "--seed", "3", "--stream", "--chunk", "6",
+                 "--json"]) == 0
+    streamed = json.loads(capsys.readouterr().out)
+    assert streamed["executor"] == "serial+stream"
+    assert (streamed["pass"], streamed["fail"]) \
+        == (monolithic["pass"], monolithic["fail"])
+    assert streamed["ndf_mean"] == monolithic["ndf_mean"]
+
+
+def test_campaign_noise_repeats(capsys):
+    assert main(["campaign", "--dies", "4", "--samples", "512",
+                 "--repeats", "5", "--json"]) == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["scenario"] == "mc+noise"
+    assert payload["repeats"] == 5
+    assert payload["dies"] == 4
+    assert 0.0 <= payload["detection_rate_mean"] <= 1.0
+
+
+def test_campaign_noise_human_readable(capsys):
+    assert main(["campaign", "--dies", "3", "--samples", "512",
+                 "--repeats", "4", "--noise", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert "3 dies x 4 repeats" in out
+    assert "detection:" in out
+
+
+def test_campaign_stream_requires_mc_scenario(capsys):
+    assert main(["campaign", "--scenario", "corners", "--stream",
+                 "--samples", "512"]) == 2
+    assert main(["campaign", "--stream", "--repeats", "2",
+                 "--samples", "512"]) == 2
+
+
+def test_campaign_noise_flag_requires_repeats(capsys):
+    assert main(["campaign", "--dies", "4", "--samples", "512",
+                 "--noise", "0.01"]) == 2
+    assert "--repeats" in capsys.readouterr().err
+
+
+def test_campaign_noise_rejects_pool_executor(capsys):
+    assert main(["campaign", "--dies", "4", "--samples", "512",
+                 "--repeats", "3", "--executor", "pool"]) == 2
+    assert "serial" in capsys.readouterr().err
+
+
+def test_campaign_chunk_must_be_positive():
+    with pytest.raises(SystemExit):
+        main(["campaign", "--stream", "--chunk", "0",
+              "--samples", "512"])
