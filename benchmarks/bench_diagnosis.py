@@ -1,0 +1,237 @@
+"""Fault-dictionary diagnosis at fleet scale: speedup, parity, guard.
+
+Proofs for the :mod:`repro.diagnosis` subsystem:
+
+* **one-pass fleet matching** -- the batched matcher diagnoses a
+  >= 1000-die failing fleet against the full fault universe in a
+  single call, and beats the per-die reference loop (unpacked
+  ``Signature`` objects + scalar ``ndf()`` per dictionary fault) by a
+  wide margin;
+* **reference parity** -- batched distances, top-k candidate order
+  and margins are identical to the per-die loop (the fleet-NDF kernel
+  is bit-compatible with the scalar metric);
+* **diagnosis quality** -- on the perturbed fleet, top-1 accuracy up
+  to ambiguity groups stays high; the confusion matrix is persisted
+  as a CI artifact;
+* **stage-timing regression guard** -- per-die match cost is compared
+  against the committed ``diagnosis_per_die_s`` baseline in
+  ``benchmarks/baselines/campaign_stages.json`` with the same
+  ``CAMPAIGN_STAGE_TOLERANCE`` budget as the campaign stages.
+
+Population sizes honour ``DIAG_BENCH_FLEET`` (failing-fleet target,
+default 1000) and ``DIAG_BENCH_REFERENCE`` (per-die reference
+subsample, default 200) so the CI smoke job can run a reduced fleet.
+Timing/confusion JSON lands under ``benchmarks/reports/`` for the CI
+artifact upload.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.analysis import (
+    Comparison,
+    banner,
+    comparison_table,
+    format_table,
+)
+from repro.campaign import GoldenCache
+from repro.diagnosis import (
+    DictionaryMatcher,
+    ambiguity_groups,
+    compile_fault_dictionary,
+    fault_distance_matrix,
+    perturbed_fault_fleet,
+)
+from repro.filters.towthomas import TowThomasValues
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+BASELINE_PATH = (pathlib.Path(__file__).parent / "baselines"
+                 / "campaign_stages.json")
+
+FLEET_N = int(os.environ.get("DIAG_BENCH_FLEET", "1000"))
+REFERENCE_N = int(os.environ.get("DIAG_BENCH_REFERENCE", "200"))
+STAGE_TOLERANCE = float(os.environ.get("CAMPAIGN_STAGE_TOLERANCE",
+                                       "5.0"))
+
+
+def _write_json(name: str, payload: dict) -> None:
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[timing JSON saved to {path}]")
+
+
+def _screened_fleet(bench_setup, target_failing: int, seed: int):
+    """(engine, dictionary, truth, campaign result) of a faulty fleet.
+
+    ``per_fault`` is sized so at least ``target_failing`` dies fail
+    the screen (the escapes of undetectable faults never reach the
+    matcher).
+    """
+    engine = bench_setup.campaign_engine(samples_per_period=2048,
+                                         tolerance=0.05,
+                                         cache=GoldenCache())
+    dictionary = compile_fault_dictionary(engine)
+    detectable = int(np.count_nonzero(dictionary.detectable()))
+    per_fault = -(-target_failing // max(1, detectable))
+    values = TowThomasValues.from_spec(bench_setup.golden_spec)
+    population, truth = perturbed_fault_fleet(
+        values, dictionary.faults, per_fault=per_fault, sigma=0.02,
+        seed=seed)
+    result = engine.run(population, band=float(dictionary.threshold),
+                        keep_signatures=True)
+    return engine, dictionary, truth, result
+
+
+def test_fleet_matching_scales_and_matches_reference(bench_setup,
+                                                     report_writer):
+    """>= 1000 failing dies x full universe in one batched pass."""
+    target = FLEET_N
+    __, dictionary, truth, result = _screened_fleet(bench_setup,
+                                                    target, seed=101)
+    failing = result.failing_indices()
+    batch = result.signature_batch.select(failing)
+    matcher = DictionaryMatcher(dictionary)
+
+    t0 = time.perf_counter()
+    diagnosis = matcher.match(batch, top_k=3)
+    t_batched = time.perf_counter() - t0
+
+    # Per-die reference on a subsample (the loop is the slow part
+    # being replaced; extrapolating its cost from a subsample is fair
+    # because it is embarrassingly linear in N).
+    sub = min(REFERENCE_N, len(batch))
+    sub_batch = batch.select(np.arange(sub))
+    t0 = time.perf_counter()
+    reference = matcher.match_reference(sub_batch, top_k=3)
+    t_reference_sub = time.perf_counter() - t0
+    t_reference = t_reference_sub * (len(batch) / max(1, sub))
+
+    identical_distances = bool(np.array_equal(
+        diagnosis.distances[:sub], reference.distances))
+    identical_topk = bool(np.array_equal(
+        diagnosis.top_indices[:sub], reference.top_indices))
+    speedup = t_reference / t_batched
+    accuracy = diagnosis.accuracy(truth[failing])
+    groups = ambiguity_groups(
+        dictionary, matrix=fault_distance_matrix(dictionary))
+    group_accuracy = diagnosis.group_accuracy(truth[failing], groups)
+
+    required_speedup = 3.0 if len(batch) >= 500 else 1.5
+    rows = [["failing dies", str(len(batch))],
+            ["dictionary faults", str(len(dictionary))],
+            ["batched match", f"{t_batched * 1e3:.1f} ms"],
+            ["per-die reference (extrapolated)",
+             f"{t_reference * 1e3:.1f} ms"],
+            ["speedup", f"{speedup:.1f}x"],
+            ["top-1 accuracy", f"{accuracy:.1%}"],
+            ["group-aware top-1", f"{group_accuracy:.1%}"]]
+    comparisons = [
+        Comparison("fleet size", f">= {min(target, FLEET_N)}",
+                   str(len(batch)), match=len(batch) >= target),
+        Comparison("distances vs per-die loop", "identical",
+                   str(identical_distances),
+                   match=identical_distances),
+        Comparison("top-k order vs per-die loop", "identical",
+                   str(identical_topk), match=identical_topk),
+        Comparison("batched speedup", f">= {required_speedup:.0f}x",
+                   f"{speedup:.1f}x", match=speedup >= required_speedup),
+        Comparison("group-aware top-1", ">= 80%",
+                   f"{group_accuracy:.1%}", match=group_accuracy >= 0.8),
+    ]
+    report_writer("diagnosis_fleet_matching", "\n".join([
+        banner(f"DIAGNOSIS: {len(batch)}-die fleet matching"),
+        format_table(["quantity", "value"], rows),
+        "",
+        comparison_table(comparisons),
+    ]))
+    _write_json("diagnosis_scaling", {
+        "failing_dies": len(batch),
+        "dictionary_faults": len(dictionary),
+        "t_batched_match_s": t_batched,
+        "t_reference_subsample_s": t_reference_sub,
+        "reference_subsample": sub,
+        "t_reference_extrapolated_s": t_reference,
+        "speedup": speedup,
+        "top1_accuracy": accuracy,
+        "group_top1_accuracy": group_accuracy,
+        "match_sections": diagnosis.timing,
+    })
+
+    assert len(batch) >= target
+    assert identical_distances
+    assert identical_topk
+    assert speedup >= required_speedup
+    assert group_accuracy >= 0.8
+
+
+def test_confusion_artifact_and_stage_guard(bench_setup,
+                                            report_writer):
+    """Confusion JSON artifact plus the per-die match-cost guard."""
+    from repro.diagnosis import confusion_study
+
+    engine = bench_setup.campaign_engine(samples_per_period=2048,
+                                         tolerance=0.05,
+                                         cache=GoldenCache())
+    dictionary = compile_fault_dictionary(engine)
+    study = confusion_study(engine, dictionary,
+                            per_fault=max(3, min(10, FLEET_N // 50)),
+                            sigma=0.02, seed=7)
+    groups = ambiguity_groups(
+        dictionary, matrix=fault_distance_matrix(dictionary))
+
+    # Per-die match cost guard: best of three fleet matches against
+    # the committed diagnosis baseline.
+    failing = study.diagnosis
+    n = max(1, failing.num_dies)
+    matcher = DictionaryMatcher(dictionary)
+    batch = failing.batch
+    best = float("inf")
+    for __ in range(3):
+        t0 = time.perf_counter()
+        matcher.match(batch, top_k=3)
+        best = min(best, time.perf_counter() - t0)
+    per_die = best / n
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    budget_per_die = (baseline["diagnosis_per_die_s"]["match"]
+                      * STAGE_TOLERANCE)
+    rows = [["detected dies", str(failing.num_dies)],
+            ["accuracy", f"{study.accuracy:.1%}"],
+            ["group-aware accuracy",
+             f"{study.group_accuracy(groups):.1%}"],
+            ["match/die", f"{per_die * 1e6:.1f} us"],
+            ["budget/die", f"{budget_per_die * 1e6:.1f} us"]]
+    comparisons = [
+        Comparison("match cost per die",
+                   f"<= {budget_per_die * 1e6:.1f} us "
+                   f"({STAGE_TOLERANCE:.0f}x baseline)",
+                   f"{per_die * 1e6:.1f} us",
+                   match=per_die <= budget_per_die),
+    ]
+    report_writer("diagnosis_confusion", "\n".join([
+        banner("DIAGNOSIS: confusion study + stage guard"),
+        format_table(["quantity", "value"], rows),
+        "",
+        comparison_table(comparisons),
+        "",
+        study.summary(),
+    ]))
+    _write_json("diagnosis_confusion", {
+        "confusion": study.to_payload(),
+        "group_accuracy": study.group_accuracy(groups),
+        "ambiguity_groups": [[dictionary.labels[i] for i in group]
+                             for group in groups if len(group) > 1],
+        "match_per_die_s": per_die,
+        "baseline_match_per_die_s":
+            baseline["diagnosis_per_die_s"]["match"],
+        "tolerance": STAGE_TOLERANCE,
+    })
+
+    assert per_die <= budget_per_die, (
+        f"diagnosis match stage regressed beyond "
+        f"{STAGE_TOLERANCE:.0f}x the committed baseline")

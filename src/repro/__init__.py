@@ -18,6 +18,9 @@ The library implements the paper's full stack:
 * ``repro.analysis`` -- chronograms, sweeps and report formatting
 * ``repro.campaign`` -- batched fleet-scale test campaigns (cached
   golden signatures, vectorized scoring, serial/process-pool executors)
+* ``repro.diagnosis`` -- signature-space fault dictionaries, batched
+  fleet diagnosis (which fault produced this failing signature?) and
+  ambiguity/coverage analysis
 """
 
 __version__ = "1.0.0"
@@ -30,7 +33,9 @@ from repro._api import (
     PAPER_STIMULUS,
     CampaignEngine,
     CampaignResult,
+    FaultDictionary,
     PaperSetup,
+    compile_fault_dictionary,
     noisy_paper_setup,
     paper_setup,
 )
@@ -39,6 +44,8 @@ __all__ = [
     "__version__",
     "CampaignEngine",
     "CampaignResult",
+    "FaultDictionary",
+    "compile_fault_dictionary",
     "FIG6_ZONE_CODES",
     "FIG7_NDF_10PCT",
     "PAPER_BIQUAD",

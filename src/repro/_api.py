@@ -8,6 +8,7 @@ True
 """
 
 from repro.campaign import CampaignEngine, CampaignResult
+from repro.diagnosis import FaultDictionary, compile_fault_dictionary
 from repro.paper import (
     FIG6_ZONE_CODES,
     FIG7_NDF_10PCT,
@@ -22,6 +23,8 @@ from repro.paper import (
 __all__ = [
     "CampaignEngine",
     "CampaignResult",
+    "FaultDictionary",
+    "compile_fault_dictionary",
     "FIG6_ZONE_CODES",
     "FIG7_NDF_10PCT",
     "PAPER_BIQUAD",

@@ -72,6 +72,7 @@ from repro.campaign.scenarios import (
 )
 from repro.core.decision import DecisionBand, ThresholdCalibration
 from repro.core.signature import Signature
+from repro.core.signature_batch import SignatureBatch
 from repro.core.zones import ZoneEncoder
 from repro.filters.biquad import BiquadFilter, BiquadSpec
 from repro.signals.multitone import Multitone
@@ -140,8 +141,14 @@ def _golden_artifacts(config: CampaignConfig,
 
 def _score_code_stack(config: CampaignConfig, golden: GoldenArtifacts,
                       x: np.ndarray, y: np.ndarray,
-                      timing: Dict[str, float]) -> np.ndarray:
-    """Encode -> pack -> fleet-NDF one trace stack, timing each stage."""
+                      timing: Dict[str, float], collect: bool = False
+                      ) -> Tuple[np.ndarray, Optional[SignatureBatch]]:
+    """Encode -> pack -> fleet-NDF one trace stack, timing each stage.
+
+    With ``collect`` the packed :class:`SignatureBatch` of the stack is
+    returned alongside the NDFs (the diagnosis subsystem consumes it);
+    otherwise the batch is released with the chunk.
+    """
     t0 = time.perf_counter()
     codes = batch_codes(config.encoder, x, y)
     t1 = time.perf_counter()
@@ -151,12 +158,13 @@ def _score_code_stack(config: CampaignConfig, golden: GoldenArtifacts,
     timing["signature"] = timing.get("signature", 0.0) + (t2 - t1)
     values = batch.ndf_to(golden.signature)
     timing["ndf"] = timing.get("ndf", 0.0) + (time.perf_counter() - t2)
-    return values
+    return values, (batch if collect else None)
 
 
 def _response_chunk_ndfs(config: CampaignConfig, cuts: Sequence,
-                         cache: GoldenCache
-                         ) -> Tuple[np.ndarray, Dict[str, float]]:
+                         cache: GoldenCache, collect: bool = False
+                         ) -> Tuple[np.ndarray, Dict[str, float],
+                                    Optional[SignatureBatch]]:
     """NDFs of a chunk of linear CUTs (objects with ``response``)."""
     timing: Dict[str, float] = {}
     t0 = time.perf_counter()
@@ -167,52 +175,61 @@ def _response_chunk_ndfs(config: CampaignConfig, cuts: Sequence,
     y = batch_multitone_eval(responses, golden.times)
     t2 = time.perf_counter()
     timing["traces"] = t2 - t1
-    values = _score_code_stack(config, golden, golden.x, y, timing)
-    return values, timing
+    values, batch = _score_code_stack(config, golden, golden.x, y,
+                                      timing, collect)
+    return values, timing, batch
 
 
-def _spec_chunk_worker(payload: Tuple[CampaignConfig, Tuple[BiquadSpec, ...]]
-                       ) -> Tuple[np.ndarray, Dict[str, float]]:
+def _spec_chunk_worker(payload
+                       ) -> Tuple[np.ndarray, Dict[str, float],
+                                  Optional[SignatureBatch]]:
     """Pool-side entry point; uses the worker process' default cache."""
-    config, specs = payload
+    config, specs, collect = payload
     cuts = [BiquadFilter(spec) for spec in specs]
-    return _response_chunk_ndfs(config, cuts, DEFAULT_CACHE)
+    return _response_chunk_ndfs(config, cuts, DEFAULT_CACHE, collect)
 
 
 def _trace_rows_ndfs(config: CampaignConfig, y_rows: np.ndarray,
-                     cache: GoldenCache
-                     ) -> Tuple[np.ndarray, Dict[str, float]]:
+                     cache: GoldenCache, collect: bool = False
+                     ) -> Tuple[np.ndarray, Dict[str, float],
+                                Optional[SignatureBatch]]:
     """NDFs of a slice of measured traces on the shared grid."""
     timing: Dict[str, float] = {}
     t0 = time.perf_counter()
     golden = _golden_artifacts(config, cache)
     timing["golden"] = time.perf_counter() - t0
-    values = _score_code_stack(config, golden, golden.x, y_rows, timing)
-    return values, timing
+    values, batch = _score_code_stack(config, golden, golden.x, y_rows,
+                                      timing, collect)
+    return values, timing, batch
 
 
-def _trace_chunk_worker(payload) -> Tuple[np.ndarray, Dict[str, float]]:
+def _trace_chunk_worker(payload
+                        ) -> Tuple[np.ndarray, Dict[str, float],
+                                   Optional[SignatureBatch]]:
     """Pool-side trace scoring: the chunk's rows travel pickled."""
-    config, y_rows = payload
-    return _trace_rows_ndfs(config, np.asarray(y_rows), DEFAULT_CACHE)
+    config, y_rows, collect = payload
+    return _trace_rows_ndfs(config, np.asarray(y_rows), DEFAULT_CACHE,
+                            collect)
 
 
 def _trace_chunk_worker_shm(payload
-                            ) -> Tuple[np.ndarray, Dict[str, float]]:
+                            ) -> Tuple[np.ndarray, Dict[str, float],
+                                       Optional[SignatureBatch]]:
     """Pool-side trace scoring against a shared-memory stack.
 
-    The payload carries only ``(config, handle, start, stop)``: the
-    worker attaches a zero-copy view of the published ``(N, T)`` stack
-    and scores its row slice -- nothing bulky crosses the pickle
-    boundary in either direction except the per-row NDFs.
+    The payload carries only ``(config, handle, start, stop,
+    collect)``: the worker attaches a zero-copy view of the published
+    ``(N, T)`` stack and scores its row slice -- nothing bulky crosses
+    the pickle boundary in either direction except the per-row NDFs
+    (plus the packed signature rows when the campaign collects them).
     """
     from repro.campaign.executors import attach_shared_array
 
-    config, handle, start, stop = payload
+    config, handle, start, stop, collect = payload
     stack, close = attach_shared_array(handle)
     try:
         return _trace_rows_ndfs(config, stack[start:stop],
-                                DEFAULT_CACHE)
+                                DEFAULT_CACHE, collect)
     finally:
         close()
 
@@ -253,8 +270,22 @@ def _noise_chunk_ndfs(config: CampaignConfig,
     else:
         y_stack = np.repeat(y, repeats, axis=0)
     timing["noise"] = time.perf_counter() - t2
-    values = _score_code_stack(config, golden, x_stack, y_stack, timing)
+    values, __ = _score_code_stack(config, golden, x_stack, y_stack,
+                                   timing)
     return values.reshape(n, repeats), timing
+
+
+def _noise_chunk_worker(payload) -> Tuple[np.ndarray, Dict[str, float]]:
+    """Pool-side noise-campaign entry point.
+
+    The payload carries the chunk's specs and their pre-spawned seed
+    children; since every die's noise is a pure function of its child,
+    the matrix is independent of how the executor chunks the fleet --
+    pool and serial runs are bit-identical.
+    """
+    config, specs, children, repeats, three_sigma = payload
+    return _noise_chunk_ndfs(config, specs, children, repeats,
+                             three_sigma, DEFAULT_CACHE)
 
 
 def _merge_timing(total: Dict[str, float],
@@ -313,7 +344,7 @@ class CampaignEngine:
         def compute() -> ThresholdCalibration:
             population = deviation_sweep_population(
                 self.config.golden_spec, devs)
-            values, __ = _response_chunk_ndfs(
+            values, __, __ = _response_chunk_ndfs(
                 self.config, population.cuts(), self.cache)
             return ThresholdCalibration(np.asarray(devs), values)
 
@@ -329,14 +360,20 @@ class CampaignEngine:
     # Campaign entry points
     # ------------------------------------------------------------------
     def run(self, population: Union[Population, Iterable],
-            band: Union[None, str, float, DecisionBand] = "auto"
-            ) -> CampaignResult:
+            band: Union[None, str, float, DecisionBand] = "auto",
+            keep_signatures: bool = False) -> CampaignResult:
         """Screen a whole population and collect fleet statistics.
 
         ``band`` selects the verdict policy: ``"auto"`` calibrates the
         Fig. 8 band for the configured tolerance, a float is a raw NDF
         threshold, a :class:`DecisionBand` is used as-is and ``None``
         skips verdicts (NDFs only).
+
+        ``keep_signatures`` retains the fleet's packed
+        :class:`~repro.core.signature_batch.SignatureBatch` on the
+        result (one row per die, in population order), which
+        :meth:`CampaignResult.diagnose` feeds to the fault-dictionary
+        matcher of :mod:`repro.diagnosis`.
 
         The configured executor parallelizes *spec* populations (the
         chunkable fast path) and trace stacks; cut and encoder
@@ -352,32 +389,36 @@ class CampaignEngine:
             try:
                 first = next(population)
             except StopIteration:
-                return self.run_stream(iter(()), band)
+                return self.run_stream(iter(()), band, keep_signatures)
             rest = itertools.chain([first], population)
             if isinstance(first, BiquadSpec):
                 population = list(rest)
             else:
-                return self.run_stream(rest, band)
+                return self.run_stream(rest, band, keep_signatures)
         start = time.perf_counter()
         population = self._as_population(population)
         threshold = self._resolve_threshold(band)
         if isinstance(population, SpecPopulation):
-            values, timing, labels = self._run_specs(population)
+            values, timing, labels, batch = self._run_specs(
+                population, keep_signatures)
             f0_devs = population.f0_deviations
             q_devs = population.q_deviations
             executor_name = getattr(self.executor, "name", "custom")
         elif isinstance(population, TracePopulation):
-            values, timing, labels = self._run_traces(population)
+            values, timing, labels, batch = self._run_traces(
+                population, keep_signatures)
             f0_devs = q_devs = None
             executor_name = getattr(self.executor, "name", "custom")
         elif isinstance(population, CutListPopulation):
-            values, timing, labels = self._run_cuts(population)
+            values, timing, labels, batch = self._run_cuts(
+                population, keep_signatures)
             f0_devs = q_devs = None
             # Cut/encoder populations run in process: their per-die
             # work is one vector op, not worth shipping to a pool.
             executor_name = "serial"
         else:
-            values, timing, labels = self._run_encoders(population)
+            values, timing, labels, batch = self._run_encoders(
+                population, keep_signatures)
             f0_devs = q_devs = None
             executor_name = "serial"
         verdicts = None if threshold is None else values <= threshold
@@ -386,11 +427,12 @@ class CampaignEngine:
             ndfs=values, threshold=threshold, verdicts=verdicts,
             f0_deviations=f0_devs, q_deviations=q_devs, labels=labels,
             tolerance=self.config.tolerance, timing=timing,
-            executor=executor_name, cache_info=self.cache.info)
+            executor=executor_name, cache_info=self.cache.info,
+            signature_batch=batch)
 
     def run_stream(self, chunks: Iterable,
-                   band: Union[None, str, float, DecisionBand] = "auto"
-                   ) -> CampaignResult:
+                   band: Union[None, str, float, DecisionBand] = "auto",
+                   keep_signatures: bool = False) -> CampaignResult:
         """Screen a stream of population chunks at bounded memory.
 
         ``chunks`` yields :class:`SpecPopulation` instances (or raw
@@ -399,7 +441,9 @@ class CampaignEngine:
         chunk runs through the configured executor and is released
         before the next is drawn, so peak RSS scales with the chunk
         size, not the fleet size; verdict vectors are bit-identical to
-        the monolithic run over the concatenated population.
+        the monolithic run over the concatenated population.  (With
+        ``keep_signatures`` the retained batch grows with the fleet,
+        trading the memory bound for diagnosability.)
         """
         start = time.perf_counter()
         threshold = self._resolve_threshold(band)
@@ -407,6 +451,7 @@ class CampaignEngine:
         value_parts: List[np.ndarray] = []
         f0_parts: List[np.ndarray] = []
         q_parts: List[np.ndarray] = []
+        batch_parts: List[SignatureBatch] = []
         labels: List[str] = []
         for chunk in chunks:
             # Raw spec-sequence chunks get placeholder labels numbered
@@ -417,10 +462,13 @@ class CampaignEngine:
             if not isinstance(chunk, SpecPopulation):
                 raise TypeError("streamed campaigns consume spec "
                                 "population chunks")
-            values, section, chunk_labels = self._run_specs(chunk)
+            values, section, chunk_labels, batch = self._run_specs(
+                chunk, keep_signatures)
             value_parts.append(values)
             f0_parts.append(chunk.f0_deviations)
             q_parts.append(chunk.q_deviations)
+            if batch is not None:
+                batch_parts.append(batch)
             labels.extend(chunk_labels)
             _merge_timing(timing, section)
         values = (np.concatenate(value_parts) if value_parts
@@ -428,6 +476,8 @@ class CampaignEngine:
         f0_devs = (np.concatenate(f0_parts) if f0_parts
                    else np.empty(0))
         q_devs = np.concatenate(q_parts) if q_parts else np.empty(0)
+        batch = (SignatureBatch.concatenate(batch_parts)
+                 if keep_signatures else None)
         verdicts = None if threshold is None else values <= threshold
         timing["total"] = time.perf_counter() - start
         name = getattr(self.executor, "name", "custom") + "+stream"
@@ -435,7 +485,8 @@ class CampaignEngine:
             ndfs=values, threshold=threshold, verdicts=verdicts,
             f0_deviations=f0_devs, q_deviations=q_devs, labels=labels,
             tolerance=self.config.tolerance, timing=timing,
-            executor=name, cache_info=self.cache.info)
+            executor=name, cache_info=self.cache.info,
+            signature_batch=batch)
 
     def run_noise(self, population: Union[SpecPopulation,
                                           Sequence[BiquadSpec]],
@@ -458,6 +509,12 @@ class CampaignEngine:
         independent of chunking, and a distinct entropy domain from
         the population builders, so noise never correlates with the
         process deviations drawn from the same user seed.
+
+        The ``(die, repeat)`` chunks fan out over the configured
+        executor exactly like the clean campaign's spec chunks; since
+        chunking never reshuffles the per-die seed children, pool and
+        serial runs produce bit-identical NDF matrices (and hence
+        detection rates).
         """
         if repeats < 1:
             raise ValueError("need at least one noisy repeat")
@@ -472,26 +529,37 @@ class CampaignEngine:
         if not isinstance(population, SpecPopulation):
             raise TypeError("noise campaigns run over spec populations")
         threshold = self._resolve_threshold(band)
+        n = len(population)
         children = np.random.SeedSequence(
-            [seed, NOISE_SEED_DOMAIN]).spawn(len(population))
-        die_chunk = max(1, self.config.chunk_size // repeats)
+            [seed, NOISE_SEED_DOMAIN]).spawn(n)
+        die_chunk = self._pool_chunk_size(
+            n, max(1, self.config.chunk_size // repeats))
+        ranges = [(lo, min(lo + die_chunk, n))
+                  for lo in range(0, n, die_chunk)]
+        if getattr(self.executor, "needs_picklable_work", False):
+            payloads = [(self.config,
+                         tuple(population.specs[lo:hi]),
+                         tuple(children[lo:hi]), repeats, three_sigma)
+                        for lo, hi in ranges]
+            outputs = self.executor.map(_noise_chunk_worker, payloads)
+        else:
+            outputs = self.executor.map(
+                lambda bounds: _noise_chunk_ndfs(
+                    self.config,
+                    population.specs[bounds[0]:bounds[1]],
+                    children[bounds[0]:bounds[1]], repeats,
+                    three_sigma, self.cache), ranges)
         timing: Dict[str, float] = {}
-        parts: List[np.ndarray] = []
-        for lo in range(0, len(population), die_chunk):
-            hi = min(lo + die_chunk, len(population))
-            values, section = _noise_chunk_ndfs(
-                self.config, population.specs[lo:hi], children[lo:hi],
-                repeats, three_sigma, self.cache)
-            parts.append(values)
+        for __, section in outputs:
             _merge_timing(timing, section)
-        matrix = (np.concatenate(parts, axis=0) if parts
-                  else np.empty((0, repeats)))
+        matrix = (np.concatenate([v for v, __ in outputs], axis=0)
+                  if outputs else np.empty((0, repeats)))
         timing["total"] = time.perf_counter() - start
         return NoiseCampaignResult(
             ndf_matrix=matrix, threshold=threshold,
             labels=list(population.labels),
             tolerance=self.config.tolerance, timing=timing,
-            executor="serial")
+            executor=getattr(self.executor, "name", "custom"))
 
     # ------------------------------------------------------------------
     # Population runners
@@ -521,45 +589,68 @@ class CampaignEngine:
             return self.band().threshold
         return float(band)
 
-    def _map_chunks(self, cuts: Sequence
-                    ) -> Tuple[np.ndarray, Dict[str, float]]:
-        """Chunk linear CUTs over the executor and merge the results."""
-        chunk_size = self.config.chunk_size
+    def _pool_chunk_size(self, n: int, chunk_size: int) -> int:
+        """Shrink chunks so a pool's workers all get work.
+
+        Chunking never changes results -- populations are pre-seeded
+        per die -- only scheduling; serial executors keep the
+        configured chunk size.
+        """
         workers = getattr(self.executor, "max_workers", None)
         if workers and workers > 1:
-            # Give every pool worker something to do: shrink chunks so
-            # the population spreads across the pool.  Chunking never
-            # changes results (dies are pre-seeded), only scheduling.
-            per_worker = -(-len(cuts) // workers)  # ceil division
+            per_worker = -(-n // workers)  # ceil division
             chunk_size = max(1, min(chunk_size, per_worker))
+        return chunk_size
+
+    @staticmethod
+    def _merge_outputs(outputs, collect: bool):
+        """Merge chunk outputs ``(values, timing, batch)`` in order."""
+        timing: Dict[str, float] = {}
+        for __, section_times, __batch in outputs:
+            _merge_timing(timing, section_times)
+        values = (np.concatenate([v for v, __, __b in outputs])
+                  if outputs else np.empty(0))
+        batch = None
+        if collect:
+            batch = SignatureBatch.concatenate(
+                [b for __, __t, b in outputs if b is not None])
+        return values, timing, batch
+
+    def _map_chunks(self, cuts: Sequence, collect: bool = False
+                    ) -> Tuple[np.ndarray, Dict[str, float],
+                               Optional[SignatureBatch]]:
+        """Chunk linear CUTs over the executor and merge the results."""
+        chunk_size = self._pool_chunk_size(len(cuts),
+                                           self.config.chunk_size)
         chunks = chunked(list(cuts), chunk_size)
         if getattr(self.executor, "needs_picklable_work", False):
             # Pool workers rebuild specs (always picklable) and use the
             # per-process default cache.
             payloads = [(self.config,
-                         tuple(cut.spec for cut in chunk))
+                         tuple(cut.spec for cut in chunk), collect)
                         for chunk in chunks]
             outputs = self.executor.map(_spec_chunk_worker, payloads)
         else:
             outputs = self.executor.map(
-                lambda chunk: _response_chunk_ndfs(self.config, chunk,
-                                                   self.cache), chunks)
-        timing: Dict[str, float] = {}
-        for __, section_times in outputs:
-            _merge_timing(timing, section_times)
-        values = (np.concatenate([v for v, __ in outputs])
-                  if outputs else np.empty(0))
-        return values, timing
+                lambda chunk: _response_chunk_ndfs(
+                    self.config, chunk, self.cache, collect), chunks)
+        return self._merge_outputs(outputs, collect)
 
-    def _run_specs(self, population: SpecPopulation
-                   ) -> Tuple[np.ndarray, Dict[str, float], List[str]]:
+    def _run_specs(self, population: SpecPopulation,
+                   collect: bool = False
+                   ) -> Tuple[np.ndarray, Dict[str, float], List[str],
+                              Optional[SignatureBatch]]:
         if len(population) == 0:
-            return np.empty(0), {"golden": 0.0}, []
-        values, timing = self._map_chunks(population.cuts())
-        return values, timing, list(population.labels)
+            return (np.empty(0), {"golden": 0.0}, [],
+                    SignatureBatch.empty() if collect else None)
+        values, timing, batch = self._map_chunks(population.cuts(),
+                                                 collect)
+        return values, timing, list(population.labels), batch
 
-    def _run_traces(self, population: TracePopulation
-                    ) -> Tuple[np.ndarray, Dict[str, float], List[str]]:
+    def _run_traces(self, population: TracePopulation,
+                    collect: bool = False
+                    ) -> Tuple[np.ndarray, Dict[str, float], List[str],
+                               Optional[SignatureBatch]]:
         """Measured-trace stacks: encode/score only, shared-memory aware.
 
         With a :class:`~repro.campaign.executors.SharedMemoryExecutor`
@@ -570,47 +661,42 @@ class CampaignEngine:
         """
         n = len(population)
         if n == 0:
-            return np.empty(0), {"golden": 0.0}, []
+            return (np.empty(0), {"golden": 0.0}, [],
+                    SignatureBatch.empty() if collect else None)
         stack = population.y_stack
-        chunk_size = self.config.chunk_size
-        workers = getattr(self.executor, "max_workers", None)
-        if workers and workers > 1:
-            # Spread the rows across the whole pool (same scheduling
-            # shrink as _map_chunks; never changes results).
-            per_worker = -(-n // workers)
-            chunk_size = max(1, min(chunk_size, per_worker))
+        chunk_size = self._pool_chunk_size(n, self.config.chunk_size)
         ranges = [(lo, min(lo + chunk_size, n))
                   for lo in range(0, n, chunk_size)]
         map_shared = getattr(self.executor, "map_shared", None)
         if map_shared is not None:
             outputs = map_shared(
                 _trace_chunk_worker_shm, stack,
-                lambda handle: [(self.config, handle, lo, hi)
+                lambda handle: [(self.config, handle, lo, hi, collect)
                                 for lo, hi in ranges])
         elif getattr(self.executor, "needs_picklable_work", False):
-            payloads = [(self.config, stack[lo:hi])
+            payloads = [(self.config, stack[lo:hi], collect)
                         for lo, hi in ranges]
             outputs = self.executor.map(_trace_chunk_worker, payloads)
         else:
             outputs = self.executor.map(
                 lambda bounds: _trace_rows_ndfs(
                     self.config, stack[bounds[0]:bounds[1]],
-                    self.cache), ranges)
-        timing: Dict[str, float] = {}
-        for __, section in outputs:
-            _merge_timing(timing, section)
-        values = np.concatenate([v for v, __ in outputs])
-        return values, timing, list(population.labels)
+                    self.cache, collect), ranges)
+        values, timing, batch = self._merge_outputs(outputs, collect)
+        return values, timing, list(population.labels), batch
 
-    def _run_cuts(self, population: CutListPopulation
-                  ) -> Tuple[np.ndarray, Dict[str, float], List[str]]:
+    def _run_cuts(self, population: CutListPopulation,
+                  collect: bool = False
+                  ) -> Tuple[np.ndarray, Dict[str, float], List[str],
+                             Optional[SignatureBatch]]:
         """Generic CUTs: batched when they expose ``response``."""
         if len(population) == 0:
-            return np.empty(0), {"golden": 0.0}, []
+            return (np.empty(0), {"golden": 0.0}, [],
+                    SignatureBatch.empty() if collect else None)
         if all(hasattr(cut, "response") for cut in population.cuts):
-            values, timing = _response_chunk_ndfs(
-                self.config, population.cuts, self.cache)
-            return values, timing, list(population.labels)
+            values, timing, batch = _response_chunk_ndfs(
+                self.config, population.cuts, self.cache, collect)
+            return values, timing, list(population.labels), batch
         # Fallback: per-CUT traces (e.g. transient-simulated CUTs) are
         # stacked on their own shared grid, then the packed
         # encode/score path runs once over the whole stack.  Each
@@ -650,13 +736,15 @@ class CampaignEngine:
             timing["signature"] = t4 - t3
             values = batch.ndf_to(golden.signature)
             timing["ndf"] = time.perf_counter() - t4
-            return values, timing, list(population.labels)
+            return (values, timing, list(population.labels),
+                    batch if collect else None)
         # Heterogeneous grids: score die by die, one trace resident at
         # a time (rare -- mixed CUT families in one population).
         from repro.core.ndf import ndf as _ndf
         del y_stack
         t2 = time.perf_counter()
         values = np.empty(len(population))
+        signatures: List[Signature] = []
         for i, cut in enumerate(population.cuts):
             trace = cut.lissajous(self.config.stimulus,
                                   self.config.samples_per_period)
@@ -665,12 +753,18 @@ class CampaignEngine:
                                 tys[None, :])[0]
             observed = Signature.from_samples(
                 trace.times - trace.times[0], codes, trace.period)
+            if collect:
+                signatures.append(observed)
             values[i] = _ndf(observed, golden.signature)
         timing["encode+score"] = time.perf_counter() - t2
-        return values, timing, list(population.labels)
+        batch = (SignatureBatch.from_signatures(signatures)
+                 if collect else None)
+        return values, timing, list(population.labels), batch
 
-    def _run_encoders(self, population: EncoderPopulation
-                      ) -> Tuple[np.ndarray, Dict[str, float], List[str]]:
+    def _run_encoders(self, population: EncoderPopulation,
+                      collect: bool = False
+                      ) -> Tuple[np.ndarray, Dict[str, float], List[str],
+                                 Optional[SignatureBatch]]:
         """One fault-free CUT seen through N varied monitor banks.
 
         The golden signature stays the *nominal*-bank reference, so the
@@ -682,7 +776,8 @@ class CampaignEngine:
         batch and score through the fleet-NDF kernel.
         """
         if len(population) == 0:
-            return np.empty(0), {"golden": 0.0}, []
+            return (np.empty(0), {"golden": 0.0}, [],
+                    SignatureBatch.empty() if collect else None)
         timing: Dict[str, float] = {}
         t0 = time.perf_counter()
         golden = self.golden()
@@ -698,4 +793,5 @@ class CampaignEngine:
         timing["signature"] = t3 - t2
         values = batch.ndf_to(golden.signature)
         timing["ndf"] = time.perf_counter() - t3
-        return values, timing, list(population.labels)
+        return (values, timing, list(population.labels),
+                batch if collect else None)

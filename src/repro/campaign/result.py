@@ -7,6 +7,13 @@ section timings and golden-cache counters.  The analysis modules
 (:mod:`repro.analysis.yield_model`, :mod:`repro.analysis.multiparam`)
 and the Monte Carlo benchmarks consume this object instead of
 re-deriving statistics from per-die loops.
+
+The result is also the hand-off point to the fault-diagnosis stage: a
+campaign run with ``keep_signatures=True`` retains the fleet's packed
+:class:`~repro.core.signature_batch.SignatureBatch`, and
+:meth:`CampaignResult.diagnose` matches the failing rows against a
+:class:`repro.diagnosis.FaultDictionary` (screen -> diagnose, no
+re-simulation).
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.analysis.yield_model import (
     yield_report_from_arrays,
 )
 from repro.campaign.cache import CacheInfo
+from repro.core.signature_batch import SignatureBatch
 
 
 @dataclass
@@ -55,6 +63,11 @@ class CampaignResult:
         Name of the executor that ran the campaign.
     cache_info:
         Golden-cache counters observed right after the run.
+    signature_batch:
+        Packed per-die signatures (one row per die, population order)
+        when the campaign ran with ``keep_signatures=True``; None
+        otherwise.  This is what :meth:`diagnose` matches against a
+        fault dictionary.
     """
 
     ndfs: np.ndarray
@@ -67,6 +80,7 @@ class CampaignResult:
     timing: Dict[str, float] = field(default_factory=dict)
     executor: str = "serial"
     cache_info: Optional[CacheInfo] = None
+    signature_batch: Optional[SignatureBatch] = None
 
     def __post_init__(self) -> None:
         self.ndfs = np.asarray(self.ndfs, dtype=float)
@@ -145,6 +159,50 @@ class CampaignResult:
                         threshold: Optional[float] = None) -> float:
         """Fraction of truly-good dies that failed."""
         return self.yield_report(tolerance, threshold).yield_loss_rate
+
+    # ------------------------------------------------------------------
+    # Diagnosis edge (repro.diagnosis)
+    # ------------------------------------------------------------------
+    def failing_indices(self) -> np.ndarray:
+        """Population indices of the dies flagged FAIL."""
+        if self.verdicts is None:
+            raise ValueError("campaign ran without a decision band")
+        return np.flatnonzero(~self.verdicts)
+
+    def failing_labels(self) -> List[str]:
+        """Labels of the dies flagged FAIL (fault names for a
+        fault-dictionary population)."""
+        if self.labels is None:
+            raise ValueError("population carries no labels")
+        return [self.labels[i] for i in self.failing_indices()]
+
+    def diagnose(self, dictionary, top_k: int = 3,
+                 failing_only: bool = True, metric: str = "ndf"):
+        """Match this campaign's dies against a fault dictionary.
+
+        Requires the campaign to have run with
+        ``keep_signatures=True`` (the packed batch is the matcher's
+        input).  With ``failing_only`` (default) only the FAIL rows
+        are diagnosed -- the screen's verdict gates the diagnosis, as
+        on a real tester; otherwise every die is matched.  Returns a
+        :class:`repro.diagnosis.DiagnosisResult`.
+        """
+        from repro.diagnosis import DictionaryMatcher
+
+        if self.signature_batch is None:
+            raise ValueError(
+                "campaign ran without keep_signatures=True; re-run "
+                "with engine.run(..., keep_signatures=True) to retain "
+                "the packed signatures diagnosis needs")
+        batch = self.signature_batch
+        labels = self.labels
+        if failing_only:
+            indices = self.failing_indices()
+            batch = batch.select(indices)
+            if labels is not None:
+                labels = [labels[i] for i in indices]
+        return DictionaryMatcher(dictionary).match(
+            batch, top_k=top_k, metric=metric, die_labels=labels)
 
     def to_units(self) -> List[CutUnit]:
         """Per-die view for the legacy list-based yield tooling."""

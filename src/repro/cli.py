@@ -14,6 +14,10 @@
                                             # bounded-memory streaming
     python -m repro campaign --dies 200 --repeats 20
                                             # Section IV-C noise repeats
+    python -m repro diagnose --per-fault 10 [--top-k 3] [--json]
+                                            # fault-dictionary diagnosis
+    python -m repro diagnose --save dict.npz --per-fault 0
+                                            # compile + persist only
 
 Every command runs on the calibrated bench of :mod:`repro.paper`; the
 CLI is intentionally thin -- anything deeper should use the library
@@ -109,6 +113,41 @@ def _build_parser() -> argparse.ArgumentParser:
                                "0.015 V)")
     campaign.add_argument("--json", action="store_true",
                           help="emit a machine-readable JSON summary")
+
+    diagnose = sub.add_parser(
+        "diagnose",
+        help="fault-dictionary diagnosis of failing dies")
+    diagnose.add_argument("--top-k", type=_positive_int, default=3,
+                          help="fault candidates reported per die")
+    diagnose.add_argument("--metric", default="ndf",
+                          choices=["ndf", "dwell"],
+                          help="die-to-fault distance (default: exact "
+                               "NDF; dwell = zone-occupancy only)")
+    diagnose.add_argument("--per-fault", type=_non_negative_int,
+                          default=5,
+                          help="Monte Carlo-perturbed dies injected "
+                               "per fault (0: dictionary report only)")
+    diagnose.add_argument("--sigma", type=float, default=0.02,
+                          help="1-sigma relative component spread of "
+                               "the perturbed fleet")
+    diagnose.add_argument("--seed", type=int, default=0,
+                          help="deterministic fleet seed root")
+    diagnose.add_argument("--tolerance", type=float, default=0.05,
+                          help="ground-truth |f0| tolerance of the "
+                               "decision band")
+    diagnose.add_argument("--samples", type=int, default=2048,
+                          help="trace samples per period")
+    diagnose.add_argument("--no-parametric", action="store_true",
+                          help="compile opens/shorts only (skip the "
+                               "parametric deviation classes)")
+    diagnose.add_argument("--save", metavar="PATH", default=None,
+                          help="persist the compiled dictionary as "
+                               ".npz")
+    diagnose.add_argument("--load", metavar="PATH", default=None,
+                          help="load a saved dictionary instead of "
+                               "compiling")
+    diagnose.add_argument("--json", action="store_true",
+                          help="emit a machine-readable JSON summary")
     return parser
 
 
@@ -173,7 +212,9 @@ def _cmd_test(setup, deviation: float, tolerance: float) -> int:
 
 
 def _campaign_population(setup, args):
-    """Build the population selected on the command line."""
+    """Population selected on the command line, plus the aligned fault
+    list for the faults scenario (None otherwise) -- reports name
+    failing dies by fault, not by index."""
     from repro.campaign import (
         deviation_sweep_population,
         fault_dictionary,
@@ -185,30 +226,31 @@ def _campaign_population(setup, args):
 
     if args.scenario == "mc":
         return montecarlo_dies(setup.golden_spec, args.dies,
-                               sigma_f0=args.sigma, seed=args.seed)
+                               sigma_f0=args.sigma,
+                               seed=args.seed), None
     if args.scenario == "sweep":
         return deviation_sweep_population(
-            setup.golden_spec, np.linspace(-0.20, 0.20, 21))
+            setup.golden_spec, np.linspace(-0.20, 0.20, 21)), None
     if args.scenario == "grid":
         axis = np.linspace(-0.15, 0.15, 7)
-        return parameter_grid(setup.golden_spec, axis, axis)
+        return parameter_grid(setup.golden_spec, axis, axis), None
     if args.scenario == "faults":
         from repro.filters.towthomas import TowThomasValues
 
-        population, __ = fault_dictionary(
+        population, faults = fault_dictionary(
             TowThomasValues.from_spec(setup.golden_spec))
-        return population
+        return population, faults
     if args.scenario == "monitor-mc":
         from repro.devices.process import MonteCarloSampler
         from repro.monitor.configurations import table1_bank
 
         return montecarlo_monitor_banks(
             table1_bank(), args.dies,
-            sampler=MonteCarloSampler(rng=args.seed))
+            sampler=MonteCarloSampler(rng=args.seed)), None
     if args.scenario == "corners":
         from repro.devices.temperature import industrial_range
 
-        return temperature_corners(industrial_range(5))
+        return temperature_corners(industrial_range(5)), None
     raise AssertionError("unreachable")
 
 
@@ -238,17 +280,14 @@ def _cmd_campaign(setup, args) -> int:
         print("--noise only applies to a noise campaign; add "
               "--repeats N", file=sys.stderr)
         return 2
-    if args.repeats and args.executor != "serial":
-        print("noise campaigns run serially; drop --executor",
-              file=sys.stderr)
-        return 2
     executor = _campaign_executor(args)
     engine = setup.campaign_engine(samples_per_period=args.samples,
                                    tolerance=args.tolerance,
                                    executor=executor)
+    faults = None
     try:
         if args.repeats:
-            population = _campaign_population(setup, args)
+            population, __ = _campaign_population(setup, args)
             result = engine.run_noise(population,
                                       repeats=args.repeats,
                                       noise=args.noise,
@@ -260,7 +299,7 @@ def _cmd_campaign(setup, args) -> int:
                 sigma_f0=args.sigma, seed=args.seed)
             result = engine.run_stream(chunks, band="auto")
         else:
-            population = _campaign_population(setup, args)
+            population, faults = _campaign_population(setup, args)
             result = engine.run(population, band="auto")
     finally:
         if executor is not None:
@@ -281,11 +320,28 @@ def _cmd_campaign(setup, args) -> int:
             "timing": result.timing,
             "executor": result.executor,
         }
+        if faults is not None:
+            detected = set(result.failing_labels())
+            payload["faults"] = [
+                {"label": fault.label, "kind": fault.kind.value,
+                 "target": fault.target,
+                 "detected": fault.label in detected}
+                for fault in faults]
+            payload["fault_escapes"] = [
+                fault.label for fault in faults
+                if fault.label not in detected]
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(f"campaign: {args.scenario} "
               f"({result.num_dies} dies, band ±{args.tolerance:.0%})")
         print(result.summary())
+        if faults is not None:
+            detected = result.failing_labels()
+            escaped = [label for label in result.labels
+                       if label not in set(detected)]
+            print(f"detected:    {', '.join(detected) or '(none)'}")
+            if escaped:
+                print(f"escapes:     {', '.join(escaped)}")
     return 0
 
 
@@ -315,6 +371,103 @@ def _report_noise_campaign(args, result) -> int:
     return 0
 
 
+def _cmd_diagnose(setup, args) -> int:
+    """Compile/load a fault dictionary and diagnose a faulty fleet."""
+    import json
+
+    from repro.diagnosis import (
+        FaultDictionary,
+        ambiguity_groups,
+        compile_fault_dictionary,
+        confusion_study,
+        default_fault_universe,
+        detectability_report,
+        fault_distance_matrix,
+        json_number,
+    )
+
+    if args.load is not None and args.save is not None:
+        print("--load and --save are mutually exclusive (--save "
+              "persists a freshly compiled dictionary)",
+              file=sys.stderr)
+        return 2
+    if args.load is not None and args.no_parametric:
+        print("--no-parametric shapes compilation; it cannot filter "
+              "a loaded dictionary", file=sys.stderr)
+        return 2
+    engine = setup.campaign_engine(samples_per_period=args.samples,
+                                   tolerance=args.tolerance)
+    if args.load is not None:
+        dictionary = FaultDictionary.load(args.load)
+        if dictionary.golden_signature != engine.golden().signature:
+            print(f"{args.load}: dictionary was compiled for a "
+                  f"different bench configuration (golden signature "
+                  f"mismatch); recompile with matching --samples",
+                  file=sys.stderr)
+            return 2
+        # The saved threshold documents the compile-time band; the
+        # CLI's --tolerance always wins for this run.
+        dictionary.threshold = engine.band().threshold
+    else:
+        dictionary = compile_fault_dictionary(
+            engine,
+            faults=default_fault_universe(
+                parametric=not args.no_parametric))
+    saved_path = None
+    if args.save is not None:
+        saved_path = dictionary.save(args.save)
+    coverage = detectability_report(dictionary)
+    matrix = fault_distance_matrix(dictionary, metric=args.metric)
+    groups = ambiguity_groups(dictionary, matrix=matrix)
+    study = None
+    if args.per_fault:
+        study = confusion_study(engine, dictionary,
+                                per_fault=args.per_fault,
+                                sigma=args.sigma, seed=args.seed,
+                                metric=args.metric, top_k=args.top_k)
+    if args.json:
+        payload = {
+            "faults": dictionary.labels,
+            "threshold": dictionary.threshold,
+            "ndfs": dictionary.ndfs.tolist(),
+            "coverage": coverage.coverage,
+            "escapes": coverage.escapes,
+            "ambiguity_groups": [
+                [dictionary.labels[i] for i in group]
+                for group in groups if len(group) > 1],
+            "metric": args.metric,
+        }
+        if saved_path is not None:
+            payload["saved"] = saved_path
+        if study is not None:
+            payload["confusion"] = study.to_payload()
+            payload["accuracy"] = json_number(study.accuracy)
+            payload["group_accuracy"] = json_number(
+                study.group_accuracy(groups))
+            payload["diagnosis"] = study.diagnosis.to_payload()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"fault dictionary: {len(dictionary)} faults, "
+          f"band ±{args.tolerance:.0%} "
+          f"(threshold {dictionary.threshold:.4f})")
+    print(coverage.summary())
+    ambiguous = [group for group in groups if len(group) > 1]
+    if ambiguous:
+        print("ambiguity:   " + "; ".join(
+            "{" + ", ".join(dictionary.labels[i] for i in group) + "}"
+            for group in ambiguous))
+    if saved_path is not None:
+        print(f"saved:       {saved_path}")
+    if study is not None:
+        print()
+        print(study.summary())
+        print(f"group top-1: {study.group_accuracy(groups):.1%} "
+              f"(ambiguity-group aware)")
+        print()
+        print(study.diagnosis.summary(max_rows=8))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -334,6 +487,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_test(setup, args.dev, args.tolerance)
     if args.command == "campaign":
         return _cmd_campaign(setup, args)
+    if args.command == "diagnose":
+        return _cmd_diagnose(setup, args)
     raise AssertionError("unreachable")
 
 

@@ -24,6 +24,13 @@ one flat kernel -- no per-die ``np.unique`` breakpoint merges.
 Conversion to per-die :class:`Signature` objects happens only at the
 diagnosis edges (:meth:`to_signatures`, :meth:`row`).
 
+The batch is also the transport format of the fault-diagnosis
+subsystem (:mod:`repro.diagnosis`): a campaign run with
+``keep_signatures=True`` retains its packed batch, the failing rows
+are carved out with :meth:`select`, and the dictionary matcher scores
+them fault by fault through :meth:`ndf_to` -- the whole diagnosis loop
+stays array-resident until the per-die report edge.
+
 Bit-compatibility
 -----------------
 The batch replicates the scalar path's floating-point expression order
@@ -155,6 +162,55 @@ class SignatureBatch:
         row_offsets = np.concatenate([[0], np.cumsum(counts)])
         periods = np.asarray([s.period for s in signatures])
         return cls(codes, durations, row_offsets, periods)
+
+    @classmethod
+    def empty(cls) -> "SignatureBatch":
+        """A batch with zero rows (the empty-population edge case)."""
+        return cls(np.empty(0, np.int64), np.empty(0),
+                   np.zeros(1, np.int64), np.empty(0))
+
+    @classmethod
+    def concatenate(cls, batches: Sequence["SignatureBatch"]
+                    ) -> "SignatureBatch":
+        """Stack batches row-wise (streamed/chunked campaign merge).
+
+        Row ``i`` of the result is bit-identical to the corresponding
+        row of its source batch -- only the CSR offsets shift.
+        """
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return cls.empty()
+        codes = np.concatenate([b.codes for b in batches])
+        durations = np.concatenate([b.durations for b in batches])
+        periods = np.concatenate([b.periods for b in batches])
+        offsets = [np.zeros(1, np.int64)]
+        shift = 0
+        for b in batches:
+            offsets.append(b.row_offsets[1:] + shift)
+            shift += b.codes.size
+        return cls(codes, durations, np.concatenate(offsets), periods)
+
+    def select(self, indices) -> "SignatureBatch":
+        """New batch holding the given rows, in the given order.
+
+        This is the diagnosis carve-out: a campaign keeps one packed
+        batch for the whole fleet, and only the failing rows travel on
+        to the dictionary matcher.  Rows are gathered as flat slices,
+        so the selected rows stay bit-identical to their sources.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise ValueError("need a 1-D row index array")
+        if indices.size == 0:
+            return SignatureBatch.empty()
+        counts = self.runs_per_row[indices]
+        new_offsets = np.concatenate([[0], np.cumsum(counts)])
+        starts = self.row_offsets[indices]
+        local = (np.arange(new_offsets[-1])
+                 - np.repeat(new_offsets[:-1], counts))
+        take = np.repeat(starts, counts) + local
+        return SignatureBatch(self.codes[take], self.durations[take],
+                              new_offsets, self.periods[indices])
 
     # ------------------------------------------------------------------
     # Introspection / conversion

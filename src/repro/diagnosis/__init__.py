@@ -1,0 +1,77 @@
+"""Signature-space fault diagnosis: from "die failed" to "fault F".
+
+The fourth pipeline stage of the reproduction.  The campaign engine
+answers *whether* a die fails; this package answers *why*, with the
+classic fault-dictionary method lifted into the repo's packed
+signature representation:
+
+* compile (:mod:`repro.diagnosis.dictionary`): simulate the fault
+  universe once through the campaign front half and store each
+  fault's packed signature row, NDF and code-space feature vector in
+  a content-cached, serializable :class:`FaultDictionary`;
+* match (:mod:`repro.diagnosis.matcher`): score an entire failing
+  fleet's :class:`~repro.core.signature_batch.SignatureBatch` against
+  the dictionary in one pass -- distance matrix, top-k candidates and
+  confidence margins, per-die ``Signature`` objects only at the
+  report edge;
+* analyze (:mod:`repro.diagnosis.analysis`): pairwise fault
+  distances, ambiguity-group clustering, detectability under the
+  calibrated band, and confusion matrices over Monte Carlo-perturbed
+  fault fleets.
+
+Quick start (mirrors ``examples/fault_diagnosis.py``)::
+
+    from repro import paper_setup
+    from repro.diagnosis import compile_fault_dictionary
+
+    setup = paper_setup(samples_per_period=2048)
+    engine = setup.campaign_engine(tolerance=0.05)
+    dictionary = compile_fault_dictionary(engine)      # cached
+    result = engine.run(population, keep_signatures=True)
+    diagnosis = result.diagnose(dictionary, top_k=3)
+    print(diagnosis.summary())
+"""
+
+from repro.diagnosis.analysis import (
+    DIAGNOSIS_SEED_DOMAIN,
+    ConfusionStudy,
+    FaultCoverage,
+    ambiguity_groups,
+    confusion_study,
+    detectability_report,
+    fault_distance_matrix,
+    perturbed_fault_fleet,
+)
+from repro.diagnosis.dictionary import (
+    DEFAULT_PARAMETRIC_CLASSES,
+    FaultDictionary,
+    compile_fault_dictionary,
+    default_fault_universe,
+    dwell_features,
+)
+from repro.diagnosis.matcher import DictionaryMatcher
+from repro.diagnosis.result import (
+    DieDiagnosis,
+    DiagnosisResult,
+    json_number,
+)
+
+__all__ = [
+    "DIAGNOSIS_SEED_DOMAIN",
+    "ConfusionStudy",
+    "FaultCoverage",
+    "ambiguity_groups",
+    "confusion_study",
+    "detectability_report",
+    "fault_distance_matrix",
+    "perturbed_fault_fleet",
+    "DEFAULT_PARAMETRIC_CLASSES",
+    "FaultDictionary",
+    "compile_fault_dictionary",
+    "default_fault_universe",
+    "dwell_features",
+    "DictionaryMatcher",
+    "DieDiagnosis",
+    "DiagnosisResult",
+    "json_number",
+]

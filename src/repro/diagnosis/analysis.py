@@ -1,0 +1,334 @@
+"""Ambiguity, coverage and confusion analysis of a fault dictionary.
+
+Compiling a dictionary is only half the story: diagnosis is limited by
+how far apart the faults land in signature space.  This module
+quantifies that:
+
+* :func:`fault_distance_matrix` -- pairwise fault-to-fault NDF (or
+  dwell) distances, computed with the same fleet kernel the matcher
+  uses;
+* :func:`ambiguity_groups` -- connected components of faults closer
+  than an epsilon: within a group the signature cannot tell members
+  apart, so a diagnosis should report the whole group;
+* :func:`detectability_report` -- which faults the calibrated
+  :class:`~repro.core.decision.DecisionBand` flags at all (an
+  undetectable fault never reaches diagnosis);
+* :func:`confusion_study` -- the end-to-end proof: a Monte
+  Carlo-perturbed fleet of faulty dies is screened and diagnosed, and
+  the true-fault x predicted-fault confusion matrix shows where
+  diagnosis holds up and where ambiguity bites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.campaign.scenarios import CutListPopulation
+from repro.diagnosis.dictionary import FaultDictionary
+from repro.diagnosis.matcher import DictionaryMatcher
+from repro.diagnosis.result import DiagnosisResult, json_number
+from repro.filters.faults import Fault
+from repro.filters.towthomas import TowThomasBiquad, TowThomasValues
+
+#: Entropy-domain tag ("Diag") mixed into the perturbed-fleet seed
+#: root, so diagnosis fleets never share per-die streams with the
+#: campaign population builders or the noise campaigns.
+DIAGNOSIS_SEED_DOMAIN = 0x44696167
+
+_COMPONENTS = ("r1", "r2", "r3", "r4", "r5", "c1", "c2")
+
+
+def fault_distance_matrix(dictionary: FaultDictionary,
+                          metric: str = "ndf") -> np.ndarray:
+    """Pairwise ``(F, F)`` fault-to-fault distances.
+
+    Column ``j`` is one fleet-kernel pass of the whole dictionary
+    batch against fault ``j``'s signature -- the same operation the
+    matcher performs for observed dies, so dictionary-space geometry
+    and matching geometry agree exactly.  The NDF is symmetric, hence
+    so is the matrix (up to identical float operations); the diagonal
+    is exactly zero.
+    """
+    matcher = DictionaryMatcher(dictionary)
+    return matcher.distance_matrix(dictionary.batch, metric)
+
+
+def ambiguity_groups(dictionary: FaultDictionary,
+                     epsilon: float = 1e-9,
+                     matrix: Optional[np.ndarray] = None,
+                     metric: str = "ndf") -> List[List[int]]:
+    """Cluster faults the signature cannot tell apart.
+
+    Two faults are directly ambiguous when their distance is at most
+    ``epsilon``; groups are the connected components of that relation
+    (union-find), so chains of near-identical signatures merge.
+    Returns index groups in first-member order; singleton groups mean
+    the fault is uniquely identifiable at this epsilon.
+    """
+    if matrix is None:
+        matrix = fault_distance_matrix(dictionary, metric)
+    f = len(dictionary)
+    parent = list(range(f))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for i in range(f):
+        for j in range(i + 1, f):
+            if matrix[i, j] <= epsilon:
+                ri, rj = find(i), find(j)
+                if ri != rj:
+                    parent[max(ri, rj)] = min(ri, rj)
+    groups: Dict[int, List[int]] = {}
+    for i in range(f):
+        groups.setdefault(find(i), []).append(i)
+    return [groups[root] for root in sorted(groups)]
+
+
+@dataclass
+class FaultCoverage:
+    """Detectability of a fault universe under one decision band."""
+
+    labels: List[str]
+    ndfs: np.ndarray
+    threshold: float
+    detectable: np.ndarray
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the universe the band detects (1.0 if empty)."""
+        if self.detectable.size == 0:
+            return 1.0
+        return float(np.mean(self.detectable))
+
+    @property
+    def escapes(self) -> List[str]:
+        """Labels of the faults the screen never flags."""
+        return [label for label, hit in zip(self.labels,
+                                            self.detectable)
+                if not hit]
+
+    def summary(self) -> str:
+        lines = [f"coverage:    "
+                 f"{int(np.count_nonzero(self.detectable))}/"
+                 f"{self.detectable.size} faults detectable "
+                 f"({self.coverage:.0%} at threshold "
+                 f"{self.threshold:.4f})"]
+        if self.escapes:
+            lines.append("escapes:     " + ", ".join(self.escapes))
+        return "\n".join(lines)
+
+
+def detectability_report(dictionary: FaultDictionary,
+                         threshold: Optional[float] = None
+                         ) -> FaultCoverage:
+    """Per-fault detectability under the calibrated decision band."""
+    detectable = dictionary.detectable(threshold)
+    threshold = threshold if threshold is not None \
+        else dictionary.threshold
+    return FaultCoverage(dictionary.labels,
+                         dictionary.ndfs.copy(), float(threshold),
+                         detectable)
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo-perturbed fault fleets
+# ----------------------------------------------------------------------
+def perturbed_fault_fleet(values: TowThomasValues,
+                          faults: Sequence[Fault],
+                          per_fault: int = 20,
+                          sigma: float = 0.02,
+                          seed: int = 0
+                          ) -> Tuple[CutListPopulation, np.ndarray]:
+    """A fleet of faulty dies with process spread on top of the fault.
+
+    Die ``(j, m)`` injects fault ``j`` into ``values`` and then
+    scatters *every* component by an independent relative Gaussian
+    (``sigma`` = 1-sigma fraction), modelling that real defective dies
+    also carry process variation.  Perturbation happens after fault
+    injection, so a short stays a short and an open stays an open.
+    Seeding is a pure function of ``(seed, j, m)`` through spawned
+    :class:`numpy.random.SeedSequence` children in a diagnosis-owned
+    entropy domain -- fleets are reproducible and independent of the
+    campaign's own Monte Carlo streams.
+
+    Returns the population plus the aligned ground-truth fault index
+    per die.
+    """
+    if per_fault < 1:
+        raise ValueError("need at least one die per fault")
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    children = np.random.SeedSequence(
+        [seed, DIAGNOSIS_SEED_DOMAIN]).spawn(len(faults) * per_fault)
+    cuts: List[TowThomasBiquad] = []
+    labels: List[str] = []
+    truth: List[int] = []
+    for j, fault in enumerate(faults):
+        base = fault.apply_to_values(values)
+        for m in range(per_fault):
+            rng = np.random.default_rng(children[j * per_fault + m])
+            factors = {name: 1.0 + sigma * rng.standard_normal()
+                       for name in _COMPONENTS}
+            cuts.append(TowThomasBiquad(base.scaled(**factors)))
+            labels.append(f"{fault.label}#{m:03d}")
+            truth.append(j)
+    return (CutListPopulation(cuts, labels),
+            np.asarray(truth, dtype=np.int64))
+
+
+@dataclass
+class ConfusionStudy:
+    """End-to-end screen+diagnose outcome over a perturbed fleet.
+
+    Attributes
+    ----------
+    matrix:
+        ``(F, F)`` counts: row = injected fault, column = diagnosed
+        top-1 fault, over the dies the screen flagged FAIL.
+    labels:
+        Fault labels shared by both axes.
+    detected:
+        Per-fault count of dies the screen flagged (diagnosable).
+    injected:
+        Per-fault count of dies injected.
+    diagnosis:
+        The fleet :class:`DiagnosisResult` (failing dies only).
+    true_indices:
+        Ground-truth fault index of each diagnosed (failing) die,
+        aligned with the diagnosis rows.
+    timing:
+        Wall-clock seconds: screening vs matching.
+    """
+
+    matrix: np.ndarray
+    labels: List[str]
+    detected: np.ndarray
+    injected: np.ndarray
+    diagnosis: DiagnosisResult
+    true_indices: np.ndarray
+    timing: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        """Top-1 accuracy over the detected dies (NaN when none)."""
+        return self.diagnosis.accuracy(self.true_indices)
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of injected dies the screen flagged at all."""
+        total = float(self.injected.sum())
+        if total == 0:
+            return float("nan")
+        return float(self.detected.sum()) / total
+
+    def group_accuracy(self, groups: Sequence[Sequence[int]]) -> float:
+        """Top-1 accuracy up to ambiguity groups.
+
+        Delegates to :meth:`DiagnosisResult.group_accuracy` -- one
+        canonical definition of "a prediction inside the injected
+        fault's group counts as correct".
+        """
+        return self.diagnosis.group_accuracy(self.true_indices, groups)
+
+    def summary(self) -> str:
+        lines = [f"fleet:       {int(self.injected.sum())} faulty "
+                 f"dies ({len(self.labels)} faults x "
+                 f"{int(self.injected[0]) if self.injected.size else 0}"
+                 f" perturbed instances)",
+                 f"detected:    {int(self.detected.sum())} "
+                 f"({self.detection_rate:.0%} of injected)",
+                 f"top-1:       {self.accuracy:.1%} of detected dies "
+                 f"diagnosed to the injected fault"]
+        worst = []
+        for i, label in enumerate(self.labels):
+            if self.detected[i]:
+                hit = self.matrix[i, i] / self.detected[i]
+                if hit < 1.0:
+                    worst.append((hit, label))
+        if worst:
+            worst.sort()
+            lines.append("confused:    " + ", ".join(
+                f"{label} ({hit:.0%})" for hit, label in worst[:6]))
+        total = self.timing.get("total")
+        if total:
+            lines.append(f"wall-clock:  {total * 1e3:.1f} ms "
+                         f"(screen {self.timing.get('screen', 0) * 1e3:.1f}"
+                         f" / match {self.timing.get('match', 0) * 1e3:.1f})")
+        return "\n".join(lines)
+
+    def to_payload(self) -> dict:
+        """JSON-ready machine summary (CLI / CI artifacts)."""
+        return {
+            "labels": list(self.labels),
+            "matrix": self.matrix.tolist(),
+            "injected": self.injected.tolist(),
+            "detected": self.detected.tolist(),
+            "accuracy": json_number(self.accuracy),
+            "detection_rate": json_number(self.detection_rate),
+            "timing": self.timing,
+        }
+
+
+def confusion_study(engine, dictionary: FaultDictionary,
+                    values: Optional[TowThomasValues] = None,
+                    per_fault: int = 10, sigma: float = 0.02,
+                    seed: int = 0, metric: str = "ndf",
+                    top_k: int = 3) -> ConfusionStudy:
+    """Screen and diagnose a Monte Carlo-perturbed fault fleet.
+
+    The fleet runs through the campaign engine once
+    (``keep_signatures=True``); the dies the band flags FAIL are
+    matched against the dictionary and tallied into the confusion
+    matrix.  Dies the screen passes (escapes) count against the
+    detection rate but never reach the matcher -- exactly the
+    production flow.
+
+    The dictionary must have been compiled for this engine's
+    configuration: a dictionary loaded from disk that was built on a
+    different stimulus, encoder or capture grid lives in a different
+    signature space, and matching across spaces silently degrades --
+    so the golden signatures are compared up front.
+    """
+    import time
+
+    if values is None:
+        values = TowThomasValues.from_spec(engine.config.golden_spec)
+    if dictionary.golden_signature != engine.golden().signature:
+        raise ValueError(
+            "dictionary was compiled for a different configuration "
+            "(its golden signature does not match this engine's); "
+            "recompile with compile_fault_dictionary(engine) or screen "
+            "with the configuration the dictionary was saved from")
+    threshold = dictionary.threshold
+    if threshold is None:
+        raise ValueError("dictionary carries no decision threshold")
+    population, truth = perturbed_fault_fleet(
+        values, dictionary.faults, per_fault, sigma, seed)
+    t0 = time.perf_counter()
+    result = engine.run(population, band=float(threshold),
+                        keep_signatures=True)
+    t_screen = time.perf_counter() - t0
+    failing = result.failing_indices()
+    t0 = time.perf_counter()
+    diagnosis = result.diagnose(dictionary, top_k=top_k,
+                                failing_only=True, metric=metric)
+    t_match = time.perf_counter() - t0
+    f = len(dictionary)
+    matrix = np.zeros((f, f), dtype=np.int64)
+    true_failing = truth[failing]
+    np.add.at(matrix, (true_failing, diagnosis.best_indices), 1)
+    injected = np.bincount(truth, minlength=f)
+    detected = np.bincount(true_failing, minlength=f)
+    return ConfusionStudy(
+        matrix=matrix, labels=dictionary.labels, detected=detected,
+        injected=injected, diagnosis=diagnosis,
+        true_indices=true_failing,
+        timing={"screen": t_screen, "match": t_match,
+                "total": t_screen + t_match})

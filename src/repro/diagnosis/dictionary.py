@@ -1,0 +1,293 @@
+"""Fault-dictionary compilation: the signature of every known fault.
+
+The paper's digital signature is more than a pass/fail oracle -- a
+failing die's signature *shape* says which defect produced it.  The
+classic fault-dictionary flow compiles that knowledge once per test
+configuration:
+
+1. every fault of the universe (catastrophic opens/shorts of the
+   Tow-Thomas components plus parametric deviation classes) is injected
+   into the structural netlist and simulated through the *same*
+   :class:`~repro.campaign.engine.CampaignEngine` front half that
+   screens production dies;
+2. each fault's packed signature row, its NDF against the golden and a
+   code-space feature vector (fraction of the period dwelt in each
+   zone code) are stored in a :class:`FaultDictionary`;
+3. the dictionary is content-keyed in the campaign's
+   :class:`~repro.campaign.cache.GoldenCache` -- recompiling for the
+   same (stimulus, encoder, golden, sampling, fault universe,
+   component values) is a cache hit, exactly like golden signatures --
+   and serializes to ``.npz`` for cross-process reuse
+   (:meth:`FaultDictionary.save` / :meth:`FaultDictionary.load`).
+
+The matcher (:mod:`repro.diagnosis.matcher`) scores failing fleets
+against the dictionary; the analysis module
+(:mod:`repro.diagnosis.analysis`) quantifies which faults the
+dictionary can actually tell apart.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.campaign.scenarios import CutListPopulation
+from repro.core.signature import Signature
+from repro.core.signature_batch import SignatureBatch
+from repro.filters.faults import (
+    Fault,
+    FaultKind,
+    catastrophic_fault_universe,
+    parametric_sweep,
+)
+from repro.filters.towthomas import TowThomasValues
+
+#: Parametric deviation classes compiled into the default dictionary:
+#: clearly-failing shifts of each behavioural parameter, one class per
+#: sign, mirroring the paper's "different degrees of deviation".
+DEFAULT_PARAMETRIC_CLASSES: Tuple[Tuple[str, float], ...] = (
+    ("f0", -0.15), ("f0", +0.15),
+    ("q", -0.35), ("q", +0.35),
+    ("gain", -0.35), ("gain", +0.35),
+)
+
+
+def default_fault_universe(parametric: bool = True) -> List[Fault]:
+    """The dictionary's default universe.
+
+    All single opens/shorts of the Tow-Thomas components, plus (unless
+    ``parametric`` is False) the :data:`DEFAULT_PARAMETRIC_CLASSES`
+    deviation classes.
+    """
+    faults = catastrophic_fault_universe()
+    if parametric:
+        for target, deviation in DEFAULT_PARAMETRIC_CLASSES:
+            faults.extend(parametric_sweep((target,), (deviation,)))
+    return faults
+
+
+def fault_key(fault: Fault) -> Tuple:
+    """Hashable content key of one fault."""
+    return (fault.kind.value, fault.target, float(fault.deviation))
+
+
+def values_key(values: TowThomasValues) -> Tuple:
+    """Hashable content key of a Tow-Thomas component set."""
+    return (values.r1, values.r2, values.r3, values.r4, values.r5,
+            values.c1, values.c2)
+
+
+def dwell_features(batch: SignatureBatch, num_bits: int) -> np.ndarray:
+    """Code-space feature vectors: per-row zone-dwell fractions.
+
+    Row ``i`` of the result is the fraction of the period row ``i``
+    spends in each of the ``2**num_bits`` zone codes -- an
+    alignment-free summary of the signature used by the fast
+    ``"dwell"`` matching metric and by human-readable fault reports.
+    One scatter-add pass over the flat CSR arrays, no per-row loops.
+    """
+    n = len(batch)
+    width = 1 << int(num_bits)
+    if batch.codes.size and int(batch.codes.max()) >= width:
+        raise ValueError("batch carries codes wider than num_bits")
+    features = np.zeros((n, width))
+    if n == 0 or batch.codes.size == 0:
+        return features
+    rows = np.repeat(np.arange(n), batch.runs_per_row)
+    np.add.at(features, (rows, batch.codes), batch.durations)
+    return features / batch.periods[:, None]
+
+
+@dataclass
+class FaultDictionary:
+    """Signature-space dictionary of a fault universe.
+
+    Attributes
+    ----------
+    batch:
+        Packed signatures, one row per fault (universe order).
+    ndfs:
+        Per-fault NDF against the golden signature -- the fault's
+        "distance from healthy", which decides detectability.
+    features:
+        ``(F, 2**num_bits)`` zone-dwell fractions per fault.
+    faults:
+        The fault universe, aligned with the rows.
+    golden_signature:
+        The configuration's golden reference (matching is relative to
+        the same capture the dies were screened with).
+    num_bits:
+        Monitor-bank width (codes live in ``[0, 2**num_bits)``).
+    period:
+        Signature period in seconds.
+    threshold:
+        NDF decision threshold of the compiling engine's calibrated
+        band (None when compiled without a band); used by the
+        detectability analysis.
+    """
+
+    batch: SignatureBatch
+    ndfs: np.ndarray
+    features: np.ndarray
+    faults: List[Fault]
+    golden_signature: Signature
+    num_bits: int
+    period: float
+    threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.ndfs = np.asarray(self.ndfs, dtype=float)
+        f = len(self.faults)
+        if len(self.batch) != f or self.ndfs.shape != (f,) \
+                or self.features.shape[0] != f:
+            raise ValueError("dictionary rows must align with the "
+                             "fault universe")
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    @property
+    def labels(self) -> List[str]:
+        """Human-readable fault identifiers, row order."""
+        return [fault.label for fault in self.faults]
+
+    def signature(self, i: int) -> Signature:
+        """Unpack fault ``i``'s signature (report edge only)."""
+        return self.batch.row(i)
+
+    def detectable(self, threshold: Optional[float] = None) -> np.ndarray:
+        """Boolean mask of faults the decision band flags at all.
+
+        A fault whose own NDF sits inside the acceptance band never
+        reaches the diagnosis stage -- it is a test escape, not a
+        diagnosis candidate.
+        """
+        threshold = threshold if threshold is not None else self.threshold
+        if threshold is None:
+            raise ValueError("need a decision threshold (compile with "
+                             "a band or pass one explicitly)")
+        return self.ndfs > float(threshold)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, path) -> str:
+        """Serialize to a ``.npz`` archive (portable, content-complete).
+
+        Everything needed to rebuild the dictionary travels in the
+        archive: the packed CSR arrays, the golden signature's runs,
+        the feature matrix and a JSON header with the fault universe.
+        Returns the actual file path written: ``numpy.savez`` appends
+        ``.npz`` to bare names, so the suffix is normalized here
+        rather than silently diverging from the requested path.
+        """
+        path = str(path)
+        if not path.endswith(".npz"):
+            path += ".npz"
+        meta = {
+            "num_bits": int(self.num_bits),
+            "period": float(self.period),
+            "threshold": (None if self.threshold is None
+                          else float(self.threshold)),
+            "faults": [{"kind": fault.kind.value,
+                        "target": fault.target,
+                        "deviation": float(fault.deviation)}
+                       for fault in self.faults],
+        }
+        np.savez_compressed(
+            path,
+            codes=self.batch.codes, durations=self.batch.durations,
+            row_offsets=self.batch.row_offsets,
+            periods=self.batch.periods,
+            ndfs=self.ndfs, features=self.features,
+            golden_codes=np.asarray(self.golden_signature.codes(),
+                                    dtype=np.int64),
+            golden_durations=self.golden_signature.durations(),
+            meta=np.asarray(json.dumps(meta)))
+        return path
+
+    @classmethod
+    def load(cls, path) -> "FaultDictionary":
+        """Rebuild a dictionary saved with :meth:`save`.
+
+        Accepts the path with or without the ``.npz`` suffix (save
+        normalizes to ``.npz``).
+        """
+        import os
+
+        path = str(path)
+        if not os.path.exists(path) and not path.endswith(".npz") \
+                and os.path.exists(path + ".npz"):
+            path += ".npz"
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            batch = SignatureBatch(archive["codes"],
+                                   archive["durations"],
+                                   archive["row_offsets"],
+                                   archive["periods"])
+            golden = Signature.from_pairs(
+                zip(archive["golden_codes"].tolist(),
+                    archive["golden_durations"].tolist()),
+                meta["period"])
+            faults = [Fault(FaultKind(entry["kind"]), entry["target"],
+                            entry["deviation"])
+                      for entry in meta["faults"]]
+            return cls(batch=batch, ndfs=archive["ndfs"],
+                       features=archive["features"], faults=faults,
+                       golden_signature=golden,
+                       num_bits=meta["num_bits"],
+                       period=meta["period"],
+                       threshold=meta["threshold"])
+
+
+def compile_fault_dictionary(engine, faults: Optional[Sequence[Fault]] = None,
+                             values: Optional[TowThomasValues] = None,
+                             band="auto") -> FaultDictionary:
+    """Compile (or fetch from cache) the dictionary for one engine.
+
+    Every fault is injected into the structural Tow-Thomas netlist
+    (``values``, synthesized from the engine's golden spec when
+    omitted) and simulated through the engine's own campaign front
+    half -- same stimulus, capture grid and encoder as production
+    screening, so dictionary rows live in the same signature space as
+    the dies they will be matched against.
+
+    The compiled rows are content-keyed in ``engine.cache`` under the
+    engine's golden key plus the fault universe and component values,
+    so repeated compilations (including across campaigns sharing a
+    configuration) are cache hits.  ``band`` resolves the detectability
+    threshold exactly like :meth:`CampaignEngine.run` and is attached
+    after the cache lookup -- dictionaries compiled at different
+    tolerances share their signature rows.
+    """
+    config = engine.config
+    fault_list = list(faults) if faults is not None \
+        else default_fault_universe()
+    if values is None:
+        values = TowThomasValues.from_spec(config.golden_spec)
+    key = ("fault_dictionary", config.golden_key(),
+           values_key(values), tuple(fault_key(f) for f in fault_list))
+
+    def compute() -> FaultDictionary:
+        cuts = [fault.apply_to_biquad(values) for fault in fault_list]
+        population = CutListPopulation(
+            cuts, [fault.label for fault in fault_list])
+        result = engine.run(population, band=None,
+                            keep_signatures=True)
+        num_bits = config.encoder.num_bits
+        return FaultDictionary(
+            batch=result.signature_batch, ndfs=result.ndfs,
+            features=dwell_features(result.signature_batch, num_bits),
+            faults=fault_list,
+            golden_signature=engine.golden().signature,
+            num_bits=num_bits,
+            period=engine.golden().period, threshold=None)
+
+    dictionary = engine.cache.get_or_compute(key, compute)
+    threshold = engine._resolve_threshold(band)
+    if threshold != dictionary.threshold:
+        dictionary = replace(dictionary, threshold=threshold)
+    return dictionary

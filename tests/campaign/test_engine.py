@@ -345,3 +345,118 @@ def test_noise_campaign_validates_arguments(engine):
     population = montecarlo_dies(PAPER_BIQUAD, 2)
     with pytest.raises(ValueError):
         engine.run_noise(population, repeats=0)
+
+
+def test_noise_campaign_executor_parity_bit_identical(engine):
+    """Pool-fanned noise chunks must equal the serial path bit for bit
+    (ROADMAP open item: executor-parallel noise campaigns)."""
+    from repro.campaign import (
+        CampaignEngine,
+        GoldenCache,
+        ProcessPoolExecutor,
+    )
+
+    population = montecarlo_dies(PAPER_BIQUAD, 10, sigma_f0=0.04,
+                                 seed=21)
+    serial = engine.run_noise(population, repeats=3, seed=13,
+                              band="auto")
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        pooled = CampaignEngine(engine.config, cache=GoldenCache(),
+                                executor=pool).run_noise(
+            population, repeats=3, seed=13, band="auto")
+    assert pooled.executor.startswith("process-pool")
+    assert np.array_equal(serial.ndf_matrix, pooled.ndf_matrix)
+    assert np.array_equal(serial.detection_rates(),
+                          pooled.detection_rates())
+
+
+# ----------------------------------------------------------------------
+# Signature retention (the diagnosis edge)
+# ----------------------------------------------------------------------
+def test_keep_signatures_matches_per_die_extraction(engine):
+    """Retained batch rows must equal per-die Signature.from_samples."""
+    from repro.campaign.batch import (
+        batch_codes,
+        batch_multitone_eval,
+    )
+    from repro.core.signature import Signature
+
+    population = montecarlo_dies(PAPER_BIQUAD, 6, sigma_f0=0.04,
+                                 seed=23)
+    result = engine.run(population, band="auto", keep_signatures=True)
+    batch = result.signature_batch
+    assert batch is not None and len(batch) == 6
+    golden = engine.golden()
+    responses = [BiquadFilter(s).response(PAPER_STIMULUS)
+                 for s in population.specs]
+    y = batch_multitone_eval(responses, golden.times)
+    codes = batch_codes(engine.config.encoder, golden.x, y)
+    for i in range(6):
+        expected = Signature.from_samples(golden.times, codes[i],
+                                          golden.period)
+        row = batch.row(i)
+        assert row.codes() == expected.codes()
+        assert np.array_equal(row.durations(), expected.durations())
+
+
+def test_keep_signatures_off_by_default(engine):
+    population = montecarlo_dies(PAPER_BIQUAD, 2, seed=1)
+    result = engine.run(population, band=None)
+    assert result.signature_batch is None
+    with pytest.raises(ValueError, match="keep_signatures"):
+        result.diagnose(None)
+
+
+def test_keep_signatures_executor_parity(engine):
+    """Serial and pool runs retain bit-identical batches."""
+    from repro.campaign import (
+        CampaignEngine,
+        GoldenCache,
+        ProcessPoolExecutor,
+    )
+
+    population = montecarlo_dies(PAPER_BIQUAD, 9, sigma_f0=0.03,
+                                 seed=31)
+    serial = engine.run(population, band=None, keep_signatures=True)
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        pooled = CampaignEngine(engine.config, cache=GoldenCache(),
+                                executor=pool).run(
+            population, band=None, keep_signatures=True)
+    for attribute in ("codes", "durations", "row_offsets", "periods"):
+        assert np.array_equal(
+            getattr(serial.signature_batch, attribute),
+            getattr(pooled.signature_batch, attribute))
+
+
+def test_keep_signatures_streamed(engine):
+    """Streamed retention concatenates chunks in fleet order."""
+    from repro.campaign import stream_montecarlo_dies
+
+    monolithic = engine.run(
+        montecarlo_dies(PAPER_BIQUAD, 12, sigma_f0=0.03, seed=41),
+        band=None, keep_signatures=True)
+    streamed = engine.run_stream(
+        stream_montecarlo_dies(PAPER_BIQUAD, 12, chunk_size=5,
+                               sigma_f0=0.03, seed=41),
+        band=None, keep_signatures=True)
+    for attribute in ("codes", "durations", "row_offsets", "periods"):
+        assert np.array_equal(
+            getattr(monolithic.signature_batch, attribute),
+            getattr(streamed.signature_batch, attribute))
+
+
+def test_failing_selection_helpers(engine):
+    population = deviation_sweep_population(PAPER_BIQUAD,
+                                            [-0.15, 0.0, 0.15])
+    result = engine.run(population, band="auto",
+                        keep_signatures=True)
+    failing = result.failing_indices()
+    assert np.array_equal(failing, [0, 2])
+    assert result.failing_labels() == [result.labels[0],
+                                       result.labels[2]]
+    carved = result.signature_batch.select(failing)
+    assert len(carved) == 2
+    assert carved.row(0).codes() \
+        == result.signature_batch.row(0).codes()
+    assert carved.row(1).codes() \
+        == result.signature_batch.row(2).codes()

@@ -195,3 +195,53 @@ def test_quantize_batch_rejects_subtick_period():
         [Signature.from_pairs([(1, 0.25)], 0.25)])
     with pytest.raises(ValueError):
         capture.quantize_batch(batch)
+
+
+# ----------------------------------------------------------------------
+# Row selection / concatenation (the diagnosis carve-out)
+# ----------------------------------------------------------------------
+def test_select_preserves_rows(population_codes):
+    times, codes, period, golden = population_codes
+    batch = SignatureBatch.from_code_stack(times, codes, period)
+    picked = batch.select([3, 0, 3])
+    assert len(picked) == 3
+    for out_row, src_row in zip(range(3), (3, 0, 3)):
+        a, b = picked.row(out_row), batch.row(src_row)
+        assert a.codes() == b.codes()
+        assert np.array_equal(a.durations(), b.durations())
+    # Scoring the selection equals gathering the full-batch scores.
+    assert np.array_equal(picked.ndf_to(golden),
+                          batch.ndf_to(golden)[[3, 0, 3]])
+
+
+def test_select_empty_and_validation(population_codes):
+    times, codes, period, __ = population_codes
+    batch = SignatureBatch.from_code_stack(times, codes, period)
+    empty = batch.select([])
+    assert len(empty) == 0
+    assert empty.codes.size == 0
+    with pytest.raises(ValueError):
+        batch.select([[0, 1]])
+
+
+def test_concatenate_round_trips_select(population_codes):
+    times, codes, period, golden = population_codes
+    batch = SignatureBatch.from_code_stack(times, codes, period)
+    n = len(batch)
+    front = batch.select(np.arange(n // 2))
+    back = batch.select(np.arange(n // 2, n))
+    merged = SignatureBatch.concatenate([front, back])
+    assert np.array_equal(merged.codes, batch.codes)
+    assert np.array_equal(merged.durations, batch.durations)
+    assert np.array_equal(merged.row_offsets, batch.row_offsets)
+    assert np.array_equal(merged.periods, batch.periods)
+    assert np.array_equal(merged.ndf_to(golden), batch.ndf_to(golden))
+
+
+def test_concatenate_skips_empty_batches(population_codes):
+    times, codes, period, __ = population_codes
+    batch = SignatureBatch.from_code_stack(times, codes, period)
+    merged = SignatureBatch.concatenate(
+        [SignatureBatch.empty(), batch, SignatureBatch.empty()])
+    assert len(merged) == len(batch)
+    assert len(SignatureBatch.concatenate([])) == 0

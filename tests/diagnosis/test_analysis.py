@@ -1,0 +1,197 @@
+"""Ambiguity groups, detectability, perturbed fleets, confusion."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignEngine, GoldenCache
+from repro.diagnosis import (
+    ambiguity_groups,
+    compile_fault_dictionary,
+    confusion_study,
+    detectability_report,
+    fault_distance_matrix,
+    perturbed_fault_fleet,
+)
+from repro.filters.faults import catastrophic_fault_universe
+from repro.filters.towthomas import TowThomasValues
+from repro.monitor.configurations import table1_encoder
+from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+
+pytestmark = pytest.mark.campaign
+
+SAMPLES = 512
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return CampaignEngine.from_parts(table1_encoder(), PAPER_STIMULUS,
+                                     PAPER_BIQUAD,
+                                     samples_per_period=SAMPLES,
+                                     cache=GoldenCache())
+
+
+@pytest.fixture(scope="module")
+def dictionary(engine):
+    return compile_fault_dictionary(engine)
+
+
+@pytest.fixture(scope="module")
+def matrix(dictionary):
+    return fault_distance_matrix(dictionary)
+
+
+def test_distance_matrix_geometry(dictionary, matrix):
+    f = len(dictionary)
+    assert matrix.shape == (f, f)
+    assert np.array_equal(np.diag(matrix), np.zeros(f))
+    assert np.allclose(matrix, matrix.T)
+    assert np.all(matrix >= 0)
+
+
+def test_ambiguity_groups_partition_the_universe(dictionary, matrix):
+    groups = ambiguity_groups(dictionary, matrix=matrix)
+    flat = sorted(i for group in groups for i in group)
+    assert flat == list(range(len(dictionary)))  # exact partition
+    for group in groups:
+        for a in group:
+            for b in group:
+                if a != b:
+                    # Connected: every member is within epsilon of
+                    # *some* chain inside the group, and here groups
+                    # come from exactly-identical signatures.
+                    assert matrix[a, b] <= 1e-9
+
+
+def test_known_ambiguity_r1_r5(dictionary, matrix):
+    """r1-open and r5-short both scale the DC gain path identically:
+    the dictionary must place them in one group."""
+    labels = dictionary.labels
+    groups = ambiguity_groups(dictionary, matrix=matrix)
+    named = [{labels[i] for i in group} for group in groups]
+    assert any({"r1-open", "r5-short"} <= group for group in named)
+
+
+def test_epsilon_widens_groups(dictionary, matrix):
+    tight = ambiguity_groups(dictionary, epsilon=0.0, matrix=matrix)
+    loose = ambiguity_groups(dictionary, epsilon=np.inf, matrix=matrix)
+    assert len(loose) == 1
+    assert len(tight) >= len(ambiguity_groups(dictionary,
+                                              epsilon=1e-3,
+                                              matrix=matrix))
+
+
+def test_detectability_report(dictionary):
+    coverage = detectability_report(dictionary)
+    assert coverage.detectable.shape == (len(dictionary),)
+    assert 0.0 <= coverage.coverage <= 1.0
+    # The matched inverter pair r4 is invisible by construction.
+    assert "r4-open" in coverage.escapes
+    assert "coverage:" in coverage.summary()
+
+
+def test_detectability_requires_threshold(dictionary):
+    from dataclasses import replace
+
+    with pytest.raises(ValueError, match="threshold"):
+        detectability_report(replace(dictionary, threshold=None))
+
+
+def test_perturbed_fleet_determinism():
+    values = TowThomasValues.from_spec(PAPER_BIQUAD)
+    faults = catastrophic_fault_universe()[:3]
+    one, truth_one = perturbed_fault_fleet(values, faults,
+                                           per_fault=2, seed=5)
+    two, truth_two = perturbed_fault_fleet(values, faults,
+                                           per_fault=2, seed=5)
+    other, __ = perturbed_fault_fleet(values, faults, per_fault=2,
+                                      seed=6)
+    assert np.array_equal(truth_one, truth_two)
+    assert one.labels == two.labels
+    for a, b in zip(one.cuts, two.cuts):
+        assert a.values == b.values
+    assert any(a.values != b.values
+               for a, b in zip(one.cuts, other.cuts))
+
+
+def test_perturbed_fleet_keeps_fault_character():
+    """Perturbation must not wash out the injected defect."""
+    values = TowThomasValues.from_spec(PAPER_BIQUAD)
+    faults = catastrophic_fault_universe()[:2]  # r1-open, r1-short
+    population, truth = perturbed_fault_fleet(values, faults,
+                                              per_fault=3, sigma=0.05,
+                                              seed=0)
+    assert len(population) == 6
+    assert np.array_equal(truth, [0, 0, 0, 1, 1, 1])
+    for cut, j in zip(population.cuts, truth):
+        if faults[j].label == "r1-open":
+            assert cut.values.r1 > values.r1 * 1e5
+        else:
+            assert cut.values.r1 < 2.0
+
+
+def test_perturbed_fleet_validation():
+    values = TowThomasValues.from_spec(PAPER_BIQUAD)
+    faults = catastrophic_fault_universe()[:1]
+    with pytest.raises(ValueError, match="per fault"):
+        perturbed_fault_fleet(values, faults, per_fault=0)
+    with pytest.raises(ValueError, match="sigma"):
+        perturbed_fault_fleet(values, faults, sigma=-0.1)
+
+
+def test_confusion_study_end_to_end(engine, dictionary, matrix):
+    study = confusion_study(engine, dictionary, per_fault=2,
+                            sigma=0.01, seed=2)
+    f = len(dictionary)
+    assert study.matrix.shape == (f, f)
+    assert study.injected.sum() == 2 * f
+    assert study.detected.sum() == study.matrix.sum()
+    assert study.detected.sum() <= study.injected.sum()
+    assert 0.0 <= study.accuracy <= 1.0
+    groups = ambiguity_groups(dictionary, matrix=matrix)
+    assert study.group_accuracy(groups) >= study.accuracy
+    # At small sigma, group-aware diagnosis stays strong.
+    assert study.group_accuracy(groups) >= 0.8
+    assert "top-1:" in study.summary()
+
+
+def test_confusion_exact_fleet_is_group_perfect(engine, dictionary,
+                                                matrix):
+    """With zero perturbation every detected die IS its dictionary
+    row: group-aware top-1 must be exactly 100 %."""
+    study = confusion_study(engine, dictionary, per_fault=1,
+                            sigma=0.0, seed=0)
+    groups = ambiguity_groups(dictionary, matrix=matrix)
+    assert study.group_accuracy(groups) == 1.0
+    payload = study.to_payload()
+    assert payload["matrix"] == study.matrix.tolist()
+    assert payload["detection_rate"] == study.detection_rate
+
+
+def test_confusion_study_requires_threshold(engine):
+    bare = compile_fault_dictionary(engine, band=None)
+    with pytest.raises(ValueError, match="threshold"):
+        confusion_study(engine, bare, per_fault=1)
+
+
+def test_confusion_study_rejects_foreign_dictionary(engine, dictionary):
+    """A dictionary compiled on a different capture grid must be
+    refused, not silently matched across signature spaces."""
+    other = CampaignEngine.from_parts(
+        table1_encoder(), PAPER_STIMULUS, PAPER_BIQUAD,
+        samples_per_period=SAMPLES // 2, cache=GoldenCache())
+    foreign = compile_fault_dictionary(other)
+    with pytest.raises(ValueError, match="different configuration"):
+        confusion_study(engine, foreign, per_fault=1)
+
+
+def test_group_accuracy_helper(dictionary, matrix):
+    from repro.diagnosis import DictionaryMatcher
+
+    result = DictionaryMatcher(dictionary).match(dictionary.batch,
+                                                 top_k=1)
+    truth = np.arange(len(dictionary))
+    groups = ambiguity_groups(dictionary, matrix=matrix)
+    assert result.group_accuracy(truth, groups) == 1.0
+    assert result.group_accuracy(truth, []) == result.accuracy(truth)
+    with pytest.raises(ValueError, match="per die"):
+        result.group_accuracy(truth[:-1], groups)

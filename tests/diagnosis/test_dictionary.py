@@ -1,0 +1,144 @@
+"""Fault dictionary: compilation, caching, features, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignEngine,
+    CutListPopulation,
+    GoldenCache,
+)
+from repro.core.ndf import ndf
+from repro.diagnosis import (
+    FaultDictionary,
+    compile_fault_dictionary,
+    default_fault_universe,
+    dwell_features,
+)
+from repro.filters.faults import FaultKind, catastrophic_fault_universe
+from repro.filters.towthomas import TowThomasValues
+from repro.monitor.configurations import table1_encoder
+from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+
+pytestmark = pytest.mark.campaign
+
+SAMPLES = 512
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return CampaignEngine.from_parts(table1_encoder(), PAPER_STIMULUS,
+                                     PAPER_BIQUAD,
+                                     samples_per_period=SAMPLES,
+                                     cache=GoldenCache())
+
+
+@pytest.fixture(scope="module")
+def dictionary(engine):
+    return compile_fault_dictionary(engine)
+
+
+def test_default_universe_composition():
+    universe = default_fault_universe()
+    catastrophic = [f for f in universe
+                    if f.kind is not FaultKind.PARAMETRIC]
+    parametric = [f for f in universe
+                  if f.kind is FaultKind.PARAMETRIC]
+    assert len(catastrophic) == 14  # 7 components x {open, short}
+    assert len(parametric) == 6    # two signed classes per parameter
+    assert len(default_fault_universe(parametric=False)) == 14
+    assert len({f.label for f in universe}) == len(universe)
+
+
+def test_dictionary_aligns_with_universe(dictionary):
+    assert len(dictionary) == len(default_fault_universe())
+    assert len(dictionary.batch) == len(dictionary)
+    assert dictionary.ndfs.shape == (len(dictionary),)
+    assert dictionary.features.shape == (len(dictionary), 64)
+    assert dictionary.labels[0] == "r1-open"
+
+
+def test_rows_match_per_die_tester(engine, dictionary):
+    """Dictionary NDFs must equal scoring each faulted CUT alone."""
+    values = TowThomasValues.from_spec(PAPER_BIQUAD)
+    golden = engine.golden().signature
+    for i in (0, 5, len(dictionary) - 1):
+        fault = dictionary.faults[i]
+        single = engine.run(
+            CutListPopulation([fault.apply_to_biquad(values)],
+                              [fault.label]),
+            band=None, keep_signatures=True)
+        assert single.ndfs[0] == dictionary.ndfs[i]
+        assert ndf(single.signature_batch.row(0), golden) \
+            == dictionary.ndfs[i]
+
+
+def test_features_are_dwell_fractions(dictionary):
+    """Each feature row sums to 1 (the whole period is accounted)."""
+    sums = dictionary.features.sum(axis=1)
+    assert np.allclose(sums, 1.0)
+    # Row i's nonzero codes are exactly the signature's distinct codes.
+    sig = dictionary.signature(3)
+    nonzero = set(np.flatnonzero(dictionary.features[3]).tolist())
+    assert nonzero == sig.distinct_codes()
+
+
+def test_dwell_features_rejects_wide_codes(dictionary):
+    with pytest.raises(ValueError, match="wider"):
+        dwell_features(dictionary.batch, num_bits=2)
+
+
+def test_compilation_is_cached(engine):
+    before = engine.cache.info
+    first = compile_fault_dictionary(engine)
+    second = compile_fault_dictionary(engine)
+    after = engine.cache.info
+    assert second.batch is first.batch  # same cached rows
+    assert after.hits > before.hits
+
+
+def test_threshold_attaches_without_recompiling(engine):
+    base = compile_fault_dictionary(engine)
+    loose = compile_fault_dictionary(engine, band=10.0)
+    assert loose.threshold == 10.0
+    assert loose.batch is base.batch
+    assert not np.any(loose.detectable())
+
+
+def test_detectable_requires_threshold(engine):
+    dictionary = compile_fault_dictionary(engine, band=None)
+    with pytest.raises(ValueError, match="threshold"):
+        dictionary.detectable()
+    assert np.any(dictionary.detectable(0.05))
+
+
+def test_save_load_round_trip(dictionary, tmp_path):
+    path = tmp_path / "dictionary.npz"
+    dictionary.save(path)
+    loaded = FaultDictionary.load(path)
+    assert loaded.faults == dictionary.faults
+    assert np.array_equal(loaded.ndfs, dictionary.ndfs)
+    assert np.array_equal(loaded.features, dictionary.features)
+    assert np.array_equal(loaded.batch.codes, dictionary.batch.codes)
+    assert np.array_equal(loaded.batch.durations,
+                          dictionary.batch.durations)
+    assert np.array_equal(loaded.batch.row_offsets,
+                          dictionary.batch.row_offsets)
+    assert loaded.num_bits == dictionary.num_bits
+    assert loaded.threshold == dictionary.threshold
+    assert loaded.golden_signature == dictionary.golden_signature
+
+
+def test_custom_universe(engine):
+    universe = catastrophic_fault_universe()[:4]
+    dictionary = compile_fault_dictionary(engine, faults=universe)
+    assert len(dictionary) == 4
+    assert dictionary.labels == [f.label for f in universe]
+
+
+def test_save_returns_normalized_path(dictionary, tmp_path):
+    bare = tmp_path / "bare_name"
+    written = dictionary.save(bare)
+    assert written == str(bare) + ".npz"
+    loaded = FaultDictionary.load(bare)  # suffix-less load works
+    assert loaded.faults == dictionary.faults

@@ -119,3 +119,93 @@ def test_parametric_sweep_factory():
     faults = parametric_sweep(["f0", "q"], [-0.1, 0.1])
     assert len(faults) == 4
     assert all(f.kind is FaultKind.PARAMETRIC for f in faults)
+
+
+# ----------------------------------------------------------------------
+# __post_init__ rejection breadth
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("target", ["f0", "q", "gain"])
+@pytest.mark.parametrize("kind", [FaultKind.OPEN, FaultKind.SHORT])
+def test_catastrophic_rejects_every_parameter_target(kind, target):
+    with pytest.raises(ValueError, match="catastrophic"):
+        Fault(kind, target)
+
+
+@pytest.mark.parametrize("target",
+                         ["r1", "r2", "r3", "r4", "r5", "c1", "c2"])
+def test_parametric_rejects_every_component_target(target):
+    with pytest.raises(ValueError, match="parametric"):
+        Fault(FaultKind.PARAMETRIC, target, 0.1)
+
+
+@pytest.mark.parametrize("kind", list(FaultKind))
+def test_unknown_target_always_rejected(kind):
+    with pytest.raises(ValueError):
+        Fault(kind, "r9", 0.0)
+
+
+# ----------------------------------------------------------------------
+# Behavioural/structural round-trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("target,deviation", [
+    ("f0", 0.10), ("f0", -0.15), ("q", 0.35), ("q", -0.35),
+    ("gain", 0.35), ("gain", -0.35),
+])
+def test_parametric_spec_and_netlist_paths_agree(spec, values, target,
+                                                 deviation):
+    """apply_to_spec and apply_to_values must realize the same CUT:
+    the behavioural deviation and the component mapping are two views
+    of one fault."""
+    fault = Fault(FaultKind.PARAMETRIC, target, deviation)
+    behavioural = fault.apply_to_spec(spec)
+    structural = fault.apply_to_values(values).realized_spec()
+    assert structural.f0_hz == pytest.approx(behavioural.f0_hz,
+                                             rel=1e-9)
+    assert structural.q == pytest.approx(behavioural.q, rel=1e-9)
+    assert structural.gain == pytest.approx(behavioural.gain, rel=1e-9)
+
+
+def test_apply_to_biquad_builds_the_faulted_netlist(values):
+    fault = Fault(FaultKind.SHORT, "r2")
+    cut = fault.apply_to_biquad(values)
+    assert isinstance(cut, TowThomasBiquad)
+    assert cut.values == fault.apply_to_values(values)
+    assert cut.values.r2 == pytest.approx(1.0)
+
+
+def test_apply_to_biquad_parametric_round_trip(spec, values):
+    """Through the netlist and back: the realized spec of the faulted
+    structural CUT carries exactly the injected deviation."""
+    fault = f0_deviation(-0.08)
+    realized = fault.apply_to_biquad(values).values.realized_spec()
+    assert realized.f0_hz == pytest.approx(spec.f0_hz * 0.92, rel=1e-9)
+    assert realized.q == pytest.approx(spec.q, rel=1e-9)
+
+
+@pytest.mark.parametrize("fault", catastrophic_fault_universe(),
+                         ids=lambda f: f.label)
+def test_catastrophic_touches_only_its_component(values, fault):
+    faulted = fault.apply_to_values(values)
+    for name in ("r1", "r2", "r3", "r4", "r5", "c1", "c2"):
+        if name == fault.target:
+            assert getattr(faulted, name) != getattr(values, name)
+        else:
+            assert getattr(faulted, name) == getattr(values, name)
+
+
+# ----------------------------------------------------------------------
+# Universe completeness
+# ----------------------------------------------------------------------
+def test_catastrophic_universe_covers_every_component_both_ways():
+    universe = catastrophic_fault_universe()
+    pairs = {(f.target, f.kind) for f in universe}
+    components = ("r1", "r2", "r3", "r4", "r5", "c1", "c2")
+    assert pairs == {(c, k) for c in components
+                     for k in (FaultKind.OPEN, FaultKind.SHORT)}
+    labels = [f.label for f in universe]
+    assert len(set(labels)) == len(labels)  # labels are unique ids
+    assert all(f.deviation == 0.0 for f in universe)
+
+
+def test_negative_parametric_label_formatting():
+    assert Fault(FaultKind.PARAMETRIC, "q", -0.25).label == "q-25.0%"

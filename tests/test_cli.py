@@ -158,13 +158,151 @@ def test_campaign_noise_flag_requires_repeats(capsys):
     assert "--repeats" in capsys.readouterr().err
 
 
-def test_campaign_noise_rejects_pool_executor(capsys):
+def test_campaign_noise_pool_executor_matches_serial(capsys):
+    import json
+
     assert main(["campaign", "--dies", "4", "--samples", "512",
-                 "--repeats", "3", "--executor", "pool"]) == 2
-    assert "serial" in capsys.readouterr().err
+                 "--repeats", "3", "--json"]) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(["campaign", "--dies", "4", "--samples", "512",
+                 "--repeats", "3", "--executor", "pool",
+                 "--workers", "2", "--json"]) == 0
+    pooled = json.loads(capsys.readouterr().out)
+    assert pooled["executor"].startswith("process-pool")
+    assert pooled["detection_rate_mean"] == serial["detection_rate_mean"]
+    assert pooled["ndf_mean"] == serial["ndf_mean"]
+
+
+def test_campaign_faults_names_failing_dies(capsys):
+    assert main(["campaign", "--scenario", "faults",
+                 "--samples", "512"]) == 0
+    out = capsys.readouterr().out
+    assert "detected:" in out
+    assert "r1-open" in out  # failing dies named by fault, not index
+
+
+def test_campaign_faults_json_carries_fault_labels(capsys):
+    import json
+
+    assert main(["campaign", "--scenario", "faults",
+                 "--samples", "512", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["faults"]) == 14
+    by_label = {entry["label"]: entry for entry in payload["faults"]}
+    assert by_label["r1-open"]["kind"] == "open"
+    assert by_label["r1-open"]["target"] == "r1"
+    assert by_label["r1-open"]["detected"]
+    # The matched inverter pair is invisible by construction.
+    assert set(payload["fault_escapes"]) == {"r4-open", "r4-short"}
+
+
+def test_diagnose_human_readable(capsys):
+    assert main(["diagnose", "--samples", "512", "--per-fault", "2",
+                 "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "fault dictionary: 20 faults" in out
+    assert "coverage:" in out
+    assert "ambiguity:" in out
+    assert "group top-1:" in out
+    assert "diagnosed:" in out
+
+
+def test_diagnose_json_and_save_load(capsys, tmp_path):
+    import json
+
+    path = str(tmp_path / "dictionary.npz")
+    assert main(["diagnose", "--samples", "512", "--per-fault", "0",
+                 "--save", path, "--json"]) == 0
+    compiled = json.loads(capsys.readouterr().out)
+    assert compiled["saved"] == path
+    assert len(compiled["faults"]) == 20
+    assert "confusion" not in compiled  # --per-fault 0: report only
+    assert main(["diagnose", "--samples", "512", "--per-fault", "2",
+                 "--load", path, "--top-k", "2", "--json"]) == 0
+    loaded = json.loads(capsys.readouterr().out)
+    assert loaded["faults"] == compiled["faults"]
+    assert loaded["ndfs"] == compiled["ndfs"]
+    assert 0.0 <= loaded["accuracy"] <= 1.0
+    assert loaded["group_accuracy"] >= loaded["accuracy"]
+    assert all(len(m["candidates"]) == 2
+               for m in loaded["diagnosis"]["matches"])
+
+
+def test_diagnose_catastrophic_only(capsys):
+    import json
+
+    assert main(["diagnose", "--samples", "512", "--per-fault", "0",
+                 "--no-parametric", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["faults"]) == 14
 
 
 def test_campaign_chunk_must_be_positive():
     with pytest.raises(SystemExit):
         main(["campaign", "--stream", "--chunk", "0",
               "--samples", "512"])
+
+
+def test_diagnose_load_rejects_mismatched_grid(capsys, tmp_path):
+    path = str(tmp_path / "dictionary.npz")
+    assert main(["diagnose", "--samples", "512", "--per-fault", "0",
+                 "--save", path]) == 0
+    capsys.readouterr()
+    assert main(["diagnose", "--samples", "1024", "--per-fault", "0",
+                 "--load", path]) == 2
+    assert "different bench configuration" in capsys.readouterr().err
+
+
+def test_diagnose_load_honours_tolerance(capsys, tmp_path):
+    import json
+
+    path = str(tmp_path / "dictionary.npz")
+    assert main(["diagnose", "--samples", "512", "--per-fault", "0",
+                 "--save", path, "--json"]) == 0
+    saved = json.loads(capsys.readouterr().out)
+    assert main(["diagnose", "--samples", "512", "--per-fault", "0",
+                 "--load", path, "--tolerance", "0.10", "--json"]) == 0
+    loose = json.loads(capsys.readouterr().out)
+    # The wider band re-resolves the threshold instead of keeping the
+    # stale saved one, so fewer (or equal) faults stay detectable.
+    assert loose["threshold"] > saved["threshold"]
+    assert loose["coverage"] <= saved["coverage"]
+
+
+def test_diagnose_load_excludes_compile_flags(capsys, tmp_path):
+    path = str(tmp_path / "dictionary.npz")
+    assert main(["diagnose", "--samples", "512", "--per-fault", "0",
+                 "--save", path]) == 0
+    capsys.readouterr()
+    assert main(["diagnose", "--load", path, "--save", path]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+    assert main(["diagnose", "--load", path, "--no-parametric"]) == 2
+    assert "--no-parametric" in capsys.readouterr().err
+
+
+def test_diagnose_save_normalizes_npz_suffix(capsys, tmp_path):
+    import os
+
+    bare = str(tmp_path / "dict_no_ext")
+    assert main(["diagnose", "--samples", "512", "--per-fault", "0",
+                 "--save", bare]) == 0
+    out = capsys.readouterr().out
+    assert f"saved:       {bare}.npz" in out
+    assert os.path.exists(bare + ".npz")
+    # Loading by the bare name the user typed works too.
+    assert main(["diagnose", "--samples", "512", "--per-fault", "0",
+                 "--load", bare]) == 0
+
+
+def test_diagnose_json_is_strict_with_top_k_1(capsys):
+    """Top-1-only matches have an infinite margin; the payload must
+    encode it as null, not the non-standard Infinity literal."""
+    import json
+
+    assert main(["diagnose", "--samples", "512", "--per-fault", "1",
+                 "--top-k", "1", "--json"]) == 0
+    raw = capsys.readouterr().out
+    assert "Infinity" not in raw and "NaN" not in raw
+    payload = json.loads(raw)
+    assert all(m["margin"] is None
+               for m in payload["diagnosis"]["matches"])
