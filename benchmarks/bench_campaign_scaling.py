@@ -15,6 +15,11 @@ Proofs for the batched campaign engine:
   (``batch_signatures`` + ``batch_ndf``, the PR 1 back half) by >= 5x
   at N = 2000, and the end-to-end campaign beats the reconstructed
   PR 1 pipeline by >= 2x at N = 5000 -- with bit-identical NDFs;
+* **front-half speedup** -- the fused traces+encode front half (PR 4:
+  object-free closed-form synthesis plus the fused shared-branch
+  encoder) beats the live-reconstructed PR 2 front half with
+  bit-identical codes; the before/after per-die stage timings land in
+  the machine-readable ``BENCH_4.json`` artifact;
 * **stage-timing regression guard** -- per-die stage timings
   (trace/encode/signature/ndf) are compared against the committed
   baseline ``benchmarks/baselines/campaign_stages.json`` with a
@@ -23,7 +28,8 @@ Proofs for the batched campaign engine:
 Population sizes honour ``CAMPAIGN_BENCH_N`` (speedup study, default
 500), ``CAMPAIGN_BENCH_SCALING`` (comma-separated N list, default
 ``60,120,240,480``), ``CAMPAIGN_BENCH_STAGE_N`` (packed-pipeline
-study, default 2000) and ``CAMPAIGN_BENCH_E2E_N`` (end-to-end study,
+study, default 2000), ``CAMPAIGN_BENCH_E2E_N`` (end-to-end study,
+default 5000) and ``CAMPAIGN_BENCH_FRONT_N`` (front-half study,
 default 5000) so the CI smoke job can run a reduced fleet; the
 regression threshold honours ``CAMPAIGN_STAGE_TOLERANCE`` (default
 5x).  Timings are persisted as JSON under ``benchmarks/reports/`` for
@@ -48,6 +54,8 @@ from repro.campaign import (
     CampaignEngine,
     GoldenCache,
     ProcessPoolExecutor,
+    batch_biquad_traces,
+    batch_codes,
     batch_extract,
     batch_multitone_eval,
     batch_ndf,
@@ -55,8 +63,10 @@ from repro.campaign import (
     montecarlo_dies,
     stream_montecarlo_dies,
 )
+from repro.core.scratch import SCRATCH
 from repro.core.testflow import SignatureTester
 from repro.filters.biquad import BiquadFilter
+from repro.monitor.bank_encode import monitor_bank_codes_reference
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
 BASELINE_PATH = (pathlib.Path(__file__).parent / "baselines"
@@ -67,6 +77,7 @@ SCALING_NS = [int(n) for n in os.environ.get(
     "CAMPAIGN_BENCH_SCALING", "60,120,240,480").split(",")]
 STAGE_N = int(os.environ.get("CAMPAIGN_BENCH_STAGE_N", "2000"))
 E2E_N = int(os.environ.get("CAMPAIGN_BENCH_E2E_N", "5000"))
+FRONT_N = int(os.environ.get("CAMPAIGN_BENCH_FRONT_N", "5000"))
 STAGE_TOLERANCE = float(os.environ.get("CAMPAIGN_STAGE_TOLERANCE",
                                        "5.0"))
 
@@ -357,6 +368,131 @@ def test_e2e_campaign_speedup_vs_pr1_pipeline(bench_setup,
 
     assert identical
     assert speedup >= required
+
+
+def test_front_half_speedup_vs_pr2(bench_setup, report_writer):
+    """Fused traces+encode vs the PR 2 front half, reconstructed live.
+
+    The PR 2 front half is timed for real from its retained pieces:
+    per-die ``BiquadFilter(...).response()`` objects pushed through
+    :func:`batch_multitone_eval`, then the pre-fusion shared-branch
+    encoder (:func:`monitor_bank_codes_reference`).  The fused front
+    half (:func:`batch_biquad_traces` + :func:`batch_codes`) must beat
+    it on the combined traces+encode per-die time with bit-identical
+    codes.  Both sides run chunked like the engine, on the same
+    machine, same day -- the fair comparison the committed
+    cross-machine baseline cannot give.
+
+    Note on the required factor: the irreducible transcendental work
+    (``np.sin`` per trace sample, ``exp``/``log1p`` per EKV table
+    entry) is common to both pipelines and bounds the ratio wherever
+    numpy's sin falls back to scalar libm; the asserted floor is set
+    below the ~2x/~2.3x measured on the (scalar-sin) reference
+    machine, and machines with SIMD transcendentals land well above
+    it.  BENCH_4.json records the absolute before/after stage numbers
+    so the trajectory stays machine-readable either way.
+    """
+    n = FRONT_N
+    engine = bench_setup.campaign_engine(samples_per_period=2048,
+                                         cache=GoldenCache())
+    golden = engine.golden()
+    encoder = engine.config.encoder
+    population = montecarlo_dies(bench_setup.golden_spec, n,
+                                 sigma_f0=0.03, seed=43)
+    chunk = engine.config.chunk_size
+
+    def run_fused():
+        t_traces = t_encode = 0.0
+        codes = []
+        for lo in range(0, n, chunk):
+            specs = population.specs[lo:lo + chunk]
+            t0 = time.perf_counter()
+            y = batch_biquad_traces(specs, bench_setup.stimulus,
+                                    golden.times)
+            t1 = time.perf_counter()
+            codes.append(batch_codes(encoder, golden.x, y))
+            t_encode += time.perf_counter() - t1
+            t_traces += t1 - t0
+            SCRATCH.give(y)
+        return t_traces, t_encode, np.concatenate(codes)
+
+    def run_pr2():
+        t_traces = t_encode = 0.0
+        codes = []
+        for lo in range(0, n, chunk):
+            specs = population.specs[lo:lo + chunk]
+            t0 = time.perf_counter()
+            responses = [BiquadFilter(s).response(bench_setup.stimulus)
+                         for s in specs]
+            y = batch_multitone_eval(responses, golden.times)
+            t1 = time.perf_counter()
+            codes.append(monitor_bank_codes_reference(encoder,
+                                                      golden.x, y))
+            t_encode += time.perf_counter() - t1
+            t_traces += t1 - t0
+        return t_traces, t_encode, np.concatenate(codes)
+
+    fused = min((run_fused() for __ in range(3)),
+                key=lambda r: r[0] + r[1])
+    pr2 = min((run_pr2() for __ in range(3)),
+              key=lambda r: r[0] + r[1])
+    identical = bool(np.array_equal(fused[2], pr2[2]))
+    combined_speedup = (pr2[0] + pr2[1]) / (fused[0] + fused[1])
+    traces_speedup = pr2[0] / fused[0]
+    encode_speedup = pr2[1] / fused[1]
+    # Typical measurements on the scalar-sin reference machine:
+    # combined 1.6-2.0x, encode 2.0-2.8x.  The floors sit below the
+    # observed range so shared-runner noise cannot flake the job.
+    required_combined = 1.4 if n >= 2000 else 1.1
+    required_encode = 1.6 if n >= 2000 else 1.2
+
+    rows = [["dies", str(n)],
+            ["PR 2 traces / encode",
+             f"{pr2[0] / n * 1e6:.1f} / {pr2[1] / n * 1e6:.1f} us/die"],
+            ["fused traces / encode",
+             f"{fused[0] / n * 1e6:.1f} / "
+             f"{fused[1] / n * 1e6:.1f} us/die"],
+            ["combined speedup", f"{combined_speedup:.2f}x"],
+            ["encode speedup", f"{encode_speedup:.2f}x"]]
+    comparisons = [
+        Comparison("combined front-half speedup",
+                   f">= {required_combined:.2f}x",
+                   f"{combined_speedup:.2f}x",
+                   match=combined_speedup >= required_combined),
+        Comparison("encode speedup", f">= {required_encode:.2f}x",
+                   f"{encode_speedup:.2f}x",
+                   match=encode_speedup >= required_encode),
+        Comparison("zone codes", "bit-identical", str(identical),
+                   match=identical),
+    ]
+    report_writer("campaign_front_half", "\n".join([
+        banner(f"CAMPAIGN: fused front half vs PR 2 ({n} dies)"),
+        format_table(["quantity", "value"], rows),
+        "",
+        comparison_table(comparisons),
+    ]))
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    _write_json("BENCH_4", {
+        "pr": 4,
+        "dies": n,
+        "samples_per_period": 2048,
+        "front_half_per_die_s": {
+            "before": {"traces": pr2[0] / n, "encode": pr2[1] / n,
+                       "combined": (pr2[0] + pr2[1]) / n},
+            "after": {"traces": fused[0] / n, "encode": fused[1] / n,
+                      "combined": (fused[0] + fused[1]) / n},
+        },
+        "speedup": {"combined": combined_speedup,
+                    "traces": traces_speedup,
+                    "encode": encode_speedup},
+        "committed_baseline_per_die_s": baseline["per_die_s"],
+        "bit_identical_codes": identical,
+    })
+
+    assert identical
+    assert combined_speedup >= required_combined
+    assert encode_speedup >= required_encode
 
 
 def test_stage_timings_vs_committed_baseline(bench_setup,

@@ -13,6 +13,12 @@ Proofs for the :mod:`repro.diagnosis` subsystem:
 * **diagnosis quality** -- on the perturbed fleet, top-1 accuracy up
   to ambiguity groups stays high; the confusion matrix is persisted
   as a CI artifact;
+* **batched dictionary compilation** -- fault-universe netlists
+  synthesize through one stacked MNA sweep
+  (:func:`repro.circuits.ac.ac_analysis_batch` +
+  :func:`repro.circuits.dc.dc_solve_batch`) instead of per-cut,
+  per-frequency rebuild/solve loops, measurably faster than the
+  sequential per-cut reference with bit-identical traces and NDFs;
 * **stage-timing regression guard** -- per-die match cost is compared
   against the committed ``diagnosis_per_die_s`` baseline in
   ``benchmarks/baselines/campaign_stages.json`` with the same
@@ -235,3 +241,94 @@ def test_confusion_artifact_and_stage_guard(bench_setup,
     assert per_die <= budget_per_die, (
         f"diagnosis match stage regressed beyond "
         f"{STAGE_TOLERANCE:.0f}x the committed baseline")
+
+
+def test_dictionary_compile_batched_vs_sequential(bench_setup,
+                                                  report_writer):
+    """Stacked-MNA fault synthesis vs the per-cut response() loop.
+
+    A perturbed fault fleet (same-topology Tow-Thomas netlists, the
+    exact shape dictionary compilation and confusion studies screen)
+    is synthesized both ways; the batched front half must be faster
+    with bit-identical traces and NDFs.
+    """
+    from repro.campaign.batch import (
+        batch_codes,
+        batch_extract,
+        batch_multitone_eval,
+        batch_netlist_traces,
+        batch_responses,
+    )
+    from repro.diagnosis import perturbed_fault_fleet
+    from repro.filters.faults import catastrophic_fault_universe
+
+    engine = bench_setup.campaign_engine(samples_per_period=2048,
+                                         cache=GoldenCache())
+    golden = engine.golden()
+    values = TowThomasValues.from_spec(bench_setup.golden_spec)
+    faults = catastrophic_fault_universe()
+    per_fault = max(2, min(30, FLEET_N // max(1, len(faults))))
+    population, __ = perturbed_fault_fleet(values, faults,
+                                           per_fault=per_fault,
+                                           sigma=0.02, seed=13)
+    cuts = population.cuts
+
+    t0 = time.perf_counter()
+    y_batched = batch_netlist_traces(cuts, bench_setup.stimulus,
+                                     golden.times)
+    t_batched = time.perf_counter() - t0
+    assert y_batched is not None
+
+    t0 = time.perf_counter()
+    responses = batch_responses(cuts, bench_setup.stimulus)
+    y_sequential = batch_multitone_eval(responses, golden.times)
+    t_sequential = time.perf_counter() - t0
+
+    identical_traces = bool(np.array_equal(y_batched, y_sequential))
+    codes = batch_codes(engine.config.encoder, golden.x, y_batched)
+    ndfs_batched = batch_extract(golden.times, codes,
+                                 golden.period).ndf_to(
+                                     golden.signature)
+    codes_seq = batch_codes(engine.config.encoder, golden.x,
+                            y_sequential)
+    ndfs_sequential = batch_extract(golden.times, codes_seq,
+                                    golden.period).ndf_to(
+                                        golden.signature)
+    identical_ndfs = bool(np.array_equal(ndfs_batched,
+                                         ndfs_sequential))
+    speedup = t_sequential / t_batched
+    required = 1.3 if len(cuts) >= 100 else 1.05
+
+    rows = [["netlist cuts", str(len(cuts))],
+            ["sequential per-cut synthesis",
+             f"{t_sequential * 1e3:.1f} ms"],
+            ["stacked MNA synthesis", f"{t_batched * 1e3:.1f} ms"],
+            ["speedup", f"{speedup:.2f}x"]]
+    comparisons = [
+        Comparison("netlist synthesis speedup",
+                   f">= {required:.2f}x", f"{speedup:.2f}x",
+                   match=speedup >= required),
+        Comparison("trace stacks", "bit-identical",
+                   str(identical_traces), match=identical_traces),
+        Comparison("NDF vectors", "bit-identical",
+                   str(identical_ndfs), match=identical_ndfs),
+    ]
+    report_writer("diagnosis_compile", "\n".join([
+        banner(f"DIAGNOSIS: batched dictionary synthesis "
+               f"({len(cuts)} netlists)"),
+        format_table(["quantity", "value"], rows),
+        "",
+        comparison_table(comparisons),
+    ]))
+    _write_json("diagnosis_compile", {
+        "netlist_cuts": len(cuts),
+        "t_sequential_s": t_sequential,
+        "t_batched_s": t_batched,
+        "speedup": speedup,
+        "bit_identical_traces": identical_traces,
+        "bit_identical_ndfs": identical_ndfs,
+    })
+
+    assert identical_traces
+    assert identical_ndfs
+    assert speedup >= required

@@ -21,12 +21,15 @@ Quick start::
 """
 
 from repro.campaign.batch import (
+    batch_biquad_traces,
     batch_codes,
     batch_extract,
     batch_multitone_eval,
     batch_ndf,
+    batch_netlist_traces,
     batch_responses,
     batch_signatures,
+    batch_through_eval,
     sample_times,
     trace_population_ndf,
 )
@@ -66,12 +69,15 @@ from repro.campaign.scenarios import (
 )
 
 __all__ = [
+    "batch_biquad_traces",
     "batch_codes",
     "batch_extract",
     "batch_multitone_eval",
     "batch_ndf",
+    "batch_netlist_traces",
     "batch_responses",
     "batch_signatures",
+    "batch_through_eval",
     "sample_times",
     "trace_population_ndf",
     "DEFAULT_CACHE",

@@ -5,16 +5,30 @@ evaluates one trace, one zone encoding and one capture at a time.  At
 fleet scale the same work is batched over stacked ``(N, samples)``
 arrays and a packed signature representation:
 
+* :func:`batch_biquad_traces` synthesizes the whole ``(N, T)`` response
+  stack of a Biquad spec population in one pass: the closed-form
+  ``H(j w)`` of every die evaluates as a real-array broadcast
+  (:func:`repro.filters.biquad.batch_transfer`, replicating Python's
+  scalar complex arithmetic bit for bit) and the tone accumulation of
+  :func:`batch_through_eval` reuses one scratch buffer -- no per-die
+  ``BiquadFilter``/``Multitone`` objects on the hot path;
+* :func:`batch_netlist_traces` does the same for stacks of
+  same-topology linear netlist CUTs (fault dictionaries): one
+  :func:`repro.circuits.ac.ac_analysis_batch` sweep solves every
+  circuit per frequency through a single batched ``np.linalg.solve``,
+  one :func:`repro.circuits.dc.dc_solve_batch` pass supplies the DC
+  gains;
 * :func:`batch_multitone_eval` evaluates N same-frequency multitones on
-  a shared time grid in one broadcast pass;
-* :func:`batch_responses` propagates one stimulus through N linear CUTs
-  (exact steady state, tone by tone);
+  a shared time grid in one broadcast pass, and
+  :func:`batch_responses` propagates one stimulus through N linear CUTs
+  object by object -- both retained as the per-die reference the
+  equivalence tests and benchmarks compare the fused kernels against;
 * :func:`batch_codes` pushes the whole ``(N, samples)`` point stack
-  through the zone encoder at once -- monitor banks take the
-  shared-branch fast path of
-  :func:`repro.monitor.bank_encode.monitor_bank_codes`, which computes
-  each model card's EKV term once per gate signal instead of once per
-  device;
+  through the zone encoder at once -- monitor banks take the fused
+  shared-branch path of
+  :func:`repro.monitor.bank_encode.monitor_bank_codes` (one in-place
+  EKV table per model card per gate signal, per-boundary balances in
+  reused scratch, packed code accumulation);
 * :func:`batch_extract` run-length extracts the whole code stack into
   one packed :class:`repro.core.signature_batch.SignatureBatch` (CSR
   ``codes``/``durations``/``row_offsets``) in a single pass -- per-die
@@ -23,29 +37,35 @@ arrays and a packed signature representation:
 * :meth:`SignatureBatch.ndf_to` scores every row against the golden in
   one flat kernel (no per-die ``np.unique`` breakpoint merges);
   :func:`batch_signatures`/:func:`batch_ndf` remain as the unpacked
-  per-die reference implementations that benchmarks and equivalence
-  tests compare against.
+  per-die reference implementations.
 
 The floating-point expression order of the per-die path is replicated
-exactly (same offset-then-tone accumulation, same ``w*t + phase``
-association, same run-length subtractions and NDF interval sums), so a
-batched campaign with ``refine`` disabled produces **bit-identical**
-codes, signatures, NDFs and verdicts to a serial
-:class:`SignatureTester` with ``refine=False``.  The campaign
-equivalence tests assert this.
+exactly (same complex quotient and ``hypot``/``arctan2`` rounding in
+the transfer evaluation, same offset-then-tone accumulation, same
+``w*t + phase`` association, same run-length subtractions and NDF
+interval sums), so a batched campaign with ``refine`` disabled produces
+**bit-identical** traces, codes, signatures, NDFs and verdicts to a
+serial :class:`SignatureTester` with ``refine=False``.  The campaign
+equivalence tests assert this for every population kind and executor.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.ndf import ndf
+from repro.core.scratch import SCRATCH
 from repro.core.signature import Signature
 from repro.core.signature_batch import SignatureBatch
 from repro.core.zones import ZoneEncoder
+from repro.filters.biquad import (
+    BiquadSpec,
+    batch_transfer_arrays,
+    spec_arrays,
+)
 from repro.monitor.bank_encode import monitor_bank_codes
 from repro.signals.multitone import Multitone
 
@@ -70,7 +90,9 @@ def batch_multitone_eval(signals: Sequence[Multitone],
     same frequency (the campaign populations are LTI responses to one
     stimulus, so this holds by construction).  The accumulation order
     replicates :meth:`Multitone.__call__` exactly: start from the DC
-    offset, then add tones in sequence.
+    offset, then add tones in sequence.  This is the per-die-object
+    reference path; spec populations synthesize through
+    :func:`batch_biquad_traces` instead.
     """
     times = np.asarray(times, dtype=float)
     if not signals:
@@ -95,13 +117,180 @@ def batch_multitone_eval(signals: Sequence[Multitone],
     return total
 
 
+def batch_through_eval(stimulus: Multitone,
+                       tone_transfers: Sequence[Tuple[np.ndarray,
+                                                      np.ndarray]],
+                       dc_gains: np.ndarray,
+                       times: np.ndarray) -> np.ndarray:
+    """``(N, T)`` steady-state stack from per-die transfer samples.
+
+    ``tone_transfers[k]`` carries the ``(real, imag)`` arrays of every
+    die's ``H`` at tone ``k``'s frequency; ``dc_gains`` the (exactly
+    real) ``H(0)`` per die.  Replicates
+    :meth:`repro.signals.multitone.Multitone.through` --
+    ``|H|`` via the C-library ``hypot`` (`np.hypot` rounds
+    identically), phase via the ``arctan2 -> degrees -> + phase_deg ->
+    radians`` round trip -- followed by :func:`batch_multitone_eval`'s
+    offset-then-tone accumulation, all staged through one scratch
+    buffer so no fresh ``(N, T)`` temporaries are allocated per tone.
+    """
+    times = np.asarray(times, dtype=float)
+    dc_gains = np.asarray(dc_gains, dtype=float)
+    offsets = stimulus.offset * dc_gains
+    shape = (dc_gains.shape[0], times.size)
+    # The result rides a pooled buffer: callers that are done with the
+    # stack may hand it back via SCRATCH.give (the engine's chunk
+    # workers do, once the codes are extracted).
+    total = SCRATCH.take(shape)
+    np.copyto(total, offsets[:, None])  # == np.repeat, value for value
+    buf = SCRATCH.take(shape)
+    for tone, (h_re, h_im) in zip(stimulus.tones, tone_transfers):
+        amps = tone.amplitude * np.hypot(h_re, h_im)
+        phase_deg = tone.phase_deg + np.degrees(np.arctan2(h_im, h_re))
+        phases = np.radians(phase_deg)
+        w_t = 2.0 * math.pi * tone.freq_hz * times
+        np.add(w_t[None, :], phases[:, None], out=buf)
+        np.sin(buf, out=buf)
+        np.multiply(amps[:, None], buf, out=buf)
+        np.add(total, buf, out=total)
+    SCRATCH.give(buf)
+    return total
+
+
+def batch_biquad_traces(specs: Sequence[BiquadSpec],
+                        stimulus: Multitone,
+                        times: np.ndarray) -> np.ndarray:
+    """Response stack of a Biquad spec population, fully vectorized.
+
+    Bit-identical to ``batch_multitone_eval([BiquadFilter(s).response(
+    stimulus) for s in specs], times)`` -- i.e. to the per-die
+    reference flow -- without constructing a single per-die object:
+    the closed-form transfer of all N dies evaluates per tone as one
+    real-array broadcast and the trace accumulates through
+    :func:`batch_through_eval`.
+    """
+    times = np.asarray(times, dtype=float)
+    if not specs:
+        return np.empty((0, times.size))
+    # Stack the parameters once for all tone frequencies plus DC; a
+    # mixed-kind population stacks once per kind group.
+    n = len(specs)
+    kind_list = [spec.kind for spec in specs]
+    tone_transfers = [(np.empty(n), np.empty(n))
+                      for __ in stimulus.tones]
+    dc_re = np.empty(n)
+    for kind in set(kind_list):
+        idx = [i for i, k in enumerate(kind_list) if k is kind]
+        omega0, q, gain = spec_arrays([specs[i] for i in idx])
+        for slot, tone in enumerate(stimulus.tones):
+            h_re, h_im = batch_transfer_arrays(omega0, q, gain, kind,
+                                               tone.freq_hz)
+            tone_transfers[slot][0][idx] = h_re
+            tone_transfers[slot][1][idx] = h_im
+        dc_re[idx], __ = batch_transfer_arrays(omega0, q, gain, kind,
+                                               0.0)
+    # H(0) of a Biquad is exactly real (the quotient's imaginary part
+    # is a signed zero), so Multitone.through's DC-realness guard can
+    # never trip on this path.
+    return batch_through_eval(stimulus, tone_transfers, dc_re, times)
+
+
+#: Attributes a netlist CUT class exposes to join the stacked MNA fast
+#: path (see :class:`repro.filters.towthomas.TowThomasBiquad`, which
+#: defines them for the Tow-Thomas realization).
+_NETLIST_PROTOCOL = ("system", "circuit", "ac_output_node",
+                     "ac_input_node", "ac_input_source")
+
+
+def batch_netlist_traces(cuts: Sequence, stimulus: Multitone,
+                         times: np.ndarray) -> Optional[np.ndarray]:
+    """Response stack of same-topology linear netlist CUTs, or None.
+
+    Qualifying cuts -- linear, shared topology, and publishing the
+    batched-synthesis protocol (``system``/``circuit`` plus the
+    ``ac_output_node``/``ac_input_node``/``ac_input_source``
+    attributes that :class:`~repro.filters.towthomas.TowThomasBiquad`
+    defines) -- are solved through
+    :func:`repro.circuits.ac.ac_analysis_batch` -- one stacked MNA
+    solve per tone frequency -- plus one batched DC pass for the
+    offsets, then synthesized by :func:`batch_through_eval`.
+    Bit-identical to ``[cut.response(stimulus) for cut in cuts]``
+    pushed through :func:`batch_multitone_eval`, because the batched
+    LAPACK solves, the numpy transfer quotient and the through()
+    replication all round exactly like the per-cut path.
+
+    Returns ``None`` when the stack does not qualify (mixed
+    topologies or observation nodes, nonlinear members, non-netlist
+    cuts); callers fall back to the per-cut reference.
+    """
+    from repro.circuits.ac import ac_analysis_batch, systems_share_topology
+    from repro.circuits.dc import dc_solve_batch
+    from repro.filters.towthomas import TowThomasBiquad
+
+    times = np.asarray(times, dtype=float)
+    cuts = list(cuts)
+    if not cuts or not all(
+            all(hasattr(cut, name) for name in _NETLIST_PROTOCOL)
+            for cut in cuts):
+        return None
+    # A protocol class warrants that its response()/transfer()/dc_gain
+    # semantics are exactly what this kernel replicates; a Tow-Thomas
+    # subclass that overrides response() breaks that warranty, so it
+    # falls back to the per-cut loop.
+    if any(isinstance(cut, TowThomasBiquad)
+           and type(cut).response is not TowThomasBiquad.response
+           for cut in cuts):
+        return None
+    head = cuts[0]
+    out_node = head.ac_output_node
+    in_node = head.ac_input_node
+    source_name = head.ac_input_source
+    if any(cut.ac_output_node != out_node
+           or cut.ac_input_node != in_node
+           or cut.ac_input_source != source_name for cut in cuts[1:]):
+        return None
+    systems = [cut.system for cut in cuts]
+    first = systems[0]
+    if first.has_nonlinear or not all(
+            systems_share_topology(first, s) for s in systems[1:]):
+        return None
+
+    # AC transfer at every tone frequency, all cuts per solve.
+    sweep = ac_analysis_batch(systems,
+                              [tone.freq_hz for tone in stimulus.tones])
+    transfer = sweep.transfer(out_node, in_node)  # (M, K) complex
+
+    # DC gains replicate the per-cut dc_gain protocol: drive the input
+    # source with 1 V, solve the (linear) operating point, read the
+    # output node.
+    sources = [cut.circuit.element(source_name) for cut in cuts]
+    saved = [source.dc for source in sources]
+    for source in sources:
+        source.dc = 1.0
+    try:
+        solutions = dc_solve_batch(systems)
+    finally:
+        for source, value in zip(sources, saved):
+            source.dc = value
+    out_idx = first.circuit.node_index(out_node)
+    dc_gains = (solutions[:, out_idx] if out_idx >= 0
+                else np.zeros(len(cuts)))
+
+    tone_transfers = [
+        (np.ascontiguousarray(transfer[:, k].real),
+         np.ascontiguousarray(transfer[:, k].imag))
+        for k in range(len(stimulus.tones))]
+    return batch_through_eval(stimulus, tone_transfers, dc_gains, times)
+
+
 def batch_responses(cuts: Sequence, stimulus: Multitone) -> List[Multitone]:
     """Exact steady-state output multitone of each linear CUT.
 
-    Every CUT must expose ``response(stimulus) -> Multitone`` (the
-    behavioural Biquad does); the per-CUT work is a handful of complex
-    transfer evaluations, so a Python loop here is cheap -- the heavy
-    sampling happens in :func:`batch_multitone_eval`.
+    Every CUT must expose ``response(stimulus) -> Multitone``.  This is
+    the per-cut reference path: spec populations go through
+    :func:`batch_biquad_traces`, netlist stacks through
+    :func:`batch_netlist_traces`; only heterogeneous cut lists pay the
+    per-object loop.
     """
     return [cut.response(stimulus) for cut in cuts]
 
@@ -110,8 +299,9 @@ def batch_codes(encoder: ZoneEncoder, x: np.ndarray,
                 y: np.ndarray) -> np.ndarray:
     """Zone codes of a stacked point set; ``x`` broadcasts over rows.
 
-    Monitor banks encode through the shared-branch fast path (one EKV
-    evaluation per model card per gate signal, with the shared ``x``
+    Monitor banks encode through the fused shared-branch path (one
+    in-place EKV evaluation per model card per gate signal, reused
+    balance scratch, packed bit accumulation -- with the shared ``x``
     kept one-dimensional); any other boundary family falls back to the
     generic per-boundary evaluation on a broadcast view.  Both produce
     bit-identical codes to ``encoder.code`` point by point.

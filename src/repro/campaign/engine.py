@@ -8,10 +8,15 @@ instead of once per die through
 
 * golden signatures and calibrated decision bands are computed once per
   configuration and content-cached (:mod:`repro.campaign.cache`);
-* the hot path is array-resident end to end: stacked ``(N, samples)``
-  traces and codes (:mod:`repro.campaign.batch`), one packed
-  :class:`~repro.core.signature_batch.SignatureBatch` per chunk, and
-  the flat fleet-NDF kernel -- per-die ``Signature`` objects exist only
+* the hot path is array-resident end to end: spec populations
+  synthesize their ``(N, samples)`` trace stacks straight from stacked
+  ``(omega0, q, gain)`` parameter arrays (no per-die
+  ``BiquadFilter``/``Multitone`` objects), fault-dictionary netlists
+  solve as one stacked MNA sweep, the fused shared-branch encoder
+  emits packed codes (:mod:`repro.campaign.batch`), and each chunk
+  flows into one packed
+  :class:`~repro.core.signature_batch.SignatureBatch` scored by the
+  flat fleet-NDF kernel -- per-die ``Signature`` objects exist only
   at the diagnosis edges;
 * an executor layer chunks the population serially, over a process
   pool, or over a shared-memory pool
@@ -48,9 +53,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.campaign.batch import (
+    batch_biquad_traces,
     batch_codes,
     batch_extract,
     batch_multitone_eval,
+    batch_netlist_traces,
     sample_times,
 )
 from repro.campaign.cache import (
@@ -71,6 +78,7 @@ from repro.campaign.scenarios import (
     deviation_sweep_population,
 )
 from repro.core.decision import DecisionBand, ThresholdCalibration
+from repro.core.scratch import SCRATCH
 from repro.core.signature import Signature
 from repro.core.signature_batch import SignatureBatch
 from repro.core.zones import ZoneEncoder
@@ -126,8 +134,7 @@ def _compute_golden(config: CampaignConfig) -> GoldenArtifacts:
     period = stimulus.period()
     times = sample_times(period, config.samples_per_period)
     x = np.asarray(stimulus(times), dtype=float)
-    response = BiquadFilter(config.golden_spec).response(stimulus)
-    y = batch_multitone_eval([response], times)[0]
+    y = batch_biquad_traces([config.golden_spec], stimulus, times)[0]
     codes = batch_codes(config.encoder, x, y[None, :])[0]
     signature = Signature.from_samples(times, codes, period)
     return GoldenArtifacts(times, x, y, codes, signature, period)
@@ -161,22 +168,63 @@ def _score_code_stack(config: CampaignConfig, golden: GoldenArtifacts,
     return values, (batch if collect else None)
 
 
-def _response_chunk_ndfs(config: CampaignConfig, cuts: Sequence,
-                         cache: GoldenCache, collect: bool = False
-                         ) -> Tuple[np.ndarray, Dict[str, float],
-                                    Optional[SignatureBatch]]:
-    """NDFs of a chunk of linear CUTs (objects with ``response``)."""
+def _spec_chunk_ndfs(config: CampaignConfig,
+                     specs: Sequence[BiquadSpec], cache: GoldenCache,
+                     collect: bool = False
+                     ) -> Tuple[np.ndarray, Dict[str, float],
+                                Optional[SignatureBatch]]:
+    """NDFs of a chunk of Biquad design points, object-free.
+
+    The whole front half is one array pass: closed-form transfer
+    broadcast + buffered tone accumulation
+    (:func:`~repro.campaign.batch.batch_biquad_traces`), then the
+    fused encode and packed back half.
+    """
     timing: Dict[str, float] = {}
     t0 = time.perf_counter()
     golden = _golden_artifacts(config, cache)
     t1 = time.perf_counter()
     timing["golden"] = t1 - t0
-    responses = [cut.response(config.stimulus) for cut in cuts]
-    y = batch_multitone_eval(responses, golden.times)
+    y = batch_biquad_traces(specs, config.stimulus, golden.times)
     t2 = time.perf_counter()
     timing["traces"] = t2 - t1
     values, batch = _score_code_stack(config, golden, golden.x, y,
                                       timing, collect)
+    SCRATCH.give(y)  # trace stacks ride pooled buffers; codes are out
+    return values, timing, batch
+
+
+def _response_chunk_ndfs(config: CampaignConfig, cuts: Sequence,
+                         cache: GoldenCache, collect: bool = False
+                         ) -> Tuple[np.ndarray, Dict[str, float],
+                                    Optional[SignatureBatch]]:
+    """NDFs of a chunk of linear CUTs (objects with ``response``).
+
+    Same-topology netlist stacks (fault dictionaries) synthesize
+    through the stacked-MNA kernel
+    (:func:`~repro.campaign.batch.batch_netlist_traces`); anything
+    else falls back to the per-cut ``response()`` reference loop.
+    """
+    timing: Dict[str, float] = {}
+    t0 = time.perf_counter()
+    golden = _golden_artifacts(config, cache)
+    t1 = time.perf_counter()
+    timing["golden"] = t1 - t0
+    y = batch_netlist_traces(cuts, config.stimulus, golden.times)
+    # Exact-type check: a BiquadFilter subclass may override
+    # response(), which the closed-form synthesis would bypass.
+    if y is None and cuts and all(type(cut) is BiquadFilter
+                                  for cut in cuts):
+        y = batch_biquad_traces([cut.spec for cut in cuts],
+                                config.stimulus, golden.times)
+    if y is None:
+        responses = [cut.response(config.stimulus) for cut in cuts]
+        y = batch_multitone_eval(responses, golden.times)
+    t2 = time.perf_counter()
+    timing["traces"] = t2 - t1
+    values, batch = _score_code_stack(config, golden, golden.x, y,
+                                      timing, collect)
+    SCRATCH.give(y)
     return values, timing, batch
 
 
@@ -185,8 +233,7 @@ def _spec_chunk_worker(payload
                                   Optional[SignatureBatch]]:
     """Pool-side entry point; uses the worker process' default cache."""
     config, specs, collect = payload
-    cuts = [BiquadFilter(spec) for spec in specs]
-    return _response_chunk_ndfs(config, cuts, DEFAULT_CACHE, collect)
+    return _spec_chunk_ndfs(config, specs, DEFAULT_CACHE, collect)
 
 
 def _trace_rows_ndfs(config: CampaignConfig, y_rows: np.ndarray,
@@ -251,9 +298,7 @@ def _noise_chunk_ndfs(config: CampaignConfig,
     golden = _golden_artifacts(config, cache)
     t1 = time.perf_counter()
     timing["golden"] = t1 - t0
-    responses = [BiquadFilter(spec).response(config.stimulus)
-                 for spec in specs]
-    y = batch_multitone_eval(responses, golden.times)
+    y = batch_biquad_traces(specs, config.stimulus, golden.times)
     t2 = time.perf_counter()
     timing["traces"] = t2 - t1
     n, t = y.shape
@@ -269,6 +314,7 @@ def _noise_chunk_ndfs(config: CampaignConfig,
                    + noise[:, :, 1, :].reshape(n * repeats, t))
     else:
         y_stack = np.repeat(y, repeats, axis=0)
+    SCRATCH.give(y)  # the repeated stack supersedes the clean traces
     timing["noise"] = time.perf_counter() - t2
     values, __ = _score_code_stack(config, golden, x_stack, y_stack,
                                    timing)
@@ -344,8 +390,8 @@ class CampaignEngine:
         def compute() -> ThresholdCalibration:
             population = deviation_sweep_population(
                 self.config.golden_spec, devs)
-            values, __, __ = _response_chunk_ndfs(
-                self.config, population.cuts(), self.cache)
+            values, __, __ = _spec_chunk_ndfs(
+                self.config, population.specs, self.cache)
             return ThresholdCalibration(np.asarray(devs), values)
 
         return self.cache.get_or_compute(key, compute)
@@ -616,23 +662,26 @@ class CampaignEngine:
                 [b for __, __t, b in outputs if b is not None])
         return values, timing, batch
 
-    def _map_chunks(self, cuts: Sequence, collect: bool = False
-                    ) -> Tuple[np.ndarray, Dict[str, float],
-                               Optional[SignatureBatch]]:
-        """Chunk linear CUTs over the executor and merge the results."""
-        chunk_size = self._pool_chunk_size(len(cuts),
+    def _map_spec_chunks(self, specs: Sequence[BiquadSpec],
+                         collect: bool = False
+                         ) -> Tuple[np.ndarray, Dict[str, float],
+                                    Optional[SignatureBatch]]:
+        """Chunk design points over the executor and merge the results.
+
+        Specs travel directly (they are picklable frozen dataclasses);
+        no per-die CUT objects are materialized on any path.
+        """
+        chunk_size = self._pool_chunk_size(len(specs),
                                            self.config.chunk_size)
-        chunks = chunked(list(cuts), chunk_size)
+        chunks = chunked(list(specs), chunk_size)
         if getattr(self.executor, "needs_picklable_work", False):
-            # Pool workers rebuild specs (always picklable) and use the
-            # per-process default cache.
-            payloads = [(self.config,
-                         tuple(cut.spec for cut in chunk), collect)
+            # Pool workers use the per-process default cache.
+            payloads = [(self.config, tuple(chunk), collect)
                         for chunk in chunks]
             outputs = self.executor.map(_spec_chunk_worker, payloads)
         else:
             outputs = self.executor.map(
-                lambda chunk: _response_chunk_ndfs(
+                lambda chunk: _spec_chunk_ndfs(
                     self.config, chunk, self.cache, collect), chunks)
         return self._merge_outputs(outputs, collect)
 
@@ -643,8 +692,8 @@ class CampaignEngine:
         if len(population) == 0:
             return (np.empty(0), {"golden": 0.0}, [],
                     SignatureBatch.empty() if collect else None)
-        values, timing, batch = self._map_chunks(population.cuts(),
-                                                 collect)
+        values, timing, batch = self._map_spec_chunks(population.specs,
+                                                      collect)
         return values, timing, list(population.labels), batch
 
     def _run_traces(self, population: TracePopulation,

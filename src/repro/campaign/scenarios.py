@@ -4,11 +4,17 @@ A campaign screens one of four population kinds:
 
 * :class:`SpecPopulation` -- N Biquad design points (Monte Carlo dies,
   deviation sweeps, parameter grids, corner lists).  This is the
-  vectorized fast path: all N traces evaluate as one ``(N, samples)``
-  stack.
-* :class:`CutListPopulation` -- N arbitrary CUT objects (fault dictionaries,
-  structural netlists).  Traces are computed per CUT, then encoding and
-  scoring still run batched.
+  vectorized fast path: the closed-form transfer of all N dies
+  broadcasts per tone and the whole ``(N, samples)`` trace stack
+  synthesizes in one buffered pass
+  (:func:`repro.campaign.batch.batch_biquad_traces`) -- no per-die
+  filter or signal objects exist anywhere.
+* :class:`CutListPopulation` -- N arbitrary CUT objects.  Fault
+  dictionaries and other same-topology linear netlist stacks solve
+  through one batched MNA sweep per tone frequency
+  (:func:`repro.campaign.batch.batch_netlist_traces`); heterogeneous
+  cut lists fall back to per-CUT traces, and encoding/scoring always
+  run batched.
 * :class:`EncoderPopulation` -- one fault-free CUT observed through N
   varied monitor banks (process Monte Carlo, temperature corners).  The
   trace is computed once and re-encoded per bank.

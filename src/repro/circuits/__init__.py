@@ -42,9 +42,18 @@ from repro.circuits.dc import (
     DcSolution,
     NewtonOptions,
     dc_operating_point,
+    dc_solve_batch,
 )
 from repro.circuits.transient import TransientResult, transient
-from repro.circuits.ac import AcResult, ac_analysis, logspace_frequencies
+from repro.circuits.ac import (
+    AcResult,
+    AcStampPattern,
+    BatchAcResult,
+    ac_analysis,
+    ac_analysis_batch,
+    logspace_frequencies,
+    systems_share_topology,
+)
 from repro.circuits.opamp import OpAmpSpec, add_single_pole_opamp
 from repro.circuits.parser import NetlistError, parse_netlist, parse_value
 from repro.circuits.sweep import DcSweepResult, dc_sweep, output_characteristic
@@ -86,10 +95,15 @@ __all__ = [
     "DcSolution",
     "NewtonOptions",
     "dc_operating_point",
+    "dc_solve_batch",
     "TransientResult",
     "transient",
     "AcResult",
+    "AcStampPattern",
+    "BatchAcResult",
     "ac_analysis",
+    "ac_analysis_batch",
+    "systems_share_topology",
     "logspace_frequencies",
     "OpAmpSpec",
     "add_single_pole_opamp",

@@ -91,6 +91,35 @@ def _newton_loop(system: MnaSystem, x0: np.ndarray, t: float,
     return None
 
 
+def dc_solve_batch(systems, t: float = 0.0) -> np.ndarray:
+    """One stacked DC solve of M same-topology *linear* systems.
+
+    Linear circuits solve exactly in one shot (no Newton damping, no
+    homotopy), so the whole stack factorizes through one batched
+    ``np.linalg.solve`` -- LAPACK runs the same routine per matrix as a
+    single solve, making the solutions bit-identical to
+    ``[dc_operating_point(s).x for s in systems]``.  Returns the
+    ``(M, size)`` solution stack.
+    """
+    systems = list(systems)
+    if not systems:
+        return np.empty((0, 0))
+    if any(system.has_nonlinear for system in systems):
+        raise ValueError("dc_solve_batch handles linear systems only; "
+                         "nonlinear circuits need the Newton loop of "
+                         "dc_operating_point")
+    matrices = []
+    rhs = []
+    for system in systems:
+        ctx = StampContext("dc", None, None,
+                           x=np.zeros(system.size), t=t)
+        A, z = system.build(ctx)
+        matrices.append(A)
+        rhs.append(z)
+    return MnaSystem.solve_linear_batch(np.stack(matrices),
+                                        np.stack(rhs))
+
+
 def dc_operating_point(system: MnaSystem, t: float = 0.0,
                        x0: Optional[np.ndarray] = None,
                        options: Optional[NewtonOptions] = None) -> DcSolution:

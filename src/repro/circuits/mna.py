@@ -62,6 +62,24 @@ class MnaSystem:
             raise SingularCircuitError("non-finite solution (singular matrix?)")
         return x
 
+    @staticmethod
+    def solve_linear_batch(A: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Stacked dense solve: ``(M, n, n)`` matrices, ``(M, n)`` RHS.
+
+        LAPACK factorizes each matrix of the batch with the same
+        routine :meth:`solve_linear` uses, so per-system solutions are
+        bit-identical to M sequential solves -- the batched AC/DC
+        analyses rely on this.  Same singularity error contract as the
+        single solve.
+        """
+        try:
+            x = np.linalg.solve(A, z[..., None])[..., 0]
+        except np.linalg.LinAlgError as exc:
+            raise SingularCircuitError(str(exc)) from exc
+        if not np.all(np.isfinite(x)):
+            raise SingularCircuitError("non-finite solution (singular matrix?)")
+        return x
+
     # ------------------------------------------------------------------
     # Residual (for verification and tests)
     # ------------------------------------------------------------------

@@ -1,0 +1,97 @@
+"""Reusable array scratch for the batched hot paths.
+
+The campaign front half stages every chunk through a handful of
+``(N, samples)`` work arrays (tone-accumulation buffers, shared EKV
+tables, branch-balance planes).  Allocating them fresh per chunk makes
+the kernels pay kernel page-zeroing on every pass over a fleet --
+measurable against hot loops that otherwise touch each element only a
+few times.  :class:`ScratchPool` recycles exact ``(shape, dtype)``
+matches instead.
+
+Arrays come back **uninitialized** (contents are whatever the previous
+user left); every consumer overwrites before reading, exactly like
+``np.empty``.  Pool state is per process -- executor pool workers each
+own one -- and guarded by a lock so opportunistic multi-threaded
+callers stay safe.  ``give`` silently drops views, non-contiguous
+arrays and anything that would push the pool over its byte budget, so
+holding the global pool never pins more than ~a quarter gigabyte;
+every dtype is poolable (float work buffers and bool bit planes alike)
+under its own ``(shape, dtype)`` key.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: Upper bound on bytes parked in the process-wide pool.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+class ScratchPool:
+    """Free-list of work arrays keyed by exact shape and dtype."""
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        self.max_bytes = int(max_bytes)
+        self._free: Dict[Tuple, List[np.ndarray]] = {}
+        self._pooled_ids: set = set()
+        self._held_bytes = 0
+        self._lock = threading.Lock()
+
+    def take(self, shape, dtype=np.float64) -> np.ndarray:
+        """An uninitialized array of the exact shape/dtype requested."""
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        else:
+            shape = tuple(int(s) for s in shape)
+        key = (shape, np.dtype(dtype))
+        with self._lock:
+            stack = self._free.get(key)
+            if stack:
+                array = stack.pop()
+                self._pooled_ids.discard(id(array))
+                self._held_bytes -= array.nbytes
+                return array
+        return np.empty(key[0], dtype=key[1])
+
+    def give(self, *arrays: np.ndarray) -> None:
+        """Return arrays to the pool.
+
+        Views, non-contiguous arrays, overflow past the byte budget
+        and arrays already parked in the pool are silently dropped --
+        the double-give guard keeps one mistaken call site from
+        aliasing two supposedly exclusive buffers.
+        """
+        with self._lock:
+            for array in arrays:
+                if not isinstance(array, np.ndarray):
+                    continue
+                if array.base is not None or not array.flags.owndata \
+                        or not array.flags.c_contiguous:
+                    continue
+                if id(array) in self._pooled_ids:
+                    continue
+                if self._held_bytes + array.nbytes > self.max_bytes:
+                    continue
+                key = (array.shape, array.dtype)
+                self._free.setdefault(key, []).append(array)
+                self._pooled_ids.add(id(array))
+                self._held_bytes += array.nbytes
+
+    def clear(self) -> None:
+        """Drop every pooled array."""
+        with self._lock:
+            self._free.clear()
+            self._pooled_ids.clear()
+            self._held_bytes = 0
+
+    @property
+    def held_bytes(self) -> int:
+        """Bytes currently parked in the pool."""
+        return self._held_bytes
+
+
+#: Process-wide pool shared by the campaign and encode kernels.
+SCRATCH = ScratchPool()

@@ -9,7 +9,12 @@ configuration:
    Tow-Thomas components plus parametric deviation classes) is injected
    into the structural netlist and simulated through the *same*
    :class:`~repro.campaign.engine.CampaignEngine` front half that
-   screens production dies;
+   screens production dies -- the faulted circuits share the
+   Tow-Thomas topology, so their traces synthesize through one
+   stacked-MNA sweep (:func:`repro.circuits.ac.ac_analysis_batch`:
+   one batched ``np.linalg.solve`` per tone frequency plus one
+   batched DC pass) instead of per-cut, per-frequency rebuild/solve
+   loops, with bit-identical rows to the sequential compile;
 2. each fault's packed signature row, its NDF against the golden and a
    code-space feature vector (fraction of the period dwelt in each
    zone code) are stored in a :class:`FaultDictionary`;
@@ -253,7 +258,11 @@ def compile_fault_dictionary(engine, faults: Optional[Sequence[Fault]] = None,
     omitted) and simulated through the engine's own campaign front
     half -- same stimulus, capture grid and encoder as production
     screening, so dictionary rows live in the same signature space as
-    the dies they will be matched against.
+    the dies they will be matched against.  The faulted netlists share
+    one topology, so the front half solves them as a single stacked
+    MNA sweep (:func:`repro.circuits.ac.ac_analysis_batch`) rather
+    than one AC analysis per fault per frequency; rows stay
+    bit-identical to the sequential compile.
 
     The compiled rows are content-keyed in ``engine.cache`` under the
     engine's golden key plus the fault universe and component values,

@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, replace
-from typing import Union
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
@@ -118,10 +118,15 @@ class BiquadFilter:
         return self.transfer_s(1j * 2.0 * math.pi * freq_hz)
 
     def magnitude(self, freq_hz) -> Union[float, np.ndarray]:
-        """|H| at frequency/frequencies in hertz."""
+        """|H| at frequency/frequencies in hertz.
+
+        ``transfer_s`` is written in element-wise operations, so the
+        whole frequency grid evaluates as one complex broadcast -- no
+        Python call per point.
+        """
         freq_arr = np.asarray(freq_hz, dtype=float)
         s = 1j * 2.0 * math.pi * freq_arr
-        vals = np.abs(np.vectorize(self.transfer_s)(s))
+        vals = np.abs(self.transfer_s(s))
         if freq_arr.ndim == 0:
             return float(vals)
         return vals
@@ -165,3 +170,113 @@ class BiquadFilter:
         """
         re = abs(self.pole_pair().real)
         return math.log(1.0 / tolerance) / re
+
+
+# ----------------------------------------------------------------------
+# Batched (population-wide) transfer evaluation
+# ----------------------------------------------------------------------
+def _cpython_complex_quot(num_r: np.ndarray, num_i: np.ndarray,
+                          den_r: np.ndarray, den_i: np.ndarray
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """CPython's ``_Py_c_quot`` (Smith's method), vectorized.
+
+    :func:`batch_transfer` must be bit-identical to the per-die
+    ``transfer_s``, which runs on Python ``complex`` scalars -- and
+    numpy's own complex division rounds differently from CPython's, so
+    ``num / den`` on ``complex128`` arrays is *not* an option.  This
+    replays CPython's exact branch structure and expression order with
+    real-array IEEE ops, which numpy and CPython round identically.
+    """
+    first = np.abs(den_r) >= np.abs(den_i)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        # |den.real| >= |den.imag|: divide top and bottom by den.real.
+        r1 = den_i / den_r
+        d1 = den_r + den_i * r1
+        q1_r = (num_r + num_i * r1) / d1
+        q1_i = (num_i - num_r * r1) / d1
+        # Otherwise divide top and bottom by den.imag.
+        r2 = den_r / den_i
+        d2 = den_r * r2 + den_i
+        q2_r = (num_r * r2 + num_i) / d2
+        q2_i = (num_i * r2 - num_r) / d2
+    return np.where(first, q1_r, q2_r), np.where(first, q1_i, q2_i)
+
+
+def spec_arrays(specs: Sequence[BiquadSpec]
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stacked ``(omega0, q, gain)`` parameter arrays of a population.
+
+    ``omega0`` replicates :attr:`BiquadSpec.omega0` exactly
+    (``2.0 * pi * f0``), so downstream array math matches the per-die
+    scalar path bit for bit.
+    """
+    n = len(specs)
+    omega0 = np.empty(n)
+    q = np.empty(n)
+    gain = np.empty(n)
+    for i, spec in enumerate(specs):
+        omega0[i] = 2.0 * math.pi * spec.f0_hz
+        q[i] = spec.q
+        gain[i] = spec.gain
+    return omega0, q, gain
+
+
+def batch_transfer_arrays(omega0: np.ndarray, q: np.ndarray,
+                          gain: np.ndarray, kind: BiquadKind,
+                          freq_hz: float
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """``H(j 2 pi f)`` from pre-stacked parameter arrays, one kind.
+
+    The array-native core of :func:`batch_transfer`: callers that
+    evaluate several frequencies for the same population (the trace
+    synthesizer does, once per tone plus DC) stack the parameters once
+    with :func:`spec_arrays` instead of re-walking the spec list per
+    frequency.
+    """
+    n = omega0.shape[0]
+    # transfer() forms s = 1j * 2 pi f, i.e. exactly (0.0, w).
+    w = 2.0 * math.pi * freq_hz
+    k = omega0 / q
+    # den = s*s + (w0/q)*s + w0*w0 evaluated on Python complex:
+    #   real: (0*0 - w*w) + 0 + w0*w0     imag: 0 + (w0/q)*w + 0
+    den_r = (0.0 - w * w) + omega0 * omega0
+    den_i = k * w
+    if kind is BiquadKind.LOWPASS:
+        num_r = gain * omega0 * omega0
+        num_i = np.zeros(n)
+    elif kind is BiquadKind.BANDPASS:
+        num_r = np.zeros(n)
+        num_i = (gain * k) * w
+    else:  # highpass: gain*s*s -> ((gain*w)*w negated, 0)
+        num_r = 0.0 - (gain * w) * w
+        num_i = np.zeros(n)
+    return _cpython_complex_quot(num_r, num_i, den_r, den_i)
+
+
+def batch_transfer(specs: Sequence[BiquadSpec], freq_hz: float
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """``H(j 2 pi f)`` of N specs at one frequency -> ``(real, imag)``.
+
+    Bit-identical to ``[BiquadFilter(s).transfer(freq_hz) for s in
+    specs]``: the scalar path evaluates ``transfer_s`` with Python
+    ``complex`` arithmetic, so the naive complex product and Smith
+    division are replayed here component-wise on real arrays (including
+    the exactly-zero real/imaginary parts the scalar expressions
+    produce).  Accepts ``freq_hz = 0`` for the DC gain; mixed response
+    kinds in one population are evaluated group by group.
+    """
+    n = len(specs)
+    if n == 0:
+        return np.empty(0), np.empty(0)
+    kinds = [spec.kind for spec in specs]
+    if any(kind is not kinds[0] for kind in kinds):
+        out_r = np.empty(n)
+        out_i = np.empty(n)
+        for kind in set(kinds):
+            idx = [i for i, k in enumerate(kinds) if k is kind]
+            sub_r, sub_i = batch_transfer([specs[i] for i in idx], freq_hz)
+            out_r[idx] = sub_r
+            out_i[idx] = sub_i
+        return out_r, out_i
+    omega0, q, gain = spec_arrays(specs)
+    return batch_transfer_arrays(omega0, q, gain, kinds[0], freq_hz)

@@ -119,6 +119,18 @@ class TowThomasBiquad:
     BP_NODE = "bp"
     IN_NODE = "vin"
 
+    #: Batched-synthesis protocol consumed by
+    #: :func:`repro.campaign.batch.batch_netlist_traces`: the default
+    #: observable transfer is ``V(ac_output_node)/V(ac_input_node)``
+    #: of ``self.system``, and ``ac_input_source`` names the source
+    #: driven to 1 V DC for the offset gain (mirroring
+    #: :meth:`dc_gain`).  Any linear netlist CUT class exposing these
+    #: three attributes plus ``system``/``circuit`` joins the stacked
+    #: MNA fast path.
+    ac_output_node = LP_NODE
+    ac_input_node = IN_NODE
+    ac_input_source = "Vin"
+
     def __init__(self, values: TowThomasValues,
                  stimulus: Optional[Multitone] = None) -> None:
         self.values = values

@@ -1,4 +1,4 @@
-"""Shared-branch zone encoding for monitor banks.
+"""Fused shared-branch zone encoding for monitor banks.
 
 Encoding a ``(N, samples)`` trace stack through a
 :class:`~repro.core.zones.ZoneEncoder` made of
@@ -11,21 +11,40 @@ EKV term
 
 is *the same function* for every device: per-device currents differ
 only by the ``unit_current`` prefactor.  :func:`monitor_bank_codes`
-exploits this by memoizing ``B`` per (model card, gate signal) within
-one call: for the paper bank the six y-hooked devices collapse onto a
-single ``(N, T)`` transcendental evaluation, the x-hooked ones onto a
-single ``(T,)`` one (the stimulus is shared across the population and
-is deliberately *not* broadcast), and DC-biased gates onto cached
-scalars.
+fuses the whole bank around that observation:
+
+* **shared softplus tables** -- one per (model card, gate signal):
+  for the paper bank the six y-hooked devices collapse onto a single
+  ``(N, T)`` transcendental evaluation, computed fully in place, the
+  x-hooked ones onto a single ``(T,)`` one (the shared stimulus is
+  deliberately *not* broadcast), DC gates onto cached scalars;
+* **shared branch sides** -- each boundary's left/right sum
+  ``I_a + I_b`` (a per-boundary unit-current weighting of the tables)
+  is content-memoized, so Table I's curves 3-5, which wire identical
+  devices to ``(y, x)``, evaluate their common side once;
+* **subtraction-free sign test** -- IEEE rounding preserves the sign
+  of a difference exactly (``fl(l - r) < 0`` iff ``l < r``, and
+  ``origin_sign`` in ``{-1, +1}`` only flips the direction), so the
+  comparator bit is a single direct comparison per boundary, no
+  balance array ever materializes;
+* **packed code assembly** -- per-boundary bits accumulate straight
+  into a narrow ``uint8`` code plane (banks up to eight boundaries)
+  that widens to ``int64`` once at the end, instead of an ``int64``
+  shift/or chain per bit;
+* **pooled scratch** -- tables, sides and bit planes recycle through
+  :data:`repro.core.scratch.SCRATCH`, so steady-state chunks allocate
+  nothing but their result.
 
 Bit-compatibility: the per-device current is still computed as
 ``unit_current * B(gate)`` with the exact argument expression of
-:meth:`MosModel.saturation_current`, branch currents still combine as
-``(I1 + I2) - (I3 + I4)``, and the bit is still the sign test of
-:meth:`Boundary.bit` -- so the returned codes are bit-identical to
-``encoder.code(x, y)`` (asserted by the campaign equivalence tests).
-Monte Carlo-varied banks simply get less sharing: each shifted model
-card owns its own cache slot, never a wrong one.
+:meth:`MosModel.saturation_current`, branch sides still combine as
+``I1 + I2`` and ``I3 + I4`` in that association, and the bit equals
+the sign test of :meth:`Boundary.bit` -- so the returned codes are
+bit-identical to ``encoder.code(x, y)`` (asserted by the campaign
+equivalence and hypothesis tests, which also pin the fused kernel to
+:func:`monitor_bank_codes_reference`, the retained PR 2 loop).  Monte
+Carlo-varied banks simply get less sharing: each shifted model card
+owns its own cache slot, never a wrong one.
 """
 
 from __future__ import annotations
@@ -34,24 +53,59 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.scratch import SCRATCH
 from repro.core.zones import ZoneEncoder
-from repro.devices.mos_model import MosModel, softplus
+from repro.devices.mos_model import MosModel, MosParams, softplus
 from repro.monitor.comparator import MonitorBoundary
 
 
-def _branch_table(cache: Dict[Tuple, Union[float, np.ndarray]],
-                  device: MosModel, gate, gate_key):
-    """Memoized EKV branch ``B(gate)`` for one device's model card."""
-    params = device.params
-    key = (params.polarity, params.vt0, params.n,
-           params.thermal_voltage, gate_key)
-    table = cache.get(key)
-    if table is None:
-        vgs_d = params.polarity * np.asarray(gate, dtype=float)
-        table = softplus((vgs_d - params.vt0)
-                         / (2.0 * params.n * params.thermal_voltage)) ** 2
-        cache[key] = table
-    return table
+def _branch_values(params: MosParams, gate):
+    """The exact EKV branch expression for scalar / 1-D gates."""
+    vgs_d = params.polarity * np.asarray(gate, dtype=float)
+    return softplus((vgs_d - params.vt0)
+                    / (2.0 * params.n * params.thermal_voltage)) ** 2
+
+
+def _branch_table_2d(params: MosParams, gate: np.ndarray) -> np.ndarray:
+    """EKV branch of a 2-D gate stack, computed in place.
+
+    Same float expression tree as :func:`_branch_values` -- including
+    :func:`softplus`'s clamp-at-30 overflow guard and the final square
+    -- but staged through a single pooled buffer instead of one fresh
+    ``(N, T)`` temporary per operation.
+    """
+    arg = SCRATCH.take(gate.shape)
+    np.multiply(gate, float(params.polarity), out=arg)
+    np.subtract(arg, params.vt0, out=arg)
+    np.divide(arg, 2.0 * params.n * params.thermal_voltage, out=arg)
+    # softplus: where(x > 30, x, log1p(exp(min(x, 30)))).  When no
+    # element exceeds the clamp, min/where are bitwise no-ops and the
+    # guard reduces to one read-only max scan.
+    if arg.size and float(np.max(arg)) > 30.0:
+        big = arg > 30.0
+        saved = arg[big]
+        np.minimum(arg, 30.0, out=arg)
+        np.exp(arg, out=arg)
+        np.log1p(arg, out=arg)
+        arg[big] = saved
+    else:
+        np.exp(arg, out=arg)
+        np.log1p(arg, out=arg)
+    np.multiply(arg, arg, out=arg)  # ** 2
+    return arg
+
+
+def _table_key(params: MosParams, gate_key) -> Tuple:
+    return (params.polarity, params.vt0, params.n,
+            params.thermal_voltage, gate_key)
+
+
+def _gate_for(hookup, x, y):
+    if hookup == "x":
+        return x, "x"
+    if hookup == "y":
+        return y, "y"
+    return float(hookup), float(hookup)
 
 
 def monitor_bank_codes(encoder: ZoneEncoder, x: np.ndarray,
@@ -59,9 +113,108 @@ def monitor_bank_codes(encoder: ZoneEncoder, x: np.ndarray,
     """Zone codes of a trace stack through a monitor-boundary bank.
 
     ``x`` is the shared stimulus samples ``(T,)`` (broadcast over
-    rows), ``y`` the response stack ``(N, T)``.  Returns ``None`` when
-    the encoder contains non-monitor boundaries (callers fall back to
-    the generic per-boundary path).
+    rows), ``y`` the response stack ``(N, T)``; 2-D ``x`` stacks (the
+    noisy-capture path) take the same fused kernel.  Returns ``None``
+    when the encoder contains non-monitor boundaries (callers fall
+    back to the generic per-boundary path).
+    """
+    if not all(isinstance(b, MonitorBoundary) for b in encoder.boundaries):
+        return None
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    shape = np.broadcast_shapes(x.shape, y.shape)
+
+    tables: Dict[Tuple, Union[float, np.ndarray]] = {}
+    sides: Dict[Tuple, Union[float, np.ndarray]] = {}
+
+    def branch_for(device: MosModel, hookup):
+        gate, gate_key = _gate_for(hookup, x, y)
+        key = _table_key(device.params, gate_key)
+        table = tables.get(key)
+        if table is None:
+            if np.ndim(gate) >= 2:
+                table = _branch_table_2d(device.params, gate)
+            else:
+                table = _branch_values(device.params, gate)
+            tables[key] = table
+        return table, key
+
+    def side_for(boundary: MonitorBoundary, pair) -> np.ndarray:
+        """Memoized branch sum ``I_a + I_b`` of one comparator side."""
+        parts = []
+        for position in pair:
+            device = boundary.devices[position]
+            hookup = boundary.config.hookups[position]
+            __, table_key = branch_for(device, hookup)
+            parts.append((table_key, device.unit_current))
+        side_key = tuple(parts)
+        value = sides.get(side_key)
+        if value is not None:
+            return value
+        running = None  # full-stack partial sum (owns a pooled buffer)
+        spill = None    # scalar / 1-D partial awaiting a 2-D partner
+        for position in pair:
+            device = boundary.devices[position]
+            hookup = boundary.config.hookups[position]
+            table, __ = branch_for(device, hookup)
+            if np.ndim(table) >= 2:
+                if running is None:
+                    running = np.multiply(table, device.unit_current,
+                                          out=SCRATCH.take(table.shape))
+                else:
+                    # Rare: two full-stack gates on one side.  Addition
+                    # is commutative bitwise, so folding the second
+                    # product in preserves (I_a + I_b) exactly.
+                    np.add(running, table * device.unit_current,
+                           out=running)
+            else:
+                current = device.unit_current * table
+                if np.ndim(current) == 0:
+                    current = float(current)
+                spill = current if spill is None else spill + current
+        if spill is not None:
+            value = spill if running is None \
+                else np.add(running, spill, out=running)
+        else:
+            value = running
+        sides[side_key] = value
+        return value
+
+    num_bits = len(encoder.boundaries)
+    bits = SCRATCH.take(shape, dtype=bool)
+    narrow = np.uint8 if num_bits <= 8 else np.int64
+    codes = np.zeros(shape, dtype=narrow)
+    for boundary in encoder.boundaries:
+        left = side_for(boundary, (0, 1))
+        right = side_for(boundary, (2, 3))
+        # bit = ((I1+I2) - (I3+I4)) * origin_sign < 0.  Rounding keeps
+        # the difference's sign exact, and origin_sign is exactly +-1,
+        # so the whole test collapses to one direct comparison.
+        if boundary.origin_sign > 0:
+            np.less(left, right, out=bits)
+        else:
+            np.greater(left, right, out=bits)
+        np.left_shift(codes, 1, out=codes)
+        np.bitwise_or(codes, bits, out=codes)
+    SCRATCH.give(bits,
+                 *(v for v in tables.values() if isinstance(v, np.ndarray)
+                   and v.ndim >= 2),
+                 *(v for v in sides.values() if isinstance(v, np.ndarray)
+                   and v.ndim >= 2))
+    if codes.dtype is not np.dtype(np.int64):
+        codes = codes.astype(np.int64)
+    return codes
+
+
+def monitor_bank_codes_reference(encoder: ZoneEncoder, x: np.ndarray,
+                                 y: np.ndarray) -> Optional[np.ndarray]:
+    """The pre-fusion shared-branch encoder (PR 2), kept as baseline.
+
+    Same shared softplus tables, but one fresh ``(N, T)`` temporary per
+    device/boundary operation, an explicit balance subtraction, and an
+    ``int64`` shift/or chain per bit.  Benchmarks time the fused kernel
+    against this, and the equivalence tests assert both return
+    bit-identical codes.
     """
     if not all(isinstance(b, MonitorBoundary) for b in encoder.boundaries):
         return None
@@ -73,13 +226,12 @@ def monitor_bank_codes(encoder: ZoneEncoder, x: np.ndarray,
         currents = []
         for device, hookup in zip(boundary.devices,
                                   boundary.config.hookups):
-            if hookup == "x":
-                gate, gate_key = x, "x"
-            elif hookup == "y":
-                gate, gate_key = y, "y"
-            else:
-                gate, gate_key = float(hookup), float(hookup)
-            branch = _branch_table(cache, device, gate, gate_key)
+            gate, gate_key = _gate_for(hookup, x, y)
+            key = _table_key(device.params, gate_key)
+            branch = cache.get(key)
+            if branch is None:
+                branch = _branch_values(device.params, gate)
+                cache[key] = branch
             current = device.unit_current * branch
             if np.ndim(current) == 0:
                 current = float(current)

@@ -1,0 +1,163 @@
+"""Split AC stamp pattern and stacked MNA solves.
+
+The refactored :func:`ac_analysis` builds its matrices from
+:class:`AcStampPattern` (static + omega-scaled reactive parts) instead
+of re-stamping per frequency; :func:`ac_analysis_batch` stacks those
+patterns and solves per frequency with one batched ``np.linalg.solve``.
+Both must reproduce the direct per-frequency stamp/solve bit for bit on
+every library circuit -- the fault-dictionary compilation depends on
+it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Capacitor,
+    Circuit,
+    Diode,
+    Inductor,
+    Resistor,
+    SingularCircuitError,
+    StampContext,
+    VoltageSource,
+    ac_analysis,
+    ac_analysis_batch,
+    dc_operating_point,
+    dc_solve_batch,
+    systems_share_topology,
+)
+from repro.circuits.ac import AcStampPattern
+from repro.filters.faults import catastrophic_fault_universe
+from repro.filters.towthomas import TowThomasValues
+from repro.paper import PAPER_BIQUAD
+
+FREQS = [500.0, 5e3, 15e3, 80e3]
+
+
+def _tow_thomas_systems():
+    values = TowThomasValues.from_spec(PAPER_BIQUAD)
+    faults = catastrophic_fault_universe()
+    cuts = [fault.apply_to_biquad(values) for fault in faults]
+    return [cut.system for cut in cuts]
+
+
+def _rlc_system(r=50.0, ell=1e-3, c=2e-6):
+    circuit = Circuit("series rlc")
+    circuit.add(VoltageSource("Vin", "in", "0", ac=1.0))
+    circuit.add(Resistor("R1", "in", "a", r))
+    circuit.add(Inductor("L1", "a", "b", ell))
+    circuit.add(Capacitor("C1", "b", "0", c))
+    return circuit.assemble()
+
+
+def _direct_build(system, omega, x_op=None):
+    return system.build(StampContext("ac", None, None, x=x_op,
+                                     omega=omega))
+
+
+def test_pattern_matrix_equals_direct_stamp():
+    """A0 + omega*B must equal the interleaved per-frequency stamp."""
+    for system in _tow_thomas_systems() + [_rlc_system()]:
+        pattern = AcStampPattern(system)
+        for f in FREQS:
+            omega = 2.0 * np.pi * f
+            direct_a, direct_z = _direct_build(system, omega)
+            assert np.array_equal(pattern.matrix(omega), direct_a)
+            assert np.array_equal(pattern.z, direct_z)
+
+
+def test_ac_analysis_matches_per_frequency_rebuild():
+    """The refactored sweep equals the old rebuild-per-frequency loop."""
+    for system in _tow_thomas_systems()[:4] + [_rlc_system()]:
+        result = ac_analysis(system, FREQS)
+        for k, f in enumerate(FREQS):
+            omega = 2.0 * np.pi * float(f)
+            a, z = _direct_build(system, omega)
+            reference = system.solve_linear(a, z)
+            assert np.array_equal(result.phasors[k], reference)
+
+
+def test_ac_analysis_batch_matches_sequential():
+    systems = _tow_thomas_systems()
+    batch = ac_analysis_batch(systems, FREQS)
+    for m, system in enumerate(systems):
+        single = ac_analysis(system, FREQS)
+        assert np.array_equal(batch.phasors[m], single.phasors)
+    # Node accessors agree with the single-system result too.
+    single0 = ac_analysis(systems[0], FREQS)
+    assert np.array_equal(batch.voltage("lp")[0], single0.voltage("lp"))
+    assert np.array_equal(batch.transfer("lp", "vin")[0],
+                          single0.transfer("lp", "vin"))
+
+
+def test_ac_analysis_batch_validates_inputs():
+    systems = _tow_thomas_systems()[:2]
+    with pytest.raises(ValueError):
+        ac_analysis_batch([], FREQS)
+    with pytest.raises(ValueError):
+        ac_analysis_batch(systems, [])
+    with pytest.raises(ValueError):
+        ac_analysis_batch(systems, [-1.0])
+    with pytest.raises(ValueError):
+        ac_analysis_batch([systems[0], _rlc_system()], FREQS)
+
+
+def test_systems_share_topology_discriminates():
+    systems = _tow_thomas_systems()
+    assert systems_share_topology(systems[0], systems[1])
+    assert not systems_share_topology(systems[0], _rlc_system())
+
+
+def test_nonlinear_pattern_uses_operating_point():
+    """Diode circuits linearize at the DC point, same as before."""
+    circuit = Circuit("diode divider")
+    circuit.add(VoltageSource("Vs", "in", "0", dc=1.0, ac=1.0))
+    circuit.add(Resistor("R1", "in", "d", 1e3))
+    circuit.add(Diode("D1", "d", "0"))
+    system = circuit.assemble()
+    x_op = dc_operating_point(system).x
+    result = ac_analysis(system, FREQS)
+    for k, f in enumerate(FREQS):
+        omega = 2.0 * np.pi * float(f)
+        a, z = _direct_build(system, omega, x_op=x_op)
+        assert np.array_equal(result.phasors[k],
+                              system.solve_linear(a, z))
+
+
+def test_dc_solve_batch_matches_sequential():
+    systems = _tow_thomas_systems()
+    # Drive every input at 1 V, like TowThomasBiquad.dc_gain does.
+    for system in systems:
+        system.circuit.element("Vin").dc = 1.0
+    stacked = dc_solve_batch(systems)
+    for m, system in enumerate(systems):
+        reference = dc_operating_point(system).x
+        assert np.array_equal(stacked[m], reference)
+    for system in systems:
+        system.circuit.element("Vin").dc = 0.0
+
+
+def test_dc_solve_batch_rejects_nonlinear():
+    circuit = Circuit("diode")
+    circuit.add(VoltageSource("Vs", "in", "0", dc=1.0))
+    circuit.add(Resistor("R1", "in", "d", 1e3))
+    circuit.add(Diode("D1", "d", "0"))
+    with pytest.raises(ValueError):
+        dc_solve_batch([circuit.assemble()])
+
+
+def test_dc_solve_batch_empty():
+    assert dc_solve_batch([]).size == 0
+
+
+def test_batch_rejects_singular_member():
+    # A resistor bridging two otherwise-unconnected nodes forms a
+    # floating subgraph: its 2x2 conductance block is singular.
+    circuit = Circuit("floating subgraph")
+    circuit.add(VoltageSource("Vin", "in", "0", ac=1.0))
+    circuit.add(Resistor("R1", "in", "0", 50.0))
+    circuit.add(Resistor("Rx", "f1", "f2", 10.0))
+    bad = circuit.assemble()
+    with pytest.raises(SingularCircuitError):
+        ac_analysis_batch([bad], FREQS)

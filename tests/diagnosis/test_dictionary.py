@@ -142,3 +142,33 @@ def test_save_returns_normalized_path(dictionary, tmp_path):
     assert written == str(bare) + ".npz"
     loaded = FaultDictionary.load(bare)  # suffix-less load works
     assert loaded.faults == dictionary.faults
+
+
+def test_compile_matches_sequential_per_cut_reference(engine, dictionary):
+    """Batched-MNA compilation == the sequential per-cut front half.
+
+    The compile path now synthesizes every fault's trace through
+    ``ac_analysis_batch`` / ``dc_solve_batch``; the retained per-cut
+    ``response()`` loop must produce bit-identical signature rows and
+    NDFs.
+    """
+    from repro.campaign.batch import (
+        batch_codes,
+        batch_extract,
+        batch_multitone_eval,
+    )
+
+    values = TowThomasValues.from_spec(PAPER_BIQUAD)
+    golden = engine.golden()
+    cuts = [fault.apply_to_biquad(values) for fault in dictionary.faults]
+    responses = [cut.response(PAPER_STIMULUS) for cut in cuts]
+    y = batch_multitone_eval(responses, golden.times)
+    codes = batch_codes(engine.config.encoder, golden.x, y)
+    reference = batch_extract(golden.times, codes, golden.period)
+    assert np.array_equal(reference.ndf_to(golden.signature),
+                          dictionary.ndfs)
+    assert np.array_equal(reference.codes, dictionary.batch.codes)
+    assert np.array_equal(reference.durations,
+                          dictionary.batch.durations)
+    assert np.array_equal(reference.row_offsets,
+                          dictionary.batch.row_offsets)

@@ -71,16 +71,42 @@ def test_origin_zone_is_zero_for_offset_lines(bank):
     assert encoder.origin_zone() == 0
 
 
-def _in_general_position(bank, min_gap=0.08, min_angle_sin=0.3):
-    """True when no two lines are near-parallel and near-coincident.
+def _window_segment(line, lo=0.0, hi=1.0):
+    """Endpoints of a line clipped to the square window, or None."""
+    points = []
+    if abs(line.b) > abs(line.a):
+        for x in np.linspace(lo, hi, 65):
+            y = -(line.a * x + line.c) / line.b
+            if lo <= y <= hi:
+                points.append((x, y))
+    else:
+        for y in np.linspace(lo, hi, 65):
+            x = -(line.b * y + line.c) / line.a
+            if lo <= x <= hi:
+                points.append((x, y))
+    if len(points) < 2:
+        return None
+    return points[0], points[-1]
 
-    The Gray property genuinely fails for (almost) coincident parallel
-    lines -- both bits flip across the same border -- so the property
-    test restricts itself to transversal arrangements, which is also
-    what a sane monitor design uses.  The angle floor is matched to the
-    adjacency analysis: at crossing angle ``asin(0.3)`` the stretch
-    where two lines sit within one 1/128 pixel of each other spans
-    about 3 pixels, safely below the point-contact threshold of 5.
+
+def _in_general_position(bank, min_gap=0.08, min_angle_sin=0.3):
+    """True when no two lines run near-coincident inside the window.
+
+    The Gray property genuinely fails where two boundaries (almost)
+    coincide -- both bits flip across the same border -- so the
+    property test restricts itself to transversal arrangements, which
+    is also what a sane monitor design uses.  Near-parallel pairs are
+    rejected unless they stay separated across the whole unit window:
+    separation is measured as the distance from points *on* one line's
+    in-window segment to the other line, which also catches shallow
+    in-window crossings (near-parallel but not parallel lines whose
+    intersection sits inside the window run within a pixel of each
+    other for many pixels -- an extended two-bit pseudo-border the old
+    parallel-offset gap test missed).  The angle floor is matched to
+    the adjacency analysis: at crossing angle ``asin(0.3)`` the
+    stretch where two lines sit within one 1/128 pixel of each other
+    spans about 3 pixels, safely below the point-contact threshold
+    of 5.
     """
     for i, p in enumerate(bank):
         for q in bank[i + 1:]:
@@ -89,9 +115,16 @@ def _in_general_position(bank, min_gap=0.08, min_angle_sin=0.3):
             cross = abs(p.a * q.b - p.b * q.a) / (np_ * nq)
             if cross >= min_angle_sin:
                 continue  # clearly transversal
-            # Near-parallel: require a healthy separation.
-            if abs(p.c / np_ - np.sign(p.a * q.a + p.b * q.b)
-                   * q.c / nq) < min_gap:
+            # Near-parallel: walk p's in-window segment and require a
+            # healthy distance to q everywhere along it (the distance
+            # is affine along the segment, so the endpoints bound it
+            # -- unless it changes sign, i.e. the lines cross).
+            segment = _window_segment(p)
+            if segment is None:
+                continue  # p never enters the window: no border at all
+            d0, d1 = ((q.a * x + q.b * y + q.c) / nq
+                      for x, y in segment)
+            if d0 * d1 <= 0.0 or min(abs(d0), abs(d1)) < min_gap:
                 return False
     return True
 
