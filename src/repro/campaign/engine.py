@@ -27,7 +27,13 @@ instead of once per die through
   of chunks to :meth:`run`), keeping RSS bounded by the chunk size;
 * :meth:`CampaignEngine.run_noise` repeats every die's measurement
   under fresh Section IV-C noise as one ``(N * repeats, samples)``
-  stack with per-die deterministic seeding.
+  stack with per-die deterministic seeding;
+* multi-signature screening (``run(..., encoders=[enc0, enc1])``)
+  re-encodes the same trace stacks through extra monitor banks --
+  per-channel NDFs/verdicts plus a combined OR-verdict, channel 0
+  bit-identical to the single-channel flow (see ``docs/paper_map.md``
+  for the contract and ``docs/ambiguity.md`` for why a second channel
+  exists).
 
 Worked example (mirrors ``examples/campaign_fleet.py``)::
 
@@ -47,7 +53,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterable, Iterator
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -78,6 +84,7 @@ from repro.campaign.scenarios import (
     deviation_sweep_population,
 )
 from repro.core.decision import DecisionBand, ThresholdCalibration
+from repro.core.multi_signature_batch import MultiSignatureBatch
 from repro.core.scratch import SCRATCH
 from repro.core.signature import Signature
 from repro.core.signature_batch import SignatureBatch
@@ -117,12 +124,36 @@ class CampaignConfig:
     calibration_deviations: Tuple[float, ...] = \
         DEFAULT_CALIBRATION_DEVIATIONS
     chunk_size: int = 256
+    #: Additional observation channels: each extra encoder re-encodes
+    #: the same trace stacks (the front half runs once), producing a
+    #: multi-signature campaign whose channel 0 is bit-identical to
+    #: the single-channel flow with ``encoder`` alone.
+    extra_encoders: Tuple[ZoneEncoder, ...] = ()
 
     def golden_key(self) -> Tuple:
-        """Content key of the golden artifacts for this configuration."""
+        """Content key of the golden artifacts for this configuration.
+
+        Golden artifacts depend only on the *primary* encoder -- the
+        extra channels have their own goldens keyed through their own
+        single-channel configs -- so a multi-signature engine shares
+        its channel-0 cache entries with the plain engine.
+        """
         return ("golden", stimulus_key(self.stimulus),
                 encoder_key(self.encoder), spec_key(self.golden_spec),
                 int(self.samples_per_period))
+
+    @property
+    def num_channels(self) -> int:
+        """Observation channels (1 + the extra encoders)."""
+        return 1 + len(self.extra_encoders)
+
+    def channel_config(self, k: int) -> "CampaignConfig":
+        """Single-channel config of channel ``k`` (0 = primary)."""
+        if k == 0:
+            return replace(self, extra_encoders=()) \
+                if self.extra_encoders else self
+        return replace(self, encoder=self.extra_encoders[k - 1],
+                       extra_encoders=())
 
 
 # ----------------------------------------------------------------------
@@ -148,13 +179,24 @@ def _golden_artifacts(config: CampaignConfig,
 
 def _score_code_stack(config: CampaignConfig, golden: GoldenArtifacts,
                       x: np.ndarray, y: np.ndarray,
-                      timing: Dict[str, float], collect: bool = False
-                      ) -> Tuple[np.ndarray, Optional[SignatureBatch]]:
+                      timing: Dict[str, float], collect: bool = False,
+                      cache: Optional[GoldenCache] = None
+                      ) -> Tuple[np.ndarray,
+                                 Union[None, SignatureBatch,
+                                       MultiSignatureBatch]]:
     """Encode -> pack -> fleet-NDF one trace stack, timing each stage.
 
     With ``collect`` the packed :class:`SignatureBatch` of the stack is
     returned alongside the NDFs (the diagnosis subsystem consumes it);
     otherwise the batch is released with the chunk.
+
+    When the config carries ``extra_encoders``, every extra channel
+    re-encodes the *same* stack (the synthesized traces are shared, so
+    the expensive front half runs once) against its own cached golden
+    signature.  The return then becomes an ``(n, K)`` NDF matrix and,
+    with ``collect``, a :class:`MultiSignatureBatch`; channel 0 is
+    computed by exactly the single-channel operations, so it stays
+    bit-identical to a plain run.
     """
     t0 = time.perf_counter()
     codes = batch_codes(config.encoder, x, y)
@@ -165,7 +207,28 @@ def _score_code_stack(config: CampaignConfig, golden: GoldenArtifacts,
     timing["signature"] = timing.get("signature", 0.0) + (t2 - t1)
     values = batch.ndf_to(golden.signature)
     timing["ndf"] = timing.get("ndf", 0.0) + (time.perf_counter() - t2)
-    return values, (batch if collect else None)
+    if not config.extra_encoders:
+        return values, (batch if collect else None)
+    cache = cache if cache is not None else DEFAULT_CACHE
+    columns = [values]
+    channels = [batch]
+    for k in range(1, config.num_channels):
+        sub = config.channel_config(k)
+        sub_golden = _golden_artifacts(sub, cache)
+        t0 = time.perf_counter()
+        sub_codes = batch_codes(sub.encoder, x, y)
+        t1 = time.perf_counter()
+        timing["encode"] = timing.get("encode", 0.0) + (t1 - t0)
+        sub_batch = batch_extract(golden.times, sub_codes,
+                                  golden.period)
+        t2 = time.perf_counter()
+        timing["signature"] = timing.get("signature", 0.0) + (t2 - t1)
+        columns.append(sub_batch.ndf_to(sub_golden.signature))
+        timing["ndf"] = timing.get("ndf", 0.0) \
+            + (time.perf_counter() - t2)
+        channels.append(sub_batch)
+    stacked = np.stack(columns, axis=1)
+    return stacked, (MultiSignatureBatch(channels) if collect else None)
 
 
 def _spec_chunk_ndfs(config: CampaignConfig,
@@ -189,7 +252,7 @@ def _spec_chunk_ndfs(config: CampaignConfig,
     t2 = time.perf_counter()
     timing["traces"] = t2 - t1
     values, batch = _score_code_stack(config, golden, golden.x, y,
-                                      timing, collect)
+                                      timing, collect, cache)
     SCRATCH.give(y)  # trace stacks ride pooled buffers; codes are out
     return values, timing, batch
 
@@ -223,7 +286,7 @@ def _response_chunk_ndfs(config: CampaignConfig, cuts: Sequence,
     t2 = time.perf_counter()
     timing["traces"] = t2 - t1
     values, batch = _score_code_stack(config, golden, golden.x, y,
-                                      timing, collect)
+                                      timing, collect, cache)
     SCRATCH.give(y)
     return values, timing, batch
 
@@ -246,7 +309,7 @@ def _trace_rows_ndfs(config: CampaignConfig, y_rows: np.ndarray,
     golden = _golden_artifacts(config, cache)
     timing["golden"] = time.perf_counter() - t0
     values, batch = _score_code_stack(config, golden, golden.x, y_rows,
-                                      timing, collect)
+                                      timing, collect, cache)
     return values, timing, batch
 
 
@@ -381,17 +444,25 @@ class CampaignEngine:
     def calibration(self,
                     deviations: Optional[Sequence[float]] = None
                     ) -> ThresholdCalibration:
-        """Fig. 8 sweep for this configuration (content-cached)."""
+        """Fig. 8 sweep for this configuration (content-cached).
+
+        Calibration is a property of one channel: the sweep always
+        runs through the *primary* encoder alone, so a multi-signature
+        engine shares its channel-0 calibration cache entry with the
+        plain engine (per-channel thresholds come from
+        :meth:`channel_thresholds`).
+        """
+        config = self.config.channel_config(0)
         devs = tuple(float(d) for d in (
             deviations if deviations is not None
-            else self.config.calibration_deviations))
-        key = ("calibration", self.config.golden_key(), devs)
+            else config.calibration_deviations))
+        key = ("calibration", config.golden_key(), devs)
 
         def compute() -> ThresholdCalibration:
             population = deviation_sweep_population(
-                self.config.golden_spec, devs)
+                config.golden_spec, devs)
             values, __, __ = _spec_chunk_ndfs(
-                self.config, population.specs, self.cache)
+                config, population.specs, self.cache)
             return ThresholdCalibration(np.asarray(devs), values)
 
         return self.cache.get_or_compute(key, compute)
@@ -402,12 +473,56 @@ class CampaignEngine:
             else self.config.tolerance
         return self.calibration().band_for_tolerance(tol)
 
+    def channel_engine(self, k: int) -> "CampaignEngine":
+        """Single-channel engine of channel ``k`` (shared cache)."""
+        return CampaignEngine(self.config.channel_config(k),
+                              cache=self.cache,
+                              executor=self.executor)
+
+    def with_encoders(self, encoders: Sequence[ZoneEncoder]
+                      ) -> "CampaignEngine":
+        """Engine screening through a list of monitor banks at once.
+
+        ``encoders[0]`` becomes the primary channel (pass the current
+        encoder there to keep the channel-0 bit-identity with this
+        engine's single-channel results); the rest become extra
+        signature channels encoded from the same trace stacks.
+        """
+        encoders = list(encoders)
+        if not encoders:
+            raise ValueError("need at least one encoder")
+        config = replace(self.config, encoder=encoders[0],
+                         extra_encoders=tuple(encoders[1:]))
+        return CampaignEngine(config, cache=self.cache,
+                              executor=self.executor)
+
+    def channel_thresholds(self, band: Union[None, str, float,
+                                             DecisionBand] = "auto"
+                           ) -> Optional[np.ndarray]:
+        """Per-channel NDF thresholds under one band policy.
+
+        ``"auto"`` calibrates every channel's own Fig. 8 sweep (each
+        encoder sees deviations differently, so thresholds differ per
+        channel); a float or :class:`DecisionBand` applies one raw
+        threshold to every channel; None disables verdicts.
+        """
+        if band is None:
+            return None
+        if band == "auto":
+            return np.asarray([
+                self.channel_engine(k)._resolve_threshold("auto")
+                for k in range(self.config.num_channels)])
+        threshold = self._resolve_threshold(band)
+        return np.full(self.config.num_channels, float(threshold))
+
     # ------------------------------------------------------------------
     # Campaign entry points
     # ------------------------------------------------------------------
     def run(self, population: Union[Population, Iterable],
             band: Union[None, str, float, DecisionBand] = "auto",
-            keep_signatures: bool = False) -> CampaignResult:
+            keep_signatures: bool = False,
+            encoders: Optional[Sequence[ZoneEncoder]] = None
+            ) -> CampaignResult:
         """Screen a whole population and collect fleet statistics.
 
         ``band`` selects the verdict policy: ``"auto"`` calibrates the
@@ -421,6 +536,16 @@ class CampaignEngine:
         :meth:`CampaignResult.diagnose` feeds to the fault-dictionary
         matcher of :mod:`repro.diagnosis`.
 
+        ``encoders`` switches the campaign to multi-signature
+        screening: the population's trace stacks synthesize once and
+        every listed monitor bank encodes its own signature channel
+        (``encoders[0]`` replaces the configured encoder as channel 0
+        -- pass the engine's own encoder there to keep channel 0
+        bit-identical to the plain run).  The result then carries
+        per-channel NDFs/verdicts, a combined OR-verdict and, with
+        ``keep_signatures``, a packed
+        :class:`~repro.core.multi_signature_batch.MultiSignatureBatch`.
+
         The configured executor parallelizes *spec* populations (the
         chunkable fast path) and trace stacks; cut and encoder
         populations always run in process, and the result's
@@ -429,6 +554,9 @@ class CampaignEngine:
         :meth:`run_stream` (bounded memory); an iterator of individual
         specs is simply materialized and run in one shot.
         """
+        if encoders is not None:
+            return self.with_encoders(encoders).run(
+                population, band, keep_signatures)
         if isinstance(population, Iterator):
             import itertools
 
@@ -467,6 +595,34 @@ class CampaignEngine:
                 population, keep_signatures)
             f0_devs = q_devs = None
             executor_name = "serial"
+        return self._package_result(values, timing, labels, batch,
+                                    band, threshold, f0_devs, q_devs,
+                                    executor_name, start)
+
+    def _package_result(self, values, timing, labels, batch, band,
+                        threshold, f0_devs, q_devs, executor_name,
+                        start) -> CampaignResult:
+        """Assemble a :class:`CampaignResult`, channel-shape aware.
+
+        Single-channel values pass through untouched.  An ``(N, K)``
+        multi-channel matrix is split: column 0 becomes the result's
+        primary ``ndfs``/``verdicts`` (the same floats the
+        single-channel flow produces -- the channel-0 contract), the
+        full matrix plus per-channel thresholds/verdicts and the
+        packed multi batch ride the ``channel_*`` fields.
+        """
+        channel_ndfs = channel_thresholds = channel_verdicts = None
+        multi_batch = None
+        if values.ndim == 2:
+            channel_ndfs = values
+            channel_thresholds = self.channel_thresholds(band)
+            if channel_thresholds is not None:
+                channel_verdicts = (channel_ndfs
+                                    <= channel_thresholds[None, :])
+            values = np.ascontiguousarray(channel_ndfs[:, 0])
+            multi_batch = batch
+            batch = multi_batch.channel(0) \
+                if multi_batch is not None else None
         verdicts = None if threshold is None else values <= threshold
         timing["total"] = time.perf_counter() - start
         return CampaignResult(
@@ -474,11 +630,16 @@ class CampaignEngine:
             f0_deviations=f0_devs, q_deviations=q_devs, labels=labels,
             tolerance=self.config.tolerance, timing=timing,
             executor=executor_name, cache_info=self.cache.info,
-            signature_batch=batch)
+            signature_batch=batch, channel_ndfs=channel_ndfs,
+            channel_thresholds=channel_thresholds,
+            channel_verdicts=channel_verdicts,
+            multi_signature_batch=multi_batch)
 
     def run_stream(self, chunks: Iterable,
                    band: Union[None, str, float, DecisionBand] = "auto",
-                   keep_signatures: bool = False) -> CampaignResult:
+                   keep_signatures: bool = False,
+                   encoders: Optional[Sequence[ZoneEncoder]] = None
+                   ) -> CampaignResult:
         """Screen a stream of population chunks at bounded memory.
 
         ``chunks`` yields :class:`SpecPopulation` instances (or raw
@@ -489,15 +650,22 @@ class CampaignEngine:
         size, not the fleet size; verdict vectors are bit-identical to
         the monolithic run over the concatenated population.  (With
         ``keep_signatures`` the retained batch grows with the fleet,
-        trading the memory bound for diagnosability.)
+        trading the memory bound for diagnosability.)  ``encoders``
+        enables multi-signature screening exactly as in :meth:`run`;
+        streamed multi-channel results are bit-identical per channel
+        to the monolithic multi-channel run.
         """
+        if encoders is not None:
+            return self.with_encoders(encoders).run_stream(
+                chunks, band, keep_signatures)
         start = time.perf_counter()
         threshold = self._resolve_threshold(band)
         timing: Dict[str, float] = {}
         value_parts: List[np.ndarray] = []
         f0_parts: List[np.ndarray] = []
         q_parts: List[np.ndarray] = []
-        batch_parts: List[SignatureBatch] = []
+        batch_parts: List[Union[SignatureBatch,
+                                MultiSignatureBatch]] = []
         labels: List[str] = []
         for chunk in chunks:
             # Raw spec-sequence chunks get placeholder labels numbered
@@ -518,21 +686,16 @@ class CampaignEngine:
             labels.extend(chunk_labels)
             _merge_timing(timing, section)
         values = (np.concatenate(value_parts) if value_parts
-                  else np.empty(0))
+                  else self._empty_values())
         f0_devs = (np.concatenate(f0_parts) if f0_parts
                    else np.empty(0))
         q_devs = np.concatenate(q_parts) if q_parts else np.empty(0)
-        batch = (SignatureBatch.concatenate(batch_parts)
+        batch = (self._concatenate_batches(batch_parts)
                  if keep_signatures else None)
-        verdicts = None if threshold is None else values <= threshold
-        timing["total"] = time.perf_counter() - start
         name = getattr(self.executor, "name", "custom") + "+stream"
-        return CampaignResult(
-            ndfs=values, threshold=threshold, verdicts=verdicts,
-            f0_deviations=f0_devs, q_deviations=q_devs, labels=labels,
-            tolerance=self.config.tolerance, timing=timing,
-            executor=name, cache_info=self.cache.info,
-            signature_batch=batch)
+        return self._package_result(values, timing, labels, batch,
+                                    band, threshold, f0_devs, q_devs,
+                                    name, start)
 
     def run_noise(self, population: Union[SpecPopulation,
                                           Sequence[BiquadSpec]],
@@ -562,6 +725,12 @@ class CampaignEngine:
         serial runs produce bit-identical NDF matrices (and hence
         detection rates).
         """
+        if self.config.extra_encoders:
+            raise ValueError(
+                "noise campaigns are single-channel; run them on the "
+                "primary engine (channel_engine(0)) -- the "
+                "multi-signature dictionary rows stay noise-free "
+                "references either way")
         if repeats < 1:
             raise ValueError("need at least one noisy repeat")
         if noise is None:
@@ -648,18 +817,55 @@ class CampaignEngine:
             chunk_size = max(1, min(chunk_size, per_worker))
         return chunk_size
 
-    @staticmethod
-    def _merge_outputs(outputs, collect: bool):
-        """Merge chunk outputs ``(values, timing, batch)`` in order."""
+    def _empty_values(self) -> np.ndarray:
+        """NDF array of an empty population (1-D or ``(0, K)``)."""
+        if self.config.extra_encoders:
+            return np.empty((0, self.config.num_channels))
+        return np.empty(0)
+
+    def _empty_batch(self, collect: bool
+                     ) -> Union[None, SignatureBatch,
+                                MultiSignatureBatch]:
+        """Packed batch of an empty population, channel-shape aware."""
+        if not collect:
+            return None
+        if self.config.extra_encoders:
+            return MultiSignatureBatch.empty(self.config.num_channels)
+        return SignatureBatch.empty()
+
+    def _concatenate_batches(self, parts
+                             ) -> Union[SignatureBatch,
+                                        MultiSignatureBatch]:
+        """Row-stack collected chunk batches, channel-shape aware.
+
+        Single source of the Multi-vs-plain dispatch for both the
+        chunked (:meth:`_merge_outputs`) and the streamed
+        (:meth:`run_stream`) merge.
+        """
+        parts = [part for part in parts if part is not None]
+        if not parts:
+            return self._empty_batch(True)
+        if isinstance(parts[0], MultiSignatureBatch):
+            return MultiSignatureBatch.concatenate(parts)
+        return SignatureBatch.concatenate(parts)
+
+    def _merge_outputs(self, outputs, collect: bool):
+        """Merge chunk outputs ``(values, timing, batch)`` in order.
+
+        NDF parts concatenate along the die axis whether they are
+        per-die vectors or ``(n, K)`` multi-channel matrices; packed
+        batches concatenate through their own class, so streamed and
+        chunked multi-signature campaigns merge channel by channel.
+        """
         timing: Dict[str, float] = {}
         for __, section_times, __batch in outputs:
             _merge_timing(timing, section_times)
         values = (np.concatenate([v for v, __, __b in outputs])
-                  if outputs else np.empty(0))
+                  if outputs else self._empty_values())
         batch = None
         if collect:
-            batch = SignatureBatch.concatenate(
-                [b for __, __t, b in outputs if b is not None])
+            batch = self._concatenate_batches(
+                [b for __, __t, b in outputs])
         return values, timing, batch
 
     def _map_spec_chunks(self, specs: Sequence[BiquadSpec],
@@ -690,8 +896,8 @@ class CampaignEngine:
                    ) -> Tuple[np.ndarray, Dict[str, float], List[str],
                               Optional[SignatureBatch]]:
         if len(population) == 0:
-            return (np.empty(0), {"golden": 0.0}, [],
-                    SignatureBatch.empty() if collect else None)
+            return (self._empty_values(), {"golden": 0.0}, [],
+                    self._empty_batch(collect))
         values, timing, batch = self._map_spec_chunks(population.specs,
                                                       collect)
         return values, timing, list(population.labels), batch
@@ -710,8 +916,8 @@ class CampaignEngine:
         """
         n = len(population)
         if n == 0:
-            return (np.empty(0), {"golden": 0.0}, [],
-                    SignatureBatch.empty() if collect else None)
+            return (self._empty_values(), {"golden": 0.0}, [],
+                    self._empty_batch(collect))
         stack = population.y_stack
         chunk_size = self._pool_chunk_size(n, self.config.chunk_size)
         ranges = [(lo, min(lo + chunk_size, n))
@@ -740,12 +946,18 @@ class CampaignEngine:
                              Optional[SignatureBatch]]:
         """Generic CUTs: batched when they expose ``response``."""
         if len(population) == 0:
-            return (np.empty(0), {"golden": 0.0}, [],
-                    SignatureBatch.empty() if collect else None)
+            return (self._empty_values(), {"golden": 0.0}, [],
+                    self._empty_batch(collect))
         if all(hasattr(cut, "response") for cut in population.cuts):
             values, timing, batch = _response_chunk_ndfs(
                 self.config, population.cuts, self.cache, collect)
             return values, timing, list(population.labels), batch
+        if self.config.extra_encoders:
+            raise ValueError(
+                "multi-signature campaigns need populations that take "
+                "the batched trace path (spec, trace, or netlist/"
+                "response cut populations); per-CUT lissajous "
+                "fallbacks only encode the primary channel")
         # Fallback: per-CUT traces (e.g. transient-simulated CUTs) are
         # stacked on their own shared grid, then the packed
         # encode/score path runs once over the whole stack.  Each
@@ -824,6 +1036,11 @@ class CampaignEngine:
         boundaries), but the signatures of all banks pack into one
         batch and score through the fleet-NDF kernel.
         """
+        if self.config.extra_encoders:
+            raise ValueError(
+                "encoder populations vary the primary monitor bank "
+                "per die; extra signature channels are ambiguous here "
+                "-- run them single-channel")
         if len(population) == 0:
             return (np.empty(0), {"golden": 0.0}, [],
                     SignatureBatch.empty() if collect else None)

@@ -29,6 +29,7 @@ from repro.analysis.yield_model import (
     yield_report_from_arrays,
 )
 from repro.campaign.cache import CacheInfo
+from repro.core.multi_signature_batch import MultiSignatureBatch
 from repro.core.signature_batch import SignatureBatch
 
 
@@ -67,7 +68,21 @@ class CampaignResult:
         Packed per-die signatures (one row per die, population order)
         when the campaign ran with ``keep_signatures=True``; None
         otherwise.  This is what :meth:`diagnose` matches against a
-        fault dictionary.
+        fault dictionary.  For a multi-signature campaign this is
+        channel 0 of ``multi_signature_batch`` (the channel-0
+        contract keeps every single-channel consumer working).
+    channel_ndfs, channel_thresholds, channel_verdicts:
+        Multi-signature campaigns (``encoders=[...]``) additionally
+        carry the full ``(N, K)`` per-channel NDF matrix, one
+        threshold per channel and the aligned per-channel verdicts;
+        all None for single-channel runs.  Column 0 is bit-identical
+        to ``ndfs``/``verdicts``.
+    multi_signature_batch:
+        The packed K-channel
+        :class:`~repro.core.multi_signature_batch.MultiSignatureBatch`
+        of a multi-signature campaign run with
+        ``keep_signatures=True``; what :meth:`diagnose` matches
+        against a multi-channel fault dictionary.
     """
 
     ndfs: np.ndarray
@@ -81,6 +96,10 @@ class CampaignResult:
     executor: str = "serial"
     cache_info: Optional[CacheInfo] = None
     signature_batch: Optional[SignatureBatch] = None
+    channel_ndfs: Optional[np.ndarray] = None
+    channel_thresholds: Optional[np.ndarray] = None
+    channel_verdicts: Optional[np.ndarray] = None
+    multi_signature_batch: Optional[MultiSignatureBatch] = None
 
     def __post_init__(self) -> None:
         self.ndfs = np.asarray(self.ndfs, dtype=float)
@@ -88,6 +107,12 @@ class CampaignResult:
             self.verdicts = np.asarray(self.verdicts, dtype=bool)
             if self.verdicts.shape != self.ndfs.shape:
                 raise ValueError("verdicts must align with ndfs")
+        if self.channel_ndfs is not None:
+            self.channel_ndfs = np.asarray(self.channel_ndfs,
+                                           dtype=float)
+            if self.channel_ndfs.ndim != 2 \
+                    or self.channel_ndfs.shape[0] != self.ndfs.size:
+                raise ValueError("channel NDFs must be (N, K)")
 
     # ------------------------------------------------------------------
     # Basic statistics
@@ -115,6 +140,33 @@ class CampaignResult:
         if self.num_dies == 0:
             return 1.0
         return self.pass_count / self.num_dies
+
+    @property
+    def num_channels(self) -> int:
+        """Signature channels carried by this result (1 when plain)."""
+        if self.channel_ndfs is None:
+            return 1
+        return int(self.channel_ndfs.shape[1])
+
+    @property
+    def combined_verdicts(self) -> np.ndarray:
+        """OR-verdict over the signature channels: FAIL if *any*
+        channel flags the die (PASS only when every channel passes).
+
+        For a single-channel campaign this is simply ``verdicts``;
+        the extra channels can only tighten the screen, never loosen
+        it -- channel 0 remains the production verdict.
+        """
+        if self.channel_verdicts is not None:
+            return np.all(self.channel_verdicts, axis=1)
+        if self.verdicts is None:
+            raise ValueError("campaign ran without a decision band")
+        return self.verdicts
+
+    @property
+    def combined_fail_count(self) -> int:
+        """Dies flagged FAIL by at least one channel."""
+        return int(np.count_nonzero(~self.combined_verdicts))
 
     def ndf_percentile(self, q: float) -> float:
         """Percentile of the NDF distribution (NaN when empty)."""
@@ -186,23 +238,49 @@ class CampaignResult:
         are diagnosed -- the screen's verdict gates the diagnosis, as
         on a real tester; otherwise every die is matched.  Returns a
         :class:`repro.diagnosis.DiagnosisResult`.
-        """
-        from repro.diagnosis import DictionaryMatcher
 
-        if self.signature_batch is None:
-            raise ValueError(
-                "campaign ran without keep_signatures=True; re-run "
-                "with engine.run(..., keep_signatures=True) to retain "
-                "the packed signatures diagnosis needs")
-        batch = self.signature_batch
+        A :class:`repro.diagnosis.MultiFaultDictionary` matches
+        against the retained multi-channel batch instead (the
+        campaign must have run with the same ``encoders`` list the
+        dictionary was compiled with); distances then combine across
+        channels, which is what splits single-signature ambiguity
+        groups.
+        """
+        from repro.diagnosis import (
+            DictionaryMatcher,
+            MultiDictionaryMatcher,
+            MultiFaultDictionary,
+        )
+
+        if isinstance(dictionary, MultiFaultDictionary):
+            batch = self.multi_signature_batch
+            if batch is None and dictionary.num_channels == 1 \
+                    and self.signature_batch is not None:
+                # A one-channel "multi" dictionary (the search's
+                # degenerate outcome) matches plain campaign results.
+                batch = MultiSignatureBatch([self.signature_batch])
+            if batch is None:
+                raise ValueError(
+                    "multi-channel diagnosis needs a multi-signature "
+                    "campaign run with keep_signatures=True (pass "
+                    "encoders=dictionary.encoders to engine.run)")
+            matcher = MultiDictionaryMatcher(dictionary)
+        else:
+            if self.signature_batch is None:
+                raise ValueError(
+                    "campaign ran without keep_signatures=True; re-run "
+                    "with engine.run(..., keep_signatures=True) to "
+                    "retain the packed signatures diagnosis needs")
+            batch = self.signature_batch
+            matcher = DictionaryMatcher(dictionary)
         labels = self.labels
         if failing_only:
             indices = self.failing_indices()
             batch = batch.select(indices)
             if labels is not None:
                 labels = [labels[i] for i in indices]
-        return DictionaryMatcher(dictionary).match(
-            batch, top_k=top_k, metric=metric, die_labels=labels)
+        return matcher.match(batch, top_k=top_k, metric=metric,
+                             die_labels=labels)
 
     def to_units(self) -> List[CutUnit]:
         """Per-die view for the legacy list-based yield tooling."""
@@ -228,6 +306,19 @@ class CampaignResult:
                 f"verdicts:    {self.pass_count} PASS / "
                 f"{self.fail_count} FAIL "
                 f"(threshold {self.threshold:.4f})")
+        if self.channel_verdicts is not None:
+            for k in range(self.num_channels):
+                fails = int(np.count_nonzero(
+                    ~self.channel_verdicts[:, k]))
+                lines.append(
+                    f"  channel {k}:  {self.num_dies - fails} PASS / "
+                    f"{fails} FAIL "
+                    f"(threshold {self.channel_thresholds[k]:.4f})")
+            lines.append(
+                f"combined:    "
+                f"{self.num_dies - self.combined_fail_count} PASS / "
+                f"{self.combined_fail_count} FAIL (OR over "
+                f"{self.num_channels} channels)")
         if (self.tolerance is not None and self.threshold is not None
                 and self.f0_deviations is not None and self.num_dies
                 and not np.any(np.isnan(self.f0_deviations))):

@@ -14,8 +14,12 @@
                                             # bounded-memory streaming
     python -m repro campaign --dies 200 --repeats 20
                                             # Section IV-C noise repeats
+    python -m repro campaign --scenario faults --second-signature auto
+                                            # two-channel screening
     python -m repro diagnose --per-fault 10 [--top-k 3] [--json]
                                             # fault-dictionary diagnosis
+    python -m repro diagnose --second-signature auto
+                                            # split ambiguity groups
     python -m repro diagnose --save dict.npz --per-fault 0
                                             # compile + persist only
 
@@ -111,6 +115,14 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="3-sigma noise spread in volts (with "
                                "--repeats; default: the paper's "
                                "0.015 V)")
+    campaign.add_argument("--second-signature", metavar="CONFIG",
+                          default=None,
+                          help="screen through a second monitor bank "
+                               "as well: 'auto' searches the bank "
+                               "that best splits the fault "
+                               "dictionary's ambiguity groups, or "
+                               "give a candidate name like "
+                               "'bias-0.10_level1e-05'")
     campaign.add_argument("--json", action="store_true",
                           help="emit a machine-readable JSON summary")
 
@@ -146,6 +158,15 @@ def _build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--load", metavar="PATH", default=None,
                           help="load a saved dictionary instead of "
                                "compiling")
+    diagnose.add_argument("--second-signature", metavar="CONFIG",
+                          default=None,
+                          help="add an adaptive second signature "
+                               "channel: 'auto' searches the "
+                               "candidate banks for the one that "
+                               "best splits the ambiguity groups, or "
+                               "give a candidate name like "
+                               "'bias-0.10_level1e-05'; diagnosis "
+                               "then combines both channels")
     diagnose.add_argument("--json", action="store_true",
                           help="emit a machine-readable JSON summary")
     return parser
@@ -254,6 +275,32 @@ def _campaign_population(setup, args):
     raise AssertionError("unreachable")
 
 
+def _second_bank(engine, spec):
+    """(name, encoder) of the requested second signature bank.
+
+    ``auto`` compiles the engine's fault dictionary and searches the
+    candidate family for the bank that best splits its ambiguity
+    groups; any other value is a candidate name pinned verbatim
+    (e.g. ``bias-0.10_level1e-05``).
+    """
+    from repro.monitor.second_signature import candidate_by_name
+
+    if spec != "auto":
+        candidate = candidate_by_name(spec)
+        return candidate.name, candidate.encoder
+    from repro.diagnosis import (
+        compile_fault_dictionary,
+        search_second_signature,
+    )
+
+    dictionary = compile_fault_dictionary(engine)
+    search = search_second_signature(engine, dictionary)
+    if search.best is None:
+        raise ValueError("no candidate bank splits any ambiguity "
+                         "group for this configuration")
+    return search.best.name, search.best.encoder
+
+
 def _campaign_executor(args):
     """Executor selected on the command line (None = serial)."""
     from repro.campaign import ProcessPoolExecutor, SharedMemoryExecutor
@@ -280,12 +327,32 @@ def _cmd_campaign(setup, args) -> int:
         print("--noise only applies to a noise campaign; add "
               "--repeats N", file=sys.stderr)
         return 2
+    if args.second_signature is not None and args.repeats:
+        print("noise campaigns are single-channel; drop "
+              "--second-signature or --repeats", file=sys.stderr)
+        return 2
+    if args.second_signature is not None \
+            and args.scenario in ("monitor-mc", "corners"):
+        print("--second-signature needs a CUT population (the "
+              "monitor-mc/corners scenarios vary the primary bank "
+              "itself)", file=sys.stderr)
+        return 2
     executor = _campaign_executor(args)
     engine = setup.campaign_engine(samples_per_period=args.samples,
                                    tolerance=args.tolerance,
                                    executor=executor)
     faults = None
+    second_name = None
+    encoders = None
     try:
+        if args.second_signature is not None:
+            try:
+                second_name, second = _second_bank(
+                    engine, args.second_signature)
+            except ValueError as error:
+                print(f"--second-signature: {error}", file=sys.stderr)
+                return 2
+            encoders = [engine.config.encoder, second]
         if args.repeats:
             population, __ = _campaign_population(setup, args)
             result = engine.run_noise(population,
@@ -297,10 +364,12 @@ def _cmd_campaign(setup, args) -> int:
             chunks = stream_montecarlo_dies(
                 setup.golden_spec, args.dies, chunk_size=args.chunk,
                 sigma_f0=args.sigma, seed=args.seed)
-            result = engine.run_stream(chunks, band="auto")
+            result = engine.run_stream(chunks, band="auto",
+                                       encoders=encoders)
         else:
             population, faults = _campaign_population(setup, args)
-            result = engine.run(population, band="auto")
+            result = engine.run(population, band="auto",
+                                encoders=encoders)
     finally:
         if executor is not None:
             executor.shutdown()
@@ -320,6 +389,14 @@ def _cmd_campaign(setup, args) -> int:
             "timing": result.timing,
             "executor": result.executor,
         }
+        if result.channel_ndfs is not None:
+            payload["second_signature"] = second_name
+            payload["channels"] = [
+                {"threshold": float(result.channel_thresholds[k]),
+                 "fail": int(np.count_nonzero(
+                     ~result.channel_verdicts[:, k]))}
+                for k in range(result.num_channels)]
+            payload["combined_fail"] = result.combined_fail_count
         if faults is not None:
             detected = set(result.failing_labels())
             payload["faults"] = [
@@ -334,6 +411,8 @@ def _cmd_campaign(setup, args) -> int:
     else:
         print(f"campaign: {args.scenario} "
               f"({result.num_dies} dies, band ±{args.tolerance:.0%})")
+        if second_name is not None:
+            print(f"second bank: {second_name}")
         print(result.summary())
         if faults is not None:
             detected = result.failing_labels()
@@ -419,12 +498,44 @@ def _cmd_diagnose(setup, args) -> int:
     coverage = detectability_report(dictionary)
     matrix = fault_distance_matrix(dictionary, metric=args.metric)
     groups = ambiguity_groups(dictionary, matrix=matrix)
+    search = None
+    second_encoders = None
+    if args.second_signature is not None:
+        from repro.diagnosis import search_second_signature
+        from repro.monitor.second_signature import candidate_by_name
+
+        try:
+            candidates = None if args.second_signature == "auto" \
+                else [candidate_by_name(args.second_signature)]
+        except ValueError as error:
+            print(f"--second-signature: {error}", file=sys.stderr)
+            return 2
+        search = search_second_signature(engine, dictionary,
+                                         candidates)
+        if search.best is not None:
+            second_encoders = search.encoders
+        elif candidates is not None:
+            # A pinned bank is honoured even when it splits nothing
+            # (the user asked for that exact configuration); only
+            # "auto" degrades to the single-channel report.
+            second_encoders = [engine.config.encoder,
+                               candidates[0].encoder]
     study = None
+    multi_study = None
     if args.per_fault:
         study = confusion_study(engine, dictionary,
                                 per_fault=args.per_fault,
                                 sigma=args.sigma, seed=args.seed,
                                 metric=args.metric, top_k=args.top_k)
+        if second_encoders is not None:
+            from repro.diagnosis import compile_multi_fault_dictionary
+
+            multi = compile_multi_fault_dictionary(
+                engine, second_encoders, faults=dictionary.faults)
+            multi_study = confusion_study(
+                engine, multi, per_fault=args.per_fault,
+                sigma=args.sigma, seed=args.seed,
+                metric=args.metric, top_k=args.top_k)
     if args.json:
         payload = {
             "faults": dictionary.labels,
@@ -445,6 +556,22 @@ def _cmd_diagnose(setup, args) -> int:
             payload["group_accuracy"] = json_number(
                 study.group_accuracy(groups))
             payload["diagnosis"] = study.diagnosis.to_payload()
+        if search is not None:
+            payload["second_signature"] = {
+                "chosen": (search.best.name if search.best is not None
+                           else None),
+                "candidates": len(search.scores),
+                "resolved_groups": search.resolved_groups,
+                "partial_groups": search.partial_groups,
+                "invisible_groups": search.invisible_groups,
+                "unresolved_groups": search.unresolved_groups,
+                "timing": search.timing,
+            }
+            if multi_study is not None:
+                payload["second_signature"]["accuracy"] = json_number(
+                    multi_study.accuracy)
+                payload["second_signature"]["group_accuracy"] = \
+                    json_number(multi_study.group_accuracy(groups))
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"fault dictionary: {len(dictionary)} faults, "
@@ -458,13 +585,22 @@ def _cmd_diagnose(setup, args) -> int:
             for group in ambiguous))
     if saved_path is not None:
         print(f"saved:       {saved_path}")
+    if search is not None:
+        print()
+        print(search.summary())
     if study is not None:
         print()
         print(study.summary())
         print(f"group top-1: {study.group_accuracy(groups):.1%} "
               f"(ambiguity-group aware)")
+        if multi_study is not None:
+            print(f"with 2nd signature: top-1 "
+                  f"{multi_study.accuracy:.1%} (was "
+                  f"{study.accuracy:.1%}), group top-1 "
+                  f"{multi_study.group_accuracy(groups):.1%}")
         print()
-        print(study.diagnosis.summary(max_rows=8))
+        report = multi_study if multi_study is not None else study
+        print(report.diagnosis.summary(max_rows=8))
     return 0
 
 

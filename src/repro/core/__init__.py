@@ -13,6 +13,7 @@ from repro.core.boundaries import Boundary, CallableBoundary, LinearBoundary
 from repro.core.zones import ZoneEncoder, hamming_distance
 from repro.core.signature import Signature, SignatureEntry
 from repro.core.signature_batch import SignatureBatch, fleet_ndf
+from repro.core.multi_signature_batch import MultiSignatureBatch
 from repro.core.capture import AsyncCapture, CaptureConfig, capture_signature
 from repro.core.ndf import (
     hamming_chronogram,
@@ -40,6 +41,7 @@ __all__ = [
     "LinearBoundary",
     "ZoneEncoder",
     "hamming_distance",
+    "MultiSignatureBatch",
     "Signature",
     "SignatureBatch",
     "SignatureEntry",

@@ -46,7 +46,9 @@ everywhere it matters, so for the same code stack:
   contiguous slice of the same length) reproduce the scalar metric's
   exact operations.
 
-The campaign equivalence tests assert all three.
+The campaign equivalence tests assert all three; the full contract is
+written out in ``docs/paper_map.md``.  K-channel stacks of this batch
+live in :mod:`repro.core.multi_signature_batch`.
 """
 
 from __future__ import annotations

@@ -101,7 +101,7 @@ class MosParams:
 
 #: Representative 65 nm-class low-power nMOS model card.  The paper does
 #: not publish its foundry model, so these are documented surrogates
-#: (VT around 0.42 V, K' of a few hundred uA/V^2 -- see DESIGN.md).
+#: (VT around 0.42 V, K' of a few hundred uA/V^2; docs/paper_map.md).
 NMOS_65NM = MosParams(polarity=1, vt0=0.42, kp=400e-6, n=1.30, lambda_=0.15)
 
 #: Representative 65 nm-class pMOS card (mobility roughly 1/3 of nMOS).

@@ -45,15 +45,22 @@ from repro.diagnosis.analysis import (
 from repro.diagnosis.dictionary import (
     DEFAULT_PARAMETRIC_CLASSES,
     FaultDictionary,
+    MultiFaultDictionary,
     compile_fault_dictionary,
+    compile_multi_fault_dictionary,
     default_fault_universe,
     dwell_features,
 )
-from repro.diagnosis.matcher import DictionaryMatcher
+from repro.diagnosis.matcher import DictionaryMatcher, MultiDictionaryMatcher
 from repro.diagnosis.result import (
     DieDiagnosis,
     DiagnosisResult,
     json_number,
+)
+from repro.diagnosis.second_signature import (
+    GroupResolution,
+    SecondSignatureSearch,
+    search_second_signature,
 )
 
 __all__ = [
@@ -67,11 +74,17 @@ __all__ = [
     "perturbed_fault_fleet",
     "DEFAULT_PARAMETRIC_CLASSES",
     "FaultDictionary",
+    "MultiFaultDictionary",
     "compile_fault_dictionary",
+    "compile_multi_fault_dictionary",
     "default_fault_universe",
     "dwell_features",
     "DictionaryMatcher",
+    "MultiDictionaryMatcher",
     "DieDiagnosis",
     "DiagnosisResult",
     "json_number",
+    "GroupResolution",
+    "SecondSignatureSearch",
+    "search_second_signature",
 ]

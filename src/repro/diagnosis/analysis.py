@@ -276,7 +276,7 @@ class ConfusionStudy:
         }
 
 
-def confusion_study(engine, dictionary: FaultDictionary,
+def confusion_study(engine, dictionary,
                     values: Optional[TowThomasValues] = None,
                     per_fault: int = 10, sigma: float = 0.02,
                     seed: int = 0, metric: str = "ndf",
@@ -290,6 +290,16 @@ def confusion_study(engine, dictionary: FaultDictionary,
     detection rate but never reach the matcher -- exactly the
     production flow.
 
+    ``dictionary`` may be a single-channel :class:`FaultDictionary`
+    or a K-channel
+    :class:`~repro.diagnosis.dictionary.MultiFaultDictionary`.  In
+    the multi case the fleet screens through the dictionary's own
+    encoder list (the front half still runs once per die) and the
+    FAIL gate stays the *channel-0* verdict at the channel-0
+    threshold -- so single and multi studies over the same seed
+    diagnose exactly the same failing dies, and accuracy deltas
+    measure the second signature alone.
+
     The dictionary must have been compiled for this engine's
     configuration: a dictionary loaded from disk that was built on a
     different stimulus, encoder or capture grid lives in a different
@@ -298,9 +308,13 @@ def confusion_study(engine, dictionary: FaultDictionary,
     """
     import time
 
+    from repro.diagnosis.dictionary import MultiFaultDictionary
+
+    multi = isinstance(dictionary, MultiFaultDictionary)
+    primary = dictionary.channel(0) if multi else dictionary
     if values is None:
         values = TowThomasValues.from_spec(engine.config.golden_spec)
-    if dictionary.golden_signature != engine.golden().signature:
+    if primary.golden_signature != engine.golden().signature:
         raise ValueError(
             "dictionary was compiled for a different configuration "
             "(its golden signature does not match this engine's); "
@@ -313,7 +327,8 @@ def confusion_study(engine, dictionary: FaultDictionary,
         values, dictionary.faults, per_fault, sigma, seed)
     t0 = time.perf_counter()
     result = engine.run(population, band=float(threshold),
-                        keep_signatures=True)
+                        keep_signatures=True,
+                        encoders=dictionary.encoders if multi else None)
     t_screen = time.perf_counter() - t0
     failing = result.failing_indices()
     t0 = time.perf_counter()

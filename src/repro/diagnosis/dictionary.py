@@ -248,6 +248,144 @@ class FaultDictionary:
                        threshold=meta["threshold"])
 
 
+@dataclass
+class MultiFaultDictionary:
+    """K per-channel fault dictionaries over one fault universe.
+
+    The multi-signature analogue of :class:`FaultDictionary`: channel
+    ``k`` holds the fault universe's packed signatures as seen through
+    monitor bank ``k`` (channel 0 is the production bank -- its
+    dictionary is bit-identical to a plain
+    :func:`compile_fault_dictionary` run).  The matcher sums the
+    per-channel distance matrices, so faults that collide in channel
+    0's signature space separate as soon as *any* channel tells them
+    apart -- this is what splits ambiguity groups.
+
+    Attributes
+    ----------
+    channels:
+        One :class:`FaultDictionary` per signature channel, all over
+        the same fault universe (row-aligned).
+    encoders:
+        The monitor banks the channels were compiled with, in channel
+        order; pass these to ``engine.run(..., encoders=...)`` so the
+        screened fleet lives in the same K signature spaces.
+    """
+
+    channels: List[FaultDictionary]
+    encoders: List
+
+    def __post_init__(self) -> None:
+        if not self.channels:
+            raise ValueError("need at least one channel dictionary")
+        if len(self.encoders) != len(self.channels):
+            raise ValueError("need one encoder per channel")
+        head = self.channels[0].labels
+        for channel in self.channels[1:]:
+            if channel.labels != head:
+                raise ValueError("channel dictionaries must share the "
+                                 "fault universe, row for row")
+
+    def __len__(self) -> int:
+        return len(self.channels[0])
+
+    @property
+    def num_channels(self) -> int:
+        """Signature channels K."""
+        return len(self.channels)
+
+    @property
+    def faults(self) -> List[Fault]:
+        """The shared fault universe (channel order = row order)."""
+        return self.channels[0].faults
+
+    @property
+    def labels(self) -> List[str]:
+        """Human-readable fault identifiers, row order."""
+        return self.channels[0].labels
+
+    @property
+    def threshold(self) -> Optional[float]:
+        """Channel 0's decision threshold (the production screen)."""
+        return self.channels[0].threshold
+
+    def channel(self, k: int) -> FaultDictionary:
+        """The single-channel dictionary of channel ``k``."""
+        return self.channels[k]
+
+
+def compile_multi_fault_dictionary(engine, encoders,
+                                   faults: Optional[Sequence[Fault]] = None,
+                                   values: Optional[TowThomasValues] = None,
+                                   band="auto") -> MultiFaultDictionary:
+    """Compile K-channel dictionary rows through one front-half pass.
+
+    The fault universe's netlists solve and synthesize **once**
+    (stacked MNA + batched through-evaluation, exactly like
+    :func:`compile_fault_dictionary`); every listed encoder then
+    re-encodes the same trace stacks into its own signature channel.
+    Channel 0 -- compiled through ``encoders[0]`` -- is bit-identical
+    to the single-channel dictionary of an engine configured with that
+    encoder.
+
+    Rows are content-cached under the engine cache like single-channel
+    dictionaries, keyed by every channel's golden key; per-channel
+    detectability thresholds resolve from each channel's own Fig. 8
+    calibration (``band="auto"``) or from the raw value given.
+    """
+    encoders = list(encoders)
+    if not encoders:
+        raise ValueError("need at least one encoder")
+    multi_engine = engine.with_encoders(encoders)
+    config = multi_engine.config
+    fault_list = list(faults) if faults is not None \
+        else default_fault_universe()
+    if values is None:
+        values = TowThomasValues.from_spec(config.golden_spec)
+    key = ("multi_fault_dictionary",
+           tuple(config.channel_config(k).golden_key()
+                 for k in range(config.num_channels)),
+           values_key(values), tuple(fault_key(f) for f in fault_list))
+
+    def compute() -> MultiFaultDictionary:
+        cuts = [fault.apply_to_biquad(values) for fault in fault_list]
+        population = CutListPopulation(
+            cuts, [fault.label for fault in fault_list])
+        result = multi_engine.run(population, band=None,
+                                  keep_signatures=True)
+        channels = []
+        for k in range(config.num_channels):
+            sub = multi_engine.channel_engine(k)
+            num_bits = sub.config.encoder.num_bits
+            if result.multi_signature_batch is not None:
+                batch = result.multi_signature_batch.channel(k)
+                ndfs = result.channel_ndfs[:, k]
+            else:
+                # K = 1 degenerates to the single-channel flow (an
+                # encoder list of one is valid: the search returns it
+                # when no group is resolvable).
+                batch = result.signature_batch
+                ndfs = result.ndfs
+            channels.append(FaultDictionary(
+                batch=batch, ndfs=ndfs,
+                features=dwell_features(batch, num_bits),
+                faults=fault_list,
+                golden_signature=sub.golden().signature,
+                num_bits=num_bits,
+                period=sub.golden().period, threshold=None))
+        return MultiFaultDictionary(channels, encoders)
+
+    dictionary = engine.cache.get_or_compute(key, compute)
+    thresholds = multi_engine.channel_thresholds(band)
+    channels = []
+    for k, channel in enumerate(dictionary.channels):
+        threshold = None if thresholds is None else float(thresholds[k])
+        if threshold != channel.threshold:
+            channel = replace(channel, threshold=threshold)
+        channels.append(channel)
+    return MultiFaultDictionary(channels, dictionary.encoders)
+
+
 def compile_fault_dictionary(engine, faults: Optional[Sequence[Fault]] = None,
                              values: Optional[TowThomasValues] = None,
                              band="auto") -> FaultDictionary:

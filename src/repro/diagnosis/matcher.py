@@ -26,13 +26,58 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.multi_signature_batch import MultiSignatureBatch
 from repro.core.ndf import ndf as scalar_ndf
 from repro.core.signature import Signature
 from repro.core.signature_batch import SignatureBatch
-from repro.diagnosis.dictionary import FaultDictionary, dwell_features
+from repro.diagnosis.dictionary import (
+    FaultDictionary,
+    MultiFaultDictionary,
+    dwell_features,
+)
 from repro.diagnosis.result import DiagnosisResult
 
 _METRICS = ("ndf", "dwell")
+
+
+def _rank(distances: np.ndarray, num_faults: int, top_k: int
+          ) -> "tuple[np.ndarray, np.ndarray]":
+    """Shared top-k ranking: stable argsort, fault-index tie-break.
+
+    One definition serves the single- and multi-channel matchers, so
+    their candidate ordering can never silently diverge.
+    """
+    k = max(1, min(int(top_k), num_faults))
+    order = np.argsort(distances, axis=1, kind="stable")[:, :k]
+    return order, np.take_along_axis(distances, order, axis=1)
+
+
+def _match_from_distances(compute_distances, fault_labels,
+                          report_batch, top_k: int, metric: str,
+                          die_labels) -> DiagnosisResult:
+    """Shared match body: time the distance pass, rank, assemble.
+
+    Both matchers delegate here so their timing keys, ranking
+    semantics and :class:`DiagnosisResult` assembly stay one
+    definition; ``report_batch`` is what the result retains for the
+    per-die report edge (the primary-channel batch).
+    """
+    start = time.perf_counter()
+    timing = {}
+    t0 = time.perf_counter()
+    distances = compute_distances()
+    timing["distances"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    order, top_distances = _rank(distances, len(fault_labels), top_k)
+    timing["rank"] = time.perf_counter() - t0
+    timing["total"] = time.perf_counter() - start
+    return DiagnosisResult(
+        distances=distances, top_indices=order,
+        top_distances=top_distances,
+        fault_labels=fault_labels, metric=metric,
+        die_labels=(list(die_labels) if die_labels is not None
+                    else None),
+        batch=report_batch, timing=timing)
 
 
 class DictionaryMatcher:
@@ -77,24 +122,9 @@ class DictionaryMatcher:
         Ties are broken by fault index (stable argsort), so results
         are deterministic and identical to the per-die reference.
         """
-        start = time.perf_counter()
-        timing = {}
-        t0 = time.perf_counter()
-        distances = self.distance_matrix(batch, metric)
-        timing["distances"] = time.perf_counter() - t0
-        k = max(1, min(int(top_k), len(self.dictionary)))
-        t0 = time.perf_counter()
-        order = np.argsort(distances, axis=1, kind="stable")[:, :k]
-        top_distances = np.take_along_axis(distances, order, axis=1)
-        timing["rank"] = time.perf_counter() - t0
-        timing["total"] = time.perf_counter() - start
-        return DiagnosisResult(
-            distances=distances, top_indices=order,
-            top_distances=top_distances,
-            fault_labels=self.dictionary.labels, metric=metric,
-            die_labels=(list(die_labels) if die_labels is not None
-                        else None),
-            batch=batch, timing=timing)
+        return _match_from_distances(
+            lambda: self.distance_matrix(batch, metric),
+            self.dictionary.labels, batch, top_k, metric, die_labels)
 
     # ------------------------------------------------------------------
     # Per-die reference (equivalence baseline, report-edge semantics)
@@ -145,3 +175,102 @@ class DictionaryMatcher:
             die_labels=(list(die_labels) if die_labels is not None
                         else None),
             batch=batch)
+
+
+class MultiDictionaryMatcher:
+    """Scores multi-signature batches against a K-channel dictionary.
+
+    Channel ``k`` of the observed batch is scored against channel
+    ``k`` of the dictionary with the plain :class:`DictionaryMatcher`
+    machinery; the K per-channel ``(N, F)`` matrices -- the
+    concatenated ``(N, K*F)`` view is exposed by
+    :meth:`stacked_distances` -- combine channel-0-dominant::
+
+        combined = d_0 + tie_break * (d_1 + ... + d_{K-1})
+
+    Channel 0 is the production signature the dictionary and band
+    were designed around; the extra channels exist to *split its
+    ambiguity groups*, whose member faults sit at exactly equal
+    channel-0 distance from every observed die (their channel-0
+    signatures coincide).  A small ``tie_break`` weight therefore
+    lets the second signature decide precisely where channel 0 is
+    blind, without letting its re-partitioned zone map outvote
+    channel 0 anywhere else -- the multi study's group-aware accuracy
+    provably cannot drop below the single-channel one at a
+    sufficiently small weight, and the defaults sit well inside the
+    stable plateau (see the second-signature tests).
+
+    Two degeneracy properties the diagnosis flow relies on:
+
+    * with K = 1 the combined matrix *is* the single-channel matrix,
+      so multi matching equals :class:`DictionaryMatcher` exactly
+      (same distances, same candidate order, same margins);
+    * a fault pair at combined distance zero is indistinguishable in
+      *every* channel -- one channel separating the pair is enough to
+      split its ambiguity group.
+    """
+
+    def __init__(self, dictionary: MultiFaultDictionary,
+                 tie_break: float = 1e-3) -> None:
+        if tie_break <= 0.0:
+            raise ValueError("tie_break weight must be positive (0 "
+                             "would discard the extra channels)")
+        self.dictionary = dictionary
+        self.tie_break = float(tie_break)
+        self._matchers = [DictionaryMatcher(channel)
+                          for channel in dictionary.channels]
+
+    def _check(self, batch: MultiSignatureBatch) -> None:
+        if not isinstance(batch, MultiSignatureBatch):
+            raise TypeError("multi-channel matching needs a "
+                            "MultiSignatureBatch (run the campaign "
+                            "with encoders=dictionary.encoders)")
+        if batch.num_channels != self.dictionary.num_channels:
+            raise ValueError(
+                f"batch carries {batch.num_channels} channels but the "
+                f"dictionary has {self.dictionary.num_channels}")
+
+    # ------------------------------------------------------------------
+    def channel_distances(self, batch: MultiSignatureBatch,
+                          metric: str = "ndf") -> List[np.ndarray]:
+        """Per-channel ``(N, F)`` distance matrices, channel order."""
+        self._check(batch)
+        return [matcher.distance_matrix(batch.channel(k), metric)
+                for k, matcher in enumerate(self._matchers)]
+
+    def stacked_distances(self, batch: MultiSignatureBatch,
+                          metric: str = "ndf") -> np.ndarray:
+        """The concatenated ``(N, K*F)`` die-to-(channel, fault) view."""
+        return np.hstack(self.channel_distances(batch, metric))
+
+    def distance_matrix(self, batch: MultiSignatureBatch,
+                        metric: str = "ndf") -> np.ndarray:
+        """Combined ``(N, F)`` distances, channel-0-dominant.
+
+        Channel 0 at full weight plus the extra channels at the
+        ``tie_break`` weight; with K = 1 this returns the
+        single-channel matrix unchanged.
+        """
+        columns = self.channel_distances(batch, metric)
+        combined = columns[0]
+        for extra in columns[1:]:
+            combined = combined + self.tie_break * extra
+        return combined
+
+    def match(self, batch: MultiSignatureBatch, top_k: int = 3,
+              metric: str = "ndf",
+              die_labels: Optional[Sequence[str]] = None
+              ) -> DiagnosisResult:
+        """Diagnose every die through all channels in one pass.
+
+        Identical ranking semantics to :meth:`DictionaryMatcher.match`
+        (stable argsort, fault-index tie-break; both delegate to one
+        shared body) on the combined matrix; the returned result's
+        ``batch`` is channel 0, so the per-die report edge unpacks
+        the production signature.
+        """
+        self._check(batch)
+        return _match_from_distances(
+            lambda: self.distance_matrix(batch, metric),
+            self.dictionary.labels, batch.channel(0), top_k, metric,
+            die_labels)

@@ -5,6 +5,8 @@
 * :mod:`repro.monitor.transistor_level` -- Fig. 2 netlist on the MNA engine
 * :mod:`repro.monitor.boundary_extract` -- locus extraction (Fig. 4)
 * :mod:`repro.monitor.montecarlo` -- process/mismatch envelopes
+* :mod:`repro.monitor.second_signature` -- candidate banks for the
+  ambiguity-splitting second signature channel
 """
 
 from repro.monitor.comparator import (
@@ -39,6 +41,13 @@ from repro.monitor.placement import (
     apply_biases,
     distinct_bias_values,
 )
+from repro.monitor.second_signature import (
+    SecondBankCandidate,
+    candidate_by_name,
+    default_candidates,
+    level_detector,
+    second_signature_bank,
+)
 
 __all__ = [
     "Hookup",
@@ -63,4 +72,9 @@ __all__ = [
     "PlacementResult",
     "apply_biases",
     "distinct_bias_values",
+    "SecondBankCandidate",
+    "candidate_by_name",
+    "default_candidates",
+    "level_detector",
+    "second_signature_bank",
 ]

@@ -1,5 +1,9 @@
 """Fused shared-branch zone encoding for monitor banks.
 
+(Stage 2 of the pipeline -- the paper's Table I curves drive this
+encoder; see ``docs/paper_map.md`` for the artifact <-> module map
+and the bit-compatibility contract this kernel honours.)
+
 Encoding a ``(N, samples)`` trace stack through a
 :class:`~repro.core.zones.ZoneEncoder` made of
 :class:`~repro.monitor.comparator.MonitorBoundary` objects evaluates

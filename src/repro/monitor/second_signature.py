@@ -1,0 +1,220 @@
+"""Candidate monitor banks for the adaptive second signature.
+
+"Zone boundaries can be adjusted by changing the biasing voltages
+and/or the aspect ratio of the input transistors" (paper, Section V) --
+and Table I itself wires each comparator input either to an axis signal
+or to a DC level.  This module turns those two knobs into a *candidate
+family* of second monitor banks for the ambiguity-splitting search of
+:mod:`repro.diagnosis.second_signature`:
+
+* **bias shifts** -- the Table I bank with every monitor's distinct DC
+  biases moved by a common delta (through
+  :func:`repro.monitor.placement.apply_biases`, so inputs sharing a
+  bias keep sharing it).  Shifting the arcs re-partitions the mid-
+  window region where parametric and moderate catastrophic faults
+  live;
+* **level detectors** -- a comparator wired as a pure Y-threshold:
+  ``V1 = y`` against ``V3 = level`` with the *same-width* pair
+  ``V2 = V4 = x`` on both branches, so the x contribution cancels in
+  the balance ``[I(y) + I(x)] - [I(level) + I(x)]`` and the boundary
+  is the horizontal line ``y = level``.  With a near-zero level this
+  resolves dead-output faults (e.g. ``r1-open`` vs ``r5-short``, whose
+  responses differ by well under a millivolt around 0 V) that every
+  mid-window arc sees identically.
+
+Candidates are named (``"bias-0.10"``, ``"level1e-05"``,
+``"bias-0.10_level1e-05"``) and reconstructible from the name
+(:func:`candidate_by_name`), so a chosen configuration can be pinned in
+scripts and on the CLI (``--second-signature``).
+
+See ``docs/ambiguity.md`` for the geometry this family does and does
+not resolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.zones import ZoneEncoder
+from repro.devices.mos_model import NMOS_65NM, MosParams
+from repro.monitor.comparator import MonitorBoundary, MonitorConfig
+from repro.monitor.configurations import table1_config
+from repro.monitor.placement import apply_biases, distinct_bias_values
+
+#: Bias window the shifted Table I curves are clipped to (staying
+#: inside the 0-1 V signal window so boundaries do not degenerate).
+BIAS_WINDOW: Tuple[float, float] = (0.02, 0.95)
+
+#: Default whole-bank bias shifts tried by the search (0.0 = Table I
+#: biases unchanged; the identity candidate -- no shift, no level
+#: detector -- is excluded, it is channel 0 again).
+DEFAULT_BIAS_DELTAS: Tuple[float, ...] = (0.0, -0.10, -0.05, 0.05, 0.10)
+
+#: Default Y-level-detector thresholds (volts); None keeps curve 6.
+DEFAULT_LEVELS: Tuple[Optional[float], ...] = (None, 1e-5, 1e-4, 1e-3)
+
+
+@dataclass(frozen=True)
+class SecondBankCandidate:
+    """One named candidate bank for the second signature channel."""
+
+    name: str
+    encoder: ZoneEncoder
+
+
+def level_detector_config(level: float,
+                          name: Optional[str] = None) -> MonitorConfig:
+    """A comparator wired as the horizontal boundary ``y = level``.
+
+    ``V2`` and ``V4`` both observe x through equal-width devices, so
+    the balance reduces to ``I(y) - I(level)`` exactly (the shared
+    term cancels); the monitor still observes both axes, as the
+    comparator topology requires.  The reference point below the
+    level fixes bit 0 for the under-threshold side.
+    """
+    if level <= 0.0:
+        raise ValueError("level must be positive (a boundary at 0 V "
+                         "would pass through the origin)")
+    return MonitorConfig((1800.0, 600.0, 1800.0, 600.0),
+                         ("y", "x", float(level), "x"),
+                         length_nm=180.0,
+                         name=name or f"ylevel{level:g}",
+                         reference_point=(0.5, 0.0))
+
+
+def level_detector(level: float,
+                   params: MosParams = NMOS_65NM) -> MonitorBoundary:
+    """Sized, wired Y-level detector monitor."""
+    return MonitorBoundary(level_detector_config(level), params)
+
+
+def shifted_table1_config(row: int, delta: float) -> MonitorConfig:
+    """A Table I row with its distinct biases shifted by ``delta``.
+
+    Biases clip to :data:`BIAS_WINDOW`; inputs sharing a bias value
+    keep sharing it (see
+    :func:`repro.monitor.placement.apply_biases`).
+    """
+    config = table1_config(row)
+    biases = distinct_bias_values(config)
+    if not biases or delta == 0.0:
+        return config
+    lo, hi = BIAS_WINDOW
+    return apply_biases(config,
+                        [min(hi, max(lo, value + delta))
+                         for value in biases])
+
+
+def second_signature_bank(delta: float = 0.0,
+                          level: Optional[float] = None,
+                          params: MosParams = NMOS_65NM) -> ZoneEncoder:
+    """A full six-monitor second bank: shifted curves, optional level.
+
+    Curves 1-5 carry the bias shift; the sixth slot is either the
+    (shifted) 45-degree curve 6 or, when ``level`` is given, the
+    Y-level detector that resolves dead-output faults.
+    """
+    boundaries: List[MonitorBoundary] = [
+        MonitorBoundary(shifted_table1_config(row, delta), params)
+        for row in (1, 2, 3, 4, 5)]
+    if level is None:
+        boundaries.append(
+            MonitorBoundary(shifted_table1_config(6, delta), params))
+    else:
+        boundaries.append(level_detector(level, params))
+    return ZoneEncoder(boundaries)
+
+
+def _canonical_parameters(delta: float, level: Optional[float]
+                          ) -> "Tuple[float, Optional[float]]":
+    """Round (delta, level) to the name grid they are printed at.
+
+    Names carry deltas at two decimals and levels at ``%g``
+    precision; building banks from the *canonical* values guarantees
+    a printed name always reconstructs the exact same encoder
+    (pinning contract), at the cost of quantizing off-grid inputs.
+    """
+    delta = float(f"{delta:+.2f}")
+    if level is not None:
+        level = float(f"{level:g}")
+    return delta, level
+
+
+def candidate_name(delta: float, level: Optional[float]) -> str:
+    """Canonical candidate name, parseable by :func:`candidate_by_name`."""
+    delta, level = _canonical_parameters(delta, level)
+    parts = []
+    if delta != 0.0:
+        parts.append(f"bias{delta:+.2f}")
+    if level is not None:
+        parts.append(f"level{level:g}")
+    if not parts:
+        raise ValueError("the identity candidate (no shift, no level) "
+                         "is channel 0 itself")
+    return "_".join(parts)
+
+
+def candidate_by_name(name: str,
+                      params: MosParams = NMOS_65NM
+                      ) -> SecondBankCandidate:
+    """Rebuild a candidate from its canonical name.
+
+    Accepts ``"bias<delta>"``, ``"level<volts>"`` or the combined
+    ``"bias<delta>_level<volts>"`` form, e.g. ``"bias-0.10"`` or
+    ``"bias-0.10_level1e-05"``.  Parameters quantize to the name's
+    own precision (deltas at two decimals), so the returned
+    candidate's encoder is exactly what its canonical name will
+    rebuild.
+    """
+    delta = 0.0
+    level: Optional[float] = None
+    for token in name.split("_"):
+        if token.startswith("bias"):
+            delta = float(token[len("bias"):])
+        elif token.startswith("level"):
+            level = float(token[len("level"):])
+        else:
+            raise ValueError(
+                f"unknown candidate token {token!r} in {name!r}; "
+                f"expected bias<delta> and/or level<volts> joined "
+                f"with '_'")
+    delta, level = _canonical_parameters(delta, level)
+    return SecondBankCandidate(
+        candidate_name(delta, level),
+        second_signature_bank(delta, level, params))
+
+
+def default_candidates(
+        deltas: Sequence[float] = DEFAULT_BIAS_DELTAS,
+        levels: Sequence[Optional[float]] = DEFAULT_LEVELS,
+        params: MosParams = NMOS_65NM) -> List[SecondBankCandidate]:
+    """The default search family: the (delta, level) product grid.
+
+    The identity combination (zero shift, no level detector) is
+    skipped -- it is the paper's own bank, i.e. channel 0.
+    """
+    candidates = []
+    for level in levels:
+        for delta in deltas:
+            if delta == 0.0 and level is None:
+                continue
+            candidates.append(SecondBankCandidate(
+                candidate_name(delta, level),
+                second_signature_bank(delta, level, params)))
+    return candidates
+
+
+__all__ = [
+    "BIAS_WINDOW",
+    "DEFAULT_BIAS_DELTAS",
+    "DEFAULT_LEVELS",
+    "SecondBankCandidate",
+    "candidate_by_name",
+    "candidate_name",
+    "default_candidates",
+    "level_detector",
+    "level_detector_config",
+    "second_signature_bank",
+    "shifted_table1_config",
+]

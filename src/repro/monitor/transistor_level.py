@@ -13,7 +13,7 @@ The digital decision is the sign of the differential output
 ``v(out2) - v(out1)`` after the high-gain stage; the comparator trips
 where the branch currents balance, so its zero locus should match the
 analytic :class:`repro.monitor.comparator.MonitorBoundary` -- the
-agreement benchmark (XTRA-D in DESIGN.md) quantifies the residual
+agreement benchmark (bench_monitor_transistor.py) quantifies the residual
 difference caused by channel-length modulation and load asymmetry.
 
 Solving a DC point per plane pixel is much slower than the analytic

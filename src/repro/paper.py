@@ -9,8 +9,7 @@ at +-20 % (Fig. 8).  The exact component values and tone set are not
 published.
 
 This module pins the reproduction's calibrated equivalents (see
-DESIGN.md section 2 for the substitution rationale and EXPERIMENTS.md
-for measured-vs-paper numbers):
+``docs/paper_map.md`` for the full paper-artifact <-> module map):
 
 * stimulus: two tones, 5 kHz (0.26 V) and 15 kHz (0.19 V, +105 deg),
   0.5 V offset -> common period exactly 200 us;

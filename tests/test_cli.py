@@ -306,3 +306,68 @@ def test_diagnose_json_is_strict_with_top_k_1(capsys):
     payload = json.loads(raw)
     assert all(m["margin"] is None
                for m in payload["diagnosis"]["matches"])
+
+
+def test_diagnose_second_signature_auto(capsys):
+    import json
+
+    assert main(["diagnose", "--samples", "512", "--per-fault", "2",
+                 "--seed", "1", "--second-signature", "auto",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    second = payload["second_signature"]
+    assert second["chosen"] is not None
+    assert ["r1-open", "r5-short"] in second["resolved_groups"]
+    assert ["r4-open", "r4-short"] in second["invisible_groups"]
+    # One-die slack: only group-aware accuracy is provably no-regress.
+    assert second["accuracy"] >= payload["accuracy"] - 0.05
+
+
+def test_diagnose_second_signature_named(capsys):
+    assert main(["diagnose", "--samples", "512", "--per-fault", "0",
+                 "--second-signature", "bias-0.10_level1e-05"]) == 0
+    out = capsys.readouterr().out
+    assert "second bank: bias-0.10_level1e-05" in out
+    assert "resolved" in out and "invisible" in out
+
+
+def test_diagnose_second_signature_bad_name(capsys):
+    assert main(["diagnose", "--samples", "512", "--per-fault", "0",
+                 "--second-signature", "bogus"]) == 2
+    assert "--second-signature" in capsys.readouterr().err
+
+
+def test_campaign_second_signature_named(capsys):
+    import json
+
+    assert main(["campaign", "--scenario", "faults", "--samples",
+                 "512", "--second-signature", "bias-0.10_level1e-05",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["second_signature"] == "bias-0.10_level1e-05"
+    assert len(payload["channels"]) == 2
+    assert payload["combined_fail"] >= payload["fail"]
+
+
+def test_campaign_second_signature_rejects_noise(capsys):
+    assert main(["campaign", "--dies", "4", "--samples", "512",
+                 "--repeats", "2",
+                 "--second-signature", "auto"]) == 2
+    assert "single-channel" in capsys.readouterr().err
+
+
+def test_campaign_second_signature_rejects_monitor_mc(capsys):
+    assert main(["campaign", "--scenario", "monitor-mc", "--dies", "2",
+                 "--samples", "512",
+                 "--second-signature", "auto"]) == 2
+    assert "CUT population" in capsys.readouterr().err
+
+
+def test_diagnose_pinned_second_signature_honoured_when_no_split(capsys):
+    """A pinned bank that splits nothing is still used for the
+    two-channel study (only 'auto' degrades to single-channel)."""
+    assert main(["diagnose", "--samples", "512", "--per-fault", "2",
+                 "--second-signature", "bias-0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "second bank: (none)" in out  # the search found no split
+    assert "with 2nd signature:" in out  # ... but the bank is used
