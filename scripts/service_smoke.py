@@ -1,0 +1,130 @@
+"""Black-box smoke test of a running screening service.
+
+Fires concurrent ``/campaign`` and ``/diagnose`` requests from
+several client identities at a live ``repro serve`` process, then
+asserts the service contract from the outside:
+
+* every client's reply is **bit-identical** to a solo library run of
+  the same lot (coalescing is invisible);
+* ``/diagnose`` returns ranked dictionary matches for failing dies;
+* ``/metrics`` is a non-empty scrape carrying request counts, stage
+  timings and coalesced batch sizes.
+
+Usage (the CI ``service-smoke`` job)::
+
+    repro serve --port 8766 --samples 512 &
+    python scripts/service_smoke.py --url http://127.0.0.1:8766 \
+        --samples 512 --clients 4 --dies 8 \
+        --metrics-out metrics-scrape.txt
+
+Exits non-zero on the first violated assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+
+from repro.campaign import montecarlo_dies
+from repro.paper import paper_setup
+from repro.service import ServiceClient
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--url", default="http://127.0.0.1:8766")
+    parser.add_argument("--samples", type=int, default=512,
+                        help="must match the server's --samples")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--dies", type=int, default=8)
+    parser.add_argument("--sigma", type=float, default=0.05)
+    parser.add_argument("--metrics-out", default=None,
+                        help="write the final /metrics scrape here")
+    args = parser.parse_args(argv)
+
+    probe = ServiceClient(args.url, client_id="smoke-probe")
+    health = probe.wait_ready(timeout=180.0)
+    print(f"service ready: {health}")
+
+    # The solo references: same bench, same deterministic lots.
+    setup = paper_setup(samples_per_period=args.samples)
+    engine = setup.campaign_engine(samples_per_period=args.samples)
+    seeds = list(range(args.clients))
+    lots = {seed: montecarlo_dies(setup.golden_spec, args.dies,
+                                  sigma_f0=args.sigma, seed=seed)
+            for seed in seeds}
+    solo = {seed: engine.run(lot) for seed, lot in lots.items()}
+
+    # Concurrent campaigns, one client identity per lot: the server
+    # coalesces these into shared passes; replies must not care.
+    replies = {}
+    errors = []
+    barrier = threading.Barrier(len(seeds))
+
+    def fire(seed: int) -> None:
+        try:
+            barrier.wait()
+            replies[seed] = ServiceClient(
+                args.url, client_id=f"lot-{seed}").campaign(
+                    kind="mc", dies=args.dies, sigma=args.sigma,
+                    seed=seed)
+        except BaseException as error:
+            errors.append((seed, error))
+
+    threads = [threading.Thread(target=fire, args=(seed,))
+               for seed in seeds]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        for seed, error in errors:
+            print(f"lot {seed} failed: {error}", file=sys.stderr)
+        return 1
+
+    for seed in seeds:
+        reference, reply = solo[seed], replies[seed]
+        assert reply["ndfs"] == [float(v) for v in reference.ndfs], \
+            f"lot {seed}: NDFs differ from the solo run"
+        assert reply["verdicts"] == [bool(v)
+                                     for v in reference.verdicts], \
+            f"lot {seed}: verdicts differ from the solo run"
+        assert reply["threshold"] == reference.threshold, \
+            f"lot {seed}: threshold differs"
+        assert reply["labels"] == reference.labels, \
+            f"lot {seed}: labels differ"
+    print(f"{len(seeds)} concurrent campaigns bit-identical to solo "
+          f"runs ({args.dies} dies each)")
+
+    # One diagnose round-trip: clearly-failing sweep dies must come
+    # back with ranked fault candidates.
+    diagnosis = probe.diagnose(kind="sweep",
+                               deviations=[-0.15, 0.15],
+                               top_k=3)["diagnosis"]
+    assert diagnosis["dies"] == 2, diagnosis
+    assert all(match["candidates"] for match in diagnosis["matches"])
+    print(f"diagnose: {diagnosis['dies']} failing dies matched "
+          f"against {diagnosis['faults']} dictionary faults")
+
+    # The scrape must report the traffic this script just generated.
+    scrape = probe.metrics_text()
+    assert scrape.strip(), "empty /metrics scrape"
+    for needle in ("repro_requests_total",
+                   "repro_session_requests_total",
+                   "repro_stage_seconds_sum",
+                   "repro_coalesced_requests_count",
+                   "repro_coalesced_dies_sum",
+                   "repro_uptime_seconds"):
+        assert needle in scrape, f"missing {needle} in /metrics"
+    lines = len(scrape.strip().splitlines())
+    print(f"/metrics scrape: {lines} series lines")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as sink:
+            sink.write(scrape)
+        print(f"scrape written to {args.metrics_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,8 @@ from repro._api import (
     CampaignResult,
     FaultDictionary,
     PaperSetup,
+    ScreeningRequest,
+    ScreeningSession,
     compile_fault_dictionary,
     noisy_paper_setup,
     paper_setup,
@@ -52,6 +54,8 @@ __all__ = [
     "PAPER_INPUT_POLE_HZ",
     "PAPER_STIMULUS",
     "PaperSetup",
+    "ScreeningRequest",
+    "ScreeningSession",
     "noisy_paper_setup",
     "paper_setup",
 ]

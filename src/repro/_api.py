@@ -7,8 +7,13 @@
 True
 """
 
-from repro.campaign import CampaignEngine, CampaignResult
+from repro.campaign import (
+    CampaignEngine,
+    CampaignResult,
+    ScreeningRequest,
+)
 from repro.diagnosis import FaultDictionary, compile_fault_dictionary
+from repro.service import ScreeningSession
 from repro.paper import (
     FIG6_ZONE_CODES,
     FIG7_NDF_10PCT,
@@ -23,6 +28,8 @@ from repro.paper import (
 __all__ = [
     "CampaignEngine",
     "CampaignResult",
+    "ScreeningRequest",
+    "ScreeningSession",
     "FaultDictionary",
     "compile_fault_dictionary",
     "FIG6_ZONE_CODES",

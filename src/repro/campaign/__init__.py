@@ -34,7 +34,6 @@ from repro.campaign.batch import (
     trace_population_ndf,
 )
 from repro.campaign.cache import (
-    DEFAULT_CACHE,
     CacheInfo,
     GoldenArtifacts,
     GoldenCache,
@@ -44,6 +43,7 @@ from repro.campaign.engine import (
     CampaignConfig,
     CampaignEngine,
 )
+from repro.campaign.request import ScreeningRequest
 from repro.campaign.executors import (
     ProcessPoolExecutor,
     SerialExecutor,
@@ -80,13 +80,13 @@ __all__ = [
     "batch_through_eval",
     "sample_times",
     "trace_population_ndf",
-    "DEFAULT_CACHE",
     "CacheInfo",
     "GoldenArtifacts",
     "GoldenCache",
     "DEFAULT_CALIBRATION_DEVIATIONS",
     "CampaignConfig",
     "CampaignEngine",
+    "ScreeningRequest",
     "ProcessPoolExecutor",
     "SerialExecutor",
     "SharedArrayHandle",
@@ -108,3 +108,15 @@ __all__ = [
     "temperature_corners",
     "trace_population",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated alias of the retired process-global backing store;
+    # importing it still works but warns (repro.campaign.cache emits
+    # the DeprecationWarning).
+    if name == "DEFAULT_CACHE":
+        from repro.campaign import cache
+
+        return cache.DEFAULT_CACHE
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

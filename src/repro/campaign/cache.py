@@ -20,6 +20,8 @@ campaign result's diagnostics and the cache behaviour tests.
 
 from __future__ import annotations
 
+import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable, Tuple
@@ -97,10 +99,19 @@ class GoldenArtifacts:
 class GoldenCache:
     """LRU cache of golden artifacts and derived calibrations.
 
-    One process-wide :data:`DEFAULT_CACHE` instance backs the engine by
-    default, so worker processes of the pool executor amortize their
-    golden computation across chunks exactly like the serial path does
-    across dies.
+    Every :class:`~repro.campaign.engine.CampaignEngine` owns one by
+    default (pass ``cache=`` to share artifacts between engines, e.g.
+    across the channels of a multi-signature setup or the sessions of
+    a screening service).  Pool-executor workers amortize through a
+    per-process instance of their own instead.
+
+    The cache is re-entrant and thread-safe: an internal
+    :class:`threading.RLock` serializes lookups *including* the miss
+    computation, giving single-flight semantics -- when N server
+    threads race for the same cold golden, one computes it and the
+    rest hit.  Recursive computes (a fault-dictionary compile runs a
+    whole campaign, which consults the same cache for its golden)
+    re-enter through the same lock.
     """
 
     def __init__(self, maxsize: int = 64) -> None:
@@ -110,36 +121,42 @@ class GoldenCache:
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def get_or_compute(self, key: Hashable,
                        compute: Callable[[], object]) -> object:
         """Cached value for ``key``, computing (and storing) on miss."""
-        if key in self._entries:
-            self._hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key]
-        self._misses += 1
-        value = compute()
-        self._entries[key] = value
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-        return value
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self._misses += 1
+            value = compute()
+            self._entries[key] = value
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            return value
 
     def contains(self, key: Hashable) -> bool:
         """True when ``key`` is cached (does not touch the counters)."""
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
-        self._entries.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
 
     @property
     def info(self) -> CacheInfo:
         """Current hit/miss/size counters."""
-        return CacheInfo(self._hits, self._misses, len(self._entries))
+        with self._lock:
+            return CacheInfo(self._hits, self._misses,
+                             len(self._entries))
 
 
 def encoder_key(encoder: ZoneEncoder) -> str:
@@ -156,5 +173,25 @@ def encoder_key(encoder: ZoneEncoder) -> str:
     return cached
 
 
-#: Process-wide default cache (also used by pool workers).
-DEFAULT_CACHE = GoldenCache()
+#: Per-process cache of the pool-executor workers.  Worker processes
+#: receive pickled chunk payloads with no way to carry an engine's
+#: cache across, so each worker amortizes golden computation across
+#: its chunks through this instance.  In-process code must NOT reach
+#: for it -- engines default to a private per-engine cache, and shared
+#: warm state is an explicit ``cache=`` hand-off.
+_PROCESS_CACHE = GoldenCache()
+
+
+def __getattr__(name: str):
+    # The old module-global backing store survives only as a
+    # deprecated alias; the engine no longer consults it implicitly.
+    if name == "DEFAULT_CACHE":
+        warnings.warn(
+            "repro.campaign.cache.DEFAULT_CACHE is deprecated: "
+            "CampaignEngine now defaults to a per-engine GoldenCache; "
+            "pass cache= explicitly to share golden artifacts between "
+            "engines (e.g. one repro.service.ScreeningSession)",
+            DeprecationWarning, stacklevel=2)
+        return _PROCESS_CACHE
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

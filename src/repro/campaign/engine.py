@@ -67,14 +67,15 @@ from repro.campaign.batch import (
     sample_times,
 )
 from repro.campaign.cache import (
-    DEFAULT_CACHE,
     GoldenArtifacts,
     GoldenCache,
+    _PROCESS_CACHE,
     encoder_key,
     spec_key,
     stimulus_key,
 )
 from repro.campaign.executors import SerialExecutor, chunked
+from repro.campaign.request import ScreeningRequest
 from repro.campaign.result import CampaignResult, NoiseCampaignResult
 from repro.campaign.scenarios import (
     CutListPopulation,
@@ -209,7 +210,7 @@ def _score_code_stack(config: CampaignConfig, golden: GoldenArtifacts,
     timing["ndf"] = timing.get("ndf", 0.0) + (time.perf_counter() - t2)
     if not config.extra_encoders:
         return values, (batch if collect else None)
-    cache = cache if cache is not None else DEFAULT_CACHE
+    cache = cache if cache is not None else _PROCESS_CACHE
     columns = [values]
     channels = [batch]
     for k in range(1, config.num_channels):
@@ -296,7 +297,7 @@ def _spec_chunk_worker(payload
                                   Optional[SignatureBatch]]:
     """Pool-side entry point; uses the worker process' default cache."""
     config, specs, collect = payload
-    return _spec_chunk_ndfs(config, specs, DEFAULT_CACHE, collect)
+    return _spec_chunk_ndfs(config, specs, _PROCESS_CACHE, collect)
 
 
 def _trace_rows_ndfs(config: CampaignConfig, y_rows: np.ndarray,
@@ -318,8 +319,8 @@ def _trace_chunk_worker(payload
                                    Optional[SignatureBatch]]:
     """Pool-side trace scoring: the chunk's rows travel pickled."""
     config, y_rows, collect = payload
-    return _trace_rows_ndfs(config, np.asarray(y_rows), DEFAULT_CACHE,
-                            collect)
+    return _trace_rows_ndfs(config, np.asarray(y_rows),
+                            _PROCESS_CACHE, collect)
 
 
 def _trace_chunk_worker_shm(payload
@@ -339,7 +340,7 @@ def _trace_chunk_worker_shm(payload
     stack, close = attach_shared_array(handle)
     try:
         return _trace_rows_ndfs(config, stack[start:stop],
-                                DEFAULT_CACHE, collect)
+                                _PROCESS_CACHE, collect)
     finally:
         close()
 
@@ -394,7 +395,7 @@ def _noise_chunk_worker(payload) -> Tuple[np.ndarray, Dict[str, float]]:
     """
     config, specs, children, repeats, three_sigma = payload
     return _noise_chunk_ndfs(config, specs, children, repeats,
-                             three_sigma, DEFAULT_CACHE)
+                             three_sigma, _PROCESS_CACHE)
 
 
 def _merge_timing(total: Dict[str, float],
@@ -411,7 +412,12 @@ class CampaignEngine:
     config:
         The test configuration (stimulus, encoder, golden nominal).
     cache:
-        Golden/calibration cache; the process-wide default when omitted.
+        Golden/calibration cache.  Defaults to a fresh per-engine
+        :class:`~repro.campaign.cache.GoldenCache`; pass one
+        explicitly to share warm artifacts between engines (channel
+        engines and service sessions do).  The old process-global
+        ``DEFAULT_CACHE`` backing store is retired -- engines no
+        longer share state implicitly.
     executor:
         Chunk scheduler; :class:`SerialExecutor` when omitted.
     """
@@ -420,7 +426,7 @@ class CampaignEngine:
                  cache: Optional[GoldenCache] = None,
                  executor=None) -> None:
         self.config = config
-        self.cache = cache if cache is not None else DEFAULT_CACHE
+        self.cache = cache if cache is not None else GoldenCache()
         self.executor = executor if executor is not None \
             else SerialExecutor()
 
@@ -518,6 +524,22 @@ class CampaignEngine:
     # ------------------------------------------------------------------
     # Campaign entry points
     # ------------------------------------------------------------------
+    def submit(self, request: ScreeningRequest
+               ) -> Union[CampaignResult, NoiseCampaignResult]:
+        """Execute one :class:`~repro.campaign.request.ScreeningRequest`.
+
+        The unified entry point behind :meth:`run`, :meth:`run_stream`
+        and :meth:`run_noise` (all three are thin shims that build a
+        request and call this).  Service sessions and the coalescing
+        batcher submit requests directly; ``request.client`` is
+        ignored here -- it is service-layer bookkeeping.
+        """
+        if request.mode == "stream":
+            return self._submit_stream(request)
+        if request.mode == "noise":
+            return self._submit_noise(request)
+        return self._submit_run(request)
+
     def run(self, population: Union[Population, Iterable],
             band: Union[None, str, float, DecisionBand] = "auto",
             keep_signatures: bool = False,
@@ -554,8 +576,16 @@ class CampaignEngine:
         :meth:`run_stream` (bounded memory); an iterator of individual
         specs is simply materialized and run in one shot.
         """
-        if encoders is not None:
-            return self.with_encoders(encoders).run(
+        return self.submit(ScreeningRequest(
+            population=population, mode="run", band=band,
+            keep_signatures=keep_signatures, encoders=encoders))
+
+    def _submit_run(self, request: ScreeningRequest) -> CampaignResult:
+        population = request.population
+        band = request.band
+        keep_signatures = request.keep_signatures
+        if request.encoders is not None:
+            return self.with_encoders(request.encoders).run(
                 population, band, keep_signatures)
         if isinstance(population, Iterator):
             import itertools
@@ -655,8 +685,17 @@ class CampaignEngine:
         streamed multi-channel results are bit-identical per channel
         to the monolithic multi-channel run.
         """
-        if encoders is not None:
-            return self.with_encoders(encoders).run_stream(
+        return self.submit(ScreeningRequest(
+            population=chunks, mode="stream", band=band,
+            keep_signatures=keep_signatures, encoders=encoders))
+
+    def _submit_stream(self, request: ScreeningRequest
+                       ) -> CampaignResult:
+        chunks = request.population
+        band = request.band
+        keep_signatures = request.keep_signatures
+        if request.encoders is not None:
+            return self.with_encoders(request.encoders).run_stream(
                 chunks, band, keep_signatures)
         start = time.perf_counter()
         threshold = self._resolve_threshold(band)
@@ -725,6 +764,17 @@ class CampaignEngine:
         serial runs produce bit-identical NDF matrices (and hence
         detection rates).
         """
+        return self.submit(ScreeningRequest(
+            population=population, mode="noise", band=band,
+            repeats=repeats, noise=noise, seed=seed))
+
+    def _submit_noise(self, request: ScreeningRequest
+                      ) -> NoiseCampaignResult:
+        population = request.population
+        repeats = request.repeats
+        noise = request.noise
+        seed = request.seed
+        band = request.band
         if self.config.extra_encoders:
             raise ValueError(
                 "noise campaigns are single-channel; run them on the "

@@ -1,0 +1,96 @@
+"""One screening request: the unified engine entry payload.
+
+:class:`ScreeningRequest` replaces the keyword sprawl of
+:meth:`~repro.campaign.engine.CampaignEngine.run` /
+:meth:`~repro.campaign.engine.CampaignEngine.run_stream` /
+:meth:`~repro.campaign.engine.CampaignEngine.run_noise` with a single
+picklable value object.  The engine consumes it through
+:meth:`~repro.campaign.engine.CampaignEngine.submit`; the historical
+method signatures survive as thin shims that build a request, so every
+existing caller (and the CLI) stays source-compatible.
+
+Being a value object is what lets the screening service treat work
+uniformly: sessions queue requests, the coalescing batcher packs
+compatible ones into a single front-half pass, and per-client metadata
+(``client``) rides along without touching the engine math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.core.decision import DecisionBand
+from repro.core.zones import ZoneEncoder
+from repro.signals.noise import NoiseModel
+
+#: The three execution modes the engine dispatches on.
+MODES: Tuple[str, ...] = ("run", "stream", "noise")
+
+
+@dataclass(frozen=True)
+class ScreeningRequest:
+    """Everything one screening submission needs, in one object.
+
+    Attributes
+    ----------
+    population:
+        What to screen.  ``mode="run"``: any population the engine
+        accepts (population object, raw spec sequence, or an iterator
+        -- iterators delegate to streaming exactly like
+        :meth:`~repro.campaign.engine.CampaignEngine.run`).
+        ``mode="stream"``: an iterable of population chunks.
+        ``mode="noise"``: a spec population.
+    mode:
+        ``"run"`` (one-shot), ``"stream"`` (bounded-memory chunk
+        stream) or ``"noise"`` (Section IV-C noisy repeats).
+    band:
+        Verdict policy: ``"auto"`` (Fig. 8-calibrated), a raw float
+        threshold, a :class:`~repro.core.decision.DecisionBand`, or
+        None for NDFs without verdicts.
+    keep_signatures:
+        Retain the packed per-die signatures on the result (the
+        diagnosis input).  Ignored by noise campaigns.
+    encoders:
+        Optional monitor-bank list switching the campaign to
+        multi-signature screening (``encoders[0]`` becomes channel 0).
+    repeats, noise, seed:
+        Noise-campaign knobs (``mode="noise"`` only): measurements per
+        die, the noise model / 3-sigma volt spread (None = the paper's
+        0.015 V), and the deterministic per-die seed root.
+    client:
+        Free-form requester identity.  The engine ignores it; the
+        service layer uses it for rate limiting, metrics and the
+        coalescing batcher's scatter bookkeeping.
+    """
+
+    population: object = None
+    mode: str = "run"
+    band: Union[None, str, float, DecisionBand] = "auto"
+    keep_signatures: bool = False
+    encoders: Optional[Sequence[ZoneEncoder]] = None
+    repeats: int = 20
+    noise: Union[None, float, NoiseModel] = None
+    seed: int = 0
+    client: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown screening mode {self.mode!r} "
+                f"(expected one of {', '.join(MODES)})")
+        if self.encoders is not None:
+            # Freeze the bank list so the request stays hashable-ish
+            # and safe to share between threads.
+            object.__setattr__(self, "encoders", tuple(self.encoders))
+
+    def with_population(self, population) -> "ScreeningRequest":
+        """Copy of this request over a different population.
+
+        The batcher uses this to re-target a client's request at its
+        packed slice bookkeeping without touching the policy fields.
+        """
+        return replace(self, population=population)
+
+
+__all__ = ["MODES", "ScreeningRequest"]

@@ -282,6 +282,45 @@ class CampaignResult:
         return matcher.match(batch, top_k=top_k, metric=metric,
                              die_labels=labels)
 
+    def slice(self, lo: int, hi: int) -> "CampaignResult":
+        """Row slice ``[lo, hi)`` of this result, one die per row.
+
+        The scatter half of request coalescing
+        (:mod:`repro.service.batcher`): a combined multi-client run is
+        sliced back into per-client results.  Per-die arrays (NDFs,
+        verdicts, deviations, labels, packed signatures, channel
+        matrices) are sliced; campaign-wide fields (threshold,
+        tolerance, timing, executor, cache counters) are shared, since
+        the slice came from that one run.
+        """
+        n = self.num_dies
+        lo, hi = int(lo), int(hi)
+        if not 0 <= lo <= hi <= n:
+            raise ValueError(f"slice [{lo}, {hi}) outside 0..{n}")
+        indices = np.arange(lo, hi)
+
+        def cut(array):
+            return None if array is None \
+                else np.ascontiguousarray(array[lo:hi])
+
+        return CampaignResult(
+            ndfs=cut(self.ndfs), threshold=self.threshold,
+            verdicts=cut(self.verdicts),
+            f0_deviations=cut(self.f0_deviations),
+            q_deviations=cut(self.q_deviations),
+            labels=(None if self.labels is None
+                    else list(self.labels[lo:hi])),
+            tolerance=self.tolerance, timing=dict(self.timing),
+            executor=self.executor, cache_info=self.cache_info,
+            signature_batch=(None if self.signature_batch is None
+                             else self.signature_batch.select(indices)),
+            channel_ndfs=cut(self.channel_ndfs),
+            channel_thresholds=self.channel_thresholds,
+            channel_verdicts=cut(self.channel_verdicts),
+            multi_signature_batch=(
+                None if self.multi_signature_batch is None
+                else self.multi_signature_batch.select(indices)))
+
     def to_units(self) -> List[CutUnit]:
         """Per-die view for the legacy list-based yield tooling."""
         if self.f0_deviations is None:

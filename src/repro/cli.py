@@ -22,6 +22,10 @@
                                             # split ambiguity groups
     python -m repro diagnose --save dict.npz --per-fault 0
                                             # compile + persist only
+    python -m repro serve --port 8765 [--rate 50]
+                                            # screening-as-a-service
+    python -m repro client campaign --dies 50 --seed 7
+                                            # talk to a running server
 
 Every command runs on the calibrated bench of :mod:`repro.paper`; the
 CLI is intentionally thin -- anything deeper should use the library
@@ -169,6 +173,55 @@ def _build_parser() -> argparse.ArgumentParser:
                                "then combines both channels")
     diagnose.add_argument("--json", action="store_true",
                           help="emit a machine-readable JSON summary")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve screening over HTTP (one warm session, request "
+             "coalescing, /metrics)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port (default 8765; 0 = ephemeral)")
+    serve.add_argument("--samples", type=int, default=2048,
+                       help="trace samples per period")
+    serve.add_argument("--tolerance", type=float, default=0.05,
+                       help="decision-band |f0| tolerance")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="per-client requests/second (default: "
+                            "unlimited)")
+    serve.add_argument("--burst", type=float, default=None,
+                       help="per-client burst depth (default: rate)")
+    serve.add_argument("--window-ms", type=float, default=5.0,
+                       help="coalescing linger window in milliseconds "
+                            "(default 5)")
+    serve.add_argument("--max-dies", type=_positive_int,
+                       default=100_000,
+                       help="die cap per coalesced engine pass")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="skip pre-deriving golden/band/dictionary "
+                            "(first requests then pay the compile)")
+
+    client = sub.add_parser(
+        "client",
+        help="query a running screening service")
+    client.add_argument("endpoint",
+                        choices=["campaign", "diagnose", "healthz",
+                                 "metrics"],
+                        help="service endpoint to call")
+    client.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="service base URL")
+    client.add_argument("--id", default="cli",
+                        help="client identity (X-Client header)")
+    client.add_argument("--dies", type=_non_negative_int, default=50,
+                        help="Monte Carlo lot size (campaign/diagnose)")
+    client.add_argument("--sigma", type=float, default=0.03,
+                        help="1-sigma relative f0 spread")
+    client.add_argument("--seed", type=int, default=0,
+                        help="deterministic per-die seed root")
+    client.add_argument("--top-k", type=_positive_int, default=3,
+                        help="fault candidates per die (diagnose)")
+    client.add_argument("--timeout", type=float, default=120.0,
+                        help="request timeout in seconds")
     return parser
 
 
@@ -604,9 +657,79 @@ def _cmd_diagnose(setup, args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the screening service in the foreground until ^C."""
+    from repro.service import ScreeningSession, build_server
+
+    session = ScreeningSession.from_paper(
+        samples_per_period=args.samples, tolerance=args.tolerance)
+    server = build_server(host=args.host, port=args.port,
+                          rate=args.rate, burst=args.burst,
+                          window=args.window_ms / 1e3,
+                          max_dies=args.max_dies, session=session)
+    if not args.no_warm:
+        print("warming session (golden, band, fault dictionary)...",
+              flush=True)
+        server.warm()
+    limit = (f"{args.rate:g}/s per client" if args.rate
+             else "unlimited")
+    print(f"serving at {server.url}  "
+          f"(coalesce window {args.window_ms:g} ms, rate {limit})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        server.batcher.close()
+    return 0
+
+
+def _cmd_client(args) -> int:
+    """One request against a running service, JSON to stdout."""
+    import json
+
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, client_id=args.id,
+                           timeout=args.timeout)
+    try:
+        if args.endpoint == "metrics":
+            print(client.metrics_text(), end="")
+            return 0
+        if args.endpoint == "healthz":
+            payload = client.healthz()
+        elif args.endpoint == "campaign":
+            payload = client.campaign(kind="mc", dies=args.dies,
+                                      sigma=args.sigma,
+                                      seed=args.seed)
+        else:
+            payload = client.diagnose(kind="mc", dies=args.dies,
+                                      sigma=args.sigma,
+                                      seed=args.seed,
+                                      top_k=args.top_k)
+    except ServiceError as error:
+        print(json.dumps({"status": error.status,
+                          **error.payload}, indent=2, sort_keys=True),
+              file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"{args.url}: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+
+    # The service commands build (or talk to) their own bench.
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "client":
+        return _cmd_client(args)
 
     from repro.paper import paper_setup
     setup = paper_setup(samples_per_period=2048)

@@ -313,6 +313,125 @@ class MultiFaultDictionary:
         """The single-channel dictionary of channel ``k``."""
         return self.channels[k]
 
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, path) -> str:
+        """Serialize all K channels into one ``.npz`` archive.
+
+        Mirrors :meth:`FaultDictionary.save`: channel ``k``'s packed
+        CSR arrays, NDFs, features and golden runs travel under
+        ``ch{k}_``-prefixed names, and one JSON header carries the
+        shared fault universe plus per-channel scalars and encoder
+        fingerprints.  Encoders themselves are *not* serialized (they
+        are live objects); :meth:`load` re-attaches the ones you pass
+        it after checking their fingerprints against the header.
+        Returns the actual path written (``.npz`` suffix normalized).
+        """
+        from repro.campaign.cache import encoder_key
+
+        path = str(path)
+        if not path.endswith(".npz"):
+            path += ".npz"
+        arrays = {}
+        channel_meta = []
+        for k, channel in enumerate(self.channels):
+            prefix = f"ch{k}_"
+            arrays[prefix + "codes"] = channel.batch.codes
+            arrays[prefix + "durations"] = channel.batch.durations
+            arrays[prefix + "row_offsets"] = channel.batch.row_offsets
+            arrays[prefix + "periods"] = channel.batch.periods
+            arrays[prefix + "ndfs"] = channel.ndfs
+            arrays[prefix + "features"] = channel.features
+            arrays[prefix + "golden_codes"] = np.asarray(
+                channel.golden_signature.codes(), dtype=np.int64)
+            arrays[prefix + "golden_durations"] = \
+                channel.golden_signature.durations()
+            encoder = self.encoders[k]
+            channel_meta.append({
+                "num_bits": int(channel.num_bits),
+                "period": float(channel.period),
+                "threshold": (None if channel.threshold is None
+                              else float(channel.threshold)),
+                "encoder_fingerprint": (None if encoder is None
+                                        else encoder_key(encoder)),
+            })
+        meta = {
+            "num_channels": len(self.channels),
+            "channels": channel_meta,
+            "faults": [{"kind": fault.kind.value,
+                        "target": fault.target,
+                        "deviation": float(fault.deviation)}
+                       for fault in self.faults],
+        }
+        np.savez_compressed(path, meta=np.asarray(json.dumps(meta)),
+                            **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path, encoders=None) -> "MultiFaultDictionary":
+        """Rebuild a multi-channel dictionary saved with :meth:`save`.
+
+        ``encoders`` re-attaches the live monitor banks in channel
+        order; each one's fingerprint is verified against the saved
+        header, so a dictionary can never be silently matched through
+        the wrong bank.  When omitted, the loaded dictionary carries
+        ``None`` placeholders -- fine for inspection and matching
+        (the matcher only reads signature rows), but
+        ``engine.run(..., encoders=...)`` then needs the real banks
+        from elsewhere.
+        """
+        import os
+
+        from repro.campaign.cache import encoder_key
+
+        path = str(path)
+        if not os.path.exists(path) and not path.endswith(".npz") \
+                and os.path.exists(path + ".npz"):
+            path += ".npz"
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            num_channels = int(meta["num_channels"])
+            if encoders is not None:
+                encoders = list(encoders)
+                if len(encoders) != num_channels:
+                    raise ValueError(
+                        f"archive holds {num_channels} channels but "
+                        f"{len(encoders)} encoders were given")
+            faults = [Fault(FaultKind(entry["kind"]), entry["target"],
+                            entry["deviation"])
+                      for entry in meta["faults"]]
+            channels = []
+            for k in range(num_channels):
+                prefix = f"ch{k}_"
+                entry = meta["channels"][k]
+                if encoders is not None and encoders[k] is not None:
+                    saved = entry.get("encoder_fingerprint")
+                    live = encoder_key(encoders[k])
+                    if saved is not None and saved != live:
+                        raise ValueError(
+                            f"channel {k} encoder fingerprint "
+                            f"mismatch: archive has {saved!r}, "
+                            f"given bank has {live!r}")
+                batch = SignatureBatch(archive[prefix + "codes"],
+                                       archive[prefix + "durations"],
+                                       archive[prefix + "row_offsets"],
+                                       archive[prefix + "periods"])
+                golden = Signature.from_pairs(
+                    zip(archive[prefix + "golden_codes"].tolist(),
+                        archive[prefix + "golden_durations"].tolist()),
+                    entry["period"])
+                channels.append(FaultDictionary(
+                    batch=batch, ndfs=archive[prefix + "ndfs"],
+                    features=archive[prefix + "features"],
+                    faults=faults, golden_signature=golden,
+                    num_bits=entry["num_bits"],
+                    period=entry["period"],
+                    threshold=entry["threshold"]))
+            return cls(channels,
+                       encoders if encoders is not None
+                       else [None] * num_channels)
+
 
 def compile_multi_fault_dictionary(engine, encoders,
                                    faults: Optional[Sequence[Fault]] = None,

@@ -1,0 +1,42 @@
+"""Screening-as-a-service: re-entrant sessions behind a batch server.
+
+The service layer turns the per-process campaign flow into a
+long-lived screening endpoint:
+
+- :class:`ScreeningSession` -- one warm, re-entrant engine context
+  (golden cache, calibrated band, compiled dictionary held resident);
+- :class:`CoalescingBatcher` -- packs concurrent small die-lots into
+  one engine pass, per-client slices bit-identical to solo runs;
+- :class:`ScreeningServer` / :func:`build_server` -- the stdlib HTTP
+  front end (``/campaign``, ``/diagnose``, ``/healthz``,
+  ``/metrics``);
+- :class:`MetricsRegistry` and :class:`RateLimiter` -- in-process
+  observability and per-client token-bucket throttling;
+- :class:`ServiceClient` -- the matching stdlib client.
+
+Start one from the CLI with ``repro serve``; see ``docs/service.md``.
+"""
+
+from repro.campaign.request import ScreeningRequest
+from repro.service.batcher import CoalescingBatcher, \
+    concatenate_populations
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.metrics import MetricsRegistry, timed
+from repro.service.ratelimit import RateLimiter, TokenBucket
+from repro.service.server import ScreeningServer, build_server
+from repro.service.session import ScreeningSession
+
+__all__ = [
+    "CoalescingBatcher",
+    "MetricsRegistry",
+    "RateLimiter",
+    "ScreeningRequest",
+    "ScreeningServer",
+    "ScreeningSession",
+    "ServiceClient",
+    "ServiceError",
+    "TokenBucket",
+    "build_server",
+    "concatenate_populations",
+    "timed",
+]

@@ -1,0 +1,247 @@
+"""Request coalescing: many small die-lots, one packed engine pass.
+
+The shared-tester economics of the paper cut against tiny lots: a
+50-die request pays the same per-pass overheads (golden lookup, chunk
+scheduling, encode setup) as a 5000-die one.  The
+:class:`CoalescingBatcher` therefore *lingers* for a few milliseconds
+when a request arrives, gathers every compatible request that lands in
+the window, concatenates their spec populations into one combined
+population, runs a single engine pass, and scatters the per-client row
+slices back out (:meth:`~repro.campaign.result.CampaignResult.slice`).
+
+Coalescing is invisible to clients: per-die NDFs and verdicts depend
+only on that die's own spec (the front half broadcasts per row, the
+back half scores per row, and chunking is already proven
+order-stable), so every client's slice is **bit-identical** to the
+solo run of its own lot -- the property
+``tests/service/test_batcher.py`` locks down.
+
+Only one-shot ``run`` requests over spec populations coalesce;
+everything else (streams, noise campaigns, trace stacks, cut lists)
+passes straight through to the session.  Requests group by decision
+policy (resolved threshold, ``keep_signatures``, encoder list), so a
+diagnosing client never changes a screening client's result shape.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.campaign.request import ScreeningRequest
+from repro.campaign.result import CampaignResult
+from repro.campaign.scenarios import SpecPopulation
+from repro.service.metrics import MetricsRegistry
+from repro.service.session import ScreeningSession
+
+
+@dataclass
+class _Pending:
+    """One enqueued request waiting for its slice."""
+
+    request: ScreeningRequest
+    population: SpecPopulation
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Optional[CampaignResult] = None
+    error: Optional[BaseException] = None
+
+
+def concatenate_populations(parts: List[SpecPopulation]
+                            ) -> SpecPopulation:
+    """One spec population from many, rows in request order."""
+    specs = [spec for part in parts for spec in part.specs]
+    labels = [label for part in parts for label in part.labels]
+    f0 = (np.concatenate([part.f0_deviations for part in parts])
+          if parts else np.empty(0))
+    q = (np.concatenate([part.q_deviations for part in parts])
+         if parts else np.empty(0))
+    return SpecPopulation(specs, f0, q, labels)
+
+
+class CoalescingBatcher:
+    """Linger-window batcher in front of one screening session.
+
+    Parameters
+    ----------
+    session:
+        The warm session the combined passes run through.
+    window:
+        Linger seconds after the first arrival before a flush (more
+        arrivals within the window join the batch).  0 still
+        coalesces whatever is queued when the worker wakes.
+    max_dies:
+        Cap on combined population size per engine pass; a group
+        larger than this flushes as several passes (each still one
+        packed run).
+    metrics:
+        Optional registry; flushes record coalesced batch sizes
+        (requests and dies per pass) and queue depth.
+    """
+
+    def __init__(self, session: ScreeningSession,
+                 window: float = 0.005, max_dies: int = 100_000,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        if max_dies < 1:
+            raise ValueError("max_dies must be positive")
+        self.session = session
+        self.window = float(window)
+        self.max_dies = int(max_dies)
+        self.metrics = metrics
+        self._cond = threading.Condition()
+        self._queue: List[_Pending] = []
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._loop, name="repro-batcher", daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit(self, request: ScreeningRequest) -> CampaignResult:
+        """Run ``request``, coalescing it with concurrent compatible
+        requests; blocks until this request's own slice is ready.
+
+        Non-coalescible requests (streams, noise, trace/cut
+        populations) execute directly on the session.
+        """
+        population = self._coalescible_population(request)
+        if population is None:
+            return self.session.submit(request)
+        pending = _Pending(request, population)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._queue.append(pending)
+            self._cond.notify_all()
+        pending.done.wait()
+        if pending.error is not None:
+            raise pending.error
+        return pending.result
+
+    def close(self) -> None:
+        """Stop accepting requests and drain the queue."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._worker.join()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a flush."""
+        with self._cond:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coalescible_population(request: ScreeningRequest
+                                ) -> Optional[SpecPopulation]:
+        """The request's spec population, or None when it cannot
+        coalesce (non-run modes and non-spec populations)."""
+        if request.mode != "run":
+            return None
+        population = request.population
+        if isinstance(population, SpecPopulation):
+            return population
+        # Raw spec sequences wrap exactly like the engine would wrap
+        # them solo, so slice labels match the solo run's labels.
+        if isinstance(population, (list, tuple)) and population:
+            try:
+                from repro.campaign.engine import CampaignEngine
+
+                wrapped = CampaignEngine._as_population(list(population))
+            except (TypeError, ValueError):
+                return None
+            if isinstance(wrapped, SpecPopulation):
+                return wrapped
+        return None
+
+    def _group_key(self, request: ScreeningRequest) -> Tuple:
+        """Requests sharing this key may share one engine pass."""
+        # Resolving "auto" here pins the group to one concrete
+        # threshold (cached after the first resolution), so verdicts
+        # of the combined pass match every member's solo verdicts.
+        threshold = self.session.engine._resolve_threshold(request.band)
+        return (threshold, request.keep_signatures, request.encoders)
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue and self._closed:
+                    return
+                # Linger: give concurrent clients the window to join.
+                deadline = time.monotonic() + self.window
+                while not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                batch, self._queue = self._queue, []
+            self._flush(batch)
+
+    def _flush(self, batch: List[_Pending]) -> None:
+        groups: Dict[Tuple, List[_Pending]] = {}
+        order: List[Tuple] = []
+        for pending in batch:
+            try:
+                key = self._group_key(pending.request)
+            except Exception as error:  # bad band spec etc.
+                pending.error = error
+                pending.done.set()
+                continue
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(pending)
+        for key in order:
+            group = groups[key]
+            # Respect the die cap: split an oversized group into
+            # successive packed passes.
+            start = 0
+            while start < len(group):
+                stop = start
+                dies = 0
+                while stop < len(group):
+                    size = len(group[stop].population)
+                    if stop > start and dies + size > self.max_dies:
+                        break
+                    dies += size
+                    stop += 1
+                self._run_group(key[0], group[start:stop])
+                start = stop
+
+    def _run_group(self, threshold: Optional[float],
+                   group: List[_Pending]) -> None:
+        try:
+            combined = concatenate_populations(
+                [pending.population for pending in group])
+            head = group[0].request
+            request = ScreeningRequest(
+                population=combined, mode="run", band=threshold,
+                keep_signatures=head.keep_signatures,
+                encoders=head.encoders)
+            result = self.session.submit(request)
+            if self.metrics is not None:
+                self.metrics.window("coalesced_requests").observe(
+                    len(group))
+                self.metrics.window("coalesced_dies").observe(
+                    len(combined))
+            offset = 0
+            for pending in group:
+                n = len(pending.population)
+                pending.result = result.slice(offset, offset + n)
+                offset += n
+        except BaseException as error:
+            for pending in group:
+                if pending.error is None:
+                    pending.error = error
+        finally:
+            for pending in group:
+                pending.done.set()

@@ -1,0 +1,109 @@
+"""Minimal stdlib client for the screening service.
+
+``ServiceClient`` wraps :mod:`urllib.request` so scripts, tests and
+the CLI can talk to a running ``repro serve`` without any HTTP
+dependency::
+
+    client = ServiceClient("http://127.0.0.1:8765", client_id="lineA")
+    verdict = client.campaign(kind="mc", dies=50, sigma=0.03, seed=7)
+    print(verdict["pass"], "/", verdict["dies"], "dies passed")
+
+Errors come back as :class:`ServiceError` carrying the HTTP status and
+the decoded error payload; a 429 additionally exposes ``retry_after``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the screening service."""
+
+    def __init__(self, status: int, payload: Dict) -> None:
+        message = payload.get("error") if isinstance(payload, dict) \
+            else str(payload)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload if isinstance(payload, dict) else {}
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        """Throttle hint in seconds (429 responses), else None."""
+        value = self.payload.get("retry_after")
+        return float(value) if value is not None else None
+
+
+class ServiceClient:
+    """One client identity against one screening service."""
+
+    def __init__(self, base_url: str, client_id: str = "default",
+                 timeout: float = 120.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def _request(self, path: str,
+                 payload: Optional[Dict] = None) -> bytes:
+        url = self.base_url + path
+        data = None
+        headers = {"X-Client": self.client_id}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data,
+                                         headers=headers)
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                body = {"error": raw.decode("utf-8", "replace")}
+            raise ServiceError(error.code, body) from None
+
+    def _request_json(self, path: str,
+                      payload: Optional[Dict] = None) -> Dict:
+        return json.loads(self._request(path, payload).decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    def campaign(self, **payload) -> Dict:
+        """POST /campaign -- screen one die-lot, return the verdicts."""
+        return self._request_json("/campaign", payload)
+
+    def diagnose(self, **payload) -> Dict:
+        """POST /diagnose -- screen + dictionary-match failing dies."""
+        return self._request_json("/diagnose", payload)
+
+    def healthz(self) -> Dict:
+        """GET /healthz -- liveness and warm-state summary."""
+        return self._request_json("/healthz")
+
+    def metrics_text(self) -> str:
+        """GET /metrics -- the raw text scrape."""
+        return self._request("/metrics").decode("utf-8")
+
+    def wait_ready(self, timeout: float = 30.0,
+                   interval: float = 0.1) -> Dict:
+        """Poll /healthz until the service answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        last: Exception = TimeoutError("service never became ready")
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (urllib.error.URLError, ConnectionError,
+                    socket.timeout) as error:
+                last = error
+                time.sleep(interval)
+        raise TimeoutError(
+            f"service at {self.base_url} not ready after {timeout}s "
+            f"(last error: {last})")

@@ -1,0 +1,119 @@
+"""Per-client token-bucket rate limiting for the screening service.
+
+Each client identity (the ``X-Client`` header, falling back to the
+peer address) owns one token bucket: ``burst`` tokens deep, refilled
+at ``rate`` tokens per second.  A request costs one token; an empty
+bucket means HTTP 429 with a ``Retry-After`` hint.  The bucket state
+is two floats, so a server can hold one per client for millions of
+clients; idle buckets are pruned once they are full again.
+
+The clock is injectable (``clock=``) so tests drive time forward
+deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+
+class TokenBucket:
+    """One client's bucket: ``burst`` deep, ``rate`` tokens/second."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._tokens = min(self.burst,
+                           self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; False leaves the bucket as-is."""
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will be available (0 if now)."""
+        self._refill(self._clock())
+        deficit = tokens - self._tokens
+        return max(0.0, deficit / self.rate)
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available."""
+        self._refill(self._clock())
+        return self._tokens
+
+
+class RateLimiter:
+    """Thread-safe map of client identity -> token bucket.
+
+    ``rate=None`` (or 0) disables limiting -- every ``allow`` call
+    admits.  The per-bucket math runs under one limiter lock; buckets
+    refilled back to full are pruned opportunistically so the map
+    tracks only active clients.
+    """
+
+    def __init__(self, rate: Optional[float] = None,
+                 burst: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 prune_threshold: int = 1024) -> None:
+        self.rate = None if not rate else float(rate)
+        self.burst = float(burst) if burst else \
+            (self.rate if self.rate else 1.0)
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        self._prune_threshold = int(prune_threshold)
+
+    @property
+    def enabled(self) -> bool:
+        """True when a rate is configured."""
+        return self.rate is not None
+
+    def allow(self, client: str) -> Tuple[bool, float]:
+        """Admit or throttle one request from ``client``.
+
+        Returns ``(admitted, retry_after_seconds)``; the retry hint is
+        0.0 when admitted.
+        """
+        if self.rate is None:
+            return True, 0.0
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(
+                    self.rate, self.burst, self._clock)
+            admitted = bucket.try_acquire()
+            retry = 0.0 if admitted else bucket.retry_after()
+            if len(self._buckets) > self._prune_threshold:
+                self._prune()
+            return admitted, retry
+
+    def _prune(self) -> None:
+        # Full buckets are indistinguishable from fresh ones; drop
+        # them (caller holds the lock).
+        full = [key for key, bucket in self._buckets.items()
+                if bucket.tokens >= bucket.burst]
+        for key in full:
+            del self._buckets[key]
+
+    @property
+    def active_clients(self) -> int:
+        """Buckets currently tracked."""
+        with self._lock:
+            return len(self._buckets)

@@ -1,0 +1,368 @@
+"""Screening-as-a-service: the stdlib HTTP front end.
+
+One long-lived :class:`ScreeningServer` (a ``ThreadingHTTPServer``)
+exposes the campaign engine to many concurrent clients:
+
+=============  ======  ==================================================
+``/campaign``  POST    screen a die-lot, return per-die NDFs + verdicts
+``/diagnose``  POST    screen + match failing dies against the warm
+                       fault dictionary
+``/healthz``   GET     liveness + warm-state summary (JSON)
+``/metrics``   GET     Prometheus-style text scrape
+=============  ======  ==================================================
+
+Every request thread goes through per-client token-bucket rate
+limiting (HTTP 429 + ``Retry-After`` when the bucket is empty), then
+hands its request to the :class:`~repro.service.batcher.
+CoalescingBatcher`, which packs concurrent compatible lots into one
+engine pass and scatters per-client slices back -- bit-identical to
+solo runs.  All state (golden cache, calibration, compiled dictionary)
+lives in one warm :class:`~repro.service.session.ScreeningSession`.
+
+Request JSON (see ``docs/service.md`` for the full schema)::
+
+    {"kind": "mc", "dies": 50, "sigma": 0.03, "seed": 7}
+    {"kind": "sweep", "deviations": [-0.1, 0.0, 0.1]}
+    {"kind": "traces", "y": [[...], [...]]}
+
+The server is dependency-free (``http.server`` + ``json``); run it
+from the CLI with ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.campaign.request import ScreeningRequest
+from repro.service.batcher import CoalescingBatcher
+from repro.service.metrics import MetricsRegistry, timed
+from repro.service.ratelimit import RateLimiter
+from repro.service.session import ScreeningSession
+
+#: Header carrying the client identity (falls back to the peer IP).
+CLIENT_HEADER = "X-Client"
+
+#: Hard cap on request bodies (a million-sample trace stack is a
+#: library workload, not an HTTP payload).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class BadRequest(ValueError):
+    """Client-side request error (rendered as HTTP 400)."""
+
+
+def population_from_payload(payload: Dict, golden_spec):
+    """Build the requested population from one JSON payload.
+
+    ``kind`` selects the builder: ``"mc"`` (Monte Carlo dies;
+    ``dies``, ``sigma``, ``sigma_q``, ``seed``), ``"sweep"``
+    (``deviations`` list) or ``"traces"`` (``y`` rows on the
+    session's capture grid).  Monte Carlo lots are deterministic in
+    ``(seed, die index)``, so a client re-sending the same payload
+    gets bit-identical dies -- the property the smoke test leans on.
+    """
+    from repro.campaign.scenarios import (
+        deviation_sweep_population,
+        montecarlo_dies,
+        trace_population,
+    )
+
+    kind = payload.get("kind", "mc")
+    if kind == "mc":
+        dies = int(payload.get("dies", 32))
+        if dies < 0:
+            raise BadRequest("dies must be non-negative")
+        if dies > 1_000_000:
+            raise BadRequest("lot too large for one request; "
+                             "split it or use the library API")
+        return montecarlo_dies(
+            golden_spec, dies,
+            sigma_f0=float(payload.get("sigma", 0.03)),
+            sigma_q=float(payload.get("sigma_q", 0.0)),
+            seed=int(payload.get("seed", 0)))
+    if kind == "sweep":
+        deviations = payload.get("deviations")
+        if not isinstance(deviations, (list, tuple)) or not deviations:
+            raise BadRequest("sweep needs a non-empty 'deviations' "
+                             "list")
+        return deviation_sweep_population(
+            golden_spec, [float(d) for d in deviations])
+    if kind == "traces":
+        rows = payload.get("y")
+        if not isinstance(rows, list) or not rows:
+            raise BadRequest("traces need a non-empty 'y' row list")
+        try:
+            stack = np.asarray(rows, dtype=float)
+        except (TypeError, ValueError) as error:
+            raise BadRequest(f"bad trace rows: {error}") from None
+        if stack.ndim != 2:
+            raise BadRequest("trace rows must form a rectangular "
+                             "(N, samples) stack")
+        return trace_population(stack, payload.get("labels"))
+    raise BadRequest(f"unknown population kind {kind!r} "
+                     "(expected mc, sweep or traces)")
+
+
+def request_from_payload(payload: Dict, golden_spec,
+                         client: Optional[str] = None,
+                         keep_signatures: bool = False
+                         ) -> ScreeningRequest:
+    """One :class:`ScreeningRequest` from a /campaign-style payload."""
+    if not isinstance(payload, dict):
+        raise BadRequest("request body must be a JSON object")
+    band = payload.get("band", "auto")
+    if band is not None and band != "auto":
+        try:
+            band = float(band)
+        except (TypeError, ValueError):
+            raise BadRequest("band must be 'auto', a number or null") \
+                from None
+    return ScreeningRequest(
+        population=population_from_payload(payload, golden_spec),
+        mode="run", band=band, keep_signatures=keep_signatures,
+        client=client)
+
+
+def campaign_payload(result, include_ndfs: bool = True) -> Dict:
+    """JSON-ready view of one per-client campaign result."""
+    payload = {
+        "dies": result.num_dies,
+        "threshold": result.threshold,
+        "executor": result.executor,
+        "labels": list(result.labels or []),
+        "timing": {k: float(v) for k, v in result.timing.items()},
+    }
+    if include_ndfs:
+        payload["ndfs"] = [float(v) for v in result.ndfs]
+    if result.verdicts is not None:
+        payload["verdicts"] = [bool(v) for v in result.verdicts]
+        payload["pass"] = result.pass_count
+        payload["fail"] = result.fail_count
+    return payload
+
+
+class ScreeningServer(ThreadingHTTPServer):
+    """The long-lived multi-client screening front end.
+
+    One request-handling thread per connection
+    (``ThreadingHTTPServer``); the session, batcher, limiter and
+    metrics registry hang off the server object so every handler
+    thread shares the same warm state.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int],
+                 session: Optional[ScreeningSession] = None,
+                 rate: Optional[float] = None,
+                 burst: Optional[float] = None,
+                 window: float = 0.005,
+                 max_dies: int = 100_000,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
+        if session is None:
+            session = ScreeningSession.from_paper(metrics=self.metrics)
+        elif session.metrics is None:
+            session.metrics = self.metrics
+        self.session = session
+        self.limiter = RateLimiter(rate, burst)
+        self.batcher = CoalescingBatcher(
+            session, window=window, max_dies=max_dies,
+            metrics=self.metrics)
+        self._serve_thread: Optional[threading.Thread] = None
+        super().__init__(address, _Handler)
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def warm(self, dictionary: bool = True) -> None:
+        """Pre-derive golden/band/dictionary before serving."""
+        self.session.warm(dictionary=dictionary)
+
+    def start(self) -> "ScreeningServer":
+        """Serve in a background thread (tests, embedded use)."""
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True)
+        self._serve_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and drain the batcher."""
+        self.shutdown()
+        self.server_close()
+        self.batcher.close()
+        if self._serve_thread is not None:
+            self._serve_thread.join()
+            self._serve_thread = None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one connection's requests; all state is on the server."""
+
+    server: ScreeningServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:
+        # Request logging is the metrics registry's job; keep stderr
+        # quiet under concurrent load.
+        pass
+
+    def _client_id(self) -> str:
+        header = self.headers.get(CLIENT_HEADER)
+        if header:
+            return header.strip()
+        return self.client_address[0]
+
+    def _send(self, status: int, body: bytes, content_type: str,
+              extra: Optional[Dict[str, str]] = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Dict,
+                   extra: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send(status, body, "application/json", extra)
+
+    def _read_payload(self) -> Dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise BadRequest("request body too large")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise BadRequest(f"bad JSON body: {error}") from None
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = urlsplit(self.path).path
+        if path == "/healthz":
+            metrics = self.server.metrics
+            info = self.server.session.cache_info
+            self._send_json(200, {
+                "status": "ok",
+                "submitted": self.server.session.submitted,
+                "cache": {"hits": info.hits, "misses": info.misses,
+                          "size": info.size},
+                "queue_depth": self.server.batcher.queue_depth,
+                "metrics_series": sum(
+                    len(group) for group in
+                    metrics.snapshot().values()),
+            })
+            return
+        if path == "/metrics":
+            self._send(200, self.server.metrics.render().encode("utf-8"),
+                       "text/plain; version=0.0.4; charset=utf-8")
+            return
+        self._send_json(404, {"error": f"no such endpoint {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = urlsplit(self.path).path
+        if path == "/campaign":
+            self._screen(diagnose=False)
+            return
+        if path == "/diagnose":
+            self._screen(diagnose=True)
+            return
+        self._send_json(404, {"error": f"no such endpoint {path!r}"})
+
+    # ------------------------------------------------------------------
+    # The two screening endpoints
+    # ------------------------------------------------------------------
+    def _screen(self, diagnose: bool) -> None:
+        endpoint = "diagnose" if diagnose else "campaign"
+        metrics = self.server.metrics
+        metrics.counter("requests_total", endpoint=endpoint).inc()
+        client = self._client_id()
+        admitted, retry = self.server.limiter.allow(client)
+        if not admitted:
+            metrics.counter("throttled_total", endpoint=endpoint).inc()
+            self._send_json(
+                429,
+                {"error": "rate limit exceeded",
+                 "retry_after": retry},
+                {"Retry-After": f"{retry:.3f}"})
+            return
+        inflight = metrics.gauge("inflight", endpoint=endpoint)
+        inflight.inc()
+        try:
+            payload = self._read_payload()
+            request = request_from_payload(
+                payload, self.server.session.engine.config.golden_spec,
+                client=client, keep_signatures=diagnose)
+            with timed(metrics.window("request_seconds",
+                                      endpoint=endpoint)):
+                result = self.server.batcher.submit(request)
+            include_ndfs = bool(payload.get("include_ndfs", True))
+            body = campaign_payload(result, include_ndfs=include_ndfs)
+            body["client"] = client
+            if diagnose:
+                diagnosis = self.server.session.diagnose_result(
+                    result,
+                    top_k=int(payload.get("top_k", 3)),
+                    metric=str(payload.get("metric", "ndf")))
+                body["diagnosis"] = diagnosis.to_payload()
+            self._send_json(200, body)
+        except BadRequest as error:
+            metrics.counter("errors_total", endpoint=endpoint,
+                            kind="bad_request").inc()
+            self._send_json(400, {"error": str(error)})
+        except BrokenPipeError:  # client went away mid-response
+            metrics.counter("errors_total", endpoint=endpoint,
+                            kind="disconnect").inc()
+        except Exception as error:  # engine/internal failure
+            metrics.counter("errors_total", endpoint=endpoint,
+                            kind="internal").inc()
+            self._send_json(500, {"error": f"{type(error).__name__}: "
+                                           f"{error}"})
+        finally:
+            inflight.dec()
+
+
+def build_server(host: str = "127.0.0.1", port: int = 8765,
+                 samples_per_period: int = 2048,
+                 tolerance: float = 0.05,
+                 rate: Optional[float] = None,
+                 burst: Optional[float] = None,
+                 window: float = 0.005,
+                 max_dies: int = 100_000,
+                 metrics: Optional[MetricsRegistry] = None,
+                 session: Optional[ScreeningSession] = None
+                 ) -> ScreeningServer:
+    """A screening server over the calibrated paper bench.
+
+    ``port=0`` binds an ephemeral port (tests); read the bound address
+    back from :attr:`ScreeningServer.url`.
+    """
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    if session is None:
+        session = ScreeningSession.from_paper(
+            samples_per_period=samples_per_period, tolerance=tolerance,
+            metrics=metrics)
+    return ScreeningServer((host, port), session, rate=rate,
+                           burst=burst, window=window,
+                           max_dies=max_dies, metrics=metrics)

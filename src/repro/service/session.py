@@ -1,0 +1,146 @@
+"""Re-entrant screening sessions: warm engine state behind one object.
+
+A :class:`ScreeningSession` is the unit of warm state in the screening
+service: it owns a :class:`~repro.campaign.engine.CampaignEngine` with
+a private lock-guarded :class:`~repro.campaign.cache.GoldenCache`, so
+golden signatures, Fig. 8 calibration bands and compiled fault
+dictionaries are derived once and then held resident across requests
+-- the opposite of the per-process flow, where every fresh process
+re-derived them.
+
+Sessions are re-entrant: any number of threads may call
+:meth:`submit` concurrently.  The engine itself is stateless per call
+(all chunk state is local), the scratch pool and the golden cache are
+lock-guarded, and cache misses are single-flight -- N racing threads
+asking for the same cold golden compute it once.  Results are
+bit-identical to serial submission of the same requests (proven by
+``tests/service/test_session_reentrancy.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Union
+
+from repro.campaign.engine import CampaignEngine
+from repro.campaign.request import ScreeningRequest
+from repro.campaign.result import CampaignResult, NoiseCampaignResult
+from repro.service.metrics import MetricsRegistry
+
+
+class ScreeningSession:
+    """One warm, thread-safe screening context over one engine.
+
+    Parameters
+    ----------
+    engine:
+        The campaign engine to serve (its cache is the session's warm
+        store).  Build from the paper bench via :meth:`from_paper`.
+    metrics:
+        Optional :class:`~repro.service.metrics.MetricsRegistry`;
+        submissions then record request counts and per-stage engine
+        timings.
+    """
+
+    def __init__(self, engine: CampaignEngine,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.engine = engine
+        self.metrics = metrics
+        self._dict_lock = threading.Lock()
+        self._submitted = 0
+        self._count_lock = threading.Lock()
+
+    @classmethod
+    def from_paper(cls, samples_per_period: int = 2048,
+                   tolerance: float = 0.05, executor=None,
+                   metrics: Optional[MetricsRegistry] = None
+                   ) -> "ScreeningSession":
+        """Session over the calibrated paper bench (the common case)."""
+        from repro.paper import paper_setup
+
+        setup = paper_setup(samples_per_period=samples_per_period)
+        engine = setup.campaign_engine(
+            samples_per_period=samples_per_period, tolerance=tolerance,
+            executor=executor)
+        return cls(engine, metrics=metrics)
+
+    # ------------------------------------------------------------------
+    # Warm state
+    # ------------------------------------------------------------------
+    def warm(self, dictionary: bool = True) -> Dict[str, bool]:
+        """Pre-derive the expensive artifacts before traffic arrives.
+
+        Computes the golden signature and the calibrated decision band
+        (and, unless ``dictionary=False``, compiles the fault
+        dictionary) into the session cache, so the first client
+        request pays none of it.  Returns which artifacts were warmed.
+        """
+        self.engine.golden()
+        self.engine.band()
+        warmed = {"golden": True, "band": True, "dictionary": False}
+        if dictionary:
+            self.dictionary()
+            warmed["dictionary"] = True
+        return warmed
+
+    def dictionary(self):
+        """The session's compiled fault dictionary (held resident).
+
+        Compiled through the engine's own front half on first use and
+        content-cached in the session cache; subsequent calls (from
+        any thread) hit.  The dictionary lock keeps racing first
+        callers from compiling twice.
+        """
+        from repro.diagnosis import compile_fault_dictionary
+
+        with self._dict_lock:
+            return compile_fault_dictionary(self.engine)
+
+    def threshold(self) -> float:
+        """The calibrated decision threshold (cached)."""
+        return self.engine.band().threshold
+
+    @property
+    def cache_info(self):
+        """The warm cache's hit/miss counters."""
+        return self.engine.cache.info
+
+    @property
+    def submitted(self) -> int:
+        """Requests submitted through this session so far."""
+        with self._count_lock:
+            return self._submitted
+
+    # ------------------------------------------------------------------
+    # Request entry points
+    # ------------------------------------------------------------------
+    def submit(self, request: ScreeningRequest
+               ) -> Union[CampaignResult, NoiseCampaignResult]:
+        """Execute one screening request (re-entrant).
+
+        Safe to call from any number of threads at once; results are
+        bit-identical to serial submission.  Records request counts
+        and per-stage timings when the session carries metrics.
+        """
+        with self._count_lock:
+            self._submitted += 1
+        result = self.engine.submit(request)
+        if self.metrics is not None:
+            self.metrics.counter("session_requests_total",
+                                 mode=request.mode).inc()
+            self.metrics.observe_timings(result.timing,
+                                         mode=request.mode)
+        return result
+
+    def diagnose_result(self, result: CampaignResult, top_k: int = 3,
+                        metric: str = "ndf",
+                        failing_only: bool = True):
+        """Match a campaign result against the warm fault dictionary.
+
+        The result must carry packed signatures (submit the request
+        with ``keep_signatures=True``).  Returns a
+        :class:`repro.diagnosis.DiagnosisResult`.
+        """
+        return result.diagnose(self.dictionary(), top_k=top_k,
+                               failing_only=failing_only,
+                               metric=metric)

@@ -172,3 +172,76 @@ def test_compile_matches_sequential_per_cut_reference(engine, dictionary):
                           dictionary.batch.durations)
     assert np.array_equal(reference.row_offsets,
                           dictionary.batch.row_offsets)
+
+
+# ----------------------------------------------------------------------
+# Multi-channel serialization
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def multi_dictionary(engine):
+    from repro.diagnosis import (
+        compile_multi_fault_dictionary,
+        search_second_signature,
+    )
+
+    single = compile_fault_dictionary(engine)
+    search = search_second_signature(engine, single)
+    assert search.best is not None  # the paper bench always splits
+    return compile_multi_fault_dictionary(
+        engine, [engine.config.encoder, search.best.encoder])
+
+
+def test_multi_save_load_round_trip(multi_dictionary, tmp_path):
+    from repro.diagnosis import MultiFaultDictionary
+
+    path = multi_dictionary.save(tmp_path / "multi.npz")
+    loaded = MultiFaultDictionary.load(
+        path, encoders=multi_dictionary.encoders)
+    assert loaded.num_channels == multi_dictionary.num_channels
+    assert loaded.faults == multi_dictionary.faults
+    assert loaded.encoders == multi_dictionary.encoders
+    for k in range(multi_dictionary.num_channels):
+        original = multi_dictionary.channel(k)
+        restored = loaded.channel(k)
+        assert np.array_equal(restored.batch.codes,
+                              original.batch.codes)
+        assert np.array_equal(restored.batch.durations,
+                              original.batch.durations)
+        assert np.array_equal(restored.batch.row_offsets,
+                              original.batch.row_offsets)
+        assert np.array_equal(restored.ndfs, original.ndfs)
+        assert np.array_equal(restored.features, original.features)
+        assert restored.num_bits == original.num_bits
+        assert restored.threshold == original.threshold
+        assert restored.golden_signature == original.golden_signature
+
+
+def test_multi_load_without_encoders_uses_placeholders(
+        multi_dictionary, tmp_path):
+    from repro.diagnosis import MultiFaultDictionary
+
+    path = multi_dictionary.save(tmp_path / "bare")
+    assert path.endswith(".npz")
+    loaded = MultiFaultDictionary.load(tmp_path / "bare")
+    assert loaded.encoders \
+        == [None] * multi_dictionary.num_channels
+    # Matching only reads signature rows, so a bare load still
+    # supports distance math.
+    from repro.diagnosis import fault_distance_matrix
+
+    matrix = fault_distance_matrix(loaded.channel(0), "ndf")
+    assert matrix.shape == (len(loaded), len(loaded))
+
+
+def test_multi_load_rejects_wrong_encoders(multi_dictionary,
+                                           tmp_path):
+    from repro.diagnosis import MultiFaultDictionary
+
+    path = multi_dictionary.save(tmp_path / "multi.npz")
+    with pytest.raises(ValueError, match="channels"):
+        MultiFaultDictionary.load(
+            path, encoders=list(multi_dictionary.encoders) * 2)
+    with pytest.raises(ValueError, match="fingerprint"):
+        MultiFaultDictionary.load(
+            path,
+            encoders=list(reversed(multi_dictionary.encoders)))

@@ -1,0 +1,255 @@
+"""Coalescing batcher: packed passes, slices bit-identical to solo."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    ScreeningRequest,
+    deviation_sweep_population,
+    montecarlo_dies,
+    trace_population,
+)
+from repro.service import (
+    CoalescingBatcher,
+    MetricsRegistry,
+    ScreeningSession,
+    concatenate_populations,
+)
+
+pytestmark = pytest.mark.campaign
+
+SAMPLES = 512
+
+
+@pytest.fixture(scope="module")
+def session():
+    session = ScreeningSession.from_paper(samples_per_period=SAMPLES)
+    session.warm(dictionary=False)
+    return session
+
+
+@pytest.fixture()
+def batcher(session):
+    batcher = CoalescingBatcher(session, window=0.02)
+    yield batcher
+    batcher.close()
+
+
+def _lots(golden_spec, seeds=(0, 1, 2), dies=5):
+    return [montecarlo_dies(golden_spec, dies, sigma_f0=0.05,
+                            seed=seed) for seed in seeds]
+
+
+def test_concatenate_populations_preserves_rows(golden_spec):
+    lots = _lots(golden_spec, seeds=(3, 4))
+    combined = concatenate_populations(lots)
+    assert len(combined) == sum(len(lot) for lot in lots)
+    assert combined.labels == lots[0].labels + lots[1].labels
+    np.testing.assert_array_equal(
+        combined.f0_deviations,
+        np.concatenate([lot.f0_deviations for lot in lots]))
+    assert combined.specs == lots[0].specs + lots[1].specs
+
+
+def test_concurrent_slices_match_solo_runs(session):
+    """The tentpole contract: a client's coalesced slice is
+
+    bit-identical to running its lot alone."""
+    lots = _lots(session.engine.config.golden_spec, seeds=(0, 1, 2, 3))
+    solo = [session.submit(ScreeningRequest(population=lot))
+            for lot in lots]
+
+    metrics = MetricsRegistry()
+    batcher = CoalescingBatcher(session, window=0.1, metrics=metrics)
+    try:
+        results = [None] * len(lots)
+        barrier = threading.Barrier(len(lots))
+
+        def work(i, lot):
+            barrier.wait()
+            results[i] = batcher.submit(
+                ScreeningRequest(population=lot))
+
+        threads = [threading.Thread(target=work, args=(i, lot))
+                   for i, lot in enumerate(lots)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        batcher.close()
+
+    for reference, sliced in zip(solo, results):
+        np.testing.assert_array_equal(reference.ndfs, sliced.ndfs)
+        np.testing.assert_array_equal(reference.verdicts,
+                                      sliced.verdicts)
+        np.testing.assert_array_equal(reference.f0_deviations,
+                                      sliced.f0_deviations)
+        assert reference.labels == sliced.labels
+        assert reference.threshold == sliced.threshold
+    # The four requests actually shared passes: every flush recorded
+    # its request count, and they sum to the four submissions.
+    snap = metrics.snapshot()["windows"]
+    coalesced = snap["coalesced_requests"]
+    assert coalesced["sum"] == len(lots)
+    assert coalesced["count"] <= len(lots)
+    assert snap["coalesced_dies"]["sum"] == sum(len(lot)
+                                                for lot in lots)
+
+
+def test_flush_groups_and_slices_directly(session):
+    """Deterministic path: _flush on a hand-built batch coalesces
+
+    compatible requests into one pass and scatters exact slices."""
+    from repro.service.batcher import _Pending
+
+    lots = _lots(session.engine.config.golden_spec, seeds=(5, 6))
+    solo = [session.submit(ScreeningRequest(population=lot))
+            for lot in lots]
+    metrics = MetricsRegistry()
+    batcher = CoalescingBatcher(session, window=0.0, metrics=metrics)
+    try:
+        pendings = [_Pending(ScreeningRequest(population=lot), lot)
+                    for lot in lots]
+        batcher._flush(pendings)
+        for pending in pendings:
+            assert pending.done.is_set()
+            assert pending.error is None
+        for reference, pending in zip(solo, pendings):
+            np.testing.assert_array_equal(reference.ndfs,
+                                          pending.result.ndfs)
+            np.testing.assert_array_equal(reference.verdicts,
+                                          pending.result.verdicts)
+        # One combined pass for the whole batch.
+        window = metrics.snapshot()["windows"]["coalesced_requests"]
+        assert window["count"] == 1
+        assert window["last"] == 2
+    finally:
+        batcher.close()
+
+
+def test_incompatible_bands_split_groups(session):
+    """Different explicit thresholds cannot share a pass."""
+    from repro.service.batcher import _Pending
+
+    lot = _lots(session.engine.config.golden_spec, seeds=(7,))[0]
+    loose = ScreeningRequest(population=lot, band=0.5)
+    tight = ScreeningRequest(population=lot, band=0.001)
+    metrics = MetricsRegistry()
+    batcher = CoalescingBatcher(session, window=0.0, metrics=metrics)
+    try:
+        pendings = [_Pending(loose, lot), _Pending(tight, lot)]
+        batcher._flush(pendings)
+        assert pendings[0].result.threshold == 0.5
+        assert pendings[1].result.threshold == 0.001
+        window = metrics.snapshot()["windows"]["coalesced_requests"]
+        assert window["count"] == 2  # two passes, one per band
+    finally:
+        batcher.close()
+
+
+def test_max_dies_splits_oversized_groups(session):
+    from repro.service.batcher import _Pending
+
+    lots = _lots(session.engine.config.golden_spec,
+                 seeds=(8, 9, 10), dies=4)
+    metrics = MetricsRegistry()
+    batcher = CoalescingBatcher(session, window=0.0, max_dies=8,
+                                metrics=metrics)
+    try:
+        pendings = [_Pending(ScreeningRequest(population=lot), lot)
+                    for lot in lots]
+        batcher._flush(pendings)
+        window = metrics.snapshot()["windows"]["coalesced_dies"]
+        # 12 dies at a cap of 8: two passes (8 + 4).
+        assert window["count"] == 2
+        assert window["recent_max"] <= 8
+        solo = session.submit(ScreeningRequest(population=lots[-1]))
+        np.testing.assert_array_equal(solo.ndfs,
+                                      pendings[-1].result.ndfs)
+    finally:
+        batcher.close()
+
+
+def test_auto_band_and_equal_threshold_share_a_pass(session):
+    """band='auto' resolves to the calibrated threshold, so it groups
+    with requests pinning that same number explicitly."""
+    from repro.service.batcher import _Pending
+
+    threshold = session.threshold()
+    lot = _lots(session.engine.config.golden_spec, seeds=(11,))[0]
+    metrics = MetricsRegistry()
+    batcher = CoalescingBatcher(session, window=0.0, metrics=metrics)
+    try:
+        pendings = [
+            _Pending(ScreeningRequest(population=lot), lot),
+            _Pending(ScreeningRequest(population=lot, band=threshold),
+                     lot),
+        ]
+        batcher._flush(pendings)
+        window = metrics.snapshot()["windows"]["coalesced_requests"]
+        assert window["count"] == 1 and window["last"] == 2
+        np.testing.assert_array_equal(pendings[0].result.ndfs,
+                                      pendings[1].result.ndfs)
+    finally:
+        batcher.close()
+
+
+def test_non_coalescible_requests_pass_through(session):
+    """Streams, noise and trace stacks bypass the queue entirely."""
+    batcher = CoalescingBatcher(session, window=10.0)  # long window:
+    # a queued request would visibly hang; pass-through returns fast.
+    try:
+        lot = _lots(session.engine.config.golden_spec, seeds=(12,),
+                    dies=2)[0]
+        noise = batcher.submit(ScreeningRequest(
+            population=lot, mode="noise", repeats=2))
+        assert noise.ndf_matrix.shape == (2, 2)
+
+        traces = session.engine.golden().y[None, :]
+        result = batcher.submit(ScreeningRequest(
+            population=trace_population(traces)))
+        assert result.num_dies == 1
+    finally:
+        batcher.close()
+
+
+def test_raw_spec_list_coalesces_with_solo_labels(session):
+    golden_spec = session.engine.config.golden_spec
+    specs = deviation_sweep_population(golden_spec, [-0.1, 0.1]).specs
+    solo = session.submit(ScreeningRequest(population=list(specs)))
+    batcher = CoalescingBatcher(session, window=0.0)
+    try:
+        sliced = batcher.submit(ScreeningRequest(
+            population=list(specs)))
+    finally:
+        batcher.close()
+    np.testing.assert_array_equal(solo.ndfs, sliced.ndfs)
+    assert solo.labels == sliced.labels
+
+
+def test_closed_batcher_rejects_submissions(session):
+    batcher = CoalescingBatcher(session, window=0.0)
+    batcher.close()
+    lot = _lots(session.engine.config.golden_spec, seeds=(13,),
+                dies=1)[0]
+    with pytest.raises(RuntimeError):
+        batcher.submit(ScreeningRequest(population=lot))
+
+
+def test_group_error_propagates_to_every_member(session):
+    from repro.service.batcher import _Pending
+
+    lot = _lots(session.engine.config.golden_spec, seeds=(14,),
+                dies=2)[0]
+    batcher = CoalescingBatcher(session, window=0.0)
+    try:
+        bad = _Pending(ScreeningRequest(population=lot,
+                                        band="not-a-band"), lot)
+        batcher._flush([bad])
+        assert bad.done.is_set()
+        assert bad.error is not None
+    finally:
+        batcher.close()

@@ -1,0 +1,115 @@
+"""Metrics registry: counters, gauges, windows, render stability."""
+
+import threading
+
+import pytest
+
+from repro.service import MetricsRegistry, timed
+
+
+def test_counter_get_or_create_and_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("requests_total", endpoint="campaign")
+    b = registry.counter("requests_total", endpoint="campaign")
+    other = registry.counter("requests_total", endpoint="diagnose")
+    assert a is b
+    assert a is not other
+    a.inc()
+    a.inc(2)
+    assert a.value == 3
+    assert other.value == 0
+
+
+def test_counter_rejects_negative_increment():
+    counter = MetricsRegistry().counter("n")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = MetricsRegistry().gauge("inflight")
+    gauge.inc()
+    gauge.inc()
+    gauge.dec()
+    assert gauge.value == 1
+    gauge.set(7.5)
+    assert gauge.value == 7.5
+
+
+def test_window_snapshot_tracks_lifetime_and_recent():
+    window = MetricsRegistry(window_size=3).window("batch")
+    for value in (1, 2, 3, 4):
+        window.observe(value)
+    snap = window.snapshot()
+    assert snap["count"] == 4
+    assert snap["sum"] == 10
+    assert snap["last"] == 4
+    # Recent stats cover only the retained window (2, 3, 4).
+    assert snap["recent_min"] == 2
+    assert snap["recent_max"] == 4
+    assert snap["recent_mean"] == 3
+
+
+def test_render_is_sorted_and_parseable():
+    registry = MetricsRegistry(namespace="repro")
+    registry.counter("requests_total", endpoint="campaign").inc()
+    registry.gauge("inflight", endpoint="campaign").set(2)
+    registry.window("batch_size").observe(3)
+    text = registry.render()
+    lines = text.strip().splitlines()
+    assert 'repro_requests_total{endpoint="campaign"} 1' in lines
+    assert 'repro_inflight{endpoint="campaign"} 2' in lines
+    assert "repro_batch_size_count 1" in lines
+    assert "repro_batch_size_sum 3" in lines
+    assert any(line.startswith("repro_uptime_seconds") for line in lines)
+    # Every line is "name[{labels}] value" with a float-parseable value.
+    for line in lines:
+        name, value = line.rsplit(" ", 1)
+        assert name
+        float(value)
+
+
+def test_render_escapes_label_values():
+    registry = MetricsRegistry(namespace="repro")
+    registry.counter("errors_total", kind='a"b\\c').inc()
+    line = registry.render().splitlines()[0]
+    assert line == 'repro_errors_total{kind="a\\"b\\\\c"} 1'
+
+
+def test_observe_timings_creates_stage_windows():
+    registry = MetricsRegistry()
+    registry.observe_timings({"synth": 0.5, "encode": 0.25, "total": 1.0},
+                             mode="run")
+    snap = registry.snapshot()
+    stages = [key for key in snap["windows"]
+              if key.startswith("stage_seconds")]
+    assert len(stages) == 3
+    text = registry.render()
+    assert 'stage_seconds_sum{mode="run",stage="synth"} 0.5' in text
+
+
+def test_timed_observes_elapsed_seconds():
+    window = MetricsRegistry().window("elapsed")
+    with timed(window):
+        pass
+    snap = window.snapshot()
+    assert snap["count"] == 1
+    assert snap["last"] >= 0
+
+
+def test_registry_is_thread_safe():
+    registry = MetricsRegistry()
+    counter = registry.counter("hits")
+
+    def work():
+        for _ in range(1000):
+            counter.inc()
+            registry.window("w").observe(1)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == 8000
+    assert registry.window("w").snapshot()["count"] == 8000

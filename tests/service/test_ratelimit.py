@@ -1,0 +1,103 @@
+"""Token-bucket rate limiting with a deterministic fake clock."""
+
+import pytest
+
+from repro.service import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_bucket_burst_then_refill():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+    assert [bucket.try_acquire() for _ in range(4)] \
+        == [True, True, True, False]
+    # 2 tokens/s: after 0.5 s exactly one token is back.
+    clock.advance(0.5)
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+
+
+def test_bucket_never_exceeds_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+    clock.advance(100.0)
+    assert bucket.tokens == pytest.approx(2.0)
+
+
+def test_bucket_retry_after_hint():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=4.0, burst=1.0, clock=clock)
+    assert bucket.try_acquire()
+    # Empty; one token takes 1/4 s at 4 tokens/s.
+    assert bucket.retry_after() == pytest.approx(0.25)
+    clock.advance(0.25)
+    assert bucket.retry_after() == pytest.approx(0.0)
+
+
+def test_bucket_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0.0)
+
+
+def test_limiter_disabled_admits_everything():
+    limiter = RateLimiter(rate=None)
+    assert not limiter.enabled
+    for _ in range(100):
+        admitted, retry = limiter.allow("anyone")
+        assert admitted and retry == 0.0
+    assert limiter.active_clients == 0
+
+
+def test_limiter_isolates_clients():
+    clock = FakeClock()
+    limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock)
+    assert limiter.allow("a") == (True, 0.0)
+    admitted, retry = limiter.allow("a")
+    assert not admitted and retry == pytest.approx(1.0)
+    # Client b has its own untouched bucket.
+    assert limiter.allow("b") == (True, 0.0)
+    assert limiter.active_clients == 2
+
+
+def test_limiter_refills_per_client():
+    clock = FakeClock()
+    limiter = RateLimiter(rate=2.0, burst=2.0, clock=clock)
+    assert limiter.allow("a")[0]
+    assert limiter.allow("a")[0]
+    assert not limiter.allow("a")[0]
+    clock.advance(0.5)
+    assert limiter.allow("a")[0]
+
+
+def test_limiter_prunes_full_buckets():
+    clock = FakeClock()
+    limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock,
+                          prune_threshold=4)
+    for i in range(5):
+        limiter.allow(f"client{i}")
+    # All five buckets are empty, so nothing can be pruned yet.
+    assert limiter.active_clients == 5
+    clock.advance(10.0)
+    limiter.allow("trigger")
+    # The refilled (full) buckets dropped; only the one the trigger
+    # request just drained survives.
+    assert limiter.active_clients == 1
+
+
+def test_limiter_burst_defaults_to_rate():
+    limiter = RateLimiter(rate=7.0)
+    assert limiter.burst == 7.0
