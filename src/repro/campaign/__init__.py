@@ -38,6 +38,10 @@ from repro.campaign.cache import (
     GoldenArtifacts,
     GoldenCache,
 )
+from repro.campaign.checkpoint import (
+    CheckpointMismatch,
+    StreamCheckpoint,
+)
 from repro.campaign.engine import (
     DEFAULT_CALIBRATION_DEVIATIONS,
     CampaignConfig,
@@ -63,12 +67,16 @@ from repro.campaign.scenarios import (
     montecarlo_dies,
     montecarlo_monitor_banks,
     parameter_grid,
+    seed_children,
     stream_montecarlo_dies,
     temperature_corners,
     trace_population,
 )
 
 __all__ = [
+    "CheckpointMismatch",
+    "StreamCheckpoint",
+    "seed_children",
     "batch_biquad_traces",
     "batch_codes",
     "batch_extract",

@@ -16,6 +16,13 @@ by *content*:
 
 The cache is a small LRU; hit/miss counters are exposed for the
 campaign result's diagnostics and the cache behaviour tests.
+
+An optional on-disk :class:`repro.store.ArtifactStore` can back the
+LRU (pass ``store=``): in-memory misses consult the store before
+computing, and fresh computations are written through, so a restarted
+process warms from disk instead of re-deriving goldens, calibrations
+and fault dictionaries.  Store damage never propagates -- a corrupt or
+unreadable artifact simply degrades to a recompute.
 """
 
 from __future__ import annotations
@@ -112,18 +119,44 @@ class GoldenCache:
     rest hit.  Recursive computes (a fault-dictionary compile runs a
     whole campaign, which consults the same cache for its golden)
     re-enter through the same lock.
+
+    ``store`` optionally backs the LRU with an on-disk
+    :class:`repro.store.ArtifactStore`: a memory miss first tries
+    ``store.load_artifact(key)`` (a store hit skips the compute
+    entirely -- this is how a restarted session warms instantly), and
+    every fresh compute is written through with
+    ``store.save_artifact``.  The store is duck-typed and every call
+    is failure-isolated: a broken disk degrades to plain in-memory
+    caching, never an exception on the screening path.
     """
 
-    def __init__(self, maxsize: int = 64) -> None:
+    def __init__(self, maxsize: int = 64, store=None) -> None:
         if maxsize < 1:
             raise ValueError("cache needs room for at least one entry")
         self.maxsize = int(maxsize)
+        self.store = store
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
+    def _store_load(self, key: Hashable):
+        if self.store is None:
+            return None
+        try:
+            return self.store.load_artifact(key)
+        except Exception:
+            return None
+
+    def _store_save(self, key: Hashable, value: object) -> None:
+        if self.store is None:
+            return
+        try:
+            self.store.save_artifact(key, value)
+        except Exception:
+            pass
+
     def get_or_compute(self, key: Hashable,
                        compute: Callable[[], object]) -> object:
         """Cached value for ``key``, computing (and storing) on miss."""
@@ -133,7 +166,10 @@ class GoldenCache:
                 self._entries.move_to_end(key)
                 return self._entries[key]
             self._misses += 1
-            value = compute()
+            value = self._store_load(key)
+            if value is None:
+                value = compute()
+                self._store_save(key, value)
             self._entries[key] = value
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)

@@ -1,0 +1,217 @@
+"""Checkpoint/resume for streamed campaigns.
+
+A streamed campaign (:meth:`CampaignEngine.run_stream`) over a
+million-die fleet runs for a long time; if the process dies at die
+700k, everything is lost.  :class:`StreamCheckpoint` makes the stream
+crash-safe: the engine accumulates the per-chunk partial fleet stats
+(NDFs, ground-truth deviations, labels, stage timings) in one of these
+and periodically persists it -- atomically -- together with the **next
+global die index**.  A restarted campaign loads the checkpoint, skips
+the already-screened dies and continues.
+
+The resume contract is **bit-identity**: population builders seed die
+``i`` as a pure function of ``(seed, i)``
+(:func:`~repro.campaign.scenarios.stream_montecarlo_dies` numbers its
+spawned seed children globally), and the batched pipeline's per-die
+rows are independent of chunk boundaries, so the merged result of an
+interrupted+resumed campaign -- NDFs, verdicts, deviations, labels --
+is byte-for-byte the result of the uninterrupted run.  Only wall-clock
+timings differ.  ``tests/robustness/test_checkpoint_resume.py`` kills
+streams at several injection points and proves the merge.
+
+The checkpoint file is a single ``.npz`` written with the same
+tmp+fsync+rename discipline as the artifact store
+(:func:`repro.store.atomic_write_bytes`), so a crash mid-save leaves
+the previous valid checkpoint, never a torn one.  The file records the
+engine's golden key and resolved threshold; resuming under a different
+configuration or band policy is a :class:`CheckpointMismatch`, not a
+silently-wrong merge.
+
+This is the first rung of ROADMAP's multi-node sharding item: a shard
+is exactly "a checkpoint whose next index starts past another's".
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.store import atomic_write_bytes
+
+#: Checkpoint format version (bumped on incompatible changes).
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointMismatch(ValueError):
+    """Checkpoint was written under a different configuration."""
+
+
+class StreamCheckpoint:
+    """Mergeable partial state of one streamed campaign.
+
+    The engine owns the instance: chunks :meth:`extend` it, the loop
+    :meth:`save`\\ s it every ``checkpoint_every`` chunks, and a
+    resumed run reconstructs it with :meth:`load` and keeps extending.
+    ``next_index`` is the global index of the first unscreened die --
+    the resume point.
+
+    Attributes (all derived from the accumulated chunks)
+    ----------------------------------------------------
+    config_key:
+        ``repr`` of the engine's golden key; resume validates it.
+    threshold:
+        Resolved NDF decision threshold (None = no verdicts); resume
+        re-resolves the band policy and validates equality, so a
+        checkpoint can never silently merge across band policies.
+    """
+
+    def __init__(self, config_key: str,
+                 threshold: Optional[float]) -> None:
+        self.config_key = str(config_key)
+        self.threshold = None if threshold is None \
+            else float(threshold)
+        self.value_parts: List[np.ndarray] = []
+        self.f0_parts: List[np.ndarray] = []
+        self.q_parts: List[np.ndarray] = []
+        self.labels: List[str] = []
+        self.timing: Dict[str, float] = {}
+        self.chunks_done = 0
+        self.complete = False
+
+    # ------------------------------------------------------------------
+    @property
+    def next_index(self) -> int:
+        """Global index of the first unscreened die."""
+        return len(self.labels)
+
+    @property
+    def num_dies(self) -> int:
+        """Dies accumulated so far."""
+        return len(self.labels)
+
+    def extend(self, values: np.ndarray, f0_devs: np.ndarray,
+               q_devs: np.ndarray, labels: List[str],
+               timing: Dict[str, float]) -> None:
+        """Merge one screened chunk's outputs."""
+        self.value_parts.append(np.asarray(values))
+        self.f0_parts.append(np.asarray(f0_devs, dtype=float))
+        self.q_parts.append(np.asarray(q_devs, dtype=float))
+        self.labels.extend(labels)
+        for key, value in timing.items():
+            self.timing[key] = self.timing.get(key, 0.0) + value
+        self.chunks_done += 1
+
+    def values(self, empty: np.ndarray) -> np.ndarray:
+        """Accumulated NDFs (``empty``'s shape when no dies yet)."""
+        if not self.value_parts:
+            return empty
+        return np.concatenate(self.value_parts, axis=0)
+
+    def f0_deviations(self) -> np.ndarray:
+        return (np.concatenate(self.f0_parts) if self.f0_parts
+                else np.empty(0))
+
+    def q_deviations(self) -> np.ndarray:
+        return (np.concatenate(self.q_parts) if self.q_parts
+                else np.empty(0))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Persist atomically (tmp + fsync + rename).
+
+        The accumulated parts are concatenated into flat arrays, so a
+        resumed process pays no per-chunk overhead reading them back;
+        a crash at any instant leaves the previous checkpoint intact.
+        The ``checkpoint.write.tear`` fault point simulates the torn
+        write the rename discipline prevents.
+        """
+        empty = np.empty(0)
+        buffer = io.BytesIO()
+        meta = {
+            "version": CHECKPOINT_VERSION,
+            "config_key": self.config_key,
+            "threshold": self.threshold,
+            "next_index": self.next_index,
+            "labels": self.labels,
+            "timing": self.timing,
+            "chunks_done": self.chunks_done,
+            "complete": self.complete,
+        }
+        np.savez_compressed(
+            buffer, meta=np.asarray(json.dumps(meta)),
+            ndfs=self.values(empty), f0=self.f0_deviations(),
+            q=self.q_deviations())
+        atomic_write_bytes(path, buffer.getvalue(),
+                           tear_fault="checkpoint.write.tear")
+
+    @classmethod
+    def load(cls, path: str) -> "StreamCheckpoint":
+        """Rebuild a checkpoint saved with :meth:`save`.
+
+        Raises ``FileNotFoundError`` when there is nothing to resume
+        and :class:`CheckpointMismatch` on a version we cannot merge;
+        an unreadable archive propagates its decode error (use
+        :meth:`load_if_valid` for the degrade-to-restart path).
+        """
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            if meta.get("version") != CHECKPOINT_VERSION:
+                raise CheckpointMismatch(
+                    f"checkpoint {path!r} has version "
+                    f"{meta.get('version')!r}, expected "
+                    f"{CHECKPOINT_VERSION}")
+            state = cls(meta["config_key"], meta["threshold"])
+            ndfs = archive["ndfs"]
+            if ndfs.size:
+                state.value_parts.append(ndfs)
+                state.f0_parts.append(archive["f0"])
+                state.q_parts.append(archive["q"])
+            state.labels = list(meta["labels"])
+            state.timing = {k: float(v)
+                            for k, v in meta["timing"].items()}
+            state.chunks_done = int(meta["chunks_done"])
+            state.complete = bool(meta["complete"])
+            return state
+
+    @classmethod
+    def load_if_valid(cls, path: str) -> Optional["StreamCheckpoint"]:
+        """:meth:`load`, degrading damage to "no checkpoint".
+
+        A missing, torn or otherwise unreadable checkpoint returns
+        None -- the campaign restarts from die 0, which is always
+        correct, just slower.  (The atomic save makes actual damage
+        require external interference.)
+        """
+        if not os.path.exists(path):
+            return None
+        try:
+            return cls.load(path)
+        except Exception:
+            return None
+
+    def validate(self, config_key: str,
+                 threshold: Optional[float]) -> None:
+        """Refuse to merge across configurations or band policies."""
+        if self.config_key != str(config_key):
+            raise CheckpointMismatch(
+                "checkpoint was written for a different test "
+                f"configuration (golden key {self.config_key} vs "
+                f"{config_key})")
+        stored = self.threshold
+        live = None if threshold is None else float(threshold)
+        if (stored is None) != (live is None) or \
+                (stored is not None and stored != live):
+            raise CheckpointMismatch(
+                f"checkpoint was written with threshold {stored!r}, "
+                f"resume resolves {live!r}; bit-identical merging "
+                "needs the same band policy")
+
+
+__all__ = ["CHECKPOINT_VERSION", "CheckpointMismatch",
+           "StreamCheckpoint"]

@@ -668,8 +668,10 @@ class CampaignEngine:
     def run_stream(self, chunks: Iterable,
                    band: Union[None, str, float, DecisionBand] = "auto",
                    keep_signatures: bool = False,
-                   encoders: Optional[Sequence[ZoneEncoder]] = None
-                   ) -> CampaignResult:
+                   encoders: Optional[Sequence[ZoneEncoder]] = None,
+                   checkpoint: Optional[str] = None,
+                   checkpoint_every: int = 1,
+                   stream_offset: int = 0) -> CampaignResult:
         """Screen a stream of population chunks at bounded memory.
 
         ``chunks`` yields :class:`SpecPopulation` instances (or raw
@@ -684,57 +686,144 @@ class CampaignEngine:
         enables multi-signature screening exactly as in :meth:`run`;
         streamed multi-channel results are bit-identical per channel
         to the monolithic multi-channel run.
+
+        ``checkpoint`` names a file making the stream crash-safe:
+        accumulated fleet stats plus the next global die index persist
+        there (atomically) every ``checkpoint_every`` chunks, and a
+        run that finds an existing checkpoint continues behind it --
+        fast-forwarding past the already-screened prefix (or trusting
+        ``stream_offset`` when the chunk stream itself restarts
+        mid-fleet).  The merged result is bit-identical to the
+        uninterrupted run; see :meth:`resume` and
+        ``docs/persistence.md``.
         """
         return self.submit(ScreeningRequest(
             population=chunks, mode="stream", band=band,
-            keep_signatures=keep_signatures, encoders=encoders))
+            keep_signatures=keep_signatures, encoders=encoders,
+            checkpoint=checkpoint, checkpoint_every=checkpoint_every,
+            stream_offset=stream_offset))
+
+    def resume(self, checkpoint: str, chunks: Iterable,
+               band: Union[None, str, float, DecisionBand] = "auto",
+               checkpoint_every: int = 1,
+               stream_offset: int = 0) -> CampaignResult:
+        """Continue an interrupted checkpointed streamed campaign.
+
+        ``checkpoint`` must exist (an interrupted :meth:`run_stream`
+        left it); a missing file raises ``FileNotFoundError`` rather
+        than silently starting over -- start-over is what a plain
+        checkpointed :meth:`run_stream` does.  ``chunks`` re-supplies
+        the population stream: either restarted from die 0 (the
+        engine skips the screened prefix) or rebuilt mid-fleet with
+        ``stream_offset`` declaring its first global die index, e.g.
+        ``stream_montecarlo_dies(..., start=k)`` with
+        ``stream_offset=k``.  The returned result is bit-identical
+        (NDFs, verdicts, deviations, labels) to the uninterrupted
+        run's -- global-index-stable seeding plus chunk-boundary-
+        independent scoring make the merge exact.
+        """
+        from repro.campaign.checkpoint import StreamCheckpoint
+
+        StreamCheckpoint.load(checkpoint)  # must exist and parse
+        return self.run_stream(chunks, band,
+                               checkpoint=checkpoint,
+                               checkpoint_every=checkpoint_every,
+                               stream_offset=stream_offset)
 
     def _submit_stream(self, request: ScreeningRequest
                        ) -> CampaignResult:
+        from repro.campaign.checkpoint import StreamCheckpoint
+        from repro.testing.faultinject import fail_if_armed
+
         chunks = request.population
         band = request.band
         keep_signatures = request.keep_signatures
         if request.encoders is not None:
-            return self.with_encoders(request.encoders).run_stream(
-                chunks, band, keep_signatures)
+            engine = self.with_encoders(request.encoders)
+            return engine.submit(replace(request, encoders=None))
         start = time.perf_counter()
         threshold = self._resolve_threshold(band)
-        timing: Dict[str, float] = {}
-        value_parts: List[np.ndarray] = []
-        f0_parts: List[np.ndarray] = []
-        q_parts: List[np.ndarray] = []
+        # The stream state -- accumulated NDF/deviation/label parts,
+        # merged timings, the next global die index -- always lives in
+        # a StreamCheckpoint; only a request with a checkpoint path
+        # ever persists it.
+        config_key = repr(self.config.golden_key())
+        state = None
+        if request.checkpoint is not None:
+            if keep_signatures:
+                raise ValueError(
+                    "checkpointed streams cannot keep signatures: the "
+                    "packed batch is not part of the mergeable "
+                    "checkpoint state (run without checkpoint=, or "
+                    "without keep_signatures)")
+            state = StreamCheckpoint.load_if_valid(request.checkpoint)
+            if state is not None:
+                state.validate(config_key, threshold)
+        if state is None:
+            state = StreamCheckpoint(config_key, threshold)
+        # Dies already screened by a previous (interrupted) run that
+        # the restarted chunk stream will re-yield.
+        skip = state.next_index - request.stream_offset
+        if skip < 0:
+            raise ValueError(
+                f"stream starts at global die {request.stream_offset} "
+                f"but the checkpoint resumes at {state.next_index}: "
+                f"dies {state.next_index}..{request.stream_offset - 1} "
+                "would be missing")
         batch_parts: List[Union[SignatureBatch,
                                 MultiSignatureBatch]] = []
-        labels: List[str] = []
+        seen = 0  # dies drawn from the iterable so far
+        chunks_since_save = 0
         for chunk in chunks:
             # Raw spec-sequence chunks get placeholder labels numbered
             # from the global die index, not per chunk -- labels must
-            # stay unique across the whole stream.
-            chunk = self._as_population(chunk,
-                                        first_index=len(labels))
+            # stay unique across the whole stream (and across the
+            # interrupted runs of a checkpointed one).
+            chunk = self._as_population(
+                chunk, first_index=request.stream_offset + seen)
             if not isinstance(chunk, SpecPopulation):
                 raise TypeError("streamed campaigns consume spec "
                                 "population chunks")
+            n = len(chunk)
+            seen += n
+            if skip > 0:
+                if n <= skip:  # whole chunk already screened
+                    skip -= n
+                    continue
+                # Partially-screened chunk: resume mid-chunk.  Per-die
+                # rows are chunk-boundary independent, so the sliced
+                # tail scores bit-identically to its uninterrupted
+                # position.
+                chunk = SpecPopulation(
+                    chunk.specs[skip:], chunk.f0_deviations[skip:],
+                    chunk.q_deviations[skip:], chunk.labels[skip:])
+                skip = 0
             values, section, chunk_labels, batch = self._run_specs(
                 chunk, keep_signatures)
-            value_parts.append(values)
-            f0_parts.append(chunk.f0_deviations)
-            q_parts.append(chunk.q_deviations)
             if batch is not None:
                 batch_parts.append(batch)
-            labels.extend(chunk_labels)
-            _merge_timing(timing, section)
-        values = (np.concatenate(value_parts) if value_parts
-                  else self._empty_values())
-        f0_devs = (np.concatenate(f0_parts) if f0_parts
-                   else np.empty(0))
-        q_devs = np.concatenate(q_parts) if q_parts else np.empty(0)
+            state.extend(values, chunk.f0_deviations,
+                         chunk.q_deviations, chunk_labels, section)
+            if request.checkpoint is not None:
+                chunks_since_save += 1
+                if chunks_since_save >= request.checkpoint_every:
+                    state.save(request.checkpoint)
+                    chunks_since_save = 0
+                # Robustness-suite injection point: die *after* the
+                # checkpoint landed, before the next chunk is drawn.
+                fail_if_armed("stream.chunk.crash")
+        values = state.values(self._empty_values())
         batch = (self._concatenate_batches(batch_parts)
                  if keep_signatures else None)
+        timing = dict(state.timing)
+        if request.checkpoint is not None:
+            state.complete = True
+            state.save(request.checkpoint)
         name = getattr(self.executor, "name", "custom") + "+stream"
-        return self._package_result(values, timing, labels, batch,
-                                    band, threshold, f0_devs, q_devs,
-                                    name, start)
+        return self._package_result(values, timing, state.labels,
+                                    batch, band, threshold,
+                                    state.f0_deviations(),
+                                    state.q_deviations(), name, start)
 
     def run_noise(self, population: Union[SpecPopulation,
                                           Sequence[BiquadSpec]],

@@ -62,6 +62,22 @@ class ScreeningRequest:
         Free-form requester identity.  The engine ignores it; the
         service layer uses it for rate limiting, metrics and the
         coalescing batcher's scatter bookkeeping.
+    checkpoint:
+        Optional path making a ``mode="stream"`` campaign crash-safe:
+        partial fleet stats plus the next global die index persist
+        there every ``checkpoint_every`` chunks (atomic writes), and a
+        submission finding an existing checkpoint resumes behind it --
+        merging bit-identical to the uninterrupted run (see
+        :mod:`repro.campaign.checkpoint` and ``docs/persistence.md``).
+    checkpoint_every:
+        Chunks between checkpoint saves (``mode="stream"`` with
+        ``checkpoint`` only).
+    stream_offset:
+        Global die index of the *first* die the population iterable
+        yields.  0 (default) means the stream restarts from die 0 and
+        the engine fast-forwards past already-checkpointed dies; a
+        resume that rebuilds its stream mid-fleet (e.g.
+        ``stream_montecarlo_dies(..., start=k)``) declares that here.
     """
 
     population: object = None
@@ -73,6 +89,9 @@ class ScreeningRequest:
     noise: Union[None, float, NoiseModel] = None
     seed: int = 0
     client: Optional[str] = None
+    checkpoint: Optional[str] = None
+    checkpoint_every: int = 1
+    stream_offset: int = 0
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -83,6 +102,13 @@ class ScreeningRequest:
             # Freeze the bank list so the request stays hashable-ish
             # and safe to share between threads.
             object.__setattr__(self, "encoders", tuple(self.encoders))
+        if self.checkpoint is not None and self.mode != "stream":
+            raise ValueError("checkpointing applies to streamed "
+                             "campaigns (mode='stream') only")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.stream_offset < 0:
+            raise ValueError("stream_offset must be >= 0")
 
     def with_population(self, population) -> "ScreeningRequest":
         """Copy of this request over a different population.

@@ -176,10 +176,27 @@ def montecarlo_dies(golden_spec: BiquadSpec, count: int,
     return _die_population(golden_spec, children, sigma_f0, sigma_q, 0)
 
 
+def seed_children(seed: int, lo: int, hi: int) -> List:
+    """Seed children ``lo..hi`` of root ``seed``, by global index.
+
+    ``SeedSequence.spawn`` numbers its children globally -- child
+    ``i`` is ``SeedSequence(entropy=seed, spawn_key=(i,))`` no matter
+    how the spawn calls were batched -- so any contiguous range of a
+    fleet's per-die seeds can be reconstructed directly.  This is what
+    makes checkpoint/resume bit-identical: a campaign resumed at die
+    ``k`` draws exactly the dies the uninterrupted run would have
+    (equivalence is locked down by
+    ``tests/robustness/test_checkpoint_resume.py``).
+    """
+    entropy = np.random.SeedSequence(seed).entropy
+    return [np.random.SeedSequence(entropy=entropy, spawn_key=(i,))
+            for i in range(lo, hi)]
+
+
 def stream_montecarlo_dies(golden_spec: BiquadSpec, count: int,
                            chunk_size: int = 1024,
                            sigma_f0: float = 0.03, sigma_q: float = 0.0,
-                           seed: int = 0):
+                           seed: int = 0, start: int = 0):
     """Generator form of :func:`montecarlo_dies` for bounded memory.
 
     Yields :class:`SpecPopulation` chunks of at most ``chunk_size``
@@ -189,16 +206,23 @@ def stream_montecarlo_dies(golden_spec: BiquadSpec, count: int,
     monolithic builder -- a streamed campaign's verdict vector is
     bit-identical to the one-shot run, while only ``chunk_size``
     specs ever exist at once.
+
+    ``start`` begins the stream mid-fleet: dies ``start..count-1``
+    are yielded with the same seeds and labels they would have had
+    from die 0 (children reconstruct by global index via
+    :func:`seed_children`).  A resumed checkpointed campaign uses
+    this to skip the already-screened prefix without re-drawing it.
     """
     if count < 0:
         raise ValueError("count must be non-negative")
     if chunk_size < 1:
         raise ValueError("chunk size must be >= 1")
-    sequence = np.random.SeedSequence(seed)
-    emitted = 0
+    if start < 0:
+        raise ValueError("start must be non-negative")
+    emitted = start
     while emitted < count:
         take = min(chunk_size, count - emitted)
-        children = sequence.spawn(take)
+        children = seed_children(seed, emitted, emitted + take)
         yield _die_population(golden_spec, children, sigma_f0, sigma_q,
                               emitted)
         emitted += take

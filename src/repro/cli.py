@@ -12,6 +12,9 @@
                                             # batched fleet screening
     python -m repro campaign --dies 100000 --stream
                                             # bounded-memory streaming
+    python -m repro campaign --dies 100000 --stream --checkpoint ck.npz
+                                            # crash-safe streaming
+                                            # (re-run resumes)
     python -m repro campaign --dies 200 --repeats 20
                                             # Section IV-C noise repeats
     python -m repro campaign --scenario faults --second-signature auto
@@ -24,6 +27,9 @@
                                             # compile + persist only
     python -m repro serve --port 8765 [--rate 50]
                                             # screening-as-a-service
+    python -m repro serve --store [--deadline 30 --max-queue 256]
+                                            # crash-safe service (warm
+                                            # artifacts persist)
     python -m repro client campaign --dies 50 --seed 7
                                             # talk to a running server
 
@@ -111,6 +117,16 @@ def _build_parser() -> argparse.ArgumentParser:
                                "memory chunks (mc scenario)")
     campaign.add_argument("--chunk", type=_positive_int, default=1024,
                           help="streamed chunk size (with --stream)")
+    campaign.add_argument("--checkpoint", metavar="PATH", default=None,
+                          help="crash-safe streaming (with --stream): "
+                               "persist partial fleet stats to PATH "
+                               "and resume behind an existing "
+                               "checkpoint, bit-identical to the "
+                               "uninterrupted run")
+    campaign.add_argument("--checkpoint-every", type=_positive_int,
+                          default=1, metavar="N",
+                          help="chunks between checkpoint saves "
+                               "(default 1)")
     campaign.add_argument("--repeats", type=_non_negative_int,
                           default=0,
                           help="noisy measurements per die (Section "
@@ -200,6 +216,26 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-warm", action="store_true",
                        help="skip pre-deriving golden/band/dictionary "
                             "(first requests then pay the compile)")
+    serve.add_argument("--store", nargs="?", const=True, default=None,
+                       metavar="PATH",
+                       help="persist warm artifacts on disk so a "
+                            "restart skips the re-derive (bare "
+                            "--store uses $REPRO_STORE or "
+                            "~/.repro/store)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request deadline; a screening "
+                            "request past it answers 504 (default: "
+                            "none)")
+    serve.add_argument("--max-queue", type=_positive_int, default=None,
+                       metavar="N",
+                       help="bound on queued screening requests; "
+                            "past it the server sheds load with 503 "
+                            "+ Retry-After (default: unbounded)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="how long SIGTERM/^C waits for in-flight "
+                            "requests before exiting (default 30)")
 
     client = sub.add_parser(
         "client",
@@ -380,6 +416,10 @@ def _cmd_campaign(setup, args) -> int:
         print("--noise only applies to a noise campaign; add "
               "--repeats N", file=sys.stderr)
         return 2
+    if args.checkpoint is not None and not args.stream:
+        print("--checkpoint requires --stream (checkpointing applies "
+              "to streamed campaigns)", file=sys.stderr)
+        return 2
     if args.second_signature is not None and args.repeats:
         print("noise campaigns are single-channel; drop "
               "--second-signature or --repeats", file=sys.stderr)
@@ -417,8 +457,10 @@ def _cmd_campaign(setup, args) -> int:
             chunks = stream_montecarlo_dies(
                 setup.golden_spec, args.dies, chunk_size=args.chunk,
                 sigma_f0=args.sigma, seed=args.seed)
-            result = engine.run_stream(chunks, band="auto",
-                                       encoders=encoders)
+            result = engine.run_stream(
+                chunks, band="auto", encoders=encoders,
+                checkpoint=args.checkpoint,
+                checkpoint_every=args.checkpoint_every)
         else:
             population, faults = _campaign_population(setup, args)
             result = engine.run(population, band="auto",
@@ -658,32 +700,52 @@ def _cmd_diagnose(setup, args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    """Run the screening service in the foreground until ^C."""
+    """Run the screening service in the foreground until ^C/SIGTERM.
+
+    Both signals drain gracefully: new screening requests get 503
+    while everything already in flight finishes (bounded by
+    ``--drain-timeout``), then the process exits.
+    """
+    import signal
+    import threading
+
     from repro.service import ScreeningSession, build_server
 
     session = ScreeningSession.from_paper(
-        samples_per_period=args.samples, tolerance=args.tolerance)
+        samples_per_period=args.samples, tolerance=args.tolerance,
+        store=args.store)
     server = build_server(host=args.host, port=args.port,
                           rate=args.rate, burst=args.burst,
                           window=args.window_ms / 1e3,
-                          max_dies=args.max_dies, session=session)
+                          max_dies=args.max_dies, session=session,
+                          deadline=args.deadline,
+                          max_queue=args.max_queue)
     if not args.no_warm:
         print("warming session (golden, band, fault dictionary)...",
               flush=True)
         server.warm()
+        info = session.store_info
+        if info is not None:
+            print(f"store: {session.store.root}  "
+                  f"({info.hits} hits / {info.misses} misses on warm)",
+                  flush=True)
     limit = (f"{args.rate:g}/s per client" if args.rate
              else "unlimited")
     print(f"serving at {server.url}  "
           f"(coalesce window {args.window_ms:g} ms, rate {limit})",
           flush=True)
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.server_close()
-        server.batcher.close()
-    return 0
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    server.start()
+    stop.wait()
+    print("draining (in-flight requests finish, new work gets 503)...",
+          flush=True)
+    drained = server.drain(timeout=args.drain_timeout)
+    if not drained:
+        print(f"drain timed out after {args.drain_timeout:g}s",
+              file=sys.stderr, flush=True)
+    return 0 if drained else 1
 
 
 def _cmd_client(args) -> int:

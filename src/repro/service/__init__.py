@@ -12,29 +12,52 @@ long-lived screening endpoint:
   ``/metrics``);
 - :class:`MetricsRegistry` and :class:`RateLimiter` -- in-process
   observability and per-client token-bucket throttling;
-- :class:`ServiceClient` -- the matching stdlib client.
+- :class:`ServiceClient` -- the matching stdlib client, with an
+  optional :class:`RetryPolicy` (idempotent replays, backoff+jitter).
 
-Start one from the CLI with ``repro serve``; see ``docs/service.md``.
+The service is crash-safe end to end: sessions persist warm artifacts
+through :mod:`repro.store`, the server sheds load (503), bounds
+request time (504), dedupes retried POSTs (``Idempotency-Key``) and
+drains gracefully on SIGTERM.  Start one from the CLI with
+``repro serve``; see ``docs/service.md`` and ``docs/persistence.md``.
 """
 
 from repro.campaign.request import ScreeningRequest
-from repro.service.batcher import CoalescingBatcher, \
-    concatenate_populations
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.batcher import (
+    CoalescingBatcher,
+    DeadlineExceeded,
+    QueueFull,
+    concatenate_populations,
+)
+from repro.service.client import (
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+)
 from repro.service.metrics import MetricsRegistry, timed
 from repro.service.ratelimit import RateLimiter, TokenBucket
-from repro.service.server import ScreeningServer, build_server
+from repro.service.server import (
+    IdempotencyCache,
+    ScreeningServer,
+    build_server,
+)
 from repro.service.session import ScreeningSession
 
 __all__ = [
     "CoalescingBatcher",
+    "DeadlineExceeded",
+    "IdempotencyCache",
     "MetricsRegistry",
+    "QueueFull",
     "RateLimiter",
+    "RetryPolicy",
     "ScreeningRequest",
     "ScreeningServer",
     "ScreeningSession",
     "ServiceClient",
     "ServiceError",
+    "ServiceUnavailable",
     "TokenBucket",
     "build_server",
     "concatenate_populations",

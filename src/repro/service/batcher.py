@@ -21,6 +21,14 @@ everything else (streams, noise campaigns, trace stacks, cut lists)
 passes straight through to the session.  Requests group by decision
 policy (resolved threshold, ``keep_signatures``, encoder list), so a
 diagnosing client never changes a screening client's result shape.
+
+The batcher is also the service's load-shedding and deadline point:
+``max_queue`` bounds how many requests may wait for a flush
+(:class:`QueueFull`, the server's 503), ``submit(timeout=...)`` bounds
+how long one caller waits for its slice (:class:`DeadlineExceeded`,
+the server's 504), and the worker loop is crash-proof -- an exception
+escaping a flush fails that batch's waiters instead of killing the
+worker thread and hanging every later submission.
 """
 
 from __future__ import annotations
@@ -37,6 +45,31 @@ from repro.campaign.result import CampaignResult
 from repro.campaign.scenarios import SpecPopulation
 from repro.service.metrics import MetricsRegistry
 from repro.service.session import ScreeningSession
+
+
+class QueueFull(RuntimeError):
+    """The batcher's wait queue is at ``max_queue`` (shed the load).
+
+    The server maps this to HTTP 503 with a ``Retry-After`` hint; a
+    retrying client backs off and re-submits under the same
+    idempotency key.
+    """
+
+    def __init__(self, depth: int, retry_after: float) -> None:
+        super().__init__(
+            f"batcher queue full ({depth} requests waiting)")
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(TimeoutError):
+    """A submission's deadline elapsed before its slice was ready.
+
+    Raised by :meth:`CoalescingBatcher.submit` with ``timeout=``; the
+    server maps it to HTTP 504.  A still-queued request is withdrawn
+    (it will never execute); one already mid-flush completes in the
+    background and its slice is discarded.
+    """
 
 
 @dataclass
@@ -80,16 +113,24 @@ class CoalescingBatcher:
     metrics:
         Optional registry; flushes record coalesced batch sizes
         (requests and dies per pass) and queue depth.
+    max_queue:
+        Bound on requests waiting for a flush; further submissions
+        raise :class:`QueueFull` instead of queueing (None =
+        unbounded, the historical behaviour).
     """
 
     def __init__(self, session: ScreeningSession,
                  window: float = 0.005, max_dies: int = 100_000,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 max_queue: Optional[int] = None) -> None:
         if max_dies < 1:
             raise ValueError("max_dies must be positive")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be positive (or None)")
         self.session = session
         self.window = float(window)
         self.max_dies = int(max_dies)
+        self.max_queue = max_queue
         self.metrics = metrics
         self._cond = threading.Condition()
         self._queue: List[_Pending] = []
@@ -101,12 +142,17 @@ class CoalescingBatcher:
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
-    def submit(self, request: ScreeningRequest) -> CampaignResult:
+    def submit(self, request: ScreeningRequest,
+               timeout: Optional[float] = None) -> CampaignResult:
         """Run ``request``, coalescing it with concurrent compatible
         requests; blocks until this request's own slice is ready.
 
         Non-coalescible requests (streams, noise, trace/cut
-        populations) execute directly on the session.
+        populations) execute directly on the session.  ``timeout``
+        bounds the wait: on expiry the request is withdrawn from the
+        queue (if still there) and :class:`DeadlineExceeded` raises.
+        Raises :class:`QueueFull` when ``max_queue`` requests are
+        already waiting.
         """
         population = self._coalescible_population(request)
         if population is None:
@@ -115,9 +161,22 @@ class CoalescingBatcher:
         with self._cond:
             if self._closed:
                 raise RuntimeError("batcher is closed")
+            if self.max_queue is not None \
+                    and len(self._queue) >= self.max_queue:
+                raise QueueFull(len(self._queue),
+                                retry_after=max(self.window, 0.05))
             self._queue.append(pending)
             self._cond.notify_all()
-        pending.done.wait()
+        if not pending.done.wait(timeout):
+            with self._cond:
+                # Withdraw if a flush has not claimed it yet, so an
+                # abandoned request is never executed.
+                if pending in self._queue:
+                    self._queue.remove(pending)
+                    pending.done.set()
+            raise DeadlineExceeded(
+                f"no result within {timeout}s "
+                f"({len(pending.population)} dies queued)")
         if pending.error is not None:
             raise pending.error
         return pending.result
@@ -128,6 +187,12 @@ class CoalescingBatcher:
             self._closed = True
             self._cond.notify_all()
         self._worker.join()
+        # The worker drains before exiting; anything still queued here
+        # means it died earlier -- fail the waiters rather than hang.
+        with self._cond:
+            leftovers, self._queue = self._queue, []
+        self._fail_pendings(
+            leftovers, RuntimeError("batcher closed before flush"))
 
     @property
     def queue_depth(self) -> int:
@@ -184,12 +249,29 @@ class CoalescingBatcher:
                         break
                     self._cond.wait(remaining)
                 batch, self._queue = self._queue, []
-            self._flush(batch)
+            try:
+                self._flush(batch)
+            except BaseException as error:
+                # A flush must never kill the worker: a dead worker
+                # leaves every queued and future submission waiting
+                # forever.  Fail this batch's waiters and keep serving.
+                self._fail_pendings(batch, error)
+
+    @staticmethod
+    def _fail_pendings(pendings: List[_Pending],
+                       error: BaseException) -> None:
+        for pending in pendings:
+            if not pending.done.is_set():
+                if pending.error is None:
+                    pending.error = error
+                pending.done.set()
 
     def _flush(self, batch: List[_Pending]) -> None:
         groups: Dict[Tuple, List[_Pending]] = {}
         order: List[Tuple] = []
         for pending in batch:
+            if pending.done.is_set():
+                continue  # withdrawn by a submit() deadline
             try:
                 key = self._group_key(pending.request)
             except Exception as error:  # bad band spec etc.

@@ -10,16 +10,34 @@ dependency::
 
 Errors come back as :class:`ServiceError` carrying the HTTP status and
 the decoded error payload; a 429 additionally exposes ``retry_after``.
+Transport-level failures (connection refused/reset, DNS, timeouts)
+normalize into :class:`ServiceUnavailable` -- a ``ServiceError`` with
+status 0 -- so callers have exactly one exception surface.
+
+Pass a :class:`RetryPolicy` to make the client storm-proof: transient
+failures (connection-level, 429, 5xx) retry with exponentially backed
+off, jittered delays, honoring the server's 429 ``Retry-After`` hint.
+Every POST carries an ``Idempotency-Key`` header the server dedupes,
+so a retried lot is never *executed* twice -- the replay returns the
+first execution's cached response (see ``docs/service.md``).
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import socket
 import time
 import urllib.error
 import urllib.request
+import uuid
+from dataclasses import dataclass
 from typing import Dict, Optional
+
+#: Header carrying the client-chosen request identity the server
+#: dedupes replayed POSTs on.
+IDEMPOTENCY_HEADER = "Idempotency-Key"
 
 
 class ServiceError(RuntimeError):
@@ -34,28 +52,113 @@ class ServiceError(RuntimeError):
 
     @property
     def retry_after(self) -> Optional[float]:
-        """Throttle hint in seconds (429 responses), else None."""
+        """Throttle hint in seconds (429/503 responses), else None."""
         value = self.payload.get("retry_after")
         return float(value) if value is not None else None
 
 
+class ServiceUnavailable(ServiceError):
+    """The service could not be reached at the transport level.
+
+    Connection refused/reset, DNS failure, socket timeout -- anything
+    below HTTP.  Reported with status 0 and reason ``unavailable`` so
+    the one ``except ServiceError`` callers already write catches it,
+    and so :class:`RetryPolicy` treats it as transient.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(0, {"error": "unavailable",
+                             "reason": reason})
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how the client retries a failed request.
+
+    Retries fire only for *transient* failures -- transport-level
+    errors (status 0), 429 throttles and 5xx server errors; any other
+    4xx is the caller's bug and raises immediately.  Delays back off
+    exponentially (``base_delay * factor**attempt``, capped at
+    ``max_delay``) with up to ``jitter`` fractional randomization so
+    a fleet of clients does not re-storm in lockstep, and a 429/503
+    ``retry_after`` hint acts as a floor -- the server knows its
+    drain better than the backoff curve does.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries including the first (1 = no retries).
+    base_delay, factor, max_delay:
+        The exponential backoff curve, in seconds.
+    jitter:
+        Fraction of each delay added uniformly at random (0 disables;
+        tests pin ``rng`` for determinism).
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+
+    def retryable(self, error: ServiceError) -> bool:
+        """Transient failures only: transport, throttle, 5xx."""
+        return (error.status == 0 or error.status == 429
+                or 500 <= error.status < 600)
+
+    def delay(self, attempt: int, error: ServiceError,
+              rng: Optional[random.Random] = None) -> float:
+        """Sleep before retry number ``attempt + 1`` (0-based)."""
+        backoff = min(self.max_delay,
+                      self.base_delay * self.factor ** attempt)
+        if self.jitter > 0:
+            draw = (rng.random() if rng is not None
+                    else random.random())
+            backoff *= 1.0 + self.jitter * draw
+        hint = error.retry_after
+        if hint is not None:
+            backoff = max(backoff, float(hint))
+        return backoff
+
+
 class ServiceClient:
-    """One client identity against one screening service."""
+    """One client identity against one screening service.
+
+    Parameters
+    ----------
+    base_url, client_id, timeout:
+        Where to connect, who to bill the rate-limiter bucket to, and
+        the per-request socket timeout.
+    retry:
+        Optional :class:`RetryPolicy`.  None (default) preserves
+        fail-fast semantics: every failure raises on first contact.
+    """
 
     def __init__(self, base_url: str, client_id: str = "default",
-                 timeout: float = 120.0) -> None:
+                 timeout: float = 120.0,
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.client_id = client_id
         self.timeout = float(timeout)
+        self.retry = retry
+        # Injection points for the robustness tests: deterministic
+        # jitter and instant sleeps.
+        self._rng: Optional[random.Random] = None
+        self._sleep = time.sleep
 
     # ------------------------------------------------------------------
-    def _request(self, path: str,
-                 payload: Optional[Dict] = None) -> bytes:
+    def _request_once(self, path: str, payload: Optional[Dict],
+                      headers: Dict[str, str]) -> bytes:
         url = self.base_url + path
         data = None
-        headers = {"X-Client": self.client_id}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
+            headers = dict(headers)
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(url, data=data,
                                          headers=headers)
@@ -70,6 +173,34 @@ class ServiceClient:
             except (UnicodeDecodeError, json.JSONDecodeError):
                 body = {"error": raw.decode("utf-8", "replace")}
             raise ServiceError(error.code, body) from None
+        except (urllib.error.URLError, ConnectionError, socket.timeout,
+                OSError, http.client.HTTPException) as error:
+            # One exception surface: transport failures (connection
+            # refused/reset, DNS, timeouts) become status-0 errors.
+            reason = getattr(error, "reason", None)
+            raise ServiceUnavailable(str(reason if reason is not None
+                                         else error)) from None
+
+    def _request(self, path: str, payload: Optional[Dict] = None
+                 ) -> bytes:
+        headers = {"X-Client": self.client_id}
+        if payload is not None:
+            # One idempotency key per *logical* request: every retry
+            # attempt replays the same key, so the server executes the
+            # lot once and answers the replays from its dedup cache.
+            headers[IDEMPOTENCY_HEADER] = uuid.uuid4().hex
+        attempts = self.retry.max_attempts if self.retry else 1
+        for attempt in range(attempts):
+            try:
+                return self._request_once(path, payload, headers)
+            except ServiceError as error:
+                final = attempt + 1 >= attempts
+                if final or self.retry is None \
+                        or not self.retry.retryable(error):
+                    raise
+                self._sleep(self.retry.delay(attempt, error,
+                                             self._rng))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _request_json(self, path: str,
                       payload: Optional[Dict] = None) -> Dict:
@@ -94,14 +225,26 @@ class ServiceClient:
 
     def wait_ready(self, timeout: float = 30.0,
                    interval: float = 0.1) -> Dict:
-        """Poll /healthz until the service answers (startup races)."""
+        """Poll /healthz until the service answers (startup races).
+
+        Not-yet-ready covers more than "nothing is listening":
+        transport failures *and* 5xx responses (503 while the session
+        warms or drains) keep the poll going; only a healthy answer
+        returns, and only a 4xx -- a caller bug, the server *did*
+        answer -- raises early.
+        """
         deadline = time.monotonic() + timeout
         last: Exception = TimeoutError("service never became ready")
         while time.monotonic() < deadline:
             try:
                 return self.healthz()
+            except ServiceError as error:
+                if 400 <= error.status < 500:
+                    raise
+                last = error
+                time.sleep(interval)
             except (urllib.error.URLError, ConnectionError,
-                    socket.timeout) as error:
+                    socket.timeout) as error:  # pragma: no cover
                 last = error
                 time.sleep(interval)
         raise TimeoutError(

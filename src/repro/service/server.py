@@ -19,6 +19,19 @@ engine pass and scatters per-client slices back -- bit-identical to
 solo runs.  All state (golden cache, calibration, compiled dictionary)
 lives in one warm :class:`~repro.service.session.ScreeningSession`.
 
+The failure envelope is explicit (``docs/service.md``):
+
+- ``Idempotency-Key`` headers dedupe retried POSTs through an
+  :class:`IdempotencyCache` -- a replayed lot is answered from the
+  first execution's cached 2xx response, never executed twice;
+- ``deadline`` bounds each screening submission (HTTP 504 on expiry);
+- ``max_queue`` bounds the batcher wait queue (HTTP 503 +
+  ``Retry-After`` load shedding when full);
+- :meth:`ScreeningServer.drain` refuses new work (503) while letting
+  in-flight requests finish -- the CLI wires it to SIGTERM;
+- ``store=`` persists warm artifacts across restarts
+  (``docs/persistence.md``).
+
 Request JSON (see ``docs/service.md`` for the full schema)::
 
     {"kind": "mc", "dies": 50, "sigma": 0.03, "seed": 7}
@@ -33,17 +46,24 @@ from __future__ import annotations
 
 import json
 import threading
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 from urllib.parse import urlsplit
 
 import numpy as np
 
 from repro.campaign.request import ScreeningRequest
-from repro.service.batcher import CoalescingBatcher
+from repro.service.batcher import (
+    CoalescingBatcher,
+    DeadlineExceeded,
+    QueueFull,
+)
+from repro.service.client import IDEMPOTENCY_HEADER
 from repro.service.metrics import MetricsRegistry, timed
 from repro.service.ratelimit import RateLimiter
 from repro.service.session import ScreeningSession
+from repro.testing.faultinject import fail_if_armed, should_fail
 
 #: Header carrying the client identity (falls back to the peer IP).
 CLIENT_HEADER = "X-Client"
@@ -55,6 +75,67 @@ MAX_BODY_BYTES = 32 * 1024 * 1024
 
 class BadRequest(ValueError):
     """Client-side request error (rendered as HTTP 400)."""
+
+
+class IdempotencyCache:
+    """Dedupe of retried POSTs, keyed (client, endpoint, key).
+
+    The contract behind the client's ``Idempotency-Key`` header:
+
+    - the first request carrying a key *executes*; its 2xx response
+      body is cached and every later request with the same key gets
+      the stored body back -- the lot never runs twice;
+    - only success is cached.  A failed execution drops its claim, so
+      a retry after a 5xx/504 *re-executes* -- exactly what the client
+      wants from a failure it retried through;
+    - a duplicate arriving while the first execution is still running
+      waits on it instead of racing it (then replays, or re-executes
+      if the first attempt failed).
+
+    Bounded LRU; entries are whole JSON-able response bodies, which
+    for this service are small (verdict lists, not traces).
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self._lock = threading.Lock()
+        self._done: "OrderedDict[Tuple, Tuple[int, Dict]]" = \
+            OrderedDict()
+        self._inflight: Dict[Tuple, threading.Event] = {}
+
+    def claim(self, key: Tuple) -> Tuple[str, Union[
+            None, Tuple[int, Dict], threading.Event]]:
+        """One of ``("replay", (status, body))`` (already executed),
+        ``("wait", event)`` (someone is executing it right now) or
+        ``("execute", None)`` (the caller owns the execution and must
+        call :meth:`finish`)."""
+        with self._lock:
+            stored = self._done.get(key)
+            if stored is not None:
+                self._done.move_to_end(key)
+                return "replay", stored
+            event = self._inflight.get(key)
+            if event is not None:
+                return "wait", event
+            self._inflight[key] = threading.Event()
+            return "execute", None
+
+    def finish(self, key: Tuple, status: int, body: Dict) -> None:
+        """Record the execution outcome and release any waiters."""
+        with self._lock:
+            event = self._inflight.pop(key, None)
+            if 200 <= status < 300:
+                self._done[key] = (status, body)
+                while len(self._done) > self.maxsize:
+                    self._done.popitem(last=False)
+        if event is not None:
+            event.set()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._done)
 
 
 def population_from_payload(payload: Dict, golden_spec):
@@ -164,18 +245,31 @@ class ScreeningServer(ThreadingHTTPServer):
                  burst: Optional[float] = None,
                  window: float = 0.005,
                  max_dies: int = 100_000,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 store=None,
+                 deadline: Optional[float] = None,
+                 max_queue: Optional[int] = None) -> None:
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
         self.metrics = metrics if metrics is not None \
             else MetricsRegistry()
         if session is None:
-            session = ScreeningSession.from_paper(metrics=self.metrics)
+            session = ScreeningSession.from_paper(metrics=self.metrics,
+                                                  store=store)
         elif session.metrics is None:
             session.metrics = self.metrics
         self.session = session
         self.limiter = RateLimiter(rate, burst)
         self.batcher = CoalescingBatcher(
             session, window=window, max_dies=max_dies,
-            metrics=self.metrics)
+            metrics=self.metrics, max_queue=max_queue)
+        self.deadline = deadline
+        self.idempotency = IdempotencyCache()
+        self.draining = False
+        self._inflight_lock = threading.Lock()
+        self._inflight_count = 0
+        self._idle = threading.Event()
+        self._idle.set()
         self._serve_thread: Optional[threading.Thread] = None
         super().__init__(address, _Handler)
 
@@ -205,6 +299,40 @@ class ScreeningServer(ThreadingHTTPServer):
         if self._serve_thread is not None:
             self._serve_thread.join()
             self._serve_thread = None
+
+    # ------------------------------------------------------------------
+    # Graceful drain (the CLI's SIGTERM path)
+    # ------------------------------------------------------------------
+    def _enter_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight_count += 1
+            self._idle.clear()
+
+    def _exit_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight_count -= 1
+            if self._inflight_count == 0:
+                self._idle.set()
+
+    @property
+    def inflight(self) -> int:
+        """Screening requests currently executing."""
+        with self._inflight_lock:
+            return self._inflight_count
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: refuse new work, finish in-flight work.
+
+        Sets :attr:`draining` (new screening POSTs get 503 +
+        ``Retry-After`` and a retrying client fails over), waits up to
+        ``timeout`` seconds for in-flight requests to complete, then
+        closes the server.  Returns True when everything in flight
+        finished inside the timeout.
+        """
+        self.draining = True
+        drained = self._idle.wait(timeout)
+        self.close()
+        return drained
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -258,23 +386,47 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
+    def _publish_store_metrics(self) -> None:
+        """Mirror the store counters into gauges before a scrape."""
+        info = self.server.session.store_info
+        if info is None:
+            return
+        metrics = self.server.metrics
+        metrics.gauge("store_hits").set(info.hits)
+        metrics.gauge("store_misses").set(info.misses)
+        metrics.gauge("store_writes").set(info.writes)
+        metrics.gauge("store_quarantined").set(info.quarantined)
+        metrics.gauge("store_errors").set(info.errors)
+
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         path = urlsplit(self.path).path
         if path == "/healthz":
             metrics = self.server.metrics
             info = self.server.session.cache_info
-            self._send_json(200, {
-                "status": "ok",
+            body = {
+                "status": "draining" if self.server.draining else "ok",
                 "submitted": self.server.session.submitted,
                 "cache": {"hits": info.hits, "misses": info.misses,
                           "size": info.size},
                 "queue_depth": self.server.batcher.queue_depth,
+                "inflight": self.server.inflight,
                 "metrics_series": sum(
                     len(group) for group in
                     metrics.snapshot().values()),
-            })
+            }
+            store = self.server.session.store_info
+            if store is not None:
+                body["store"] = {
+                    "root": str(self.server.session.store.root),
+                    "hits": store.hits, "misses": store.misses,
+                    "writes": store.writes,
+                    "quarantined": store.quarantined,
+                    "errors": store.errors,
+                }
+            self._send_json(200, body)
             return
         if path == "/metrics":
+            self._publish_store_metrics()
             self._send(200, self.server.metrics.render().encode("utf-8"),
                        "text/plain; version=0.0.4; charset=utf-8")
             return
@@ -298,25 +450,90 @@ class _Handler(BaseHTTPRequestHandler):
         metrics = self.server.metrics
         metrics.counter("requests_total", endpoint=endpoint).inc()
         client = self._client_id()
+        if self.server.draining:
+            metrics.counter("shed_total", endpoint=endpoint,
+                            kind="draining").inc()
+            self._respond(endpoint, 503,
+                          {"error": "draining", "retry_after": 1.0},
+                          {"Retry-After": "1.000"})
+            return
         admitted, retry = self.server.limiter.allow(client)
         if not admitted:
             metrics.counter("throttled_total", endpoint=endpoint).inc()
-            self._send_json(
-                429,
-                {"error": "rate limit exceeded",
-                 "retry_after": retry},
-                {"Retry-After": f"{retry:.3f}"})
+            self._respond(endpoint, 429,
+                          {"error": "rate limit exceeded",
+                           "retry_after": retry},
+                          {"Retry-After": f"{retry:.3f}"})
             return
+        # Idempotency: a replayed key answers from the first
+        # execution's cached response; a concurrent duplicate waits
+        # for it instead of racing it.
+        header = self.headers.get(IDEMPOTENCY_HEADER)
+        idem = (client, endpoint, header.strip()) if header else None
+        if idem is not None:
+            wait_budget = self.server.deadline or 120.0
+            while True:
+                action, value = self.server.idempotency.claim(idem)
+                if action == "execute":
+                    break
+                if action == "replay":
+                    status, body = value
+                    metrics.counter("idempotent_replays_total",
+                                    endpoint=endpoint).inc()
+                    self._respond(endpoint, status, body,
+                                  {"Idempotency-Replay": "true"})
+                    return
+                if not value.wait(wait_budget):  # action == "wait"
+                    metrics.counter("errors_total", endpoint=endpoint,
+                                    kind="deadline").inc()
+                    self._respond(endpoint, 504, {
+                        "error": "deadline exceeded waiting for the "
+                                 "original execution of this "
+                                 "idempotency key"})
+                    return
+        status, body, extra = self._execute(endpoint, diagnose, client)
+        if idem is not None:
+            # Record the outcome *before* answering: a crash between
+            # execution and response still lets the client's retry
+            # replay the stored result instead of re-running the lot.
+            self.server.idempotency.finish(idem, status, body)
+        if should_fail("server.handler.close"):
+            # Fault hook: simulate the worker dying after executing
+            # but before answering -- the client sees a connection
+            # reset, retries, and must NOT trigger a second execution.
+            self.close_connection = True
+            self.connection.close()
+            return
+        self._respond(endpoint, status, body, extra)
+
+    def _respond(self, endpoint: str, status: int, body: Dict,
+                 extra: Optional[Dict[str, str]] = None) -> None:
+        try:
+            self._send_json(status, body, extra)
+        except (BrokenPipeError, ConnectionResetError):
+            # Client went away mid-response; nothing to answer.
+            self.server.metrics.counter(
+                "errors_total", endpoint=endpoint,
+                kind="disconnect").inc()
+
+    def _execute(self, endpoint: str, diagnose: bool, client: str
+                 ) -> Tuple[int, Dict, Optional[Dict[str, str]]]:
+        """Run one screening request; never raises, returns
+        ``(status, json_body, extra_headers)``."""
+        metrics = self.server.metrics
         inflight = metrics.gauge("inflight", endpoint=endpoint)
         inflight.inc()
+        self.server._enter_request()
         try:
+            fail_if_armed("server.handler.error")
             payload = self._read_payload()
             request = request_from_payload(
                 payload, self.server.session.engine.config.golden_spec,
                 client=client, keep_signatures=diagnose)
             with timed(metrics.window("request_seconds",
                                       endpoint=endpoint)):
-                result = self.server.batcher.submit(request)
+                result = self.server.batcher.submit(
+                    request, timeout=self.server.deadline)
             include_ndfs = bool(payload.get("include_ndfs", True))
             body = campaign_payload(result, include_ndfs=include_ndfs)
             body["client"] = client
@@ -326,21 +543,31 @@ class _Handler(BaseHTTPRequestHandler):
                     top_k=int(payload.get("top_k", 3)),
                     metric=str(payload.get("metric", "ndf")))
                 body["diagnosis"] = diagnosis.to_payload()
-            self._send_json(200, body)
+            return 200, body, None
         except BadRequest as error:
             metrics.counter("errors_total", endpoint=endpoint,
                             kind="bad_request").inc()
-            self._send_json(400, {"error": str(error)})
-        except BrokenPipeError:  # client went away mid-response
+            return 400, {"error": str(error)}, None
+        except QueueFull as error:
+            metrics.counter("shed_total", endpoint=endpoint,
+                            kind="queue_full").inc()
+            return (503,
+                    {"error": "overloaded", "queue_depth": error.depth,
+                     "retry_after": error.retry_after},
+                    {"Retry-After": f"{error.retry_after:.3f}"})
+        except DeadlineExceeded as error:
             metrics.counter("errors_total", endpoint=endpoint,
-                            kind="disconnect").inc()
+                            kind="deadline").inc()
+            return 504, {"error": f"deadline exceeded: {error}"}, None
         except Exception as error:  # engine/internal failure
             metrics.counter("errors_total", endpoint=endpoint,
                             kind="internal").inc()
-            self._send_json(500, {"error": f"{type(error).__name__}: "
-                                           f"{error}"})
+            return (500,
+                    {"error": f"{type(error).__name__}: {error}"},
+                    None)
         finally:
             inflight.dec()
+            self.server._exit_request()
 
 
 def build_server(host: str = "127.0.0.1", port: int = 8765,
@@ -351,18 +578,25 @@ def build_server(host: str = "127.0.0.1", port: int = 8765,
                  window: float = 0.005,
                  max_dies: int = 100_000,
                  metrics: Optional[MetricsRegistry] = None,
-                 session: Optional[ScreeningSession] = None
-                 ) -> ScreeningServer:
+                 session: Optional[ScreeningSession] = None,
+                 store=None,
+                 deadline: Optional[float] = None,
+                 max_queue: Optional[int] = None) -> ScreeningServer:
     """A screening server over the calibrated paper bench.
 
     ``port=0`` binds an ephemeral port (tests); read the bound address
-    back from :attr:`ScreeningServer.url`.
+    back from :attr:`ScreeningServer.url`.  ``store`` persists warm
+    artifacts on disk (path, :class:`repro.store.ArtifactStore`, or
+    True for the default root); ``deadline`` bounds each screening
+    request in seconds (504 past it); ``max_queue`` bounds the batcher
+    queue (503 + ``Retry-After`` when full).
     """
     metrics = metrics if metrics is not None else MetricsRegistry()
     if session is None:
         session = ScreeningSession.from_paper(
             samples_per_period=samples_per_period, tolerance=tolerance,
-            metrics=metrics)
+            metrics=metrics, store=store)
     return ScreeningServer((host, port), session, rate=rate,
                            burst=burst, window=window,
-                           max_dies=max_dies, metrics=metrics)
+                           max_dies=max_dies, metrics=metrics,
+                           deadline=deadline, max_queue=max_queue)

@@ -15,6 +15,12 @@ lock-guarded, and cache misses are single-flight -- N racing threads
 asking for the same cold golden compute it once.  Results are
 bit-identical to serial submission of the same requests (proven by
 ``tests/service/test_session_reentrancy.py``).
+
+Sessions can be *crash-safe*: :meth:`from_paper` with ``store=``
+backs the golden cache with an on-disk
+:class:`repro.store.ArtifactStore`, so a restarted process warms from
+persisted goldens/calibrations/dictionaries instead of re-deriving
+them (``docs/persistence.md``).
 """
 
 from __future__ import annotations
@@ -26,6 +32,11 @@ from repro.campaign.engine import CampaignEngine
 from repro.campaign.request import ScreeningRequest
 from repro.campaign.result import CampaignResult, NoiseCampaignResult
 from repro.service.metrics import MetricsRegistry
+from repro.testing.faultinject import (
+    fail_if_armed,
+    should_fail,
+    slow_seconds,
+)
 
 
 class ScreeningSession:
@@ -53,15 +64,31 @@ class ScreeningSession:
     @classmethod
     def from_paper(cls, samples_per_period: int = 2048,
                    tolerance: float = 0.05, executor=None,
-                   metrics: Optional[MetricsRegistry] = None
-                   ) -> "ScreeningSession":
-        """Session over the calibrated paper bench (the common case)."""
+                   metrics: Optional[MetricsRegistry] = None,
+                   store=None) -> "ScreeningSession":
+        """Session over the calibrated paper bench (the common case).
+
+        ``store`` makes the session crash-safe: pass an
+        :class:`repro.store.ArtifactStore`, a directory path, or True
+        (the default root: ``$REPRO_STORE`` or ``~/.repro/store``) to
+        back the golden cache with the on-disk store, so a restarted
+        session warms from persisted artifacts.
+        """
+        from repro.campaign.cache import GoldenCache
         from repro.paper import paper_setup
+        from repro.store import ArtifactStore
 
         setup = paper_setup(samples_per_period=samples_per_period)
+        cache = None
+        if store is not None:
+            if store is True:
+                store = ArtifactStore()
+            elif not isinstance(store, ArtifactStore):
+                store = ArtifactStore(store)
+            cache = GoldenCache(store=store)
         engine = setup.campaign_engine(
             samples_per_period=samples_per_period, tolerance=tolerance,
-            executor=executor)
+            executor=executor, cache=cache)
         return cls(engine, metrics=metrics)
 
     # ------------------------------------------------------------------
@@ -106,6 +133,17 @@ class ScreeningSession:
         return self.engine.cache.info
 
     @property
+    def store(self):
+        """The on-disk artifact store backing the cache (or None)."""
+        return getattr(self.engine.cache, "store", None)
+
+    @property
+    def store_info(self):
+        """The store's hit/miss/write/quarantine counters (or None)."""
+        store = self.store
+        return store.info if store is not None else None
+
+    @property
     def submitted(self) -> int:
         """Requests submitted through this session so far."""
         with self._count_lock:
@@ -124,6 +162,13 @@ class ScreeningSession:
         """
         with self._count_lock:
             self._submitted += 1
+        # Robustness-test hooks: inert unless armed via REPRO_FAULTS
+        # or repro.testing.faultinject.inject().
+        fail_if_armed("session.submit.error")
+        if should_fail("session.slow"):
+            import time
+
+            time.sleep(slow_seconds())
         result = self.engine.submit(request)
         if self.metrics is not None:
             self.metrics.counter("session_requests_total",

@@ -1,0 +1,548 @@
+"""On-disk artifact store: warm screening state that survives restarts.
+
+Every expensive derived artifact of a screening configuration -- the
+golden signature bundle, the Fig. 8 calibration sweep, the compiled
+fault dictionary -- is a pure function of a *content key* the campaign
+layer already computes (:meth:`CampaignConfig.golden_key` and friends).
+The :class:`ArtifactStore` persists those artifacts under exactly those
+keys, so a restarted process (``repro serve --store``) re-derives
+nothing: :meth:`~repro.service.session.ScreeningSession.warm` becomes
+three store reads.
+
+Layout (default root ``~/.repro/store``, overridable via the
+``REPRO_STORE`` environment variable or an explicit path)::
+
+    <root>/index.json            key-id -> {key, kind, sha256, bytes, file}
+    <root>/objects/<id>.npz      one payload per artifact (arrays + meta)
+    <root>/quarantine/           corrupted payloads, moved aside
+    <root>/index.lock            cross-process index lock (flock)
+
+Durability contract:
+
+* **Atomic writes.** Payloads and the index are written to a temp file
+  in the same directory, flushed, ``fsync``'d and ``os.replace``'d into
+  place; a crash at any instant leaves either the old or the new file,
+  never a torn one, and readers never observe a partial write.
+* **Checksums verified on load.** Every payload's sha256 is recorded in
+  the index and re-hashed on read.  A mismatch (torn write that somehow
+  landed, bit rot, concurrent truncation) **quarantines** the file and
+  reports a miss -- corruption degrades to a recompute-and-rewrite,
+  never a crash.
+* **Concurrent access.** Payload files are content-addressed by key and
+  replaced atomically, so two processes racing on the same key both
+  land a valid file; the index is rewritten under an ``flock``'d lock
+  file with a read-merge-replace cycle, so concurrent writers never
+  lose each other's entries.
+
+The store is wired under :class:`~repro.campaign.cache.GoldenCache`
+(pass ``store=``): in-memory misses consult the store before computing,
+and fresh computations are written through.  Only artifact kinds with a
+registered codec persist (``golden``, ``calibration``,
+``fault_dictionary``); everything else stays memory-only.
+
+See ``docs/persistence.md`` for the full layout and recovery semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.testing.faultinject import should_fail
+
+#: Environment variable overriding the default store root.
+STORE_ENV_VAR = "REPRO_STORE"
+
+#: Index format version (bumped on incompatible layout changes).
+INDEX_VERSION = 1
+
+
+def default_store_root() -> str:
+    """``$REPRO_STORE`` when set, else ``~/.repro/store``."""
+    env = os.environ.get(STORE_ENV_VAR, "").strip()
+    if env:
+        return os.path.expanduser(env)
+    return os.path.join(os.path.expanduser("~"), ".repro", "store")
+
+
+def key_id(key) -> str:
+    """Stable hex id of a content key.
+
+    Content keys are nested tuples of ints, floats, strings and enum
+    values; ``repr`` of such a tuple is deterministic across processes
+    (CPython float repr is shortest-roundtrip), so its sha256 is a
+    stable address.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+def _fsync_directory(path: str) -> None:
+    """Flush a directory entry table (best effort off-POSIX)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes,
+                       tear_fault: Optional[str] = None) -> None:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + rename).
+
+    ``tear_fault`` names a fault point that, when armed, truncates the
+    temp file after the fsync but before the rename -- the robustness
+    suite's simulated torn write (the damaged payload lands under the
+    final name, exactly what a crash between page write-back and
+    checksum recording produces on a non-atomic filesystem).
+    """
+    directory = os.path.dirname(path) or "."
+    tmp = os.path.join(
+        directory,
+        f".{os.path.basename(path)}.{os.getpid()}."
+        f"{threading.get_ident()}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if tear_fault is not None and should_fail(tear_fault):
+            with open(tmp, "r+b") as handle:
+                handle.truncate(max(0, len(data) // 2))
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover
+                pass
+    _fsync_directory(directory)
+
+
+@dataclass(frozen=True)
+class StoreInfo:
+    """Snapshot of the store counters."""
+
+    hits: int
+    misses: int
+    writes: int
+    quarantined: int
+    errors: int
+
+    def __str__(self) -> str:
+        return (f"{self.hits} hits / {self.misses} misses "
+                f"({self.writes} writes, {self.quarantined} quarantined)")
+
+
+class _IndexLock:
+    """Cross-process exclusive lock on the store index (flock)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+
+    def __enter__(self) -> "_IndexLock":
+        self._handle = open(self.path, "a+")
+        try:
+            import fcntl
+
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        except ImportError:  # pragma: no cover - non-POSIX fallback
+            pass
+        return self
+
+    def __exit__(self, *exc) -> None:
+        try:
+            import fcntl
+
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+        except ImportError:  # pragma: no cover
+            pass
+        self._handle.close()
+        self._handle = None
+
+
+class ArtifactStore:
+    """Checksummed, atomically-written ``.npz`` artifacts on disk.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on first use).  Defaults to
+        :func:`default_store_root`.
+
+    The generic surface is ``put(key, arrays, meta)`` /
+    ``get(key)``; the artifact-aware surface
+    (:meth:`save_artifact` / :meth:`load_artifact`) adds the codec
+    dispatch :class:`~repro.campaign.cache.GoldenCache` consumes.
+    All methods are thread-safe and never raise on a damaged store:
+    corruption quarantines and reads degrade to misses.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = os.path.abspath(root if root is not None
+                                    else default_store_root())
+        self.objects_dir = os.path.join(self.root, "objects")
+        self.quarantine_dir = os.path.join(self.root, "quarantine")
+        self.index_path = os.path.join(self.root, "index.json")
+        self._lock_path = os.path.join(self.root, "index.lock")
+        os.makedirs(self.objects_dir, exist_ok=True)
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._quarantined = 0
+        self._errors = 0
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    @property
+    def info(self) -> StoreInfo:
+        """Current hit/miss/write/quarantine counters."""
+        with self._lock:
+            return StoreInfo(self._hits, self._misses, self._writes,
+                             self._quarantined, self._errors)
+
+    def _count(self, field: str) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + 1)
+
+    # ------------------------------------------------------------------
+    # Index
+    # ------------------------------------------------------------------
+    def _read_index(self) -> Dict[str, Dict]:
+        """The on-disk index (empty on absence or damage)."""
+        try:
+            with open(self.index_path, "r", encoding="utf-8") as handle:
+                index = json.load(handle)
+        except FileNotFoundError:
+            return {}
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            # A torn index is recoverable state, not a crash: entries
+            # re-register on the next write, payloads re-verify by
+            # checksum either way.
+            self._count("_errors")
+            return {}
+        if not isinstance(index, dict) \
+                or index.get("version") != INDEX_VERSION:
+            return {}
+        entries = index.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def _update_index(self, mutate: Callable[[Dict[str, Dict]], None]
+                      ) -> None:
+        """Read-merge-replace the index under the cross-process lock."""
+        with _IndexLock(self._lock_path):
+            entries = self._read_index()
+            mutate(entries)
+            body = json.dumps({"version": INDEX_VERSION,
+                               "entries": entries},
+                              indent=0, sort_keys=True).encode("utf-8")
+            atomic_write_bytes(self.index_path, body,
+                               tear_fault="store.index.tear")
+
+    # ------------------------------------------------------------------
+    # Generic put/get
+    # ------------------------------------------------------------------
+    def put(self, key, arrays: Dict[str, np.ndarray],
+            meta: Optional[Dict] = None) -> str:
+        """Persist one artifact; returns its key id.
+
+        ``arrays`` land in one compressed ``.npz`` alongside a JSON
+        ``meta`` record; the payload is written atomically and its
+        sha256 recorded in the index.
+        """
+        kid = key_id(key)
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer,
+            __meta__=np.asarray(json.dumps(meta if meta is not None
+                                           else {})),
+            **arrays)
+        data = buffer.getvalue()
+        digest = hashlib.sha256(data).hexdigest()
+        filename = kid + ".npz"
+        path = os.path.join(self.objects_dir, filename)
+        atomic_write_bytes(path, data, tear_fault="store.write.tear")
+        entry = {
+            "key": repr(key),
+            "kind": str(key[0]) if isinstance(key, tuple) and key
+            else "raw",
+            "sha256": digest,
+            "bytes": len(data),
+            "file": os.path.join("objects", filename),
+            "written": time.time(),
+        }
+        self._update_index(lambda entries: entries.__setitem__(kid,
+                                                               entry))
+        self._count("_writes")
+        return kid
+
+    def get(self, key) -> Optional[Tuple[Dict[str, np.ndarray], Dict]]:
+        """Load one artifact, or None on miss/corruption.
+
+        Verifies the payload's sha256 against the index before
+        decoding; a mismatch or an undecodable archive quarantines the
+        file, drops the index entry, and returns None -- the caller
+        recomputes and rewrites.
+        """
+        kid = key_id(key)
+        entry = self._read_index().get(kid)
+        if entry is None:
+            self._count("_misses")
+            return None
+        path = os.path.join(self.root, entry.get("file", ""))
+        if should_fail("store.read.corrupt"):
+            self._corrupt_on_disk(path)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            self._count("_misses")
+            return None
+        if hashlib.sha256(data).hexdigest() != entry.get("sha256"):
+            self._quarantine(kid, path, "checksum mismatch")
+            self._count("_misses")
+            return None
+        try:
+            with np.load(io.BytesIO(data),
+                         allow_pickle=False) as archive:
+                meta = json.loads(str(archive["__meta__"]))
+                arrays = {name: archive[name] for name in archive.files
+                          if name != "__meta__"}
+        except Exception:
+            # Checksum matched but the archive is undecodable (e.g. a
+            # truncated payload whose checksum was recorded by a torn
+            # index writer): same degradation path.
+            self._quarantine(kid, path, "undecodable archive")
+            self._count("_misses")
+            return None
+        self._count("_hits")
+        return arrays, meta
+
+    def contains(self, key) -> bool:
+        """True when the index lists ``key`` (payload not verified)."""
+        return key_id(key) in self._read_index()
+
+    def keys(self) -> Dict[str, str]:
+        """Mapping of key id -> recorded key repr."""
+        return {kid: entry.get("key", "")
+                for kid, entry in self._read_index().items()}
+
+    def __len__(self) -> int:
+        return len(self._read_index())
+
+    # ------------------------------------------------------------------
+    # Damage handling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _corrupt_on_disk(path: str) -> None:
+        """Flip a byte of ``path`` in place (the armed-corruption
+        fault point's action; simulates bit rot)."""
+        try:
+            with open(path, "r+b") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                if size == 0:
+                    return
+                handle.seek(size // 2)
+                byte = handle.read(1)
+                handle.seek(size // 2)
+                handle.write(bytes([byte[0] ^ 0xFF]) if byte
+                             else b"\xff")
+        except OSError:  # pragma: no cover
+            pass
+
+    def _quarantine(self, kid: str, path: str, reason: str) -> None:
+        """Move a damaged payload aside and drop its index entry."""
+        target = os.path.join(
+            self.quarantine_dir,
+            f"{kid}.{os.getpid()}.{int(time.time() * 1e3)}.npz")
+        try:
+            os.replace(path, target)
+        except OSError:
+            # Already gone (e.g. the other process quarantined first).
+            pass
+        self._update_index(lambda entries: entries.pop(kid, None))
+        self._count("_quarantined")
+
+    # ------------------------------------------------------------------
+    # Artifact codecs (the GoldenCache write-through surface)
+    # ------------------------------------------------------------------
+    def save_artifact(self, key, value) -> bool:
+        """Persist a cache value when its kind has a codec.
+
+        Returns True when written; unknown kinds and encoding failures
+        return False (memory-only caching continues unaffected).
+        """
+        codec = _codec_for(key)
+        if codec is None:
+            return False
+        try:
+            arrays, meta = codec.encode(value)
+            self.put(key, arrays, meta)
+            return True
+        except Exception:
+            self._count("_errors")
+            return False
+
+    def load_artifact(self, key):
+        """Decode a persisted cache value, or None on miss/damage."""
+        codec = _codec_for(key)
+        if codec is None:
+            return None
+        loaded = self.get(key)
+        if loaded is None:
+            return None
+        arrays, meta = loaded
+        try:
+            return codec.decode(arrays, meta)
+        except Exception:
+            self._count("_errors")
+            return None
+
+
+# ----------------------------------------------------------------------
+# Codecs: content-keyed cache values <-> (arrays, meta)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Codec:
+    encode: Callable
+    decode: Callable
+
+
+def _signature_arrays(signature) -> Tuple[np.ndarray, np.ndarray]:
+    return (np.asarray(signature.codes(), dtype=np.int64),
+            np.asarray(signature.durations(), dtype=float))
+
+
+def _signature_from_arrays(codes: np.ndarray, durations: np.ndarray,
+                           period: float):
+    from repro.core.signature import Signature
+
+    return Signature.from_pairs(
+        zip(codes.tolist(), durations.tolist()), float(period))
+
+
+def _encode_golden(artifacts) -> Tuple[Dict[str, np.ndarray], Dict]:
+    codes, durations = _signature_arrays(artifacts.signature)
+    arrays = {
+        "times": artifacts.times,
+        "x": artifacts.x,
+        "y": artifacts.y,
+        "codes": artifacts.codes,
+        "sig_codes": codes,
+        "sig_durations": durations,
+    }
+    return arrays, {"period": float(artifacts.period)}
+
+
+def _decode_golden(arrays: Dict[str, np.ndarray], meta: Dict):
+    from repro.campaign.cache import GoldenArtifacts
+
+    period = float(meta["period"])
+    signature = _signature_from_arrays(arrays["sig_codes"],
+                                       arrays["sig_durations"], period)
+    return GoldenArtifacts(
+        times=arrays["times"], x=arrays["x"], y=arrays["y"],
+        codes=arrays["codes"], signature=signature, period=period)
+
+
+def _encode_calibration(calibration
+                        ) -> Tuple[Dict[str, np.ndarray], Dict]:
+    return ({"deviations": calibration.deviations,
+             "ndfs": calibration.ndfs}, {})
+
+
+def _decode_calibration(arrays: Dict[str, np.ndarray], meta: Dict):
+    from repro.core.decision import ThresholdCalibration
+
+    return ThresholdCalibration(arrays["deviations"], arrays["ndfs"])
+
+
+def _encode_dictionary(dictionary) -> Tuple[Dict[str, np.ndarray], Dict]:
+    codes, durations = _signature_arrays(dictionary.golden_signature)
+    arrays = {
+        "codes": dictionary.batch.codes,
+        "durations": dictionary.batch.durations,
+        "row_offsets": dictionary.batch.row_offsets,
+        "periods": dictionary.batch.periods,
+        "ndfs": dictionary.ndfs,
+        "features": dictionary.features,
+        "golden_codes": codes,
+        "golden_durations": durations,
+    }
+    meta = {
+        "num_bits": int(dictionary.num_bits),
+        "period": float(dictionary.period),
+        "threshold": (None if dictionary.threshold is None
+                      else float(dictionary.threshold)),
+        "faults": [{"kind": fault.kind.value, "target": fault.target,
+                    "deviation": float(fault.deviation)}
+                   for fault in dictionary.faults],
+    }
+    return arrays, meta
+
+
+def _decode_dictionary(arrays: Dict[str, np.ndarray], meta: Dict):
+    from repro.core.signature_batch import SignatureBatch
+    from repro.diagnosis.dictionary import FaultDictionary
+    from repro.filters.faults import Fault, FaultKind
+
+    period = float(meta["period"])
+    batch = SignatureBatch(arrays["codes"], arrays["durations"],
+                           arrays["row_offsets"], arrays["periods"])
+    golden = _signature_from_arrays(arrays["golden_codes"],
+                                    arrays["golden_durations"], period)
+    faults = [Fault(FaultKind(entry["kind"]), entry["target"],
+                    entry["deviation"]) for entry in meta["faults"]]
+    return FaultDictionary(
+        batch=batch, ndfs=arrays["ndfs"], features=arrays["features"],
+        faults=faults, golden_signature=golden,
+        num_bits=int(meta["num_bits"]), period=period,
+        threshold=meta["threshold"])
+
+
+#: Persistable cache-key kinds (key[0]) and their codecs.  Multi-channel
+#: dictionaries stay memory-only: they carry live encoder objects.
+_CODECS: Dict[str, _Codec] = {
+    "golden": _Codec(_encode_golden, _decode_golden),
+    "calibration": _Codec(_encode_calibration, _decode_calibration),
+    "fault_dictionary": _Codec(_encode_dictionary, _decode_dictionary),
+}
+
+
+def _codec_for(key) -> Optional[_Codec]:
+    if isinstance(key, tuple) and key and isinstance(key[0], str):
+        return _CODECS.get(key[0])
+    return None
+
+
+def persistable_kinds() -> Tuple[str, ...]:
+    """The artifact kinds the store can round-trip."""
+    return tuple(sorted(_CODECS))
+
+
+__all__ = [
+    "ArtifactStore",
+    "STORE_ENV_VAR",
+    "StoreInfo",
+    "atomic_write_bytes",
+    "default_store_root",
+    "key_id",
+    "persistable_kinds",
+]

@@ -1,0 +1,29 @@
+"""Test-support machinery shipped with the package.
+
+:mod:`repro.testing.faultinject` provides the named fault points the
+robustness suite (and the crash-restart CI smoke) uses to make the
+crash-safety layer fail on demand: store write tears, checksum
+corruption, handler exceptions, slow engines, mid-stream crashes.
+Production code paths call :func:`~repro.testing.faultinject.should_fail`
+at their instrumented sites; the call is a dictionary probe that is
+inert unless a fault was armed explicitly, so shipping the hooks costs
+nothing.
+"""
+
+from repro.testing.faultinject import (
+    FaultInjected,
+    active_faults,
+    arm,
+    disarm_all,
+    inject,
+    should_fail,
+)
+
+__all__ = [
+    "FaultInjected",
+    "active_faults",
+    "arm",
+    "disarm_all",
+    "inject",
+    "should_fail",
+]

@@ -1,0 +1,37 @@
+"""Shared robustness fixtures: fault hygiene and a small warm bench.
+
+Every test in this suite runs with a clean fault-injection registry on
+both sides: an armed fault leaking out of a test (or in from the
+environment) would make unrelated tests fail mysteriously, so the
+autouse fixture disarms everything and forgets the parsed
+``REPRO_FAULTS`` value around each test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing.faultinject import disarm_all, reset_env_cache
+
+SAMPLES = 512
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    disarm_all()
+    reset_env_cache()
+    yield
+    disarm_all()
+    reset_env_cache()
+
+
+@pytest.fixture()
+def small_engine():
+    """A fast private-cache engine over the paper bench (512 samples)."""
+    from repro.campaign import CampaignEngine
+    from repro.monitor.configurations import table1_encoder
+    from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+
+    return CampaignEngine.from_parts(
+        table1_encoder(), PAPER_STIMULUS, PAPER_BIQUAD,
+        samples_per_period=SAMPLES)

@@ -1,0 +1,187 @@
+"""Checkpointed streamed campaigns: kill anywhere, resume bit-identical."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CheckpointMismatch,
+    StreamCheckpoint,
+    seed_children,
+    montecarlo_dies,
+    stream_montecarlo_dies,
+)
+from repro.testing.faultinject import FaultInjected, inject
+
+pytestmark = pytest.mark.campaign
+
+DIES = 60
+CHUNK = 16  # -> chunks of 16/16/16/12
+
+
+def _chunks(start=0, chunk=CHUNK):
+    from repro.paper import PAPER_BIQUAD
+
+    return stream_montecarlo_dies(PAPER_BIQUAD, DIES, chunk_size=chunk,
+                                  sigma_f0=0.05, seed=9, start=start)
+
+
+def _assert_identical(result, reference):
+    np.testing.assert_array_equal(result.ndfs, reference.ndfs)
+    np.testing.assert_array_equal(result.verdicts, reference.verdicts)
+    np.testing.assert_array_equal(result.f0_deviations,
+                                  reference.f0_deviations)
+    np.testing.assert_array_equal(result.q_deviations,
+                                  reference.q_deviations)
+    assert result.labels == reference.labels
+    assert result.threshold == reference.threshold
+
+
+# ----------------------------------------------------------------------
+# The seeding property the whole scheme rests on
+# ----------------------------------------------------------------------
+def test_seed_children_match_spawn_numbering():
+    root = np.random.SeedSequence(123)
+    spawned = root.spawn(7)
+    rebuilt = seed_children(123, 3, 7)
+    for child, expected in zip(rebuilt, spawned[3:]):
+        assert np.random.default_rng(child).random() == \
+            np.random.default_rng(expected).random()
+
+
+def test_stream_start_matches_monolithic_tail():
+    from repro.paper import PAPER_BIQUAD
+
+    whole = montecarlo_dies(PAPER_BIQUAD, DIES, sigma_f0=0.05, seed=9)
+    tail_chunks = list(_chunks(start=17))
+    tail_f0 = np.concatenate([c.f0_deviations for c in tail_chunks])
+    tail_labels = [label for c in tail_chunks for label in c.labels]
+    np.testing.assert_array_equal(tail_f0, whole.f0_deviations[17:])
+    assert tail_labels == whole.labels[17:]
+
+
+# ----------------------------------------------------------------------
+# Kill + resume at every interesting point
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("crash_after_chunks", [1, 2, 3])
+def test_resume_is_bit_identical(small_engine, tmp_path,
+                                 crash_after_chunks):
+    ck = str(tmp_path / "campaign.npz")
+    reference = small_engine.run_stream(_chunks(), band="auto")
+
+    with inject("stream.chunk.crash", times=1,
+                after=crash_after_chunks - 1):
+        with pytest.raises(FaultInjected):
+            small_engine.run_stream(_chunks(), band="auto",
+                                    checkpoint=ck)
+    partial = StreamCheckpoint.load(ck)
+    assert partial.next_index == crash_after_chunks * CHUNK
+    assert not partial.complete
+
+    resumed = small_engine.resume(ck, _chunks())
+    _assert_identical(resumed, reference)
+    final = StreamCheckpoint.load(ck)
+    assert final.complete
+    assert final.next_index == DIES
+
+
+def test_resume_with_mid_fleet_stream(small_engine, tmp_path):
+    """A resume that rebuilds its stream from the checkpoint index
+
+    (instead of replaying from die 0) merges identically too."""
+    ck = str(tmp_path / "campaign.npz")
+    reference = small_engine.run_stream(_chunks(), band="auto")
+    with inject("stream.chunk.crash", times=1, after=1):
+        with pytest.raises(FaultInjected):
+            small_engine.run_stream(_chunks(), band="auto",
+                                    checkpoint=ck)
+    state = StreamCheckpoint.load(ck)
+    resumed = small_engine.resume(
+        ck, _chunks(start=state.next_index),
+        stream_offset=state.next_index)
+    _assert_identical(resumed, reference)
+
+
+def test_resume_across_different_chunk_size(small_engine, tmp_path):
+    """Chunk boundaries are not part of the checkpoint contract: the
+
+    resumed stream may re-chunk the remaining dies differently."""
+    ck = str(tmp_path / "campaign.npz")
+    reference = small_engine.run_stream(_chunks(), band="auto")
+    with inject("stream.chunk.crash", times=1, after=1):
+        with pytest.raises(FaultInjected):
+            small_engine.run_stream(_chunks(), band="auto",
+                                    checkpoint=ck)
+    resumed = small_engine.resume(ck, _chunks(chunk=7))
+    _assert_identical(resumed, reference)
+
+
+def test_crash_mid_checkpoint_write_restarts_cleanly(small_engine,
+                                                     tmp_path):
+    """A torn checkpoint file is unreadable -> the next run starts
+
+    from zero rather than trusting damaged state, and still matches."""
+    ck = str(tmp_path / "campaign.npz")
+    reference = small_engine.run_stream(_chunks(), band="auto")
+    with inject("checkpoint.write.tear", times=1):
+        with inject("stream.chunk.crash", times=1):
+            with pytest.raises(FaultInjected):
+                small_engine.run_stream(_chunks(), band="auto",
+                                        checkpoint=ck)
+    assert StreamCheckpoint.load_if_valid(ck) is None
+    rerun = small_engine.run_stream(_chunks(), band="auto",
+                                    checkpoint=ck)
+    _assert_identical(rerun, reference)
+
+
+def test_completed_checkpoint_short_circuits(small_engine, tmp_path):
+    ck = str(tmp_path / "campaign.npz")
+    reference = small_engine.run_stream(_chunks(), band="auto",
+                                        checkpoint=ck)
+    assert StreamCheckpoint.load(ck).complete
+    # Submitting again replays the persisted stats without screening.
+    before = small_engine.cache.info.requests
+    again = small_engine.run_stream(iter(()), band="auto",
+                                    checkpoint=ck)
+    _assert_identical(again, reference)
+    assert small_engine.cache.info.requests >= before
+
+
+def test_checkpoint_every_batches_saves(small_engine, tmp_path):
+    ck = str(tmp_path / "campaign.npz")
+    with inject("stream.chunk.crash", times=1, after=2):
+        with pytest.raises(FaultInjected):
+            small_engine.run_stream(_chunks(), band="auto",
+                                    checkpoint=ck, checkpoint_every=2)
+    # Crash after chunk 3: only the first checkpoint (2 chunks) saved.
+    assert StreamCheckpoint.load(ck).next_index == 2 * CHUNK
+
+
+def test_resume_requires_existing_checkpoint(small_engine, tmp_path):
+    with pytest.raises(FileNotFoundError):
+        small_engine.resume(str(tmp_path / "missing.npz"), _chunks())
+
+
+def test_checkpoint_rejects_other_configuration(small_engine, tmp_path):
+    ck = str(tmp_path / "campaign.npz")
+    state = StreamCheckpoint("other-config-key", threshold=0.25)
+    state.save(ck)
+    with pytest.raises(CheckpointMismatch):
+        small_engine.resume(ck, _chunks())
+
+
+def test_checkpoint_rejects_other_threshold(small_engine, tmp_path):
+    ck = str(tmp_path / "campaign.npz")
+    with inject("stream.chunk.crash", times=1):
+        with pytest.raises(FaultInjected):
+            small_engine.run_stream(_chunks(), band="auto",
+                                    checkpoint=ck)
+    with pytest.raises(CheckpointMismatch):
+        small_engine.resume(ck, _chunks(), band=0.9)
+
+
+def test_checkpointed_stream_rejects_keep_signatures(small_engine,
+                                                     tmp_path):
+    with pytest.raises(ValueError, match="keep"):
+        small_engine.run_stream(_chunks(), band="auto",
+                                keep_signatures=True,
+                                checkpoint=str(tmp_path / "ck.npz"))

@@ -1,0 +1,223 @@
+"""Client-side resilience: RetryPolicy math, retry loop semantics,
+idempotency-key discipline, wait_ready patience.
+
+These tests fake the transport (``_request_once``) so they exercise
+the retry loop deterministically, with no sockets and no sleeps.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.service import RetryPolicy, ServiceError, ServiceUnavailable
+from repro.service.client import IDEMPOTENCY_HEADER, ServiceClient
+
+
+class FakeTransport:
+    """Scripted ``_request_once``: a list of outcomes, then capture."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = []  # (path, payload, headers) per attempt
+
+    def __call__(self, path, payload, headers):
+        self.calls.append((path, payload, dict(headers)))
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def _client(outcomes, retry=RetryPolicy(max_attempts=5, base_delay=0.01,
+                                        jitter=0.0)):
+    client = ServiceClient("http://fake:1", client_id="test",
+                           retry=retry)
+    client._sleep = lambda seconds: client.sleeps.append(seconds)
+    client.sleeps = []
+    transport = FakeTransport(outcomes)
+    client._request_once = transport
+    return client, transport
+
+
+OK = json.dumps({"ok": True}).encode()
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy math
+# ----------------------------------------------------------------------
+def test_retryable_statuses():
+    policy = RetryPolicy()
+    assert policy.retryable(ServiceUnavailable("refused"))  # status 0
+    assert policy.retryable(ServiceError(429, {"error": "throttle"}))
+    assert policy.retryable(ServiceError(500, {"error": "boom"}))
+    assert policy.retryable(ServiceError(503, {"error": "full"}))
+    assert policy.retryable(ServiceError(504, {"error": "slow"}))
+    assert not policy.retryable(ServiceError(400, {"error": "bad"}))
+    assert not policy.retryable(ServiceError(404, {"error": "gone"}))
+
+
+def test_delay_backs_off_exponentially_and_caps():
+    policy = RetryPolicy(base_delay=0.1, factor=2.0, max_delay=0.5,
+                         jitter=0.0)
+    error = ServiceUnavailable("refused")
+    assert policy.delay(0, error) == pytest.approx(0.1)
+    assert policy.delay(1, error) == pytest.approx(0.2)
+    assert policy.delay(2, error) == pytest.approx(0.4)
+    assert policy.delay(3, error) == pytest.approx(0.5)  # capped
+    assert policy.delay(9, error) == pytest.approx(0.5)
+
+
+def test_delay_jitter_is_bounded_and_seedable():
+    policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+    error = ServiceUnavailable("refused")
+    rng = random.Random(7)
+    delays = {policy.delay(0, error, rng) for _ in range(32)}
+    assert len(delays) > 1  # actually randomized
+    assert all(0.1 <= d <= 0.15 + 1e-12 for d in delays)
+
+
+def test_retry_after_hint_is_a_floor():
+    policy = RetryPolicy(base_delay=0.01, jitter=0.0)
+    throttle = ServiceError(429, {"error": "throttle",
+                                  "retry_after": 0.75})
+    assert policy.delay(0, throttle) == pytest.approx(0.75)
+    # A longer backoff curve wins over a shorter hint.
+    late = RetryPolicy(base_delay=2.0, jitter=0.0)
+    assert late.delay(0, throttle) == pytest.approx(2.0)
+
+
+def test_policy_validates_attempts():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+
+
+# ----------------------------------------------------------------------
+# The retry loop
+# ----------------------------------------------------------------------
+def test_converges_through_connection_reset_storm():
+    client, transport = _client([
+        ServiceUnavailable("connection refused"),
+        ServiceUnavailable("connection reset"),
+        OK,
+    ])
+    assert client.campaign(dies=4) == {"ok": True}
+    assert len(transport.calls) == 3
+    assert len(client.sleeps) == 2
+
+
+def test_converges_through_429_and_503():
+    client, transport = _client([
+        ServiceError(429, {"error": "throttle", "retry_after": 0.02}),
+        ServiceError(503, {"error": "overloaded",
+                           "retry_after": 0.03}),
+        OK,
+    ])
+    assert client.campaign(dies=4) == {"ok": True}
+    # Retry-After hints floored both sleeps.
+    assert client.sleeps[0] >= 0.02
+    assert client.sleeps[1] >= 0.03
+
+
+def test_4xx_raises_immediately():
+    client, transport = _client([
+        ServiceError(400, {"error": "bad request"}), OK])
+    with pytest.raises(ServiceError) as excinfo:
+        client.campaign(dies=4)
+    assert excinfo.value.status == 400
+    assert len(transport.calls) == 1  # no retry burned
+
+
+def test_exhausted_attempts_raise_last_error():
+    client, transport = _client(
+        [ServiceUnavailable(f"down {i}") for i in range(3)],
+        retry=RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0))
+    with pytest.raises(ServiceUnavailable) as excinfo:
+        client.campaign(dies=4)
+    assert excinfo.value.reason == "down 2"
+    assert len(transport.calls) == 3
+
+
+def test_no_policy_fails_fast():
+    client, transport = _client([ServiceUnavailable("down")],
+                                retry=None)
+    with pytest.raises(ServiceUnavailable):
+        client.campaign(dies=4)
+    assert len(transport.calls) == 1
+
+
+def test_transport_errors_are_service_errors():
+    """The one-exception-surface contract: a caller's single
+    ``except ServiceError`` catches transport failures too."""
+    client, __ = _client([ServiceUnavailable("refused")], retry=None)
+    with pytest.raises(ServiceError) as excinfo:
+        client.campaign(dies=4)
+    assert excinfo.value.status == 0
+    assert excinfo.value.payload["error"] == "unavailable"
+
+
+# ----------------------------------------------------------------------
+# Idempotency-key discipline
+# ----------------------------------------------------------------------
+def test_same_key_across_attempts_of_one_request():
+    client, transport = _client([
+        ServiceUnavailable("reset"),
+        ServiceError(503, {"error": "overloaded"}),
+        OK,
+    ])
+    client.campaign(dies=4)
+    keys = [headers[IDEMPOTENCY_HEADER]
+            for __, __, headers in transport.calls]
+    assert len(set(keys)) == 1  # every retry replays the same key
+
+
+def test_fresh_key_per_logical_request():
+    client, transport = _client([OK, OK])
+    client.campaign(dies=4)
+    client.campaign(dies=4)  # same payload, new logical request
+    keys = [headers[IDEMPOTENCY_HEADER]
+            for __, __, headers in transport.calls]
+    assert len(set(keys)) == 2
+
+
+def test_gets_carry_no_idempotency_key():
+    client, transport = _client([OK])
+    client.healthz()
+    __, __, headers = transport.calls[0]
+    assert IDEMPOTENCY_HEADER not in headers
+    assert headers["X-Client"] == "test"
+
+
+# ----------------------------------------------------------------------
+# wait_ready
+# ----------------------------------------------------------------------
+def test_wait_ready_polls_through_5xx_and_transport(monkeypatch):
+    client, transport = _client([
+        ServiceUnavailable("refused"),        # nothing listening yet
+        ServiceError(503, {"error": "warming"}),  # up but not ready
+        json.dumps({"status": "ok"}).encode(),
+    ], retry=None)
+    monkeypatch.setattr("time.sleep", lambda s: None)
+    assert client.wait_ready(timeout=5.0, interval=0.0)["status"] \
+        == "ok"
+    assert len(transport.calls) == 3
+
+
+def test_wait_ready_raises_on_4xx(monkeypatch):
+    client, __ = _client([ServiceError(404, {"error": "no"})],
+                         retry=None)
+    monkeypatch.setattr("time.sleep", lambda s: None)
+    with pytest.raises(ServiceError):
+        client.wait_ready(timeout=5.0, interval=0.0)
+
+
+def test_wait_ready_times_out(monkeypatch):
+    client, __ = _client([], retry=None)
+
+    def always_down(path, payload, headers):
+        raise ServiceUnavailable("down")
+
+    client._request_once = always_down
+    monkeypatch.setattr("time.sleep", lambda s: None)
+    with pytest.raises(TimeoutError, match="not ready"):
+        client.wait_ready(timeout=0.2, interval=0.0)

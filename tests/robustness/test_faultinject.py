@@ -1,0 +1,137 @@
+"""Unit behaviour of the named fault-point registry."""
+
+import pytest
+
+from repro.testing import faultinject
+from repro.testing.faultinject import (
+    ENV_VAR,
+    FaultInjected,
+    active_faults,
+    arm,
+    disarm,
+    fail_if_armed,
+    inject,
+    reset_env_cache,
+    should_fail,
+    slow_seconds,
+)
+
+
+def test_unarmed_is_inert():
+    assert not should_fail("nothing.armed.here")
+    fail_if_armed("nothing.armed.here")  # no raise
+
+
+def test_arm_fires_exactly_times():
+    arm("x.y", times=2)
+    assert should_fail("x.y")
+    assert should_fail("x.y")
+    assert not should_fail("x.y")
+    # Exhausted faults unregister themselves.
+    assert "x.y" not in active_faults()
+
+
+def test_after_skips_leading_trips():
+    arm("x.y", times=1, after=2)
+    assert not should_fail("x.y")
+    assert not should_fail("x.y")
+    assert should_fail("x.y")
+    assert not should_fail("x.y")
+
+
+def test_forever_fires_until_disarmed():
+    arm("x.y", times=-1)
+    for _ in range(5):
+        assert should_fail("x.y")
+    disarm("x.y")
+    assert not should_fail("x.y")
+
+
+def test_fail_if_armed_raises_named_error():
+    arm("boom", times=1)
+    with pytest.raises(FaultInjected) as excinfo:
+        fail_if_armed("boom")
+    assert excinfo.value.fault == "boom"
+
+
+def test_inject_scopes_and_counts():
+    with inject("scoped", times=3) as fault:
+        assert should_fail("scoped")
+        assert fault.fired == 1
+        assert should_fail("scoped")
+    # Disarmed on exit even though one firing was left...
+    assert not should_fail("scoped")
+    # ...and the handle still reports what fired inside the block.
+    assert fault.fired == 2
+
+
+def test_inject_fired_survives_exhaustion():
+    with inject("once", times=1) as fault:
+        assert should_fail("once")
+        assert not should_fail("once")
+    assert fault.fired == 1
+
+
+def test_env_var_arms_with_times_and_after(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "env.fault:2:1, other.fault")
+    reset_env_cache()
+    assert not should_fail("env.fault")  # after=1 skips the first
+    assert should_fail("env.fault")
+    assert should_fail("env.fault")
+    assert not should_fail("env.fault")
+    assert should_fail("other.fault")  # default times=1
+    assert not should_fail("other.fault")
+
+
+def test_env_var_parsed_once_until_reset(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "first.fault")
+    reset_env_cache()
+    assert should_fail("first.fault")
+    monkeypatch.setenv(ENV_VAR, "second.fault")
+    # Not re-parsed yet.
+    assert not should_fail("second.fault")
+    reset_env_cache()
+    assert should_fail("second.fault")
+
+
+def test_slow_seconds_reads_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_SLOW_S", raising=False)
+    assert slow_seconds(0.3) == 0.3
+    monkeypatch.setenv("REPRO_FAULT_SLOW_S", "0.05")
+    assert slow_seconds() == 0.05
+    monkeypatch.setenv("REPRO_FAULT_SLOW_S", "not-a-number")
+    assert slow_seconds(0.2) == 0.2
+
+
+def test_rearming_replaces_schedule():
+    arm("re.arm", times=5)
+    assert should_fail("re.arm")
+    arm("re.arm", times=1)
+    assert should_fail("re.arm")
+    assert not should_fail("re.arm")
+
+
+def test_concurrent_trips_are_counted_once_each():
+    import threading
+
+    arm("race", times=10)
+    fired = []
+    barrier = threading.Barrier(4)
+
+    def worker():
+        barrier.wait()
+        for _ in range(5):
+            if should_fail("race"):
+                fired.append(1)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(fired) == 10
+
+
+def test_module_exports():
+    for name in faultinject.__all__:
+        assert hasattr(faultinject, name)

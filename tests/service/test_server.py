@@ -203,7 +203,7 @@ def test_rate_limited_client_gets_429():
 
 
 def test_internal_error_is_500(server, monkeypatch):
-    def boom(request):
+    def boom(request, timeout=None):
         raise RuntimeError("engine exploded")
 
     monkeypatch.setattr(server.batcher, "submit", boom)
