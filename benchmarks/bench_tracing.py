@@ -1,0 +1,117 @@
+"""Telemetry overhead guards: disabled tracing must stay free.
+
+The pipeline is now instrumented with spans at every stage boundary.
+Disabled tracing costs one branch per span site, so the per-die stage
+timings of an *untraced* campaign must stay inside the same committed
+budget (``benchmarks/baselines/campaign_stages.json`` x
+``CAMPAIGN_STAGE_TOLERANCE``) as before the instrumentation landed --
+this is the tracing-off regression gate CI runs.  Enabled tracing is
+reported for scale but only sanity-bounded: spans are per-chunk/stage,
+not per-die, so the cost amortizes to noise at fleet sizes.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.analysis import banner, format_table
+from repro.campaign import GoldenCache, montecarlo_dies
+from repro.obs import Tracer, install_tracer, tracing_enabled
+
+BASELINE_PATH = (pathlib.Path(__file__).parent / "baselines"
+                 / "campaign_stages.json")
+STAGE_TOLERANCE = float(os.environ.get("CAMPAIGN_STAGE_TOLERANCE",
+                                       "5.0"))
+TRACE_N = int(os.environ.get("CAMPAIGN_BENCH_TRACE_N", "1000"))
+
+
+def _best_stage_timings(engine, population, repeats=3):
+    best = {}
+    for __ in range(repeats):
+        result = engine.run(population, band=None)
+        for stage in ("traces", "encode", "signature", "ndf"):
+            value = result.timing[stage]
+            if stage not in best or value < best[stage]:
+                best[stage] = value
+    return best, result
+
+
+def test_tracing_off_overhead_vs_committed_baseline(bench_setup,
+                                                    report_writer):
+    """Instrumented-but-untraced stages must hold the committed budget."""
+    assert not tracing_enabled(), \
+        "the overhead gate measures the disabled path"
+    n = min(TRACE_N, 1000)
+    engine = bench_setup.campaign_engine(samples_per_period=2048,
+                                         cache=GoldenCache())
+    engine.golden()  # warm: measure marginal per-die cost only
+    population = montecarlo_dies(bench_setup.golden_spec, n,
+                                 sigma_f0=0.03, seed=47)
+    best, __ = _best_stage_timings(engine, population)
+    per_die = {stage: value / n for stage, value in best.items()}
+
+    budgets = json.loads(BASELINE_PATH.read_text())["per_die_s"]
+    rows = []
+    failures = []
+    for stage, measured in per_die.items():
+        budget = budgets[stage] * STAGE_TOLERANCE
+        rows.append([stage, f"{measured * 1e6:.2f} us",
+                     f"{budgets[stage] * 1e6:.2f} us",
+                     f"{budget * 1e6:.2f} us"])
+        if measured > budget:
+            failures.append(stage)
+    report_writer("tracing_off_overhead", "\n".join([
+        banner(f"TELEMETRY: tracing-off overhead gate ({n} dies, "
+               f"tolerance {STAGE_TOLERANCE:.0f}x)"),
+        format_table(["stage", "measured/die", "baseline/die",
+                      "budget/die"], rows),
+    ]))
+    assert not failures, (
+        f"null-span instrumentation pushed stages past "
+        f"{STAGE_TOLERANCE:.0f}x the committed baseline: {failures}")
+
+
+def test_tracing_on_cost_is_bounded_and_bit_identical(bench_setup,
+                                                      report_writer):
+    """Enabled tracing: bounded slowdown, zero effect on verdicts."""
+    n = min(TRACE_N, 500)
+    engine = bench_setup.campaign_engine(samples_per_period=2048,
+                                         cache=GoldenCache())
+    engine.golden()
+    population = montecarlo_dies(bench_setup.golden_spec, n,
+                                 sigma_f0=0.03, seed=48)
+
+    t0 = time.perf_counter()
+    baseline = engine.run(population, band=0.05)
+    t_off = time.perf_counter() - t0
+
+    tracer = Tracer()
+    previous = install_tracer(tracer)
+    try:
+        t0 = time.perf_counter()
+        traced = engine.run(population, band=0.05)
+        t_on = time.perf_counter() - t0
+    finally:
+        install_tracer(previous)
+
+    assert np.array_equal(baseline.ndfs, traced.ndfs)
+    assert np.array_equal(baseline.verdicts, traced.verdicts)
+    spans = len(tracer)
+    overhead = t_on - t_off
+    report_writer("tracing_on_overhead", "\n".join([
+        banner(f"TELEMETRY: tracing-on cost ({n} dies)"),
+        format_table(["quantity", "value"], [
+            ["untraced run", f"{t_off * 1e3:.2f} ms"],
+            ["traced run", f"{t_on * 1e3:.2f} ms"],
+            ["spans recorded", str(spans)],
+            ["overhead/span", f"{overhead / max(spans, 1) * 1e6:.2f} us"
+             if overhead > 0 else "(noise)"],
+        ]),
+    ]))
+    assert spans >= 5  # submit + the stage spans
+    # Spans are per-stage/per-chunk, so even a noisy runner keeps the
+    # traced run within a small multiple of the untraced one.
+    assert t_on <= t_off * 5 + 0.05

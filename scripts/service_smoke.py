@@ -8,7 +8,10 @@ asserts the service contract from the outside:
   the same lot (coalescing is invisible);
 * ``/diagnose`` returns ranked dictionary matches for failing dies;
 * ``/metrics`` is a non-empty scrape carrying request counts, stage
-  timings and coalesced batch sizes.
+  timings, engine-level stage histograms and coalesced batch sizes;
+* the ``X-Repro-Request-Id`` a client sends comes back in the
+  response body, joining the client's story to the server's
+  spans/log lines.
 
 Usage (the CI ``service-smoke`` job)::
 
@@ -65,10 +68,12 @@ def main(argv=None) -> int:
     def fire(seed: int) -> None:
         try:
             barrier.wait()
-            replies[seed] = ServiceClient(
-                args.url, client_id=f"lot-{seed}").campaign(
-                    kind="mc", dies=args.dies, sigma=args.sigma,
-                    seed=seed)
+            client = ServiceClient(args.url, client_id=f"lot-{seed}")
+            reply = client.campaign(kind="mc", dies=args.dies,
+                                    sigma=args.sigma, seed=seed)
+            assert reply["request_id"] == client.last_request_id, \
+                f"lot {seed}: request id did not round-trip"
+            replies[seed] = reply
         except BaseException as error:
             errors.append((seed, error))
 
@@ -115,10 +120,18 @@ def main(argv=None) -> int:
                    "repro_stage_seconds_sum",
                    "repro_coalesced_requests_count",
                    "repro_coalesced_dies_sum",
-                   "repro_uptime_seconds"):
+                   "repro_uptime_seconds",
+                   # Engine-level series recorded by the pipeline
+                   # itself (repro.obs): stage histograms + campaign
+                   # counter must surface on the server scrape.
+                   "repro_engine_stage_seconds_bucket",
+                   "repro_engine_stage_seconds_bucket{le=\"+Inf\","
+                   "stage=\"encode\"}",
+                   "repro_engine_campaigns_total"):
         assert needle in scrape, f"missing {needle} in /metrics"
     lines = len(scrape.strip().splitlines())
     print(f"/metrics scrape: {lines} series lines")
+    print(f"request-id round-trip verified for {len(seeds)} lots")
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as sink:
             sink.write(scrape)

@@ -38,7 +38,16 @@ import numpy as np
 from repro.core.signature import Signature
 from repro.core.zones import ZoneEncoder
 from repro.filters.biquad import BiquadSpec
+from repro.obs.metrics import default_registry
+from repro.obs.trace import span
 from repro.signals.multitone import Multitone
+
+
+def _cache_kind(key: Hashable) -> str:
+    """Artifact kind of a cache key (keys lead with a kind tag)."""
+    if isinstance(key, tuple) and key and isinstance(key[0], str):
+        return key[0]
+    return "other"
 
 
 def stimulus_key(stimulus: Multitone) -> Tuple:
@@ -159,16 +168,30 @@ class GoldenCache:
 
     def get_or_compute(self, key: Hashable,
                        compute: Callable[[], object]) -> object:
-        """Cached value for ``key``, computing (and storing) on miss."""
+        """Cached value for ``key``, computing (and storing) on miss.
+
+        Lookups count into the process-default metrics registry
+        (``cache_lookups_total{kind,outcome}``); a miss's compute runs
+        under a ``cache.compute`` span so a cold golden or dictionary
+        compile is attributable in a trace.
+        """
+        kind = _cache_kind(key)
         with self._lock:
             if key in self._entries:
                 self._hits += 1
                 self._entries.move_to_end(key)
+                default_registry().counter(
+                    "cache_lookups_total", kind=kind,
+                    outcome="hit").inc()
                 return self._entries[key]
             self._misses += 1
             value = self._store_load(key)
+            outcome = "store_hit" if value is not None else "miss"
+            default_registry().counter(
+                "cache_lookups_total", kind=kind, outcome=outcome).inc()
             if value is None:
-                value = compute()
+                with span("cache.compute", kind=kind):
+                    value = compute()
                 self._store_save(key, value)
             self._entries[key] = value
             while len(self._entries) > self.maxsize:

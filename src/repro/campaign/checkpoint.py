@@ -40,6 +40,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.metrics import default_registry
+from repro.obs.trace import span
 from repro.store import atomic_write_bytes
 
 #: Checkpoint format version (bumped on incompatible changes).
@@ -131,24 +133,27 @@ class StreamCheckpoint:
         The ``checkpoint.write.tear`` fault point simulates the torn
         write the rename discipline prevents.
         """
-        empty = np.empty(0)
-        buffer = io.BytesIO()
-        meta = {
-            "version": CHECKPOINT_VERSION,
-            "config_key": self.config_key,
-            "threshold": self.threshold,
-            "next_index": self.next_index,
-            "labels": self.labels,
-            "timing": self.timing,
-            "chunks_done": self.chunks_done,
-            "complete": self.complete,
-        }
-        np.savez_compressed(
-            buffer, meta=np.asarray(json.dumps(meta)),
-            ndfs=self.values(empty), f0=self.f0_deviations(),
-            q=self.q_deviations())
-        atomic_write_bytes(path, buffer.getvalue(),
-                           tear_fault="checkpoint.write.tear")
+        with span("checkpoint.save", next_index=self.next_index,
+                  complete=self.complete):
+            empty = np.empty(0)
+            buffer = io.BytesIO()
+            meta = {
+                "version": CHECKPOINT_VERSION,
+                "config_key": self.config_key,
+                "threshold": self.threshold,
+                "next_index": self.next_index,
+                "labels": self.labels,
+                "timing": self.timing,
+                "chunks_done": self.chunks_done,
+                "complete": self.complete,
+            }
+            np.savez_compressed(
+                buffer, meta=np.asarray(json.dumps(meta)),
+                ndfs=self.values(empty), f0=self.f0_deviations(),
+                q=self.q_deviations())
+            atomic_write_bytes(path, buffer.getvalue(),
+                               tear_fault="checkpoint.write.tear")
+        default_registry().counter("checkpoint_saves_total").inc()
 
     @classmethod
     def load(cls, path: str) -> "StreamCheckpoint":

@@ -91,6 +91,9 @@ from repro.core.signature import Signature
 from repro.core.signature_batch import SignatureBatch
 from repro.core.zones import ZoneEncoder
 from repro.filters.biquad import BiquadFilter, BiquadSpec
+from repro.obs.metrics import record_engine_timings
+from repro.obs.profile import STAGE_PREFIX
+from repro.obs.trace import span
 from repro.signals.multitone import Multitone
 from repro.signals.noise import NoiseModel
 
@@ -157,6 +160,37 @@ class CampaignConfig:
                        extra_encoders=())
 
 
+class _stage:
+    """One pipeline stage: a timing-dict bucket plus a ``stage.*`` span.
+
+    The span and the accumulated ``timing[name]`` measure the same
+    block at the same nesting level, which is what makes the
+    ``--profile`` cross-check (span sums within 10% of
+    ``CampaignResult.timing``) hold by construction.  With tracing
+    disabled the span side is the shared no-op span, so the cost over
+    the old bare ``perf_counter`` chains is a branch.
+    """
+
+    __slots__ = ("_timing", "_name", "_span", "_start")
+
+    def __init__(self, timing: Dict[str, float], name: str,
+                 **attributes: object) -> None:
+        self._timing = timing
+        self._name = name
+        self._span = span(STAGE_PREFIX + name, **attributes)
+
+    def __enter__(self) -> "_stage":
+        self._span.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._start
+        self._timing[self._name] = \
+            self._timing.get(self._name, 0.0) + elapsed
+        return self._span.__exit__(exc_type, exc, tb)
+
+
 # ----------------------------------------------------------------------
 # Chunk workers (module level: pool executors pickle them)
 # ----------------------------------------------------------------------
@@ -199,15 +233,13 @@ def _score_code_stack(config: CampaignConfig, golden: GoldenArtifacts,
     computed by exactly the single-channel operations, so it stays
     bit-identical to a plain run.
     """
-    t0 = time.perf_counter()
-    codes = batch_codes(config.encoder, x, y)
-    t1 = time.perf_counter()
-    timing["encode"] = timing.get("encode", 0.0) + (t1 - t0)
-    batch = batch_extract(golden.times, codes, golden.period)
-    t2 = time.perf_counter()
-    timing["signature"] = timing.get("signature", 0.0) + (t2 - t1)
-    values = batch.ndf_to(golden.signature)
-    timing["ndf"] = timing.get("ndf", 0.0) + (time.perf_counter() - t2)
+    dies = int(y.shape[0])
+    with _stage(timing, "encode", dies=dies):
+        codes = batch_codes(config.encoder, x, y)
+    with _stage(timing, "signature", dies=dies):
+        batch = batch_extract(golden.times, codes, golden.period)
+    with _stage(timing, "ndf", dies=dies):
+        values = batch.ndf_to(golden.signature)
     if not config.extra_encoders:
         return values, (batch if collect else None)
     cache = cache if cache is not None else _PROCESS_CACHE
@@ -216,17 +248,13 @@ def _score_code_stack(config: CampaignConfig, golden: GoldenArtifacts,
     for k in range(1, config.num_channels):
         sub = config.channel_config(k)
         sub_golden = _golden_artifacts(sub, cache)
-        t0 = time.perf_counter()
-        sub_codes = batch_codes(sub.encoder, x, y)
-        t1 = time.perf_counter()
-        timing["encode"] = timing.get("encode", 0.0) + (t1 - t0)
-        sub_batch = batch_extract(golden.times, sub_codes,
-                                  golden.period)
-        t2 = time.perf_counter()
-        timing["signature"] = timing.get("signature", 0.0) + (t2 - t1)
-        columns.append(sub_batch.ndf_to(sub_golden.signature))
-        timing["ndf"] = timing.get("ndf", 0.0) \
-            + (time.perf_counter() - t2)
+        with _stage(timing, "encode", dies=dies, channel=k):
+            sub_codes = batch_codes(sub.encoder, x, y)
+        with _stage(timing, "signature", dies=dies, channel=k):
+            sub_batch = batch_extract(golden.times, sub_codes,
+                                      golden.period)
+        with _stage(timing, "ndf", dies=dies, channel=k):
+            columns.append(sub_batch.ndf_to(sub_golden.signature))
         channels.append(sub_batch)
     stacked = np.stack(columns, axis=1)
     return stacked, (MultiSignatureBatch(channels) if collect else None)
@@ -245,13 +273,10 @@ def _spec_chunk_ndfs(config: CampaignConfig,
     fused encode and packed back half.
     """
     timing: Dict[str, float] = {}
-    t0 = time.perf_counter()
-    golden = _golden_artifacts(config, cache)
-    t1 = time.perf_counter()
-    timing["golden"] = t1 - t0
-    y = batch_biquad_traces(specs, config.stimulus, golden.times)
-    t2 = time.perf_counter()
-    timing["traces"] = t2 - t1
+    with _stage(timing, "golden"):
+        golden = _golden_artifacts(config, cache)
+    with _stage(timing, "traces", dies=len(specs)):
+        y = batch_biquad_traces(specs, config.stimulus, golden.times)
     values, batch = _score_code_stack(config, golden, golden.x, y,
                                       timing, collect, cache)
     SCRATCH.give(y)  # trace stacks ride pooled buffers; codes are out
@@ -270,22 +295,19 @@ def _response_chunk_ndfs(config: CampaignConfig, cuts: Sequence,
     else falls back to the per-cut ``response()`` reference loop.
     """
     timing: Dict[str, float] = {}
-    t0 = time.perf_counter()
-    golden = _golden_artifacts(config, cache)
-    t1 = time.perf_counter()
-    timing["golden"] = t1 - t0
-    y = batch_netlist_traces(cuts, config.stimulus, golden.times)
-    # Exact-type check: a BiquadFilter subclass may override
-    # response(), which the closed-form synthesis would bypass.
-    if y is None and cuts and all(type(cut) is BiquadFilter
-                                  for cut in cuts):
-        y = batch_biquad_traces([cut.spec for cut in cuts],
-                                config.stimulus, golden.times)
-    if y is None:
-        responses = [cut.response(config.stimulus) for cut in cuts]
-        y = batch_multitone_eval(responses, golden.times)
-    t2 = time.perf_counter()
-    timing["traces"] = t2 - t1
+    with _stage(timing, "golden"):
+        golden = _golden_artifacts(config, cache)
+    with _stage(timing, "traces", dies=len(cuts)):
+        y = batch_netlist_traces(cuts, config.stimulus, golden.times)
+        # Exact-type check: a BiquadFilter subclass may override
+        # response(), which the closed-form synthesis would bypass.
+        if y is None and cuts and all(type(cut) is BiquadFilter
+                                      for cut in cuts):
+            y = batch_biquad_traces([cut.spec for cut in cuts],
+                                    config.stimulus, golden.times)
+        if y is None:
+            responses = [cut.response(config.stimulus) for cut in cuts]
+            y = batch_multitone_eval(responses, golden.times)
     values, batch = _score_code_stack(config, golden, golden.x, y,
                                       timing, collect, cache)
     SCRATCH.give(y)
@@ -306,9 +328,8 @@ def _trace_rows_ndfs(config: CampaignConfig, y_rows: np.ndarray,
                                 Optional[SignatureBatch]]:
     """NDFs of a slice of measured traces on the shared grid."""
     timing: Dict[str, float] = {}
-    t0 = time.perf_counter()
-    golden = _golden_artifacts(config, cache)
-    timing["golden"] = time.perf_counter() - t0
+    with _stage(timing, "golden"):
+        golden = _golden_artifacts(config, cache)
     values, batch = _score_code_stack(config, golden, golden.x, y_rows,
                                       timing, collect, cache)
     return values, timing, batch
@@ -358,28 +379,25 @@ def _noise_chunk_ndfs(config: CampaignConfig,
     never reshuffle noise.
     """
     timing: Dict[str, float] = {}
-    t0 = time.perf_counter()
-    golden = _golden_artifacts(config, cache)
-    t1 = time.perf_counter()
-    timing["golden"] = t1 - t0
-    y = batch_biquad_traces(specs, config.stimulus, golden.times)
-    t2 = time.perf_counter()
-    timing["traces"] = t2 - t1
+    with _stage(timing, "golden"):
+        golden = _golden_artifacts(config, cache)
+    with _stage(timing, "traces", dies=len(specs)):
+        y = batch_biquad_traces(specs, config.stimulus, golden.times)
     n, t = y.shape
-    sigma = three_sigma / 3.0
-    x_stack = np.broadcast_to(golden.x, (n * repeats, t))
-    if sigma > 0.0:
-        noise = np.empty((n, repeats, 2, t))
-        for i, child in enumerate(children):
-            rng = np.random.default_rng(child)
-            noise[i] = rng.normal(0.0, sigma, size=(repeats, 2, t))
-        x_stack = x_stack + noise[:, :, 0, :].reshape(n * repeats, t)
-        y_stack = (np.repeat(y, repeats, axis=0)
-                   + noise[:, :, 1, :].reshape(n * repeats, t))
-    else:
-        y_stack = np.repeat(y, repeats, axis=0)
-    SCRATCH.give(y)  # the repeated stack supersedes the clean traces
-    timing["noise"] = time.perf_counter() - t2
+    with _stage(timing, "noise", dies=n, repeats=repeats):
+        sigma = three_sigma / 3.0
+        x_stack = np.broadcast_to(golden.x, (n * repeats, t))
+        if sigma > 0.0:
+            noise = np.empty((n, repeats, 2, t))
+            for i, child in enumerate(children):
+                rng = np.random.default_rng(child)
+                noise[i] = rng.normal(0.0, sigma, size=(repeats, 2, t))
+            x_stack = x_stack + noise[:, :, 0, :].reshape(n * repeats, t)
+            y_stack = (np.repeat(y, repeats, axis=0)
+                       + noise[:, :, 1, :].reshape(n * repeats, t))
+        else:
+            y_stack = np.repeat(y, repeats, axis=0)
+        SCRATCH.give(y)  # repeated stack supersedes the clean traces
     values, __ = _score_code_stack(config, golden, x_stack, y_stack,
                                    timing)
     return values.reshape(n, repeats), timing
@@ -533,12 +551,20 @@ class CampaignEngine:
         request and call this).  Service sessions and the coalescing
         batcher submit requests directly; ``request.client`` is
         ignored here -- it is service-layer bookkeeping.
+
+        With tracing enabled (:func:`repro.obs.tracing`) the whole
+        submission runs under a ``campaign.submit`` span and every
+        pipeline stage opens a ``stage.*`` child; per-campaign stage
+        timings also land in the process-default metrics registry
+        (``engine_stage_seconds`` histograms) either way.
         """
-        if request.mode == "stream":
-            return self._submit_stream(request)
-        if request.mode == "noise":
-            return self._submit_noise(request)
-        return self._submit_run(request)
+        with span("campaign.submit", mode=request.mode,
+                  executor=getattr(self.executor, "name", "custom")):
+            if request.mode == "stream":
+                return self._submit_stream(request)
+            if request.mode == "noise":
+                return self._submit_noise(request)
+            return self._submit_run(request)
 
     def run(self, population: Union[Population, Iterable],
             band: Union[None, str, float, DecisionBand] = "auto",
@@ -655,6 +681,11 @@ class CampaignEngine:
                 if multi_batch is not None else None
         verdicts = None if threshold is None else values <= threshold
         timing["total"] = time.perf_counter() - start
+        # Terminal result constructor: recursive delegations (extra
+        # encoders, iterator -> stream) all funnel through here exactly
+        # once per logical campaign, so engine-level metrics record
+        # here, not in submit().
+        record_engine_timings(timing)
         return CampaignResult(
             ndfs=values, threshold=threshold, verdicts=verdicts,
             f0_deviations=f0_devs, q_deviations=q_devs, labels=labels,
@@ -909,6 +940,7 @@ class CampaignEngine:
         matrix = (np.concatenate([v for v, __ in outputs], axis=0)
                   if outputs else np.empty((0, repeats)))
         timing["total"] = time.perf_counter() - start
+        record_engine_timings(timing)
         return NoiseCampaignResult(
             ndf_matrix=matrix, threshold=threshold,
             labels=list(population.labels),
@@ -1105,58 +1137,52 @@ class CampaignEngine:
         # and only the Y rows are retained (the stack the batch needs
         # anyway), so memory stays O(stack), never O(N) full traces.
         timing: Dict[str, float] = {}
-        t0 = time.perf_counter()
-        golden = self.golden()
-        timing["golden"] = time.perf_counter() - t0
-        t1 = time.perf_counter()
-        first = population.cuts[0].lissajous(
-            self.config.stimulus, self.config.samples_per_period)
-        xs, first_y = first.points()
-        y_stack = np.empty((len(population), xs.size))
-        y_stack[0] = first_y
-        shared_grid = True
-        for i, cut in enumerate(population.cuts[1:], start=1):
-            trace = cut.lissajous(self.config.stimulus,
-                                  self.config.samples_per_period)
-            if not (trace.period == first.period
-                    and np.array_equal(trace.times, first.times)
-                    and np.array_equal(trace.points()[0], xs)):
-                shared_grid = False
-                break
-            y_stack[i] = trace.points()[1]
-        timing["traces"] = time.perf_counter() - t1
+        with _stage(timing, "golden"):
+            golden = self.golden()
+        with _stage(timing, "traces", dies=len(population)):
+            first = population.cuts[0].lissajous(
+                self.config.stimulus, self.config.samples_per_period)
+            xs, first_y = first.points()
+            y_stack = np.empty((len(population), xs.size))
+            y_stack[0] = first_y
+            shared_grid = True
+            for i, cut in enumerate(population.cuts[1:], start=1):
+                trace = cut.lissajous(self.config.stimulus,
+                                      self.config.samples_per_period)
+                if not (trace.period == first.period
+                        and np.array_equal(trace.times, first.times)
+                        and np.array_equal(trace.points()[0], xs)):
+                    shared_grid = False
+                    break
+                y_stack[i] = trace.points()[1]
         if shared_grid:
-            t2 = time.perf_counter()
-            codes = batch_codes(self.config.encoder, xs, y_stack)
-            t3 = time.perf_counter()
-            timing["encode"] = t3 - t2
-            batch = batch_extract(first.times - first.times[0], codes,
-                                  first.period)
-            t4 = time.perf_counter()
-            timing["signature"] = t4 - t3
-            values = batch.ndf_to(golden.signature)
-            timing["ndf"] = time.perf_counter() - t4
+            with _stage(timing, "encode", dies=len(population)):
+                codes = batch_codes(self.config.encoder, xs, y_stack)
+            with _stage(timing, "signature", dies=len(population)):
+                batch = batch_extract(first.times - first.times[0],
+                                      codes, first.period)
+            with _stage(timing, "ndf", dies=len(population)):
+                values = batch.ndf_to(golden.signature)
             return (values, timing, list(population.labels),
                     batch if collect else None)
         # Heterogeneous grids: score die by die, one trace resident at
         # a time (rare -- mixed CUT families in one population).
         from repro.core.ndf import ndf as _ndf
         del y_stack
-        t2 = time.perf_counter()
-        values = np.empty(len(population))
-        signatures: List[Signature] = []
-        for i, cut in enumerate(population.cuts):
-            trace = cut.lissajous(self.config.stimulus,
-                                  self.config.samples_per_period)
-            txs, tys = trace.points()
-            codes = batch_codes(self.config.encoder, txs,
-                                tys[None, :])[0]
-            observed = Signature.from_samples(
-                trace.times - trace.times[0], codes, trace.period)
-            if collect:
-                signatures.append(observed)
-            values[i] = _ndf(observed, golden.signature)
-        timing["encode+score"] = time.perf_counter() - t2
+        with _stage(timing, "encode+score", dies=len(population)):
+            values = np.empty(len(population))
+            signatures: List[Signature] = []
+            for i, cut in enumerate(population.cuts):
+                trace = cut.lissajous(self.config.stimulus,
+                                      self.config.samples_per_period)
+                txs, tys = trace.points()
+                codes = batch_codes(self.config.encoder, txs,
+                                    tys[None, :])[0]
+                observed = Signature.from_samples(
+                    trace.times - trace.times[0], codes, trace.period)
+                if collect:
+                    signatures.append(observed)
+                values[i] = _ndf(observed, golden.signature)
         batch = (SignatureBatch.from_signatures(signatures)
                  if collect else None)
         return values, timing, list(population.labels), batch
@@ -1184,19 +1210,16 @@ class CampaignEngine:
             return (np.empty(0), {"golden": 0.0}, [],
                     SignatureBatch.empty() if collect else None)
         timing: Dict[str, float] = {}
-        t0 = time.perf_counter()
-        golden = self.golden()
-        t1 = time.perf_counter()
-        timing["golden"] = t1 - t0
-        code_stack = np.stack(
-            [batch_codes(encoder, golden.x, golden.y[None, :])[0]
-             for encoder in population.encoders])
-        t2 = time.perf_counter()
-        timing["encode"] = t2 - t1
-        batch = batch_extract(golden.times, code_stack, golden.period)
-        t3 = time.perf_counter()
-        timing["signature"] = t3 - t2
-        values = batch.ndf_to(golden.signature)
-        timing["ndf"] = time.perf_counter() - t3
+        with _stage(timing, "golden"):
+            golden = self.golden()
+        with _stage(timing, "encode", dies=len(population)):
+            code_stack = np.stack(
+                [batch_codes(encoder, golden.x, golden.y[None, :])[0]
+                 for encoder in population.encoders])
+        with _stage(timing, "signature", dies=len(population)):
+            batch = batch_extract(golden.times, code_stack,
+                                  golden.period)
+        with _stage(timing, "ndf", dies=len(population)):
+            values = batch.ndf_to(golden.signature)
         return (values, timing, list(population.labels),
                 batch if collect else None)

@@ -29,6 +29,8 @@ from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
+from repro.obs.trace import span
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -54,8 +56,17 @@ class SerialExecutor:
 
     def map(self, worker: Callable[[T], R],
             chunks: Iterable[T]) -> List[R]:
-        """Apply ``worker`` to every chunk, preserving order."""
-        return [worker(chunk) for chunk in chunks]
+        """Apply ``worker`` to every chunk, preserving order.
+
+        With tracing on, every chunk runs under an ``executor.chunk``
+        span (stage spans opened inside the chunk nest under it).
+        """
+        results: List[R] = []
+        for index, chunk in enumerate(chunks):
+            with span("executor.chunk", executor=self.name,
+                      index=index):
+                results.append(worker(chunk))
+        return results
 
     def shutdown(self) -> None:
         """Nothing to release."""
@@ -96,9 +107,20 @@ class ProcessPoolExecutor:
         chunk workers are module-level functions taking dataclass
         payloads, which are).
         """
-        pool = self._ensure_pool()
-        futures = [pool.submit(worker, chunk) for chunk in chunks]
-        return [f.result() for f in futures]
+        chunks = list(chunks)
+        with span("executor.map", executor=self.name,
+                  chunks=len(chunks)):
+            pool = self._ensure_pool()
+            futures = [pool.submit(worker, chunk) for chunk in chunks]
+            # Pool-worker processes trace independently (tracing state
+            # is per process); the parent records what it can observe:
+            # one span per chunk covering the wait for its result.
+            results: List[R] = []
+            for index, future in enumerate(futures):
+                with span("executor.chunk", executor=self.name,
+                          index=index):
+                    results.append(future.result())
+            return results
 
     def shutdown(self) -> None:
         """Tear the pool down (idempotent)."""

@@ -62,6 +62,14 @@ class ScreeningRequest:
         Free-form requester identity.  The engine ignores it; the
         service layer uses it for rate limiting, metrics and the
         coalescing batcher's scatter bookkeeping.
+    request_id:
+        Optional end-to-end correlation id (the client's
+        ``X-Repro-Request-Id``).  The engine math ignores it; the
+        service layer threads it session -> batcher -> engine so
+        server-side spans and structured log lines join the client's
+        retries.  Contextvars do not cross the handler-to-batcher
+        thread boundary, which is why the id rides the request object
+        explicitly.
     checkpoint:
         Optional path making a ``mode="stream"`` campaign crash-safe:
         partial fleet stats plus the next global die index persist
@@ -89,6 +97,7 @@ class ScreeningRequest:
     noise: Union[None, float, NoiseModel] = None
     seed: int = 0
     client: Optional[str] = None
+    request_id: Optional[str] = None
     checkpoint: Optional[str] = None
     checkpoint_every: int = 1
     stream_offset: int = 0

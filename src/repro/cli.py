@@ -17,6 +17,9 @@
                                             # (re-run resumes)
     python -m repro campaign --dies 200 --repeats 20
                                             # Section IV-C noise repeats
+    python -m repro campaign --dies 500 --profile --trace-out t.json
+                                            # per-stage profile +
+                                            # Chrome/Perfetto trace
     python -m repro campaign --scenario faults --second-signature auto
                                             # two-channel screening
     python -m repro diagnose --per-fault 10 [--top-k 3] [--json]
@@ -143,6 +146,15 @@ def _build_parser() -> argparse.ArgumentParser:
                                "dictionary's ambiguity groups, or "
                                "give a candidate name like "
                                "'bias-0.10_level1e-05'")
+    campaign.add_argument("--profile", action="store_true",
+                          help="trace the run and print a per-stage "
+                               "profile table (seconds per pipeline "
+                               "stage; with --json, a 'profile' key)")
+    campaign.add_argument("--trace-out", metavar="PATH", default=None,
+                          help="write the run's spans as Chrome "
+                               "trace_event JSON (load in "
+                               "chrome://tracing or Perfetto; implies "
+                               "tracing)")
     campaign.add_argument("--json", action="store_true",
                           help="emit a machine-readable JSON summary")
 
@@ -236,6 +248,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="how long SIGTERM/^C waits for in-flight "
                             "requests before exiting (default 30)")
+    serve.add_argument("--trace", nargs="?", const=True, default=None,
+                       metavar="PATH",
+                       help="record server-side tracing spans (every "
+                            "span carries the client's request id); "
+                            "give a PATH to write them as Chrome "
+                            "trace JSON on shutdown")
 
     client = sub.add_parser(
         "client",
@@ -258,6 +276,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="fault candidates per die (diagnose)")
     client.add_argument("--timeout", type=float, default=120.0,
                         help="request timeout in seconds")
+    client.add_argument("--retries", type=_non_negative_int, default=0,
+                        help="transient-failure retries with backoff "
+                             "(default 0 = fail fast); every attempt "
+                             "replays the same request id and "
+                             "idempotency key")
     return parser
 
 
@@ -401,6 +424,37 @@ def _campaign_executor(args):
     return None
 
 
+def _campaign_tracer(args):
+    """An installed tracer when --profile/--trace-out ask for one."""
+    if not (args.profile or args.trace_out):
+        return None
+    from repro.obs import Tracer, install_tracer
+
+    tracer = Tracer()
+    install_tracer(tracer)
+    return tracer
+
+
+def _profile_outputs(args, tracer):
+    """(profile dict, written trace path) for a traced campaign."""
+    from repro.obs import stage_profile
+
+    profile = stage_profile(tracer)
+    trace_path = (tracer.write_chrome_trace(args.trace_out)
+                  if args.trace_out else None)
+    return profile, trace_path
+
+
+def _print_profile(profile, timing, trace_path) -> None:
+    from repro.obs import render_profile
+
+    print()
+    print(render_profile(profile, timing))
+    if trace_path is not None:
+        print(f"trace: {trace_path} "
+              f"(load in chrome://tracing or ui.perfetto.dev)")
+
+
 def _cmd_campaign(setup, args) -> int:
     from repro.campaign import stream_montecarlo_dies
 
@@ -434,6 +488,7 @@ def _cmd_campaign(setup, args) -> int:
     engine = setup.campaign_engine(samples_per_period=args.samples,
                                    tolerance=args.tolerance,
                                    executor=executor)
+    tracer = None
     faults = None
     second_name = None
     encoders = None
@@ -446,13 +501,20 @@ def _cmd_campaign(setup, args) -> int:
                 print(f"--second-signature: {error}", file=sys.stderr)
                 return 2
             encoders = [engine.config.encoder, second]
+        if args.profile or args.trace_out:
+            # Warm the golden/calibration outside the trace window so
+            # the profile covers the screening run itself -- stage
+            # span durations then agree with result.timing.
+            engine.golden()
+            engine.band()
+            tracer = _campaign_tracer(args)
         if args.repeats:
             population, __ = _campaign_population(setup, args)
             result = engine.run_noise(population,
                                       repeats=args.repeats,
                                       noise=args.noise,
                                       seed=args.seed, band="auto")
-            return _report_noise_campaign(args, result)
+            return _report_noise_campaign(args, result, tracer)
         if args.stream:
             chunks = stream_montecarlo_dies(
                 setup.golden_spec, args.dies, chunk_size=args.chunk,
@@ -466,8 +528,15 @@ def _cmd_campaign(setup, args) -> int:
             result = engine.run(population, band="auto",
                                 encoders=encoders)
     finally:
+        if tracer is not None:
+            from repro.obs import uninstall_tracer
+
+            uninstall_tracer()
         if executor is not None:
             executor.shutdown()
+    profile = trace_path = None
+    if tracer is not None:
+        profile, trace_path = _profile_outputs(args, tracer)
     if args.json:
         import json
 
@@ -484,6 +553,10 @@ def _cmd_campaign(setup, args) -> int:
             "timing": result.timing,
             "executor": result.executor,
         }
+        if profile is not None:
+            payload["profile"] = profile
+        if trace_path is not None:
+            payload["trace"] = trace_path
         if result.channel_ndfs is not None:
             payload["second_signature"] = second_name
             payload["channels"] = [
@@ -516,11 +589,16 @@ def _cmd_campaign(setup, args) -> int:
             print(f"detected:    {', '.join(detected) or '(none)'}")
             if escaped:
                 print(f"escapes:     {', '.join(escaped)}")
+        if profile is not None:
+            _print_profile(profile, result.timing, trace_path)
     return 0
 
 
-def _report_noise_campaign(args, result) -> int:
+def _report_noise_campaign(args, result, tracer=None) -> int:
     """Print a noise-campaign result (JSON or human-readable)."""
+    profile = trace_path = None
+    if tracer is not None:
+        profile, trace_path = _profile_outputs(args, tracer)
     if args.json:
         import json
 
@@ -537,11 +615,17 @@ def _report_noise_campaign(args, result) -> int:
             "timing": result.timing,
             "executor": result.executor,
         }
+        if profile is not None:
+            payload["profile"] = profile
+        if trace_path is not None:
+            payload["trace"] = trace_path
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(f"noise campaign: mc ({result.num_dies} dies x "
               f"{result.repeats} repeats, band ±{args.tolerance:.0%})")
         print(result.summary())
+        if profile is not None:
+            _print_profile(profile, result.timing, trace_path)
     return 0
 
 
@@ -709,8 +793,16 @@ def _cmd_serve(args) -> int:
     import signal
     import threading
 
+    from repro.obs import Tracer, install_tracer, set_log_sink
     from repro.service import ScreeningSession, build_server
 
+    # Structured JSON access/event logs to stderr (stdout stays the
+    # human status channel); each line carries the request id.
+    set_log_sink(sys.stderr)
+    tracer = None
+    if args.trace is not None:
+        tracer = Tracer()
+        install_tracer(tracer)
     session = ScreeningSession.from_paper(
         samples_per_period=args.samples, tolerance=args.tolerance,
         store=args.store)
@@ -745,6 +837,9 @@ def _cmd_serve(args) -> int:
     if not drained:
         print(f"drain timed out after {args.drain_timeout:g}s",
               file=sys.stderr, flush=True)
+    if tracer is not None and isinstance(args.trace, str):
+        path = tracer.write_chrome_trace(args.trace)
+        print(f"trace: {path} ({len(tracer)} spans)", flush=True)
     return 0 if drained else 1
 
 
@@ -752,10 +847,12 @@ def _cmd_client(args) -> int:
     """One request against a running service, JSON to stdout."""
     import json
 
-    from repro.service import ServiceClient, ServiceError
+    from repro.service import RetryPolicy, ServiceClient, ServiceError
 
+    retry = (RetryPolicy(max_attempts=args.retries + 1)
+             if args.retries else None)
     client = ServiceClient(args.url, client_id=args.id,
-                           timeout=args.timeout)
+                           timeout=args.timeout, retry=retry)
     try:
         if args.endpoint == "metrics":
             print(client.metrics_text(), end="")

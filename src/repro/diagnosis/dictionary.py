@@ -49,6 +49,7 @@ from repro.filters.faults import (
     parametric_sweep,
 )
 from repro.filters.towthomas import TowThomasValues
+from repro.obs.trace import span
 
 #: Parametric deviation classes compiled into the default dictionary:
 #: clearly-failing shifts of each behavioural parameter, one class per
@@ -467,6 +468,11 @@ def compile_multi_fault_dictionary(engine, encoders,
            values_key(values), tuple(fault_key(f) for f in fault_list))
 
     def compute() -> MultiFaultDictionary:
+        with span("dictionary.compile", faults=len(fault_list),
+                  channels=config.num_channels):
+            return _compute_multi()
+
+    def _compute_multi() -> MultiFaultDictionary:
         cuts = [fault.apply_to_biquad(values) for fault in fault_list]
         population = CutListPopulation(
             cuts, [fault.label for fault in fault_list])
@@ -538,19 +544,23 @@ def compile_fault_dictionary(engine, faults: Optional[Sequence[Fault]] = None,
            values_key(values), tuple(fault_key(f) for f in fault_list))
 
     def compute() -> FaultDictionary:
-        cuts = [fault.apply_to_biquad(values) for fault in fault_list]
-        population = CutListPopulation(
-            cuts, [fault.label for fault in fault_list])
-        result = engine.run(population, band=None,
-                            keep_signatures=True)
-        num_bits = config.encoder.num_bits
-        return FaultDictionary(
-            batch=result.signature_batch, ndfs=result.ndfs,
-            features=dwell_features(result.signature_batch, num_bits),
-            faults=fault_list,
-            golden_signature=engine.golden().signature,
-            num_bits=num_bits,
-            period=engine.golden().period, threshold=None)
+        with span("dictionary.compile", faults=len(fault_list),
+                  channels=1):
+            cuts = [fault.apply_to_biquad(values)
+                    for fault in fault_list]
+            population = CutListPopulation(
+                cuts, [fault.label for fault in fault_list])
+            result = engine.run(population, band=None,
+                                keep_signatures=True)
+            num_bits = config.encoder.num_bits
+            return FaultDictionary(
+                batch=result.signature_batch, ndfs=result.ndfs,
+                features=dwell_features(result.signature_batch,
+                                        num_bits),
+                faults=fault_list,
+                golden_signature=engine.golden().signature,
+                num_bits=num_bits,
+                period=engine.golden().period, threshold=None)
 
     dictionary = engine.cache.get_or_compute(key, compute)
     threshold = engine._resolve_threshold(band)

@@ -36,6 +36,7 @@ from repro.diagnosis.dictionary import (
     dwell_features,
 )
 from repro.diagnosis.result import DiagnosisResult
+from repro.obs.trace import span
 
 _METRICS = ("ndf", "dwell")
 
@@ -122,9 +123,12 @@ class DictionaryMatcher:
         Ties are broken by fault index (stable argsort), so results
         are deterministic and identical to the per-die reference.
         """
-        return _match_from_distances(
-            lambda: self.distance_matrix(batch, metric),
-            self.dictionary.labels, batch, top_k, metric, die_labels)
+        with span("dictionary.match", dies=len(batch),
+                  faults=len(self.dictionary), metric=metric):
+            return _match_from_distances(
+                lambda: self.distance_matrix(batch, metric),
+                self.dictionary.labels, batch, top_k, metric,
+                die_labels)
 
     # ------------------------------------------------------------------
     # Per-die reference (equivalence baseline, report-edge semantics)
@@ -270,7 +274,10 @@ class MultiDictionaryMatcher:
         the production signature.
         """
         self._check(batch)
-        return _match_from_distances(
-            lambda: self.distance_matrix(batch, metric),
-            self.dictionary.labels, batch.channel(0), top_k, metric,
-            die_labels)
+        with span("dictionary.match", dies=len(batch),
+                  faults=len(self.dictionary), metric=metric,
+                  channels=batch.num_channels):
+            return _match_from_distances(
+                lambda: self.distance_matrix(batch, metric),
+                self.dictionary.labels, batch.channel(0), top_k,
+                metric, die_labels)

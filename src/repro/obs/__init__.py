@@ -1,0 +1,84 @@
+"""repro.obs -- dependency-free telemetry for the screening stack.
+
+Three small modules:
+
+* :mod:`repro.obs.trace` -- nested tracing spans with a ring buffer,
+  JSONL / Chrome ``trace_event`` exports, and request-id context
+  propagation (``X-Repro-Request-Id``).
+* :mod:`repro.obs.metrics` -- counters / gauges / histograms / rolling
+  windows with a Prometheus-style text exposition, plus the
+  process-default registry engine-level metrics record into.
+* :mod:`repro.obs.logs` -- structured JSON event lines that pick up
+  the bound request id automatically.
+
+See ``docs/observability.md`` for the span taxonomy and how to open a
+trace in Perfetto.
+"""
+
+from repro.obs.logs import log_event, log_sink, set_log_sink
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RollingWindow,
+    default_registry,
+    record_engine_timings,
+    set_default_registry,
+    timed,
+)
+from repro.obs.profile import STAGE_PREFIX, render_profile, stage_profile
+from repro.obs.trace import (
+    NULL_SPAN,
+    REQUEST_ID_HEADER,
+    Span,
+    SpanRecord,
+    Tracer,
+    current_tracer,
+    get_request_id,
+    install_tracer,
+    new_request_id,
+    request_context,
+    reset_request_id,
+    set_request_id,
+    span,
+    tracing,
+    tracing_enabled,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "REQUEST_ID_HEADER",
+    "RollingWindow",
+    "STAGE_PREFIX",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "current_tracer",
+    "default_registry",
+    "get_request_id",
+    "install_tracer",
+    "log_event",
+    "log_sink",
+    "new_request_id",
+    "record_engine_timings",
+    "render_profile",
+    "request_context",
+    "reset_request_id",
+    "set_default_registry",
+    "set_log_sink",
+    "set_request_id",
+    "span",
+    "stage_profile",
+    "timed",
+    "tracing",
+    "tracing_enabled",
+    "uninstall_tracer",
+]

@@ -1,0 +1,83 @@
+"""Structured JSON event logging with request-id stitching.
+
+One function, :func:`log_event`, emits one JSON object per line to the
+configured sink (disabled by default -- the library never writes to a
+stream nobody asked for).  ``repro serve`` points the sink at stderr,
+turning server access lines into machine-parseable records::
+
+    {"ts": "2026-08-08T12:00:00.123Z", "event": "http.request",
+     "request_id": "9f0c...", "method": "POST", "path": "/campaign",
+     "status": 200, "duration_ms": 41.3}
+
+The ``request_id`` field is attached automatically from the
+:mod:`repro.obs.trace` context binding, so every log line inside a
+:func:`repro.obs.request_context` block joins the client's
+``X-Repro-Request-Id`` without the call site passing it around.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import threading
+from typing import IO, Optional
+
+from repro.obs.trace import get_request_id
+
+_SINK_LOCK = threading.Lock()
+_SINK: Optional[IO[str]] = None
+
+
+def set_log_sink(sink: Optional[IO[str]]) -> Optional[IO[str]]:
+    """Direct :func:`log_event` lines at a text stream.
+
+    Returns the previous sink; ``set_log_sink(None)`` disables logging
+    (the default -- library users opt in, ``repro serve`` opts in for
+    them).
+    """
+    global _SINK
+    with _SINK_LOCK:
+        previous = _SINK
+        _SINK = sink
+        return previous
+
+
+def log_sink() -> Optional[IO[str]]:
+    """The current sink (None while logging is disabled)."""
+    return _SINK
+
+
+def log_event(event: str, **fields: object) -> None:
+    """Emit one structured JSON log line (no-op when no sink is set).
+
+    ``event`` names the record (``http.request``, ``client.retry``,
+    ``idempotent.replay``); keyword fields become JSON keys.  A
+    timestamp and the bound request id (if any) are attached
+    automatically; an explicit ``request_id=`` keyword wins.
+    """
+    sink = _SINK
+    if sink is None:
+        return
+    record: dict = {
+        "ts": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="milliseconds").replace("+00:00", "Z"),
+        "event": event,
+    }
+    rid = get_request_id()
+    if rid is not None:
+        record["request_id"] = rid
+    record.update(fields)
+    line = json.dumps(record, sort_keys=False, default=repr)
+    with _SINK_LOCK:
+        sink = _SINK
+        if sink is None:
+            return
+        try:
+            sink.write(line + "\n")
+            sink.flush()
+        except (ValueError, OSError):
+            # A closed or broken sink must never take the server down.
+            pass
+
+
+__all__ = ["log_event", "log_sink", "set_log_sink"]

@@ -1,0 +1,75 @@
+"""Per-stage profiles out of a recorded trace.
+
+``repro campaign --profile`` runs the campaign under a
+:class:`repro.obs.Tracer`, then renders the aggregate below: one row
+per pipeline stage (the ``stage.*`` spans the engine opens), with span
+counts and total seconds, cross-checked against the coarse
+``CampaignResult.timing`` floats.  The span sums and the timing dict
+are measured by the same ``perf_counter`` calls at the same nesting
+level, so they agree to within bookkeeping noise -- the acceptance
+bound is 10%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.obs.trace import Tracer
+
+#: Engine stage spans share this prefix (``stage.encode`` etc.).
+STAGE_PREFIX = "stage."
+
+
+def stage_profile(tracer: Tracer,
+                  prefix: str = STAGE_PREFIX) -> Dict[str, Dict[str, float]]:
+    """Aggregate ``prefix``-named spans: ``{stage: {spans, seconds}}``.
+
+    Only spans whose name starts with ``prefix`` count; the stage key
+    is the remainder of the name (``stage.encode`` -> ``encode``).
+    """
+    profile: Dict[str, Dict[str, float]] = {}
+    for record in tracer.records():
+        if not record.name.startswith(prefix):
+            continue
+        stage = record.name[len(prefix):]
+        row = profile.setdefault(stage, {"spans": 0.0, "seconds": 0.0})
+        row["spans"] += 1
+        row["seconds"] += record.duration
+    return profile
+
+
+def render_profile(profile: Mapping[str, Mapping[str, float]],
+                   timing: Optional[Mapping[str, float]] = None) -> str:
+    """Text table of a :func:`stage_profile` (the ``--profile`` output).
+
+    With ``timing`` (the campaign's own stage dict), an extra column
+    shows the engine-reported seconds next to the span sums so drift
+    is visible at a glance.
+    """
+    stages = sorted(profile,
+                    key=lambda s: -profile[s].get("seconds", 0.0))
+    header = f"{'stage':<14} {'spans':>7} {'seconds':>10}"
+    if timing is not None:
+        header += f" {'timing':>10}"
+    lines = [header, "-" * len(header)]
+    total = 0.0
+    for stage in stages:
+        row = profile[stage]
+        total += row.get("seconds", 0.0)
+        line = (f"{stage:<14} {int(row.get('spans', 0)):>7} "
+                f"{row.get('seconds', 0.0):>10.4f}")
+        if timing is not None:
+            reported = timing.get(stage)
+            line += (f" {reported:>10.4f}" if reported is not None
+                     else f" {'-':>10}")
+        lines.append(line)
+    footer = f"{'total':<14} {'':>7} {total:>10.4f}"
+    if timing is not None:
+        reported_total = timing.get("total")
+        footer += (f" {reported_total:>10.4f}"
+                   if reported_total is not None else f" {'-':>10}")
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+__all__ = ["STAGE_PREFIX", "render_profile", "stage_profile"]

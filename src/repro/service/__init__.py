@@ -15,6 +15,12 @@ long-lived screening endpoint:
 - :class:`ServiceClient` -- the matching stdlib client, with an
   optional :class:`RetryPolicy` (idempotent replays, backoff+jitter).
 
+Telemetry lives in :mod:`repro.obs` (tracing spans, the metrics
+registry's home, structured JSON logs, request-id propagation);
+``repro.service.metrics`` remains a compatibility re-export.  Every
+request carries an ``X-Repro-Request-Id`` that joins client retries to
+server spans and log lines end to end (``docs/observability.md``).
+
 The service is crash-safe end to end: sessions persist warm artifacts
 through :mod:`repro.store`, the server sheds load (503), bounds
 request time (504), dedupes retried POSTs (``Idempotency-Key``) and

@@ -43,6 +43,7 @@ import numpy as np
 from repro.campaign.request import ScreeningRequest
 from repro.campaign.result import CampaignResult
 from repro.campaign.scenarios import SpecPopulation
+from repro.obs.trace import span
 from repro.service.metrics import MetricsRegistry
 from repro.service.session import ScreeningSession
 
@@ -305,21 +306,38 @@ class CoalescingBatcher:
             combined = concatenate_populations(
                 [pending.population for pending in group])
             head = group[0].request
+            # A solo group keeps its requester's identity on the packed
+            # pass; a combined pass belongs to several request ids, so
+            # the flush span carries them all as an attribute instead.
+            request_ids = [pending.request.request_id
+                           for pending in group
+                           if pending.request.request_id is not None]
+            solo = group[0].request if len(group) == 1 else None
             request = ScreeningRequest(
                 population=combined, mode="run", band=threshold,
                 keep_signatures=head.keep_signatures,
-                encoders=head.encoders)
-            result = self.session.submit(request)
-            if self.metrics is not None:
-                self.metrics.window("coalesced_requests").observe(
-                    len(group))
-                self.metrics.window("coalesced_dies").observe(
-                    len(combined))
-            offset = 0
-            for pending in group:
-                n = len(pending.population)
-                pending.result = result.slice(offset, offset + n)
-                offset += n
+                encoders=head.encoders,
+                client=solo.client if solo is not None else None,
+                request_id=(solo.request_id if solo is not None
+                            else None))
+            with span("batcher.flush", clients=len(group),
+                      dies=len(combined), request_ids=request_ids):
+                result = self.session.submit(request)
+                if self.metrics is not None:
+                    self.metrics.window("coalesced_requests").observe(
+                        len(group))
+                    self.metrics.window("coalesced_dies").observe(
+                        len(combined))
+                offset = 0
+                for pending in group:
+                    n = len(pending.population)
+                    with span("batcher.slice",
+                              client=pending.request.client or "",
+                              dies=n,
+                              request_id=pending.request.request_id):
+                        pending.result = result.slice(
+                            offset, offset + n)
+                    offset += n
         except BaseException as error:
             for pending in group:
                 if pending.error is None:

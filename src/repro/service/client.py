@@ -35,6 +35,9 @@ import uuid
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.obs.logs import log_event
+from repro.obs.trace import REQUEST_ID_HEADER, new_request_id
+
 #: Header carrying the client-chosen request identity the server
 #: dedupes replayed POSTs on.
 IDEMPOTENCY_HEADER = "Idempotency-Key"
@@ -146,6 +149,10 @@ class ServiceClient:
         self.client_id = client_id
         self.timeout = float(timeout)
         self.retry = retry
+        #: Request id of the most recent logical request (all of its
+        #: retry attempts shared it) -- lets callers join their side
+        #: of a story to the server's spans and log lines.
+        self.last_request_id: Optional[str] = None
         # Injection points for the robustness tests: deterministic
         # jitter and instant sleeps.
         self._rng: Optional[random.Random] = None
@@ -183,11 +190,17 @@ class ServiceClient:
 
     def _request(self, path: str, payload: Optional[Dict] = None
                  ) -> bytes:
-        headers = {"X-Client": self.client_id}
+        # One request id per *logical* request: every retry attempt
+        # replays the same id, so server-side spans and log lines of
+        # the original execution and every replay join on it.
+        request_id = new_request_id()
+        self.last_request_id = request_id
+        headers = {"X-Client": self.client_id,
+                   REQUEST_ID_HEADER: request_id}
         if payload is not None:
-            # One idempotency key per *logical* request: every retry
-            # attempt replays the same key, so the server executes the
-            # lot once and answers the replays from its dedup cache.
+            # Same story for the idempotency key: the server executes
+            # the lot once and answers the replays from its dedup
+            # cache.
             headers[IDEMPOTENCY_HEADER] = uuid.uuid4().hex
         attempts = self.retry.max_attempts if self.retry else 1
         for attempt in range(attempts):
@@ -198,6 +211,9 @@ class ServiceClient:
                 if final or self.retry is None \
                         or not self.retry.retryable(error):
                     raise
+                log_event("client.retry", request_id=request_id,
+                          path=path, attempt=attempt + 1,
+                          status=error.status)
                 self._sleep(self.retry.delay(attempt, error,
                                              self._rng))
         raise AssertionError("unreachable")  # pragma: no cover

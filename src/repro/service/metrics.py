@@ -1,283 +1,35 @@
-"""Thread-safe in-process metrics: counters, gauges, rolling windows.
+"""Compatibility re-export: the registry moved to :mod:`repro.obs.metrics`.
 
-The screening service needs observability without dependencies: every
-request increments counters (by endpoint, by outcome), gauges track
-in-flight work and queue depth, and rolling windows keep the last N
-stage timings / batch sizes for latency summaries.  Everything lives
-in one :class:`MetricsRegistry` guarded by a single lock -- the
-operations are nanosecond-scale against millisecond-scale requests, so
-one lock is simpler and plenty.
-
-The registry renders to a Prometheus-style text exposition
-(``/metrics``)::
-
-    >>> registry = MetricsRegistry(namespace="repro")
-    >>> registry.counter("requests_total", endpoint="campaign").inc()
-    >>> registry.window("batch_size").observe(3)
-    >>> print(registry.render())   # doctest: +ELLIPSIS
-    repro_requests_total{endpoint="campaign"} 1
-    repro_batch_size_count 1
-    repro_batch_size_sum 3
-    ...
-
-Label values are rendered escaped and sorted, so scrapes are stable
-across runs.
+The metrics registry started life here in the service layer (PR 6) but
+the engine, cache, store and checkpoint now record into it whether or
+not a server runs, so the implementation lives in ``repro.obs``.
+Existing imports (``from repro.service.metrics import MetricsRegistry``
+and the ``repro.service`` package re-exports) keep working through
+this shim.
 """
 
-from __future__ import annotations
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RollingWindow,
+    default_registry,
+    record_engine_timings,
+    set_default_registry,
+    timed,
+)
 
-import threading
-import time
-from collections import deque
-from typing import Dict, Iterable, List, Optional, Tuple
-
-_LabelKey = Tuple[Tuple[str, str], ...]
-
-
-def _label_key(labels: Dict[str, str]) -> _LabelKey:
-    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
-
-
-def _render_labels(key: _LabelKey) -> str:
-    if not key:
-        return ""
-    inner = ",".join(
-        '%s="%s"' % (name, value.replace("\\", "\\\\")
-                     .replace('"', '\\"').replace("\n", "\\n"))
-        for name, value in key)
-    return "{" + inner + "}"
-
-
-def _render_value(value: float) -> str:
-    # Integers render bare (counter idiom); floats keep full repr so
-    # scrapes round-trip.
-    if float(value).is_integer():
-        return str(int(value))
-    return repr(float(value))
-
-
-class Counter:
-    """Monotonic counter (one labelled series of a counter family)."""
-
-    def __init__(self, lock: threading.Lock) -> None:
-        self._lock = lock
-        self._value = 0.0
-
-    def inc(self, amount: float = 1.0) -> None:
-        """Add ``amount`` (must be non-negative)."""
-        if amount < 0:
-            raise ValueError("counters only go up")
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> float:
-        """Current count."""
-        with self._lock:
-            return self._value
-
-
-class Gauge:
-    """Set-or-adjust instantaneous value (in-flight, queue depth)."""
-
-    def __init__(self, lock: threading.Lock) -> None:
-        self._lock = lock
-        self._value = 0.0
-
-    def set(self, value: float) -> None:
-        """Replace the value."""
-        with self._lock:
-            self._value = float(value)
-
-    def inc(self, amount: float = 1.0) -> None:
-        """Adjust up (or down with a negative amount)."""
-        with self._lock:
-            self._value += amount
-
-    def dec(self, amount: float = 1.0) -> None:
-        """Adjust down."""
-        self.inc(-amount)
-
-    @property
-    def value(self) -> float:
-        """Current value."""
-        with self._lock:
-            return self._value
-
-
-class RollingWindow:
-    """Last-N observations plus lifetime count/sum.
-
-    Keeps a bounded deque of recent observations (stage timings,
-    coalesced batch sizes) so the scrape can report recent min / mean /
-    max / last without unbounded memory, alongside lifetime ``count``
-    and ``sum`` for rate math on the scraper side.
-    """
-
-    def __init__(self, lock: threading.Lock, size: int = 256) -> None:
-        if size < 1:
-            raise ValueError("window needs room for one observation")
-        self._lock = lock
-        self._recent: deque = deque(maxlen=int(size))
-        self._count = 0
-        self._sum = 0.0
-
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        value = float(value)
-        with self._lock:
-            self._recent.append(value)
-            self._count += 1
-            self._sum += value
-
-    @property
-    def count(self) -> int:
-        """Lifetime observation count."""
-        with self._lock:
-            return self._count
-
-    @property
-    def total(self) -> float:
-        """Lifetime sum."""
-        with self._lock:
-            return self._sum
-
-    def snapshot(self) -> Dict[str, float]:
-        """Stats of the rolling window (empty dict when unobserved)."""
-        with self._lock:
-            if not self._count:
-                return {}
-            recent = list(self._recent)
-            return {
-                "count": float(self._count),
-                "sum": self._sum,
-                "last": recent[-1],
-                "recent_min": min(recent),
-                "recent_mean": sum(recent) / len(recent),
-                "recent_max": max(recent),
-            }
-
-
-class MetricsRegistry:
-    """Namespace of counters, gauges and rolling windows.
-
-    ``counter`` / ``gauge`` / ``window`` get-or-create a series, so
-    call sites never pre-register; families are rendered sorted by
-    name then labels.  One registry instance backs one server.
-    """
-
-    def __init__(self, namespace: str = "repro",
-                 window_size: int = 256) -> None:
-        self.namespace = str(namespace)
-        self.window_size = int(window_size)
-        self._lock = threading.Lock()
-        self._counters: Dict[Tuple[str, _LabelKey], Counter] = {}
-        self._gauges: Dict[Tuple[str, _LabelKey], Gauge] = {}
-        self._windows: Dict[Tuple[str, _LabelKey], RollingWindow] = {}
-        self._started = time.time()
-
-    # ------------------------------------------------------------------
-    def counter(self, name: str, **labels: str) -> Counter:
-        """The counter series ``name{labels}`` (created on first use)."""
-        key = (str(name), _label_key(labels))
-        with self._lock:
-            series = self._counters.get(key)
-            if series is None:
-                series = self._counters[key] = Counter(self._lock)
-        return series
-
-    def gauge(self, name: str, **labels: str) -> Gauge:
-        """The gauge series ``name{labels}`` (created on first use)."""
-        key = (str(name), _label_key(labels))
-        with self._lock:
-            series = self._gauges.get(key)
-            if series is None:
-                series = self._gauges[key] = Gauge(self._lock)
-        return series
-
-    def window(self, name: str, **labels: str) -> RollingWindow:
-        """The rolling window ``name{labels}`` (created on first use)."""
-        key = (str(name), _label_key(labels))
-        with self._lock:
-            series = self._windows.get(key)
-            if series is None:
-                series = self._windows[key] = RollingWindow(
-                    self._lock, self.window_size)
-        return series
-
-    def observe_timings(self, timing: Dict[str, float],
-                        **labels: str) -> None:
-        """Record an engine result's per-stage timing dict.
-
-        Each stage becomes one ``stage_seconds`` window labelled by
-        stage name (plus any extra labels, e.g. the endpoint).
-        """
-        for stage, seconds in timing.items():
-            self.window("stage_seconds", stage=stage,
-                        **labels).observe(seconds)
-
-    # ------------------------------------------------------------------
-    def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """Plain-dict view of every series (tests, JSON health)."""
-        with self._lock:
-            counters = {name + _render_labels(labels): series._value
-                        for (name, labels), series
-                        in self._counters.items()}
-            gauges = {name + _render_labels(labels): series._value
-                      for (name, labels), series in self._gauges.items()}
-            window_items = list(self._windows.items())
-        windows = {name + _render_labels(labels): series.snapshot()
-                   for (name, labels), series in window_items}
-        return {"counters": counters, "gauges": gauges,
-                "windows": windows}
-
-    def render(self) -> str:
-        """Prometheus-style text exposition of every series."""
-        prefix = self.namespace + "_" if self.namespace else ""
-        lines: List[str] = []
-
-        def emit(kind: Iterable[Tuple[Tuple[str, _LabelKey], float]],
-                 suffix: str = "") -> None:
-            for (name, labels), value in sorted(kind,
-                                                key=lambda kv: kv[0]):
-                lines.append(f"{prefix}{name}{suffix}"
-                             f"{_render_labels(labels)} "
-                             f"{_render_value(value)}")
-
-        with self._lock:
-            counter_rows = [(key, series._value)
-                            for key, series in self._counters.items()]
-            gauge_rows = [(key, series._value)
-                          for key, series in self._gauges.items()]
-            window_keys = list(self._windows.items())
-        emit(counter_rows)
-        emit(gauge_rows)
-        window_rows: List[Tuple[Tuple[str, _LabelKey], Dict]] = sorted(
-            ((key, series.snapshot()) for key, series in window_keys),
-            key=lambda kv: kv[0])
-        for (name, labels), stats in window_rows:
-            for stat, value in stats.items():
-                lines.append(f"{prefix}{name}_{stat}"
-                             f"{_render_labels(labels)} "
-                             f"{_render_value(value)}")
-        lines.append(f"{prefix}uptime_seconds "
-                     f"{_render_value(time.time() - self._started)}")
-        return "\n".join(lines) + "\n"
-
-
-def timed(window: RollingWindow):
-    """Context manager observing a block's wall-clock seconds."""
-    return _Timer(window)
-
-
-class _Timer:
-    def __init__(self, window: RollingWindow) -> None:
-        self._window = window
-        self._start: Optional[float] = None
-
-    def __enter__(self) -> "_Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self._window.observe(time.perf_counter() - self._start)
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RollingWindow",
+    "default_registry",
+    "record_engine_timings",
+    "set_default_registry",
+    "timed",
+]

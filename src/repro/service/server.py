@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple, Union
@@ -54,13 +55,21 @@ from urllib.parse import urlsplit
 import numpy as np
 
 from repro.campaign.request import ScreeningRequest
+from repro.obs.logs import log_event
+from repro.obs.metrics import MetricsRegistry, default_registry, timed
+from repro.obs.trace import (
+    REQUEST_ID_HEADER,
+    get_request_id,
+    new_request_id,
+    request_context,
+    span,
+)
 from repro.service.batcher import (
     CoalescingBatcher,
     DeadlineExceeded,
     QueueFull,
 )
 from repro.service.client import IDEMPOTENCY_HEADER
-from repro.service.metrics import MetricsRegistry, timed
 from repro.service.ratelimit import RateLimiter
 from repro.service.session import ScreeningSession
 from repro.testing.faultinject import fail_if_armed, should_fail
@@ -104,6 +113,9 @@ class IdempotencyCache:
         self._done: "OrderedDict[Tuple, Tuple[int, Dict]]" = \
             OrderedDict()
         self._inflight: Dict[Tuple, threading.Event] = {}
+        # Request id of each key's *original* execution, kept apart
+        # from _done so the cached (status, body) shape stays stable.
+        self._request_ids: Dict[Tuple, str] = {}
 
     def claim(self, key: Tuple) -> Tuple[str, Union[
             None, Tuple[int, Dict], threading.Event]]:
@@ -122,16 +134,25 @@ class IdempotencyCache:
             self._inflight[key] = threading.Event()
             return "execute", None
 
-    def finish(self, key: Tuple, status: int, body: Dict) -> None:
+    def finish(self, key: Tuple, status: int, body: Dict,
+               request_id: Optional[str] = None) -> None:
         """Record the execution outcome and release any waiters."""
         with self._lock:
             event = self._inflight.pop(key, None)
             if 200 <= status < 300:
                 self._done[key] = (status, body)
+                if request_id is not None:
+                    self._request_ids[key] = request_id
                 while len(self._done) > self.maxsize:
-                    self._done.popitem(last=False)
+                    evicted, __ = self._done.popitem(last=False)
+                    self._request_ids.pop(evicted, None)
         if event is not None:
             event.set()
+
+    def original_request_id(self, key: Tuple) -> Optional[str]:
+        """Request id of the execution a replay is answered from."""
+        with self._lock:
+            return self._request_ids.get(key)
 
     def __len__(self) -> int:
         with self._lock:
@@ -192,7 +213,8 @@ def population_from_payload(payload: Dict, golden_spec):
 
 def request_from_payload(payload: Dict, golden_spec,
                          client: Optional[str] = None,
-                         keep_signatures: bool = False
+                         keep_signatures: bool = False,
+                         request_id: Optional[str] = None
                          ) -> ScreeningRequest:
     """One :class:`ScreeningRequest` from a /campaign-style payload."""
     if not isinstance(payload, dict):
@@ -207,7 +229,7 @@ def request_from_payload(payload: Dict, golden_spec,
     return ScreeningRequest(
         population=population_from_payload(payload, golden_spec),
         mode="run", band=band, keep_signatures=keep_signatures,
-        client=client)
+        client=client, request_id=request_id)
 
 
 def campaign_payload(result, include_ndfs: bool = True) -> Dict:
@@ -251,8 +273,14 @@ class ScreeningServer(ThreadingHTTPServer):
                  max_queue: Optional[int] = None) -> None:
         if deadline is not None and deadline <= 0:
             raise ValueError("deadline must be positive (or None)")
+        # Default to the process-wide registry: engine-level series
+        # (engine_stage_seconds, cache/store counters) recorded by the
+        # pipeline then appear on this server's /metrics for free.
         self.metrics = metrics if metrics is not None \
-            else MetricsRegistry()
+            else default_registry()
+        self.started = time.time()
+        #: Unix timestamp of the last 5xx answered (None = never).
+        self.last_error: Optional[float] = None
         if session is None:
             session = ScreeningSession.from_paper(metrics=self.metrics,
                                                   store=store)
@@ -345,8 +373,9 @@ class _Handler(BaseHTTPRequestHandler):
     # Plumbing
     # ------------------------------------------------------------------
     def log_message(self, format: str, *args) -> None:
-        # Request logging is the metrics registry's job; keep stderr
-        # quiet under concurrent load.
+        # http.server's default plain-text lines stay suppressed;
+        # access logging is the structured JSON record _send emits
+        # through repro.obs.logs (opt-in via set_log_sink).
         pass
 
     def _client_id(self) -> str:
@@ -355,15 +384,34 @@ class _Handler(BaseHTTPRequestHandler):
             return header.strip()
         return self.client_address[0]
 
+    def _request_id(self) -> str:
+        """The client's ``X-Repro-Request-Id``, or a server-minted one."""
+        header = self.headers.get(REQUEST_ID_HEADER)
+        if header:
+            return header.strip()
+        return new_request_id()
+
     def _send(self, status: int, body: bytes, content_type: str,
               extra: Optional[Dict[str, str]] = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        rid = get_request_id()
+        if rid is not None:
+            self.send_header(REQUEST_ID_HEADER, rid)
         for name, value in (extra or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+        if status >= 500:
+            self.server.last_error = time.time()
+        started = getattr(self, "_request_started", None)
+        log_event(
+            "http.request", method=self.command,
+            path=urlsplit(self.path).path, status=status,
+            duration_ms=round((time.perf_counter() - started) * 1e3, 3)
+            if started is not None else None,
+            client=self._client_id())
 
     def _send_json(self, status: int, payload: Dict,
                    extra: Optional[Dict[str, str]] = None) -> None:
@@ -399,13 +447,22 @@ class _Handler(BaseHTTPRequestHandler):
         metrics.gauge("store_errors").set(info.errors)
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._request_started = time.perf_counter()
         path = urlsplit(self.path).path
+        with request_context(self._request_id()), \
+                span("http.request", method="GET", path=path):
+            self._get(path)
+
+    def _get(self, path: str) -> None:
         if path == "/healthz":
             metrics = self.server.metrics
             info = self.server.session.cache_info
             body = {
                 "status": "draining" if self.server.draining else "ok",
                 "submitted": self.server.session.submitted,
+                "uptime_seconds": round(
+                    time.time() - self.server.started, 3),
+                "last_error": self.server.last_error,
                 "cache": {"hits": info.hits, "misses": info.misses,
                           "size": info.size},
                 "queue_depth": self.server.batcher.queue_depth,
@@ -433,14 +490,18 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(404, {"error": f"no such endpoint {path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._request_started = time.perf_counter()
         path = urlsplit(self.path).path
-        if path == "/campaign":
-            self._screen(diagnose=False)
-            return
-        if path == "/diagnose":
-            self._screen(diagnose=True)
-            return
-        self._send_json(404, {"error": f"no such endpoint {path!r}"})
+        with request_context(self._request_id()), \
+                span("http.request", method="POST", path=path):
+            if path == "/campaign":
+                self._screen(diagnose=False)
+                return
+            if path == "/diagnose":
+                self._screen(diagnose=True)
+                return
+            self._send_json(404,
+                            {"error": f"no such endpoint {path!r}"})
 
     # ------------------------------------------------------------------
     # The two screening endpoints
@@ -480,6 +541,14 @@ class _Handler(BaseHTTPRequestHandler):
                     status, body = value
                     metrics.counter("idempotent_replays_total",
                                     endpoint=endpoint).inc()
+                    # The replayed body carries the *original*
+                    # execution's request id -- the log line joins
+                    # this retry to the work that actually ran.
+                    original = self.server.idempotency \
+                        .original_request_id(idem)
+                    log_event("idempotent.replay", endpoint=endpoint,
+                              client=client,
+                              original_request_id=original)
                     self._respond(endpoint, status, body,
                                   {"Idempotency-Replay": "true"})
                     return
@@ -496,7 +565,8 @@ class _Handler(BaseHTTPRequestHandler):
             # Record the outcome *before* answering: a crash between
             # execution and response still lets the client's retry
             # replay the stored result instead of re-running the lot.
-            self.server.idempotency.finish(idem, status, body)
+            self.server.idempotency.finish(idem, status, body,
+                                           request_id=get_request_id())
         if should_fail("server.handler.close"):
             # Fault hook: simulate the worker dying after executing
             # but before answering -- the client sees a connection
@@ -529,7 +599,8 @@ class _Handler(BaseHTTPRequestHandler):
             payload = self._read_payload()
             request = request_from_payload(
                 payload, self.server.session.engine.config.golden_spec,
-                client=client, keep_signatures=diagnose)
+                client=client, keep_signatures=diagnose,
+                request_id=get_request_id())
             with timed(metrics.window("request_seconds",
                                       endpoint=endpoint)):
                 result = self.server.batcher.submit(
@@ -537,6 +608,7 @@ class _Handler(BaseHTTPRequestHandler):
             include_ndfs = bool(payload.get("include_ndfs", True))
             body = campaign_payload(result, include_ndfs=include_ndfs)
             body["client"] = client
+            body["request_id"] = get_request_id()
             if diagnose:
                 diagnosis = self.server.session.diagnose_result(
                     result,
@@ -591,7 +663,7 @@ def build_server(host: str = "127.0.0.1", port: int = 8765,
     request in seconds (504 past it); ``max_queue`` bounds the batcher
     queue (503 + ``Retry-After`` when full).
     """
-    metrics = metrics if metrics is not None else MetricsRegistry()
+    metrics = metrics if metrics is not None else default_registry()
     if session is None:
         session = ScreeningSession.from_paper(
             samples_per_period=samples_per_period, tolerance=tolerance,

@@ -31,6 +31,7 @@ from typing import Dict, Optional, Union
 from repro.campaign.engine import CampaignEngine
 from repro.campaign.request import ScreeningRequest
 from repro.campaign.result import CampaignResult, NoiseCampaignResult
+from repro.obs.trace import get_request_id, request_context, span
 from repro.service.metrics import MetricsRegistry
 from repro.testing.faultinject import (
     fail_if_armed,
@@ -169,7 +170,16 @@ class ScreeningSession:
             import time
 
             time.sleep(slow_seconds())
-        result = self.engine.submit(request)
+        # Re-bind the request id here: the batcher hands work to its
+        # own worker thread, so the handler's contextvar binding does
+        # not reach this frame -- the id rides the request object.  A
+        # request without an id keeps whatever binding is ambient.
+        rid = (request.request_id if request.request_id is not None
+               else get_request_id())
+        with request_context(rid), \
+                span("session.submit", mode=request.mode,
+                     client=request.client or ""):
+            result = self.engine.submit(request)
         if self.metrics is not None:
             self.metrics.counter("session_requests_total",
                                  mode=request.mode).inc()

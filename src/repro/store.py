@@ -56,6 +56,8 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import default_registry
+from repro.obs.trace import span
 from repro.testing.faultinject import should_fail
 
 #: Environment variable overriding the default store root.
@@ -220,6 +222,10 @@ class ArtifactStore:
     def _count(self, field: str) -> None:
         with self._lock:
             setattr(self, field, getattr(self, field) + 1)
+        # Mirror into the process-default registry so store behaviour
+        # shows on /metrics and in `repro campaign --profile` runs.
+        default_registry().counter("store_ops_total",
+                                   op=field.lstrip("_")).inc()
 
     # ------------------------------------------------------------------
     # Index
@@ -267,29 +273,31 @@ class ArtifactStore:
         sha256 recorded in the index.
         """
         kid = key_id(key)
-        buffer = io.BytesIO()
-        np.savez_compressed(
-            buffer,
-            __meta__=np.asarray(json.dumps(meta if meta is not None
-                                           else {})),
-            **arrays)
-        data = buffer.getvalue()
-        digest = hashlib.sha256(data).hexdigest()
-        filename = kid + ".npz"
-        path = os.path.join(self.objects_dir, filename)
-        atomic_write_bytes(path, data, tear_fault="store.write.tear")
-        entry = {
-            "key": repr(key),
-            "kind": str(key[0]) if isinstance(key, tuple) and key
-            else "raw",
-            "sha256": digest,
-            "bytes": len(data),
-            "file": os.path.join("objects", filename),
-            "written": time.time(),
-        }
-        self._update_index(lambda entries: entries.__setitem__(kid,
-                                                               entry))
-        self._count("_writes")
+        kind = str(key[0]) if isinstance(key, tuple) and key else "raw"
+        with span("store.put", kind=kind):
+            buffer = io.BytesIO()
+            np.savez_compressed(
+                buffer,
+                __meta__=np.asarray(json.dumps(meta if meta is not None
+                                               else {})),
+                **arrays)
+            data = buffer.getvalue()
+            digest = hashlib.sha256(data).hexdigest()
+            filename = kid + ".npz"
+            path = os.path.join(self.objects_dir, filename)
+            atomic_write_bytes(path, data,
+                               tear_fault="store.write.tear")
+            entry = {
+                "key": repr(key),
+                "kind": kind,
+                "sha256": digest,
+                "bytes": len(data),
+                "file": os.path.join("objects", filename),
+                "written": time.time(),
+            }
+            self._update_index(
+                lambda entries: entries.__setitem__(kid, entry))
+            self._count("_writes")
         return kid
 
     def get(self, key) -> Optional[Tuple[Dict[str, np.ndarray], Dict]]:
@@ -301,37 +309,45 @@ class ArtifactStore:
         recomputes and rewrites.
         """
         kid = key_id(key)
-        entry = self._read_index().get(kid)
-        if entry is None:
-            self._count("_misses")
-            return None
-        path = os.path.join(self.root, entry.get("file", ""))
-        if should_fail("store.read.corrupt"):
-            self._corrupt_on_disk(path)
-        try:
-            with open(path, "rb") as handle:
-                data = handle.read()
-        except OSError:
-            self._count("_misses")
-            return None
-        if hashlib.sha256(data).hexdigest() != entry.get("sha256"):
-            self._quarantine(kid, path, "checksum mismatch")
-            self._count("_misses")
-            return None
-        try:
-            with np.load(io.BytesIO(data),
-                         allow_pickle=False) as archive:
-                meta = json.loads(str(archive["__meta__"]))
-                arrays = {name: archive[name] for name in archive.files
-                          if name != "__meta__"}
-        except Exception:
-            # Checksum matched but the archive is undecodable (e.g. a
-            # truncated payload whose checksum was recorded by a torn
-            # index writer): same degradation path.
-            self._quarantine(kid, path, "undecodable archive")
-            self._count("_misses")
-            return None
-        self._count("_hits")
+        with span("store.get") as sp:
+            entry = self._read_index().get(kid)
+            if entry is None:
+                self._count("_misses")
+                sp.set(outcome="miss")
+                return None
+            path = os.path.join(self.root, entry.get("file", ""))
+            if should_fail("store.read.corrupt"):
+                self._corrupt_on_disk(path)
+            try:
+                with open(path, "rb") as handle:
+                    data = handle.read()
+            except OSError:
+                self._count("_misses")
+                sp.set(outcome="miss")
+                return None
+            if hashlib.sha256(data).hexdigest() != entry.get("sha256"):
+                self._quarantine(kid, path, "checksum mismatch")
+                self._count("_misses")
+                sp.set(outcome="quarantined")
+                return None
+            try:
+                with np.load(io.BytesIO(data),
+                             allow_pickle=False) as archive:
+                    meta = json.loads(str(archive["__meta__"]))
+                    arrays = {name: archive[name]
+                              for name in archive.files
+                              if name != "__meta__"}
+            except Exception:
+                # Checksum matched but the archive is undecodable
+                # (e.g. a truncated payload whose checksum was
+                # recorded by a torn index writer): same degradation
+                # path.
+                self._quarantine(kid, path, "undecodable archive")
+                self._count("_misses")
+                sp.set(outcome="quarantined")
+                return None
+            self._count("_hits")
+            sp.set(outcome="hit")
         return arrays, meta
 
     def contains(self, key) -> bool:
@@ -369,16 +385,18 @@ class ArtifactStore:
 
     def _quarantine(self, kid: str, path: str, reason: str) -> None:
         """Move a damaged payload aside and drop its index entry."""
-        target = os.path.join(
-            self.quarantine_dir,
-            f"{kid}.{os.getpid()}.{int(time.time() * 1e3)}.npz")
-        try:
-            os.replace(path, target)
-        except OSError:
-            # Already gone (e.g. the other process quarantined first).
-            pass
-        self._update_index(lambda entries: entries.pop(kid, None))
-        self._count("_quarantined")
+        with span("store.quarantine", key_id=kid, reason=reason):
+            target = os.path.join(
+                self.quarantine_dir,
+                f"{kid}.{os.getpid()}.{int(time.time() * 1e3)}.npz")
+            try:
+                os.replace(path, target)
+            except OSError:
+                # Already gone (e.g. the other process quarantined
+                # first).
+                pass
+            self._update_index(lambda entries: entries.pop(kid, None))
+            self._count("_quarantined")
 
     # ------------------------------------------------------------------
     # Artifact codecs (the GoldenCache write-through surface)

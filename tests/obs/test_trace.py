@@ -1,0 +1,211 @@
+"""Tracer unit behaviour: nesting, ring buffer, exports, null path."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    Tracer,
+    current_tracer,
+    get_request_id,
+    install_tracer,
+    new_request_id,
+    request_context,
+    span,
+    tracing,
+    tracing_enabled,
+    uninstall_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_tracer():
+    """Every test starts and ends with tracing disabled."""
+    previous = uninstall_tracer()
+    yield
+    install_tracer(previous)
+
+
+# ----------------------------------------------------------------------
+# Disabled path
+# ----------------------------------------------------------------------
+def test_span_is_shared_null_span_while_disabled():
+    assert not tracing_enabled()
+    handle = span("anything", dies=5)
+    assert handle is NULL_SPAN
+    # Chainable, enterable, and records nothing anywhere.
+    with handle.set(more=1) as inner:
+        assert inner is NULL_SPAN
+
+
+def test_install_and_uninstall_round_trip():
+    tracer = Tracer()
+    assert install_tracer(tracer) is None
+    assert tracing_enabled()
+    assert current_tracer() is tracer
+    assert uninstall_tracer() is tracer
+    assert current_tracer() is None
+
+
+# ----------------------------------------------------------------------
+# Recording and nesting
+# ----------------------------------------------------------------------
+def test_nesting_links_parents_and_orders_children_first():
+    with tracing() as tracer:
+        with span("outer", kind="o"):
+            with span("inner", kind="i"):
+                pass
+    records = tracer.records()
+    assert [r.name for r in records] == ["inner", "outer"]
+    inner, outer = records
+    assert outer.parent_id is None
+    assert inner.parent_id == outer.span_id
+    assert inner.duration <= outer.duration
+    assert outer.attributes["kind"] == "o"
+
+
+def test_sibling_spans_share_a_parent():
+    with tracing() as tracer:
+        with span("parent"):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+    by_name = {r.name: r for r in tracer.records()}
+    assert by_name["a"].parent_id == by_name["parent"].span_id
+    assert by_name["b"].parent_id == by_name["parent"].span_id
+
+
+def test_error_spans_record_the_exception():
+    with tracing() as tracer:
+        with pytest.raises(ValueError):
+            with span("boom"):
+                raise ValueError("bad die")
+    record = tracer.records()[0]
+    assert not record.ok
+    assert record.error == "ValueError: bad die"
+
+
+def test_set_attaches_attributes_before_exit():
+    with tracing() as tracer:
+        with span("lookup") as handle:
+            handle.set(outcome="hit", extra=2)
+    record = tracer.records()[0]
+    assert record.attributes["outcome"] == "hit"
+    assert record.attributes["extra"] == 2
+
+
+def test_threads_do_not_share_span_stacks():
+    with tracing() as tracer:
+        with span("main-parent"):
+            worker_done = threading.Event()
+
+            def worker():
+                with span("worker-span"):
+                    pass
+                worker_done.set()
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert worker_done.is_set()
+    by_name = {r.name: r for r in tracer.records()}
+    # The worker thread has no ambient parent: contextvars are
+    # per-thread, so its span must not nest under main's.
+    assert by_name["worker-span"].parent_id is None
+
+
+def test_ring_buffer_caps_and_counts_drops():
+    with tracing(capacity=4) as tracer:
+        for index in range(10):
+            with span(f"s{index}"):
+                pass
+    assert len(tracer) == 4
+    assert tracer.dropped == 6
+    assert [r.name for r in tracer.records()] == \
+        ["s6", "s7", "s8", "s9"]
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.dropped == 0
+
+
+# ----------------------------------------------------------------------
+# Request ids
+# ----------------------------------------------------------------------
+def test_request_context_binds_and_restores():
+    assert get_request_id() is None
+    rid = new_request_id()
+    with request_context(rid):
+        assert get_request_id() == rid
+        with request_context("other"):
+            assert get_request_id() == "other"
+        assert get_request_id() == rid
+    assert get_request_id() is None
+
+
+def test_spans_auto_attach_the_bound_request_id():
+    rid = new_request_id()
+    with tracing() as tracer:
+        with request_context(rid):
+            with span("traced"):
+                pass
+        with span("untraced"):
+            pass
+    by_name = {r.name: r for r in tracer.records()}
+    assert by_name["traced"].attributes["request_id"] == rid
+    assert "request_id" not in by_name["untraced"].attributes
+
+
+# ----------------------------------------------------------------------
+# Exports
+# ----------------------------------------------------------------------
+def test_jsonl_export_round_trips(tmp_path):
+    with tracing() as tracer:
+        with span("outer"):
+            with span("inner", dies=3):
+                pass
+    path = tracer.write_jsonl(str(tmp_path / "spans.jsonl"))
+    rows = [json.loads(line)
+            for line in open(path, encoding="utf-8") if line.strip()]
+    assert [row["name"] for row in rows] == ["inner", "outer"]
+    assert rows[0]["attributes"] == {"dies": 3}
+    assert rows[0]["parent_id"] == rows[1]["span_id"]
+
+
+def test_chrome_trace_export_shape(tmp_path):
+    with tracing() as tracer:
+        with span("outer", label="x"):
+            with span("inner"):
+                pass
+    path = tracer.write_chrome_trace(str(tmp_path / "trace.json"))
+    payload = json.load(open(path, encoding="utf-8"))
+    events = payload["traceEvents"]
+    assert {event["name"] for event in events} == {"outer", "inner"}
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0
+        assert isinstance(event["ts"], float)
+    outer = next(e for e in events if e["name"] == "outer")
+    inner = next(e for e in events if e["name"] == "inner")
+    assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+    assert outer["args"]["label"] == "x"
+    # The child slice sits inside the parent slice on the timeline.
+    assert inner["ts"] >= outer["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1
+
+
+def test_chrome_trace_attributes_are_json_safe():
+    with tracing() as tracer:
+        with span("weird", arr=(1, 2), obj=object()):
+            pass
+    event = tracer.chrome_trace()["traceEvents"][0]
+    json.dumps(event)  # must not raise
+    assert event["args"]["arr"] == [1, 2]
+    assert isinstance(event["args"]["obj"], str)
+
+
+def test_tracer_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)

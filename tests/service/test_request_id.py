@@ -1,0 +1,228 @@
+"""Request-id propagation: client -> header -> server spans and logs.
+
+One *logical* request keeps one id across every retry attempt, the
+server echoes it back (header and body), spans and structured log
+lines carry it, and an idempotent replay logs the id of the original
+execution it was answered from.
+"""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    REQUEST_ID_HEADER,
+    Tracer,
+    install_tracer,
+    set_log_sink,
+)
+from repro.service import (
+    RetryPolicy,
+    ScreeningSession,
+    ServiceClient,
+    ServiceUnavailable,
+    build_server,
+)
+from repro.testing.faultinject import inject
+
+pytestmark = pytest.mark.campaign
+
+SAMPLES = 512
+
+
+# ----------------------------------------------------------------------
+# Client side, no sockets: the retry loop reuses one id
+# ----------------------------------------------------------------------
+class _FakeTransport:
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = []
+
+    def __call__(self, path, payload, headers):
+        self.calls.append((path, payload, dict(headers)))
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def _fake_client(outcomes):
+    client = ServiceClient(
+        "http://fake:1", client_id="t",
+        retry=RetryPolicy(max_attempts=4, base_delay=0.001, jitter=0.0))
+    client._sleep = lambda seconds: None
+    transport = _FakeTransport(outcomes)
+    client._request_once = transport
+    return client, transport
+
+
+def test_every_retry_attempt_replays_the_same_request_id():
+    ok = json.dumps({"ok": True}).encode()
+    client, transport = _fake_client(
+        [ServiceUnavailable("reset"), ServiceUnavailable("reset"), ok])
+    client.campaign(dies=1)
+    assert len(transport.calls) == 3
+    ids = [headers[REQUEST_ID_HEADER]
+           for __, __, headers in transport.calls]
+    assert len(set(ids)) == 1
+    assert ids[0] == client.last_request_id
+
+
+def test_each_logical_request_gets_a_fresh_id():
+    ok = json.dumps({"ok": True}).encode()
+    client, transport = _fake_client([ok, ok])
+    client.campaign(dies=1)
+    first = client.last_request_id
+    client.campaign(dies=1)
+    assert client.last_request_id != first
+    ids = [headers[REQUEST_ID_HEADER]
+           for __, __, headers in transport.calls]
+    assert ids == [first, client.last_request_id]
+
+
+def test_client_retry_events_are_logged_with_the_id():
+    ok = json.dumps({"ok": True}).encode()
+    client, __ = _fake_client([ServiceUnavailable("reset"), ok])
+    sink = io.StringIO()
+    previous = set_log_sink(sink)
+    try:
+        client.campaign(dies=1)
+    finally:
+        set_log_sink(previous)
+    events = [json.loads(line) for line in
+              sink.getvalue().splitlines()]
+    retries = [e for e in events if e["event"] == "client.retry"]
+    assert len(retries) == 1
+    assert retries[0]["request_id"] == client.last_request_id
+    assert retries[0]["attempt"] == 1
+
+
+# ----------------------------------------------------------------------
+# End to end: a real server, a forced retry, spans + logs join up
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def server():
+    session = ScreeningSession.from_paper(samples_per_period=SAMPLES)
+    session.warm(dictionary=False)
+    server = build_server(port=0, window=0.002, session=session)
+    server.start()
+    yield server
+    server.close()
+
+
+@pytest.fixture
+def telemetry():
+    """Capture spans and log lines for one test, then restore."""
+    tracer = Tracer()
+    previous_tracer = install_tracer(tracer)
+    sink = io.StringIO()
+    previous_sink = set_log_sink(sink)
+    yield tracer, sink
+    set_log_sink(previous_sink)
+    install_tracer(previous_tracer)
+
+
+def _events(sink):
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+def test_request_id_round_trips_through_the_server(server, telemetry):
+    tracer, sink = telemetry
+    client = ServiceClient(server.url, client_id="rid-test")
+    body = client.campaign(kind="mc", dies=6, seed=3)
+    rid = client.last_request_id
+    assert body["request_id"] == rid
+    # The access log line carries the client's id.
+    access = [e for e in _events(sink)
+              if e["event"] == "http.request"
+              and e["path"] == "/campaign"]
+    assert access and access[-1]["request_id"] == rid
+    assert access[-1]["status"] == 200
+    assert access[-1]["duration_ms"] > 0
+    assert access[-1]["client"] == "rid-test"
+    # Server-side spans carry it too, down through the engine stages.
+    tagged = {r.name for r in tracer.records()
+              if r.attributes.get("request_id") == rid}
+    assert "http.request" in tagged
+    assert "session.submit" in tagged
+    assert any(name.startswith("stage.") for name in tagged)
+    flushes = [r for r in tracer.records()
+               if r.name == "batcher.flush"
+               and rid in r.attributes.get("request_ids", [])]
+    assert len(flushes) == 1
+
+
+def test_request_id_survives_a_forced_retry_and_replay(server,
+                                                       telemetry):
+    __, sink = telemetry
+    client = ServiceClient(
+        server.url, client_id="retry-test",
+        retry=RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0))
+    # First attempt executes, then the handler dies before answering;
+    # the retry replays the same request id AND idempotency key, and
+    # is answered from the original execution's cache.
+    with inject("server.handler.close", times=1) as fault:
+        body = client.campaign(kind="mc", dies=5, seed=9)
+        assert fault.fired == 1
+    rid = client.last_request_id
+    assert body["request_id"] == rid
+    events = _events(sink)
+    retries = [e for e in events if e["event"] == "client.retry"]
+    assert [e["request_id"] for e in retries] == [rid]
+    replays = [e for e in events if e["event"] == "idempotent.replay"]
+    assert len(replays) == 1
+    # The replay log line joins this retry to the execution that
+    # actually ran -- which carried the same logical request id.
+    assert replays[0]["original_request_id"] == rid
+    assert replays[0]["request_id"] == rid
+
+
+def test_server_mints_an_id_when_the_client_sends_none(server,
+                                                       telemetry):
+    __, sink = telemetry
+    import urllib.request
+
+    request = urllib.request.Request(server.url + "/healthz")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        echoed = response.headers.get(REQUEST_ID_HEADER)
+    assert echoed  # server-minted, echoed back
+    access = [e for e in _events(sink)
+              if e["event"] == "http.request"
+              and e["path"] == "/healthz"]
+    assert access and access[-1]["request_id"] == echoed
+
+
+def test_healthz_reports_uptime_inflight_and_last_error(server):
+    client = ServiceClient(server.url, client_id="health-test")
+    body = client.healthz()
+    assert body["uptime_seconds"] >= 0
+    assert body["inflight"] == 0
+    first_error = body["last_error"]
+    with inject("server.handler.error", times=1):
+        with pytest.raises(Exception):
+            client.campaign(kind="mc", dies=1)
+    body = client.healthz()
+    assert body["last_error"] is not None
+    assert body["last_error"] != first_error
+    assert body["last_error"] <= __import__("time").time()
+
+
+def test_concurrent_requests_keep_their_own_ids(server, telemetry):
+    __, sink = telemetry
+    rids = {}
+
+    def call(seed):
+        client = ServiceClient(server.url, client_id=f"c{seed}")
+        body = client.campaign(kind="mc", dies=4, seed=seed)
+        rids[client.last_request_id] = body["request_id"]
+
+    threads = [threading.Thread(target=call, args=(seed,))
+               for seed in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(rids) == 4
+    assert all(sent == echoed for sent, echoed in rids.items())
