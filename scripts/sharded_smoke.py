@@ -1,0 +1,152 @@
+"""Sharded-campaign smoke: kill a worker mid-shard, merge bit-identical.
+
+What the CI ``sharded-campaign-smoke`` job runs:
+
+**Phase A -- worker-loss drill (library).**  Run a sharded campaign
+with ``shard.worker.kill`` armed in the first worker's environment
+(through ``REPRO_SHARD_WORKER_FAULTS``): the worker SIGKILLs itself
+right after a progress report.  The coordinator must notice, respawn
+the slot, reassign the shard *resuming from its checkpoint*, and the
+merged result must still be **bit-identical** to the monolithic
+in-process run.  The whole drill is traced; the exported Chrome trace
+must show the re-dispatch (a ``shard.dispatch`` span with
+``attempt > 1``) and the worker-side spans on their own pid tracks.
+The ``shard_reassigned_total`` metric must tick.
+
+**Phase B -- CLI equivalence.**  ``repro campaign --shards N --json``
+and ``--shards 1 --json`` must answer identically (everything except
+wall-clock timings and the shard stats themselves).
+
+Usage::
+
+    python scripts/sharded_smoke.py --dies 24 --samples 512 --shards 3
+
+Exits non-zero on the first violated assertion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def _parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dies", type=int, default=24)
+    parser.add_argument("--samples", type=int, default=512)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--chunk", type=int, default=2,
+                        help="worker chunk size (small: several "
+                             "checkpoints per shard)")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--sigma", type=float, default=0.05)
+    parser.add_argument("--trace-out", default="shard-trace.json")
+    return parser.parse_args()
+
+
+def phase_a_kill_drill(args) -> None:
+    """Kill one worker mid-shard; assert reassignment + bit-identity."""
+    import numpy as np
+
+    from repro.campaign import CampaignEngine, montecarlo_dies
+    from repro.monitor.configurations import table1_encoder
+    from repro.obs import Tracer, install_tracer, uninstall_tracer
+    from repro.obs.metrics import default_registry
+    from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+    from repro.shard import MonteCarloFleet
+
+    engine = CampaignEngine.from_parts(
+        table1_encoder(), PAPER_STIMULUS, PAPER_BIQUAD,
+        samples_per_period=args.samples)
+    reference = engine.run(
+        montecarlo_dies(PAPER_BIQUAD, args.dies, sigma_f0=args.sigma,
+                        seed=args.seed), band="auto")
+    fleet = MonteCarloFleet(PAPER_BIQUAD, args.dies,
+                            sigma_f0=args.sigma, seed=args.seed,
+                            chunk_size=args.chunk)
+    # Arm the kill in the first worker: SIGKILL right after its
+    # second progress report (so a durable mid-shard checkpoint
+    # exists and the resume is a true resume, not a restart).
+    os.environ["REPRO_SHARD_WORKER_FAULTS"] = "shard.worker.kill:1:1"
+    before = default_registry().counter("shard_reassigned_total").value
+    tracer = Tracer()
+    install_tracer(tracer)
+    try:
+        sharded = engine.run_sharded(fleet, shards=args.shards,
+                                     band="auto", heartbeat=15.0)
+    finally:
+        uninstall_tracer()
+        os.environ.pop("REPRO_SHARD_WORKER_FAULTS", None)
+
+    assert np.array_equal(sharded.ndfs, reference.ndfs), \
+        "merged NDFs differ from the monolithic run"
+    assert np.array_equal(sharded.verdicts, reference.verdicts)
+    assert np.array_equal(sharded.f0_deviations,
+                          reference.f0_deviations)
+    assert list(sharded.labels) == list(reference.labels)
+    assert sharded.threshold == reference.threshold
+    stats = sharded.shard_stats
+    assert stats["reassigned"] >= 1, stats
+    assert stats["completed"] == stats["planned"], stats
+    after = default_registry().counter("shard_reassigned_total").value
+    assert after > before, "shard_reassigned_total did not tick"
+
+    path = tracer.write_chrome_trace(args.trace_out)
+    events = json.load(open(path))["traceEvents"]
+    dispatches = [e for e in events if e["name"] == "shard.dispatch"]
+    redispatches = [e for e in dispatches
+                    if e["args"].get("attempt", 1) > 1]
+    assert redispatches, "no re-dispatch span in the trace"
+    worker_pids = {e["pid"] for e in events
+                   if e["name"] == "shard.worker.run"}
+    assert worker_pids and os.getpid() not in worker_pids, \
+        "worker spans must ride home on their own pid tracks"
+    resumed = [e for e in events if e["name"] == "shard.worker.run"
+               and e["args"]["resume_at"] > e["args"]["lo"]]
+    assert resumed, \
+        "reassigned shard restarted from zero instead of resuming"
+    print(f"phase A ok: {int(stats['reassigned'])} reassignment(s), "
+          f"bit-identical merge, {len(events)} spans -> {path} "
+          f"(resumed at die {resumed[0]['args']['resume_at']} of "
+          f"shard [{resumed[0]['args']['lo']}, "
+          f"{resumed[0]['args']['hi']}))")
+
+
+def phase_b_cli_equivalence(args) -> None:
+    """--shards N and --shards 1 answer identically over the CLI."""
+    def run(shards: int) -> dict:
+        command = [sys.executable, "-m", "repro", "campaign",
+                   "--dies", str(args.dies), "--seed", str(args.seed),
+                   "--sigma", str(args.sigma),
+                   "--samples", str(args.samples),
+                   "--shards", str(shards), "--json"]
+        if shards > 1:
+            command += ["--shard-chunk", str(args.chunk)]
+        out = subprocess.run(command, capture_output=True, text=True,
+                             timeout=600)
+        assert out.returncode == 0, out.stderr
+        payload = json.loads(out.stdout)
+        payload.pop("timing")
+        payload.pop("executor")
+        payload.pop("shards")
+        return payload
+
+    many, one = run(args.shards), run(1)
+    assert many == one, (many, one)
+    print(f"phase B ok: --shards {args.shards} == --shards 1 "
+          f"({args.dies} dies over the CLI)")
+
+
+def main() -> int:
+    args = _parse_args()
+    phase_a_kill_drill(args)
+    phase_b_cli_equivalence(args)
+    print("sharded smoke: all assertions held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,8 +27,15 @@ engine's golden key and resolved threshold; resuming under a different
 configuration or band policy is a :class:`CheckpointMismatch`, not a
 silently-wrong merge.
 
-This is the first rung of ROADMAP's multi-node sharding item: a shard
-is exactly "a checkpoint whose next index starts past another's".
+Checkpoints are also the unit of *sharding* (:mod:`repro.shard`): a
+shard is exactly "a checkpoint whose next index starts past
+another's".  A shard worker screens the global die range
+``[start_index, hi)`` into its own checkpoint file, and the
+coordinator reassembles the fleet with :meth:`StreamCheckpoint.merge`
+-- an order-independent merge of disjoint contiguous ranges that is
+bit-identical to the monolithic stream (every per-die row is a pure
+function of the global die index, so concatenating the shard parts in
+index order reproduces the monolithic arrays byte for byte).
 """
 
 from __future__ import annotations
@@ -36,10 +43,11 @@ from __future__ import annotations
 import io
 import json
 import os
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.obs.logs import log_event
 from repro.obs.metrics import default_registry
 from repro.obs.trace import span
 from repro.store import atomic_write_bytes
@@ -69,13 +77,23 @@ class StreamCheckpoint:
         Resolved NDF decision threshold (None = no verdicts); resume
         re-resolves the band policy and validates equality, so a
         checkpoint can never silently merge across band policies.
+    start_index:
+        Global index of the first die this checkpoint covers.  0 for
+        a whole-fleet stream; a shard worker screening dies
+        ``[lo, hi)`` checkpoints with ``start_index=lo`` so its
+        partial state names its global range and :meth:`merge` can
+        reassemble the fleet.
     """
 
     def __init__(self, config_key: str,
-                 threshold: Optional[float]) -> None:
+                 threshold: Optional[float],
+                 start_index: int = 0) -> None:
+        if start_index < 0:
+            raise ValueError("start_index must be non-negative")
         self.config_key = str(config_key)
         self.threshold = None if threshold is None \
             else float(threshold)
+        self.start_index = int(start_index)
         self.value_parts: List[np.ndarray] = []
         self.f0_parts: List[np.ndarray] = []
         self.q_parts: List[np.ndarray] = []
@@ -88,7 +106,7 @@ class StreamCheckpoint:
     @property
     def next_index(self) -> int:
         """Global index of the first unscreened die."""
-        return len(self.labels)
+        return self.start_index + len(self.labels)
 
     @property
     def num_dies(self) -> int:
@@ -141,6 +159,7 @@ class StreamCheckpoint:
                 "version": CHECKPOINT_VERSION,
                 "config_key": self.config_key,
                 "threshold": self.threshold,
+                "start_index": self.start_index,
                 "next_index": self.next_index,
                 "labels": self.labels,
                 "timing": self.timing,
@@ -171,7 +190,8 @@ class StreamCheckpoint:
                     f"checkpoint {path!r} has version "
                     f"{meta.get('version')!r}, expected "
                     f"{CHECKPOINT_VERSION}")
-            state = cls(meta["config_key"], meta["threshold"])
+            state = cls(meta["config_key"], meta["threshold"],
+                        start_index=int(meta.get("start_index", 0)))
             ndfs = archive["ndfs"]
             if ndfs.size:
                 state.value_parts.append(ndfs)
@@ -188,16 +208,26 @@ class StreamCheckpoint:
     def load_if_valid(cls, path: str) -> Optional["StreamCheckpoint"]:
         """:meth:`load`, degrading damage to "no checkpoint".
 
-        A missing, torn or otherwise unreadable checkpoint returns
-        None -- the campaign restarts from die 0, which is always
-        correct, just slower.  (The atomic save makes actual damage
-        require external interference.)
+        A missing checkpoint silently returns None (nothing to
+        resume is the normal first-run case).  A torn or otherwise
+        unreadable checkpoint *also* returns None -- the campaign
+        restarts from its stream offset, which is always correct,
+        just slower -- but emits a structured
+        ``checkpoint.invalid`` :func:`~repro.obs.logs.log_event` so
+        the degrade is observable instead of a silent slow run.
+        (The atomic save makes actual damage require external
+        interference.)
         """
         if not os.path.exists(path):
             return None
         try:
             return cls.load(path)
-        except Exception:
+        except Exception as error:
+            log_event("checkpoint.invalid", path=path,
+                      error=f"{type(error).__name__}: {error}",
+                      action="restart-from-zero")
+            default_registry().counter(
+                "checkpoint_invalid_total").inc()
             return None
 
     def validate(self, config_key: str,
@@ -206,16 +236,75 @@ class StreamCheckpoint:
         if self.config_key != str(config_key):
             raise CheckpointMismatch(
                 "checkpoint was written for a different test "
-                f"configuration (golden key {self.config_key} vs "
-                f"{config_key})")
+                f"configuration: expected golden key {config_key}, "
+                f"found {self.config_key}")
         stored = self.threshold
         live = None if threshold is None else float(threshold)
         if (stored is None) != (live is None) or \
                 (stored is not None and stored != live):
             raise CheckpointMismatch(
-                f"checkpoint was written with threshold {stored!r}, "
-                f"resume resolves {live!r}; bit-identical merging "
-                "needs the same band policy")
+                f"checkpoint was written under a different band "
+                f"policy: expected threshold {live!r}, found "
+                f"{stored!r}; bit-identical merging needs the same "
+                "band policy")
+
+    # ------------------------------------------------------------------
+    # Shard merging
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge(cls, parts: Iterable["StreamCheckpoint"]
+              ) -> "StreamCheckpoint":
+        """Merge disjoint-range partials into one checkpoint.
+
+        ``parts`` are partial checkpoints over contiguous,
+        non-overlapping global die ranges (shard outputs, or merges
+        of such -- the operation is associative).  They may arrive in
+        any order: parts are sorted by ``start_index`` before
+        concatenation, so the merged arrays are byte-for-byte what
+        the monolithic stream over the combined range would have
+        accumulated.  Empty parts (a zero-die shard) are legal
+        anywhere their ``start_index`` is consistent.
+
+        Raises ``ValueError`` on overlapping or gapped ranges and
+        :class:`CheckpointMismatch` when parts disagree on
+        configuration or band policy.  The merge result is
+        ``complete`` only when every part is.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("nothing to merge: no checkpoint parts")
+        reference = parts[0]
+        for part in parts[1:]:
+            part.validate(reference.config_key, reference.threshold)
+        # Empty parts sort ahead of a same-start non-empty part so
+        # the contiguity scan accepts them at either edge of a range.
+        ordered = sorted(parts,
+                         key=lambda p: (p.start_index, p.num_dies))
+        merged = cls(reference.config_key, reference.threshold,
+                     start_index=ordered[0].start_index)
+        expected = merged.start_index
+        for part in ordered:
+            if part.start_index < expected:
+                raise ValueError(
+                    f"overlapping shard ranges: dies "
+                    f"[{part.start_index}, {part.next_index}) "
+                    f"collide with already-merged dies up to "
+                    f"{expected}")
+            if part.start_index > expected:
+                raise ValueError(
+                    f"gap in shard ranges: dies [{expected}, "
+                    f"{part.start_index}) are covered by no part")
+            merged.value_parts.extend(part.value_parts)
+            merged.f0_parts.extend(part.f0_parts)
+            merged.q_parts.extend(part.q_parts)
+            merged.labels.extend(part.labels)
+            for key, value in part.timing.items():
+                merged.timing[key] = \
+                    merged.timing.get(key, 0.0) + value
+            merged.chunks_done += part.chunks_done
+            expected = part.next_index
+        merged.complete = all(part.complete for part in parts)
+        return merged
 
 
 __all__ = ["CHECKPOINT_VERSION", "CheckpointMismatch",

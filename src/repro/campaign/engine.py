@@ -564,6 +564,8 @@ class CampaignEngine:
                 return self._submit_stream(request)
             if request.mode == "noise":
                 return self._submit_noise(request)
+            if request.mode == "sharded":
+                return self._submit_sharded(request)
             return self._submit_run(request)
 
     def run(self, population: Union[Population, Iterable],
@@ -791,7 +793,17 @@ class CampaignEngine:
             if state is not None:
                 state.validate(config_key, threshold)
         if state is None:
-            state = StreamCheckpoint(config_key, threshold)
+            # A fresh stream that starts mid-fleet (a shard worker, or
+            # a rebuilt resume stream) covers [stream_offset, ...) --
+            # the checkpoint names that range so partials can merge.
+            state = StreamCheckpoint(config_key, threshold,
+                                     start_index=request.stream_offset)
+        elif request.stream_offset < state.start_index:
+            raise ValueError(
+                f"stream starts at global die {request.stream_offset} "
+                f"but the checkpoint covers dies from "
+                f"{state.start_index}: the prefix would merge into a "
+                "checkpoint that does not contain it")
         # Dies already screened by a previous (interrupted) run that
         # the restarted chunk stream will re-yield.
         skip = state.next_index - request.stream_offset
@@ -946,6 +958,73 @@ class CampaignEngine:
             labels=list(population.labels),
             tolerance=self.config.tolerance, timing=timing,
             executor=getattr(self.executor, "name", "custom"))
+
+    def run_sharded(self, fleet, shards: int = 2,
+                    band: Union[None, str, float, DecisionBand] = "auto",
+                    shard_size: Optional[int] = None,
+                    workdir: Optional[str] = None,
+                    heartbeat: float = 5.0,
+                    workers: Optional[int] = None) -> CampaignResult:
+        """Screen a fleet split across subprocess shard workers.
+
+        ``fleet`` is a :class:`repro.shard.ShardFleet` (or anything
+        :func:`repro.shard.as_fleet` accepts: a
+        :class:`SpecPopulation` works directly).  The global die-index
+        range splits into shards -- each exactly "a checkpoint whose
+        next index starts past another's" -- dispatched to ``workers``
+        subprocess workers (default: one per shard, capped at
+        ``shards``); partial checkpoints merge in global-index order
+        **bit-identical** to the monolithic :meth:`run` /
+        :meth:`run_stream` over the same fleet.  A worker that dies or
+        stalls past the ``heartbeat`` deadline has its shard
+        reassigned, resuming from the shard's last checkpoint -- never
+        from zero.  See ``docs/sharding.md``.
+
+        ``shard_size`` caps dies per shard, yielding more shards than
+        workers -- finer-grained reassignment on worker loss.  The
+        band policy resolves *once* here (the coordinator process);
+        workers receive the raw threshold, so calibration never runs
+        N times.
+        """
+        return self.submit(ScreeningRequest(
+            population=fleet, mode="sharded", band=band,
+            shards=shards, shard_size=shard_size,
+            shard_workdir=workdir, shard_heartbeat=heartbeat,
+            shard_workers=workers))
+
+    def _submit_sharded(self, request: ScreeningRequest
+                        ) -> CampaignResult:
+        from repro.shard import as_fleet
+        from repro.shard.coordinator import ShardCoordinator
+
+        if request.keep_signatures:
+            raise ValueError(
+                "sharded campaigns cannot keep signatures: the packed "
+                "batch is not part of the mergeable checkpoint state")
+        if request.encoders is not None or self.config.extra_encoders:
+            raise ValueError(
+                "sharded campaigns are single-channel today; run "
+                "multi-signature screening through run()/run_stream()")
+        start = time.perf_counter()
+        fleet = as_fleet(request.population)
+        threshold = self._resolve_threshold(request.band)
+        coordinator = ShardCoordinator(
+            config=self.config, threshold=threshold, fleet=fleet,
+            shards=request.shards, shard_size=request.shard_size,
+            workers=request.shard_workers,
+            workdir=request.shard_workdir,
+            heartbeat=request.shard_heartbeat)
+        merged, stats = coordinator.run()
+        values = merged.values(self._empty_values())
+        timing = dict(merged.timing)
+        timing["merge"] = float(stats.get("merge_seconds", 0.0))
+        name = f"sharded[{coordinator.num_workers}]"
+        result = self._package_result(
+            values, timing, merged.labels, None, request.band,
+            threshold, merged.f0_deviations(), merged.q_deviations(),
+            name, start)
+        result.shard_stats = stats
+        return result
 
     # ------------------------------------------------------------------
     # Population runners

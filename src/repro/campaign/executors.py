@@ -29,10 +29,33 @@ from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
-from repro.obs.trace import span
+from repro.obs.trace import (SpanRecord, TraceContext, context_tracer,
+                             current_trace_context, current_tracer,
+                             install_tracer, span, stamped_records)
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def _traced_chunk_call(payload):
+    """Pool-worker shim that joins the parent's trace.
+
+    ``payload`` is ``(worker, context_dict, chunk)``: the worker
+    process installs a :func:`context_tracer` rebuilt from the
+    shipped :class:`TraceContext`, runs the real chunk worker under
+    it, and returns ``(result, record_rows)`` -- its completed spans,
+    pid-stamped, for the parent to :meth:`Tracer.absorb`.  Without
+    this shim (tracing off) pool workers run the chunk worker
+    directly and record nothing.
+    """
+    worker, context_row, chunk = payload
+    tracer = context_tracer(TraceContext.from_dict(context_row))
+    previous = install_tracer(tracer)
+    try:
+        result = worker(chunk)
+    finally:
+        install_tracer(previous)
+    return result, stamped_records(tracer)
 
 
 def chunked(items: Sequence[T], chunk_size: int) -> List[Sequence[T]]:
@@ -109,17 +132,39 @@ class ProcessPoolExecutor:
         """
         chunks = list(chunks)
         with span("executor.map", executor=self.name,
-                  chunks=len(chunks)):
+                  chunks=len(chunks)) as map_span:
             pool = self._ensure_pool()
-            futures = [pool.submit(worker, chunk) for chunk in chunks]
-            # Pool-worker processes trace independently (tracing state
-            # is per process); the parent records what it can observe:
-            # one span per chunk covering the wait for its result.
+            # With tracing on, ship the (trace_id, parent_span_id)
+            # pair into each pool worker so its stage spans come back
+            # parented under this map span; workers return their
+            # records alongside the chunk result and the parent
+            # absorbs them into the active tracer.
+            context = current_trace_context()
+            if context is None:
+                futures = [pool.submit(worker, chunk)
+                           for chunk in chunks]
+            else:
+                parent_id = getattr(map_span, "_span_id", None)
+                row = TraceContext(
+                    trace_id=context.trace_id,
+                    parent_span_id=parent_id).to_dict()
+                futures = [pool.submit(_traced_chunk_call,
+                                       (worker, row, chunk))
+                           for chunk in chunks]
             results: List[R] = []
             for index, future in enumerate(futures):
                 with span("executor.chunk", executor=self.name,
                           index=index):
-                    results.append(future.result())
+                    outcome = future.result()
+                if context is None:
+                    results.append(outcome)
+                else:
+                    result, rows = outcome
+                    tracer = current_tracer()
+                    if tracer is not None:
+                        tracer.absorb(SpanRecord.from_dict(r)
+                                      for r in rows)
+                    results.append(result)
             return results
 
     def shutdown(self) -> None:

@@ -24,8 +24,8 @@ from repro.core.decision import DecisionBand
 from repro.core.zones import ZoneEncoder
 from repro.signals.noise import NoiseModel
 
-#: The three execution modes the engine dispatches on.
-MODES: Tuple[str, ...] = ("run", "stream", "noise")
+#: The execution modes the engine dispatches on.
+MODES: Tuple[str, ...] = ("run", "stream", "noise", "sharded")
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,15 @@ class ScreeningRequest:
         the engine fast-forwards past already-checkpointed dies; a
         resume that rebuilds its stream mid-fleet (e.g.
         ``stream_montecarlo_dies(..., start=k)``) declares that here.
+    shards, shard_size, shard_workdir, shard_heartbeat, shard_workers:
+        Sharded-campaign knobs (``mode="sharded"`` only; see
+        :mod:`repro.shard` and
+        :meth:`~repro.campaign.engine.CampaignEngine.run_sharded`):
+        how many shards to split the fleet into, an optional dies-per-
+        shard cap (finer reassignment granularity), the coordinator's
+        checkpoint/scratch directory (a temp dir when None), the
+        worker heartbeat deadline in seconds, and the subprocess
+        worker count (None = one per shard).
     """
 
     population: object = None
@@ -101,6 +110,11 @@ class ScreeningRequest:
     checkpoint: Optional[str] = None
     checkpoint_every: int = 1
     stream_offset: int = 0
+    shards: int = 2
+    shard_size: Optional[int] = None
+    shard_workdir: Optional[str] = None
+    shard_heartbeat: float = 5.0
+    shard_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -118,6 +132,14 @@ class ScreeningRequest:
             raise ValueError("checkpoint_every must be >= 1")
         if self.stream_offset < 0:
             raise ValueError("stream_offset must be >= 0")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        if self.shard_heartbeat <= 0:
+            raise ValueError("shard_heartbeat must be positive")
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise ValueError("shard_workers must be >= 1")
 
     def with_population(self, population) -> "ScreeningRequest":
         """Copy of this request over a different population.

@@ -83,6 +83,11 @@ class CampaignResult:
         of a multi-signature campaign run with
         ``keep_signatures=True``; what :meth:`diagnose` matches
         against a multi-channel fault dictionary.
+    shard_stats:
+        Sharded campaigns (:meth:`CampaignEngine.run_sharded`) attach
+        the coordinator's lifecycle counters here -- shards planned /
+        dispatched / completed / reassigned, worker count and merge
+        seconds; None for every other execution mode.
     """
 
     ndfs: np.ndarray
@@ -100,6 +105,7 @@ class CampaignResult:
     channel_thresholds: Optional[np.ndarray] = None
     channel_verdicts: Optional[np.ndarray] = None
     multi_signature_batch: Optional[MultiSignatureBatch] = None
+    shard_stats: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
         self.ndfs = np.asarray(self.ndfs, dtype=float)

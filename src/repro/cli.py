@@ -15,6 +15,10 @@
     python -m repro campaign --dies 100000 --stream --checkpoint ck.npz
                                             # crash-safe streaming
                                             # (re-run resumes)
+    python -m repro campaign --dies 20000 --shards 4
+                                            # sharded subprocess
+                                            # workers, merged
+                                            # bit-identical
     python -m repro campaign --dies 200 --repeats 20
                                             # Section IV-C noise repeats
     python -m repro campaign --dies 500 --profile --trace-out t.json
@@ -130,6 +134,17 @@ def _build_parser() -> argparse.ArgumentParser:
                           default=1, metavar="N",
                           help="chunks between checkpoint saves "
                                "(default 1)")
+    campaign.add_argument("--shards", type=_positive_int, default=None,
+                          metavar="N",
+                          help="split the campaign into N shards run "
+                               "by subprocess workers and merge the "
+                               "partial checkpoints bit-identical to "
+                               "the monolithic run (mc/sweep/grid "
+                               "scenarios)")
+    campaign.add_argument("--shard-chunk", type=_positive_int,
+                          default=None, metavar="C",
+                          help="per-worker streamed chunk size (with "
+                               "--shards; default: --chunk)")
     campaign.add_argument("--repeats", type=_non_negative_int,
                           default=0,
                           help="noisy measurements per die (Section "
@@ -413,6 +428,25 @@ def _second_bank(engine, spec):
     return search.best.name, search.best.encoder
 
 
+def _shard_fleet(setup, args):
+    """Shardable fleet description for ``campaign --shards``.
+
+    The mc scenario ships a seed recipe (workers regenerate their die
+    ranges from the global spawn keys); sweep/grid materialize the
+    (small) population once and ship slices.
+    """
+    from repro.shard import MonteCarloFleet, as_fleet
+
+    chunk = args.shard_chunk if args.shard_chunk is not None \
+        else args.chunk
+    if args.scenario == "mc":
+        return MonteCarloFleet(setup.golden_spec, args.dies,
+                               sigma_f0=args.sigma, seed=args.seed,
+                               chunk_size=chunk)
+    population, __ = _campaign_population(setup, args)
+    return as_fleet(population, chunk_size=chunk)
+
+
 def _campaign_executor(args):
     """Executor selected on the command line (None = serial)."""
     from repro.campaign import ProcessPoolExecutor, SharedMemoryExecutor
@@ -484,6 +518,28 @@ def _cmd_campaign(setup, args) -> int:
               "monitor-mc/corners scenarios vary the primary bank "
               "itself)", file=sys.stderr)
         return 2
+    if args.shard_chunk is not None and args.shards is None:
+        print("--shard-chunk only applies to a sharded campaign; add "
+              "--shards N", file=sys.stderr)
+        return 2
+    if args.shards is not None:
+        if args.stream or args.repeats:
+            print("--shards runs its own checkpointed streams; drop "
+                  "--stream/--repeats", file=sys.stderr)
+            return 2
+        if args.second_signature is not None:
+            print("sharded campaigns are single-channel; drop "
+                  "--second-signature", file=sys.stderr)
+            return 2
+        if args.scenario not in ("mc", "sweep", "grid"):
+            print("--shards needs a streaming-capable population "
+                  "(mc, sweep or grid)", file=sys.stderr)
+            return 2
+        if args.executor != "serial":
+            print("--shards schedules its own worker processes; "
+                  "drop --executor (each worker screens serially)",
+                  file=sys.stderr)
+            return 2
     executor = _campaign_executor(args)
     engine = setup.campaign_engine(samples_per_period=args.samples,
                                    tolerance=args.tolerance,
@@ -508,14 +564,19 @@ def _cmd_campaign(setup, args) -> int:
             engine.golden()
             engine.band()
             tracer = _campaign_tracer(args)
-        if args.repeats:
+        if args.shards is not None:
+            result = engine.run_sharded(_shard_fleet(setup, args),
+                                        shards=args.shards,
+                                        band="auto",
+                                        workers=args.workers)
+        elif args.repeats:
             population, __ = _campaign_population(setup, args)
             result = engine.run_noise(population,
                                       repeats=args.repeats,
                                       noise=args.noise,
                                       seed=args.seed, band="auto")
             return _report_noise_campaign(args, result, tracer)
-        if args.stream:
+        elif args.stream:
             chunks = stream_montecarlo_dies(
                 setup.golden_spec, args.dies, chunk_size=args.chunk,
                 sigma_f0=args.sigma, seed=args.seed)
@@ -557,6 +618,8 @@ def _cmd_campaign(setup, args) -> int:
             payload["profile"] = profile
         if trace_path is not None:
             payload["trace"] = trace_path
+        if result.shard_stats is not None:
+            payload["shards"] = result.shard_stats
         if result.channel_ndfs is not None:
             payload["second_signature"] = second_name
             payload["channels"] = [
@@ -582,6 +645,12 @@ def _cmd_campaign(setup, args) -> int:
         if second_name is not None:
             print(f"second bank: {second_name}")
         print(result.summary())
+        if result.shard_stats is not None:
+            stats = result.shard_stats
+            print(f"shards:      {int(stats['planned'])} over "
+                  f"{int(stats['workers'])} workers, "
+                  f"{int(stats['reassigned'])} reassigned, merge "
+                  f"{stats['merge_seconds'] * 1e3:.1f} ms")
         if faults is not None:
             detected = result.failing_labels()
             escaped = [label for label in result.labels
@@ -882,7 +951,15 @@ def _cmd_client(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    raw = sys.argv[1:] if argv is None else list(argv)
+    if raw[:1] == ["shard-worker"]:
+        # Hidden entry point: a shard coordinator spawned us.  Speaks
+        # repro.shard.protocol on stdin/stdout; not for humans, so it
+        # stays out of the argparse tree and --help.
+        from repro.shard.worker import worker_main
+
+        return worker_main()
+    args = _build_parser().parse_args(raw)
 
     # The service commands build (or talk to) their own bench.
     if args.command == "serve":

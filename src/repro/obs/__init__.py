@@ -34,7 +34,10 @@ from repro.obs.trace import (
     REQUEST_ID_HEADER,
     Span,
     SpanRecord,
+    TraceContext,
     Tracer,
+    context_tracer,
+    current_trace_context,
     current_tracer,
     get_request_id,
     install_tracer,
@@ -43,6 +46,7 @@ from repro.obs.trace import (
     reset_request_id,
     set_request_id,
     span,
+    stamped_records,
     tracing,
     tracing_enabled,
     uninstall_tracer,
@@ -60,7 +64,10 @@ __all__ = [
     "STAGE_PREFIX",
     "Span",
     "SpanRecord",
+    "TraceContext",
     "Tracer",
+    "context_tracer",
+    "current_trace_context",
     "current_tracer",
     "default_registry",
     "get_request_id",
@@ -77,6 +84,7 @@ __all__ = [
     "set_request_id",
     "span",
     "stage_profile",
+    "stamped_records",
     "timed",
     "tracing",
     "tracing_enabled",

@@ -46,8 +46,8 @@ import time
 import uuid
 from collections import deque
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional
 
 #: HTTP header carrying one logical request's identity end to end
 #: (client retry attempts reuse the id; the server echoes it back).
@@ -104,6 +104,11 @@ class SpanRecord:
     thread_id: int
     attributes: Dict[str, object] = field(default_factory=dict)
     error: Optional[str] = None
+    #: Recording process, when the span crossed a process boundary
+    #: (None = recorded in the exporting process).  Worker-side spans
+    #: carry their worker's pid home so the Chrome trace shows one
+    #: track per process.
+    pid: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -121,7 +126,29 @@ class SpanRecord:
             row["attributes"] = dict(self.attributes)
         if self.error is not None:
             row["error"] = self.error
+        if self.pid is not None:
+            row["pid"] = self.pid
         return row
+
+    @classmethod
+    def from_dict(cls, row: Dict[str, object]) -> "SpanRecord":
+        """Rebuild a record exported by :meth:`to_dict`.
+
+        The wire format worker processes use to send their spans back
+        to the coordinating process (:meth:`Tracer.absorb`).
+        """
+        return cls(
+            name=str(row["name"]), span_id=int(row["span_id"]),
+            parent_id=(None if row.get("parent_id") is None
+                       else int(row["parent_id"])),
+            start=float(row["start"]),
+            duration=float(row["duration"]),
+            thread_id=int(row.get("thread_id", 0)),
+            attributes=dict(row.get("attributes") or {}),
+            error=(None if row.get("error") is None
+                   else str(row["error"])),
+            pid=(None if row.get("pid") is None
+                 else int(row["pid"])))
 
 
 class Span:
@@ -209,13 +236,22 @@ class Tracer:
         first (the :attr:`dropped` counter says how many).
     name:
         Process label used by the Chrome-trace export.
+    trace_id:
+        Identity of the distributed trace this tracer contributes to.
+        Defaults to a fresh uuid4 hex; worker processes joining a
+        parent trace pass the parent's id
+        (:func:`context_tracer`) so every process records under one
+        trace identity.
     """
 
-    def __init__(self, capacity: int = 65536, name: str = "repro") -> None:
+    def __init__(self, capacity: int = 65536, name: str = "repro",
+                 trace_id: Optional[str] = None) -> None:
         if capacity < 1:
             raise ValueError("tracer needs room for one span")
         self.capacity = int(capacity)
         self.name = str(name)
+        self.trace_id = (uuid.uuid4().hex if trace_id is None
+                         else str(trace_id))
         self._records: "deque[SpanRecord]" = deque(maxlen=self.capacity)
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -259,6 +295,24 @@ class Tracer:
             self._records.clear()
             self._dropped = 0
 
+    def absorb(self, records: Iterable[SpanRecord]) -> int:
+        """Adopt spans recorded in another process.
+
+        Worker processes trace under a :func:`context_tracer` (same
+        ``trace_id``, pid-salted span ids, parent pre-linked to the
+        coordinating span) and ship their completed records home;
+        the parent absorbs them so one export shows the whole
+        distributed campaign.  Returns how many records were adopted.
+        """
+        count = 0
+        with self._lock:
+            for record in records:
+                if len(self._records) == self._records.maxlen:
+                    self._dropped += 1
+                self._records.append(record)
+                count += 1
+        return count
+
     # ------------------------------------------------------------------
     # Exports
     # ------------------------------------------------------------------
@@ -295,10 +349,12 @@ class Tracer:
                 "name": record.name, "ph": "X", "cat": "repro",
                 "ts": (self._epoch_offset + record.start) * 1e6,
                 "dur": record.duration * 1e6,
-                "pid": pid, "tid": record.thread_id, "args": args,
+                "pid": record.pid if record.pid is not None else pid,
+                "tid": record.thread_id, "args": args,
             })
         return {"traceEvents": events, "displayTimeUnit": "ms",
                 "otherData": {"tracer": self.name,
+                              "trace_id": self.trace_id,
                               "dropped_spans": self.dropped}}
 
     def write_chrome_trace(self, path: str) -> str:
@@ -363,6 +419,87 @@ def span(name: str, **attributes: object):
     return tracer.span(name, **attributes)
 
 
+# ----------------------------------------------------------------------
+# Cross-process trace-context propagation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceContext:
+    """The ``(trace_id, parent_span_id)`` pair a worker inherits.
+
+    Captured in the coordinating process with
+    :func:`current_trace_context`, serialized into the worker payload
+    (:meth:`to_dict` is plain JSON), and turned back into a live
+    tracer with :func:`context_tracer` on the far side.  Worker spans
+    then parent-link to the coordinator's span, and
+    :meth:`Tracer.absorb` reassembles one trace.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"trace_id": self.trace_id,
+                "parent_span_id": self.parent_span_id}
+
+    @classmethod
+    def from_dict(cls, row: Dict[str, object]) -> "TraceContext":
+        parent = row.get("parent_span_id")
+        return cls(trace_id=str(row["trace_id"]),
+                   parent_span_id=None if parent is None
+                   else int(parent))
+
+
+def current_trace_context() -> Optional[TraceContext]:
+    """The active tracer's identity + current span, or None.
+
+    None while tracing is disabled -- callers use that to skip the
+    propagation machinery entirely on the untraced path.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return None
+    return TraceContext(trace_id=tracer.trace_id,
+                        parent_span_id=tracer._current.get())
+
+
+def context_tracer(context: TraceContext,
+                   capacity: int = 65536,
+                   name: str = "repro-worker") -> Tracer:
+    """A worker-side tracer joined to ``context``'s trace.
+
+    Spans it records carry the inherited ``trace_id``, default-parent
+    to ``context.parent_span_id`` (so the worker's root spans nest
+    under the coordinator's dispatching span), stamp the worker's pid,
+    and draw span ids from a pid-salted counter so ids stay unique
+    when the parent absorbs records from many workers.
+    """
+    tracer = Tracer(capacity=capacity, name=name,
+                    trace_id=context.trace_id)
+    tracer._current = contextvars.ContextVar(
+        "repro_current_span", default=context.parent_span_id)
+    # 24 bits of pid in the high word keeps worker ids disjoint from
+    # the parent's small sequential ids and from sibling workers.
+    tracer._ids = itertools.count(
+        ((os.getpid() & 0xFFFFFF) << 32) + 1)
+    return tracer
+
+
+def stamped_records(tracer: Tracer) -> List[Dict[str, object]]:
+    """``tracer``'s records as JSON rows, pid-stamped for shipping.
+
+    The worker-side complement of :meth:`Tracer.absorb`: each record
+    gets this process's pid (unless a pid was already stamped) so the
+    parent's Chrome export draws the worker on its own process track.
+    """
+    pid = os.getpid()
+    rows = []
+    for record in tracer.records():
+        if record.pid is None:
+            record = replace(record, pid=pid)
+        rows.append(record.to_dict())
+    return rows
+
+
 @contextmanager
 def tracing(tracer: Optional[Tracer] = None,
             capacity: int = 65536) -> Iterator[Tracer]:
@@ -387,7 +524,10 @@ __all__ = [
     "REQUEST_ID_HEADER",
     "Span",
     "SpanRecord",
+    "TraceContext",
     "Tracer",
+    "context_tracer",
+    "current_trace_context",
     "current_tracer",
     "get_request_id",
     "install_tracer",
@@ -396,6 +536,7 @@ __all__ = [
     "reset_request_id",
     "set_request_id",
     "span",
+    "stamped_records",
     "tracing",
     "tracing_enabled",
     "uninstall_tracer",

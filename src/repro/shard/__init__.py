@@ -1,0 +1,53 @@
+"""repro.shard -- sharded campaigns: split, run, merge bit-identical.
+
+A sharded campaign splits the global die-index range into contiguous
+shards (a shard is exactly "a
+:class:`~repro.campaign.checkpoint.StreamCheckpoint` whose next index
+starts past another's"), dispatches them to subprocess workers over a
+JSON line protocol, and merges the partial checkpoints in
+global-index order -- **bit-identical** to the monolithic run, even
+when a worker is killed mid-shard (the shard reassigns and resumes
+from its last checkpoint, never from zero).
+
+Layers:
+
+* :mod:`repro.shard.planner` -- range tiling with uneven tails.
+* :mod:`repro.shard.fleets` -- picklable fleet descriptions that
+  rebuild any die range on demand.
+* :mod:`repro.shard.protocol` -- the coordinator <-> worker wire.
+* :mod:`repro.shard.worker` -- the ``repro shard-worker`` loop.
+* :mod:`repro.shard.coordinator` -- dispatch, heartbeat watching,
+  reassignment, merge.
+
+Entry points: :meth:`CampaignEngine.run_sharded`, or
+``repro campaign --shards N``.  See ``docs/sharding.md``.
+"""
+
+from repro.shard.coordinator import (
+    STARTUP_GRACE,
+    ShardCoordinator,
+    ShardWorkerError,
+    WORKER_FAULTS_ENV,
+)
+from repro.shard.fleets import (
+    MonteCarloFleet,
+    PopulationFleet,
+    ShardFleet,
+    as_fleet,
+)
+from repro.shard.planner import Shard, plan_shards
+from repro.shard.worker import worker_main
+
+__all__ = [
+    "MonteCarloFleet",
+    "PopulationFleet",
+    "STARTUP_GRACE",
+    "Shard",
+    "ShardCoordinator",
+    "ShardFleet",
+    "ShardWorkerError",
+    "WORKER_FAULTS_ENV",
+    "as_fleet",
+    "plan_shards",
+    "worker_main",
+]

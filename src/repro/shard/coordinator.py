@@ -1,0 +1,403 @@
+"""The shard coordinator: split, dispatch, watch, reassign, merge.
+
+One :class:`ShardCoordinator` owns a sharded campaign end to end:
+
+1. **Plan** -- :func:`~repro.shard.planner.plan_shards` tiles the
+   fleet's global die range into contiguous shards.
+2. **Dispatch** -- subprocess workers (``repro shard-worker``) each
+   receive an ``init`` (pickled config, the threshold resolved *once*
+   in this process, the fleet description, the trace context) and then
+   ``assign`` messages; a reader thread per worker funnels its
+   protocol lines into one queue.
+3. **Watch** -- workers heartbeat every ``heartbeat/2`` seconds and
+   report progress per screened chunk.  A worker whose pipe closes
+   (killed), whose process exits, or that goes silent past the
+   heartbeat deadline is declared lost: its process is killed, its
+   shard goes back on the queue, and a fresh worker respawns into the
+   slot.  Reassignment **resumes from the shard's last checkpoint,
+   never from zero** -- the shard checkpoint file is the unit of both
+   sharding and recovery.
+4. **Merge** -- completed shards are plain checkpoint files;
+   :meth:`StreamCheckpoint.merge` reassembles them in global-index
+   order, bit-identical to the monolithic stream (proven by
+   ``tests/shard/`` and the CI ``sharded-campaign-smoke`` drill).
+
+Lifecycle metrics land in the process-default registry
+(``shard_dispatched_total`` / ``shard_completed_total`` /
+``shard_reassigned_total`` / ``shard_merge_seconds``); with tracing
+on, the whole campaign nests under a ``shard.campaign`` span whose
+``shard.dispatch`` children carry ``(shard, worker, attempt)`` -- a
+re-dispatch is visible as ``attempt > 1`` -- and worker-side spans
+come home pid-stamped through the ``done`` message.
+
+The drill hook: ``REPRO_SHARD_WORKER_FAULTS`` in the coordinator's
+environment is forwarded (as ``REPRO_FAULTS``) to the *first* spawned
+worker only, and ``REPRO_FAULTS`` itself is stripped from every worker
+environment -- so ``shard.worker.kill`` SIGKILLs exactly one worker
+and the respawned replacement cannot inherit the same death.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaign.checkpoint import StreamCheckpoint
+from repro.obs.logs import log_event
+from repro.obs.metrics import default_registry
+from repro.obs.trace import (
+    SpanRecord,
+    current_trace_context,
+    current_tracer,
+    span,
+)
+from repro.shard.planner import Shard, plan_shards
+from repro.shard.protocol import (
+    assign_message,
+    decode_message,
+    encode_message,
+    init_message,
+    shutdown_message,
+)
+
+#: Environment variable naming faults to arm in the FIRST spawned
+#: worker only (the worker-loss drill).  Respawned workers never see
+#: it, so an armed ``shard.worker.kill`` cannot loop forever.
+WORKER_FAULTS_ENV = "REPRO_SHARD_WORKER_FAULTS"
+
+#: Silence allowance before the first ``hello`` (interpreter start +
+#: imports are much slower than a heartbeat interval).
+STARTUP_GRACE = 60.0
+
+
+class ShardWorkerError(RuntimeError):
+    """A worker reported a non-recoverable error or a shard ran out
+    of reassignment attempts."""
+
+
+class _Worker:
+    """One subprocess worker slot and its bookkeeping."""
+
+    __slots__ = ("index", "proc", "stderr_path", "shard", "last_seen",
+                 "hello_seen", "generation")
+
+    def __init__(self, index: int, proc: subprocess.Popen,
+                 stderr_path: str, generation: int) -> None:
+        self.index = index
+        self.proc = proc
+        self.stderr_path = stderr_path
+        self.shard: Optional[Shard] = None
+        self.last_seen = time.monotonic()
+        self.hello_seen = False
+        self.generation = generation
+
+    @property
+    def idle(self) -> bool:
+        return self.shard is None
+
+    def stderr_tail(self, lines: int = 20) -> str:
+        try:
+            with open(self.stderr_path, "r", errors="replace") as fh:
+                return "".join(fh.readlines()[-lines:])
+        except OSError:
+            return "<no stderr captured>"
+
+
+class ShardCoordinator:
+    """Run one sharded campaign; see the module docstring.
+
+    Parameters
+    ----------
+    config, threshold, fleet:
+        The engine configuration, the *resolved* NDF threshold (float
+        or None -- workers never calibrate), and the shardable fleet
+        (:mod:`repro.shard.fleets`).
+    shards, shard_size, workers:
+        Planning and pool sizing: split into ``shards`` near-equal
+        ranges, or fixed ``shard_size`` ranges; run at most
+        ``workers`` subprocesses (default: one per shard).
+    workdir:
+        Directory for shard checkpoints and worker stderr logs.  A
+        temp dir (cleaned up on success) when None.
+    heartbeat:
+        Seconds of silence after which a worker counts as stalled.
+    checkpoint_every:
+        Chunks between worker checkpoint saves (1 = every chunk, the
+        finest resume granularity).
+    max_attempts:
+        Dispatch attempts per shard before the campaign fails.
+    """
+
+    def __init__(self, config, threshold: Optional[float], fleet,
+                 shards: int = 2, shard_size: Optional[int] = None,
+                 workers: Optional[int] = None,
+                 workdir: Optional[str] = None,
+                 heartbeat: float = 5.0,
+                 checkpoint_every: int = 1,
+                 max_attempts: int = 3) -> None:
+        self.config = config
+        self.threshold = None if threshold is None else float(threshold)
+        self.fleet = fleet
+        self.plan = plan_shards(len(fleet), shards, shard_size)
+        self.num_workers = max(1, min(
+            workers if workers is not None else shards,
+            max(1, len(self.plan))))
+        self.heartbeat = float(heartbeat)
+        self.checkpoint_every = int(checkpoint_every)
+        self.max_attempts = int(max_attempts)
+        self._workdir = workdir
+        self._own_workdir = workdir is None
+        self._queue: "queue.Queue[Tuple[int, Optional[dict]]]" = \
+            queue.Queue()
+        self._workers: Dict[int, _Worker] = {}
+        self._next_slot = 0
+        self._drill_faults = os.environ.get(WORKER_FAULTS_ENV)
+        self.stats: Dict[str, float] = {
+            "planned": float(len(self.plan)), "dispatched": 0.0,
+            "completed": 0.0, "reassigned": 0.0,
+            "workers": float(self.num_workers), "merge_seconds": 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Worker process management
+    # ------------------------------------------------------------------
+    def _worker_env(self) -> Dict[str, str]:
+        env = dict(os.environ)
+        # Never let the coordinator's own armed faults leak into
+        # workers -- a respawned worker inheriting shard.worker.kill
+        # would die forever.
+        env.pop("REPRO_FAULTS", None)
+        env.pop(WORKER_FAULTS_ENV, None)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_root if not existing \
+            else src_root + os.pathsep + existing
+        if self._drill_faults:
+            env["REPRO_FAULTS"] = self._drill_faults
+            self._drill_faults = None  # first spawn only
+        return env
+
+    def _spawn(self, slot: int, generation: int) -> _Worker:
+        stderr_path = os.path.join(
+            self._workdir, f"worker_{slot}_g{generation}.stderr.log")
+        with open(stderr_path, "w") as stderr_file:
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "shard-worker"],
+                stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+                stderr=stderr_file,
+                env=self._worker_env(), text=True, bufsize=1)
+        worker = _Worker(slot, proc, stderr_path, generation)
+        self._workers[slot] = worker
+        context = current_trace_context()
+        self._send(worker, init_message(
+            self.config, self.threshold, self.fleet,
+            self.checkpoint_every, self.heartbeat,
+            None if context is None else context.to_dict()))
+        reader = threading.Thread(
+            target=self._reader_loop, args=(slot, generation, proc),
+            daemon=True, name=f"shard-reader-{slot}")
+        reader.start()
+        log_event("shard.worker.spawned", slot=slot,
+                  generation=generation, pid=proc.pid)
+        return worker
+
+    def _reader_loop(self, slot: int, generation: int,
+                     proc: subprocess.Popen) -> None:
+        for line in proc.stdout:
+            try:
+                message = decode_message(line)
+            except ValueError:
+                continue
+            self._queue.put((slot, {"_gen": generation, **message}))
+        self._queue.put((slot, {"_gen": generation, "type": "_eof"}))
+
+    def _send(self, worker: _Worker, message: Dict[str, object]) -> bool:
+        try:
+            worker.proc.stdin.write(encode_message(message) + "\n")
+            worker.proc.stdin.flush()
+            return True
+        except (BrokenPipeError, OSError, ValueError):
+            return False
+
+    def _kill(self, worker: _Worker) -> None:
+        try:
+            worker.proc.kill()
+        except OSError:
+            pass
+        worker.proc.wait()
+
+    # ------------------------------------------------------------------
+    # The campaign
+    # ------------------------------------------------------------------
+    def run(self) -> Tuple[StreamCheckpoint, Dict[str, float]]:
+        """Execute every shard and merge; returns ``(merged, stats)``."""
+        if self._workdir is None:
+            self._workdir = tempfile.mkdtemp(prefix="repro-shards-")
+        try:
+            with span("shard.campaign", shards=len(self.plan),
+                      workers=self.num_workers,
+                      dies=len(self.fleet)):
+                parts = self._run_shards()
+                merged = self._merge(parts)
+            if self._own_workdir:
+                shutil.rmtree(self._workdir, ignore_errors=True)
+            return merged, dict(self.stats)
+        finally:
+            self._shutdown_workers()
+
+    def _checkpoint_path(self, shard: Shard) -> str:
+        return os.path.join(self._workdir, shard.checkpoint_name())
+
+    def _assign(self, worker: _Worker, shard: Shard,
+                attempts: Dict[int, int]) -> bool:
+        attempt = attempts.get(shard.index, 0) + 1
+        attempts[shard.index] = attempt
+        with span("shard.dispatch", shard=shard.index, lo=shard.lo,
+                  hi=shard.hi, worker=worker.index, attempt=attempt):
+            ok = self._send(worker, assign_message(
+                shard.index, shard.lo, shard.hi,
+                self._checkpoint_path(shard)))
+        if ok:
+            worker.shard = shard
+            worker.last_seen = time.monotonic()
+            self.stats["dispatched"] += 1
+            default_registry().counter("shard_dispatched_total").inc()
+            log_event("shard.dispatched", shard=shard.index,
+                      lo=shard.lo, hi=shard.hi, worker=worker.index,
+                      attempt=attempt)
+        return ok
+
+    def _lose_worker(self, worker: _Worker, pending: "deque[Shard]",
+                     attempts: Dict[int, int], reason: str) -> None:
+        """Kill a lost worker, requeue its shard, respawn the slot."""
+        self._kill(worker)
+        shard = worker.shard
+        worker.shard = None
+        if shard is not None:
+            if attempts.get(shard.index, 0) >= self.max_attempts:
+                raise ShardWorkerError(
+                    f"shard {shard.index} dies [{shard.lo}, "
+                    f"{shard.hi}) failed {self.max_attempts} "
+                    f"dispatch attempts (last worker {reason}); "
+                    f"worker stderr tail:\n{worker.stderr_tail()}")
+            pending.appendleft(shard)
+            self.stats["reassigned"] += 1
+            default_registry().counter("shard_reassigned_total").inc()
+            log_event("shard.reassigned", shard=shard.index,
+                      worker=worker.index, reason=reason)
+        self._spawn(worker.index, worker.generation + 1)
+
+    def _run_shards(self) -> List[StreamCheckpoint]:
+        if not self.plan:
+            return []
+        pending: "deque[Shard]" = deque(self.plan)
+        attempts: Dict[int, int] = {}
+        done: Dict[int, str] = {}
+        for slot in range(self.num_workers):
+            self._spawn(slot, generation=0)
+        tick = max(0.05, min(0.5, self.heartbeat / 4.0))
+        tracer = current_tracer()
+        while len(done) < len(self.plan):
+            for worker in list(self._workers.values()):
+                if worker.idle and pending:
+                    if not self._assign(worker, pending[0], attempts):
+                        # Pipe already closed: treat as lost (shard
+                        # stays at the queue front for the respawn).
+                        self._lose_worker(worker, pending, attempts,
+                                          "pipe closed at assign")
+                    else:
+                        pending.popleft()
+            try:
+                slot, message = self._queue.get(timeout=tick)
+            except queue.Empty:
+                message = None
+            if message is not None:
+                worker = self._workers.get(slot)
+                if worker is None or \
+                        message.get("_gen") != worker.generation:
+                    continue  # line from a replaced worker
+                worker.last_seen = time.monotonic()
+                kind = message.get("type")
+                if kind == "hello":
+                    worker.hello_seen = True
+                elif kind == "done":
+                    shard = worker.shard
+                    worker.shard = None
+                    index = int(message["shard"])
+                    done[index] = str(message["checkpoint"])
+                    self.stats["completed"] += 1
+                    default_registry().counter(
+                        "shard_completed_total").inc()
+                    log_event("shard.completed", shard=index,
+                              worker=slot,
+                              num_dies=int(message["num_dies"]))
+                    rows = message.get("spans") or []
+                    if tracer is not None and rows:
+                        tracer.absorb(SpanRecord.from_dict(r)
+                                      for r in rows)
+                elif kind == "error":
+                    raise ShardWorkerError(
+                        f"worker {slot} failed shard "
+                        f"{message.get('shard')}: "
+                        f"{message.get('message')}\nstderr tail:\n"
+                        f"{worker.stderr_tail()}")
+                elif kind == "_eof":
+                    if worker.proc.poll() is None:
+                        worker.proc.wait()
+                    if worker.shard is not None or pending:
+                        self._lose_worker(worker, pending, attempts,
+                                          "process exited")
+                # ping / progress only refresh last_seen (above)
+            # Stall detection: silent past the deadline with work
+            # assigned.  Pre-hello workers get the startup grace.
+            now = time.monotonic()
+            for worker in list(self._workers.values()):
+                if worker.shard is None:
+                    continue
+                deadline = self.heartbeat if worker.hello_seen \
+                    else max(self.heartbeat, STARTUP_GRACE)
+                if now - worker.last_seen > deadline:
+                    self._lose_worker(worker, pending, attempts,
+                                      "heartbeat deadline passed")
+        return [StreamCheckpoint.load(done[shard.index])
+                for shard in self.plan]
+
+    def _merge(self, parts: List[StreamCheckpoint]) -> StreamCheckpoint:
+        start = time.perf_counter()
+        with span("shard.merge", parts=len(parts)):
+            if parts:
+                merged = StreamCheckpoint.merge(parts)
+            else:
+                merged = StreamCheckpoint(
+                    repr(self.config.golden_key()), self.threshold)
+                merged.complete = True
+        elapsed = time.perf_counter() - start
+        self.stats["merge_seconds"] = elapsed
+        default_registry().histogram(
+            "shard_merge_seconds").observe(elapsed)
+        return merged
+
+    def _shutdown_workers(self) -> None:
+        for worker in self._workers.values():
+            if worker.proc.poll() is None:
+                if not self._send(worker, shutdown_message()):
+                    self._kill(worker)
+                    continue
+                try:
+                    worker.proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    self._kill(worker)
+        self._workers.clear()
+
+
+__all__ = ["STARTUP_GRACE", "ShardCoordinator", "ShardWorkerError",
+           "WORKER_FAULTS_ENV"]

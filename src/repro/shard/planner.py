@@ -1,0 +1,81 @@
+"""Shard planning: split a global die-index range into shards.
+
+A shard is exactly "a :class:`~repro.campaign.checkpoint.StreamCheckpoint`
+whose next index starts past another's": the contiguous global range
+``[lo, hi)`` one worker screens into its own checkpoint file.  The
+planner only decides the ranges; per-die work is a pure function of the
+global index (seeds, labels, scoring are all chunk-boundary
+independent), so any plan merges bit-identical to the monolithic run.
+
+Two planning modes:
+
+* ``shards=N`` -- near-equal split into N contiguous ranges, the first
+  ``count % N`` shards one die longer (uneven-tail handling: no shard
+  differs from another by more than one die, and no empty shards are
+  emitted for ``N > count``).
+* ``shard_size=C`` -- fixed-size shards of at most C dies (the last
+  carries the tail).  More shards than workers means finer-grained
+  reassignment when a worker dies: only the lost shard re-executes,
+  from its last checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous global die range ``[lo, hi)``."""
+
+    index: int
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.hi <= self.lo:
+            raise ValueError(f"invalid shard range [{self.lo}, {self.hi})")
+
+    @property
+    def num_dies(self) -> int:
+        return self.hi - self.lo
+
+    def checkpoint_name(self) -> str:
+        """Stable per-shard checkpoint filename."""
+        return f"shard_{self.index:04d}.npz"
+
+
+def plan_shards(count: int, shards: int = 2,
+                shard_size: Optional[int] = None) -> List[Shard]:
+    """Split ``count`` dies into contiguous shards.
+
+    ``shard_size`` wins when given (fixed-size shards, tail in the
+    last); otherwise ``shards`` near-equal ranges.  Empty shards are
+    never emitted; a zero-die fleet plans zero shards.  Consecutive
+    shards tile ``[0, count)`` exactly -- the invariant
+    :meth:`StreamCheckpoint.merge` enforces when reassembling.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return []
+    if shard_size is not None:
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        return [Shard(i, lo, min(lo + shard_size, count))
+                for i, lo in enumerate(range(0, count, shard_size))]
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    shards = min(shards, count)
+    base, extra = divmod(count, shards)
+    plan: List[Shard] = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < extra else 0)
+        plan.append(Shard(i, lo, hi))
+        lo = hi
+    return plan
+
+
+__all__ = ["Shard", "plan_shards"]

@@ -1,0 +1,92 @@
+"""Line protocol between the shard coordinator and its workers.
+
+One JSON object per line over the worker's stdin/stdout -- the same
+framing a remote transport (ssh, a socket) would carry, which is why
+the worker entry point is a CLI command rather than a pool function.
+Binary payloads (the pickled :class:`CampaignConfig` and fleet) ride
+base64-encoded inside the ``init`` message; everything after that is
+plain JSON.
+
+Coordinator -> worker
+---------------------
+``init``      config_b64, threshold, fleet_b64, checkpoint_every,
+              heartbeat, trace (a ``TraceContext`` dict or null)
+``assign``    shard (index), lo, hi, checkpoint (path)
+``shutdown``  --
+
+Worker -> coordinator
+---------------------
+``hello``     pid (after init: ready for assignments)
+``ping``      -- (heartbeat, every ``heartbeat/2`` seconds)
+``progress``  shard, next_index (after each screened chunk)
+``done``      shard, num_dies, checkpoint, spans (pid-stamped span
+              rows when the campaign is traced)
+``error``     shard (or null), message (the worker then exits 1)
+
+The pickles only ever travel coordinator -> worker within one
+invocation (same code, same interpreter); results come back as
+checkpoint *files*, never pickled arrays -- the merge reads the same
+atomic ``.npz`` format crash recovery uses.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from typing import Dict, Optional
+
+
+def encode_message(message: Dict[str, object]) -> str:
+    """One wire line (no trailing newline)."""
+    return json.dumps(message, separators=(",", ":"))
+
+
+def decode_message(line: str) -> Dict[str, object]:
+    """Parse one wire line; raises ``ValueError`` on junk."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"undecodable protocol line {line!r}: "
+                         f"{error}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise ValueError(f"protocol line without a type: {line!r}")
+    return message
+
+
+def pack_payload(obj: object) -> str:
+    """Pickle + base64 an object for the ``init`` message."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def unpack_payload(data: str) -> object:
+    """Inverse of :func:`pack_payload`."""
+    return pickle.loads(base64.b64decode(data.encode("ascii")))
+
+
+def init_message(config, threshold: Optional[float], fleet,
+                 checkpoint_every: int, heartbeat: float,
+                 trace: Optional[Dict[str, object]]
+                 ) -> Dict[str, object]:
+    return {"type": "init", "config_b64": pack_payload(config),
+            "threshold": threshold, "fleet_b64": pack_payload(fleet),
+            "checkpoint_every": int(checkpoint_every),
+            "heartbeat": float(heartbeat), "trace": trace}
+
+
+def assign_message(shard_index: int, lo: int, hi: int,
+                   checkpoint: str) -> Dict[str, object]:
+    return {"type": "assign", "shard": int(shard_index),
+            "lo": int(lo), "hi": int(hi),
+            "checkpoint": str(checkpoint)}
+
+
+def shutdown_message() -> Dict[str, object]:
+    return {"type": "shutdown"}
+
+
+__all__ = ["assign_message", "decode_message", "encode_message",
+           "init_message", "pack_payload", "shutdown_message",
+           "unpack_payload"]

@@ -1,0 +1,191 @@
+"""The shard-worker loop behind ``repro shard-worker``.
+
+A worker is a subprocess speaking the :mod:`repro.shard.protocol`
+line protocol on stdin/stdout.  It receives one ``init`` (engine
+config, resolved threshold, fleet description, trace context), then
+``assign`` messages naming global die ranges.  Each assignment runs
+as an ordinary checkpointed streamed campaign
+(:meth:`CampaignEngine.run_stream`) over ``fleet.chunks(lo, hi)``
+into the shard's own checkpoint file -- which is the whole trick: a
+shard worker *is* a streamed campaign whose checkpoint starts past
+another's, so every crash-safety and bit-identity property of PR 7's
+stream machinery carries over unchanged.
+
+Reassignment resumes, never restarts: on assign, the worker loads the
+shard's checkpoint if a previous (killed) worker left one and begins
+at its ``next_index``.  A daemon thread emits ``ping`` heartbeats so
+the coordinator can tell a stalled worker from a slow chunk.
+
+Fault points (the worker-loss drill):
+
+=========================  =========================================
+``shard.worker.kill``      SIGKILL this worker after a progress
+                           report (armed via ``REPRO_FAULTS`` in the
+                           *worker's* environment; the coordinator
+                           strips the variable from respawned
+                           workers so the drill kills exactly once)
+``shard.worker.error``     raise inside the assignment (exercises
+                           the ``error`` protocol path)
+=========================  =========================================
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+import traceback
+from typing import Dict, Optional, TextIO
+
+from repro.campaign.checkpoint import StreamCheckpoint
+from repro.campaign.engine import CampaignEngine
+from repro.obs.trace import (
+    TraceContext,
+    context_tracer,
+    install_tracer,
+    span,
+    stamped_records,
+)
+from repro.shard.protocol import decode_message, encode_message
+from repro.shard.protocol import unpack_payload
+from repro.testing.faultinject import fail_if_armed, should_fail
+
+
+class _Emitter:
+    """Locked line writer (the heartbeat thread shares stdout)."""
+
+    def __init__(self, stream: TextIO) -> None:
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def send(self, message: Dict[str, object]) -> None:
+        line = encode_message(message)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+
+
+def _heartbeat_loop(emit: _Emitter, interval: float,
+                    stop: threading.Event) -> None:
+    while not stop.wait(interval):
+        try:
+            emit.send({"type": "ping"})
+        except Exception:
+            return  # coordinator went away; the stdin loop will end us
+
+
+def _progressing_chunks(chunks, emit: _Emitter, shard_index: int,
+                        start: int):
+    """Yield chunks, reporting progress between draws.
+
+    The engine draws chunk ``k+1`` only after chunk ``k`` was screened
+    and checkpointed, so the report between draws means "everything up
+    to ``next_index`` is durably done".  The kill fault point sits
+    here too: dying right after a progress report is the worst case
+    for the coordinator (it believes the worker healthy).
+    """
+    emitted = start
+    for chunk in chunks:
+        yield chunk
+        emitted += len(chunk)
+        emit.send({"type": "progress", "shard": shard_index,
+                   "next_index": emitted})
+        if should_fail("shard.worker.kill"):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def worker_main(stdin: Optional[TextIO] = None,
+                stdout: Optional[TextIO] = None) -> int:
+    """Run the worker loop until ``shutdown`` or EOF; returns exit code."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    emit = _Emitter(stdout)
+
+    init_line = stdin.readline()
+    if not init_line:
+        return 1
+    init = decode_message(init_line)
+    if init.get("type") != "init":
+        emit.send({"type": "error", "shard": None,
+                   "message": f"expected init, got {init.get('type')!r}"})
+        return 1
+    config = unpack_payload(init["config_b64"])
+    fleet = unpack_payload(init["fleet_b64"])
+    threshold = init.get("threshold")
+    checkpoint_every = int(init.get("checkpoint_every", 1))
+    heartbeat = float(init.get("heartbeat", 5.0))
+    tracer = None
+    if init.get("trace") is not None:
+        tracer = context_tracer(
+            TraceContext.from_dict(init["trace"]))
+        install_tracer(tracer)
+
+    engine = CampaignEngine(config)
+    stop = threading.Event()
+    pinger = threading.Thread(
+        target=_heartbeat_loop, args=(emit, heartbeat / 2.0, stop),
+        daemon=True, name="shard-heartbeat")
+    pinger.start()
+    emit.send({"type": "hello", "pid": os.getpid()})
+
+    try:
+        for line in stdin:
+            message = decode_message(line)
+            kind = message.get("type")
+            if kind == "shutdown":
+                break
+            if kind != "assign":
+                emit.send({"type": "error", "shard": None,
+                           "message": f"unexpected message {kind!r}"})
+                return 1
+            shard_index = int(message["shard"])
+            lo, hi = int(message["lo"]), int(message["hi"])
+            checkpoint = str(message["checkpoint"])
+            try:
+                num_dies = _run_assignment(
+                    engine, fleet, emit, shard_index, lo, hi,
+                    checkpoint, threshold, checkpoint_every)
+            except Exception:
+                emit.send({"type": "error", "shard": shard_index,
+                           "message": traceback.format_exc(limit=8)})
+                return 1
+            rows = [] if tracer is None else stamped_records(tracer)
+            if tracer is not None:
+                tracer.clear()
+            emit.send({"type": "done", "shard": shard_index,
+                       "num_dies": num_dies, "checkpoint": checkpoint,
+                       "spans": rows})
+        return 0
+    finally:
+        stop.set()
+
+
+def _run_assignment(engine: CampaignEngine, fleet, emit: _Emitter,
+                    shard_index: int, lo: int, hi: int,
+                    checkpoint: str, threshold,
+                    checkpoint_every: int) -> int:
+    """Screen shard ``[lo, hi)`` into ``checkpoint``; returns dies done.
+
+    Resumes from the shard's last checkpoint when one exists (a
+    previous worker died mid-shard) -- never from zero.  The band
+    passed down is the coordinator's *resolved* threshold, so no
+    worker ever re-runs calibration.
+    """
+    state = StreamCheckpoint.load_if_valid(checkpoint)
+    resume_at = lo
+    if state is not None and lo <= state.next_index <= hi:
+        resume_at = state.next_index
+    with span("shard.worker.run", shard=shard_index, lo=lo, hi=hi,
+              resume_at=resume_at, pid=os.getpid()):
+        fail_if_armed("shard.worker.error")
+        engine.run_stream(
+            _progressing_chunks(fleet.chunks(resume_at, hi), emit,
+                                shard_index, resume_at),
+            band=threshold, checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            stream_offset=resume_at)
+    return hi - lo
+
+
+__all__ = ["worker_main"]

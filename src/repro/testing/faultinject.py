@@ -41,6 +41,13 @@ Well-known fault points wired through the codebase:
                              (clients see a connection reset)
 ``stream.chunk.crash``       raise between streamed-campaign chunks,
                              after the checkpoint write
+``shard.worker.kill``        SIGKILL a shard worker right after a
+                             progress report (armed in the worker's
+                             environment; the coordinator forwards
+                             ``REPRO_SHARD_WORKER_FAULTS`` to its
+                             first spawn only)
+``shard.worker.error``       raise inside a shard assignment (the
+                             worker reports ``error`` and exits 1)
 ===========================  ===========================================
 """
 

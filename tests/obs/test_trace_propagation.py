@@ -1,0 +1,150 @@
+"""Trace-context propagation across process boundaries.
+
+The distributed-trace contract: a worker process inherits
+``(trace_id, parent_span_id)``, records spans that parent-link under
+the coordinating span with process-unique span ids, and ships them
+home pid-stamped; the parent absorbs them so one Chrome export shows
+the whole campaign across every process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    SpanRecord,
+    TraceContext,
+    Tracer,
+    context_tracer,
+    current_trace_context,
+    install_tracer,
+    span,
+    stamped_records,
+    tracing,
+    uninstall_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_tracer():
+    uninstall_tracer()
+    yield
+    uninstall_tracer()
+
+
+def test_context_is_none_while_tracing_off():
+    assert current_trace_context() is None
+
+
+def test_context_carries_trace_id_and_current_span():
+    with tracing() as tracer:
+        outside = current_trace_context()
+        assert outside == TraceContext(tracer.trace_id, None)
+        with span("parent") as parent:
+            inside = current_trace_context()
+            assert inside.trace_id == tracer.trace_id
+            assert inside.parent_span_id == parent._span_id
+    round_trip = TraceContext.from_dict(inside.to_dict())
+    assert round_trip == inside
+
+
+def test_context_tracer_joins_the_trace():
+    context = TraceContext(trace_id="abc123", parent_span_id=42)
+    worker = context_tracer(context, name="w")
+    assert worker.trace_id == "abc123"
+    previous = install_tracer(worker)
+    try:
+        with span("shard.worker.run"):
+            with span("stage.inner"):
+                pass
+    finally:
+        install_tracer(previous)
+    records = {r.name: r for r in worker.records()}
+    root = records["shard.worker.run"]
+    inner = records["stage.inner"]
+    # Root spans parent onto the coordinator's dispatching span.
+    assert root.parent_id == 42
+    assert inner.parent_id == root.span_id
+    # Span ids are pid-salted: disjoint from a parent counting 1, 2...
+    assert root.span_id > (1 << 32)
+
+
+def test_stamped_records_roundtrip_through_absorb():
+    worker = context_tracer(TraceContext("t", 7))
+    previous = install_tracer(worker)
+    try:
+        with span("shard.worker.run", shard=1):
+            pass
+    finally:
+        install_tracer(previous)
+    rows = stamped_records(worker)
+    assert all(isinstance(row["pid"], int) for row in rows)
+    parent = Tracer(trace_id="t")
+    adopted = parent.absorb(SpanRecord.from_dict(r) for r in rows)
+    assert adopted == len(rows)
+    record = parent.records()[-1]
+    assert record.name == "shard.worker.run"
+    assert record.pid is not None
+    assert record.parent_id == 7
+    assert record.attributes["shard"] == 1
+
+
+def test_span_record_dict_roundtrip_preserves_pid():
+    record = SpanRecord(name="n", span_id=5, parent_id=None,
+                        start=1.0, duration=0.5, thread_id=3,
+                        attributes={"k": "v"}, error="boom: x",
+                        pid=777)
+    clone = SpanRecord.from_dict(record.to_dict())
+    assert clone == record
+    # Absent pid stays absent (in-process records).
+    bare = SpanRecord(name="n", span_id=6, parent_id=2, start=0.0,
+                      duration=0.1, thread_id=1)
+    assert SpanRecord.from_dict(bare.to_dict()) == bare
+
+
+def test_chrome_trace_gives_workers_their_own_process_track():
+    tracer = Tracer()
+    with tracing(tracer):
+        with span("local"):
+            pass
+    tracer.absorb([SpanRecord(name="remote", span_id=9,
+                              parent_id=None, start=0.0,
+                              duration=0.1, thread_id=1, pid=4242)])
+    events = {e["name"]: e for e in tracer.chrome_trace()["traceEvents"]}
+    import os
+    assert events["local"]["pid"] == os.getpid()
+    assert events["remote"]["pid"] == 4242
+    assert tracer.chrome_trace()["otherData"]["trace_id"] == \
+        tracer.trace_id
+
+
+def test_pool_executor_propagates_trace_context():
+    """Pool workers trace their chunk calls into the parent's trace."""
+    from repro.campaign import ProcessPoolExecutor
+
+    executor = ProcessPoolExecutor(max_workers=2)
+    try:
+        with tracing() as tracer:
+            with span("campaign.submit"):
+                results = list(executor.map(_double, [np.arange(3),
+                                                      np.arange(3) + 10]))
+        np.testing.assert_array_equal(results[0], [0, 2, 4])
+        np.testing.assert_array_equal(results[1], [20, 22, 24])
+        records = tracer.records()
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record.name, []).append(record)
+        map_span = by_name["executor.map"][0]
+        chunk_spans = by_name.get("chunk.work", [])
+        assert len(chunk_spans) == 2
+        for record in chunk_spans:
+            assert record.pid is not None
+            assert record.parent_id == map_span.span_id
+    finally:
+        executor.shutdown()
+
+
+def _double(chunk):
+    with span("chunk.work", size=len(chunk)):
+        return chunk * 2

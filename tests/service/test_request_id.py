@@ -9,6 +9,7 @@ execution it was answered from.
 import io
 import json
 import threading
+import time
 
 import pytest
 
@@ -128,6 +129,20 @@ def _events(sink):
     return [json.loads(line) for line in sink.getvalue().splitlines()]
 
 
+def _await_access(sink, path, timeout=5.0):
+    """Access lines land *after* the reply bytes (duration includes the
+    write), so a fast client can read the sink before the handler
+    thread logs -- poll briefly instead of racing it."""
+    deadline = time.monotonic() + timeout
+    while True:
+        access = [e for e in _events(sink)
+                  if e["event"] == "http.request"
+                  and e["path"] == path]
+        if access or time.monotonic() >= deadline:
+            return access
+        time.sleep(0.005)
+
+
 def test_request_id_round_trips_through_the_server(server, telemetry):
     tracer, sink = telemetry
     client = ServiceClient(server.url, client_id="rid-test")
@@ -135,9 +150,7 @@ def test_request_id_round_trips_through_the_server(server, telemetry):
     rid = client.last_request_id
     assert body["request_id"] == rid
     # The access log line carries the client's id.
-    access = [e for e in _events(sink)
-              if e["event"] == "http.request"
-              and e["path"] == "/campaign"]
+    access = _await_access(sink, "/campaign")
     assert access and access[-1]["request_id"] == rid
     assert access[-1]["status"] == 200
     assert access[-1]["duration_ms"] > 0
@@ -188,9 +201,7 @@ def test_server_mints_an_id_when_the_client_sends_none(server,
     with urllib.request.urlopen(request, timeout=30) as response:
         echoed = response.headers.get(REQUEST_ID_HEADER)
     assert echoed  # server-minted, echoed back
-    access = [e for e in _events(sink)
-              if e["event"] == "http.request"
-              and e["path"] == "/healthz"]
+    access = _await_access(sink, "/healthz")
     assert access and access[-1]["request_id"] == echoed
 
 

@@ -1,0 +1,80 @@
+"""Range tiling: every die covered exactly once, never an empty shard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard import Shard, plan_shards
+
+
+def _covers(plan, count):
+    """The plan tiles [0, count) contiguously without overlap."""
+    expected = 0
+    for shard in plan:
+        assert shard.lo == expected
+        assert shard.hi > shard.lo
+        expected = shard.hi
+    assert expected == count
+
+
+def test_even_split():
+    plan = plan_shards(12, 3)
+    assert [(s.lo, s.hi) for s in plan] == [(0, 4), (4, 8), (8, 12)]
+    _covers(plan, 12)
+
+
+def test_uneven_split_spreads_remainder_front():
+    plan = plan_shards(10, 3)
+    assert [s.num_dies for s in plan] == [4, 3, 3]
+    _covers(plan, 10)
+
+
+def test_more_shards_than_dies_clamps():
+    plan = plan_shards(2, 8)
+    assert len(plan) == 2
+    assert all(s.num_dies == 1 for s in plan)
+    _covers(plan, 2)
+
+
+def test_zero_dies_plans_nothing():
+    assert plan_shards(0, 4) == []
+    assert plan_shards(0, 4, shard_size=3) == []
+
+
+def test_shard_size_overrides_shards():
+    plan = plan_shards(10, 2, shard_size=4)
+    assert [(s.lo, s.hi) for s in plan] == [(0, 4), (4, 8), (8, 10)]
+    _covers(plan, 10)
+
+
+def test_shard_size_exact_multiple():
+    plan = plan_shards(8, 99, shard_size=4)
+    assert [s.num_dies for s in plan] == [4, 4]
+    _covers(plan, 8)
+
+
+@pytest.mark.parametrize("count,shards", [(1, 1), (7, 2), (100, 7),
+                                          (5, 5), (1000, 16)])
+def test_coverage_property(count, shards):
+    plan = plan_shards(count, shards)
+    _covers(plan, count)
+    assert [s.index for s in plan] == list(range(len(plan)))
+    # Near-equal: sizes differ by at most one die.
+    sizes = [s.num_dies for s in plan]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_shard_validation():
+    with pytest.raises(ValueError):
+        Shard(0, 5, 5)  # empty range
+    with pytest.raises(ValueError):
+        Shard(0, 5, 3)  # inverted
+    with pytest.raises(ValueError):
+        Shard(0, -1, 3)  # negative lo
+
+
+def test_checkpoint_names_are_stable_and_distinct():
+    plan = plan_shards(30, 3)
+    names = [s.checkpoint_name() for s in plan]
+    assert len(set(names)) == 3
+    assert names[0] == "shard_0000.npz"

@@ -371,3 +371,37 @@ def test_diagnose_pinned_second_signature_honoured_when_no_split(capsys):
     out = capsys.readouterr().out
     assert "second bank: (none)" in out  # the search found no split
     assert "with 2nd signature:" in out  # ... but the bank is used
+
+
+def test_campaign_sharded_matches_serial(capsys):
+    import json
+
+    assert main(["campaign", "--dies", "8", "--seed", "1",
+                 "--samples", "512", "--shards", "2",
+                 "--shard-chunk", "2", "--json"]) == 0
+    sharded = json.loads(capsys.readouterr().out)
+    assert main(["campaign", "--dies", "8", "--seed", "1",
+                 "--samples", "512", "--json"]) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert sharded["executor"] == "sharded[2]"
+    assert sharded["shards"]["completed"] == 2.0
+    for key in ("pass", "fail", "threshold", "ndf_mean", "ndf_p95"):
+        assert sharded[key] == serial[key], key
+
+
+def test_campaign_shards_exclusions(capsys):
+    assert main(["campaign", "--shards", "2", "--stream"]) == 2
+    assert "checkpointed streams" in capsys.readouterr().err
+    assert main(["campaign", "--shards", "2", "--repeats", "3"]) == 2
+    capsys.readouterr()
+    assert main(["campaign", "--shards", "2",
+                 "--executor", "pool"]) == 2
+    assert "worker processes" in capsys.readouterr().err
+    assert main(["campaign", "--shards", "2", "--scenario",
+                 "corners"]) == 2
+    assert "streaming-capable" in capsys.readouterr().err
+    assert main(["campaign", "--shards", "2",
+                 "--second-signature", "auto"]) == 2
+    assert "single-channel" in capsys.readouterr().err
+    assert main(["campaign", "--shard-chunk", "4"]) == 2
+    assert "--shards N" in capsys.readouterr().err
