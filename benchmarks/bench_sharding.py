@@ -20,13 +20,26 @@ Proofs for the shard layer (PR 9):
   workers on, and the committed baseline says exactly what was
   measured where.
 
+PR 10 adds the transport comparison:
+
+* **socket-vs-pipe overhead gate** -- the same fleet run through
+  pipe-carried workers (coordinator-spawned, stdio) and through
+  TCP-carried workers (``repro shard-worker --connect`` over
+  loopback, checkpoints shipped inline as base64) must merge
+  bit-identical to the monolithic run on both carriers, and the TCP
+  wall-clock must stay within a factor of the pipe wall-clock plus a
+  dial-in allowance.  The per-direction ``shard_bytes_total`` deltas
+  for the socket run land in ``BENCH_10.json`` so protocol-volume
+  regressions show up in the committed baseline.
+
 Sizes honour ``SHARD_BENCH_N`` (fleet, default 20000),
 ``SHARD_BENCH_CHUNK`` (worker chunk, default 512),
 ``SHARD_BENCH_SHARDS`` (comma list, default ``1,2,4``),
 ``SHARD_BENCH_SAMPLES`` (default 512), ``SHARD_BENCH_TOLERANCE``
 (1-shard overhead factor, default 1.5) and ``SHARD_BENCH_STARTUP_S``
 (startup allowance seconds, default 10) so the CI smoke job can run a
-reduced fleet.
+reduced fleet.  The transport gate additionally honours
+``SHARD_BENCH_TCP_TOLERANCE`` (socket-vs-pipe factor, default 1.5).
 """
 
 from __future__ import annotations
@@ -34,6 +47,9 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import socket
+import subprocess
+import sys
 import time
 
 import numpy as np
@@ -41,6 +57,7 @@ import numpy as np
 from repro.campaign import CampaignEngine, stream_montecarlo_dies
 from repro.monitor.configurations import table1_encoder
 from repro.obs import Tracer, install_tracer, uninstall_tracer
+from repro.obs.metrics import default_registry
 from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
 from repro.shard import MonteCarloFleet
 
@@ -53,6 +70,8 @@ SHARD_COUNTS = [int(s) for s in os.environ.get(
 SAMPLES = int(os.environ.get("SHARD_BENCH_SAMPLES", "512"))
 TOLERANCE = float(os.environ.get("SHARD_BENCH_TOLERANCE", "1.5"))
 STARTUP_S = float(os.environ.get("SHARD_BENCH_STARTUP_S", "10"))
+TCP_TOLERANCE = float(os.environ.get("SHARD_BENCH_TCP_TOLERANCE",
+                                     "1.5"))
 SIGMA = 0.03
 SEED = 0
 
@@ -173,3 +192,123 @@ def test_sharded_campaign_scaling():
         assert speedup >= SPEEDUP_FACTOR, (
             f"{widest} shards on {cpu_count} cores gave only "
             f"{speedup:.2f}x over 1 shard")
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _bytes_metric(direction: str) -> float:
+    return default_registry().counter(
+        "shard_bytes_total", direction=direction,
+        transport="socket").value
+
+
+def test_socket_vs_pipe_transport_overhead():
+    """TCP-carried workers vs pipe-carried workers, same fleet.
+
+    The socket carrier pays for framing, loopback round trips and
+    inline base64 checkpoint shipping; the gate bounds that cost
+    against the pipe run and the artifact records exactly how many
+    protocol bytes travelled each way.
+    """
+    engine = CampaignEngine.from_parts(
+        table1_encoder(), PAPER_STIMULUS, PAPER_BIQUAD,
+        samples_per_period=SAMPLES)
+    engine.golden()
+    engine.band()
+
+    reference = engine.run_stream(
+        stream_montecarlo_dies(PAPER_BIQUAD, SHARD_N,
+                               chunk_size=SHARD_CHUNK,
+                               sigma_f0=SIGMA, seed=SEED),
+        band="auto")
+    fleet = MonteCarloFleet(PAPER_BIQUAD, SHARD_N, sigma_f0=SIGMA,
+                            seed=SEED, chunk_size=SHARD_CHUNK)
+
+    start = time.perf_counter()
+    pipe_result = engine.run_sharded(fleet, shards=2, band="auto",
+                                     heartbeat=30.0)
+    pipe_s = time.perf_counter() - start
+    _assert_bit_identical(pipe_result, reference)
+
+    # TCP run: pick a port, start the workers dialling it (they retry
+    # until the coordinator's listener is up), then run the campaign.
+    port = _free_port()
+    env = dict(os.environ)
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_SHARD_WORKER_FAULTS", None)
+    src = str(pathlib.Path(__file__).parent.parent / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else "")
+    sent_before = _bytes_metric("sent")
+    received_before = _bytes_metric("received")
+    workers = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", "shard-worker",
+             "--connect", f"127.0.0.1:{port}",
+             "--retries", "120", "--retry-delay", "0.25"],
+            env=env)
+        for _ in range(2)]
+    try:
+        start = time.perf_counter()
+        socket_result = engine.run_sharded(
+            fleet, shards=2, band="auto", heartbeat=30.0,
+            listen=f"127.0.0.1:{port}")
+        socket_s = time.perf_counter() - start
+    finally:
+        for worker in workers:
+            try:
+                worker.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+    _assert_bit_identical(socket_result, reference)
+    assert socket_result.executor == "sharded-tcp[2]"
+    sent = _bytes_metric("sent") - sent_before
+    received = _bytes_metric("received") - received_before
+    assert sent > 0 and received > 0
+
+    payload = {
+        "pr": 10,
+        "dies": SHARD_N,
+        "chunk": SHARD_CHUNK,
+        "samples_per_period": SAMPLES,
+        "cpu_count": os.cpu_count() or 1,
+        "workers": 2,
+        "shards": 2,
+        "bit_identical": True,
+        "pipe_wall_s": pipe_s,
+        "socket_wall_s": socket_s,
+        "socket_vs_pipe": socket_s / pipe_s,
+        "socket_bytes_sent": sent,
+        "socket_bytes_received": received,
+        "tolerance_factor": TCP_TOLERANCE,
+        "startup_allowance_s": STARTUP_S,
+        "notes": (
+            f"loopback TCP carried {sent / 1e3:.1f} kB out / "
+            f"{received / 1e3:.1f} kB back (checkpoints inline as "
+            f"base64 npz) at {socket_s / pipe_s:.2f}x the pipe "
+            "wall-clock; both carriers merged bit-identical to the "
+            "monolithic run."),
+    }
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / "BENCH_10.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                    + "\n")
+    print(f"\nsocket vs pipe: {SHARD_N} MC dies, 2 shards, 2 workers"
+          f"\n  pipe:   {pipe_s:8.3f} s wall"
+          f"\n  socket: {socket_s:8.3f} s wall "
+          f"({socket_s / pipe_s:.2f}x, {sent} B out, "
+          f"{received} B back)"
+          f"\n[report saved to {path}]")
+
+    # Gate: the socket carrier may pay framing + dial-in, never a
+    # different complexity class.
+    assert socket_s <= pipe_s * TCP_TOLERANCE + STARTUP_S, (
+        f"TCP campaign took {socket_s:.2f}s vs pipe {pipe_s:.2f}s "
+        f"(allowed factor {TCP_TOLERANCE} + {STARTUP_S}s dial-in)")

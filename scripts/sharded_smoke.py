@@ -17,6 +17,14 @@ The ``shard_reassigned_total`` metric must tick.
 and ``--shards 1 --json`` must answer identically (everything except
 wall-clock timings and the shard stats themselves).
 
+**Phase C -- loopback-TCP partition drill.**  The coordinator listens
+on ``127.0.0.1`` and two ``repro shard-worker --connect`` processes
+dial in; one is partitioned mid-shard (its connection severs abruptly
+right after a progress report, checkpoints having travelled inline --
+no shared filesystem).  The survivor must take the shard over,
+resume from the shipped checkpoint, and the merged verdicts must be
+**bit-identical** to the monolithic run.
+
 Usage::
 
     python scripts/sharded_smoke.py --dies 24 --samples 512 --shards 3
@@ -140,10 +148,84 @@ def phase_b_cli_equivalence(args) -> None:
           f"({args.dies} dies over the CLI)")
 
 
+def phase_c_tcp_partition_drill(args) -> None:
+    """Two TCP workers over loopback; one partitioned mid-shard."""
+    import threading
+
+    import numpy as np
+
+    from repro.campaign import CampaignEngine, montecarlo_dies
+    from repro.monitor.configurations import table1_encoder
+    from repro.paper import PAPER_BIQUAD, PAPER_STIMULUS
+    from repro.shard import MonteCarloFleet, ShardCoordinator
+
+    engine = CampaignEngine.from_parts(
+        table1_encoder(), PAPER_STIMULUS, PAPER_BIQUAD,
+        samples_per_period=args.samples)
+    reference = engine.run(
+        montecarlo_dies(PAPER_BIQUAD, args.dies, sigma_f0=args.sigma,
+                        seed=args.seed), band="auto")
+    fleet = MonteCarloFleet(PAPER_BIQUAD, args.dies,
+                            sigma_f0=args.sigma, seed=args.seed,
+                            chunk_size=args.chunk)
+    coordinator = ShardCoordinator(
+        engine.config, engine.band().threshold, fleet,
+        shards=args.shards, heartbeat=15.0,
+        listen=("127.0.0.1", 0))
+    host, port = coordinator.address
+    outcome = {}
+
+    def run() -> None:
+        try:
+            outcome["result"] = coordinator.run()
+        except BaseException as error:
+            outcome["error"] = error
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+
+    def start_worker(faults=None):
+        env = dict(os.environ)
+        env.pop("REPRO_FAULTS", None)
+        env.pop("REPRO_SHARD_WORKER_FAULTS", None)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else "")
+        if faults:
+            env["REPRO_FAULTS"] = faults
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "shard-worker",
+             "--connect", f"{host}:{port}"], env=env)
+
+    # The doomed worker's connection severs right after its second
+    # progress report -- past an inline-shipped checkpoint.
+    doomed = start_worker(faults="shard.worker.kill:1:1")
+    survivor = start_worker()
+    thread.join(timeout=600)
+    doomed.wait(timeout=30)
+    survivor.wait(timeout=30)
+    assert not thread.is_alive(), "TCP campaign did not finish"
+    assert "error" not in outcome, outcome.get("error")
+    merged, stats = outcome["result"]
+    assert np.array_equal(merged.values(np.empty(0)),
+                          reference.ndfs), \
+        "TCP merge differs from the monolithic run"
+    assert merged.complete
+    assert stats["reassigned"] >= 1, stats
+    assert stats["completed"] == stats["planned"], stats
+    print(f"phase C ok: partition mid-shard over loopback TCP, "
+          f"{int(stats['reassigned'])} reassignment(s), "
+          f"bit-identical merge from inline checkpoints "
+          f"({int(stats['workers'])} workers on {host}:{port})")
+
+
 def main() -> int:
     args = _parse_args()
     phase_a_kill_drill(args)
     phase_b_cli_equivalence(args)
+    phase_c_tcp_partition_drill(args)
     print("sharded smoke: all assertions held")
     return 0
 

@@ -142,6 +142,34 @@ class StreamCheckpoint:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """The checkpoint's ``.npz`` archive as bytes.
+
+        This *is* the on-disk format -- :meth:`save` writes exactly
+        these bytes -- so a checkpoint can travel a network channel
+        (a remote shard worker returns its partial state inline,
+        base64-encoded, in ``progress``/``done`` messages) and land
+        on the far side byte-for-byte equal to a local save.
+        """
+        empty = np.empty(0)
+        buffer = io.BytesIO()
+        meta = {
+            "version": CHECKPOINT_VERSION,
+            "config_key": self.config_key,
+            "threshold": self.threshold,
+            "start_index": self.start_index,
+            "next_index": self.next_index,
+            "labels": self.labels,
+            "timing": self.timing,
+            "chunks_done": self.chunks_done,
+            "complete": self.complete,
+        }
+        np.savez_compressed(
+            buffer, meta=np.asarray(json.dumps(meta)),
+            ndfs=self.values(empty), f0=self.f0_deviations(),
+            q=self.q_deviations())
+        return buffer.getvalue()
+
     def save(self, path: str) -> None:
         """Persist atomically (tmp + fsync + rename).
 
@@ -153,26 +181,16 @@ class StreamCheckpoint:
         """
         with span("checkpoint.save", next_index=self.next_index,
                   complete=self.complete):
-            empty = np.empty(0)
-            buffer = io.BytesIO()
-            meta = {
-                "version": CHECKPOINT_VERSION,
-                "config_key": self.config_key,
-                "threshold": self.threshold,
-                "start_index": self.start_index,
-                "next_index": self.next_index,
-                "labels": self.labels,
-                "timing": self.timing,
-                "chunks_done": self.chunks_done,
-                "complete": self.complete,
-            }
-            np.savez_compressed(
-                buffer, meta=np.asarray(json.dumps(meta)),
-                ndfs=self.values(empty), f0=self.f0_deviations(),
-                q=self.q_deviations())
-            atomic_write_bytes(path, buffer.getvalue(),
+            atomic_write_bytes(path, self.to_bytes(),
                                tear_fault="checkpoint.write.tear")
         default_registry().counter("checkpoint_saves_total").inc()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "StreamCheckpoint":
+        """Inverse of :meth:`to_bytes` (same checks as :meth:`load`)."""
+        with np.load(io.BytesIO(data),
+                     allow_pickle=False) as archive:
+            return cls._from_archive(archive, "<bytes>")
 
     @classmethod
     def load(cls, path: str) -> "StreamCheckpoint":
@@ -184,25 +202,29 @@ class StreamCheckpoint:
         :meth:`load_if_valid` for the degrade-to-restart path).
         """
         with np.load(path, allow_pickle=False) as archive:
-            meta = json.loads(str(archive["meta"]))
-            if meta.get("version") != CHECKPOINT_VERSION:
-                raise CheckpointMismatch(
-                    f"checkpoint {path!r} has version "
-                    f"{meta.get('version')!r}, expected "
-                    f"{CHECKPOINT_VERSION}")
-            state = cls(meta["config_key"], meta["threshold"],
-                        start_index=int(meta.get("start_index", 0)))
-            ndfs = archive["ndfs"]
-            if ndfs.size:
-                state.value_parts.append(ndfs)
-                state.f0_parts.append(archive["f0"])
-                state.q_parts.append(archive["q"])
-            state.labels = list(meta["labels"])
-            state.timing = {k: float(v)
-                            for k, v in meta["timing"].items()}
-            state.chunks_done = int(meta["chunks_done"])
-            state.complete = bool(meta["complete"])
-            return state
+            return cls._from_archive(archive, path)
+
+    @classmethod
+    def _from_archive(cls, archive, source: str) -> "StreamCheckpoint":
+        meta = json.loads(str(archive["meta"]))
+        if meta.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointMismatch(
+                f"checkpoint {source!r} has version "
+                f"{meta.get('version')!r}, expected "
+                f"{CHECKPOINT_VERSION}")
+        state = cls(meta["config_key"], meta["threshold"],
+                    start_index=int(meta.get("start_index", 0)))
+        ndfs = archive["ndfs"]
+        if ndfs.size:
+            state.value_parts.append(ndfs)
+            state.f0_parts.append(archive["f0"])
+            state.q_parts.append(archive["q"])
+        state.labels = list(meta["labels"])
+        state.timing = {k: float(v)
+                        for k, v in meta["timing"].items()}
+        state.chunks_done = int(meta["chunks_done"])
+        state.complete = bool(meta["complete"])
+        return state
 
     @classmethod
     def load_if_valid(cls, path: str) -> Optional["StreamCheckpoint"]:

@@ -964,7 +964,10 @@ class CampaignEngine:
                     shard_size: Optional[int] = None,
                     workdir: Optional[str] = None,
                     heartbeat: float = 5.0,
-                    workers: Optional[int] = None) -> CampaignResult:
+                    workers: Optional[int] = None,
+                    listen: Optional[str] = None,
+                    autotune_s: Optional[float] = None
+                    ) -> CampaignResult:
         """Screen a fleet split across subprocess shard workers.
 
         ``fleet`` is a :class:`repro.shard.ShardFleet` (or anything
@@ -985,12 +988,20 @@ class CampaignEngine:
         band policy resolves *once* here (the coordinator process);
         workers receive the raw threshold, so calibration never runs
         N times.
+
+        ``listen="HOST:PORT"`` runs the campaign multi-node: instead
+        of spawning subprocesses the coordinator accepts ``repro
+        shard-worker --connect`` processes over TCP, shipping
+        checkpoints inline (no shared filesystem).  ``autotune_s``
+        replaces the static plan with shards carved to roughly that
+        many seconds of each worker's observed rate.
         """
         return self.submit(ScreeningRequest(
             population=fleet, mode="sharded", band=band,
             shards=shards, shard_size=shard_size,
             shard_workdir=workdir, shard_heartbeat=heartbeat,
-            shard_workers=workers))
+            shard_workers=workers, shard_listen=listen,
+            shard_autotune_s=autotune_s))
 
     def _submit_sharded(self, request: ScreeningRequest
                         ) -> CampaignResult:
@@ -1008,17 +1019,24 @@ class CampaignEngine:
         start = time.perf_counter()
         fleet = as_fleet(request.population)
         threshold = self._resolve_threshold(request.band)
+        listen = None
+        if request.shard_listen is not None:
+            from repro.shard.transport import parse_endpoint
+            listen = parse_endpoint(request.shard_listen)
         coordinator = ShardCoordinator(
             config=self.config, threshold=threshold, fleet=fleet,
             shards=request.shards, shard_size=request.shard_size,
             workers=request.shard_workers,
             workdir=request.shard_workdir,
-            heartbeat=request.shard_heartbeat)
+            heartbeat=request.shard_heartbeat,
+            listen=listen,
+            autotune_target_s=request.shard_autotune_s)
         merged, stats = coordinator.run()
         values = merged.values(self._empty_values())
         timing = dict(merged.timing)
         timing["merge"] = float(stats.get("merge_seconds", 0.0))
-        name = f"sharded[{coordinator.num_workers}]"
+        mode = "sharded-tcp" if listen is not None else "sharded"
+        name = f"{mode}[{coordinator.num_workers}]"
         result = self._package_result(
             values, timing, merged.labels, None, request.band,
             threshold, merged.f0_deviations(), merged.q_deviations(),

@@ -95,6 +95,15 @@ class ScreeningRequest:
         checkpoint/scratch directory (a temp dir when None), the
         worker heartbeat deadline in seconds, and the subprocess
         worker count (None = one per shard).
+    shard_listen:
+        ``"HOST:PORT"`` to accept remote TCP workers on instead of
+        spawning subprocesses (``repro shard-worker --connect``
+        processes dial in; port 0 binds an ephemeral port).  See
+        docs/sharding.md "Multi-node campaigns".
+    shard_autotune_s:
+        Target seconds per shard; when set the static plan is
+        replaced by feedback-sized carving from each worker's
+        observed die rate (:class:`repro.shard.ShardAutotuner`).
     """
 
     population: object = None
@@ -115,6 +124,8 @@ class ScreeningRequest:
     shard_workdir: Optional[str] = None
     shard_heartbeat: float = 5.0
     shard_workers: Optional[int] = None
+    shard_listen: Optional[str] = None
+    shard_autotune_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -140,6 +151,9 @@ class ScreeningRequest:
             raise ValueError("shard_heartbeat must be positive")
         if self.shard_workers is not None and self.shard_workers < 1:
             raise ValueError("shard_workers must be >= 1")
+        if self.shard_autotune_s is not None \
+                and self.shard_autotune_s <= 0:
+            raise ValueError("shard_autotune_s must be positive")
 
     def with_population(self, population) -> "ScreeningRequest":
         """Copy of this request over a different population.

@@ -145,6 +145,19 @@ def _build_parser() -> argparse.ArgumentParser:
                           default=None, metavar="C",
                           help="per-worker streamed chunk size (with "
                                "--shards; default: --chunk)")
+    campaign.add_argument("--listen", metavar="HOST:PORT",
+                          default=None,
+                          help="with --shards: accept remote TCP "
+                               "workers instead of spawning "
+                               "subprocesses (start them with: repro "
+                               "shard-worker --connect HOST:PORT); "
+                               "port 0 binds an ephemeral port")
+    campaign.add_argument("--shard-autotune", type=float,
+                          default=None, metavar="SECONDS",
+                          help="with --shards: carve shard sizes "
+                               "from each worker's observed die "
+                               "rate, targeting SECONDS per shard, "
+                               "instead of the static equal split")
     campaign.add_argument("--repeats", type=_non_negative_int,
                           default=0,
                           help="noisy measurements per die (Section "
@@ -172,6 +185,16 @@ def _build_parser() -> argparse.ArgumentParser:
                                "tracing)")
     campaign.add_argument("--json", action="store_true",
                           help="emit a machine-readable JSON summary")
+
+    # Real parsing happens in repro.shard.worker.worker_cli (main()
+    # intercepts the subcommand before this tree); registered here so
+    # `repro --help` lists it.
+    sub.add_parser(
+        "shard-worker",
+        help="run a shard worker: stdin/stdout when spawned by a "
+             "coordinator, or --connect HOST:PORT to dial a "
+             "campaign listening with --listen (multi-node)",
+        add_help=False)
 
     diagnose = sub.add_parser(
         "diagnose",
@@ -522,6 +545,21 @@ def _cmd_campaign(setup, args) -> int:
         print("--shard-chunk only applies to a sharded campaign; add "
               "--shards N", file=sys.stderr)
         return 2
+    if args.listen is not None and args.shards is None:
+        print("--listen only applies to a sharded campaign; add "
+              "--shards N", file=sys.stderr)
+        return 2
+    if args.shard_autotune is not None and args.shards is None:
+        print("--shard-autotune only applies to a sharded campaign; "
+              "add --shards N", file=sys.stderr)
+        return 2
+    if args.listen is not None:
+        from repro.shard.transport import parse_endpoint
+        try:
+            parse_endpoint(args.listen)
+        except ValueError as error:
+            print(f"--listen: {error}", file=sys.stderr)
+            return 2
     if args.shards is not None:
         if args.stream or args.repeats:
             print("--shards runs its own checkpointed streams; drop "
@@ -565,10 +603,17 @@ def _cmd_campaign(setup, args) -> int:
             engine.band()
             tracer = _campaign_tracer(args)
         if args.shards is not None:
+            if args.listen is not None:
+                print(f"listening for shard workers on "
+                      f"{args.listen} (start them with: repro "
+                      f"shard-worker --connect {args.listen})",
+                      file=sys.stderr)
             result = engine.run_sharded(_shard_fleet(setup, args),
                                         shards=args.shards,
                                         band="auto",
-                                        workers=args.workers)
+                                        workers=args.workers,
+                                        listen=args.listen,
+                                        autotune_s=args.shard_autotune)
         elif args.repeats:
             population, __ = _campaign_population(setup, args)
             result = engine.run_noise(population,
@@ -953,12 +998,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     raw = sys.argv[1:] if argv is None else list(argv)
     if raw[:1] == ["shard-worker"]:
-        # Hidden entry point: a shard coordinator spawned us.  Speaks
-        # repro.shard.protocol on stdin/stdout; not for humans, so it
-        # stays out of the argparse tree and --help.
-        from repro.shard.worker import worker_main
+        # Intercepted before the main argparse tree: when a shard
+        # coordinator spawned us, stdin/stdout ARE the protocol
+        # channel and must never be touched by argparse banter.  The
+        # worker has its own small parser for --connect HOST:PORT
+        # (dial a coordinator listening for multi-node workers).
+        from repro.shard.worker import worker_cli
 
-        return worker_main()
+        return worker_cli(raw[1:])
     args = _build_parser().parse_args(raw)
 
     # The service commands build (or talk to) their own bench.

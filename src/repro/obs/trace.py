@@ -41,6 +41,7 @@ import contextvars
 import itertools
 import json
 import os
+import socket
 import threading
 import time
 import uuid
@@ -109,6 +110,11 @@ class SpanRecord:
     #: carry their worker's pid home so the Chrome trace shows one
     #: track per process.
     pid: Optional[int] = None
+    #: Recording host, when the span crossed a *machine* boundary
+    #: (None = recorded on the exporting host).  TCP shard workers on
+    #: other machines stamp their hostname so one merged trace still
+    #: says where each span ran -- pids alone collide across hosts.
+    host: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -128,6 +134,8 @@ class SpanRecord:
             row["error"] = self.error
         if self.pid is not None:
             row["pid"] = self.pid
+        if self.host is not None:
+            row["host"] = self.host
         return row
 
     @classmethod
@@ -148,7 +156,9 @@ class SpanRecord:
             error=(None if row.get("error") is None
                    else str(row["error"])),
             pid=(None if row.get("pid") is None
-                 else int(row["pid"])))
+                 else int(row["pid"])),
+            host=(None if row.get("host") is None
+                  else str(row["host"])))
 
 
 class Span:
@@ -345,6 +355,8 @@ class Tracer:
                 args["parent_id"] = record.parent_id
             if record.error is not None:
                 args["error"] = record.error
+            if record.host is not None:
+                args["host"] = record.host
             events.append({
                 "name": record.name, "ph": "X", "cat": "repro",
                 "ts": (self._epoch_offset + record.start) * 1e6,
@@ -485,17 +497,22 @@ def context_tracer(context: TraceContext,
 
 
 def stamped_records(tracer: Tracer) -> List[Dict[str, object]]:
-    """``tracer``'s records as JSON rows, pid-stamped for shipping.
+    """``tracer``'s records as JSON rows, pid- and host-stamped.
 
     The worker-side complement of :meth:`Tracer.absorb`: each record
-    gets this process's pid (unless a pid was already stamped) so the
-    parent's Chrome export draws the worker on its own process track.
+    gets this process's pid and hostname (unless already stamped) so
+    the parent's Chrome export draws the worker on its own process
+    track and a multi-host trace says which machine ran each span.
     """
     pid = os.getpid()
+    host = socket.gethostname()
     rows = []
     for record in tracer.records():
-        if record.pid is None:
-            record = replace(record, pid=pid)
+        if record.pid is None or record.host is None:
+            record = replace(
+                record,
+                pid=record.pid if record.pid is not None else pid,
+                host=record.host if record.host is not None else host)
         rows.append(record.to_dict())
     return rows
 

@@ -3,24 +3,35 @@
 A sharded campaign splits the global die-index range into contiguous
 shards (a shard is exactly "a
 :class:`~repro.campaign.checkpoint.StreamCheckpoint` whose next index
-starts past another's"), dispatches them to subprocess workers over a
-JSON line protocol, and merges the partial checkpoints in
-global-index order -- **bit-identical** to the monolithic run, even
-when a worker is killed mid-shard (the shard reassigns and resumes
-from its last checkpoint, never from zero).
+starts past another's"), dispatches them to workers over a JSON line
+protocol, and merges the partial checkpoints in global-index order --
+**bit-identical** to the monolithic run, even when a worker is killed
+or partitioned mid-shard (the shard reassigns and resumes from its
+last checkpoint, never from zero).
+
+Workers reach the coordinator through a
+:class:`~repro.shard.transport.Transport`: subprocesses the
+coordinator spawned over stdio pipes (the default), or remote
+processes that dialed a TCP ``--listen`` endpoint with ``repro
+shard-worker --connect HOST:PORT`` -- multi-node campaigns with no
+shared filesystem (checkpoints travel inline in protocol messages).
 
 Layers:
 
-* :mod:`repro.shard.planner` -- range tiling with uneven tails.
+* :mod:`repro.shard.planner` -- range tiling with uneven tails, plus
+  :class:`ShardAutotuner` feedback sizing from observed die rates.
 * :mod:`repro.shard.fleets` -- picklable fleet descriptions that
   rebuild any die range on demand.
 * :mod:`repro.shard.protocol` -- the coordinator <-> worker wire.
+* :mod:`repro.shard.transport` -- the carriers under the wire (pipe
+  and TCP socket), byte accounting, and the network fault points.
 * :mod:`repro.shard.worker` -- the ``repro shard-worker`` loop.
-* :mod:`repro.shard.coordinator` -- dispatch, heartbeat watching,
-  reassignment, merge.
+* :mod:`repro.shard.coordinator` -- dispatch, accept loop, heartbeat
+  watching, reassignment, merge.
 
 Entry points: :meth:`CampaignEngine.run_sharded`, or
-``repro campaign --shards N``.  See ``docs/sharding.md``.
+``repro campaign --shards N`` (add ``--listen HOST:PORT`` for
+multi-node).  See ``docs/sharding.md``.
 """
 
 from repro.shard.coordinator import (
@@ -35,19 +46,38 @@ from repro.shard.fleets import (
     ShardFleet,
     as_fleet,
 )
-from repro.shard.planner import Shard, plan_shards
-from repro.shard.worker import worker_main
+from repro.shard.planner import Shard, ShardAutotuner, plan_shards
+from repro.shard.transport import (
+    PipeTransport,
+    SocketListener,
+    SocketTransport,
+    Transport,
+    TransportClosed,
+    dial,
+    parse_endpoint,
+)
+from repro.shard.worker import connect_main, worker_cli, worker_main
 
 __all__ = [
     "MonteCarloFleet",
+    "PipeTransport",
     "PopulationFleet",
     "STARTUP_GRACE",
     "Shard",
+    "ShardAutotuner",
     "ShardCoordinator",
     "ShardFleet",
     "ShardWorkerError",
+    "SocketListener",
+    "SocketTransport",
+    "Transport",
+    "TransportClosed",
     "WORKER_FAULTS_ENV",
     "as_fleet",
+    "connect_main",
+    "dial",
+    "parse_endpoint",
     "plan_shards",
+    "worker_cli",
     "worker_main",
 ]

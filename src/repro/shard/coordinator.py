@@ -3,42 +3,64 @@
 One :class:`ShardCoordinator` owns a sharded campaign end to end:
 
 1. **Plan** -- :func:`~repro.shard.planner.plan_shards` tiles the
-   fleet's global die range into contiguous shards.
-2. **Dispatch** -- subprocess workers (``repro shard-worker``) each
-   receive an ``init`` (pickled config, the threshold resolved *once*
-   in this process, the fleet description, the trace context) and then
+   fleet's global die range into contiguous shards.  With
+   ``autotune_target_s`` set the plan is carved *during* the campaign
+   instead: each idle worker gets a slice sized from its observed die
+   rate (:class:`~repro.shard.planner.ShardAutotuner`), so slow hosts
+   get smaller slices and the ranges still tile ``[0, N)``.
+2. **Dispatch** -- workers reach the coordinator through a
+   :class:`~repro.shard.transport.Transport`: spawned subprocesses
+   over stdio pipes (the default), or remote processes that dialed a
+   ``listen`` TCP endpoint (``repro shard-worker --connect``).  Each
+   gets an ``init`` (pickled config, the threshold resolved *once* in
+   this process, the fleet description, the trace context) and then
    ``assign`` messages; a reader thread per worker funnels its
-   protocol lines into one queue.
+   protocol lines into one queue.  A worker that dials in mid-
+   campaign -- a late rejoin -- is init-ed on accept and handed
+   pending shards like any other.
 3. **Watch** -- workers heartbeat every ``heartbeat/2`` seconds and
-   report progress per screened chunk.  A worker whose pipe closes
-   (killed), whose process exits, or that goes silent past the
-   heartbeat deadline is declared lost: its process is killed, its
-   shard goes back on the queue, and a fresh worker respawns into the
-   slot.  Reassignment **resumes from the shard's last checkpoint,
-   never from zero** -- the shard checkpoint file is the unit of both
-   sharding and recovery.
-4. **Merge** -- completed shards are plain checkpoint files;
-   :meth:`StreamCheckpoint.merge` reassembles them in global-index
-   order, bit-identical to the monolithic stream (proven by
-   ``tests/shard/`` and the CI ``sharded-campaign-smoke`` drill).
+   report progress per screened chunk.  A worker whose channel closes
+   (pipe EOF, process exit, socket close/reset), that goes silent
+   past the heartbeat deadline, or that speaks an undecodable line
+   (protocol desync) is declared lost: its channel is torn down, its
+   shard goes back on the queue and -- pipe mode only -- a fresh
+   worker respawns into the slot (a remote worker must redial).
+   Reassignment **resumes from the shard's last checkpoint, never
+   from zero**: remote workers ship checkpoint bytes home inside
+   ``progress``, so the resume state survives a partition with no
+   shared filesystem.
+4. **Merge** -- completed shards are plain checkpoint files (remote
+   ``done`` messages carry the archive bytes inline and the
+   coordinator writes them);  :meth:`StreamCheckpoint.merge`
+   reassembles them in global-index order, bit-identical to the
+   monolithic stream (proven by ``tests/shard/`` and the CI
+   ``sharded-campaign-smoke`` drill, including its loopback-TCP
+   partition phase).
 
 Lifecycle metrics land in the process-default registry
 (``shard_dispatched_total`` / ``shard_completed_total`` /
-``shard_reassigned_total`` / ``shard_merge_seconds``); with tracing
-on, the whole campaign nests under a ``shard.campaign`` span whose
+``shard_reassigned_total`` / ``shard_merge_seconds``, plus
+``shard_bytes_total`` per transport direction and
+``shard_rtt_seconds`` -- the assign-to-done round trip per shard,
+which is also what feeds the autotuner); with tracing on, the whole
+campaign nests under a ``shard.campaign`` span whose
 ``shard.dispatch`` children carry ``(shard, worker, attempt)`` -- a
 re-dispatch is visible as ``attempt > 1`` -- and worker-side spans
-come home pid-stamped through the ``done`` message.
+come home pid- and host-stamped through the ``done`` message.
 
 The drill hook: ``REPRO_SHARD_WORKER_FAULTS`` in the coordinator's
 environment is forwarded (as ``REPRO_FAULTS``) to the *first* spawned
 worker only, and ``REPRO_FAULTS`` itself is stripped from every worker
 environment -- so ``shard.worker.kill`` SIGKILLs exactly one worker
-and the respawned replacement cannot inherit the same death.
+and the respawned replacement cannot inherit the same death.  The
+``shard.transport.*`` fault points break the channel itself
+(:mod:`repro.shard.transport`).
 """
 
 from __future__ import annotations
 
+import base64
+import math
 import os
 import queue
 import shutil
@@ -59,7 +81,7 @@ from repro.obs.trace import (
     current_tracer,
     span,
 )
-from repro.shard.planner import Shard, plan_shards
+from repro.shard.planner import Shard, ShardAutotuner, plan_shards
 from repro.shard.protocol import (
     assign_message,
     decode_message,
@@ -67,6 +89,13 @@ from repro.shard.protocol import (
     init_message,
     shutdown_message,
 )
+from repro.shard.transport import (
+    PipeTransport,
+    SocketListener,
+    Transport,
+    TransportClosed,
+)
+from repro.store import atomic_write_bytes
 
 #: Environment variable naming faults to arm in the FIRST spawned
 #: worker only (the worker-loss drill).  Respawned workers never see
@@ -74,7 +103,9 @@ from repro.shard.protocol import (
 WORKER_FAULTS_ENV = "REPRO_SHARD_WORKER_FAULTS"
 
 #: Silence allowance before the first ``hello`` (interpreter start +
-#: imports are much slower than a heartbeat interval).
+#: imports are much slower than a heartbeat interval).  Doubles as the
+#: default grace a listening coordinator waits for its first -- or a
+#: replacement -- worker to dial in.
 STARTUP_GRACE = 60.0
 
 
@@ -84,31 +115,31 @@ class ShardWorkerError(RuntimeError):
 
 
 class _Worker:
-    """One subprocess worker slot and its bookkeeping."""
+    """One worker slot (transport + bookkeeping), any carrier."""
 
-    __slots__ = ("index", "proc", "stderr_path", "shard", "last_seen",
-                 "hello_seen", "generation")
+    __slots__ = ("index", "transport", "shard", "last_seen",
+                 "last_progress", "hello_seen", "generation",
+                 "assigned_at", "host")
 
-    def __init__(self, index: int, proc: subprocess.Popen,
-                 stderr_path: str, generation: int) -> None:
+    def __init__(self, index: int, transport: Transport,
+                 generation: int) -> None:
         self.index = index
-        self.proc = proc
-        self.stderr_path = stderr_path
+        self.transport = transport
         self.shard: Optional[Shard] = None
         self.last_seen = time.monotonic()
+        self.last_progress = self.last_seen
         self.hello_seen = False
         self.generation = generation
+        self.assigned_at = 0.0
+        self.host: Optional[str] = None
 
     @property
     def idle(self) -> bool:
         return self.shard is None
 
-    def stderr_tail(self, lines: int = 20) -> str:
-        try:
-            with open(self.stderr_path, "r", errors="replace") as fh:
-                return "".join(fh.readlines()[-lines:])
-        except OSError:
-            return "<no stderr captured>"
+    @property
+    def remote(self) -> bool:
+        return self.transport.kind == "socket"
 
 
 class ShardCoordinator:
@@ -123,7 +154,9 @@ class ShardCoordinator:
     shards, shard_size, workers:
         Planning and pool sizing: split into ``shards`` near-equal
         ranges, or fixed ``shard_size`` ranges; run at most
-        ``workers`` subprocesses (default: one per shard).
+        ``workers`` subprocesses (default: one per shard).  With
+        ``listen`` set the pool is whoever dials in -- ``workers``
+        only sizes the stats and spans.
     workdir:
         Directory for shard checkpoints and worker stderr logs.  A
         temp dir (cleaned up on success) when None.
@@ -134,6 +167,28 @@ class ShardCoordinator:
         finest resume granularity).
     max_attempts:
         Dispatch attempts per shard before the campaign fails.
+    listen:
+        ``(host, port)`` to accept remote workers on (port 0 binds an
+        ephemeral port; read it back from :attr:`address`).  The
+        coordinator then spawns nothing: ``repro shard-worker
+        --connect HOST:PORT`` processes dial in, possibly late,
+        possibly from other machines.  Checkpoints travel inline in
+        protocol messages -- no shared filesystem is assumed.
+    autotune_target_s:
+        When set, ignore the static plan and carve each worker's next
+        shard to ``~autotune_target_s`` seconds of its *observed*
+        screening rate (:class:`ShardAutotuner`).  The first slice
+        per worker is ``ceil(count / (2 * shards))`` dies, aligned to
+        the fleet chunk size.
+    progress_timeout:
+        Optional seconds without a ``progress``/``done`` from an
+        assigned worker before it counts as lost even while its
+        heartbeat still arrives -- the guard against a dropped
+        completion line (heartbeats prove liveness, not progress).
+    rejoin_grace:
+        Listening mode only: seconds the coordinator waits with work
+        pending and *zero* connected workers before failing the
+        campaign (default :data:`STARTUP_GRACE`).
     """
 
     def __init__(self, config, threshold: Optional[float], fleet,
@@ -142,32 +197,70 @@ class ShardCoordinator:
                  workdir: Optional[str] = None,
                  heartbeat: float = 5.0,
                  checkpoint_every: int = 1,
-                 max_attempts: int = 3) -> None:
+                 max_attempts: int = 3,
+                 listen: Optional[Tuple[str, int]] = None,
+                 autotune_target_s: Optional[float] = None,
+                 progress_timeout: Optional[float] = None,
+                 rejoin_grace: float = STARTUP_GRACE) -> None:
         self.config = config
         self.threshold = None if threshold is None else float(threshold)
         self.fleet = fleet
-        self.plan = plan_shards(len(fleet), shards, shard_size)
-        self.num_workers = max(1, min(
-            workers if workers is not None else shards,
-            max(1, len(self.plan))))
+        self._total = len(fleet)
+        self.autotuner: Optional[ShardAutotuner] = None
+        if autotune_target_s is not None:
+            align = max(1, int(getattr(fleet, "chunk_size", 1) or 1))
+            initial = max(align, math.ceil(
+                self._total / max(1, 2 * shards)))
+            self.autotuner = ShardAutotuner(
+                float(autotune_target_s), initial_size=initial,
+                align=align, max_size=max(self._total, 1))
+            self.plan: List[Shard] = []
+            self._frontier = 0
+        else:
+            self.plan = plan_shards(self._total, shards, shard_size)
+            self._frontier = self._total
+        self._carved: List[Shard] = list(self.plan)
+        self.remote = listen is not None
+        self._listener = (SocketListener(listen[0], listen[1])
+                          if self.remote else None)
+        if self.remote:
+            self.num_workers = max(1, workers if workers is not None
+                                   else shards)
+        else:
+            self.num_workers = max(1, min(
+                workers if workers is not None else shards,
+                max(1, len(self.plan) or shards)))
         self.heartbeat = float(heartbeat)
         self.checkpoint_every = int(checkpoint_every)
         self.max_attempts = int(max_attempts)
+        self.progress_timeout = (None if progress_timeout is None
+                                 else float(progress_timeout))
+        self.rejoin_grace = float(rejoin_grace)
         self._workdir = workdir
         self._own_workdir = workdir is None
-        self._queue: "queue.Queue[Tuple[int, Optional[dict]]]" = \
+        self._queue: "queue.Queue[Tuple[Optional[int], dict]]" = \
             queue.Queue()
         self._workers: Dict[int, _Worker] = {}
         self._next_slot = 0
         self._drill_faults = os.environ.get(WORKER_FAULTS_ENV)
+        self._trace_context = None
+        self._accept_stop = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
         self.stats: Dict[str, float] = {
             "planned": float(len(self.plan)), "dispatched": 0.0,
             "completed": 0.0, "reassigned": 0.0,
-            "workers": float(self.num_workers), "merge_seconds": 0.0,
+            "workers": float(0 if self.remote else self.num_workers),
+            "merge_seconds": 0.0,
         }
 
+    @property
+    def address(self) -> Optional[Tuple[str, int]]:
+        """The listening ``(host, port)``; None in pipe mode."""
+        return None if self._listener is None \
+            else self._listener.address
+
     # ------------------------------------------------------------------
-    # Worker process management
+    # Worker channel management
     # ------------------------------------------------------------------
     def _worker_env(self) -> Dict[str, str]:
         env = dict(os.environ)
@@ -195,45 +288,66 @@ class ShardCoordinator:
                 stdin=subprocess.PIPE, stdout=subprocess.PIPE,
                 stderr=stderr_file,
                 env=self._worker_env(), text=True, bufsize=1)
-        worker = _Worker(slot, proc, stderr_path, generation)
-        self._workers[slot] = worker
-        context = current_trace_context()
-        self._send(worker, init_message(
-            self.config, self.threshold, self.fleet,
-            self.checkpoint_every, self.heartbeat,
-            None if context is None else context.to_dict()))
-        reader = threading.Thread(
-            target=self._reader_loop, args=(slot, generation, proc),
-            daemon=True, name=f"shard-reader-{slot}")
-        reader.start()
+        transport = PipeTransport(proc, stderr_path)
+        worker = self._admit(slot, transport, generation)
         log_event("shard.worker.spawned", slot=slot,
                   generation=generation, pid=proc.pid)
         return worker
 
+    def _admit(self, slot: int, transport: Transport,
+               generation: int) -> _Worker:
+        """Register a channel: send ``init``, start its reader."""
+        worker = _Worker(slot, transport, generation)
+        self._workers[slot] = worker
+        self.stats["workers"] = max(self.stats["workers"],
+                                    float(len(self._workers)))
+        context = self._trace_context if self._trace_context \
+            is not None else current_trace_context()
+        try:
+            transport.send_line(encode_message(init_message(
+                self.config, self.threshold, self.fleet,
+                self.checkpoint_every, self.heartbeat,
+                None if context is None else context.to_dict(),
+                remote=worker.remote)))
+        except TransportClosed:
+            pass  # the reader loop's EOF will declare it lost
+        reader = threading.Thread(
+            target=self._reader_loop, args=(slot, generation,
+                                            transport),
+            daemon=True, name=f"shard-reader-{slot}")
+        reader.start()
+        return worker
+
+    def _accept_loop(self) -> None:
+        while not self._accept_stop.is_set():
+            transport = self._listener.accept(timeout=0.2)
+            if transport is not None:
+                self._queue.put((None, {"type": "_connect",
+                                        "transport": transport}))
+
     def _reader_loop(self, slot: int, generation: int,
-                     proc: subprocess.Popen) -> None:
-        for line in proc.stdout:
+                     transport: Transport) -> None:
+        for line in transport.lines():
             try:
                 message = decode_message(line)
             except ValueError:
-                continue
+                # Protocol desync: there is no way to trust anything
+                # after an undecodable line, so this worker is lost
+                # (the coordinator survives; the worker does not).
+                self._queue.put((slot, {"_gen": generation,
+                                        "type": "_garbage",
+                                        "line": line[:200]}))
+                return
             self._queue.put((slot, {"_gen": generation, **message}))
         self._queue.put((slot, {"_gen": generation, "type": "_eof"}))
 
-    def _send(self, worker: _Worker, message: Dict[str, object]) -> bool:
+    def _send(self, worker: _Worker,
+              message: Dict[str, object]) -> bool:
         try:
-            worker.proc.stdin.write(encode_message(message) + "\n")
-            worker.proc.stdin.flush()
+            worker.transport.send_line(encode_message(message))
             return True
-        except (BrokenPipeError, OSError, ValueError):
+        except TransportClosed:
             return False
-
-    def _kill(self, worker: _Worker) -> None:
-        try:
-            worker.proc.kill()
-        except OSError:
-            pass
-        worker.proc.wait()
 
     # ------------------------------------------------------------------
     # The campaign
@@ -243,32 +357,82 @@ class ShardCoordinator:
         if self._workdir is None:
             self._workdir = tempfile.mkdtemp(prefix="repro-shards-")
         try:
-            with span("shard.campaign", shards=len(self.plan),
+            with span("shard.campaign",
+                      shards=len(self.plan) or None,
                       workers=self.num_workers,
-                      dies=len(self.fleet)):
+                      dies=self._total,
+                      transport="socket" if self.remote else "pipe"):
+                self._trace_context = current_trace_context()
+                if self.remote:
+                    self._accept_thread = threading.Thread(
+                        target=self._accept_loop, daemon=True,
+                        name="shard-accept")
+                    self._accept_thread.start()
                 parts = self._run_shards()
                 merged = self._merge(parts)
             if self._own_workdir:
                 shutil.rmtree(self._workdir, ignore_errors=True)
             return merged, dict(self.stats)
         finally:
+            self._stop_accepting()
             self._shutdown_workers()
+
+    def _stop_accepting(self) -> None:
+        self._accept_stop.set()
+        if self._listener is not None:
+            self._listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
 
     def _checkpoint_path(self, shard: Shard) -> str:
         return os.path.join(self._workdir, shard.checkpoint_name())
+
+    def _store_checkpoint_b64(self, shard: Shard, data: str) -> None:
+        """Persist checkpoint bytes a remote worker shipped home."""
+        atomic_write_bytes(self._checkpoint_path(shard),
+                           base64.b64decode(data))
+
+    def _carve(self, worker: _Worker) -> Optional[Shard]:
+        """Autotune mode: cut the next shard off the frontier, sized
+        for this worker's observed rate."""
+        if self._frontier >= self._total:
+            return None
+        size = self.autotuner.next_size(worker.index)
+        shard = Shard(len(self._carved), self._frontier,
+                      min(self._frontier + size, self._total))
+        self._carved.append(shard)
+        self._frontier = shard.hi
+        self.stats["planned"] += 1
+        log_event("shard.carved", shard=shard.index, lo=shard.lo,
+                  hi=shard.hi, worker=worker.index,
+                  rate=self.autotuner.rate(worker.index))
+        return shard
 
     def _assign(self, worker: _Worker, shard: Shard,
                 attempts: Dict[int, int]) -> bool:
         attempt = attempts.get(shard.index, 0) + 1
         attempts[shard.index] = attempt
+        resume_b64 = None
+        if worker.remote:
+            path = self._checkpoint_path(shard)
+            if os.path.exists(path):
+                with open(path, "rb") as fh:
+                    resume_b64 = base64.b64encode(
+                        fh.read()).decode("ascii")
         with span("shard.dispatch", shard=shard.index, lo=shard.lo,
-                  hi=shard.hi, worker=worker.index, attempt=attempt):
+                  hi=shard.hi, worker=worker.index, attempt=attempt,
+                  transport=worker.transport.kind):
             ok = self._send(worker, assign_message(
                 shard.index, shard.lo, shard.hi,
-                self._checkpoint_path(shard)))
+                self._checkpoint_path(shard),
+                resume_b64=resume_b64))
         if ok:
             worker.shard = shard
-            worker.last_seen = time.monotonic()
+            now = time.monotonic()
+            worker.last_seen = now
+            worker.last_progress = now
+            worker.assigned_at = now
             self.stats["dispatched"] += 1
             default_registry().counter("shard_dispatched_total").inc()
             log_event("shard.dispatched", shard=shard.index,
@@ -278,8 +442,15 @@ class ShardCoordinator:
 
     def _lose_worker(self, worker: _Worker, pending: "deque[Shard]",
                      attempts: Dict[int, int], reason: str) -> None:
-        """Kill a lost worker, requeue its shard, respawn the slot."""
-        self._kill(worker)
+        """Tear down a lost worker and requeue its shard.
+
+        Pipe mode respawns the slot (the coordinator owns the
+        process); listening mode discards it and waits for the
+        survivors or a redial -- the coordinator cannot restart a
+        process on another machine.
+        """
+        worker.transport.kill()
+        self._workers.pop(worker.index, None)
         shard = worker.shard
         worker.shard = None
         if shard is not None:
@@ -287,40 +458,72 @@ class ShardCoordinator:
                 raise ShardWorkerError(
                     f"shard {shard.index} dies [{shard.lo}, "
                     f"{shard.hi}) failed {self.max_attempts} "
-                    f"dispatch attempts (last worker {reason}); "
-                    f"worker stderr tail:\n{worker.stderr_tail()}")
+                    f"dispatch attempts (last worker "
+                    f"{worker.transport.describe()} {reason}); "
+                    f"worker stderr tail:\n"
+                    f"{worker.transport.stderr_tail()}")
             pending.appendleft(shard)
             self.stats["reassigned"] += 1
             default_registry().counter("shard_reassigned_total").inc()
             log_event("shard.reassigned", shard=shard.index,
                       worker=worker.index, reason=reason)
-        self._spawn(worker.index, worker.generation + 1)
+        else:
+            log_event("shard.worker.lost", worker=worker.index,
+                      reason=reason)
+        if not self.remote:
+            self._spawn(worker.index, worker.generation + 1)
+
+    def _work_remaining(self, pending: "deque[Shard]",
+                        done: Dict[int, str]) -> bool:
+        return (len(done) < len(self._carved)
+                or self._frontier < self._total)
 
     def _run_shards(self) -> List[StreamCheckpoint]:
-        if not self.plan:
+        if not self._carved and self._frontier >= self._total:
             return []
         pending: "deque[Shard]" = deque(self.plan)
         attempts: Dict[int, int] = {}
         done: Dict[int, str] = {}
-        for slot in range(self.num_workers):
-            self._spawn(slot, generation=0)
+        if not self.remote:
+            for slot in range(self.num_workers):
+                self._spawn(slot, generation=0)
+            self._next_slot = self.num_workers
         tick = max(0.05, min(0.5, self.heartbeat / 4.0))
-        tracer = current_tracer()
-        while len(done) < len(self.plan):
+        workerless_since: Optional[float] = (
+            time.monotonic() if self.remote else None)
+        while self._work_remaining(pending, done):
             for worker in list(self._workers.values()):
-                if worker.idle and pending:
-                    if not self._assign(worker, pending[0], attempts):
-                        # Pipe already closed: treat as lost (shard
-                        # stays at the queue front for the respawn).
-                        self._lose_worker(worker, pending, attempts,
-                                          "pipe closed at assign")
-                    else:
-                        pending.popleft()
+                if not worker.idle:
+                    continue
+                if not pending and self.autotuner is not None:
+                    carved = self._carve(worker)
+                    if carved is not None:
+                        pending.append(carved)
+                if not pending:
+                    continue
+                if self._assign(worker, pending[0], attempts):
+                    pending.popleft()
+                else:
+                    # Channel already closed: treat as lost (shard
+                    # stays at the queue front for the next worker).
+                    self._lose_worker(worker, pending, attempts,
+                                      "channel closed at assign")
             try:
                 slot, message = self._queue.get(timeout=tick)
             except queue.Empty:
                 message = None
-            if message is not None:
+            if message is not None and slot is None:
+                if message.get("type") == "_connect" \
+                        and not self._accept_stop.is_set():
+                    transport = message["transport"]
+                    worker = self._admit(self._next_slot, transport,
+                                         generation=0)
+                    self._next_slot += 1
+                    workerless_since = None
+                    log_event("shard.worker.connected",
+                              worker=worker.index,
+                              peer=transport.describe())
+            elif message is not None:
                 worker = self._workers.get(slot)
                 if worker is None or \
                         message.get("_gen") != worker.generation:
@@ -329,34 +532,38 @@ class ShardCoordinator:
                 kind = message.get("type")
                 if kind == "hello":
                     worker.hello_seen = True
-                elif kind == "done":
+                    worker.host = message.get("host")
+                elif kind == "progress":
+                    worker.last_progress = time.monotonic()
                     shard = worker.shard
-                    worker.shard = None
-                    index = int(message["shard"])
-                    done[index] = str(message["checkpoint"])
-                    self.stats["completed"] += 1
-                    default_registry().counter(
-                        "shard_completed_total").inc()
-                    log_event("shard.completed", shard=index,
-                              worker=slot,
-                              num_dies=int(message["num_dies"]))
-                    rows = message.get("spans") or []
-                    if tracer is not None and rows:
-                        tracer.absorb(SpanRecord.from_dict(r)
-                                      for r in rows)
+                    data = message.get("checkpoint_b64")
+                    if data is not None and shard is not None \
+                            and int(message.get("shard", -1)) == \
+                            shard.index:
+                        self._store_checkpoint_b64(shard, str(data))
+                elif kind == "done":
+                    self._complete(worker, message, done)
                 elif kind == "error":
                     raise ShardWorkerError(
-                        f"worker {slot} failed shard "
-                        f"{message.get('shard')}: "
+                        f"worker {slot} "
+                        f"({worker.transport.describe()}) failed "
+                        f"shard {message.get('shard')}: "
                         f"{message.get('message')}\nstderr tail:\n"
-                        f"{worker.stderr_tail()}")
+                        f"{worker.transport.stderr_tail()}")
+                elif kind == "_garbage":
+                    self._lose_worker(
+                        worker, pending, attempts,
+                        f"sent an undecodable line "
+                        f"{message.get('line')!r}")
                 elif kind == "_eof":
-                    if worker.proc.poll() is None:
-                        worker.proc.wait()
-                    if worker.shard is not None or pending:
+                    worker.transport.wait()
+                    if worker.shard is not None or pending \
+                            or self._frontier < self._total:
                         self._lose_worker(worker, pending, attempts,
-                                          "process exited")
-                # ping / progress only refresh last_seen (above)
+                                          "channel closed")
+                    else:
+                        self._workers.pop(worker.index, None)
+                # ping only refreshes last_seen (above)
             # Stall detection: silent past the deadline with work
             # assigned.  Pre-hello workers get the startup grace.
             now = time.monotonic()
@@ -368,8 +575,60 @@ class ShardCoordinator:
                 if now - worker.last_seen > deadline:
                     self._lose_worker(worker, pending, attempts,
                                       "heartbeat deadline passed")
+                elif self.progress_timeout is not None and \
+                        now - worker.last_progress > \
+                        self.progress_timeout:
+                    self._lose_worker(worker, pending, attempts,
+                                      "progress deadline passed")
+            # Listening mode liveness: fail rather than wait forever
+            # when every worker is gone and none redials.
+            if self.remote:
+                if self._workers:
+                    workerless_since = None
+                elif workerless_since is None:
+                    workerless_since = now
+                elif now - workerless_since > self.rejoin_grace:
+                    raise ShardWorkerError(
+                        f"no connected workers for "
+                        f"{self.rejoin_grace:.0f}s with "
+                        f"{len(pending)} shard(s) pending; workers "
+                        f"dial in with: repro shard-worker "
+                        f"--connect {self.address[0]}:"
+                        f"{self.address[1]}")
         return [StreamCheckpoint.load(done[shard.index])
-                for shard in self.plan]
+                for shard in self._carved]
+
+    def _complete(self, worker: _Worker, message: dict,
+                  done: Dict[int, str]) -> None:
+        shard = worker.shard
+        worker.shard = None
+        index = int(message["shard"])
+        data = message.get("checkpoint_b64")
+        if data is None:
+            done[index] = str(message["checkpoint"])
+        else:
+            # Remote completion: the archive travelled inline; land
+            # it where the merge (and any resume) expects it.
+            target = next(s for s in self._carved
+                          if s.index == index)
+            self._store_checkpoint_b64(target, str(data))
+            done[index] = self._checkpoint_path(target)
+        rtt = time.monotonic() - worker.assigned_at
+        self.stats["completed"] += 1
+        default_registry().counter("shard_completed_total").inc()
+        default_registry().histogram(
+            "shard_rtt_seconds",
+            transport=worker.transport.kind).observe(rtt)
+        if self.autotuner is not None and shard is not None:
+            self.autotuner.observe(worker.index, shard.num_dies, rtt)
+        log_event("shard.completed", shard=index,
+                  worker=worker.index, host=worker.host,
+                  num_dies=int(message["num_dies"]),
+                  seconds=round(rtt, 3))
+        rows = message.get("spans") or []
+        tracer = current_tracer()
+        if tracer is not None and rows:
+            tracer.absorb(SpanRecord.from_dict(r) for r in rows)
 
     def _merge(self, parts: List[StreamCheckpoint]) -> StreamCheckpoint:
         start = time.perf_counter()
@@ -388,14 +647,18 @@ class ShardCoordinator:
 
     def _shutdown_workers(self) -> None:
         for worker in self._workers.values():
-            if worker.proc.poll() is None:
-                if not self._send(worker, shutdown_message()):
-                    self._kill(worker)
-                    continue
-                try:
-                    worker.proc.wait(timeout=5.0)
-                except subprocess.TimeoutExpired:
-                    self._kill(worker)
+            transport = worker.transport
+            if not transport.alive():
+                continue
+            if not self._send(worker, shutdown_message()):
+                transport.kill()
+                continue
+            try:
+                transport.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                transport.kill()
+            else:
+                transport.close()
         self._workers.clear()
 
 

@@ -1,8 +1,9 @@
 """Line protocol between the shard coordinator and its workers.
 
-One JSON object per line over the worker's stdin/stdout -- the same
-framing a remote transport (ssh, a socket) would carry, which is why
-the worker entry point is a CLI command rather than a pool function.
+One JSON object per line -- the identical framing over a stdio pipe
+(:class:`~repro.shard.transport.PipeTransport`) or a TCP socket
+(:class:`~repro.shard.transport.SocketTransport`), which is why the
+worker entry point is a CLI command rather than a pool function.
 Binary payloads (the pickled :class:`CampaignConfig` and fleet) ride
 base64-encoded inside the ``init`` message; everything after that is
 plain JSON.
@@ -10,22 +11,32 @@ plain JSON.
 Coordinator -> worker
 ---------------------
 ``init``      config_b64, threshold, fleet_b64, checkpoint_every,
-              heartbeat, trace (a ``TraceContext`` dict or null)
-``assign``    shard (index), lo, hi, checkpoint (path)
+              heartbeat, trace (a ``TraceContext`` dict or null),
+              remote (true when no shared filesystem can be assumed:
+              the worker must return checkpoints inline)
+``assign``    shard (index), lo, hi, checkpoint (path); remote
+              assignments add resume_b64 (base64 ``.npz`` bytes of
+              the shard's last known checkpoint, or absent) so a
+              reassigned shard resumes without a shared filesystem
 ``shutdown``  --
 
 Worker -> coordinator
 ---------------------
-``hello``     pid (after init: ready for assignments)
+``hello``     pid, host (after init: ready for assignments)
 ``ping``      -- (heartbeat, every ``heartbeat/2`` seconds)
-``progress``  shard, next_index (after each screened chunk)
-``done``      shard, num_dies, checkpoint, spans (pid-stamped span
-              rows when the campaign is traced)
+``progress``  shard, next_index (after each screened chunk); remote
+              workers add checkpoint_b64 whenever the shard's
+              checkpoint advanced, so the coordinator always holds
+              the partial state a reassignment would resume from
+``done``      shard, num_dies, checkpoint, spans (pid/host-stamped
+              span rows when the campaign is traced); remote workers
+              add checkpoint_b64 (the completed shard's ``.npz``)
 ``error``     shard (or null), message (the worker then exits 1)
 
 The pickles only ever travel coordinator -> worker within one
 invocation (same code, same interpreter); results come back as
-checkpoint *files*, never pickled arrays -- the merge reads the same
+checkpoint archives -- files on a shared filesystem, base64 ``.npz``
+bytes over a socket -- never pickled arrays: the merge reads the same
 atomic ``.npz`` format crash recovery uses.
 """
 
@@ -68,19 +79,26 @@ def unpack_payload(data: str) -> object:
 
 def init_message(config, threshold: Optional[float], fleet,
                  checkpoint_every: int, heartbeat: float,
-                 trace: Optional[Dict[str, object]]
-                 ) -> Dict[str, object]:
+                 trace: Optional[Dict[str, object]],
+                 remote: bool = False) -> Dict[str, object]:
     return {"type": "init", "config_b64": pack_payload(config),
             "threshold": threshold, "fleet_b64": pack_payload(fleet),
             "checkpoint_every": int(checkpoint_every),
-            "heartbeat": float(heartbeat), "trace": trace}
+            "heartbeat": float(heartbeat), "trace": trace,
+            "remote": bool(remote)}
 
 
 def assign_message(shard_index: int, lo: int, hi: int,
-                   checkpoint: str) -> Dict[str, object]:
-    return {"type": "assign", "shard": int(shard_index),
-            "lo": int(lo), "hi": int(hi),
-            "checkpoint": str(checkpoint)}
+                   checkpoint: str,
+                   resume_b64: Optional[str] = None
+                   ) -> Dict[str, object]:
+    message: Dict[str, object] = {
+        "type": "assign", "shard": int(shard_index),
+        "lo": int(lo), "hi": int(hi),
+        "checkpoint": str(checkpoint)}
+    if resume_b64 is not None:
+        message["resume_b64"] = str(resume_b64)
+    return message
 
 
 def shutdown_message() -> Dict[str, object]:

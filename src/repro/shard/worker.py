@@ -1,15 +1,25 @@
 """The shard-worker loop behind ``repro shard-worker``.
 
-A worker is a subprocess speaking the :mod:`repro.shard.protocol`
-line protocol on stdin/stdout.  It receives one ``init`` (engine
-config, resolved threshold, fleet description, trace context), then
-``assign`` messages naming global die ranges.  Each assignment runs
-as an ordinary checkpointed streamed campaign
-(:meth:`CampaignEngine.run_stream`) over ``fleet.chunks(lo, hi)``
-into the shard's own checkpoint file -- which is the whole trick: a
-shard worker *is* a streamed campaign whose checkpoint starts past
-another's, so every crash-safety and bit-identity property of PR 7's
-stream machinery carries over unchanged.
+A worker speaks the :mod:`repro.shard.protocol` line protocol on
+stdin/stdout when the coordinator spawned it, or over a TCP socket
+when it dialed in with ``repro shard-worker --connect HOST:PORT``
+(the two carriers are byte-identical: the socket path simply wraps
+the connection in text streams and runs the same loop).  It receives
+one ``init`` (engine config, resolved threshold, fleet description,
+trace context, remote flag), then ``assign`` messages naming global
+die ranges.  Each assignment runs as an ordinary checkpointed
+streamed campaign (:meth:`CampaignEngine.run_stream`) over
+``fleet.chunks(lo, hi)`` into the shard's own checkpoint file --
+which is the whole trick: a shard worker *is* a streamed campaign
+whose checkpoint starts past another's, so every crash-safety and
+bit-identity property of PR 7's stream machinery carries over
+unchanged.
+
+A *remote* worker (``init.remote`` true) assumes no shared
+filesystem: it checkpoints into its own temp dir, ships the archive
+bytes home base64-encoded -- in ``progress`` whenever the checkpoint
+advanced, and in ``done`` -- and seeds a reassigned shard's resume
+from the ``resume_b64`` bytes the coordinator kept.
 
 Reassignment resumes, never restarts: on assign, the worker loads the
 shard's checkpoint if a previous (killed) worker left one and begins
@@ -31,12 +41,17 @@ Fault points (the worker-loss drill):
 
 from __future__ import annotations
 
+import argparse
+import base64
 import os
+import shutil
 import signal
+import socket as socket_module
 import sys
+import tempfile
 import threading
 import traceback
-from typing import Dict, Optional, TextIO
+from typing import Dict, List, Optional, TextIO
 
 from repro.campaign.checkpoint import StreamCheckpoint
 from repro.campaign.engine import CampaignEngine
@@ -49,6 +64,7 @@ from repro.obs.trace import (
 )
 from repro.shard.protocol import decode_message, encode_message
 from repro.shard.protocol import unpack_payload
+from repro.shard.transport import dial, parse_endpoint
 from repro.testing.faultinject import fail_if_armed, should_fail
 
 
@@ -76,21 +92,40 @@ def _heartbeat_loop(emit: _Emitter, interval: float,
 
 
 def _progressing_chunks(chunks, emit: _Emitter, shard_index: int,
-                        start: int):
+                        start: int,
+                        checkpoint: Optional[str] = None):
     """Yield chunks, reporting progress between draws.
 
     The engine draws chunk ``k+1`` only after chunk ``k`` was screened
     and checkpointed, so the report between draws means "everything up
-    to ``next_index`` is durably done".  The kill fault point sits
-    here too: dying right after a progress report is the worst case
-    for the coordinator (it believes the worker healthy).
+    to ``next_index`` is durably done".  A remote worker (``checkpoint``
+    given) attaches the checkpoint's archive bytes whenever the file
+    advanced, so the coordinator always holds the partial state a
+    reassignment would resume from -- the only copy that survives a
+    partition.  The kill fault point sits here too: dying right after
+    a progress report is the worst case for the coordinator (it
+    believes the worker healthy).
     """
     emitted = start
+    last_stat = None
     for chunk in chunks:
         yield chunk
         emitted += len(chunk)
-        emit.send({"type": "progress", "shard": shard_index,
-                   "next_index": emitted})
+        message: Dict[str, object] = {
+            "type": "progress", "shard": shard_index,
+            "next_index": emitted}
+        if checkpoint is not None:
+            try:
+                stat = os.stat(checkpoint)
+                key = (stat.st_mtime_ns, stat.st_size)
+            except OSError:
+                key = None
+            if key is not None and key != last_stat:
+                last_stat = key
+                with open(checkpoint, "rb") as fh:
+                    message["checkpoint_b64"] = base64.b64encode(
+                        fh.read()).decode("ascii")
+        emit.send(message)
         if should_fail("shard.worker.kill"):
             os.kill(os.getpid(), signal.SIGKILL)
 
@@ -115,6 +150,7 @@ def worker_main(stdin: Optional[TextIO] = None,
     threshold = init.get("threshold")
     checkpoint_every = int(init.get("checkpoint_every", 1))
     heartbeat = float(init.get("heartbeat", 5.0))
+    remote = bool(init.get("remote", False))
     tracer = None
     if init.get("trace") is not None:
         tracer = context_tracer(
@@ -122,12 +158,15 @@ def worker_main(stdin: Optional[TextIO] = None,
         install_tracer(tracer)
 
     engine = CampaignEngine(config)
+    workdir = tempfile.mkdtemp(prefix="repro-shard-worker-") \
+        if remote else None
     stop = threading.Event()
     pinger = threading.Thread(
         target=_heartbeat_loop, args=(emit, heartbeat / 2.0, stop),
         daemon=True, name="shard-heartbeat")
     pinger.start()
-    emit.send({"type": "hello", "pid": os.getpid()})
+    emit.send({"type": "hello", "pid": os.getpid(),
+               "host": socket_module.gethostname()})
 
     try:
         for line in stdin:
@@ -142,10 +181,21 @@ def worker_main(stdin: Optional[TextIO] = None,
             shard_index = int(message["shard"])
             lo, hi = int(message["lo"]), int(message["hi"])
             checkpoint = str(message["checkpoint"])
+            local_path = checkpoint
+            if remote:
+                # No shared filesystem: checkpoint locally, seeded
+                # from the bytes the coordinator kept for this shard.
+                local_path = os.path.join(
+                    workdir, os.path.basename(checkpoint))
+                resume_b64 = message.get("resume_b64")
+                if resume_b64 is not None:
+                    with open(local_path, "wb") as fh:
+                        fh.write(base64.b64decode(resume_b64))
             try:
                 num_dies = _run_assignment(
                     engine, fleet, emit, shard_index, lo, hi,
-                    checkpoint, threshold, checkpoint_every)
+                    local_path, threshold, checkpoint_every,
+                    ship_checkpoints=remote)
             except Exception:
                 emit.send({"type": "error", "shard": shard_index,
                            "message": traceback.format_exc(limit=8)})
@@ -153,18 +203,27 @@ def worker_main(stdin: Optional[TextIO] = None,
             rows = [] if tracer is None else stamped_records(tracer)
             if tracer is not None:
                 tracer.clear()
-            emit.send({"type": "done", "shard": shard_index,
-                       "num_dies": num_dies, "checkpoint": checkpoint,
-                       "spans": rows})
+            done: Dict[str, object] = {
+                "type": "done", "shard": shard_index,
+                "num_dies": num_dies, "checkpoint": checkpoint,
+                "spans": rows}
+            if remote:
+                with open(local_path, "rb") as fh:
+                    done["checkpoint_b64"] = base64.b64encode(
+                        fh.read()).decode("ascii")
+            emit.send(done)
         return 0
     finally:
         stop.set()
+        if workdir is not None:
+            shutil.rmtree(workdir, ignore_errors=True)
 
 
 def _run_assignment(engine: CampaignEngine, fleet, emit: _Emitter,
                     shard_index: int, lo: int, hi: int,
                     checkpoint: str, threshold,
-                    checkpoint_every: int) -> int:
+                    checkpoint_every: int,
+                    ship_checkpoints: bool = False) -> int:
     """Screen shard ``[lo, hi)`` into ``checkpoint``; returns dies done.
 
     Resumes from the shard's last checkpoint when one exists (a
@@ -180,12 +239,80 @@ def _run_assignment(engine: CampaignEngine, fleet, emit: _Emitter,
               resume_at=resume_at, pid=os.getpid()):
         fail_if_armed("shard.worker.error")
         engine.run_stream(
-            _progressing_chunks(fleet.chunks(resume_at, hi), emit,
-                                shard_index, resume_at),
+            _progressing_chunks(
+                fleet.chunks(resume_at, hi), emit, shard_index,
+                resume_at,
+                checkpoint=checkpoint if ship_checkpoints else None),
             band=threshold, checkpoint=checkpoint,
             checkpoint_every=checkpoint_every,
             stream_offset=resume_at)
     return hi - lo
 
 
-__all__ = ["worker_main"]
+def connect_main(host: str, port: int, attempts: int = 40,
+                 delay: float = 0.25) -> int:
+    """Dial a listening coordinator and run the worker loop over TCP.
+
+    The socket is wrapped in line-buffered text streams and handed to
+    the exact :func:`worker_main` the stdio path runs -- the protocol
+    and every screening semantic are carrier-independent by
+    construction.
+    """
+    sock = dial(host, port, attempts=attempts, delay=delay)
+    try:
+        sock.setsockopt(socket_module.IPPROTO_TCP,
+                        socket_module.TCP_NODELAY, 1)
+    except OSError:
+        pass
+    reader = sock.makefile("r", encoding="utf-8", newline="\n")
+    writer = sock.makefile("w", encoding="utf-8", newline="\n")
+    try:
+        return worker_main(stdin=reader, stdout=writer)
+    except (BrokenPipeError, ConnectionError, OSError):
+        return 1  # coordinator went away mid-campaign
+    finally:
+        for handle in (reader, writer):
+            try:
+                handle.close()
+            except (OSError, ValueError):
+                pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def worker_cli(argv: Optional[List[str]] = None) -> int:
+    """``repro shard-worker`` entry: stdio by default, TCP with
+    ``--connect HOST:PORT``."""
+    parser = argparse.ArgumentParser(
+        prog="repro shard-worker",
+        description="Run a shard worker: speaks the shard line "
+                    "protocol on stdin/stdout (when spawned by a "
+                    "coordinator) or dials a coordinator listening "
+                    "with --listen (multi-node campaigns).")
+    parser.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="dial a coordinator instead of speaking "
+                             "on stdin/stdout")
+    parser.add_argument("--retries", type=int, default=40,
+                        help="connection attempts before giving up "
+                             "(default 40)")
+    parser.add_argument("--retry-delay", type=float, default=0.25,
+                        help="seconds between connection attempts "
+                             "(default 0.25)")
+    args = parser.parse_args(argv)
+    if args.connect is None:
+        return worker_main()
+    try:
+        host, port = parse_endpoint(args.connect)
+    except ValueError as error:
+        parser.error(str(error))
+    try:
+        return connect_main(host, port, attempts=args.retries,
+                            delay=args.retry_delay)
+    except ConnectionError as error:
+        print(f"shard-worker: {error}", file=sys.stderr)
+        return 1
+
+
+__all__ = ["connect_main", "worker_cli", "worker_main"]

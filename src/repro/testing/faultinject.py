@@ -27,28 +27,36 @@ test can kill the Nth store write or the Kth streamed chunk precisely.
 
 Well-known fault points wired through the codebase:
 
-===========================  ===========================================
-``store.write.tear``         truncate a store payload after fsync,
-                             before rename (simulated torn write)
-``store.index.tear``         truncate the JSON index mid-rewrite
-``store.read.corrupt``       flip payload bytes on disk before a read
-``session.submit.error``     raise inside ``ScreeningSession.submit``
-``session.slow``             sleep inside ``ScreeningSession.submit``
-                             (``REPRO_FAULT_SLOW_S`` seconds, def. 0.2)
-``server.handler.error``     raise inside the request handler after
-                             admission (rendered as HTTP 500)
-``server.handler.close``     drop the connection without a response
-                             (clients see a connection reset)
-``stream.chunk.crash``       raise between streamed-campaign chunks,
-                             after the checkpoint write
-``shard.worker.kill``        SIGKILL a shard worker right after a
-                             progress report (armed in the worker's
-                             environment; the coordinator forwards
-                             ``REPRO_SHARD_WORKER_FAULTS`` to its
-                             first spawn only)
-``shard.worker.error``       raise inside a shard assignment (the
-                             worker reports ``error`` and exits 1)
-===========================  ===========================================
+=============================  =========================================
+``store.write.tear``           truncate a store payload after fsync,
+                               before rename (simulated torn write)
+``store.index.tear``           truncate the JSON index mid-rewrite
+``store.read.corrupt``         flip payload bytes on disk before a read
+``session.submit.error``       raise inside ``ScreeningSession.submit``
+``session.slow``               sleep inside ``ScreeningSession.submit``
+                               (``REPRO_FAULT_SLOW_S`` secs, def. 0.2)
+``server.handler.error``       raise inside the request handler after
+                               admission (rendered as HTTP 500)
+``server.handler.close``       drop the connection without a response
+                               (clients see a connection reset)
+``stream.chunk.crash``         raise between streamed-campaign chunks,
+                               after the checkpoint write
+``shard.worker.kill``          SIGKILL a shard worker right after a
+                               progress report (armed in the worker's
+                               environment; the coordinator forwards
+                               ``REPRO_SHARD_WORKER_FAULTS`` to its
+                               first spawn only)
+``shard.worker.error``         raise inside a shard assignment (the
+                               worker reports ``error`` and exits 1)
+``shard.transport.drop``       silently discard one protocol line on
+                               a shard transport (either direction)
+``shard.transport.delay``      deliver one shard protocol line late
+                               (``REPRO_FAULT_SLOW_S`` seconds) --
+                               latency, never loss
+``shard.transport.partition``  sever a shard worker channel abruptly
+                               (socket close / pipe kill mid-line),
+                               as a network partition would
+=============================  =========================================
 """
 
 from __future__ import annotations

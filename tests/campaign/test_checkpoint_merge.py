@@ -193,3 +193,50 @@ def test_load_if_valid_logs_structured_degrade(tmp_path):
     finally:
         set_log_sink(previous)
     assert sink2.getvalue() == ""
+
+
+def test_to_bytes_from_bytes_round_trips_without_a_filesystem():
+    """The TCP shard path ships checkpoints as inline bytes: the
+    bytes round-trip must preserve every field save()/load() does."""
+    part = _part(5, [0.1, 0.2, 0.3], complete=False)
+    clone = StreamCheckpoint.from_bytes(part.to_bytes())
+    np.testing.assert_array_equal(clone.values(np.empty(0)),
+                                  part.values(np.empty(0)))
+    np.testing.assert_array_equal(clone.f0_deviations(),
+                                  part.f0_deviations())
+    assert clone.labels == part.labels
+    assert clone.start_index == 5
+    assert clone.next_index == 8
+    assert clone.complete is False
+    assert clone.config_key == part.config_key
+    assert clone.threshold == part.threshold
+    assert clone.timing == part.timing
+
+
+def test_to_bytes_equals_saved_file_bytes(tmp_path):
+    """save() is exactly to_bytes() behind an atomic write: what a
+    remote worker ships inline is byte-for-byte what a local worker
+    leaves on disk."""
+    part = _part(0, [0.4, 0.5])
+    path = str(tmp_path / "ck.npz")
+    part.save(path)
+    with open(path, "rb") as fh:
+        on_disk = fh.read()
+    assert part.to_bytes() == on_disk
+
+
+def test_from_bytes_rejects_version_mismatch():
+    part = _part(0, [0.1])
+    data = part.to_bytes()
+    # A checkpoint from "the future" must refuse to load, whether it
+    # came from disk or over the wire.
+    import json as _json
+    with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+        arrays = {k: archive[k] for k in archive.files}
+    meta = _json.loads(str(arrays["meta"]))
+    meta["version"] = 999
+    arrays["meta"] = np.asarray(_json.dumps(meta))
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    with pytest.raises(CheckpointMismatch, match="version"):
+        StreamCheckpoint.from_bytes(buffer.getvalue())

@@ -152,3 +152,36 @@ def test_noise_campaign_traces_and_stays_bit_identical():
     assert np.array_equal(baseline.ndf_matrix, traced.ndf_matrix)
     assert {r.name for r in tracer.records()} >= {"campaign.submit",
                                                   "stage.noise"}
+
+
+@pytest.mark.parametrize("make_executor", [
+    lambda: SerialExecutor(),
+    lambda: ProcessPoolExecutor(max_workers=2),
+    lambda: SharedMemoryExecutor(max_workers=2),
+], ids=["serial", "pool", "shm"])
+def test_every_executor_yields_one_connected_trace(make_executor):
+    """Cross-process trace propagation holds for ALL executors: every
+    span -- including chunk spans from pool/shm worker processes --
+    descends from the single campaign.submit root.  (PR 9's traced
+    chunk calls cover the shm executor too; the old 'shm starts
+    parentless spans' caveat is dead.)"""
+    executor = make_executor()
+    try:
+        with tracing() as tracer:
+            _engine(executor, chunk_size=8).run(_population(24),
+                                                band=THRESHOLD)
+    finally:
+        executor.shutdown()
+    records = tracer.records()
+    roots = [r for r in records if r.parent_id is None]
+    assert len(roots) == 1
+    assert roots[0].name == "campaign.submit"
+    by_id = {r.span_id: r for r in records}
+    for record in records:
+        node = record
+        while node.parent_id is not None:
+            assert node.parent_id in by_id, (
+                f"span {node.name!r} has a dangling parent: "
+                f"the {record.name!r} lineage left the trace")
+            node = by_id[node.parent_id]
+        assert node is roots[0]

@@ -148,3 +148,55 @@ def test_pool_executor_propagates_trace_context():
 def _double(chunk):
     with span("chunk.work", size=len(chunk)):
         return chunk * 2
+
+
+def test_stamped_records_carry_the_hostname():
+    """Multi-node shard workers stamp spans with their host: pids
+    collide across machines, host+pid does not."""
+    import socket as socket_module
+
+    worker = context_tracer(TraceContext("t", 7))
+    previous = install_tracer(worker)
+    try:
+        with span("shard.worker.run", shard=0):
+            pass
+    finally:
+        install_tracer(previous)
+    rows = stamped_records(worker)
+    assert all(row["host"] == socket_module.gethostname()
+               for row in rows)
+    clone = SpanRecord.from_dict(rows[-1])
+    assert clone.host == socket_module.gethostname()
+
+
+def test_span_record_dict_roundtrip_preserves_host():
+    record = SpanRecord(name="n", span_id=5, parent_id=None,
+                        start=1.0, duration=0.5, thread_id=3,
+                        attributes={}, error=None, pid=777,
+                        host="node-b")
+    clone = SpanRecord.from_dict(record.to_dict())
+    assert clone == record
+    # Absent host stays absent (single-machine records).
+    local = SpanRecord(name="n", span_id=5, parent_id=None,
+                       start=1.0, duration=0.5, thread_id=3,
+                       attributes={}, error=None)
+    assert "host" not in local.to_dict()
+    assert SpanRecord.from_dict(local.to_dict()).host is None
+
+
+def test_pre_stamped_host_is_not_overwritten():
+    """A record absorbed from another machine keeps its own host even
+    when re-stamped on this one."""
+    worker = context_tracer(TraceContext("t", 7))
+    previous = install_tracer(worker)
+    try:
+        with span("shard.worker.run"):
+            pass
+    finally:
+        install_tracer(previous)
+    import dataclasses
+
+    worker._records = [dataclasses.replace(worker.records()[0],
+                                           host="node-far")]
+    rows = stamped_records(worker)
+    assert rows[0]["host"] == "node-far"

@@ -208,3 +208,28 @@ def test_offset_stream_checkpoints_carry_start_index(
     with pytest.raises(ValueError, match="does not contain"):
         small_engine.run_stream(fleet.chunks(0, 10), band="auto",
                                 checkpoint=path, stream_offset=0)
+
+
+def test_autotuned_campaign_carves_dynamically_and_stays_identical(
+        small_engine):
+    """Autotuned sizing changes scheduling only, never results: the
+    carved ranges still tile [0, N) and merge bit-identical."""
+    population = montecarlo_dies(PAPER_BIQUAD, DIES, sigma_f0=SIGMA,
+                                 seed=SEED)
+    reference = small_engine.run(population, band="auto")
+    sharded = small_engine.run_sharded(_mc_fleet(chunk=2), shards=3,
+                                       band="auto",
+                                       heartbeat=HEARTBEAT,
+                                       workers=2,
+                                       autotune_s=0.5)
+    _assert_same_result(sharded, reference)
+    assert sharded.shard_stats["planned"] >= 1.0
+    assert sharded.shard_stats["completed"] == \
+        sharded.shard_stats["planned"]
+    assert sharded.shard_stats["reassigned"] == 0.0
+
+
+def test_request_validates_autotune_seconds():
+    with pytest.raises(ValueError):
+        ScreeningRequest(population=[], mode="sharded",
+                         shard_autotune_s=0.0)

@@ -405,3 +405,50 @@ def test_campaign_shards_exclusions(capsys):
     assert "single-channel" in capsys.readouterr().err
     assert main(["campaign", "--shard-chunk", "4"]) == 2
     assert "--shards N" in capsys.readouterr().err
+
+
+def test_campaign_listen_and_autotune_require_shards(capsys):
+    assert main(["campaign", "--listen", "127.0.0.1:9100"]) == 2
+    assert "--shards N" in capsys.readouterr().err
+    assert main(["campaign", "--shard-autotune", "5"]) == 2
+    assert "--shards N" in capsys.readouterr().err
+    assert main(["campaign", "--shards", "2",
+                 "--listen", "nonsense"]) == 2
+    assert "HOST:PORT" in capsys.readouterr().err
+
+
+def test_shard_worker_is_a_visible_command(capsys):
+    import pytest as _pytest
+
+    with _pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    assert "shard-worker" in capsys.readouterr().out
+    # Its own --help comes from the worker's parser (the protocol
+    # intercept), and documents the TCP dial-in flag.
+    with _pytest.raises(SystemExit) as excinfo:
+        main(["shard-worker", "--help"])
+    assert excinfo.value.code == 0
+    assert "--connect" in capsys.readouterr().out
+
+
+def test_shard_worker_rejects_bad_endpoint(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["shard-worker", "--connect", "nonsense"])
+    assert excinfo.value.code == 2
+    assert "HOST:PORT" in capsys.readouterr().err
+
+
+def test_campaign_autotuned_sharded_runs(capsys):
+    import json
+
+    assert main(["campaign", "--dies", "8", "--seed", "1",
+                 "--samples", "512", "--shards", "2",
+                 "--shard-chunk", "2", "--shard-autotune", "0.5",
+                 "--json"]) == 0
+    sharded = json.loads(capsys.readouterr().out)
+    assert main(["campaign", "--dies", "8", "--seed", "1",
+                 "--samples", "512", "--json"]) == 0
+    serial = json.loads(capsys.readouterr().out)
+    for key in ("pass", "fail", "threshold", "ndf_mean", "ndf_p95"):
+        assert sharded[key] == serial[key], key
